@@ -1,0 +1,115 @@
+// Ablation — how much lab time does the §5 methodology actually need?
+//
+// The paper's goal is a methodology "practical to derive" for operators.
+// This bench sweeps the bench-time budget (measurement window x repeats x
+// ladder size) and reports the error of the derived parameters against the
+// hidden truth, plus the total lab hours consumed. The answer shapes how a
+// replication should budget its bench.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "device/catalog.hpp"
+#include "netpowerbench/derivation.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/units.hpp"
+
+using namespace joules;
+
+namespace {
+
+struct EffortLevel {
+  const char* name;
+  SimTime measure_s;
+  int repeats;
+  int rate_steps;
+  std::vector<std::size_t> ladder;
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: lab effort vs model quality",
+                "Derived-parameter error for increasing bench-time budgets "
+                "(NCS-55A1-24H, DAC 100G).");
+
+  const RouterSpec spec = find_router_spec("NCS-55A1-24H").value();
+  const ProfileKey key{PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                       LineRate::kG100};
+  const InterfaceProfile truth = *spec.truth.find_profile(key);
+
+  const std::vector<EffortLevel> levels = {
+      {"smoke (2 min windows)", 120, 1, 3, {4, 12}},
+      {"quick (5 min windows)", 300, 1, 4, {2, 6, 12}},
+      {"standard (15 min x2)", 900, 2, 6, {}},
+      {"thorough (30 min x3)", 1800, 3, 6, {}},
+      {"exhaustive (1 h x4)", 3600, 4, 8, {}},
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  CsvTable csv({"level", "lab_hours", "port_err_pct", "trxin_err_w",
+                "ebit_err_pct", "epkt_err_pct", "offset_err_w"});
+  for (const EffortLevel& level : levels) {
+    SimulatedRouter dut(spec, 0x1AB);
+    OrchestratorOptions lab;
+    lab.start_time = make_time(2025, 2, 1);
+    lab.measure_s = level.measure_s;
+    lab.repeats = level.repeats;
+    Orchestrator orchestrator(dut, PowerMeter(PowerMeterSpec{}, 0x1AC), lab);
+
+    DerivationOptions options;
+    options.rate_steps = level.rate_steps;
+    options.pair_ladder = level.ladder;
+    const DerivedModel derived = derive_power_model(orchestrator, {key}, options);
+    const InterfaceProfile got = *derived.model.find_profile(key);
+    const double lab_hours =
+        static_cast<double>(orchestrator.lab_time() - lab.start_time) /
+        kSecondsPerHour;
+
+    // Errors vs (wall-scaled) truth. The scaling is ~1/0.93 for this device;
+    // fold it out using the derived/true base ratio so the residual reflects
+    // measurement noise, not conversion.
+    const double scale =
+        derived.base_power_w /
+        (spec.truth.base_power_w() + FanModel(spec.fan).power_w(22.0) +
+         spec.control_plane_mean_w);
+    auto pct = [&](double got_value, double truth_value) {
+      return 100.0 * (got_value / scale - truth_value) / truth_value;
+    };
+    const double port_err = pct(got.port_power_w, truth.port_power_w);
+    const double trxin_err = got.trx_in_power_w / scale - truth.trx_in_power_w;
+    const double ebit_err = pct(got.energy_per_bit_j, truth.energy_per_bit_j);
+    const double epkt_err =
+        pct(got.energy_per_packet_j, truth.energy_per_packet_j);
+    const double offset_err = got.offset_power_w / scale - truth.offset_power_w;
+
+    rows.push_back({level.name, format_number(lab_hours, 1) + " h",
+                    format_number(port_err, 1) + "%",
+                    format_number(trxin_err, 3) + " W",
+                    format_number(ebit_err, 1) + "%",
+                    format_number(epkt_err, 1) + "%",
+                    format_number(offset_err, 2) + " W"});
+    csv.add_row({level.name, format_number(lab_hours, 2),
+                 format_number(port_err, 2), format_number(trxin_err, 4),
+                 format_number(ebit_err, 2), format_number(epkt_err, 2),
+                 format_number(offset_err, 3)});
+  }
+
+  std::printf("%s\n",
+              render_text_table({"Effort", "Lab time", "P_port err",
+                                 "P_trx,in err", "E_bit err", "E_pkt err",
+                                 "P_offset err"},
+                                rows)
+                  .c_str());
+  std::puts("  reading: even the 'smoke' budget (~1 lab hour) recovers every");
+  std::puts("  parameter to ~10% - the methodology is as practical as the paper");
+  std::puts("  intends. The residual ~-10% on E_bit/E_pkt is SYSTEMATIC, not");
+  std::puts("  noise: traffic increments convert at a better marginal PSU");
+  std::puts("  efficiency than the idle base, so normalizing by the base's");
+  std::puts("  wall/DC ratio over-corrects the dynamic terms. No bench time");
+  std::puts("  removes it; it is part of the model's constant-efficiency");
+  std::puts("  abstraction (the same family of effects behind the deployment");
+  std::puts("  offset the paper reports).");
+  bench::dump_csv(csv, "ablation_lab_effort.csv");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Scenario — stacking the paper's saving vectors on ground truth.
+//
+// §10 lists the vectors separately; this bench applies them cumulatively to
+// the same fleet and measures true wall power after each step:
+//   1. link sleeping (§8),
+//   2. unplugging spare transceivers (§7's "down is not off" inventory),
+//   3. hot-standby PSUs (§9.4's proposal).
+// Because each step lowers the DC draw feeding the next one, the stacked
+// total is NOT the sum of the independent estimates — that interaction is
+// exactly why a simulator (or a brave operator) is needed.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "network/whatif.hpp"
+#include "sleep/hypnos.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/units.hpp"
+
+using namespace joules;
+
+int main() {
+  bench::banner("Scenario: combined savings",
+                "Link sleeping + spare-module removal + hot-standby PSUs, "
+                "applied cumulatively to the same fleet.");
+
+  NetworkSimulation planning_sim(build_switch_like_network(), 7);
+  const SimTime begin = planning_sim.topology().options.study_begin;
+  const SimTime eval_at = begin + 15 * kSecondsPerDay;
+
+  // Plan the sleeping schedule on the untouched network.
+  const std::vector<double> loads = average_link_loads_bps(
+      planning_sim, begin, begin + 7 * kSecondsPerDay, 6 * kSecondsPerHour);
+  const HypnosResult hypnos = run_hypnos(planning_sim.topology(), loads);
+
+  Scenario scenario(NetworkSimulation(build_switch_like_network(), 7), eval_at);
+  const double baseline = scenario.baseline_w();
+  scenario.apply_link_sleeping(hypnos);
+  scenario.remove_spare_transceivers();
+  scenario.apply_hot_standby();
+
+  std::vector<std::vector<std::string>> rows;
+  CsvTable csv({"step", "network_power_w", "step_saving_w",
+                "cumulative_saving_w", "cumulative_saving_pct"});
+  for (const ScenarioStep& step : scenario.steps()) {
+    rows.push_back({step.name, format_number(w_to_kw(step.network_power_w), 2) + " kW",
+                    format_number(step.saved_w, 0) + " W",
+                    format_number(step.saved_vs_baseline_w, 0) + " W",
+                    format_number(100.0 * step.saved_vs_baseline_w / baseline, 2) +
+                        " %"});
+    csv.add_row({step.name, format_number(step.network_power_w, 1),
+                 format_number(step.saved_w, 1),
+                 format_number(step.saved_vs_baseline_w, 1),
+                 format_number(100.0 * step.saved_vs_baseline_w / baseline, 3)});
+  }
+  std::printf("%s\n",
+              render_text_table({"Step", "Network power", "Step saving",
+                                 "Cumulative", "Cumulative %"},
+                                rows)
+                  .c_str());
+
+  std::puts("  reading: the PSU measure dominates (as §9 concludes), sleeping");
+  std::puts("  contributes its §8-scale sliver, and spare modules a bit more;");
+  std::puts("  note hot-standby applied AFTER sleeping saves slightly less than");
+  std::puts("  alone - the sleeping steps already lowered every PSU's load.");
+  bench::dump_csv(csv, "combined_savings.csv");
+  return 0;
+}

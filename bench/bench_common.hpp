@@ -1,0 +1,38 @@
+// Shared plumbing for the table/figure benches: a standard header line, a
+// paper-vs-measured row formatter, and a CSV dump directory so every bench's
+// underlying series can be re-plotted externally.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "util/csv.hpp"
+
+namespace joules::bench {
+
+inline std::filesystem::path output_dir() {
+  const std::filesystem::path dir = "bench_out";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+inline void dump_csv(const CsvTable& table, const std::string& name) {
+  const auto path = output_dir() / name;
+  table.write_file(path);
+  std::printf("  [csv] %s\n", path.string().c_str());
+}
+
+inline void banner(const std::string& artifact, const std::string& caption) {
+  std::printf("\n=== %s ===\n%s\n\n", artifact.c_str(), caption.c_str());
+}
+
+// "who wins / by how much" comparison line.
+inline void compare_line(const std::string& label, double paper, double measured,
+                         const std::string& unit) {
+  std::printf("  %-38s paper %10s %-5s  measured %10s %s\n", label.c_str(),
+              format_number(paper, 2).c_str(), unit.c_str(),
+              format_number(measured, 2).c_str(), unit.c_str());
+}
+
+}  // namespace joules::bench

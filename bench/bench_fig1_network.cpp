@@ -1,0 +1,87 @@
+// Figure 1 — total power draw and traffic volume of the Switch network.
+//
+// Regenerates the two series of Fig. 1 over the figure's Sep-Oct window:
+// total wall power of all routers (with the hardware (de)commissioning
+// steps) and total carried traffic, annotated with the utilization
+// percentages the paper prints on the right axis.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "network/dataset.hpp"
+#include "network/simulation.hpp"
+#include "stats/descriptive.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/units.hpp"
+
+using namespace joules;
+
+int main() {
+  bench::banner("Figure 1",
+                "Total power draw and traffic volume from all routers in the "
+                "network of Switch, a Tier-2 ISP.");
+
+  const NetworkSimulation sim(build_switch_like_network(), 7);
+  const SimTime begin = sim.topology().options.study_begin;  // Sep 01
+  const SimTime end = begin + 55 * kSecondsPerDay;           // ~Oct 25
+
+  const NetworkTraces traces =
+      network_traces(sim, begin, end, 2 * kSecondsPerHour);
+  const TimeSeries power = traces.total_power_w.window_average(6 * kSecondsPerHour);
+  const TimeSeries traffic =
+      traces.total_traffic_bps.window_average(6 * kSecondsPerHour);
+
+  ChartOptions options;
+  options.title = "Fig 1 (top): total network power";
+  options.y_label = "Power (W)";
+  options.height = 14;
+  std::printf("%s\n",
+              render_time_series_chart({{"Total power", power}}, options).c_str());
+
+  options.title = "Fig 1 (bottom): total network traffic";
+  options.y_label = "Traffic (bps)";
+  std::printf("%s\n",
+              render_time_series_chart({{"Total traffic", traffic}}, options)
+                  .c_str());
+
+  const double mean_power = mean(power.values());
+  const double min_traffic = min_value(traffic.values());
+  const double max_traffic = max_value(traffic.values());
+  bench::compare_line("mean total power", 21750, mean_power, "W");
+  bench::compare_line("traffic range low", bps_to_tbps(1.0e12),
+                      bps_to_tbps(min_traffic), "Tbps");
+  bench::compare_line("traffic range high", bps_to_tbps(2.0e12),
+                      bps_to_tbps(max_traffic), "Tbps");
+  bench::compare_line("utilization low", 1.3,
+                      100.0 * min_traffic / traces.capacity_bps, "%");
+  bench::compare_line("utilization high", 2.7,
+                      100.0 * max_traffic / traces.capacity_bps, "%");
+
+  // The paper's note 2: power changes coincide with (de)commissioning.
+  std::puts("\n  power steps in the window:");
+  for (const DeployedRouter& router : sim.topology().routers) {
+    if (router.decommissioned_at > begin && router.decommissioned_at < end) {
+      std::printf("    %s decommissioned %s (power steps down)\n",
+                  router.name.c_str(),
+                  format_date(router.decommissioned_at).c_str());
+    }
+    if (router.commissioned_at > begin && router.commissioned_at < end) {
+      std::printf("    %s commissioned %s (power steps up)\n",
+                  router.name.c_str(), format_date(router.commissioned_at).c_str());
+    }
+  }
+
+  // Headline §7 observation: power/traffic correlation invisible at network
+  // scale.
+  const double corr = correlation(power.values(), traffic.values());
+  std::printf("\n  power-traffic correlation over the window: %.3f "
+              "(paper: invisible at network scale)\n",
+              corr);
+
+  CsvTable csv({"time", "total_power_w", "total_traffic_bps"});
+  for (std::size_t i = 0; i < power.size(); ++i) {
+    csv.add_row({format_date_time(power[i].time), format_number(power[i].value, 1),
+                 format_number(traffic[i].value, 0)});
+  }
+  bench::dump_csv(csv, "fig1_network_power_traffic.csv");
+  return 0;
+}

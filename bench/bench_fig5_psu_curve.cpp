@@ -1,0 +1,61 @@
+// Figure 5 — the PFE600-12-054xA efficiency curve with the 80 Plus standard
+// set points.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "psu/eighty_plus.hpp"
+#include "util/ascii_chart.hpp"
+
+using namespace joules;
+
+int main() {
+  bench::banner("Figure 5",
+                "Efficiency curve of the Platinum-rated PFE600-12-054xA (the "
+                "Wedge 100BF-32X PSU) and the 80 Plus set points.");
+
+  const EfficiencyCurve& curve = pfe600_curve();
+
+  ChartSeries curve_series;
+  curve_series.name = "PFE600";
+  curve_series.glyph = '*';
+  for (int load = 1; load <= 100; ++load) {
+    curve_series.x.push_back(load);
+    curve_series.y.push_back(100.0 * curve.at(load / 100.0));
+  }
+
+  std::vector<ChartSeries> series = {curve_series};
+  static constexpr char kGlyphs[] = {'B', 'S', 'G', 'P', 'T'};
+  int index = 0;
+  for (const EightyPlusLevel level : kAllEightyPlusLevels) {
+    ChartSeries marks;
+    marks.name = std::string(to_string(level));
+    marks.glyph = kGlyphs[index++];
+    for (const SetPoint& point : set_points(level)) {
+      marks.x.push_back(100.0 * point.load_frac);
+      marks.y.push_back(100.0 * point.min_efficiency);
+    }
+    series.push_back(std::move(marks));
+  }
+
+  ChartOptions options;
+  options.title = "Fig 5: PSU efficiency vs load";
+  options.y_label = "Efficiency (%)";
+  options.x_label = "Power load (%)";
+  options.height = 18;
+  std::printf("%s\n", render_scatter(series, options).c_str());
+
+  bench::compare_line("efficiency @ 20% load", 90, 100.0 * curve.at(0.20), "%");
+  bench::compare_line("efficiency @ 50% load", 94, 100.0 * curve.at(0.50), "%");
+  bench::compare_line("efficiency @ 100% load", 91, 100.0 * curve.at(1.00), "%");
+  const auto cert = certification(curve);
+  std::printf("  certification check: %s (paper: Platinum)\n",
+              cert ? std::string(to_string(*cert)).c_str() : "none");
+
+  CsvTable csv({"load_pct", "efficiency_pct"});
+  for (std::size_t i = 0; i < curve_series.x.size(); ++i) {
+    csv.add_row({format_number(curve_series.x[i], 0),
+                 format_number(curve_series.y[i], 2)});
+  }
+  bench::dump_csv(csv, "fig5_pfe600_curve.csv");
+  return 0;
+}

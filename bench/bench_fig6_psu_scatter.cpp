@@ -1,0 +1,88 @@
+// Figure 6 — PSU efficiency vs load scatter from the one-time sensor
+// snapshot: the full fleet, then the three per-model panels (the NCS fares
+// well, the 8201 badly, the ASR-920 spans the whole range).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "network/dataset.hpp"
+#include "network/simulation.hpp"
+#include "stats/descriptive.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/units.hpp"
+
+using namespace joules;
+
+namespace {
+
+ChartSeries scatter_of(const std::vector<PsuObservation>& snapshot,
+                       const std::string& model_filter, char glyph) {
+  ChartSeries series;
+  series.name = model_filter.empty() ? "all PSUs" : model_filter;
+  series.glyph = glyph;
+  for (const PsuObservation& obs : snapshot) {
+    if (!model_filter.empty() && obs.router_model != model_filter) continue;
+    series.x.push_back(100.0 * obs.load_frac());
+    series.y.push_back(100.0 * obs.efficiency());
+  }
+  return series;
+}
+
+void print_panel(const std::vector<PsuObservation>& snapshot,
+                 const std::string& model, const std::string& subtitle) {
+  const ChartSeries series = scatter_of(snapshot, model, '*');
+  ChartOptions options;
+  options.title = subtitle;
+  options.y_label = "Efficiency (%)";
+  options.x_label = "Power load (%)";
+  options.height = 12;
+  std::printf("%s\n", render_scatter({series}, options).c_str());
+  if (!series.y.empty()) {
+    std::printf("  %-22s n=%3zu  load %4.1f-%4.1f%%  efficiency %4.1f-%5.1f%% "
+                "(median %.1f%%)\n\n",
+                (model.empty() ? std::string("all") : model).c_str(),
+                series.y.size(), min_value(series.x), max_value(series.x),
+                min_value(series.y), max_value(series.y), median(series.y));
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 6",
+                "PSU efficiencies span a large spectrum; some router models "
+                "fare well, some badly, some vary.");
+
+  const NetworkSimulation sim(build_switch_like_network(), 7);
+  const SimTime t = sim.topology().options.study_begin + 30 * kSecondsPerDay;
+  const std::vector<PsuObservation> snapshot = psu_snapshot(sim, t);
+
+  print_panel(snapshot, "", "Fig 6a: all PSU efficiency points");
+  print_panel(snapshot, "NCS-55A1-24H", "Fig 6b: NCS-55A1-24H (fares well)");
+  print_panel(snapshot, "8201-32FH", "Fig 6c: 8201-32FH (fares badly)");
+  print_panel(snapshot, "ASR-920-24SZ-M", "Fig 6d: ASR-920-24SZ-M (varies)");
+
+  // Shape checks against the §9.3.1 observations.
+  std::vector<double> ncs;
+  std::vector<double> fh;
+  for (const PsuObservation& obs : snapshot) {
+    if (obs.router_model == "NCS-55A1-24H") ncs.push_back(obs.efficiency());
+    if (obs.router_model == "8201-32FH") fh.push_back(obs.efficiency());
+  }
+  bench::compare_line("NCS-55A1-24H efficiency floor", 85,
+                      100.0 * min_value(ncs), "%");
+  bench::compare_line("8201-32FH efficiency ceiling", 76, 100.0 * max_value(fh),
+                      "%");
+
+  CsvTable csv({"router", "model", "psu", "capacity_w", "p_in_w", "p_out_w",
+                "load_pct", "efficiency_pct"});
+  for (const PsuObservation& obs : snapshot) {
+    csv.add_row({obs.router_name, obs.router_model, std::to_string(obs.psu_index),
+                 format_number(obs.capacity_w, 0),
+                 format_number(obs.input_power_w, 1),
+                 format_number(obs.output_power_w, 1),
+                 format_number(100.0 * obs.load_frac(), 2),
+                 format_number(100.0 * obs.efficiency(), 2)});
+  }
+  bench::dump_csv(csv, "fig6_psu_snapshot.csv");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 8 — an OS upgrade on an 8201-32FH changed the thermal-management
+// logic, raising fan speeds and total power by ~45 W (~+12%) with no other
+// change (§4.3 / Appendix C).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "device/catalog.hpp"
+#include "stats/descriptive.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/units.hpp"
+
+using namespace joules;
+
+int main() {
+  bench::banner("Figure 8",
+                "On March 13, an OS upgrade led to increased fan speeds and a "
+                "+45 W (~+12%) step. Nothing else changed.");
+
+  RouterSpec spec = find_router_spec("8201-32FH").value();
+  SimulatedRouter router(spec, 31337);
+  const ProfileKey dac{PortType::kQSFPDD, TransceiverKind::kPassiveDAC,
+                       LineRate::kG100};
+  for (int i = 0; i < 16; ++i) router.add_interface(dac, InterfaceState::kUp);
+
+  const SimTime update = make_time(2025, 3, 13);
+  router.set_os_update_at(update);
+
+  // PSU-reported trace over Mar 03 - Mar 24 (the figure's window).
+  const SimTime begin = make_time(2025, 3, 3);
+  const SimTime end = make_time(2025, 3, 24);
+  TimeSeries reported;
+  for (SimTime t = begin; t < end; t += kSecondsPerHour) {
+    if (const auto value = router.reported_power_w(t)) reported.push(t, *value);
+  }
+  const TimeSeries smoothed = reported.window_average(6 * kSecondsPerHour);
+
+  ChartOptions options;
+  options.title = "Fig 8: 8201-32FH PSU-reported power across an OS update";
+  options.y_label = "Power (W)";
+  options.height = 14;
+  std::printf("%s\n",
+              render_time_series_chart({{"reported power", smoothed}}, options)
+                  .c_str());
+
+  const TimeSeries before = smoothed.slice(begin, update);
+  const TimeSeries after = smoothed.slice(update + kSecondsPerDay, end);
+  const double step_w = mean(after.values()) - mean(before.values());
+  const double step_pct = 100.0 * step_w / mean(before.values());
+  bench::compare_line("power step at the update", 45, step_w, "W");
+  bench::compare_line("relative increase", 12, step_pct, "%");
+  std::printf("  update date: %s\n", format_date(update).c_str());
+
+  CsvTable csv({"time", "reported_power_w"});
+  for (const Sample& s : smoothed) {
+    csv.add_row({format_date_time(s.time), format_number(s.value, 1)});
+  }
+  bench::dump_csv(csv, "fig8_os_update.csv");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 9 — zoomed, offset-corrected view of the Fig. 4 comparison: the
+// model prediction is manually shifted to the Autopower level to show how
+// precisely the *shape* matches (Sep 28 - Oct 07 window).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fig4_common.hpp"
+#include "stats/descriptive.hpp"
+#include "util/ascii_chart.hpp"
+
+using namespace joules;
+
+int main() {
+  bench::banner("Figure 9",
+                "Zoomed Fig. 4 with the model manually offset to the Autopower "
+                "level: the model is precise, just not accurate.");
+
+  bench::ValidationSetup setup = bench::make_validation_setup();
+  const SimTime zoom_begin = setup.begin + 27 * kSecondsPerDay;  // ~Sep 28
+  const SimTime zoom_end = setup.begin + 36 * kSecondsPerDay;    // ~Oct 07
+
+  CsvTable csv({"device", "time", "autopower_w", "model_offset_corrected_w"});
+  for (const std::string model :
+       {"8201-32FH", "NCS-55A1-24H", "N540X-8Z16G-SYS-A"}) {
+    const bench::ValidationTraces traces = bench::validation_traces(
+        setup, model, zoom_begin, zoom_end, 30 * kSecondsPerMinute);
+
+    // The manual offset: mean difference over the zoom window.
+    const double offset =
+        mean(traces.autopower.values()) - mean(traces.model.values());
+    const TimeSeries corrected = traces.model.shifted(offset);
+
+    ChartOptions options;
+    options.title = "Fig 9: " + model + "  (model shifted by " +
+                    format_number(offset, 1) + " W)";
+    options.y_label = "Power (W)";
+    options.height = 14;
+    std::printf("%s\n",
+                render_time_series_chart(
+                    {{"Autopower", traces.autopower}, {"Model+offset", corrected}},
+                    options)
+                    .c_str());
+
+    // Precision after correction: residual RMS against the external trace.
+    double ss = 0.0;
+    for (std::size_t i = 0; i < corrected.size(); ++i) {
+      const double e = corrected[i].value - traces.autopower[i].value;
+      ss += e * e;
+    }
+    const double rms = std::sqrt(ss / static_cast<double>(corrected.size()));
+    std::printf("  %-28s offset %+6.1f W, residual RMS %5.2f W, shape r = %.3f\n\n",
+                model.c_str(), offset, rms,
+                correlation(traces.autopower.values(), corrected.values()));
+
+    for (std::size_t i = 0; i < corrected.size(); ++i) {
+      csv.add_row({model, format_date_time(corrected[i].time),
+                   format_number(traces.autopower[i].value, 2),
+                   format_number(corrected[i].value, 2)});
+    }
+  }
+  bench::dump_csv(csv, "fig9_offset_corrected.csv");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Performance microbenchmarks (google-benchmark) for the core library: model
+// evaluation, the derivation regressions, Hypnos, and the network power
+// sweep. These are ours (not a paper artifact) and guard against the bench
+// harness becoming accidentally quadratic.
+#include <benchmark/benchmark.h>
+
+#include "device/catalog.hpp"
+#include "model/power_model.hpp"
+#include "network/dataset.hpp"
+#include "network/simulation.hpp"
+#include "sleep/hypnos.hpp"
+#include "stats/regression.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+void BM_ModelPredict(benchmark::State& state) {
+  const RouterSpec spec = find_router_spec("NCS-55A1-24H").value();
+  const ProfileKey dac{PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                       LineRate::kG100};
+  std::vector<InterfaceConfig> configs;
+  std::vector<InterfaceLoad> loads;
+  for (int i = 0; i < 24; ++i) {
+    configs.push_back({"if" + std::to_string(i), dac, InterfaceState::kUp});
+    loads.push_back({gbps_to_bps(10), 1e6});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec.truth.predict(configs, loads).total_w());
+  }
+}
+BENCHMARK(BM_ModelPredict);
+
+void BM_RouterWallPower(benchmark::State& state) {
+  SimulatedRouter router(find_router_spec("8201-32FH").value(), 1);
+  const ProfileKey dac{PortType::kQSFPDD, TransceiverKind::kPassiveDAC,
+                       LineRate::kG100};
+  for (int i = 0; i < 32; ++i) router.add_interface(dac, InterfaceState::kUp);
+  const std::vector<InterfaceLoad> loads(32, {gbps_to_bps(20), 2e6});
+  SimTime t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.wall_power_w(t, loads));
+    t += 300;
+  }
+}
+BENCHMARK(BM_RouterWallPower);
+
+void BM_LinearRegression(benchmark::State& state) {
+  Rng rng(1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<double>(i);
+    y[i] = 2.0 * x[i] + rng.normal(0, 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit_linear(x, y).slope);
+  }
+}
+BENCHMARK(BM_LinearRegression)->Arg(100)->Arg(10000);
+
+void BM_NetworkPowerSample(benchmark::State& state) {
+  static const NetworkSimulation sim(build_switch_like_network(), 7);
+  const SimTime begin = sim.topology().options.study_begin;
+  SimTime t = begin;
+  for (auto _ : state) {
+    double total = 0.0;
+    for (std::size_t r = 0; r < sim.router_count(); ++r) {
+      total += sim.wall_power_w(r, t);
+    }
+    benchmark::DoNotOptimize(total);
+    t += 300;
+  }
+}
+BENCHMARK(BM_NetworkPowerSample);
+
+void BM_Hypnos(benchmark::State& state) {
+  static const NetworkSimulation sim(build_switch_like_network(), 7);
+  const SimTime begin = sim.topology().options.study_begin;
+  static const std::vector<double> loads = average_link_loads_bps(
+      sim, begin, begin + kSecondsPerDay, 6 * kSecondsPerHour);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_hypnos(sim.topology(), loads).sleeping_links);
+  }
+}
+BENCHMARK(BM_Hypnos);
+
+}  // namespace
+}  // namespace joules
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// §8 — power savings of link sleeping: Hypnos over one month of traffic,
+// converted to watts with the refined power model (Table 5 P_port constants
+// + datasheet transceiver values, P_trx,up ∈ [0, P_trx]).
+//
+// Paper result: 80-390 W, i.e. 0.4-1.9% of the total router power — far
+// below the "a third of the transceiver power" the original Hypnos paper
+// hoped for, because (i) "down" does not power modules off and (ii) half of
+// the interfaces are external and cannot sleep.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sleep/hypnos.hpp"
+#include "sleep/savings.hpp"
+#include "util/units.hpp"
+
+using namespace joules;
+
+int main() {
+  bench::banner("Section 8",
+                "Power savings of link sleeping: smaller than anticipated in "
+                "the literature.");
+
+  const NetworkSimulation sim(build_switch_like_network(), 7);
+  const SimTime begin = sim.topology().options.study_begin;
+  const SimTime end = begin + 30 * kSecondsPerDay;
+
+  const std::vector<double> loads =
+      average_link_loads_bps(sim, begin, end, 3 * kSecondsPerHour);
+  const HypnosResult result = run_hypnos(sim.topology(), loads);
+
+  double network_power = 0.0;
+  for (std::size_t r = 0; r < sim.router_count(); ++r) {
+    network_power += sim.wall_power_w(r, begin + 15 * kSecondsPerDay);
+  }
+  const SleepSavings savings =
+      estimate_sleep_savings(sim.topology(), result, network_power);
+
+  std::printf("  Hypnos run over %s .. %s\n", format_date(begin).c_str(),
+              format_date(end).c_str());
+  std::printf("  internal links: %zu, put to sleep: %zu (%.0f%%; the original "
+              "paper saw ~1/3)\n",
+              result.candidate_links, result.sleeping_links.size(),
+              100.0 * result.fraction_off());
+  std::printf("  network power reference: %.1f kW\n\n", w_to_kw(network_power));
+
+  bench::compare_line("savings, lower bound", 80, savings.min_w, "W");
+  bench::compare_line("savings, upper bound", 390, savings.max_w, "W");
+  bench::compare_line("savings %, lower", 0.4, 100.0 * savings.min_frac(), "%");
+  bench::compare_line("savings %, upper", 1.9, 100.0 * savings.max_frac(), "%");
+
+  const std::size_t external = sim.topology().external_interface_count();
+  const std::size_t total = sim.topology().interface_count();
+  std::printf("\n  structural limits (paper: 51%% of interfaces external, 52%% "
+              "of transceiver power):\n");
+  std::printf("    external interfaces: %zu of %zu (%.0f%%) - not sleepable by "
+              "intra-domain protocols\n",
+              external, total, 100.0 * static_cast<double>(external) / static_cast<double>(total));
+  std::puts("    the lower bound assumes transceivers stay fully powered when");
+  std::puts("    ports go down, which is what the lab models observed (P_trx,in");
+  std::puts("    dominates for optics). Expect reality near the lower bound.");
+
+  CsvTable csv({"link_id", "asleep", "avg_load_bps", "final_load_bps"});
+  for (std::size_t l = 0; l < loads.size(); ++l) {
+    const bool asleep =
+        std::find(result.sleeping_links.begin(), result.sleeping_links.end(),
+                  static_cast<int>(l)) != result.sleeping_links.end();
+    csv.add_row({std::to_string(l), asleep ? "1" : "0",
+                 format_number(loads[l], 0),
+                 format_number(result.final_loads_bps[l], 0)});
+  }
+  bench::dump_csv(csv, "sec8_link_sleeping.csv");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Table 5 — P_port and P_trx,up per port type, as used by the §8 link
+// sleeping evaluation. The paper obtains these by averaging its lab models
+// per port type; this bench re-derives them by running the §5 methodology on
+// every catalog device and averaging the derived values the same way, then
+// prints both next to the published constants.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "device/catalog.hpp"
+#include "netpowerbench/derivation.hpp"
+#include "sleep/savings.hpp"
+#include "util/ascii_chart.hpp"
+
+using namespace joules;
+
+int main() {
+  bench::banner("Table 5",
+                "P_port and P_trx,up per port type (averages over the derived "
+                "power models), used by the link-sleeping evaluation.");
+
+  // Derive one profile per (device, port type) across the lab fleet.
+  std::map<PortType, std::vector<double>> port_w;
+  std::map<PortType, std::vector<double>> trx_up_w;
+  std::uint64_t seed = 31000;
+  for (const RouterSpec& spec : all_router_specs()) {
+    // One representative profile per port type of this device.
+    std::map<PortType, ProfileKey> chosen;
+    for (const InterfaceProfile& profile : spec.truth.profiles()) {
+      chosen.emplace(profile.key.port, profile.key);
+    }
+    for (const auto& [port, key] : chosen) {
+      SimulatedRouter dut(spec, seed);
+      OrchestratorOptions lab;
+      lab.start_time = make_time(2025, 3, 1);
+      lab.measure_s = 600;
+      lab.repeats = 2;
+      Orchestrator orchestrator(dut, PowerMeter(PowerMeterSpec{}, seed + 1), lab);
+      seed += 3;
+      if (orchestrator.max_pairs(key) < 2) {
+        // The ladder regression needs at least two pair counts (e.g. the
+        // N540's two 100G ports only make one pair).
+        continue;
+      }
+      const Measurement base = orchestrator.run_base();
+      const ProfileDerivation derivation =
+          derive_profile(orchestrator, key, base.mean_power_w);
+      port_w[port].push_back(derivation.profile.port_power_w);
+      trx_up_w[port].push_back(derivation.profile.trx_up_power_w);
+    }
+  }
+
+  const auto& paper = table5_port_power();
+  std::vector<std::vector<std::string>> rows;
+  CsvTable csv({"port_type", "P_port_W", "P_trx_up_W", "paper_P_port_W",
+                "paper_P_trx_up_W", "models"});
+  for (const PortType port : {PortType::kSFP, PortType::kSFPPlus,
+                              PortType::kQSFP28, PortType::kQSFPDD}) {
+    if (!port_w.contains(port)) continue;
+    double port_avg = 0.0;
+    double up_avg = 0.0;
+    for (const double v : port_w[port]) port_avg += v;
+    for (const double v : trx_up_w[port]) up_avg += v;
+    port_avg /= static_cast<double>(port_w[port].size());
+    up_avg /= static_cast<double>(trx_up_w[port].size());
+
+    rows.push_back({std::string(to_string(port)), format_number(port_avg, 2),
+                    format_number(paper.at(port).port_w, 2),
+                    format_number(up_avg, 3),
+                    format_number(paper.at(port).trx_up_w, 3),
+                    std::to_string(port_w[port].size())});
+    csv.add_row({std::string(to_string(port)), format_number(port_avg, 3),
+                 format_number(up_avg, 4),
+                 format_number(paper.at(port).port_w, 3),
+                 format_number(paper.at(port).trx_up_w, 4),
+                 std::to_string(port_w[port].size())});
+  }
+  std::printf("%s\n",
+              render_text_table({"Port type", "P_port (derived)",
+                                 "P_port (paper)", "P_trx,up (derived)",
+                                 "P_trx,up (paper)", "#models"},
+                                rows)
+                  .c_str());
+
+  std::puts("  shape check: QSFP-DD ports cost the most, SFP the least; the");
+  std::puts("  derived averages depend on which devices carry each port type,");
+  std::puts("  exactly as the paper's footnote 9 warns (P_port varies per model).");
+  bench::dump_csv(csv, "table5_port_power.csv");
+  return 0;
+}

@@ -1,0 +1,198 @@
+// Shared pipeline for the Fig. 4 / Fig. 9 validation benches.
+//
+// Reconstructs the §6.2 method end to end:
+//   1. deploy the Switch-like network and stage the events the paper
+//      narrates for the 8201-32FH (Oct 9 transceiver removal, Oct 22-25
+//      interface flap, Oct 31 interface additions) and the NCS's Sep 25
+//      PSU re-calibration jump;
+//   2. derive power models for the three device types in the simulated lab
+//      (a *different physical unit* than the deployed one — PSU spread and
+//      environment differences feed the offset);
+//   3. for each sample instant produce the three traces: Autopower (external
+//      meter on the true wall power), PSU (SNMP-reported), and the model
+//      prediction from operator-visible inputs (inventory + counters).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "device/catalog.hpp"
+#include "meter/power_meter.hpp"
+#include "netpowerbench/derivation.hpp"
+#include "network/dataset.hpp"
+#include "network/simulation.hpp"
+#include "util/time_series.hpp"
+#include "util/units.hpp"
+
+namespace joules::bench {
+
+struct ValidationSetup {
+  NetworkSimulation sim;
+  SimTime begin = 0;                     // Sep 01
+  SimTime end = 0;                       // Nov 05
+  std::map<std::string, std::size_t> subject;      // model -> router index
+  std::map<std::string, PowerModel> derived_model; // model -> lab-derived model
+};
+
+struct ValidationTraces {
+  TimeSeries autopower;
+  TimeSeries psu;    // empty when the model does not report
+  TimeSeries model;
+};
+
+inline ValidationSetup make_validation_setup() {
+  NetworkTopology topology = build_switch_like_network();
+  const SimTime begin = topology.options.study_begin;
+
+  // Subjects: the first deployed router of each Fig. 4 model.
+  std::map<std::string, std::size_t> subject;
+  for (const std::string model :
+       {"8201-32FH", "NCS-55A1-24H", "N540X-8Z16G-SYS-A"}) {
+    for (std::size_t r = 0; r < topology.routers.size(); ++r) {
+      if (topology.routers[r].model == model &&
+          topology.routers[r].decommissioned_at >
+              begin + 70 * kSecondsPerDay &&
+          topology.routers[r].commissioned_at < begin &&
+          topology.routers[r].psu_capacity_override_w == 0.0) {
+        subject[model] = r;
+        break;
+      }
+    }
+  }
+
+  // Stage the narrated 8201 interfaces BEFORE building the simulation: one
+  // 400G FR4 that will be removed Oct 9, and two LR4s that appear Oct 31.
+  const std::size_t r8201 = subject.at("8201-32FH");
+  auto add_extra = [&](TransceiverKind kind, LineRate rate, double mean_gbps,
+                       std::uint64_t seed) {
+    DeployedInterface iface;
+    iface.profile = {PortType::kQSFPDD, kind, rate};
+    iface.name = "staged-" + std::to_string(topology.routers[r8201].interfaces.size());
+    iface.transceiver_part = kind == TransceiverKind::kFR4 ? "QSFP-DD-400G-FR4"
+                                                           : "QSFP28-100G-LR4";
+    iface.external = true;
+    iface.workload_seed = seed;
+    iface.workload.mean_rate_bps = gbps_to_bps(mean_gbps);
+    iface.workload.diurnal_amplitude = 0.5;
+    iface.workload.mean_frame_bytes = 800;
+    topology.routers[r8201].interfaces.push_back(iface);
+    return static_cast<int>(topology.routers[r8201].interfaces.size()) - 1;
+  };
+  const int fr4_iface = add_extra(TransceiverKind::kFR4, LineRate::kG400, 18, 901);
+  const int flap_iface = add_extra(TransceiverKind::kLR4, LineRate::kG100, 6, 902);
+  const int added_a = add_extra(TransceiverKind::kLR4, LineRate::kG100, 4, 903);
+  const int added_b = add_extra(TransceiverKind::kLR4, LineRate::kG100, 4, 904);
+
+  // Spare transceivers left plugged into down ports ("to be used either as
+  // spares or awaiting pick-up at the next PoP visit") — the paper's own
+  // explanation for part of the model's underestimation. Spares never show
+  // counters, so the §6.2 prediction pipeline cannot see them.
+  auto add_spare = [&](std::size_t router, const ProfileKey& profile,
+                       const char* part) {
+    DeployedInterface iface;
+    iface.profile = profile;
+    iface.name = "spare-" +
+                 std::to_string(topology.routers[router].interfaces.size());
+    iface.transceiver_part = part;
+    iface.external = false;
+    iface.spare = true;
+    topology.routers[router].interfaces.push_back(iface);
+  };
+  add_spare(r8201, {PortType::kQSFPDD, TransceiverKind::kFR4, LineRate::kG400},
+            "QSFP-DD-400G-FR4");
+  for (int i = 0; i < 3; ++i) {
+    add_spare(subject.at("NCS-55A1-24H"),
+              {PortType::kQSFP28, TransceiverKind::kLR4, LineRate::kG100},
+              "QSFP28-100G-LR4");
+  }
+  add_spare(subject.at("N540X-8Z16G-SYS-A"),
+            {PortType::kSFP, TransceiverKind::kBaseT, LineRate::kG1},
+            "SFP-1G-T");
+
+  ValidationSetup setup{NetworkSimulation(std::move(topology), 7), begin,
+                        begin + 65 * kSecondsPerDay, subject, {}};
+
+  // Oct 9 (~day 38): the 400G FR4 module is pulled. All traces drop by the
+  // module's power; the model agrees because its counters disappear too.
+  setup.sim.remove_transceiver_at(static_cast<int>(r8201), fr4_iface,
+                                  begin + 38 * kSecondsPerDay);
+  // Oct 22-25 (~days 51-54): flapping interface manually taken down. The
+  // transceiver stays plugged, so reality drops less than the model thinks.
+  StateOverride flap;
+  flap.router = static_cast<int>(r8201);
+  flap.iface = flap_iface;
+  flap.from = begin + 51 * kSecondsPerDay;
+  flap.to = begin + 54 * kSecondsPerDay;
+  flap.state = InterfaceState::kPlugged;
+  setup.sim.add_override(flap);
+  // Oct 31 (~day 60): two interfaces are added (absent before).
+  for (const int iface : {added_a, added_b}) {
+    StateOverride not_yet;
+    not_yet.router = static_cast<int>(r8201);
+    not_yet.iface = iface;
+    not_yet.from = begin - 400 * kSecondsPerDay;
+    not_yet.to = begin + 60 * kSecondsPerDay;
+    not_yet.state = InterfaceState::kEmpty;
+    setup.sim.add_override(not_yet);
+  }
+  // Sep 25 (~day 24): installing the Autopower meter power-cycles the NCS's
+  // PSUs; one sensor re-latches 7 W lower.
+  setup.sim.device(subject.at("NCS-55A1-24H"))
+      .add_reporting_shift(begin + 24 * kSecondsPerDay, -7.0);
+
+  // --- Lab derivation per device type (separate physical unit!) -----------
+  const std::map<std::string, std::vector<ProfileKey>> lab_profiles = {
+      {"8201-32FH",
+       {{PortType::kQSFPDD, TransceiverKind::kPassiveDAC, LineRate::kG100},
+        {PortType::kQSFPDD, TransceiverKind::kLR4, LineRate::kG100},
+        {PortType::kQSFPDD, TransceiverKind::kFR4, LineRate::kG400}}},
+      {"NCS-55A1-24H",
+       {{PortType::kQSFP28, TransceiverKind::kPassiveDAC, LineRate::kG100},
+        {PortType::kQSFP28, TransceiverKind::kLR4, LineRate::kG100},
+        {PortType::kQSFP28, TransceiverKind::kSR4, LineRate::kG100}}},
+      {"N540X-8Z16G-SYS-A",
+       {{PortType::kSFP, TransceiverKind::kBaseT, LineRate::kG1},
+        {PortType::kSFP, TransceiverKind::kLR, LineRate::kG1},
+        {PortType::kSFPPlus, TransceiverKind::kLR, LineRate::kG10}}},
+  };
+  std::uint64_t lab_seed = 8800;
+  for (const auto& [model, profiles] : lab_profiles) {
+    SimulatedRouter dut(find_router_spec(model).value(), lab_seed);
+    OrchestratorOptions lab;
+    lab.start_time = make_time(2025, 1, 10);
+    lab.measure_s = 900;
+    lab.repeats = 3;
+    Orchestrator orchestrator(dut, PowerMeter(PowerMeterSpec{}, lab_seed + 1), lab);
+    setup.derived_model.emplace(model,
+                                derive_power_model(orchestrator, profiles).model);
+    lab_seed += 7;
+  }
+  return setup;
+}
+
+// Produces the three traces for one subject, averaged into 30-minute windows
+// like the paper's Fig. 4.
+inline ValidationTraces validation_traces(const ValidationSetup& setup,
+                                          const std::string& model,
+                                          SimTime begin, SimTime end,
+                                          SimTime sample_step = 30 * kSecondsPerMinute) {
+  const std::size_t r = setup.subject.at(model);
+  const PowerModel& derived = setup.derived_model.at(model);
+  const PowerMeter autopower_meter(PowerMeterSpec{}, 0xA0 + r);
+
+  ValidationTraces traces;
+  for (SimTime t = begin; t < end; t += sample_step) {
+    traces.autopower.push(
+        t, autopower_meter.measure_w(0, setup.sim.wall_power_w(r, t), t));
+    if (const auto reported = setup.sim.reported_power_w(r, t)) {
+      traces.psu.push(t, *reported);
+    }
+    const VisibleInputs inputs = visible_inputs(setup.sim, r, t);
+    traces.model.push(t, derived.predict(inputs.configs, inputs.loads).total_w());
+  }
+  return traces;
+}
+
+}  // namespace joules::bench

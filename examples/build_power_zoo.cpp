@@ -1,0 +1,115 @@
+// Build a Network Power Zoo from every data source the paper collects —
+// datasheets, lab-derived models, deployment measurements, PSU snapshots —
+// then query one device's dossier across all of them.
+//
+//   $ ./build_power_zoo [output-dir]
+#include <cstdio>
+#include <string>
+
+#include "datasheet/corpus.hpp"
+#include "device/catalog.hpp"
+#include "netpowerbench/derivation.hpp"
+#include "network/dataset.hpp"
+#include "network/simulation.hpp"
+#include "stats/descriptive.hpp"
+#include "zoo/power_zoo.hpp"
+
+using namespace joules;
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : "power_zoo";
+  std::puts("=== Building a Network Power Zoo ===\n");
+  PowerZoo zoo;
+
+  // --- 1. Datasheets: the full 777-model corpus. -------------------------
+  for (DatasheetRecord& record : generate_corpus()) {
+    zoo.add_datasheet(std::move(record));
+  }
+  std::printf("datasheets contributed: %zu\n", zoo.stats().datasheets);
+
+  // --- 2. Lab: derive and contribute power models for two devices. --------
+  for (const char* model : {"NCS-55A1-24H", "8201-32FH"}) {
+    const RouterSpec spec = find_router_spec(model).value();
+    SimulatedRouter dut(spec, 1234);
+    OrchestratorOptions lab;
+    lab.start_time = make_time(2025, 2, 1);
+    lab.measure_s = 600;
+    Orchestrator orchestrator(dut, PowerMeter(PowerMeterSpec{}, 1235), lab);
+    std::vector<ProfileKey> keys;
+    for (const InterfaceProfile& profile : spec.truth.profiles()) {
+      if (profile.key.transceiver == TransceiverKind::kPassiveDAC) {
+        keys.push_back(profile.key);
+      }
+    }
+    const DerivedModel derived = derive_power_model(orchestrator, keys);
+    zoo.add_power_model(model, derived.model, "netpowerbench-lab");
+
+    MeasurementSummary lab_summary;
+    lab_summary.device_model = model;
+    lab_summary.source = MeasurementSource::kLab;
+    lab_summary.window_begin = lab.start_time;
+    lab_summary.window_end = orchestrator.lab_time();
+    lab_summary.median_power_w = derived.base_measurement.mean_power_w;
+    lab_summary.mean_power_w = derived.base_measurement.mean_power_w;
+    lab_summary.sample_count = derived.base_measurement.sample_count;
+    zoo.add_measurement(lab_summary);
+  }
+  std::printf("power models contributed: %zu\n", zoo.stats().power_models);
+
+  // --- 3. Deployment: SNMP medians + the PSU snapshot. --------------------
+  const NetworkSimulation sim(build_switch_like_network(), 7);
+  const SimTime begin = sim.topology().options.study_begin;
+  const SimTime end = begin + 14 * kSecondsPerDay;
+  std::size_t contributed = 0;
+  for (std::size_t r = 0; r < sim.router_count() && contributed < 20; ++r) {
+    const auto median_power =
+        snmp_median_power_w(sim, r, begin, end, 6 * kSecondsPerHour);
+    if (!median_power) continue;
+    MeasurementSummary summary;
+    summary.device_model = sim.topology().routers[r].model;
+    summary.router_name = sim.topology().routers[r].name;
+    summary.source = MeasurementSource::kSnmp;
+    summary.window_begin = begin;
+    summary.window_end = end;
+    summary.median_power_w = *median_power;
+    summary.mean_power_w = *median_power;
+    summary.sample_count = static_cast<std::size_t>((end - begin) /
+                                                    (6 * kSecondsPerHour));
+    zoo.add_measurement(summary);
+    ++contributed;
+  }
+  for (PsuObservation& obs : psu_snapshot(sim, begin + 7 * kSecondsPerDay)) {
+    zoo.add_psu_observation(std::move(obs));
+  }
+  std::printf("measurement summaries: %zu, PSU observations: %zu\n\n",
+              zoo.stats().measurements, zoo.stats().psu_observations);
+
+  // --- 4. Query a dossier. -----------------------------------------------
+  const PowerZoo::DeviceDossier dossier = zoo.dossier("NCS-55A1-24H");
+  std::puts("dossier: NCS-55A1-24H");
+  if (dossier.datasheet && dossier.datasheet->typical_power_w) {
+    std::printf("  datasheet typical: %.0f W\n",
+                *dossier.datasheet->typical_power_w);
+  }
+  if (dossier.model) {
+    std::printf("  derived model P_base: %.1f W (%zu profiles)\n",
+                dossier.model->base_power_w(), dossier.model->profile_count());
+  }
+  for (const MeasurementSummary& m : dossier.measurements) {
+    std::printf("  %s median: %.1f W (%s, %zu samples)\n",
+                std::string(to_string(m.source)).c_str(), m.median_power_w,
+                m.router_name.empty() ? "lab bench" : m.router_name.c_str(),
+                m.sample_count);
+  }
+  std::printf("  PSU observations on file: %zu\n", dossier.psu_observations);
+
+  // --- 5. Persist and verify the round trip. ------------------------------
+  zoo.save(out_dir);
+  const PowerZoo reloaded = PowerZoo::load(out_dir);
+  std::printf("\nsaved to %s/ and reloaded: %zu datasheets, %zu models, "
+              "%zu measurements, %zu PSU observations\n",
+              out_dir.c_str(), reloaded.stats().datasheets,
+              reloaded.stats().power_models, reloaded.stats().measurements,
+              reloaded.stats().psu_observations);
+  return 0;
+}

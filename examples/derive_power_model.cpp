@@ -1,0 +1,75 @@
+// Derive a router power model in the (simulated) lab — the NetPowerBench
+// workflow of §5.
+//
+//   $ ./derive_power_model [model-name]
+//
+// Sets up the bench (DUT + MCP39F511N-class meter + traffic generator), runs
+// the Base/Idle/Port/Trx/Snake battery, and prints the derived parameters
+// next to the device's hidden ground truth. The derived values describe WALL
+// power, so they come out slightly above the DC-side truth — the same
+// conversion-loss absorption the paper's models exhibit.
+#include <cstdio>
+#include <string>
+
+#include "device/catalog.hpp"
+#include "model/model_io.hpp"
+#include "netpowerbench/derivation.hpp"
+#include "util/units.hpp"
+
+using namespace joules;
+
+int main(int argc, char** argv) {
+  const std::string model_name = argc > 1 ? argv[1] : "NCS-55A1-24H";
+  const auto spec = find_router_spec(model_name);
+  if (!spec) {
+    std::fprintf(stderr, "unknown router model '%s'\n", model_name.c_str());
+    std::fputs("known models:\n", stderr);
+    for (const RouterSpec& known : all_router_specs()) {
+      std::fprintf(stderr, "  %s\n", known.model.c_str());
+    }
+    return 1;
+  }
+
+  std::printf("=== NetPowerBench: deriving a power model for %s ===\n\n",
+              model_name.c_str());
+
+  SimulatedRouter dut(*spec, /*seed=*/4242);
+  OrchestratorOptions lab;
+  lab.start_time = make_time(2025, 2, 1);
+  lab.measure_s = 900;
+  lab.repeats = 3;
+  Orchestrator orchestrator(dut, PowerMeter(PowerMeterSpec{}, 99), lab);
+
+  // Derive every profile the device's truth covers for its first port type.
+  std::vector<ProfileKey> keys;
+  for (const InterfaceProfile& profile : spec->truth.profiles()) {
+    if (profile.key.port == spec->ports.front().type) keys.push_back(profile.key);
+  }
+  std::printf("profiles to derive: %zu (port type %s)\n", keys.size(),
+              std::string(to_string(spec->ports.front().type)).c_str());
+
+  const DerivedModel derived = derive_power_model(orchestrator, keys);
+
+  std::printf("\nBase experiment: %.1f W mean (sd %.2f, %zu samples)\n",
+              derived.base_measurement.mean_power_w,
+              derived.base_measurement.stddev_w,
+              derived.base_measurement.sample_count);
+  std::printf("lab time consumed: %.1f hours\n\n",
+              static_cast<double>(orchestrator.lab_time() - lab.start_time) /
+                  kSecondsPerHour);
+
+  std::puts("Derived model (wall power):");
+  std::printf("%s\n", render_model_table(model_name, derived.model).c_str());
+
+  std::puts("Hidden ground truth (DC side, catalog):");
+  std::printf("%s\n", render_model_table(model_name, spec->truth).c_str());
+
+  std::puts("Regression quality:");
+  for (const ProfileDerivation& derivation : derived.derivations) {
+    std::printf("  %-28s  Port fit R2=%.4f  Trx fit R2=%.4f  energy fit R2=%.4f\n",
+                to_string(derivation.profile.key).c_str(),
+                derivation.port_fit.r_squared, derivation.trx_fit.r_squared,
+                derivation.energy_fit.r_squared);
+  }
+  return 0;
+}

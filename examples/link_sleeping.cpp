@@ -1,0 +1,80 @@
+// Link sleeping on a deployed network: Hypnos + the §8 savings bracket.
+//
+//   $ ./link_sleeping [max_utilization]
+//
+// Runs the Hypnos greedy pass over a month of simulated traffic, reports
+// which links can sleep, and converts that into the watts range the §8
+// analysis derives (Table 5 port powers + datasheet transceiver values,
+// with P_trx,up ∈ [0, P_trx]).
+#include <cstdio>
+#include <cstdlib>
+
+#include "sleep/hypnos.hpp"
+#include "sleep/savings.hpp"
+#include "util/units.hpp"
+
+using namespace joules;
+
+int main(int argc, char** argv) {
+  HypnosOptions options;
+  if (argc > 1) options.max_utilization = std::atof(argv[1]);
+  std::printf("=== Hypnos link sleeping (max post-reroute utilization %.0f%%) ===\n\n",
+              100.0 * options.max_utilization);
+
+  const NetworkSimulation sim(build_switch_like_network(), /*seed=*/7);
+  const SimTime begin = sim.topology().options.study_begin;
+  const SimTime end = begin + 30 * kSecondsPerDay;  // one month, like §8
+
+  const std::vector<double> loads =
+      average_link_loads_bps(sim, begin, end, 3 * kSecondsPerHour);
+  std::printf("internal links: %zu, average utilizations computed over %s..%s\n",
+              loads.size(), format_date(begin).c_str(), format_date(end).c_str());
+
+  const HypnosResult result = run_hypnos(sim.topology(), loads, options);
+  std::printf("links put to sleep: %zu / %zu (%.0f%%)\n",
+              result.sleeping_links.size(), result.candidate_links,
+              100.0 * result.fraction_off());
+
+  double network_power = 0.0;
+  for (std::size_t r = 0; r < sim.router_count(); ++r) {
+    network_power += sim.wall_power_w(r, begin + 15 * kSecondsPerDay);
+  }
+  const SleepSavings savings =
+      estimate_sleep_savings(sim.topology(), result, network_power);
+
+  std::printf("\ninterfaces turned down: %zu\n", savings.interfaces_off);
+  std::printf("network power reference: %.1f kW\n", w_to_kw(network_power));
+  std::printf("estimated savings: %.0f - %.0f W  (%.1f%% - %.1f%%)\n",
+              savings.min_w, savings.max_w, 100.0 * savings.min_frac(),
+              100.0 * savings.max_frac());
+  std::puts("\nthe bracket exists because routers do not power off plugged");
+  std::puts("transceivers: only P_port is guaranteed; P_trx,up is somewhere");
+  std::puts("between zero and the module's full datasheet power.");
+
+  // The structural limit: external links cannot sleep.
+  const std::size_t external = sim.topology().external_interface_count();
+  const std::size_t total = sim.topology().interface_count();
+  std::printf("\nexternal interfaces (not candidates): %zu of %zu (%.0f%%)\n",
+              external, total, 100.0 * static_cast<double>(external) / static_cast<double>(total));
+
+  // --- Time-varying schedule over one day ---------------------------------
+  std::puts("\n--- diurnal schedule (4-hour windows over one weekday) ---");
+  const SimTime day = make_time(2024, 9, 3);
+  const SleepSchedule schedule = run_hypnos_schedule(
+      sim, day, day + kSecondsPerDay, 4 * kSecondsPerHour, kSecondsPerHour,
+      options);
+  for (const SleepWindow& window : schedule.windows) {
+    std::printf("  %s - %s: %zu/%zu links asleep\n",
+                format_date_time(window.begin).c_str(),
+                format_date_time(window.end).c_str(),
+                window.result.sleeping_links.size(), schedule.candidate_links);
+  }
+  const SleepEnergySavings energy = estimate_schedule_energy(sim, schedule);
+  std::printf("\nlink-time asleep: %.0f%% (night windows beat the day peak)\n",
+              100.0 * schedule.fraction_link_time_off());
+  std::printf("energy saved over the day: %.1f - %.1f kWh of %.0f kWh "
+              "(%.2f%% - %.2f%%)\n",
+              energy.min_kwh, energy.max_kwh, energy.network_kwh,
+              100.0 * energy.min_frac(), 100.0 * energy.max_frac());
+  return 0;
+}

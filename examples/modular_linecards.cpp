@@ -1,0 +1,76 @@
+// Modular routers and linecard power — the §4.3 extension in action.
+//
+//   $ ./modular_linecards
+//
+// Seats linecards in a simulated 8-slot chassis, derives P_linecard with the
+// seat/unseat regression (the "measured similarly as P_trx" idea), and then
+// reproduces the Juniper blog experiment the paper cites: software-powering
+// off unused PFEs/linecards cuts a large share of an idle chassis' power.
+#include <cstdio>
+
+#include "device/modular_router.hpp"
+#include "netpowerbench/modular.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/csv.hpp"
+#include "util/units.hpp"
+
+using namespace joules;
+
+int main() {
+  std::puts("=== Modular chassis: deriving and exploiting P_linecard ===\n");
+
+  SimulatedModularRouter dut(reference_modular_chassis(), /*seed=*/99);
+  dut.set_ambient_override_c(22.0);
+
+  // --- 1. Derive P_linecard for each card type --------------------------
+  LinecardDerivationOptions lab;
+  lab.start_time = make_time(2025, 4, 1);
+  lab.measure_s = 600;
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [name, card] : dut.spec().card_catalog) {
+    const LinecardDerivation derivation = derive_linecard_power(
+        dut, PowerMeter(PowerMeterSpec{}, 5), name, 6, lab);
+    rows.push_back({name, format_number(derivation.linecard_power_w, 1) + " W",
+                    format_number(card.power_w, 1) + " W",
+                    format_number(derivation.fit.r_squared, 4)});
+  }
+  std::puts("P_linecard derived by seat/unseat regression:");
+  std::printf("%s\n", render_text_table({"Card", "Derived (wall)",
+                                         "Truth (DC)", "fit R2"},
+                                        rows)
+                          .c_str());
+
+  // --- 2. A production-like configuration -------------------------------
+  const SimTime t = make_time(2025, 4, 20, 12, 0, 0);
+  const int ten_gig_a = dut.seat_linecard("LC-24X10GE");
+  const int ten_gig_b = dut.seat_linecard("LC-24X10GE");
+  const int hundred_gig = dut.seat_linecard("LC-8X100GE");
+  const int spare_card = dut.seat_linecard("LC-36X10GE");  // installed, unused
+
+  const ProfileKey lr{PortType::kSFPPlus, TransceiverKind::kLR, LineRate::kG10};
+  const ProfileKey lr4{PortType::kQSFP28, TransceiverKind::kLR4, LineRate::kG100};
+  for (int i = 0; i < 12; ++i) dut.add_interface(ten_gig_a, lr, InterfaceState::kUp);
+  for (int i = 0; i < 8; ++i) dut.add_interface(ten_gig_b, lr, InterfaceState::kUp);
+  for (int i = 0; i < 4; ++i) dut.add_interface(hundred_gig, lr4, InterfaceState::kUp);
+
+  const double all_on = dut.wall_power_w(t);
+  std::printf("4 cards seated (one unused), 24 interfaces up: %.1f W wall\n",
+              all_on);
+
+  // --- 3. The Juniper experiment: power off what is not forwarding -------
+  dut.set_linecard_powered(spare_card, false);
+  const double spare_off = dut.wall_power_w(t);
+  std::printf("power off the unused 36x10GE card:          %.1f W  (saves %.1f W, %.1f%%)\n",
+              spare_off, all_on - spare_off,
+              100.0 * (all_on - spare_off) / all_on);
+
+  dut.set_linecard_powered(ten_gig_b, false);
+  const double two_off = dut.wall_power_w(t);
+  std::printf("also power off the half-used 24x10GE card:  %.1f W  (total saved %.1f W, %.1f%%)\n",
+              two_off, all_on - two_off, 100.0 * (all_on - two_off) / all_on);
+
+  std::puts("\nthe paper cites Juniper reporting up to 47% base-power reduction");
+  std::puts("from powering off unused PFEs - the same lever, modeled here as");
+  std::puts("a per-card P_linecard term measured like P_trx.");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Audit the power demand of a (simulated) ISP network.
+//
+//   $ ./network_power_audit
+//
+// Builds the Switch-like 107-router deployment, then answers the operator
+// questions the paper's dataset supports: how much power does the network
+// draw, how does it split across router models, what share is transceivers,
+// and what do the PSUs report vs what the wall sees.
+#include <cstdio>
+#include <map>
+
+#include "network/dataset.hpp"
+#include "stats/descriptive.hpp"
+#include "network/inventory.hpp"
+#include "network/simulation.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/units.hpp"
+
+using namespace joules;
+
+int main() {
+  std::puts("=== Network power audit (Switch-like deployment) ===\n");
+  const NetworkSimulation sim(build_switch_like_network(), /*seed=*/7);
+  const SimTime begin = sim.topology().options.study_begin;
+  const SimTime snapshot_time = begin + 10 * kSecondsPerDay;
+
+  // --- Fleet composition -----------------------------------------------
+  std::map<std::string, int> model_counts;
+  std::map<std::string, double> model_power;
+  double total_power = 0.0;
+  for (std::size_t r = 0; r < sim.router_count(); ++r) {
+    if (!sim.active(r, snapshot_time)) continue;
+    const std::string& model = sim.topology().routers[r].model;
+    const double power = sim.wall_power_w(r, snapshot_time);
+    model_counts[model] += 1;
+    model_power[model] += power;
+    total_power += power;
+  }
+
+  std::printf("routers: %zu deployed, %zu PoPs, %zu interfaces (%zu external)\n",
+              sim.router_count(), sim.topology().pops.size(),
+              sim.topology().interface_count(),
+              sim.topology().external_interface_count());
+  std::printf("total wall power at %s: %.1f kW\n\n",
+              format_date(snapshot_time).c_str(), w_to_kw(total_power));
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [model, count] : model_counts) {
+    rows.push_back({model, std::to_string(count),
+                    format_number(model_power[model] / count, 1),
+                    format_number(model_power[model], 0),
+                    format_number(100.0 * model_power[model] / total_power, 1)});
+  }
+  std::printf("%s\n",
+              render_text_table({"Model", "Count", "Avg W", "Total W", "% of net"},
+                                rows)
+                  .c_str());
+
+  // --- Transceiver accounting (§7) ----------------------------------------
+  const TransceiverPowerReport trx = transceiver_power_report(sim, snapshot_time);
+  std::printf("transceivers: %zu modules drawing %.1f kW = %.1f%% of network power\n",
+              trx.modules, w_to_kw(trx.total_w), 100.0 * trx.share_of_network());
+  std::printf("external share: %zu modules, %.1f%% of transceiver power\n\n",
+              trx.external_modules, 100.0 * trx.external_share_of_transceivers());
+
+  // --- Telemetry coverage (§6) ------------------------------------------
+  int reporting = 0;
+  int silent = 0;
+  for (std::size_t r = 0; r < sim.router_count(); ++r) {
+    if (!sim.active(r, snapshot_time)) continue;
+    (sim.reported_power_w(r, snapshot_time).has_value() ? reporting : silent) += 1;
+  }
+  std::printf("PSU power telemetry: %d routers report, %d do not\n\n", reporting,
+              silent);
+
+  // --- A week of network power & traffic -----------------------------------
+  const NetworkTraces traces =
+      network_traces(sim, begin, begin + 7 * kSecondsPerDay, kSecondsPerHour);
+  ChartOptions options;
+  options.title = "Network power over one week";
+  options.y_label = "Power (W)";
+  options.height = 12;
+  std::printf("%s\n", render_time_series_chart(
+                          {{"total power", traces.total_power_w}}, options)
+                          .c_str());
+  options.title = "Network traffic over one week";
+  options.y_label = "Traffic (bps)";
+  std::printf("%s\n", render_time_series_chart(
+                          {{"total traffic", traces.total_traffic_bps}}, options)
+                          .c_str());
+
+  const double peak_utilization =
+      max_value(traces.total_traffic_bps.values()) / traces.capacity_bps;
+  std::printf("peak utilization: %.2f%% of %.1f Tbps capacity\n",
+              100.0 * peak_utilization, bps_to_tbps(traces.capacity_bps));
+
+  // --- Inventory export -----------------------------------------------
+  router_inventory(sim.topology()).write_file("router_inventory.csv");
+  module_inventory(sim.topology()).write_file("module_inventory.csv");
+  std::puts("\nwrote router_inventory.csv and module_inventory.csv");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// PSU efficiency what-if analysis over a deployed fleet (§9).
+//
+//   $ ./psu_optimizer
+//
+// Takes the one-time PSU sensor snapshot of the simulated Switch network and
+// estimates the wall-power savings of (a) upgrading every PSU to each
+// 80 Plus standard, (b) right-sizing PSU capacities, (c) feeding each router
+// from a single PSU, and (d) combining upgrade + consolidation.
+#include <cstdio>
+
+#include "network/dataset.hpp"
+#include "network/simulation.hpp"
+#include "psu/optimization.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/csv.hpp"
+#include "util/units.hpp"
+
+using namespace joules;
+
+int main() {
+  std::puts("=== PSU optimization what-if (simulated Switch fleet) ===\n");
+  const NetworkSimulation sim(build_switch_like_network(), /*seed=*/7);
+  const SimTime t = sim.topology().options.study_begin + 30 * kSecondsPerDay;
+
+  const std::vector<PsuObservation> snapshot = psu_snapshot(sim, t);
+  const std::vector<RouterPsuGroup> fleet = group_by_router(snapshot);
+  std::printf("snapshot: %zu PSUs on %zu routers\n", snapshot.size(), fleet.size());
+
+  // Where does the fleet sit on the efficiency curve today?
+  double load_sum = 0.0;
+  double eff_sum = 0.0;
+  double capped = 0.0;
+  for (const PsuObservation& obs : snapshot) {
+    load_sum += obs.load_frac();
+    eff_sum += obs.efficiency();
+    if (obs.output_power_w >= obs.input_power_w && obs.input_power_w > 0) capped += 1;
+  }
+  std::printf("average load %.1f%%, average (capped) efficiency %.1f%%\n",
+              100.0 * load_sum / snapshot.size(), 100.0 * eff_sum / snapshot.size());
+  std::printf("physically-impossible sensor readings capped at 100%%: %.0f\n\n",
+              capped);
+
+  // --- (a) Upgrade to 80 Plus standards ---------------------------------
+  std::vector<std::vector<std::string>> rows;
+  for (const EightyPlusLevel level : kAllEightyPlusLevels) {
+    const SavingsResult upgrade = upgrade_to_standard(fleet, level);
+    const SavingsResult both = consolidate_and_upgrade(fleet, level);
+    rows.push_back({std::string(to_string(level)),
+                    format_number(upgrade.saved_w(), 0) + " W",
+                    format_number(100.0 * upgrade.saved_frac(), 1) + " %",
+                    format_number(both.saved_w(), 0) + " W",
+                    format_number(100.0 * both.saved_frac(), 1) + " %"});
+  }
+  std::puts("(a)+(d) upgrade PSUs / upgrade AND single-PSU:");
+  std::printf("%s\n", render_text_table({"Standard", "Upgrade W", "Upgrade %",
+                                         "Both W", "Both %"},
+                                        rows)
+                          .c_str());
+
+  // --- (c) Single PSU --------------------------------------------------
+  const SavingsResult single = consolidate_to_single_psu(fleet);
+  std::printf("(c) single-PSU operation: %.0f W (%.1f%%)\n\n", single.saved_w(),
+              100.0 * single.saved_frac());
+
+  // --- (b) Right-sizing -------------------------------------------------
+  std::puts("(b) right-size capacities (k * l_max rule):");
+  std::vector<std::vector<std::string>> sizing_rows;
+  for (const double k : {1.0, 2.0}) {
+    std::vector<std::string> row = {"k = " + format_number(k, 0)};
+    for (const double min_cap : kCapacityOptionsW) {
+      const SavingsResult result = right_size_capacity(fleet, k, min_cap);
+      row.push_back(format_number(100.0 * result.saved_frac(), 1) + "% (" +
+                    format_number(result.saved_w(), 0) + " W)");
+    }
+    sizing_rows.push_back(std::move(row));
+  }
+  std::vector<std::string> header = {"k \\ min capacity"};
+  for (const double cap : kCapacityOptionsW) {
+    header.push_back(format_number(cap, 0) + " W");
+  }
+  std::printf("%s\n", render_text_table(header, sizing_rows).c_str());
+
+  std::puts("reading: upgrades help most; over-dimensioning costs less than\n"
+            "poor efficiency; one PSU at double load beats two at low load.");
+  return 0;
+}

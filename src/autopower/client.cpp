@@ -1,0 +1,193 @@
+#include "autopower/client.hpp"
+
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace joules::autopower {
+
+Client::Client(Options options, PowerMeter meter,
+               std::function<double(int, SimTime)> source)
+    : options_(std::move(options)),
+      meter_(std::move(meter)),
+      source_(std::move(source)) {
+  if (options_.unit_id.empty()) {
+    throw std::invalid_argument("autopower::Client: unit_id required");
+  }
+  if (options_.upload_batch == 0) {
+    throw std::invalid_argument("autopower::Client: upload_batch must be positive");
+  }
+}
+
+Client::~Client() = default;
+
+void Client::start_measurement(int channel, SimTime period_s) {
+  if (period_s <= 0) {
+    throw std::invalid_argument("autopower::Client: period must be positive");
+  }
+  ChannelState& state = channels_[channel];
+  state.measuring = true;
+  state.period_s = period_s;
+}
+
+void Client::stop_measurement(int channel) {
+  const auto it = channels_.find(channel);
+  if (it != channels_.end()) it->second.measuring = false;
+}
+
+bool Client::is_measuring(int channel) const {
+  const auto it = channels_.find(channel);
+  return it != channels_.end() && it->second.measuring;
+}
+
+void Client::tick(SimTime now) {
+  if (now < last_tick_ && last_tick_ != std::numeric_limits<SimTime>::min()) {
+    throw std::invalid_argument("autopower::Client: time went backwards");
+  }
+  last_tick_ = now;
+  for (auto& [channel, state] : channels_) {
+    if (!state.measuring) continue;
+    if (state.last_sample != std::numeric_limits<SimTime>::min() &&
+        now - state.last_sample < state.period_s) {
+      continue;
+    }
+    const double reading = meter_.measure_w(channel, source_(channel, now), now);
+    state.buffer.push_back(Sample{now, reading});
+    state.last_sample = now;
+  }
+}
+
+void Client::drop_connection() noexcept { stream_.close(); }
+
+bool Client::ensure_connected() {
+  if (stream_.valid()) return true;
+  try {
+    stream_ = TcpStream::connect_loopback(options_.server_port);
+    Hello hello;
+    hello.unit_id = options_.unit_id;
+    write_frame(stream_, encode(Message{hello}));
+    const auto reply = read_frame(stream_);
+    if (!reply) throw std::runtime_error("server closed during handshake");
+    const Message message = decode(*reply);
+    const auto* ack = std::get_if<HelloAck>(&message);
+    if (ack == nullptr || !ack->accepted) {
+      throw std::runtime_error("hello rejected");
+    }
+    return true;
+  } catch (const std::exception&) {
+    stream_.close();
+    return false;
+  }
+}
+
+void Client::apply_command(const Command& command) {
+  switch (command.kind) {
+    case Command::Kind::kStartMeasurement:
+      start_measurement(command.channel, command.period_s);
+      break;
+    case Command::Kind::kStopMeasurement:
+      stop_measurement(command.channel);
+      break;
+  }
+}
+
+bool Client::poll_commands() {
+  try {
+    PollCommands poll;
+    poll.unit_id = options_.unit_id;
+    write_frame(stream_, encode(Message{poll}));
+    const auto reply = read_frame(stream_);
+    if (!reply) return false;
+    const Message message = decode(*reply);
+    const auto* commands = std::get_if<Commands>(&message);
+    if (commands == nullptr) return false;
+    for (const Command& command : commands->commands) apply_command(command);
+    return true;
+  } catch (const std::exception&) {
+    stream_.close();
+    return false;
+  }
+}
+
+bool Client::upload_buffered() {
+  try {
+    for (auto& [channel, state] : channels_) {
+      while (!state.buffer.empty()) {
+        const std::size_t count =
+            std::min(options_.upload_batch, state.buffer.size());
+        DataUpload upload;
+        upload.unit_id = options_.unit_id;
+        upload.channel = static_cast<std::uint8_t>(channel);
+        upload.sequence = state.next_sequence;
+        upload.samples.assign(state.buffer.begin(),
+                              state.buffer.begin() + static_cast<long>(count));
+        write_frame(stream_, encode(Message{upload}));
+        const auto reply = read_frame(stream_);
+        if (!reply) return false;
+        const Message message = decode(*reply);
+        const auto* ack = std::get_if<UploadAck>(&message);
+        if (ack == nullptr || ack->sequence != upload.sequence) return false;
+        // Acked: the batch is durable server-side; drop it locally.
+        state.buffer.erase(state.buffer.begin(),
+                           state.buffer.begin() + static_cast<long>(count));
+        state.next_sequence += 1;
+      }
+    }
+    return true;
+  } catch (const std::exception&) {
+    stream_.close();
+    return false;
+  }
+}
+
+bool Client::sync() {
+  if (!ensure_connected()) return false;
+  if (!poll_commands()) return false;
+  return upload_buffered();
+}
+
+std::size_t Client::buffered_samples() const {
+  std::size_t total = 0;
+  for (const auto& [channel, state] : channels_) total += state.buffer.size();
+  return total;
+}
+
+void Client::save_state(const std::filesystem::path& path) const {
+  CsvTable table({"channel", "measuring", "period_s", "last_sample",
+                  "next_sequence", "time", "value"});
+  for (const auto& [channel, state] : channels_) {
+    // One header-ish row per channel carrying its control state...
+    table.add_row({std::to_string(channel), state.measuring ? "1" : "0",
+                   std::to_string(state.period_s),
+                   std::to_string(state.last_sample),
+                   std::to_string(state.next_sequence), "", ""});
+    // ...then one row per buffered sample.
+    for (const Sample& sample : state.buffer) {
+      table.add_row({std::to_string(channel), "", "", "", "",
+                     std::to_string(sample.time), format_number(sample.value, 6)});
+    }
+  }
+  table.write_file(path);
+}
+
+void Client::load_state(const std::filesystem::path& path) {
+  const CsvTable table = CsvTable::read_file(path);
+  channels_.clear();
+  for (std::size_t i = 0; i < table.row_count(); ++i) {
+    const int channel = static_cast<int>(table.cell_double(i, "channel"));
+    ChannelState& state = channels_[channel];
+    if (!table.cell(i, "period_s").empty()) {
+      state.measuring = table.cell(i, "measuring") == "1";
+      state.period_s = static_cast<SimTime>(table.cell_double(i, "period_s"));
+      state.last_sample = static_cast<SimTime>(table.cell_double(i, "last_sample"));
+      state.next_sequence =
+          static_cast<std::uint64_t>(table.cell_double(i, "next_sequence"));
+    } else {
+      state.buffer.push_back(
+          Sample{static_cast<SimTime>(table.cell_double(i, "time")),
+                 table.cell_double(i, "value")});
+    }
+  }
+}
+
+}  // namespace joules::autopower

@@ -1,0 +1,94 @@
+// The Autopower measurement unit (client side).
+//
+// A unit owns a power meter, samples the router's wall power on a schedule,
+// buffers samples locally, and uploads them to the collection server in
+// acknowledged batches. Design constraints from §6.1, all reproduced here:
+//   - client-initiated connection only (works behind NAT);
+//   - local store-and-forward: samples survive connection loss;
+//   - resilience to power failure: buffer and sequence state persist to disk
+//     and are restored on restart;
+//   - remote control: the unit polls the server for start/stop commands.
+//
+// The sampling clock is simulation time: the application drives `tick(t)`
+// (tests and examples advance time explicitly); network I/O is real TCP.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "autopower/protocol.hpp"
+#include "meter/power_meter.hpp"
+#include "net/socket.hpp"
+
+namespace joules::autopower {
+
+class Client {
+ public:
+  struct Options {
+    std::string unit_id;
+    std::uint16_t server_port = 0;
+    std::size_t upload_batch = 256;  // samples per DataUpload
+  };
+
+  // `source(channel, t)` is the true wall power on a channel at time t (the
+  // simulated router's PSU feed); the meter applies its error model on top.
+  Client(Options options, PowerMeter meter,
+         std::function<double(int, SimTime)> source);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // --- Measurement control --------------------------------------------
+  void start_measurement(int channel, SimTime period_s);
+  void stop_measurement(int channel);
+  [[nodiscard]] bool is_measuring(int channel) const;
+
+  // Samples every active channel that is due at `now` into the local buffer.
+  // `now` must not go backwards.
+  void tick(SimTime now);
+
+  // --- Networking --------------------------------------------------------
+  // Connects (if needed), polls for commands, applies them, and uploads all
+  // buffered batches. Returns true if everything flushed; false leaves the
+  // buffer intact for a later retry (store-and-forward).
+  bool sync();
+
+  [[nodiscard]] bool is_connected() const noexcept { return stream_.valid(); }
+  // Simulates a network interruption.
+  void drop_connection() noexcept;
+
+  // --- Local persistence -----------------------------------------------
+  // Saves/restores buffered samples and upload sequence numbers, so a unit
+  // restarted after a power failure resumes without loss or duplication.
+  void save_state(const std::filesystem::path& path) const;
+  void load_state(const std::filesystem::path& path);
+
+  [[nodiscard]] std::size_t buffered_samples() const;
+
+ private:
+  bool ensure_connected();
+  bool poll_commands();
+  bool upload_buffered();
+  void apply_command(const Command& command);
+
+  struct ChannelState {
+    bool measuring = false;
+    SimTime period_s = 1;
+    SimTime last_sample = std::numeric_limits<SimTime>::min();
+    std::vector<Sample> buffer;
+    std::uint64_t next_sequence = 0;
+  };
+
+  Options options_;
+  PowerMeter meter_;
+  std::function<double(int, SimTime)> source_;
+  std::map<int, ChannelState> channels_;
+  TcpStream stream_;
+  SimTime last_tick_ = std::numeric_limits<SimTime>::min();
+};
+
+}  // namespace joules::autopower

@@ -1,0 +1,126 @@
+#include "autopower/protocol.hpp"
+
+#include <stdexcept>
+
+namespace joules::autopower {
+namespace {
+
+constexpr std::size_t kMaxSamplesPerUpload = 1u << 20;
+
+void encode_body(ByteWriter& writer, const Hello& msg) {
+  writer.u8(static_cast<std::uint8_t>(MessageType::kHello));
+  writer.string(msg.unit_id);
+  writer.u32(msg.version);
+}
+
+void encode_body(ByteWriter& writer, const HelloAck& msg) {
+  writer.u8(static_cast<std::uint8_t>(MessageType::kHelloAck));
+  writer.u8(msg.accepted ? 1 : 0);
+}
+
+void encode_body(ByteWriter& writer, const PollCommands& msg) {
+  writer.u8(static_cast<std::uint8_t>(MessageType::kPollCommands));
+  writer.string(msg.unit_id);
+}
+
+void encode_body(ByteWriter& writer, const Commands& msg) {
+  writer.u8(static_cast<std::uint8_t>(MessageType::kCommands));
+  writer.u32(static_cast<std::uint32_t>(msg.commands.size()));
+  for (const Command& command : msg.commands) {
+    writer.u8(static_cast<std::uint8_t>(command.kind));
+    writer.u8(command.channel);
+    writer.u32(command.period_s);
+  }
+}
+
+void encode_body(ByteWriter& writer, const DataUpload& msg) {
+  writer.u8(static_cast<std::uint8_t>(MessageType::kDataUpload));
+  writer.string(msg.unit_id);
+  writer.u8(msg.channel);
+  writer.u64(msg.sequence);
+  writer.u32(static_cast<std::uint32_t>(msg.samples.size()));
+  for (const Sample& sample : msg.samples) {
+    writer.i64(sample.time);
+    writer.f64(sample.value);
+  }
+}
+
+void encode_body(ByteWriter& writer, const UploadAck& msg) {
+  writer.u8(static_cast<std::uint8_t>(MessageType::kUploadAck));
+  writer.u64(msg.sequence);
+}
+
+}  // namespace
+
+std::vector<std::byte> encode(const Message& message) {
+  ByteWriter writer;
+  std::visit([&writer](const auto& msg) { encode_body(writer, msg); }, message);
+  return std::move(writer).take();
+}
+
+Message decode(std::span<const std::byte> payload) {
+  ByteReader reader(payload);
+  const auto type = static_cast<MessageType>(reader.u8());
+  switch (type) {
+    case MessageType::kHello: {
+      Hello msg;
+      msg.unit_id = reader.string();
+      msg.version = reader.u32();
+      return msg;
+    }
+    case MessageType::kHelloAck: {
+      HelloAck msg;
+      msg.accepted = reader.u8() != 0;
+      return msg;
+    }
+    case MessageType::kPollCommands: {
+      PollCommands msg;
+      msg.unit_id = reader.string();
+      return msg;
+    }
+    case MessageType::kCommands: {
+      Commands msg;
+      const std::uint32_t count = reader.u32();
+      msg.commands.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        Command command;
+        const std::uint8_t kind = reader.u8();
+        if (kind != static_cast<std::uint8_t>(Command::Kind::kStartMeasurement) &&
+            kind != static_cast<std::uint8_t>(Command::Kind::kStopMeasurement)) {
+          throw std::runtime_error("autopower: unknown command kind");
+        }
+        command.kind = static_cast<Command::Kind>(kind);
+        command.channel = reader.u8();
+        command.period_s = reader.u32();
+        msg.commands.push_back(command);
+      }
+      return msg;
+    }
+    case MessageType::kDataUpload: {
+      DataUpload msg;
+      msg.unit_id = reader.string();
+      msg.channel = reader.u8();
+      msg.sequence = reader.u64();
+      const std::uint32_t count = reader.u32();
+      if (count > kMaxSamplesPerUpload) {
+        throw std::runtime_error("autopower: oversized upload");
+      }
+      msg.samples.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        Sample sample;
+        sample.time = reader.i64();
+        sample.value = reader.f64();
+        msg.samples.push_back(sample);
+      }
+      return msg;
+    }
+    case MessageType::kUploadAck: {
+      UploadAck msg;
+      msg.sequence = reader.u64();
+      return msg;
+    }
+  }
+  throw std::runtime_error("autopower: unknown message type");
+}
+
+}  // namespace joules::autopower

@@ -1,0 +1,80 @@
+// The Autopower wire protocol (§6.1).
+//
+// Autopower units (Raspberry Pi + power meter) dial OUT to a collection
+// server — client-initiated so units work behind NAT — authenticate with a
+// Hello, poll the server for control commands (start/stop measurements), and
+// upload buffered measurements in acknowledged, sequence-numbered batches so
+// that an interrupted upload is retried without data loss or duplication.
+//
+// Messages are framed (net/framing.hpp) with a one-byte type tag.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/framing.hpp"
+#include "util/time_series.hpp"
+
+namespace joules::autopower {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+enum class MessageType : std::uint8_t {
+  kHello = 1,       // client -> server: unit identification
+  kHelloAck = 2,    // server -> client
+  kPollCommands = 3,  // client -> server: "anything for me?"
+  kCommands = 4,    // server -> client: pending control commands
+  kDataUpload = 5,  // client -> server: measurement batch
+  kUploadAck = 6,   // server -> client: batch accepted
+};
+
+struct Hello {
+  std::string unit_id;
+  std::uint32_t version = kProtocolVersion;
+};
+
+struct HelloAck {
+  bool accepted = true;
+};
+
+struct PollCommands {
+  std::string unit_id;
+};
+
+struct Command {
+  enum class Kind : std::uint8_t { kStartMeasurement = 1, kStopMeasurement = 2 };
+  Kind kind = Kind::kStartMeasurement;
+  std::uint8_t channel = 0;
+  std::uint32_t period_s = 1;  // only meaningful for start
+
+  friend bool operator==(const Command&, const Command&) = default;
+};
+
+struct Commands {
+  std::vector<Command> commands;
+};
+
+struct DataUpload {
+  std::string unit_id;
+  std::uint8_t channel = 0;
+  std::uint64_t sequence = 0;  // per (unit, channel), monotonically increasing
+  std::vector<Sample> samples;
+};
+
+struct UploadAck {
+  std::uint64_t sequence = 0;
+};
+
+using Message = std::variant<Hello, HelloAck, PollCommands, Commands,
+                             DataUpload, UploadAck>;
+
+// Serializes any message to a framed payload (type tag + body).
+[[nodiscard]] std::vector<std::byte> encode(const Message& message);
+
+// Parses a payload; throws std::runtime_error / std::out_of_range on
+// malformed input.
+[[nodiscard]] Message decode(std::span<const std::byte> payload);
+
+}  // namespace joules::autopower

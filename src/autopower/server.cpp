@@ -1,0 +1,131 @@
+#include "autopower/server.hpp"
+
+#include <utility>
+
+namespace joules::autopower {
+
+Server::Server(std::uint16_t port) : listener_(port), port_(listener_.port()) {
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+Server::~Server() { stop(); }
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+  listener_.close();
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> connections;
+  {
+    const std::lock_guard lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (std::thread& thread : connections) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void Server::enqueue_command(const std::string& unit_id, const Command& command) {
+  const std::lock_guard lock(mutex_);
+  units_[unit_id].pending_commands.push_back(command);
+}
+
+std::vector<std::string> Server::known_units() const {
+  const std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(units_.size());
+  for (const auto& [unit_id, state] : units_) out.push_back(unit_id);
+  return out;
+}
+
+TimeSeries Server::measurements(const std::string& unit_id, int channel) const {
+  const std::lock_guard lock(mutex_);
+  TimeSeries out;
+  const auto unit_it = units_.find(unit_id);
+  if (unit_it == units_.end()) return out;
+  const auto channel_it = unit_it->second.channels.find(channel);
+  if (channel_it == unit_it->second.channels.end()) return out;
+  for (const auto& [time, value] : channel_it->second.samples) {
+    out.push(time, value);
+  }
+  return out;
+}
+
+std::size_t Server::accepted_batches(const std::string& unit_id) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = units_.find(unit_id);
+  return it == units_.end() ? 0 : it->second.accepted_batches;
+}
+
+void Server::accept_loop() {
+  while (running_) {
+    std::optional<TcpStream> stream = listener_.accept(Millis{200});
+    if (!stream) continue;
+    const std::lock_guard lock(connections_mutex_);
+    connections_.emplace_back(
+        [this, s = std::move(*stream)]() mutable { serve_connection(std::move(s)); });
+  }
+}
+
+void Server::serve_connection(TcpStream stream) {
+  std::string unit_id;  // set by Hello; required before data is accepted
+  try {
+    while (running_) {
+      // Poll in short slices so stop() never waits behind an idle client,
+      // then read the whole frame with a generous timeout (polling first
+      // avoids losing sync to a mid-header timeout).
+      if (!stream.wait_readable(Millis{250})) continue;
+      const auto payload = read_frame(stream, Millis{60000});
+      if (!payload) return;  // clean disconnect
+      const Message message = decode(*payload);
+
+      if (const auto* hello = std::get_if<Hello>(&message)) {
+        HelloAck ack;
+        ack.accepted = hello->version == kProtocolVersion;
+        if (ack.accepted) {
+          unit_id = hello->unit_id;
+          const std::lock_guard lock(mutex_);
+          units_.try_emplace(unit_id);
+        }
+        write_frame(stream, encode(ack));
+        if (!ack.accepted) return;
+        continue;
+      }
+
+      if (const auto* poll = std::get_if<PollCommands>(&message)) {
+        Commands response;
+        {
+          const std::lock_guard lock(mutex_);
+          auto& state = units_[poll->unit_id];
+          response.commands.swap(state.pending_commands);
+        }
+        write_frame(stream, encode(response));
+        continue;
+      }
+
+      if (const auto* upload = std::get_if<DataUpload>(&message)) {
+        {
+          const std::lock_guard lock(mutex_);
+          auto& channel = units_[upload->unit_id].channels[upload->channel];
+          if (channel.seen_sequences.insert(upload->sequence).second) {
+            for (const Sample& sample : upload->samples) {
+              channel.samples.insert_or_assign(sample.time, sample.value);
+            }
+            units_[upload->unit_id].accepted_batches += 1;
+          }
+        }
+        UploadAck ack;
+        ack.sequence = upload->sequence;
+        write_frame(stream, encode(ack));
+        continue;
+      }
+
+      // Server-only message arriving at the server: protocol violation.
+      return;
+    }
+  } catch (const std::exception&) {
+    // Connection-level failure: drop the connection; the client reconnects
+    // and re-uploads (uploads are idempotent).
+  }
+}
+
+}  // namespace joules::autopower

@@ -1,0 +1,79 @@
+// The Autopower collection server.
+//
+// Accepts unit connections on loopback TCP, answers command polls, and
+// stores uploaded measurements. Uploads are idempotent: batches carry a
+// per-(unit, channel) sequence number, and a batch whose sequence was already
+// accepted is acknowledged again without being stored twice — so a client
+// that lost an ack can safely re-send.
+//
+// Thread model: one acceptor thread, one thread per connection; all shared
+// state behind a single mutex (the server handles a handful of units, not
+// thousands).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "autopower/protocol.hpp"
+#include "net/socket.hpp"
+#include "util/time_series.hpp"
+
+namespace joules::autopower {
+
+class Server {
+ public:
+  // Binds 127.0.0.1:`port` (0 = ephemeral) and starts serving.
+  explicit Server(std::uint16_t port = 0);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  // Queues a command for a unit; delivered on its next poll.
+  void enqueue_command(const std::string& unit_id, const Command& command);
+
+  // Units that have said Hello at least once.
+  [[nodiscard]] std::vector<std::string> known_units() const;
+
+  // All stored measurements for a unit's channel, time-ordered.
+  [[nodiscard]] TimeSeries measurements(const std::string& unit_id,
+                                        int channel) const;
+
+  // Number of accepted (non-duplicate) upload batches, for tests/monitoring.
+  [[nodiscard]] std::size_t accepted_batches(const std::string& unit_id) const;
+
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_connection(TcpStream stream);
+
+  struct ChannelData {
+    std::map<SimTime, double> samples;  // keyed by time: dedups re-uploads
+    std::set<std::uint64_t> seen_sequences;
+  };
+  struct UnitState {
+    std::map<int, ChannelData> channels;
+    std::vector<Command> pending_commands;
+    std::size_t accepted_batches = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, UnitState> units_;
+
+  TcpListener listener_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{true};
+  std::thread acceptor_;
+  std::vector<std::thread> connections_;
+  std::mutex connections_mutex_;
+};
+
+}  // namespace joules::autopower

@@ -1,0 +1,72 @@
+#include "datasheet/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "stats/descriptive.hpp"
+
+namespace joules {
+
+std::vector<EfficiencyPoint> efficiency_points(
+    const std::vector<DatasheetRecord>& corpus, const TrendOptions& options) {
+  std::vector<EfficiencyPoint> points;
+  for (const DatasheetRecord& record : corpus) {
+    if (!record.release_year.has_value()) continue;
+    std::optional<double> bandwidth = record.max_bandwidth_gbps;
+    if (!bandwidth) bandwidth = bandwidth_from_ports_gbps(record);
+    if (!bandwidth || *bandwidth <= options.min_bandwidth_gbps) continue;
+    const std::optional<double> efficiency = efficiency_w_per_100g(record);
+    if (!efficiency) continue;
+    points.push_back({*record.release_year, *efficiency, record.model});
+  }
+  std::sort(points.begin(), points.end(),
+            [](const EfficiencyPoint& a, const EfficiencyPoint& b) {
+              return a.year < b.year;
+            });
+  return points;
+}
+
+std::vector<EfficiencyPoint> plot_outliers(
+    const std::vector<EfficiencyPoint>& points, const TrendOptions& options) {
+  std::vector<EfficiencyPoint> out;
+  for (const EfficiencyPoint& point : points) {
+    if (point.w_per_100g > options.plot_outlier_cap) out.push_back(point);
+  }
+  return out;
+}
+
+std::vector<EfficiencyPoint> plot_points(
+    const std::vector<EfficiencyPoint>& points, const TrendOptions& options) {
+  std::vector<EfficiencyPoint> out;
+  for (const EfficiencyPoint& point : points) {
+    if (point.w_per_100g <= options.plot_outlier_cap) out.push_back(point);
+  }
+  return out;
+}
+
+std::vector<YearlyEfficiency> yearly_medians(
+    const std::vector<EfficiencyPoint>& points) {
+  std::map<int, std::vector<double>> by_year;
+  for (const EfficiencyPoint& point : points) {
+    by_year[point.year].push_back(point.w_per_100g);
+  }
+  std::vector<YearlyEfficiency> out;
+  for (const auto& [year, values] : by_year) {
+    out.push_back({year, median(values), values.size()});
+  }
+  return out;
+}
+
+LinearFit efficiency_trend_fit(const std::vector<EfficiencyPoint>& points) {
+  std::vector<double> years;
+  std::vector<double> efficiencies;
+  years.reserve(points.size());
+  efficiencies.reserve(points.size());
+  for (const EfficiencyPoint& point : points) {
+    years.push_back(static_cast<double>(point.year));
+    efficiencies.push_back(point.w_per_100g);
+  }
+  return fit_linear(years, efficiencies);
+}
+
+}  // namespace joules

@@ -1,0 +1,56 @@
+// §3.3 analyses over the datasheet corpus.
+//
+// Fig. 2b: efficiency (W per 100 Gbps, typical power with max fallback)
+// against release year, restricted to routers above 100 Gbps (the metric is
+// meaningless for small access devices) and with known release dates; the
+// plot additionally excludes extreme outliers (the paper drops two models
+// around 300 W/100G for readability).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datasheet/record.hpp"
+#include "stats/regression.hpp"
+
+namespace joules {
+
+struct EfficiencyPoint {
+  int year = 0;
+  double w_per_100g = 0.0;
+  std::string model;
+};
+
+struct TrendOptions {
+  double min_bandwidth_gbps = 100.0;  // "high-end" filter (§3.3.1)
+  double plot_outlier_cap = 150.0;    // drop points above this for plotting
+};
+
+// All qualifying points (before outlier capping).
+[[nodiscard]] std::vector<EfficiencyPoint> efficiency_points(
+    const std::vector<DatasheetRecord>& corpus,
+    const TrendOptions& options = {});
+
+// Points excluded from the plot by the outlier cap (the paper reports two).
+[[nodiscard]] std::vector<EfficiencyPoint> plot_outliers(
+    const std::vector<EfficiencyPoint>& points, const TrendOptions& options = {});
+[[nodiscard]] std::vector<EfficiencyPoint> plot_points(
+    const std::vector<EfficiencyPoint>& points, const TrendOptions& options = {});
+
+// Median efficiency per release year (for the trend summary rows).
+struct YearlyEfficiency {
+  int year = 0;
+  double median_w_per_100g = 0.0;
+  std::size_t models = 0;
+};
+[[nodiscard]] std::vector<YearlyEfficiency> yearly_medians(
+    const std::vector<EfficiencyPoint>& points);
+
+// OLS slope of efficiency over year — the "is there a visible trend?"
+// question. (The ASIC trend is steeply negative; the datasheet trend is
+// weakly negative and noisy.)
+[[nodiscard]] LinearFit efficiency_trend_fit(
+    const std::vector<EfficiencyPoint>& points);
+
+}  // namespace joules

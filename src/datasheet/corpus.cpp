@@ -1,0 +1,193 @@
+#include "datasheet/corpus.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <string>
+
+#include "device/catalog.hpp"
+#include "util/rng.hpp"
+
+namespace joules {
+namespace {
+
+struct SeriesTemplate {
+  const char* vendor;
+  const char* series;
+  const char* model_prefix;
+  int first_year;
+  int last_year;
+  double min_gbps;
+  double max_gbps;
+};
+
+// Vendor lineups, loosely mirroring real product families.
+constexpr std::array<SeriesTemplate, 16> kSeries = {{
+    {"Cisco", "Catalyst 3000 series", "C3K", 2005, 2013, 1, 200},
+    {"Cisco", "ASR 900 series", "ASR-9xx", 2013, 2020, 20, 400},
+    {"Cisco", "ASR 9000 series", "ASR-9k", 2009, 2018, 80, 3200},
+    {"Cisco", "NCS 540 series", "N540", 2018, 2023, 100, 800},
+    {"Cisco", "NCS 5500 series", "NCS-55", 2016, 2022, 800, 6400},
+    {"Cisco", "Nexus 9000 series", "N9K", 2014, 2023, 400, 12800},
+    {"Cisco", "Cisco 8000 series", "8xxx", 2020, 2024, 3200, 25600},
+    {"Arista", "7050X series", "7050X", 2013, 2020, 480, 6400},
+    {"Arista", "7280R series", "7280R", 2016, 2023, 960, 14400},
+    {"Arista", "7500R series", "7500R", 2015, 2022, 2400, 28800},
+    {"Arista", "7060X series", "7060X", 2017, 2024, 3200, 25600},
+    {"Juniper", "EX series", "EX", 2008, 2020, 10, 800},
+    {"Juniper", "QFX series", "QFX", 2013, 2023, 640, 12800},
+    {"Juniper", "MX series", "MX", 2007, 2021, 40, 4800},
+    {"Juniper", "PTX series", "PTX", 2012, 2024, 1920, 28800},
+    {"Juniper", "ACX series", "ACX", 2012, 2023, 60, 3200},
+}};
+
+// System-level efficiency baseline (W per 100 Gbps) by release year: declines
+// slowly — much more slowly than the ASIC curve — and the per-model scatter
+// below buries it (the Fig. 2b finding).
+double efficiency_baseline(int year) {
+  const double t = std::clamp((year - 2008) / 16.0, 0.0, 1.0);
+  return 75.0 * std::pow(0.45, t) + 8.0;  // ~83 -> ~42 W/100G over 2008-2024
+}
+
+DatasheetRecord catalog_record(const RouterSpec& spec) {
+  DatasheetRecord record;
+  record.vendor = spec.vendor;
+  record.model = spec.model;
+  if (spec.model.rfind("NCS-55", 0) == 0) record.series = "NCS 5500 series";
+  else if (spec.model.rfind("N540", 0) == 0) record.series = "NCS 540 series";
+  else if (spec.model.rfind("ASR-920", 0) == 0) record.series = "ASR 900 series";
+  else if (spec.model.rfind("ASR-9", 0) == 0) record.series = "ASR 9000 series";
+  else if (spec.model.rfind("8201", 0) == 0) record.series = "Cisco 8000 series";
+  else if (spec.model.rfind("Nexus", 0) == 0) record.series = "Nexus 9000 series";
+  else if (spec.model.rfind("Catalyst", 0) == 0) record.series = "Catalyst 3000 series";
+  else if (spec.model.rfind("Wedge", 0) == 0) record.series = "Wedge series";
+  else if (spec.model.rfind("VSP", 0) == 0) record.series = "VSP series";
+  if (spec.datasheet_typical_w > 0) record.typical_power_w = spec.datasheet_typical_w;
+  if (spec.datasheet_max_w > 0) record.max_power_w = spec.datasheet_max_w;
+  record.max_bandwidth_gbps = spec.max_bandwidth_gbps;
+  for (const PortGroup& group : spec.ports) {
+    PortSummary summary;
+    summary.count = static_cast<int>(group.count);
+    summary.speed_gbps = line_rate_bps(group.max_rate) / 1e9;
+    summary.form_factor = std::string(to_string(group.type));
+    record.ports.push_back(summary);
+  }
+  record.psu_count = spec.psu_count;
+  record.psu_capacity_w = spec.psu_capacity_w;
+  // Release dates for Cisco only, as in the paper's dataset.
+  if (spec.vendor == "Cisco") record.release_year = spec.release_year;
+  return record;
+}
+
+}  // namespace
+
+std::vector<DatasheetRecord> generate_corpus(const CorpusOptions& options) {
+  Rng rng(options.seed);
+  std::vector<DatasheetRecord> corpus;
+  corpus.reserve(static_cast<std::size_t>(options.total_models));
+
+  // The 14 real catalog models first.
+  for (const RouterSpec& spec : all_router_specs()) {
+    corpus.push_back(catalog_record(spec));
+  }
+
+  // Two deliberate outliers around 300 W/100G (the paper's excluded 2008 and
+  // 2011 models). The ASR-9001 (2011 release) is one of them via its real
+  // numbers (425 W typical / 120 Gbps = 354); add the 2008 one explicitly.
+  {
+    DatasheetRecord outlier;
+    outlier.vendor = "Cisco";
+    outlier.model = "ASR-9006-2008";
+    outlier.series = "ASR 9000 series";
+    outlier.typical_power_w = 760;
+    outlier.max_bandwidth_gbps = 240;  // 317 W / 100G
+    outlier.release_year = 2008;
+    outlier.psu_count = 2;
+    outlier.psu_capacity_w = 2000;
+    corpus.push_back(outlier);
+  }
+
+  // Fill the remainder from the series templates.
+  std::size_t series_index = 0;
+  int model_counter = 100;
+  while (corpus.size() < static_cast<std::size_t>(options.total_models)) {
+    const SeriesTemplate& tmpl = kSeries[series_index % kSeries.size()];
+    ++series_index;
+
+    DatasheetRecord record;
+    record.vendor = tmpl.vendor;
+    record.series = tmpl.series;
+    record.model =
+        std::string(tmpl.model_prefix) + "-" + std::to_string(model_counter++);
+
+    const int year = static_cast<int>(
+        rng.uniform_int(tmpl.first_year, tmpl.last_year));
+    // Bandwidth: log-uniform within the series range.
+    const double log_lo = std::log(tmpl.min_gbps);
+    const double log_hi = std::log(tmpl.max_gbps);
+    const double bandwidth_gbps = std::exp(rng.uniform(log_lo, log_hi));
+
+    // Power from the era baseline with heavy scatter (x/÷ ~1.5 at 1 sigma
+    // in log space) — the scatter is the point of Fig. 2b.
+    const double efficiency =
+        rng.log_normal(efficiency_baseline(year), 0.42);
+    const double typical_w = efficiency * bandwidth_gbps / 100.0;
+
+    // Field availability quirks.
+    const double presence = rng.uniform();
+    if (presence < 0.65) {
+      record.typical_power_w = std::round(typical_w);
+      record.max_power_w = std::round(typical_w * rng.uniform(1.25, 1.9));
+    } else if (presence < 0.90) {
+      // Max-only datasheets (the paper falls back to max power).
+      record.max_power_w = std::round(typical_w * rng.uniform(1.25, 1.9));
+    }  // else: no power at all ("TBD").
+
+    if (rng.chance(0.8)) {
+      record.max_bandwidth_gbps = std::round(bandwidth_gbps);
+    } else {
+      // Bandwidth only derivable from the port list.
+      PortSummary ports;
+      ports.speed_gbps = bandwidth_gbps >= 3200 ? 400.0
+                         : bandwidth_gbps >= 800 ? 100.0
+                         : bandwidth_gbps >= 100 ? 25.0
+                                                 : 10.0;
+      ports.count = std::max(
+          1, static_cast<int>(std::round(bandwidth_gbps / ports.speed_gbps)));
+      ports.form_factor = ports.speed_gbps >= 400   ? "QSFP-DD"
+                          : ports.speed_gbps >= 100 ? "QSFP28"
+                          : ports.speed_gbps >= 25  ? "SFP28"
+                                                    : "SFP+";
+      record.ports.push_back(ports);
+    }
+
+    if (rng.chance(0.85)) {
+      record.psu_count = rng.chance(0.8) ? 2 : 1;
+      constexpr std::array<double, 6> kCaps = {250, 400, 750, 1100, 2000, 2700};
+      record.psu_capacity_w =
+          kCaps[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+    }
+
+    // Release dates: Cisco only (manual collection did not scale, §3.3).
+    if (record.vendor == "Cisco") record.release_year = year;
+
+    corpus.push_back(std::move(record));
+  }
+  return corpus;
+}
+
+std::vector<AsicEfficiencyPoint> broadcom_asic_trend() {
+  // Fig. 2a redrawn from Broadcom's published generation-over-generation
+  // numbers [21]: a clean, steep decline.
+  return {
+      {2010, 28.0, "Trident"},
+      {2012, 20.0, "Trident2"},
+      {2014, 13.5, "Tomahawk"},
+      {2016, 9.0, "Tomahawk2"},
+      {2018, 5.8, "Tomahawk3"},
+      {2020, 3.8, "Tomahawk4"},
+      {2022, 2.3, "Tomahawk5"},
+  };
+}
+
+}  // namespace joules

@@ -1,0 +1,45 @@
+// The 777-model datasheet corpus (§3.3).
+//
+// A synthetic stand-in for the paper's collection of Cisco, Arista, and
+// Juniper datasheets, generated with the statistical properties the paper
+// reports:
+//   - 777 router models across the three vendors, organized in series;
+//   - a *weak* system-level efficiency trend buried in large scatter
+//     (Fig. 2b), unlike the crisp ASIC-level trend (Fig. 2a);
+//   - two outlier models (2008 and 2011 releases) with efficiency around
+//     300 W/100G — the ones the paper excludes from the plot;
+//   - release dates present for Cisco only (the paper could not scale date
+//     collection for the other vendors);
+//   - missing and "TBD" power values, max-only power, bandwidth sometimes
+//     derivable only from the port list;
+//   - the 14 catalog models included verbatim, so Table 1's
+//     datasheet-vs-measured comparison uses the same numbers everywhere
+//     (including the Cisco 8000-series underestimates).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "datasheet/record.hpp"
+
+namespace joules {
+
+struct CorpusOptions {
+  int total_models = 777;
+  std::uint64_t seed = 2025;
+};
+
+// Generates the corpus; deterministic in the options.
+[[nodiscard]] std::vector<DatasheetRecord> generate_corpus(
+    const CorpusOptions& options = {});
+
+// The Broadcom switching-ASIC efficiency trend of Fig. 2a, redrawn from the
+// vendor's own slides [21]: (release year, W per 100 Gbps).
+struct AsicEfficiencyPoint {
+  int year = 0;
+  double w_per_100g = 0.0;
+  const char* generation = "";
+};
+[[nodiscard]] std::vector<AsicEfficiencyPoint> broadcom_asic_trend();
+
+}  // namespace joules

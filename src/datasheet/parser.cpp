@@ -1,0 +1,338 @@
+#include "datasheet/parser.hpp"
+
+#include <cmath>
+#include <regex>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace joules {
+namespace {
+
+// Watt values: a number (possibly with thousands separators) directly
+// followed by a W unit ("600 W", "715W", "1,100 W").
+const std::regex& watts_pattern() {
+  static const std::regex pattern(R"((\d[\d,\.]*)\s*W(?![a-zA-Z]))");
+  return pattern;
+}
+
+std::optional<double> bandwidth_gbps_in(const std::string& segment) {
+  static const std::regex tbps(R"((\d[\d,\.]*)\s*Tb(?:ps|/s))", std::regex::icase);
+  static const std::regex gbps(R"((\d[\d,\.]*)\s*Gb(?:ps|/s))", std::regex::icase);
+  std::smatch match;
+  if (std::regex_search(segment, match, tbps)) {
+    const auto value = parse_first_number(match[1].str());
+    if (value) return *value * 1000.0;
+  }
+  if (std::regex_search(segment, match, gbps)) {
+    return parse_first_number(match[1].str());
+  }
+  return std::nullopt;
+}
+
+enum class WattClass { kTypical, kMax, kPsu, kUnknown };
+
+// Classifies a watt value by the text between the previous value (or line
+// start) and this one.
+WattClass classify(const std::string& context) {
+  if (contains_ci(context, "suppl") || contains_ci(context, "hot-swappable")) {
+    return WattClass::kPsu;
+  }
+  if (contains_ci(context, "typical") || contains_ci(context, "nominal") ||
+      contains_ci(context, "draws")) {
+    return WattClass::kTypical;
+  }
+  if (contains_ci(context, "max") || contains_ci(context, "worst") ||
+      contains_ci(context, "not exceed")) {
+    return WattClass::kMax;
+  }
+  return WattClass::kUnknown;
+}
+
+void parse_watts_in_line(const std::string& line, DatasheetRecord& record) {
+  std::size_t context_start = 0;
+  const auto begin =
+      std::sregex_iterator(line.begin(), line.end(), watts_pattern());
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const auto match_pos = static_cast<std::size_t>(it->position(0));
+    const std::string context =
+        line.substr(context_start, match_pos - context_start);
+    const std::optional<double> value = parse_first_number((*it)[1].str());
+    context_start = match_pos + static_cast<std::size_t>(it->length(0));
+    if (!value) continue;
+    switch (classify(context)) {
+      case WattClass::kTypical:
+        if (!record.typical_power_w) record.typical_power_w = value;
+        break;
+      case WattClass::kMax:
+        if (!record.max_power_w) record.max_power_w = value;
+        break;
+      case WattClass::kPsu: {
+        if (!record.psu_capacity_w) {
+          record.psu_capacity_w = value;
+          // PSU count: the last standalone small integer in the context
+          // ("Power supply: 2 x", "ships with 2 hot-swappable").
+          static const std::regex count_re(R"((\d+)\s*(?:x|hot-swappable))");
+          std::smatch count_match;
+          if (std::regex_search(context, count_match, count_re)) {
+            record.psu_count = std::stoi(count_match[1].str());
+          }
+        }
+        break;
+      }
+      case WattClass::kUnknown:
+        break;
+    }
+  }
+}
+
+void parse_ports(const std::string& segment, DatasheetRecord& record) {
+  static const std::regex pattern(R"((\d+)\s*x\s*([\d\.]+)GbE\s+(\S+))");
+  auto begin = std::sregex_iterator(segment.begin(), segment.end(), pattern);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    PortSummary port;
+    port.count = std::stoi((*it)[1].str());
+    port.speed_gbps = std::stod((*it)[2].str());
+    port.form_factor = (*it)[3].str();
+    while (!port.form_factor.empty() &&
+           (port.form_factor.back() == ',' || port.form_factor.back() == '.' ||
+            port.form_factor.back() == '|')) {
+      port.form_factor.pop_back();
+    }
+    record.ports.push_back(std::move(port));
+  }
+}
+
+void parse_identity(const std::string& text, DatasheetRecord& record) {
+  for (const std::string& line : split_lines(text)) {
+    if (contains_ci(line, "Vendor")) {
+      const auto parts = split(line, ':');
+      if (parts.size() >= 2) record.vendor = trim(parts[1]);
+      if (record.vendor.empty()) {
+        const auto cells = split(line, '|');
+        if (cells.size() >= 3) record.vendor = trim(cells[2]);
+      }
+    }
+    if (record.series.empty() &&
+        (contains_ci(line, "family") || contains_ci(line, "Series") ||
+         contains_ci(line, "part of the"))) {
+      static const std::regex series_re(R"(([A-Za-z0-9][A-Za-z0-9\- ]*series))");
+      std::smatch match;
+      if (std::regex_search(line, match, series_re)) {
+        record.series = trim(match[1].str());
+      }
+    }
+    if (contains_ci(line, "Data Sheet")) {
+      record.model = trim(line.substr(0, line.find(" Data Sheet")));
+    }
+  }
+  if (record.model.empty()) {
+    static const std::regex table_re(R"(\|\s*Specification\s*\|\s*([^|]+)\|)");
+    std::smatch match;
+    if (std::regex_search(text, match, table_re)) {
+      record.model = trim(match[1].str());
+    }
+  }
+  if (record.model.empty()) {
+    static const std::regex prose_re(R"(The\s+(\S+)\s+(\S+))");
+    std::smatch match;
+    if (std::regex_search(text, match, prose_re)) {
+      record.vendor = match[1].str();
+      record.model = match[2].str();
+    }
+  }
+}
+
+void maybe_hallucinate(ParsedDatasheet& parsed, const ParserOptions& options) {
+  if (options.hallucination_rate <= 0.0) return;
+  Rng rng = Rng(options.seed).fork(parsed.record.model);
+  if (!rng.chance(options.hallucination_rate)) return;
+
+  parsed.hallucination_injected = true;
+  DatasheetRecord& r = parsed.record;
+  switch (rng.uniform_int(0, 2)) {
+    case 0:  // confuse typical and max
+      std::swap(r.typical_power_w, r.max_power_w);
+      break;
+    case 1:  // mis-scale a number (digit confusion)
+      if (r.typical_power_w) {
+        *r.typical_power_w = std::round(*r.typical_power_w * rng.uniform(0.8, 1.25));
+      } else if (r.max_power_w) {
+        *r.max_power_w = std::round(*r.max_power_w * rng.uniform(0.8, 1.25));
+      }
+      break;
+    default:  // drop a field
+      if (r.max_bandwidth_gbps) {
+        r.max_bandwidth_gbps.reset();
+      } else {
+        r.typical_power_w.reset();
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+ParsedDatasheet parse_datasheet(const std::string& text,
+                                const ParserOptions& options) {
+  ParsedDatasheet parsed;
+  DatasheetRecord& record = parsed.record;
+  record.power_provenance = DataProvenance::kLlm;
+
+  parse_identity(text, record);
+
+  for (std::string line : split_lines(text)) {
+    if (!line.empty() && line.front() == '|') {
+      line = replace_all(line, "|", "  ");
+    }
+    // "TBD" fields simply contain no watt value and fall out naturally.
+    parse_watts_in_line(line, record);
+    if (!record.max_bandwidth_gbps &&
+        (contains_ci(line, "capacity") || contains_ci(line, "throughput") ||
+         contains_ci(line, "bandwidth"))) {
+      if (const auto value = bandwidth_gbps_in(line)) {
+        record.max_bandwidth_gbps = value;
+      }
+    }
+    if (contains_ci(line, "GbE")) parse_ports(line, record);
+  }
+
+  if (!record.max_bandwidth_gbps) {
+    if (const auto derived = bandwidth_from_ports_gbps(record)) {
+      record.max_bandwidth_gbps = derived;
+      parsed.bandwidth_derived_from_ports = true;
+    }
+  }
+
+  maybe_hallucinate(parsed, options);
+  return parsed;
+}
+
+
+std::vector<ParsedDatasheet> parse_series_datasheet(const std::string& text,
+                                                    const ParserOptions& options) {
+  std::vector<ParsedDatasheet> results;
+  std::string vendor;
+  std::string series;
+
+  // Header lines.
+  for (const std::string& line : split_lines(text)) {
+    if (contains_ci(line, "Vendor")) {
+      const auto parts = split(line, ':');
+      if (parts.size() >= 2) vendor = trim(parts[1]);
+    }
+    if (contains_ci(line, "Data Sheet")) {
+      series = trim(line.substr(0, line.find(" Data Sheet")));
+    }
+  }
+
+  // Wide-table rows: first cell is the label, then one cell per model.
+  auto cells_of = [](const std::string& line) {
+    std::vector<std::string> cells;
+    for (const std::string& raw : split(line, '|')) {
+      cells.push_back(trim(raw));
+    }
+    // split("| a | b |") yields leading/trailing empties; drop them.
+    if (!cells.empty() && cells.front().empty()) cells.erase(cells.begin());
+    if (!cells.empty() && cells.back().empty()) cells.pop_back();
+    return cells;
+  };
+
+  static const std::regex watts_re(R"((\d[\d,\.]*)\s*W(?![a-zA-Z]))");
+  static const std::regex psu_re(R"((\d+)\s*x\s*([\d,\.]+)\s*W)");
+
+  for (const std::string& line : split_lines(text)) {
+    if (line.empty() || line.front() != '|') continue;
+    const std::vector<std::string> cells = cells_of(line);
+    if (cells.size() < 2) continue;
+    const std::string& label = cells.front();
+
+    if (contains_ci(label, "Model")) {
+      for (std::size_t c = 1; c < cells.size(); ++c) {
+        ParsedDatasheet parsed;
+        parsed.record.vendor = vendor;
+        parsed.record.series = series;
+        parsed.record.model = cells[c];
+        parsed.record.power_provenance = DataProvenance::kLlm;
+        results.push_back(std::move(parsed));
+      }
+      continue;
+    }
+    if (results.empty()) continue;  // data rows before the model row: skip
+
+    for (std::size_t c = 1; c < cells.size() && c - 1 < results.size(); ++c) {
+      DatasheetRecord& record = results[c - 1].record;
+      const std::string& cell = cells[c];
+      if (contains_ci(cell, "TBD") || cell == "-") continue;
+      if (contains_ci(label, "capacity") || contains_ci(label, "throughput") ||
+          contains_ci(label, "bandwidth")) {
+        if (const auto value = bandwidth_gbps_in(cell)) {
+          record.max_bandwidth_gbps = value;
+        }
+        continue;
+      }
+      std::smatch match;
+      if (contains_ci(label, "supplies") || contains_ci(label, "supply")) {
+        if (std::regex_search(cell, match, psu_re)) {
+          record.psu_count = std::stoi(match[1].str());
+          record.psu_capacity_w = parse_first_number(match[2].str()).value_or(0.0);
+        }
+        continue;
+      }
+      const WattClass kind = classify(label + " ");
+      if (kind != WattClass::kTypical && kind != WattClass::kMax) continue;
+      if (!std::regex_search(cell, match, watts_re)) continue;
+      const auto value = parse_first_number(match[1].str());
+      if (!value) continue;
+      if (kind == WattClass::kTypical && !record.typical_power_w) {
+        record.typical_power_w = value;
+      } else if (kind == WattClass::kMax && !record.max_power_w) {
+        record.max_power_w = value;
+      }
+    }
+  }
+
+  for (ParsedDatasheet& parsed : results) maybe_hallucinate(parsed, options);
+  return results;
+}
+
+namespace {
+
+void score_number(const std::optional<double>& truth,
+                  const std::optional<double>& parsed, FieldAccuracy& acc) {
+  acc.total += 1;
+  if (!truth.has_value() && !parsed.has_value()) {
+    acc.correct += 1;
+    return;
+  }
+  if (truth.has_value() && parsed.has_value() &&
+      std::fabs(*truth - *parsed) <= 0.01 * std::max(1.0, std::fabs(*truth))) {
+    acc.correct += 1;
+  }
+}
+
+}  // namespace
+
+void score_parse(const DatasheetRecord& truth, const ParsedDatasheet& parsed,
+                 ParserAccuracy& accumulator) {
+  score_number(truth.typical_power_w, parsed.record.typical_power_w,
+               accumulator.typical_power);
+  score_number(truth.max_power_w, parsed.record.max_power_w,
+               accumulator.max_power);
+  // Bandwidth counts as correct whether stated or derived from ports.
+  std::optional<double> truth_bw = truth.max_bandwidth_gbps;
+  if (!truth_bw) truth_bw = bandwidth_from_ports_gbps(truth);
+  score_number(truth_bw, parsed.record.max_bandwidth_gbps, accumulator.bandwidth);
+  std::optional<double> truth_psu;
+  std::optional<double> parsed_psu;
+  if (truth.psu_count && truth.psu_capacity_w) {
+    truth_psu = *truth.psu_count * 1000.0 + *truth.psu_capacity_w;
+  }
+  if (parsed.record.psu_count && parsed.record.psu_capacity_w) {
+    parsed_psu = *parsed.record.psu_count * 1000.0 + *parsed.record.psu_capacity_w;
+  }
+  score_number(truth_psu, parsed_psu, accumulator.psu);
+}
+
+}  // namespace joules

@@ -1,0 +1,62 @@
+// The datasheet parser — stand-in for the paper's GPT-4o extraction (§3.2).
+//
+// Takes unstructured datasheet text and extracts the fields the study needs.
+// The heuristic engine handles the layout/name/unit variation the renderer
+// produces; an optional *error model* reproduces the LLM reality the paper
+// documents ("reasonably accurate but — as one would expect — far from
+// perfect"): with a configurable probability per document, the extractor
+// confuses typical/max, mis-scales a number, or drops a field. Errors are
+// deterministic in (seed, model name) and flagged in the output so the
+// corpus can "identify the LLM outputs subject to hallucinations" like the
+// paper's dataset does.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datasheet/record.hpp"
+
+namespace joules {
+
+struct ParsedDatasheet {
+  DatasheetRecord record;               // extracted fields
+  bool bandwidth_derived_from_ports = false;
+  bool hallucination_injected = false;  // ground-truth flag for evaluation
+};
+
+struct ParserOptions {
+  double hallucination_rate = 0.0;  // per-document probability
+  std::uint64_t seed = 7;
+};
+
+// Parses one rendered datasheet.
+[[nodiscard]] ParsedDatasheet parse_datasheet(const std::string& text,
+                                              const ParserOptions& options = {});
+
+// Parses a series datasheet covering several models (wide-table layout);
+// returns one result per model column, in document order.
+[[nodiscard]] std::vector<ParsedDatasheet> parse_series_datasheet(
+    const std::string& text, const ParserOptions& options = {});
+
+// Field-level comparison of parsed output vs the source record, for accuracy
+// evaluation (numbers match within 1 % or both absent).
+struct FieldAccuracy {
+  int total = 0;
+  int correct = 0;
+  [[nodiscard]] double rate() const noexcept {
+    return total > 0 ? static_cast<double>(correct) / total : 1.0;
+  }
+};
+struct ParserAccuracy {
+  FieldAccuracy typical_power;
+  FieldAccuracy max_power;
+  FieldAccuracy bandwidth;
+  FieldAccuracy psu;
+};
+
+void score_parse(const DatasheetRecord& truth, const ParsedDatasheet& parsed,
+                 ParserAccuracy& accumulator);
+
+}  // namespace joules

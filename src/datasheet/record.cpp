@@ -1,0 +1,26 @@
+#include "datasheet/record.hpp"
+
+namespace joules {
+
+std::optional<double> efficiency_w_per_100g(const DatasheetRecord& record) {
+  const std::optional<double> power =
+      record.typical_power_w.has_value() ? record.typical_power_w : record.max_power_w;
+  if (!power.has_value()) return std::nullopt;
+
+  std::optional<double> bandwidth = record.max_bandwidth_gbps;
+  if (!bandwidth.has_value()) bandwidth = bandwidth_from_ports_gbps(record);
+  if (!bandwidth.has_value() || *bandwidth <= 0.0) return std::nullopt;
+
+  return *power / (*bandwidth / 100.0);
+}
+
+std::optional<double> bandwidth_from_ports_gbps(const DatasheetRecord& record) {
+  if (record.ports.empty()) return std::nullopt;
+  double total = 0.0;
+  for (const PortSummary& port : record.ports) {
+    total += port.count * port.speed_gbps;
+  }
+  return total > 0.0 ? std::optional<double>(total) : std::nullopt;
+}
+
+}  // namespace joules

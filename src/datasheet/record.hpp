@@ -1,0 +1,58 @@
+// Datasheet records (§3).
+//
+// What a vendor datasheet *should* tell you about a router: typical/max
+// power, PSU provisioning, maximum bandwidth, lifecycle dates. In practice
+// fields are missing, inconsistent, or wrong — the corpus generator
+// deliberately reproduces those defects, and provenance is tracked per the
+// paper's dataset (NetBox import vs LLM extraction vs manual collection).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace joules {
+
+enum class DataProvenance : std::uint8_t {
+  kNetbox,  // structured import (device-type library)
+  kLlm,     // extracted from unstructured text (subject to hallucination)
+  kManual,  // hand-collected (e.g. all release dates in the paper)
+};
+
+struct PortSummary {
+  int count = 0;
+  double speed_gbps = 0.0;
+  std::string form_factor;  // "SFP+", "QSFP28", ...
+};
+
+struct DatasheetRecord {
+  std::string vendor;
+  std::string model;
+  std::string series;
+
+  std::optional<double> typical_power_w;
+  std::optional<double> max_power_w;
+  std::optional<double> max_bandwidth_gbps;  // absent when only ports are listed
+  std::vector<PortSummary> ports;            // may allow deriving bandwidth
+
+  std::optional<int> psu_count;
+  std::optional<double> psu_capacity_w;
+  std::optional<int> release_year;
+
+  DataProvenance power_provenance = DataProvenance::kLlm;
+  DataProvenance date_provenance = DataProvenance::kManual;
+};
+
+// The paper's Fig. 2 efficiency metric: power per 100 Gbps, using typical
+// power and falling back to max power. nullopt when no power value or no
+// bandwidth is known.
+[[nodiscard]] std::optional<double> efficiency_w_per_100g(
+    const DatasheetRecord& record);
+
+// Sum of the port capacities, when ports are listed (the fallback the paper
+// uses when maximum bandwidth "must be derived by summing the ports'
+// capacities").
+[[nodiscard]] std::optional<double> bandwidth_from_ports_gbps(
+    const DatasheetRecord& record);
+
+}  // namespace joules

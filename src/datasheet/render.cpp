@@ -1,0 +1,213 @@
+#include "datasheet/render.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+namespace joules {
+namespace {
+
+constexpr std::array<const char*, 5> kTypicalNames = {
+    "Typical power", "Power draw (typical)", "Typical operating consumption",
+    "Typical power consumption", "Nominal power"};
+constexpr std::array<const char*, 5> kMaxNames = {
+    "Maximum power", "Max power consumption", "Max. power draw",
+    "Worst-case power", "Maximum power consumption"};
+constexpr std::array<const char*, 4> kBandwidthNames = {
+    "Switching capacity", "Maximum throughput", "System bandwidth",
+    "Forwarding capacity"};
+constexpr std::array<const char*, 3> kConditions = {
+    " (at 25C)", " (at 50% load)", ""};
+
+std::string power_value(double watts, Rng& rng) {
+  std::string text = format_number(std::round(watts));
+  if (watts >= 1000 && rng.chance(0.5)) {
+    // Thousands separator, e.g. "1,100".
+    const auto digits = text.size();
+    text.insert(digits - 3, ",");
+  }
+  return text + (rng.chance(0.7) ? " W" : "W");
+}
+
+std::string bandwidth_value(double gbps, Rng& rng) {
+  if (gbps >= 1000 && rng.chance(0.6)) {
+    return format_number(gbps / 1000.0, 2) + " Tbps";
+  }
+  return format_number(gbps) + (rng.chance(0.5) ? " Gbps" : " Gb/s");
+}
+
+std::string ports_line(const DatasheetRecord& record) {
+  std::string out = "Ports:";
+  for (std::size_t i = 0; i < record.ports.size(); ++i) {
+    const PortSummary& port = record.ports[i];
+    if (i > 0) out += " +";
+    out += " " + std::to_string(port.count) + " x " +
+           format_number(port.speed_gbps) + "GbE " + port.form_factor;
+  }
+  return out;
+}
+
+std::string render_spec_sheet(const DatasheetRecord& record, Rng& rng) {
+  std::string out;
+  out += record.model + " Data Sheet\n";
+  out += "Vendor: " + record.vendor + "\n";
+  if (!record.series.empty()) out += "Product family: " + record.series + "\n";
+  if (record.max_bandwidth_gbps) {
+    out += std::string(kBandwidthNames[rng.uniform_int(0, 3)]) + ": " +
+           bandwidth_value(*record.max_bandwidth_gbps, rng) + "\n";
+  }
+  if (!record.ports.empty()) out += ports_line(record) + "\n";
+  if (record.typical_power_w) {
+    out += std::string(kTypicalNames[rng.uniform_int(0, 4)]) + ": " +
+           power_value(*record.typical_power_w, rng) +
+           kConditions[rng.uniform_int(0, 2)] + "\n";
+  }
+  if (record.max_power_w) {
+    out += std::string(kMaxNames[rng.uniform_int(0, 4)]) + ": " +
+           power_value(*record.max_power_w, rng) + "\n";
+  }
+  if (!record.typical_power_w && !record.max_power_w) {
+    out += "Typical power: TBD\n";
+  }
+  if (record.psu_count && record.psu_capacity_w) {
+    out += "Power supply: " + std::to_string(*record.psu_count) + " x " +
+           format_number(*record.psu_capacity_w) + " W AC\n";
+  }
+  return out;
+}
+
+std::string render_prose(const DatasheetRecord& record, Rng& rng) {
+  std::string out;
+  out += "The " + record.vendor + " " + record.model;
+  if (!record.series.empty()) out += " (part of the " + record.series + ")";
+  out += " delivers industry-leading efficiency for the modern network edge.";
+  if (record.max_bandwidth_gbps) {
+    out += " With a switching capacity of " +
+           bandwidth_value(*record.max_bandwidth_gbps, rng) +
+           ", it scales with your traffic.";
+  } else if (!record.ports.empty()) {
+    out += " " + ports_line(record) + ".";
+  }
+  if (record.typical_power_w) {
+    out += " In typical operating conditions the system draws " +
+           power_value(*record.typical_power_w, rng) +
+           kConditions[rng.uniform_int(0, 2)] + ",";
+    if (record.max_power_w) {
+      out += " with a maximum consumption of " +
+             power_value(*record.max_power_w, rng) + ".";
+    } else {
+      out += " depending on configuration.";
+    }
+  } else if (record.max_power_w) {
+    out += " Power consumption does not exceed " +
+           power_value(*record.max_power_w, rng) + ".";
+  } else {
+    out += " Power figures will be published at general availability (TBD).";
+  }
+  if (record.psu_count && record.psu_capacity_w) {
+    out += " The chassis ships with " + std::to_string(*record.psu_count) +
+           " hot-swappable " + format_number(*record.psu_capacity_w) +
+           " W power supplies.";
+  }
+  out += "\n";
+  return out;
+}
+
+std::string render_table(const DatasheetRecord& record, Rng& rng) {
+  std::string out;
+  out += "| Specification | " + record.model + " |\n";
+  out += "| --- | --- |\n";
+  out += "| Vendor | " + record.vendor + " |\n";
+  if (!record.series.empty()) out += "| Series | " + record.series + " |\n";
+  if (record.max_bandwidth_gbps) {
+    out += "| " + std::string(kBandwidthNames[rng.uniform_int(0, 3)]) + " | " +
+           bandwidth_value(*record.max_bandwidth_gbps, rng) + " |\n";
+  }
+  if (!record.ports.empty()) {
+    out += "| Interfaces | " + ports_line(record).substr(7) + " |\n";
+  }
+  out += "| " + std::string(kTypicalNames[rng.uniform_int(0, 4)]) + " | " +
+         (record.typical_power_w ? power_value(*record.typical_power_w, rng)
+                                 : std::string("TBD")) +
+         " |\n";
+  if (record.max_power_w) {
+    out += "| " + std::string(kMaxNames[rng.uniform_int(0, 4)]) + " | " +
+           power_value(*record.max_power_w, rng) + " |\n";
+  }
+  if (record.psu_count && record.psu_capacity_w) {
+    out += "| Power supplies | " + std::to_string(*record.psu_count) + " x " +
+           format_number(*record.psu_capacity_w) + "W |\n";
+  }
+  return out;
+}
+
+std::string series_cell_power(const std::optional<double>& value, Rng& rng) {
+  return value.has_value() ? power_value(*value, rng) : std::string("TBD");
+}
+
+}  // namespace
+
+std::string render_datasheet(const DatasheetRecord& record,
+                             DatasheetLayout layout, std::uint64_t seed) {
+  Rng rng = Rng(seed).fork(record.model);
+  switch (layout) {
+    case DatasheetLayout::kSpecSheet: return render_spec_sheet(record, rng);
+    case DatasheetLayout::kProse: return render_prose(record, rng);
+    case DatasheetLayout::kTable: return render_table(record, rng);
+  }
+  return {};
+}
+
+std::string render_datasheet(const DatasheetRecord& record, std::uint64_t seed) {
+  Rng rng = Rng(seed).fork(record.model);
+  const auto layout = static_cast<DatasheetLayout>(rng.uniform_int(0, 2));
+  return render_datasheet(record, layout, seed);
+}
+
+std::string render_series_datasheet(std::span<const DatasheetRecord> models,
+                                    std::uint64_t seed) {
+  if (models.empty()) return {};
+  Rng rng = Rng(seed).fork(models.front().series.empty()
+                               ? models.front().vendor
+                               : models.front().series);
+  const std::string series = models.front().series.empty()
+                                 ? models.front().vendor + " series"
+                                 : models.front().series;
+  std::string out;
+  out += series + " Data Sheet\n";
+  out += "Vendor: " + models.front().vendor + "\n";
+
+  auto row = [&models, &out](const std::string& label,
+                             auto&& cell_of) {
+    out += "| " + label + " |";
+    for (const DatasheetRecord& record : models) {
+      out += " " + cell_of(record) + " |";
+    }
+    out += "\n";
+  };
+
+  row("Model", [](const DatasheetRecord& r) { return r.model; });
+  row(std::string(kBandwidthNames[rng.uniform_int(0, 3)]),
+      [&rng](const DatasheetRecord& r) {
+        return r.max_bandwidth_gbps ? bandwidth_value(*r.max_bandwidth_gbps, rng)
+                                    : std::string("see port list");
+      });
+  row(std::string(kTypicalNames[rng.uniform_int(0, 4)]),
+      [&rng](const DatasheetRecord& r) {
+        return series_cell_power(r.typical_power_w, rng);
+      });
+  row(std::string(kMaxNames[rng.uniform_int(0, 4)]),
+      [&rng](const DatasheetRecord& r) {
+        return series_cell_power(r.max_power_w, rng);
+      });
+  row("Power supplies", [](const DatasheetRecord& r) {
+    if (!r.psu_count || !r.psu_capacity_w) return std::string("-");
+    return std::to_string(*r.psu_count) + " x " +
+           format_number(*r.psu_capacity_w) + " W";
+  });
+  return out;
+}
+
+}  // namespace joules

@@ -1,0 +1,42 @@
+// Datasheet text rendering.
+//
+// Turns a `DatasheetRecord` into the kind of unstructured, irregular text
+// §3.1 complains about: several layouts (spec-sheet key/value, marketing
+// prose, pseudo-table), synonymous field names ("Typical power", "Power draw
+// (typical)", "Typical operating consumption", ...), operating-condition
+// qualifiers ("at 25°C", "at 50% load"), thousands separators, absent fields,
+// and the occasional literal "TBD". The renderer is deterministic in
+// (record, seed) so parser tests can round-trip.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "datasheet/record.hpp"
+
+namespace joules {
+
+enum class DatasheetLayout : std::uint8_t {
+  kSpecSheet,   // "Typical power: 450 W" key-value lines
+  kProse,       // numbers buried mid-paragraph
+  kTable,       // pipe-separated pseudo-table rows
+};
+
+// Renders with an explicit layout.
+[[nodiscard]] std::string render_datasheet(const DatasheetRecord& record,
+                                           DatasheetLayout layout,
+                                           std::uint64_t seed);
+
+// Renders with a layout chosen from the seed (what the corpus pipeline uses).
+[[nodiscard]] std::string render_datasheet(const DatasheetRecord& record,
+                                           std::uint64_t seed);
+
+// Series datasheet: ONE document covering several models of the same series
+// (§3.1's pain point #2), as a wide pseudo-table with one column per model.
+// All records must share the vendor; the series name comes from the first
+// record (falling back to "<vendor> series").
+[[nodiscard]] std::string render_series_datasheet(
+    std::span<const DatasheetRecord> models, std::uint64_t seed);
+
+}  // namespace joules

@@ -1,0 +1,485 @@
+#include "device/catalog.hpp"
+
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+// Shorthand for a truth profile row in the paper's units (W, pJ, nJ, W).
+InterfaceProfile row(PortType port, TransceiverKind trx, LineRate rate,
+                     double port_w, double in_w, double up_w, double ebit_pj,
+                     double epkt_nj, double offset_w) {
+  InterfaceProfile p;
+  p.key = {port, trx, rate};
+  p.port_power_w = port_w;
+  p.trx_in_power_w = in_w;
+  p.trx_up_power_w = up_w;
+  p.energy_per_bit_j = picojoules_to_joules(ebit_pj);
+  p.energy_per_packet_j = nanojoules_to_joules(epkt_nj);
+  p.offset_power_w = offset_w;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 deployment models
+// ---------------------------------------------------------------------------
+
+RouterSpec ncs_55a1_24h() {
+  RouterSpec spec;
+  spec.model = "NCS-55A1-24H";
+  spec.vendor = "Cisco";
+  spec.ports = {{PortType::kQSFP28, 24, LineRate::kG100}};
+  spec.truth.set_base_power_w(320.0);
+  // Table 2 (a), verbatim.
+  spec.truth.add_profile(row(PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                             LineRate::kG100, 0.32, 0.02, 0.19, 22, 58, 0.37));
+  spec.truth.add_profile(row(PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                             LineRate::kG50, 0.18, 0.02, 0.16, 21, 57, 0.34));
+  spec.truth.add_profile(row(PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                             LineRate::kG25, 0.10, 0.02, 0.08, 21, 55, 0.21));
+  // Optics used in deployment (not lab-modeled; consistent with Table 5 and
+  // the transceiver datasheet values).
+  spec.truth.add_profile(row(PortType::kQSFP28, TransceiverKind::kLR4,
+                             LineRate::kG100, 0.32, 3.4, 0.35, 22, 58, 0.37));
+  spec.truth.add_profile(row(PortType::kQSFP28, TransceiverKind::kSR4,
+                             LineRate::kG100, 0.32, 2.0, 0.25, 22, 58, 0.37));
+  spec.fan = {6.0, 2.5, 3.0, 26.0, 0.0};
+  spec.control_plane_mean_w = 3.0;
+  spec.control_plane_swing_w = 0.35;
+  spec.psu_count = 2;
+  spec.psu_capacity_w = 1100;
+  spec.psu_efficiency_offset_mean = 0.045;   // Fig. 6b: generally > 85 %
+  spec.psu_efficiency_offset_spread = 0.015;
+  spec.telemetry = PsuTelemetry::kPseudoConstant;  // Fig. 4b
+  spec.datasheet_typical_w = 600;  // Table 1: overestimates by 40 %
+  spec.datasheet_max_w = 715;
+  spec.max_bandwidth_gbps = 2400;
+  spec.release_year = 2017;
+  return spec;
+}
+
+RouterSpec nexus_9336_fx2() {
+  RouterSpec spec;
+  spec.model = "Nexus9336-FX2";
+  spec.vendor = "Cisco";
+  spec.ports = {{PortType::kQSFP28, 36, LineRate::kG100}};
+  spec.truth.set_base_power_w(285.0);
+  // Table 2 (b), verbatim (including the negative P_trx,up and P_offset).
+  spec.truth.add_profile(row(PortType::kQSFP28, TransceiverKind::kLR,
+                             LineRate::kG100, 1.9, 2.79, -0.06, 8, 24, -0.43));
+  spec.truth.add_profile(row(PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                             LineRate::kG100, 1.13, 0.09, -0.02, 8, 26, 0.07));
+  spec.truth.add_profile(row(PortType::kQSFP28, TransceiverKind::kLR4,
+                             LineRate::kG100, 1.9, 3.8, 0.1, 8, 24, -0.2));
+  spec.fan = {7.0, 2.0, 3.0, 26.0, 0.0};
+  spec.psu_count = 2;
+  spec.psu_capacity_w = 2000;  // heavily over-provisioned in the field
+  spec.psu_efficiency_offset_mean = 0.015;
+  spec.psu_efficiency_offset_spread = 0.02;
+  spec.telemetry = PsuTelemetry::kPreciseOffset;
+  spec.telemetry_offset_w = 8.0;
+  spec.datasheet_typical_w = 475;
+  spec.datasheet_max_w = 650;
+  spec.max_bandwidth_gbps = 3600;
+  spec.release_year = 2018;
+  return spec;
+}
+
+RouterSpec cisco_8201_32fh() {
+  RouterSpec spec;
+  spec.model = "8201-32FH";
+  spec.vendor = "Cisco";
+  spec.ports = {{PortType::kQSFPDD, 32, LineRate::kG400}};
+  spec.truth.set_base_power_w(253.0);
+  // Table 2 (c) verbatim (the paper writes the port type as "QSFP"; the
+  // physical cages are QSFP-DD and we key the truth to the physical port).
+  spec.truth.add_profile(row(PortType::kQSFPDD, TransceiverKind::kPassiveDAC,
+                             LineRate::kG100, 0.94, 0.35, 0.21, 3, 13, -0.04));
+  // Deployment optics: 400G FR4 (12 W datasheet module: most of it is
+  // P_trx,in — "down" does not mean "off") and 100G LR4.
+  spec.truth.add_profile(row(PortType::kQSFPDD, TransceiverKind::kFR4,
+                             LineRate::kG400, 1.9, 10.8, 1.2, 2, 8, 0.1));
+  spec.truth.add_profile(row(PortType::kQSFPDD, TransceiverKind::kLR4,
+                             LineRate::kG100, 0.94, 3.2, 0.4, 3, 13, 0.0));
+  spec.fan = {8.0, 3.0, 3.0, 26.0, 45.0};  // Fig. 8: OS update bumps fans +45 W
+  spec.control_plane_mean_w = 3.0;
+  spec.psu_count = 2;
+  spec.psu_capacity_w = 1100;
+  spec.psu_efficiency_offset_mean = -0.13;   // Fig. 6c: 76 % or worse
+  spec.psu_efficiency_offset_spread = 0.02;
+  spec.telemetry = PsuTelemetry::kPreciseOffset;  // Fig. 4a: shape ok, offset
+  spec.telemetry_offset_w = 17.0;
+  spec.datasheet_typical_w = 288;  // Table 1: datasheet *underestimates* (-24 %)
+  spec.datasheet_max_w = 1016;
+  spec.max_bandwidth_gbps = 12800;
+  spec.release_year = 2020;
+  return spec;
+}
+
+RouterSpec n540x_8z16g() {
+  RouterSpec spec;
+  spec.model = "N540X-8Z16G-SYS-A";
+  spec.vendor = "Cisco";
+  spec.ports = {{PortType::kSFP, 16, LineRate::kG1},
+                {PortType::kSFPPlus, 8, LineRate::kG10}};
+  spec.truth.set_base_power_w(33.0);
+  // Table 2 (d): the dagger row — E_pkt was unmeasurably small on this 1G
+  // device (the paper reports a spurious -48 nJ); the truth uses 0.
+  spec.truth.add_profile(row(PortType::kSFP, TransceiverKind::kBaseT,
+                             LineRate::kG1, 0.0, 3.41, 0.0, 37, 0, 0.01));
+  spec.truth.add_profile(row(PortType::kSFP, TransceiverKind::kLR,
+                             LineRate::kG1, 0.05, 0.8, 0.05, 37, 20, 0.01));
+  spec.truth.add_profile(row(PortType::kSFPPlus, TransceiverKind::kLR,
+                             LineRate::kG10, 0.5, 1.2, 0.1, 30, 25, 0.02));
+  spec.fan = {2.0, 1.0, 3.0, 27.0, 0.0};
+  spec.control_plane_mean_w = 1.0;
+  spec.control_plane_swing_w = 0.15;
+  spec.psu_count = 2;
+  spec.psu_capacity_w = 250;
+  spec.psu_efficiency_offset_mean = -0.01;
+  spec.psu_efficiency_offset_spread = 0.02;
+  spec.telemetry = PsuTelemetry::kNone;  // Fig. 4c: no power reporting
+  spec.datasheet_typical_w = 0;          // not stated in the datasheet
+  spec.datasheet_max_w = 150;
+  spec.max_bandwidth_gbps = 96;
+  spec.release_year = 2020;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Table 6 lab models
+// ---------------------------------------------------------------------------
+
+RouterSpec wedge_100bf_32x() {
+  RouterSpec spec;
+  spec.model = "Wedge 100BF-32X";
+  spec.vendor = "EdgeCore";
+  spec.ports = {{PortType::kQSFP28, 32, LineRate::kG100}};
+  spec.truth.set_base_power_w(108.0);
+  // Table 6 (a), verbatim.
+  spec.truth.add_profile(row(PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                             LineRate::kG100, 0.88, 0.0, 0.69, 1.7, 7.2, 0.0));
+  spec.truth.add_profile(row(PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                             LineRate::kG50, 0.21, 0.0, 0.31, 2.5, 5.6, 0.05));
+  spec.truth.add_profile(row(PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                             LineRate::kG25, 0.21, 0.0, 0.1, 2.7, 4.7, 0.06));
+  spec.fan = {5.0, 2.0, 3.0, 26.0, 0.0};
+  spec.psu_count = 2;
+  spec.psu_capacity_w = 600;  // the PFE600 itself (Fig. 5)
+  spec.psu_efficiency_offset_mean = 0.0;
+  spec.psu_efficiency_offset_spread = 0.005;
+  spec.telemetry = PsuTelemetry::kPreciseOffset;
+  spec.telemetry_offset_w = 4.0;
+  spec.datasheet_typical_w = 0;
+  spec.datasheet_max_w = 432;
+  spec.max_bandwidth_gbps = 3200;
+  spec.release_year = 2017;
+  return spec;
+}
+
+RouterSpec nexus_93108tc_fx3p() {
+  RouterSpec spec;
+  spec.model = "Nexus 93108TC-FX3P";
+  spec.vendor = "Cisco";
+  spec.ports = {{PortType::kRJ45, 48, LineRate::kG10},
+                {PortType::kQSFP28, 6, LineRate::kG100}};
+  spec.truth.set_base_power_w(147.0);
+  // Table 6 (b), verbatim.
+  spec.truth.add_profile(row(PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                             LineRate::kG100, 0.17, 0.11, 0.23, 5.4, 21.2, 0.0));
+  spec.truth.add_profile(row(PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                             LineRate::kG40, 0.07, 0.11, 0.16, 6.5, 17.4, 0.03));
+  spec.truth.add_profile(row(PortType::kRJ45, TransceiverKind::kBaseT,
+                             LineRate::kG10, 2.06, 0.11, 0.0, 6.7, 16.9, -0.03));
+  spec.truth.add_profile(row(PortType::kRJ45, TransceiverKind::kBaseT,
+                             LineRate::kG1, 0.93, 0.11, 0.0, 33.8, 18.2, -0.03));
+  spec.fan = {5.0, 2.0, 3.0, 26.0, 0.0};
+  spec.psu_count = 2;
+  spec.psu_capacity_w = 750;
+  spec.psu_efficiency_offset_mean = 0.01;
+  spec.psu_efficiency_offset_spread = 0.015;
+  spec.telemetry = PsuTelemetry::kPreciseOffset;
+  spec.telemetry_offset_w = 6.0;
+  spec.datasheet_typical_w = 404;
+  spec.datasheet_max_w = 1100;
+  spec.max_bandwidth_gbps = 1080;
+  spec.release_year = 2021;
+  return spec;
+}
+
+RouterSpec vsp_4900() {
+  RouterSpec spec;
+  spec.model = "VSP-4900";
+  spec.vendor = "Extreme";
+  spec.ports = {{PortType::kSFPPlus, 12, LineRate::kG10}};
+  spec.truth.set_base_power_w(8.2);
+  // Table 6 (c), verbatim.
+  spec.truth.add_profile(row(PortType::kSFPPlus, TransceiverKind::kBaseT,
+                             LineRate::kG10, 0.08, 0.06, 0.0, 25.6, 26.5, 0.04));
+  spec.truth.add_profile(row(PortType::kSFPPlus, TransceiverKind::kLR,
+                             LineRate::kG10, 0.1, 1.1, 0.05, 25.6, 26.5, 0.04));
+  spec.fan = {1.5, 1.0, 3.0, 27.0, 0.0};
+  spec.control_plane_mean_w = 0.8;
+  spec.control_plane_swing_w = 0.1;
+  spec.psu_count = 2;
+  spec.psu_capacity_w = 250;
+  spec.psu_efficiency_offset_mean = 0.0;
+  spec.psu_efficiency_offset_spread = 0.02;
+  spec.telemetry = PsuTelemetry::kPreciseOffset;
+  spec.telemetry_offset_w = 2.0;
+  spec.datasheet_typical_w = 0;
+  spec.datasheet_max_w = 120;
+  spec.max_bandwidth_gbps = 136;
+  spec.release_year = 2019;
+  return spec;
+}
+
+RouterSpec catalyst_3560() {
+  RouterSpec spec;
+  spec.model = "Catalyst 3560";
+  spec.vendor = "Cisco";
+  spec.ports = {{PortType::kRJ45, 24, LineRate::kM100}};
+  spec.truth.set_base_power_w(40.0);
+  // Table 6 (d), verbatim. Note the large E_pkt: per-packet cost dominates on
+  // this old 100M access switch.
+  spec.truth.add_profile(row(PortType::kRJ45, TransceiverKind::kBaseT,
+                             LineRate::kM100, 0.21, 0.0, 0.0, 15.7, 193.1, -0.01));
+  spec.fan = {2.0, 1.0, 3.0, 28.0, 0.0};
+  spec.control_plane_mean_w = 1.0;
+  spec.psu_count = 1;
+  spec.psu_capacity_w = 250;
+  spec.psu_efficiency_offset_mean = -0.06;  // 2005-era PSU
+  spec.psu_efficiency_offset_spread = 0.02;
+  spec.telemetry = PsuTelemetry::kNone;
+  spec.datasheet_typical_w = 0;
+  spec.datasheet_max_w = 65;
+  spec.max_bandwidth_gbps = 2.4;
+  spec.release_year = 2005;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Remaining Table 1 deployment models (no published lab model; parameters
+// chosen consistent with the Table 5 per-port-type averages).
+// ---------------------------------------------------------------------------
+
+RouterSpec asr_920_24sz_m() {
+  RouterSpec spec;
+  spec.model = "ASR-920-24SZ-M";
+  spec.vendor = "Cisco";
+  spec.ports = {{PortType::kSFP, 24, LineRate::kG1},
+                {PortType::kSFPPlus, 4, LineRate::kG10}};
+  spec.truth.set_base_power_w(45.0);
+  spec.truth.add_profile(row(PortType::kSFP, TransceiverKind::kLR,
+                             LineRate::kG1, 0.05, 1.0, 0.005, 37, 20, 0.01));
+  spec.truth.add_profile(row(PortType::kSFP, TransceiverKind::kBaseT,
+                             LineRate::kG1, 0.05, 1.05, 0.0, 37, 20, 0.01));
+  spec.truth.add_profile(row(PortType::kSFPPlus, TransceiverKind::kLR,
+                             LineRate::kG10, 0.55, 1.4, 0.1, 26, 26, 0.02));
+  spec.truth.add_profile(row(PortType::kSFPPlus, TransceiverKind::kPassiveDAC,
+                             LineRate::kG10, 0.55, 0.1, 0.05, 26, 26, 0.02));
+  spec.fan = {3.0, 1.5, 3.0, 27.0, 0.0};
+  spec.control_plane_mean_w = 1.5;
+  spec.psu_count = 2;
+  spec.psu_capacity_w = 250;
+  // Fig. 6d: efficiencies span the whole range for this model.
+  spec.psu_efficiency_offset_mean = -0.06;
+  spec.psu_efficiency_offset_spread = 0.12;
+  spec.telemetry = PsuTelemetry::kPreciseOffset;
+  spec.telemetry_offset_w = 5.0;
+  spec.datasheet_typical_w = 110;  // Table 1: +33 %
+  spec.datasheet_max_w = 250;
+  spec.max_bandwidth_gbps = 64;
+  spec.release_year = 2015;
+  return spec;
+}
+
+RouterSpec ncs_55a1_24q6h_ss() {
+  RouterSpec spec;
+  spec.model = "NCS-55A1-24Q6H-SS";
+  spec.vendor = "Cisco";
+  spec.ports = {{PortType::kSFPPlus, 24, LineRate::kG25},
+                {PortType::kQSFP28, 6, LineRate::kG100}};
+  spec.truth.set_base_power_w(220.0);
+  spec.truth.add_profile(row(PortType::kSFPPlus, TransceiverKind::kLR,
+                             LineRate::kG25, 0.2, 1.3, 0.12, 21, 55, 0.2));
+  spec.truth.add_profile(row(PortType::kSFPPlus, TransceiverKind::kPassiveDAC,
+                             LineRate::kG25, 0.2, 0.05, 0.08, 21, 55, 0.2));
+  spec.truth.add_profile(row(PortType::kSFPPlus, TransceiverKind::kLR,
+                             LineRate::kG10, 0.2, 1.2, 0.1, 26, 26, 0.02));
+  spec.truth.add_profile(row(PortType::kSFPPlus, TransceiverKind::kPassiveDAC,
+                             LineRate::kG10, 0.2, 0.1, 0.05, 26, 26, 0.02));
+  spec.truth.add_profile(row(PortType::kQSFP28, TransceiverKind::kLR4,
+                             LineRate::kG100, 0.32, 3.4, 0.3, 22, 58, 0.37));
+  spec.truth.add_profile(row(PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                             LineRate::kG100, 0.32, 0.02, 0.19, 22, 58, 0.37));
+  spec.fan = {6.0, 2.5, 3.0, 26.0, 0.0};
+  spec.control_plane_mean_w = 3.0;
+  spec.psu_count = 2;
+  spec.psu_capacity_w = 750;
+  spec.psu_efficiency_offset_mean = 0.03;
+  spec.psu_efficiency_offset_spread = 0.02;
+  spec.telemetry = PsuTelemetry::kPreciseOffset;
+  spec.telemetry_offset_w = 10.0;
+  spec.datasheet_typical_w = 400;  // Table 1: +28 %
+  spec.datasheet_max_w = 550;
+  spec.max_bandwidth_gbps = 1200;
+  spec.release_year = 2018;
+  return spec;
+}
+
+RouterSpec ncs_55a1_48q6h() {
+  RouterSpec spec;
+  spec.model = "NCS-55A1-48Q6H";
+  spec.vendor = "Cisco";
+  spec.ports = {{PortType::kSFPPlus, 48, LineRate::kG25},
+                {PortType::kQSFP28, 6, LineRate::kG100}};
+  spec.truth.set_base_power_w(266.0);
+  spec.truth.add_profile(row(PortType::kSFPPlus, TransceiverKind::kLR,
+                             LineRate::kG25, 0.2, 1.3, 0.12, 21, 55, 0.2));
+  spec.truth.add_profile(row(PortType::kSFPPlus, TransceiverKind::kPassiveDAC,
+                             LineRate::kG25, 0.2, 0.05, 0.08, 21, 55, 0.2));
+  spec.truth.add_profile(row(PortType::kSFPPlus, TransceiverKind::kLR,
+                             LineRate::kG10, 0.2, 1.2, 0.1, 26, 26, 0.02));
+  spec.truth.add_profile(row(PortType::kSFPPlus, TransceiverKind::kPassiveDAC,
+                             LineRate::kG10, 0.2, 0.1, 0.05, 26, 26, 0.02));
+  spec.truth.add_profile(row(PortType::kQSFP28, TransceiverKind::kLR4,
+                             LineRate::kG100, 0.32, 3.4, 0.3, 22, 58, 0.37));
+  spec.truth.add_profile(row(PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                             LineRate::kG100, 0.32, 0.02, 0.19, 22, 58, 0.37));
+  spec.fan = {7.0, 2.5, 3.0, 26.0, 0.0};
+  spec.control_plane_mean_w = 3.0;
+  spec.psu_count = 2;
+  spec.psu_capacity_w = 1100;
+  spec.psu_efficiency_offset_mean = 0.03;
+  spec.psu_efficiency_offset_spread = 0.02;
+  spec.telemetry = PsuTelemetry::kPreciseOffset;
+  spec.telemetry_offset_w = 12.0;
+  spec.datasheet_typical_w = 460;  // Table 1: +24 %
+  spec.datasheet_max_w = 625;
+  spec.max_bandwidth_gbps = 1800;
+  spec.release_year = 2018;
+  return spec;
+}
+
+RouterSpec asr_9001() {
+  RouterSpec spec;
+  spec.model = "ASR-9001";
+  spec.vendor = "Cisco";
+  spec.ports = {{PortType::kSFPPlus, 20, LineRate::kG10}};
+  spec.truth.set_base_power_w(262.0);
+  spec.truth.add_profile(row(PortType::kSFPPlus, TransceiverKind::kLR,
+                             LineRate::kG10, 0.55, 1.4, 0.1, 26, 26, 0.02));
+  spec.truth.add_profile(row(PortType::kSFPPlus, TransceiverKind::kPassiveDAC,
+                             LineRate::kG10, 0.55, 0.1, 0.05, 26, 26, 0.02));
+  spec.fan = {8.0, 3.0, 3.0, 26.0, 0.0};
+  spec.control_plane_mean_w = 5.0;
+  spec.psu_count = 2;
+  spec.psu_capacity_w = 750;
+  spec.psu_efficiency_offset_mean = -0.02;
+  spec.psu_efficiency_offset_spread = 0.04;
+  spec.telemetry = PsuTelemetry::kPreciseOffset;
+  spec.telemetry_offset_w = 12.0;
+  spec.datasheet_typical_w = 425;  // Table 1: +21 %
+  spec.datasheet_max_w = 750;
+  spec.max_bandwidth_gbps = 120;
+  spec.release_year = 2011;  // the Fig. 2b outlier era
+  return spec;
+}
+
+RouterSpec n540_24z8q2c_m() {
+  RouterSpec spec;
+  spec.model = "N540-24Z8Q2C-M";
+  spec.vendor = "Cisco";
+  spec.ports = {{PortType::kSFPPlus, 32, LineRate::kG25},
+                {PortType::kQSFP28, 2, LineRate::kG100}};
+  spec.truth.set_base_power_w(116.0);
+  spec.truth.add_profile(row(PortType::kSFPPlus, TransceiverKind::kLR,
+                             LineRate::kG10, 0.5, 1.2, 0.1, 26, 26, 0.02));
+  spec.truth.add_profile(row(PortType::kSFPPlus, TransceiverKind::kLR,
+                             LineRate::kG25, 0.5, 1.2, 0.1, 22, 26, 0.05));
+  spec.truth.add_profile(row(PortType::kSFPPlus, TransceiverKind::kPassiveDAC,
+                             LineRate::kG10, 0.5, 0.1, 0.05, 26, 26, 0.02));
+  spec.truth.add_profile(row(PortType::kQSFP28, TransceiverKind::kLR4,
+                             LineRate::kG100, 0.53, 3.4, 0.13, 22, 58, 0.3));
+  spec.fan = {4.0, 2.0, 3.0, 26.0, 0.0};
+  spec.control_plane_mean_w = 2.0;
+  spec.psu_count = 2;
+  spec.psu_capacity_w = 400;
+  spec.psu_efficiency_offset_mean = 0.0;
+  spec.psu_efficiency_offset_spread = 0.03;
+  spec.telemetry = PsuTelemetry::kPreciseOffset;
+  spec.telemetry_offset_w = 7.0;
+  spec.datasheet_typical_w = 200;  // Table 1: +20 %
+  spec.datasheet_max_w = 350;
+  spec.max_bandwidth_gbps = 640;
+  spec.release_year = 2019;
+  return spec;
+}
+
+RouterSpec cisco_8201_24h8fh() {
+  RouterSpec spec;
+  spec.model = "8201-24H8FH";
+  spec.vendor = "Cisco";
+  spec.ports = {{PortType::kQSFP28, 24, LineRate::kG100},
+                {PortType::kQSFPDD, 8, LineRate::kG400}};
+  spec.truth.set_base_power_w(224.0);
+  spec.truth.add_profile(row(PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                             LineRate::kG100, 0.94, 0.35, 0.21, 3, 13, -0.04));
+  spec.truth.add_profile(row(PortType::kQSFP28, TransceiverKind::kLR4,
+                             LineRate::kG100, 0.94, 3.2, 0.4, 3, 13, 0.0));
+  spec.truth.add_profile(row(PortType::kQSFPDD, TransceiverKind::kFR4,
+                             LineRate::kG400, 1.9, 10.8, 1.2, 2, 8, 0.1));
+  spec.truth.add_profile(row(PortType::kQSFPDD, TransceiverKind::kPassiveDAC,
+                             LineRate::kG100, 0.94, 0.35, 0.21, 3, 13, -0.04));
+  spec.fan = {8.0, 3.0, 3.0, 26.0, 0.0};
+  spec.control_plane_mean_w = 3.0;
+  spec.psu_count = 2;
+  spec.psu_capacity_w = 750;
+  spec.psu_efficiency_offset_mean = -0.13;  // same PSU family as the 8201-32FH
+  spec.psu_efficiency_offset_spread = 0.02;
+  spec.telemetry = PsuTelemetry::kPreciseOffset;
+  spec.telemetry_offset_w = 15.0;
+  spec.datasheet_typical_w = 205;  // Table 1: datasheet underestimates (-44 %)
+  spec.datasheet_max_w = 930;
+  spec.max_bandwidth_gbps = 5600;
+  spec.release_year = 2021;
+  return spec;
+}
+
+}  // namespace
+
+const std::vector<RouterSpec>& all_router_specs() {
+  static const std::vector<RouterSpec> specs = {
+      // Table 2 deployment models
+      ncs_55a1_24h(), nexus_9336_fx2(), cisco_8201_32fh(), n540x_8z16g(),
+      // Table 6 lab models
+      wedge_100bf_32x(), nexus_93108tc_fx3p(), vsp_4900(), catalyst_3560(),
+      // Remaining Table 1 deployment models
+      asr_920_24sz_m(), ncs_55a1_24q6h_ss(), ncs_55a1_48q6h(), asr_9001(),
+      n540_24z8q2c_m(), cisco_8201_24h8fh()};
+  return specs;
+}
+
+std::optional<RouterSpec> find_router_spec(std::string_view model) {
+  for (const RouterSpec& spec : all_router_specs()) {
+    if (spec.model == model) return spec;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> table2_models() {
+  return {"NCS-55A1-24H", "Nexus9336-FX2", "8201-32FH", "N540X-8Z16G-SYS-A"};
+}
+
+std::vector<std::string> table6_models() {
+  return {"Wedge 100BF-32X", "Nexus 93108TC-FX3P", "VSP-4900", "Catalyst 3560"};
+}
+
+std::vector<std::string> table1_models() {
+  return {"NCS-55A1-24H",   "ASR-920-24SZ-M", "NCS-55A1-24Q6H-SS",
+          "NCS-55A1-48Q6H", "ASR-9001",       "N540-24Z8Q2C-M",
+          "8201-32FH",      "8201-24H8FH"};
+}
+
+}  // namespace joules

@@ -1,0 +1,33 @@
+#include "device/fan.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/units.hpp"
+
+namespace joules {
+
+double FanModel::power_w(double ambient_celsius) const noexcept {
+  if (ambient_celsius <= params_.first_threshold_c) return params_.base_w;
+  const double above = ambient_celsius - params_.first_threshold_c;
+  const double steps = std::ceil(above / params_.step_celsius);
+  return params_.base_w + steps * params_.step_w;
+}
+
+double FanModel::power_w(double ambient_celsius, SimTime t,
+                         SimTime os_update_at) const noexcept {
+  double power = power_w(ambient_celsius);
+  if (t >= os_update_at) power += params_.policy_bump_w;
+  return power;
+}
+
+double server_room_temperature_c(SimTime t, double setpoint_c,
+                                 double swing_c) noexcept {
+  const double day_frac =
+      static_cast<double>(seconds_of_day(t)) / static_cast<double>(kSecondsPerDay);
+  // Warmest mid-afternoon (15:00), coolest at night.
+  return setpoint_c +
+         swing_c * std::cos(2.0 * std::numbers::pi * (day_frac - 15.0 / 24.0));
+}
+
+}  // namespace joules

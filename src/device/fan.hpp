@@ -1,0 +1,44 @@
+// Cooling (fan) power — one of the factors the §4 model deliberately omits.
+//
+// Fans draw power as a function of ambient temperature and of the OS's
+// thermal-management policy. The paper documents an OS upgrade on an
+// 8201-32FH that changed that policy and bumped total power by 45 W (~+12 %,
+// Fig. 8) with no other change. `FanModel` reproduces both behaviours: a
+// temperature-stepped curve and a policy bump applied after an OS update.
+#pragma once
+
+#include "util/sim_clock.hpp"
+
+namespace joules {
+
+struct FanModelParams {
+  double base_w = 4.0;            // fan power at or below the first threshold
+  double step_w = 2.0;            // extra power per threshold step exceeded
+  double step_celsius = 3.0;      // temperature distance between steps
+  double first_threshold_c = 26.0;
+  double policy_bump_w = 0.0;     // added after an OS update changes the policy
+};
+
+class FanModel {
+ public:
+  explicit FanModel(FanModelParams params) noexcept : params_(params) {}
+
+  // Fan power at an ambient temperature, before any policy bump.
+  [[nodiscard]] double power_w(double ambient_celsius) const noexcept;
+
+  // Fan power with the post-update policy applied when `t >= os_update_at`.
+  [[nodiscard]] double power_w(double ambient_celsius, SimTime t,
+                               SimTime os_update_at) const noexcept;
+
+  [[nodiscard]] const FanModelParams& params() const noexcept { return params_; }
+
+ private:
+  FanModelParams params_;
+};
+
+// Ambient temperature in a cooled server room: a small diurnal swing around
+// a setpoint, deterministic in `t`.
+[[nodiscard]] double server_room_temperature_c(SimTime t, double setpoint_c = 23.5,
+                                               double swing_c = 1.0) noexcept;
+
+}  // namespace joules

@@ -1,0 +1,240 @@
+#include "device/modular_router.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+// The shell router carries every interface any card could host; give it
+// generous port budgets so slot-level budgeting (done here) is the only
+// constraint.
+RouterSpec make_shell_spec(const ModularChassisSpec& spec) {
+  RouterSpec shell;
+  shell.model = spec.model;
+  shell.vendor = spec.vendor;
+  std::map<PortType, std::size_t> per_card_max;
+  for (const auto& [name, card] : spec.card_catalog) {
+    for (const PortGroup& group : card.ports) {
+      per_card_max[group.type] = std::max(per_card_max[group.type], group.count);
+    }
+  }
+  for (const auto& [type, count] : per_card_max) {
+    shell.ports.push_back(
+        {type, count * static_cast<std::size_t>(spec.slot_count),
+         LineRate::kG400});
+  }
+  shell.truth = spec.interface_truth;
+  shell.truth.set_base_power_w(spec.chassis_base_w);
+  shell.fan = spec.fan;
+  shell.control_plane_mean_w = spec.control_plane_mean_w;
+  shell.control_plane_swing_w = spec.control_plane_swing_w;
+  shell.psu_count = spec.psu_count;
+  shell.psu_capacity_w = spec.psu_capacity_w;
+  shell.psu_efficiency_offset_mean = spec.psu_efficiency_offset_mean;
+  shell.psu_efficiency_offset_spread = spec.psu_efficiency_offset_spread;
+  return shell;
+}
+
+}  // namespace
+
+SimulatedModularRouter::SimulatedModularRouter(ModularChassisSpec spec,
+                                               std::uint64_t seed)
+    : spec_(std::move(spec)),
+      slots_(static_cast<std::size_t>(spec_.slot_count)),
+      shell_(make_shell_spec(spec_), seed) {
+  if (spec_.slot_count <= 0) {
+    throw std::invalid_argument("SimulatedModularRouter: need at least one slot");
+  }
+}
+
+const LinecardSpec& SimulatedModularRouter::card_spec(
+    const std::string& model) const {
+  const auto it = spec_.card_catalog.find(model);
+  if (it == spec_.card_catalog.end()) {
+    throw std::invalid_argument("SimulatedModularRouter: unknown card " + model);
+  }
+  return it->second;
+}
+
+int SimulatedModularRouter::seat_linecard(const std::string& card_model) {
+  (void)card_spec(card_model);  // validate the card model early
+  for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
+    if (!slots_[slot].card.has_value()) {
+      slots_[slot].card = card_model;
+      slots_[slot].powered = true;
+      return static_cast<int>(slot);
+    }
+  }
+  throw std::invalid_argument("SimulatedModularRouter: chassis full");
+}
+
+void SimulatedModularRouter::unseat_linecard(int slot) {
+  Slot& entry = slots_.at(static_cast<std::size_t>(slot));
+  if (!entry.card.has_value()) {
+    throw std::invalid_argument("SimulatedModularRouter: slot already empty");
+  }
+  entry.card.reset();
+  // Interfaces of the removed card become permanent tombstones (the shell
+  // router cannot shrink; indices stay stable for load vectors).
+  for (Interface& iface : interfaces_) {
+    if (iface.slot == slot) iface.slot = -1;
+  }
+}
+
+void SimulatedModularRouter::set_linecard_powered(int slot, bool powered) {
+  Slot& entry = slots_.at(static_cast<std::size_t>(slot));
+  if (!entry.card.has_value()) {
+    throw std::invalid_argument("SimulatedModularRouter: empty slot");
+  }
+  entry.powered = powered;
+}
+
+bool SimulatedModularRouter::linecard_powered(int slot) const {
+  return slots_.at(static_cast<std::size_t>(slot)).powered;
+}
+
+std::optional<std::string> SimulatedModularRouter::card_in_slot(int slot) const {
+  return slots_.at(static_cast<std::size_t>(slot)).card;
+}
+
+int SimulatedModularRouter::seated_count() const noexcept {
+  int count = 0;
+  for (const Slot& slot : slots_) count += slot.card.has_value() ? 1 : 0;
+  return count;
+}
+
+std::size_t SimulatedModularRouter::add_interface(int slot,
+                                                  const ProfileKey& profile,
+                                                  InterfaceState state) {
+  const Slot& entry = slots_.at(static_cast<std::size_t>(slot));
+  if (!entry.card.has_value()) {
+    throw std::invalid_argument("SimulatedModularRouter: no card in slot");
+  }
+  const LinecardSpec& card = card_spec(*entry.card);
+  std::size_t budget = 0;
+  for (const PortGroup& group : card.ports) {
+    if (group.type == profile.port) budget += group.count;
+  }
+  std::size_t used = 0;
+  for (const Interface& iface : interfaces_) {
+    if (iface.slot == slot && iface.config.profile.port == profile.port) ++used;
+  }
+  if (used >= budget) {
+    throw std::invalid_argument("SimulatedModularRouter: no free " +
+                                std::string(to_string(profile.port)) +
+                                " port on card " + *entry.card);
+  }
+
+  Interface iface;
+  iface.slot = slot;
+  iface.config.profile = profile;
+  iface.config.state = state;
+  iface.config.name = "slot" + std::to_string(slot) + "/" +
+                      std::to_string(interfaces_.size());
+  shell_.add_interface(profile, state, iface.config.name);
+  interfaces_.push_back(std::move(iface));
+  return interfaces_.size() - 1;
+}
+
+void SimulatedModularRouter::set_interface_state(std::size_t index,
+                                                 InterfaceState state) {
+  interfaces_.at(index).config.state = state;
+}
+
+std::size_t SimulatedModularRouter::interface_count() const noexcept {
+  return interfaces_.size();
+}
+
+double SimulatedModularRouter::dc_power_w(
+    SimTime t, std::span<const InterfaceLoad> loads) const {
+  if (!loads.empty() && loads.size() != interfaces_.size()) {
+    throw std::invalid_argument(
+        "SimulatedModularRouter: loads/interfaces size mismatch");
+  }
+  // Sync the shell: interfaces on removed or powered-off cards are dark.
+  std::vector<InterfaceLoad> effective(interfaces_.size());
+  for (std::size_t i = 0; i < interfaces_.size(); ++i) {
+    const Interface& iface = interfaces_[i];
+    const bool dark =
+        iface.slot < 0 ||
+        !slots_[static_cast<std::size_t>(iface.slot)].powered;
+    shell_.set_interface_state(i, dark ? InterfaceState::kEmpty
+                                       : iface.config.state);
+    if (!loads.empty() && !dark) effective[i] = loads[i];
+  }
+
+  double card_power = 0.0;
+  for (const Slot& slot : slots_) {
+    if (slot.card.has_value() && slot.powered) {
+      card_power += card_spec(*slot.card).power_w;
+    }
+  }
+  return shell_.dc_power_w(t, loads.empty() ? std::span<const InterfaceLoad>{}
+                                            : std::span<const InterfaceLoad>(
+                                                  effective)) +
+         card_power;
+}
+
+double SimulatedModularRouter::wall_power_w(
+    SimTime t, std::span<const InterfaceLoad> loads) const {
+  const double dc = dc_power_w(t, loads);
+  const auto& psus = shell_.psus();
+  if (psus.empty()) return dc;
+  const double share = dc / static_cast<double>(psus.size());
+  double wall = 0.0;
+  for (const SimulatedPsu& psu : psus) wall += psu.input_power_w(share);
+  return wall;
+}
+
+void SimulatedModularRouter::set_ambient_override_c(
+    std::optional<double> celsius) noexcept {
+  shell_.set_ambient_override_c(celsius);
+}
+
+ModularChassisSpec reference_modular_chassis() {
+  ModularChassisSpec spec;
+  spec.model = "CR-9010";
+  spec.vendor = "Generic";
+  spec.slot_count = 8;
+  spec.chassis_base_w = 430.0;  // chassis, two route processors, fan trays
+
+  // Shared interface truths (same ASIC family on every card).
+  auto profile = [](PortType port, TransceiverKind trx, LineRate rate,
+                    double port_w, double in_w, double up_w, double ebit_pj,
+                    double epkt_nj, double offset_w) {
+    InterfaceProfile p;
+    p.key = {port, trx, rate};
+    p.port_power_w = port_w;
+    p.trx_in_power_w = in_w;
+    p.trx_up_power_w = up_w;
+    p.energy_per_bit_j = picojoules_to_joules(ebit_pj);
+    p.energy_per_packet_j = nanojoules_to_joules(epkt_nj);
+    p.offset_power_w = offset_w;
+    return p;
+  };
+  spec.interface_truth.add_profile(profile(
+      PortType::kSFPPlus, TransceiverKind::kLR, LineRate::kG10, 0.55, 1.2,
+      0.1, 18, 24, 0.05));
+  spec.interface_truth.add_profile(profile(
+      PortType::kSFPPlus, TransceiverKind::kPassiveDAC, LineRate::kG10, 0.55,
+      0.1, 0.05, 18, 24, 0.05));
+  spec.interface_truth.add_profile(profile(
+      PortType::kQSFP28, TransceiverKind::kLR4, LineRate::kG100, 0.6, 2.9,
+      0.3, 9, 20, 0.2));
+  spec.interface_truth.add_profile(profile(
+      PortType::kQSFP28, TransceiverKind::kPassiveDAC, LineRate::kG100, 0.6,
+      0.05, 0.2, 9, 20, 0.2));
+
+  spec.card_catalog["LC-24X10GE"] =
+      LinecardSpec{"LC-24X10GE", 210.0, {{PortType::kSFPPlus, 24, LineRate::kG10}}};
+  spec.card_catalog["LC-36X10GE"] =
+      LinecardSpec{"LC-36X10GE", 280.0, {{PortType::kSFPPlus, 36, LineRate::kG10}}};
+  spec.card_catalog["LC-8X100GE"] =
+      LinecardSpec{"LC-8X100GE", 390.0, {{PortType::kQSFP28, 8, LineRate::kG100}}};
+  return spec;
+}
+
+}  // namespace joules

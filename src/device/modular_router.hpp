@@ -1,0 +1,114 @@
+// Modular (chassis + linecard) routers — the §4.3 extension the paper leaves
+// as future work.
+//
+// The fixed-chassis model gains one term per seated linecard:
+//
+//   P = P_chassis + sum_slots P_linecard(card) + sum_i P_interface(c_i) + P_dyn
+//
+// measured "similarly as P_trx": seat/unseat cards and regress over the
+// count (netpowerbench/modular.hpp). The simulator also reproduces the
+// Juniper PFE-power-off behaviour the paper cites ([6-8]): a seated card can
+// be software-powered-off, dropping its P_linecard while it stays in the
+// chassis.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "device/router.hpp"
+
+namespace joules {
+
+struct LinecardSpec {
+  std::string model;            // e.g. "LC-24X10GE"
+  double power_w = 0.0;         // true P_linecard (DC, card powered, no config)
+  std::vector<PortGroup> ports; // ports the card adds to the chassis
+};
+
+struct ModularChassisSpec {
+  std::string model;  // e.g. "ASR-9010"
+  std::string vendor;
+  int slot_count = 8;
+  double chassis_base_w = 0.0;  // chassis + route processors, no linecards
+
+  // Per-profile interface truths, shared by all cards (the same ASIC family
+  // drives every card's ports).
+  PowerModel interface_truth;
+  // Cards this chassis accepts.
+  std::map<std::string, LinecardSpec> card_catalog;
+
+  // Chassis-level environment/PSU parameters (reused from RouterSpec).
+  FanModelParams fan{10.0, 4.0, 3.0, 26.0, 0.0};
+  double control_plane_mean_w = 8.0;
+  double control_plane_swing_w = 0.5;
+  int psu_count = 4;
+  double psu_capacity_w = 2000.0;
+  double psu_efficiency_offset_mean = 0.0;
+  double psu_efficiency_offset_spread = 0.02;
+};
+
+class SimulatedModularRouter {
+ public:
+  SimulatedModularRouter(ModularChassisSpec spec, std::uint64_t seed);
+
+  [[nodiscard]] const ModularChassisSpec& spec() const noexcept { return spec_; }
+
+  // --- Linecard management ------------------------------------------------
+  // Seats a card in the first free slot; returns the slot index. Throws if
+  // the chassis is full or the card model is unknown.
+  int seat_linecard(const std::string& card_model);
+  // Removes the card (and its interfaces).
+  void unseat_linecard(int slot);
+  // Software power-off, PFE-style: the card stays seated but its
+  // P_linecard (and its interfaces' power) drops to zero.
+  void set_linecard_powered(int slot, bool powered);
+  [[nodiscard]] bool linecard_powered(int slot) const;
+  [[nodiscard]] std::optional<std::string> card_in_slot(int slot) const;
+  [[nodiscard]] int seated_count() const noexcept;
+
+  // --- Interfaces -------------------------------------------------------
+  // Adds an interface on a seated card (against the card's port budget);
+  // returns a stable interface index (load vectors use this order).
+  std::size_t add_interface(int slot, const ProfileKey& profile,
+                            InterfaceState state);
+  void set_interface_state(std::size_t index, InterfaceState state);
+  [[nodiscard]] std::size_t interface_count() const noexcept;
+
+  // --- Power ------------------------------------------------------------
+  // Same observable surface as the fixed-chassis router.
+  [[nodiscard]] double dc_power_w(SimTime t,
+                                  std::span<const InterfaceLoad> loads = {}) const;
+  [[nodiscard]] double wall_power_w(SimTime t,
+                                    std::span<const InterfaceLoad> loads = {}) const;
+
+  void set_ambient_override_c(std::optional<double> celsius) noexcept;
+
+ private:
+  struct Slot {
+    std::optional<std::string> card;
+    bool powered = true;
+  };
+  struct Interface {
+    int slot = 0;
+    InterfaceConfig config;
+  };
+
+  [[nodiscard]] const LinecardSpec& card_spec(const std::string& model) const;
+
+  ModularChassisSpec spec_;
+  std::vector<Slot> slots_;
+  std::vector<Interface> interfaces_;
+  // The chassis shell (fans, control plane, PSUs) is a SimulatedRouter with
+  // the linecard power folded into its base dynamically.
+  mutable SimulatedRouter shell_;
+};
+
+// A reference modular platform for tests/benches: an 8-slot core chassis
+// with 10G and 100G linecards.
+[[nodiscard]] ModularChassisSpec reference_modular_chassis();
+
+}  // namespace joules

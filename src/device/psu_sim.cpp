@@ -1,0 +1,56 @@
+#include "device/psu_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace joules {
+namespace {
+
+// Deterministic uniform in [-1, 1) from (seed, t, salt).
+double hash_unit(std::uint64_t seed, SimTime t, std::uint64_t salt) noexcept {
+  std::uint64_t z = seed ^ salt ^ (static_cast<std::uint64_t>(t) * 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-52 - 1.0;
+}
+
+double quantize(double value, double quantum) noexcept {
+  if (quantum <= 0.0) return value;
+  return std::round(value / quantum) * quantum;
+}
+
+}  // namespace
+
+SimulatedPsu::SimulatedPsu(PsuSimParams params, std::uint64_t seed) noexcept
+    : params_(params),
+      curve_(pfe600_curve().offset_by(params.efficiency_offset)),
+      seed_(seed) {}
+
+double SimulatedPsu::input_power_w(double output_w) const {
+  return joules::input_power_w(output_w, params_.capacity_w, curve_);
+}
+
+double SimulatedPsu::efficiency_at(double output_w) const {
+  return curve_.at(output_w / params_.capacity_w);
+}
+
+PsuSensorReading SimulatedPsu::sensor_reading(double output_w, SimTime t) const {
+  const double true_in = input_power_w(output_w);
+
+  PsuSensorReading reading;
+  // P_in and P_out are sampled by different ADC passes at different moments;
+  // the skew term models the (load-dependent) drift between the two samples.
+  const double in_noise =
+      1.0 + params_.sensor_noise_frac * hash_unit(seed_, t, 0x11);
+  const double out_noise =
+      1.0 + params_.sensor_noise_frac * hash_unit(seed_, t, 0x22) +
+      params_.async_skew_frac * hash_unit(seed_, t, 0x33);
+  reading.input_power_w =
+      std::max(0.0, quantize(true_in * in_noise, params_.sensor_quantum_w));
+  reading.output_power_w =
+      std::max(0.0, quantize(output_w * out_noise, params_.sensor_quantum_w));
+  return reading;
+}
+
+}  // namespace joules

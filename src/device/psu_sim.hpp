@@ -1,0 +1,55 @@
+// Simulated power supply units.
+//
+// Each simulated PSU has a *true* efficiency curve (the PFE600 reference
+// shifted by a per-unit offset: manufacturing spread, aging) and a sensor
+// that reports (P_in, P_out) with realistic defects — noise, coarse
+// quantization, and asynchronous sampling of the two values, which
+// occasionally makes P_out read higher than P_in (observed in the paper's
+// dataset and capped at 100 % efficiency there).
+#pragma once
+
+#include <cstdint>
+
+#include "psu/efficiency_curve.hpp"
+#include "util/sim_clock.hpp"
+
+namespace joules {
+
+struct PsuSimParams {
+  double capacity_w = 750.0;
+  double efficiency_offset = 0.0;   // unit's constant shift vs the PFE600 curve
+  double sensor_noise_frac = 0.01;  // relative sensor noise (1 sigma)
+  double sensor_quantum_w = 1.0;    // readings are quantized to this step
+  double async_skew_frac = 0.015;   // extra skew between P_in/P_out samples
+};
+
+struct PsuSensorReading {
+  double input_power_w = 0.0;   // P_in as the sensor reports it
+  double output_power_w = 0.0;  // P_out as the sensor reports it
+};
+
+class SimulatedPsu {
+ public:
+  SimulatedPsu(PsuSimParams params, std::uint64_t seed) noexcept;
+
+  [[nodiscard]] double capacity_w() const noexcept { return params_.capacity_w; }
+  [[nodiscard]] const EfficiencyCurve& true_curve() const noexcept { return curve_; }
+
+  // True wall power drawn when delivering `output_w` (0 when idle; real PSUs
+  // have standby losses, folded into the router's base power instead).
+  [[nodiscard]] double input_power_w(double output_w) const;
+
+  // True efficiency at a delivered power.
+  [[nodiscard]] double efficiency_at(double output_w) const;
+
+  // Sensor snapshot at time `t` while delivering `output_w`. Deterministic in
+  // (seed, t). May legitimately report P_out > P_in.
+  [[nodiscard]] PsuSensorReading sensor_reading(double output_w, SimTime t) const;
+
+ private:
+  PsuSimParams params_;
+  EfficiencyCurve curve_;
+  std::uint64_t seed_;
+};
+
+}  // namespace joules

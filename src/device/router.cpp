@@ -1,0 +1,168 @@
+#include "device/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+double hash_unit(std::uint64_t seed, SimTime t, std::uint64_t salt) noexcept {
+  std::uint64_t z = seed ^ salt ^ (static_cast<std::uint64_t>(t) * 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-52 - 1.0;
+}
+
+}  // namespace
+
+std::size_t RouterSpec::total_ports() const noexcept {
+  std::size_t total = 0;
+  for (const PortGroup& group : ports) total += group.count;
+  return total;
+}
+
+SimulatedRouter::SimulatedRouter(RouterSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), seed_(seed), fan_(spec_.fan) {
+  Rng rng = Rng(seed).fork("psu-offsets");
+  psus_.reserve(static_cast<std::size_t>(spec_.psu_count));
+  for (int i = 0; i < spec_.psu_count; ++i) {
+    PsuSimParams params;
+    params.capacity_w = spec_.psu_capacity_w;
+    params.efficiency_offset =
+        rng.normal(spec_.psu_efficiency_offset_mean,
+                   spec_.psu_efficiency_offset_spread);
+    psus_.emplace_back(params, seed ^ (0x50ULL + static_cast<std::uint64_t>(i)));
+  }
+}
+
+std::size_t SimulatedRouter::add_interface(const ProfileKey& profile,
+                                           InterfaceState state,
+                                           std::string name) {
+  std::size_t port_budget = 0;
+  for (const PortGroup& group : spec_.ports) {
+    if (group.type == profile.port) port_budget += group.count;
+  }
+  std::size_t in_use = 0;
+  for (const InterfaceConfig& existing : interfaces_) {
+    if (existing.profile.port == profile.port) ++in_use;
+  }
+  if (in_use >= port_budget) {
+    throw std::invalid_argument("SimulatedRouter: no free " +
+                                std::string(to_string(profile.port)) +
+                                " port on " + spec_.model);
+  }
+  InterfaceConfig config;
+  config.profile = profile;
+  config.state = state;
+  config.name = name.empty()
+                    ? std::string(to_string(profile.port)) + "-" +
+                          std::to_string(interfaces_.size())
+                    : std::move(name);
+  interfaces_.push_back(std::move(config));
+  return interfaces_.size() - 1;
+}
+
+void SimulatedRouter::set_interface_state(std::size_t index,
+                                          InterfaceState state) {
+  interfaces_.at(index).state = state;
+}
+
+void SimulatedRouter::set_all_interfaces(InterfaceState state) {
+  for (InterfaceConfig& config : interfaces_) config.state = state;
+}
+
+void SimulatedRouter::clear_interfaces() { interfaces_.clear(); }
+
+void SimulatedRouter::add_reporting_shift(SimTime t, double delta_w) {
+  reporting_shifts_.emplace_back(t, delta_w);
+  std::sort(reporting_shifts_.begin(), reporting_shifts_.end());
+}
+
+double SimulatedRouter::ambient_c(SimTime t) const noexcept {
+  return ambient_override_c_.value_or(server_room_temperature_c(t));
+}
+
+double SimulatedRouter::control_plane_w(SimTime t) const noexcept {
+  // Slowly varying jitter (hourly buckets) around the mean: BGP churn, SNMP
+  // polling, management-plane activity.
+  const double noise = hash_unit(seed_, t / kSecondsPerHour, 0xC0);
+  return std::max(0.0, spec_.control_plane_mean_w +
+                           spec_.control_plane_swing_w * noise);
+}
+
+double SimulatedRouter::dc_power_w(SimTime t,
+                                   std::span<const InterfaceLoad> loads) const {
+  const PowerModel::Prediction truth = spec_.truth.predict(interfaces_, loads);
+  if (!truth.unmatched_interfaces.empty()) {
+    throw std::logic_error("SimulatedRouter: no truth profile for interface '" +
+                           truth.unmatched_interfaces.front() + "' on " +
+                           spec_.model);
+  }
+  return truth.total_w() + fan_.power_w(ambient_c(t), t, os_update_at_) +
+         control_plane_w(t);
+}
+
+double SimulatedRouter::wall_power_w(SimTime t,
+                                     std::span<const InterfaceLoad> loads) const {
+  const double dc = dc_power_w(t, loads);
+  if (psus_.empty()) return dc;
+  if (psu_mode_ == PsuMode::kHotStandby && psus_.size() > 1 &&
+      dc <= psus_.front().capacity_w()) {
+    // One PSU carries everything at a better point on its curve; the others
+    // stay energized for redundancy at a small housekeeping draw.
+    double wall = psus_.front().input_power_w(dc);
+    wall += static_cast<double>(psus_.size() - 1) * spec_.psu_standby_w;
+    return wall;
+  }
+  // Active-active load balancing: each PSU delivers an equal share.
+  const double share = dc / static_cast<double>(psus_.size());
+  double wall = 0.0;
+  for (const SimulatedPsu& psu : psus_) wall += psu.input_power_w(share);
+  return wall;
+}
+
+std::optional<double> SimulatedRouter::reported_power_w(
+    SimTime t, std::span<const InterfaceLoad> loads) const {
+  double shift = 0.0;
+  for (const auto& [when, delta] : reporting_shifts_) {
+    if (t >= when) shift += delta;
+  }
+  switch (spec_.telemetry) {
+    case PsuTelemetry::kNone:
+      return std::nullopt;
+    case PsuTelemetry::kPreciseOffset: {
+      const double noise = 0.5 * hash_unit(seed_, t, 0x7E);
+      return wall_power_w(t, loads) + spec_.telemetry_offset_w + shift + noise;
+    }
+    case PsuTelemetry::kPseudoConstant: {
+      // The sensor only re-latches its value rarely: sample the true power at
+      // the start of a multi-day bucket and quantize coarsely. The result is
+      // flat stretches with sharp jumps, carrying little information.
+      constexpr SimTime kLatchPeriod = 10 * kSecondsPerDay;
+      const SimTime bucket_start = (t / kLatchPeriod) * kLatchPeriod;
+      const double latched = wall_power_w(bucket_start, loads);
+      return std::round(latched / 5.0) * 5.0 + shift;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<PsuSensorReading> SimulatedRouter::sensor_snapshot(
+    SimTime t, std::span<const InterfaceLoad> loads) const {
+  const double dc = dc_power_w(t, loads);
+  std::vector<PsuSensorReading> readings;
+  readings.reserve(psus_.size());
+  const double share =
+      psus_.empty() ? 0.0 : dc / static_cast<double>(psus_.size());
+  for (const SimulatedPsu& psu : psus_) {
+    readings.push_back(psu.sensor_reading(share, t));
+  }
+  return readings;
+}
+
+}  // namespace joules

@@ -1,0 +1,159 @@
+// The simulated router — the DUT stand-in for the paper's physical devices.
+//
+// A `SimulatedRouter` exposes exactly the surface the paper's methodology
+// interacts with: an interface configuration, offered loads, a wall socket
+// (true AC power, measured externally by Autopower / the lab power meter),
+// PSU telemetry (what SNMP reports, quirks included), and sensor snapshots.
+//
+// Its *hidden ground truth* is deliberately richer than the §4 model:
+//   - the §4 terms themselves (P_base + per-interface profiles), seeded from
+//     the paper's Tables 2 and 6;
+//   - fan power, stepped by ambient temperature and OS thermal policy (§C);
+//   - control-plane load jitter;
+//   - per-unit PSU conversion losses (PFE600-shaped curves with a
+//     manufacturing/aging spread).
+// The §5 methodology only sees configuration + wall power, so the recovered
+// model is precise but offset — the paper's central validation finding.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "device/fan.hpp"
+#include "device/psu_sim.hpp"
+#include "model/power_model.hpp"
+
+namespace joules {
+
+struct PortGroup {
+  PortType type = PortType::kQSFP28;
+  std::size_t count = 0;
+  LineRate max_rate = LineRate::kG100;
+};
+
+// PSU operating mode (§9.4). Active-active splits the load across all PSUs
+// (what every router in the paper's fleet did); hot-standby puts the whole
+// load on one PSU — roughly doubling its load point, where the efficiency
+// curve is better — while the standby unit idles at a small housekeeping
+// draw, preserving redundancy.
+enum class PsuMode : std::uint8_t {
+  kActiveActive,
+  kHotStandby,
+};
+
+// How the router's PSU power shows up in SNMP (§6, Fig. 4):
+enum class PsuTelemetry : std::uint8_t {
+  kPreciseOffset,   // shape matches reality, constant offset (Fig. 4a)
+  kPseudoConstant,  // sticky value with sharp jumps (Fig. 4b)
+  kNone,            // the router does not report power at all (Fig. 4c)
+};
+
+struct RouterSpec {
+  std::string model;
+  std::string vendor;
+  std::vector<PortGroup> ports;
+
+  // True DC-side power behaviour: P_base plus per-profile interface terms.
+  PowerModel truth;
+
+  FanModelParams fan;
+  double control_plane_mean_w = 2.0;
+  double control_plane_swing_w = 0.8;
+
+  int psu_count = 2;
+  double psu_capacity_w = 750.0;
+  double psu_efficiency_offset_mean = 0.0;    // model-level quality vs PFE600
+  double psu_efficiency_offset_spread = 0.02; // unit-to-unit spread (1 sigma)
+  double psu_standby_w = 3.0;                 // hot-standby housekeeping draw
+
+  PsuTelemetry telemetry = PsuTelemetry::kPreciseOffset;
+  double telemetry_offset_w = 0.0;  // constant SNMP offset for kPreciseOffset
+
+  // Datasheet-facing metadata (feeds the §3 corpus and Table 1).
+  double datasheet_typical_w = 0.0;  // 0 = "not stated"
+  double datasheet_max_w = 0.0;
+  double max_bandwidth_gbps = 0.0;
+  int release_year = 0;
+
+  [[nodiscard]] std::size_t total_ports() const noexcept;
+};
+
+class SimulatedRouter {
+ public:
+  SimulatedRouter(RouterSpec spec, std::uint64_t seed);
+
+  [[nodiscard]] const RouterSpec& spec() const noexcept { return spec_; }
+
+  // --- Interface configuration ----------------------------------------
+  // Adds an interface (must not exceed the spec's port budget for the port
+  // type); returns its index.
+  std::size_t add_interface(const ProfileKey& profile, InterfaceState state,
+                            std::string name = {});
+  void set_interface_state(std::size_t index, InterfaceState state);
+  void set_all_interfaces(InterfaceState state);
+  void clear_interfaces();
+  [[nodiscard]] std::span<const InterfaceConfig> interfaces() const noexcept {
+    return interfaces_;
+  }
+
+  // --- Environment & events -------------------------------------------
+  // Fixes the ambient temperature (lab bench); by default the router lives
+  // in a server room with a small diurnal swing.
+  void set_ambient_override_c(std::optional<double> celsius) noexcept {
+    ambient_override_c_ = celsius;
+  }
+  // OS update instant: fan policy bump applies from then on (Fig. 8).
+  void set_os_update_at(SimTime t) noexcept { os_update_at_ = t; }
+  // PSU operating mode (§9.4); default active-active like the Switch fleet.
+  void set_psu_mode(PsuMode mode) noexcept { psu_mode_ = mode; }
+  [[nodiscard]] PsuMode psu_mode() const noexcept { return psu_mode_; }
+  // Telemetry shift event (e.g. the -7 W re-calibration jump the paper saw
+  // after power-cycling a PSU). Applies to reported power from `t` on.
+  void add_reporting_shift(SimTime t, double delta_w);
+
+  // --- Power (ground truth) ---------------------------------------------
+  // True DC-side power: §4 truth terms + fan + control plane. `loads` may be
+  // empty (no traffic) or one entry per interface. Throws std::logic_error
+  // if any configured interface lacks a truth profile (catalog bug).
+  [[nodiscard]] double dc_power_w(SimTime t,
+                                  std::span<const InterfaceLoad> loads = {}) const;
+
+  // True wall (AC) power: the DC power load-balanced across the PSUs, each
+  // converted at its unit's true efficiency. This is what Autopower and the
+  // lab meter measure.
+  [[nodiscard]] double wall_power_w(SimTime t,
+                                    std::span<const InterfaceLoad> loads = {}) const;
+
+  // --- Telemetry (what SNMP sees) ---------------------------------------
+  // Router-reported total power; nullopt for models that do not report.
+  [[nodiscard]] std::optional<double> reported_power_w(
+      SimTime t, std::span<const InterfaceLoad> loads = {}) const;
+
+  // Per-PSU (P_in, P_out) sensor snapshot — the §9 dataset's export format.
+  [[nodiscard]] std::vector<PsuSensorReading> sensor_snapshot(
+      SimTime t, std::span<const InterfaceLoad> loads = {}) const;
+
+  [[nodiscard]] const std::vector<SimulatedPsu>& psus() const noexcept { return psus_; }
+
+  static constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+ private:
+  [[nodiscard]] double ambient_c(SimTime t) const noexcept;
+  [[nodiscard]] double control_plane_w(SimTime t) const noexcept;
+
+  RouterSpec spec_;
+  std::uint64_t seed_;
+  FanModel fan_;
+  std::vector<SimulatedPsu> psus_;
+  std::vector<InterfaceConfig> interfaces_;
+  std::optional<double> ambient_override_c_;
+  PsuMode psu_mode_ = PsuMode::kActiveActive;
+  SimTime os_update_at_ = kNever;
+  std::vector<std::pair<SimTime, double>> reporting_shifts_;
+};
+
+}  // namespace joules

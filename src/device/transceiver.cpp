@@ -1,0 +1,51 @@
+#include "device/transceiver.hpp"
+
+#include <array>
+
+namespace joules {
+namespace {
+
+// Datasheet power numbers are typical vendor max-power specs for each class;
+// the 400G FR4 value (12 W) is the one the paper quotes when explaining the
+// Oct. 9 power drop in Fig. 4a.
+const std::array<TransceiverModule, 14> kCatalog = {{
+    {"SFP-1G-T", PortType::kSFP, TransceiverKind::kBaseT, LineRate::kG1, 1.05},
+    {"SFP-1G-LR", PortType::kSFP, TransceiverKind::kLR, LineRate::kG1, 0.8},
+    {"SFP-10G-SR", PortType::kSFPPlus, TransceiverKind::kSR4, LineRate::kG10, 0.8},
+    {"SFP-10G-LR", PortType::kSFPPlus, TransceiverKind::kLR, LineRate::kG10, 1.2},
+    {"SFP-10G-DAC", PortType::kSFPPlus, TransceiverKind::kPassiveDAC, LineRate::kG10, 0.1},
+    {"QSFP-40G-SR4", PortType::kQSFP, TransceiverKind::kSR4, LineRate::kG40, 1.5},
+    {"QSFP-100G-DAC", PortType::kQSFP, TransceiverKind::kPassiveDAC, LineRate::kG100, 0.5},
+    {"QSFP28-100G-DAC", PortType::kQSFP28, TransceiverKind::kPassiveDAC, LineRate::kG100, 0.5},
+    {"QSFP28-100G-SR4", PortType::kQSFP28, TransceiverKind::kSR4, LineRate::kG100, 2.5},
+    {"QSFP28-100G-LR4", PortType::kQSFP28, TransceiverKind::kLR4, LineRate::kG100, 4.5},
+    {"QSFP28-100G-LR", PortType::kQSFP28, TransceiverKind::kLR, LineRate::kG100, 4.0},
+    {"QSFP-DD-400G-FR4", PortType::kQSFPDD, TransceiverKind::kFR4, LineRate::kG400, 12.0},
+    {"RJ45-10G-T", PortType::kRJ45, TransceiverKind::kBaseT, LineRate::kG10, 0.0},
+    {"RJ45-1G-T", PortType::kRJ45, TransceiverKind::kBaseT, LineRate::kG1, 0.0},
+}};
+
+}  // namespace
+
+std::span<const TransceiverModule> transceiver_catalog() { return kCatalog; }
+
+std::optional<TransceiverModule> find_transceiver(std::string_view part_number) {
+  for (const TransceiverModule& module : kCatalog) {
+    if (module.part_number == part_number) return module;
+  }
+  return std::nullopt;
+}
+
+std::optional<TransceiverModule> find_transceiver(PortType form_factor,
+                                                  TransceiverKind kind,
+                                                  LineRate rate) {
+  for (const TransceiverModule& module : kCatalog) {
+    if (module.form_factor == form_factor && module.kind == kind &&
+        module.rate == rate) {
+      return module;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace joules

@@ -1,0 +1,38 @@
+// Transceiver module catalogue.
+//
+// Deployed routers host pluggable transceivers; the §8 link-sleeping analysis
+// estimates P_trx from *datasheet* values because transceiver-level power
+// models are not available for every module in the network. This catalogue
+// lists the module types the Switch-like simulation deploys, with their form
+// factor, kind, line rate, and datasheet power.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "model/interface_profile.hpp"
+
+namespace joules {
+
+struct TransceiverModule {
+  std::string part_number;     // e.g. "QSFP28-100G-LR4"
+  PortType form_factor = PortType::kQSFP28;
+  TransceiverKind kind = TransceiverKind::kLR4;
+  LineRate rate = LineRate::kG100;
+  double datasheet_power_w = 0.0;  // vendor-specified max module power
+};
+
+// All module types known to the simulation.
+[[nodiscard]] std::span<const TransceiverModule> transceiver_catalog();
+
+// Lookup by part number; nullopt if unknown.
+[[nodiscard]] std::optional<TransceiverModule> find_transceiver(
+    std::string_view part_number);
+
+// A module matching a (port, kind, rate) triple, if the catalogue has one.
+[[nodiscard]] std::optional<TransceiverModule> find_transceiver(
+    PortType form_factor, TransceiverKind kind, LineRate rate);
+
+}  // namespace joules

@@ -1,0 +1,57 @@
+#include "meter/power_meter.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace joules {
+namespace {
+
+double hash_unit(std::uint64_t seed, SimTime t, std::uint64_t salt) noexcept {
+  std::uint64_t z = seed ^ salt ^ (static_cast<std::uint64_t>(t) * 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-52 - 1.0;
+}
+
+}  // namespace
+
+PowerMeter::PowerMeter(PowerMeterSpec spec, std::uint64_t seed)
+    : spec_(spec), seed_(seed) {
+  if (spec_.channels < 1) {
+    throw std::invalid_argument("PowerMeter: need at least one channel");
+  }
+  Rng rng = Rng(seed).fork("meter-calibration");
+  channel_gain_.reserve(static_cast<std::size_t>(spec_.channels));
+  for (int c = 0; c < spec_.channels; ++c) {
+    channel_gain_.push_back(
+        rng.uniform(-spec_.max_gain_error_frac, spec_.max_gain_error_frac));
+  }
+}
+
+double PowerMeter::gain_error_frac(int channel) const {
+  return channel_gain_.at(static_cast<std::size_t>(channel));
+}
+
+double PowerMeter::measure_w(int channel, double true_power_w, SimTime t) const {
+  const double gain = 1.0 + gain_error_frac(channel);
+  const double noise =
+      spec_.noise_floor_w *
+      hash_unit(seed_, t, 0xA0 + static_cast<std::uint64_t>(channel));
+  const double reading = true_power_w * gain + noise;
+  return reading > 0.0 ? reading : 0.0;
+}
+
+TimeSeries PowerMeter::record(
+    int channel, const std::function<double(SimTime)>& true_power_of_t,
+    SimTime begin, SimTime end, SimTime period_s) const {
+  if (period_s < 1) period_s = 1;
+  TimeSeries trace;
+  for (SimTime t = begin; t < end; t += period_s) {
+    trace.push(t, measure_w(channel, true_power_of_t(t), t));
+  }
+  return trace;
+}
+
+}  // namespace joules

@@ -1,0 +1,57 @@
+// External power meter simulation (§5.1, §6.1).
+//
+// The paper measures wall power with a Microchip MCP39F511N: two C13
+// channels, specified accuracy ±0.5 %, streaming samples every 0.5 s. A
+// `PowerMeter` wraps a channel-per-PSU view of a power source with a per-unit
+// calibration error (fixed gain drawn within spec at construction) plus
+// additive sample noise. Both the lab bench (NetPowerBench) and the deployed
+// Autopower units use this class; its `measure` input is the true wall power
+// the simulated router reports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/sim_clock.hpp"
+#include "util/time_series.hpp"
+
+namespace joules {
+
+struct PowerMeterSpec {
+  double max_gain_error_frac = 0.005;  // +-0.5 % of reading (datasheet spec)
+  double noise_floor_w = 0.08;         // additive sample noise (1 sigma)
+  double sample_period_s = 0.5;        // MCP39F511N streaming rate
+  int channels = 2;
+};
+
+class PowerMeter {
+ public:
+  // The per-channel gain error is drawn uniformly within +-max_gain_error and
+  // stays fixed for the unit's lifetime (it is a calibration property).
+  PowerMeter(PowerMeterSpec spec, std::uint64_t seed);
+
+  [[nodiscard]] const PowerMeterSpec& spec() const noexcept { return spec_; }
+
+  // One reading of `true_power_w` on `channel` at time `t`. Deterministic in
+  // (unit seed, channel, t).
+  [[nodiscard]] double measure_w(int channel, double true_power_w, SimTime t) const;
+
+  // Records a trace: samples `true_power_of_t` every `period_s` over
+  // [begin, end). Sub-second periods are rounded up to 1 s in SimTime
+  // resolution; the paper's analyses all operate on >= 30 s averages.
+  [[nodiscard]] TimeSeries record(int channel,
+                                  const std::function<double(SimTime)>& true_power_of_t,
+                                  SimTime begin, SimTime end,
+                                  SimTime period_s = 1) const;
+
+  // The unit's actual (hidden) gain error for a channel — used by tests to
+  // assert the spec envelope, not by the analyses.
+  [[nodiscard]] double gain_error_frac(int channel) const;
+
+ private:
+  PowerMeterSpec spec_;
+  std::uint64_t seed_;
+  std::vector<double> channel_gain_;
+};
+
+}  // namespace joules

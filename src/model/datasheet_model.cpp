@@ -1,0 +1,46 @@
+#include "model/datasheet_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace joules {
+
+DatasheetLinearModel::DatasheetLinearModel(double idle_power_w,
+                                           double max_power_w,
+                                           double max_bandwidth_bps)
+    : idle_power_w_(idle_power_w),
+      max_power_w_(max_power_w),
+      max_bandwidth_bps_(max_bandwidth_bps) {
+  if (idle_power_w < 0.0 || max_power_w < idle_power_w) {
+    throw std::invalid_argument(
+        "DatasheetLinearModel: need 0 <= idle <= max power");
+  }
+  if (max_bandwidth_bps <= 0.0) {
+    throw std::invalid_argument("DatasheetLinearModel: bandwidth must be positive");
+  }
+}
+
+std::optional<DatasheetLinearModel> DatasheetLinearModel::from_record(
+    const DatasheetRecord& record) {
+  std::optional<double> bandwidth = record.max_bandwidth_gbps;
+  if (!bandwidth) bandwidth = bandwidth_from_ports_gbps(record);
+  if (!bandwidth || *bandwidth <= 0.0) return std::nullopt;
+
+  // [16, 33] use reported idle and max power; datasheets in the wild rarely
+  // state idle, so "typical" stands in (and max falls back to 1.5x typical
+  // when absent, mirroring the provisioning rule of thumb).
+  const std::optional<double> idle = record.typical_power_w;
+  if (!idle) return std::nullopt;
+  const double max_power = record.max_power_w.value_or(*idle * 1.5);
+  if (max_power < *idle) return std::nullopt;
+
+  return DatasheetLinearModel(*idle, max_power, *bandwidth * 1e9);
+}
+
+double DatasheetLinearModel::predict_w(double throughput_bps) const noexcept {
+  const double utilization =
+      std::clamp(throughput_bps / max_bandwidth_bps_, 0.0, 1.0);
+  return idle_power_w_ + (max_power_w_ - idle_power_w_) * utilization;
+}
+
+}  // namespace joules

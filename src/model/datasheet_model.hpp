@@ -1,0 +1,44 @@
+// The datasheet-based power model of El-Zahr et al. / Tabaeiaghdaei et al.
+// ([16, 33] in the paper) — the baseline the fine-grained §4 model improves
+// on. It interpolates linearly between a reported idle power and max power
+// by throughput utilization:
+//
+//   P(u) = P_idle + (P_max - P_idle) * u,   u = throughput / max_bandwidth.
+//
+// §2 notes its limits: no transceiver accounting, and datasheet inputs that
+// §3 shows are unreliable. The ablation bench quantifies both against the
+// simulated ground truth.
+#pragma once
+
+#include <optional>
+
+#include "datasheet/record.hpp"
+
+namespace joules {
+
+class DatasheetLinearModel {
+ public:
+  // `idle_power_w` < `max_power_w`, `max_bandwidth_bps` > 0.
+  DatasheetLinearModel(double idle_power_w, double max_power_w,
+                       double max_bandwidth_bps);
+
+  // Builds the model from a datasheet record the way [16, 33] do: "typical"
+  // power stands in for idle, max power caps the ramp. nullopt when the
+  // record lacks the needed fields.
+  static std::optional<DatasheetLinearModel> from_record(
+      const DatasheetRecord& record);
+
+  // Predicted power at a given carried throughput (clamped to the capacity).
+  [[nodiscard]] double predict_w(double throughput_bps) const noexcept;
+
+  [[nodiscard]] double idle_power_w() const noexcept { return idle_power_w_; }
+  [[nodiscard]] double max_power_w() const noexcept { return max_power_w_; }
+  [[nodiscard]] double max_bandwidth_bps() const noexcept { return max_bandwidth_bps_; }
+
+ private:
+  double idle_power_w_;
+  double max_power_w_;
+  double max_bandwidth_bps_;
+};
+
+}  // namespace joules

@@ -1,0 +1,114 @@
+#include "model/interface_profile.hpp"
+
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+
+std::string_view to_string(PortType type) noexcept {
+  switch (type) {
+    case PortType::kSFP: return "SFP";
+    case PortType::kSFPPlus: return "SFP+";
+    case PortType::kQSFP: return "QSFP";
+    case PortType::kQSFP28: return "QSFP28";
+    case PortType::kQSFPDD: return "QSFP-DD";
+    case PortType::kRJ45: return "RJ45";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(TransceiverKind kind) noexcept {
+  switch (kind) {
+    case TransceiverKind::kNone: return "none";
+    case TransceiverKind::kPassiveDAC: return "Passive DAC";
+    case TransceiverKind::kSR4: return "SR4";
+    case TransceiverKind::kLR: return "LR";
+    case TransceiverKind::kLR4: return "LR4";
+    case TransceiverKind::kFR4: return "FR4";
+    case TransceiverKind::kBaseT: return "T";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(LineRate rate) noexcept {
+  switch (rate) {
+    case LineRate::kM100: return "100M";
+    case LineRate::kG1: return "1G";
+    case LineRate::kG10: return "10G";
+    case LineRate::kG25: return "25G";
+    case LineRate::kG40: return "40G";
+    case LineRate::kG50: return "50G";
+    case LineRate::kG100: return "100G";
+    case LineRate::kG400: return "400G";
+  }
+  return "unknown";
+}
+
+std::optional<PortType> parse_port_type(std::string_view text) {
+  const std::string t = to_lower(trim(text));
+  if (t == "sfp") return PortType::kSFP;
+  if (t == "sfp+" || t == "sfpplus") return PortType::kSFPPlus;
+  if (t == "qsfp") return PortType::kQSFP;
+  if (t == "qsfp28" || t == "qspf28") return PortType::kQSFP28;  // paper's typo included
+  if (t == "qsfp-dd" || t == "qsfpdd") return PortType::kQSFPDD;
+  if (t == "rj45" || t == "rj-45") return PortType::kRJ45;
+  return std::nullopt;
+}
+
+std::optional<TransceiverKind> parse_transceiver_kind(std::string_view text) {
+  const std::string t = to_lower(trim(text));
+  if (t == "none" || t.empty()) return TransceiverKind::kNone;
+  if (t == "passive dac" || t == "dac") return TransceiverKind::kPassiveDAC;
+  if (t == "sr4") return TransceiverKind::kSR4;
+  if (t == "lr") return TransceiverKind::kLR;
+  if (t == "lr4") return TransceiverKind::kLR4;
+  if (t == "fr4") return TransceiverKind::kFR4;
+  if (t == "t" || t == "base-t" || t == "baset") return TransceiverKind::kBaseT;
+  return std::nullopt;
+}
+
+std::optional<LineRate> parse_line_rate(std::string_view text) {
+  const std::string t = to_lower(trim(text));
+  if (t == "100m") return LineRate::kM100;
+  if (t == "1g") return LineRate::kG1;
+  if (t == "10g") return LineRate::kG10;
+  if (t == "25g") return LineRate::kG25;
+  if (t == "40g") return LineRate::kG40;
+  if (t == "50g") return LineRate::kG50;
+  if (t == "100g") return LineRate::kG100;
+  if (t == "400g") return LineRate::kG400;
+  return std::nullopt;
+}
+
+double line_rate_bps(LineRate rate) noexcept {
+  switch (rate) {
+    case LineRate::kM100: return mbps_to_bps(100);
+    case LineRate::kG1: return gbps_to_bps(1);
+    case LineRate::kG10: return gbps_to_bps(10);
+    case LineRate::kG25: return gbps_to_bps(25);
+    case LineRate::kG40: return gbps_to_bps(40);
+    case LineRate::kG50: return gbps_to_bps(50);
+    case LineRate::kG100: return gbps_to_bps(100);
+    case LineRate::kG400: return gbps_to_bps(400);
+  }
+  return 0.0;
+}
+
+std::string to_string(const ProfileKey& key) {
+  std::string out;
+  out += to_string(key.port);
+  out += '/';
+  out += to_string(key.transceiver);
+  out += '/';
+  out += to_string(key.rate);
+  return out;
+}
+
+double InterfaceProfile::dynamic_power_w(double rate_bps,
+                                         double rate_pps) const noexcept {
+  if (rate_bps <= 0.0 && rate_pps <= 0.0) return 0.0;
+  return energy_per_bit_j * rate_bps + energy_per_packet_j * rate_pps +
+         offset_power_w;
+}
+
+}  // namespace joules

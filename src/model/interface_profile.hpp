@@ -1,0 +1,100 @@
+// Interface power profiles.
+//
+// §4.2: the power model has one constant term (P_base) and six terms *per
+// interface type and configuration*: P_port, P_trx_in, P_trx_up, E_bit,
+// E_pkt, and P_offset. An interface type is identified by the (port type,
+// transceiver kind, line rate) triple — e.g. (QSFP28, Passive DAC, 100G).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace joules {
+
+enum class PortType : std::uint8_t {
+  kSFP,
+  kSFPPlus,
+  kQSFP,
+  kQSFP28,
+  kQSFPDD,
+  kRJ45,
+};
+
+enum class TransceiverKind : std::uint8_t {
+  kNone,        // empty cage
+  kPassiveDAC,  // passive direct-attach copper
+  kSR4,         // short-reach optic
+  kLR,          // long-reach optic (single lambda)
+  kLR4,         // long-reach optic (4 lambdas)
+  kFR4,         // 2 km optic, 400G
+  kBaseT,       // electrical (RJ45 / SFP-T)
+};
+
+// Configured line rates present in the paper's tables.
+enum class LineRate : std::uint8_t {
+  kM100,  // 100 Mbps
+  kG1,
+  kG10,
+  kG25,
+  kG40,
+  kG50,
+  kG100,
+  kG400,
+};
+
+[[nodiscard]] std::string_view to_string(PortType type) noexcept;
+[[nodiscard]] std::string_view to_string(TransceiverKind kind) noexcept;
+[[nodiscard]] std::string_view to_string(LineRate rate) noexcept;
+
+[[nodiscard]] std::optional<PortType> parse_port_type(std::string_view text);
+[[nodiscard]] std::optional<TransceiverKind> parse_transceiver_kind(std::string_view text);
+[[nodiscard]] std::optional<LineRate> parse_line_rate(std::string_view text);
+
+// Configured line rate in bits/second.
+[[nodiscard]] double line_rate_bps(LineRate rate) noexcept;
+
+// Identifies an interface power profile.
+struct ProfileKey {
+  PortType port = PortType::kQSFP28;
+  TransceiverKind transceiver = TransceiverKind::kPassiveDAC;
+  LineRate rate = LineRate::kG100;
+
+  friend auto operator<=>(const ProfileKey&, const ProfileKey&) = default;
+};
+
+[[nodiscard]] std::string to_string(const ProfileKey& key);
+
+// The six per-interface model parameters of §4.2.
+struct InterfaceProfile {
+  ProfileKey key;
+  double port_power_w = 0.0;        // P_port: router-side cost of an active port
+  double trx_in_power_w = 0.0;      // P_trx,in: cost of a plugged transceiver
+  double trx_up_power_w = 0.0;      // P_trx,up: extra cost once the interface is up
+  double energy_per_bit_j = 0.0;    // E_bit
+  double energy_per_packet_j = 0.0; // E_pkt
+  double offset_power_w = 0.0;      // P_offset: first-packet step (SerDes wakeup etc.)
+
+  friend bool operator==(const InterfaceProfile&, const InterfaceProfile&) = default;
+
+  // Static power of one interface with this profile, P_interface = P_port +
+  // P_trx (Eq. 3/4), by admin state:
+  //   plugged only      -> P_trx,in
+  //   port enabled      -> P_trx,in + P_port
+  //   interface up      -> P_trx,in + P_port + P_trx,up
+  [[nodiscard]] double plugged_power_w() const noexcept { return trx_in_power_w; }
+  [[nodiscard]] double enabled_power_w() const noexcept {
+    return trx_in_power_w + port_power_w;
+  }
+  [[nodiscard]] double up_power_w() const noexcept {
+    return trx_in_power_w + port_power_w + trx_up_power_w;
+  }
+
+  // Dynamic power for bidirectionally summed bit and packet rates (Eq. 6,
+  // plus the P_offset step when any traffic flows).
+  [[nodiscard]] double dynamic_power_w(double rate_bps, double rate_pps) const noexcept;
+};
+
+}  // namespace joules

@@ -1,0 +1,105 @@
+#include "model/model_io.hpp"
+
+#include <stdexcept>
+
+#include "util/ascii_chart.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+const std::vector<std::string> kHeader = {
+    "row",  "port",   "transceiver", "rate",  "P_base_W", "P_port_W",
+    "P_trx_in_W", "P_trx_up_W", "E_bit_pJ", "E_pkt_nJ", "P_offset_W"};
+
+}  // namespace
+
+CsvTable model_to_csv(const PowerModel& model) {
+  CsvTable table(kHeader);
+  table.add_row({"base", "", "", "", format_number(model.base_power_w()), "", "",
+                 "", "", "", ""});
+  for (const InterfaceProfile& p : model.profiles()) {
+    table.add_row({
+        "profile",
+        std::string(to_string(p.key.port)),
+        std::string(to_string(p.key.transceiver)),
+        std::string(to_string(p.key.rate)),
+        "",
+        format_number(p.port_power_w),
+        format_number(p.trx_in_power_w),
+        format_number(p.trx_up_power_w),
+        format_number(joules_to_picojoules(p.energy_per_bit_j), 3),
+        format_number(joules_to_nanojoules(p.energy_per_packet_j), 3),
+        format_number(p.offset_power_w),
+    });
+  }
+  return table;
+}
+
+PowerModel model_from_csv(const CsvTable& table) {
+  PowerModel model;
+  for (std::size_t i = 0; i < table.row_count(); ++i) {
+    const std::string kind = table.cell(i, "row");
+    if (kind == "base") {
+      model.set_base_power_w(table.cell_double(i, "P_base_W"));
+      continue;
+    }
+    if (kind != "profile") {
+      throw std::invalid_argument("model_from_csv: unknown row kind '" + kind + "'");
+    }
+    InterfaceProfile p;
+    const auto port = parse_port_type(table.cell(i, "port"));
+    const auto trx = parse_transceiver_kind(table.cell(i, "transceiver"));
+    const auto rate = parse_line_rate(table.cell(i, "rate"));
+    if (!port || !trx || !rate) {
+      throw std::invalid_argument("model_from_csv: unparsable profile key in row " +
+                                  std::to_string(i));
+    }
+    p.key = ProfileKey{*port, *trx, *rate};
+    p.port_power_w = table.cell_double(i, "P_port_W");
+    p.trx_in_power_w = table.cell_double(i, "P_trx_in_W");
+    p.trx_up_power_w = table.cell_double(i, "P_trx_up_W");
+    p.energy_per_bit_j = picojoules_to_joules(table.cell_double(i, "E_bit_pJ"));
+    p.energy_per_packet_j = nanojoules_to_joules(table.cell_double(i, "E_pkt_nJ"));
+    p.offset_power_w = table.cell_double(i, "P_offset_W");
+    model.add_profile(p);
+  }
+  return model;
+}
+
+std::string model_to_string(const PowerModel& model) {
+  return model_to_csv(model).to_string();
+}
+
+PowerModel model_from_string(const std::string& text) {
+  return model_from_csv(CsvTable::parse(text));
+}
+
+std::string render_model_table(const std::string& device_name,
+                               const PowerModel& model) {
+  std::vector<std::vector<std::string>> rows;
+  bool first = true;
+  for (const InterfaceProfile& p : model.profiles()) {
+    rows.push_back({
+        std::string(to_string(p.key.port)),
+        std::string(to_string(p.key.transceiver)),
+        std::string(to_string(p.key.rate)),
+        first ? format_number(model.base_power_w(), 1) : "-",
+        format_number(p.port_power_w, 2),
+        format_number(p.trx_in_power_w, 2),
+        format_number(p.trx_up_power_w, 2),
+        format_number(joules_to_picojoules(p.energy_per_bit_j), 1),
+        format_number(joules_to_nanojoules(p.energy_per_packet_j), 1),
+        format_number(p.offset_power_w, 2),
+    });
+    first = false;
+  }
+  std::string out = "  " + device_name + "\n";
+  out += render_text_table(
+      {"Port", "Trans.", "Speed", "P_base[W]", "P_port[W]", "P_trx,in[W]",
+       "P_trx,up[W]", "E_bit[pJ]", "E_pkt[nJ]", "P_offset[W]"},
+      rows);
+  return out;
+}
+
+}  // namespace joules

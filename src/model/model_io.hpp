@@ -1,0 +1,26 @@
+// PowerModel (de)serialization.
+//
+// Models round-trip through a CSV schema mirroring the paper's Table 2 /
+// Table 6 layout: one `base` row and one row per interface profile. Energies
+// are stored in pJ (E_bit) and nJ (E_pkt) like the paper's tables.
+#pragma once
+
+#include <string>
+
+#include "model/power_model.hpp"
+#include "util/csv.hpp"
+
+namespace joules {
+
+[[nodiscard]] CsvTable model_to_csv(const PowerModel& model);
+[[nodiscard]] PowerModel model_from_csv(const CsvTable& table);
+
+[[nodiscard]] std::string model_to_string(const PowerModel& model);
+[[nodiscard]] PowerModel model_from_string(const std::string& text);
+
+// A Table-2-style pretty rendering: one row per profile with the paper's
+// units (W, pJ, nJ).
+[[nodiscard]] std::string render_model_table(const std::string& device_name,
+                                             const PowerModel& model);
+
+}  // namespace joules

@@ -1,0 +1,103 @@
+#include "model/power_model.hpp"
+
+#include <stdexcept>
+
+namespace joules {
+
+void PowerModel::add_profile(InterfaceProfile profile) {
+  profiles_.insert_or_assign(profile.key, std::move(profile));
+}
+
+const InterfaceProfile* PowerModel::find_profile(const ProfileKey& key) const {
+  const auto it = profiles_.find(key);
+  return it == profiles_.end() ? nullptr : &it->second;
+}
+
+const InterfaceProfile* PowerModel::find_profile_relaxed(
+    const ProfileKey& key) const {
+  if (const InterfaceProfile* exact = find_profile(key)) return exact;
+  const InterfaceProfile* best = nullptr;
+  for (const auto& [candidate_key, profile] : profiles_) {
+    if (candidate_key.port != key.port ||
+        candidate_key.transceiver != key.transceiver) {
+      continue;
+    }
+    if (best == nullptr ||
+        (candidate_key.rate <= key.rate && candidate_key.rate > best->key.rate) ||
+        (best->key.rate > key.rate && candidate_key.rate < best->key.rate)) {
+      best = &profile;
+    }
+  }
+  return best;
+}
+
+std::vector<InterfaceProfile> PowerModel::profiles() const {
+  std::vector<InterfaceProfile> out;
+  out.reserve(profiles_.size());
+  for (const auto& [key, profile] : profiles_) out.push_back(profile);
+  return out;
+}
+
+double PowerModel::interface_static_w(const InterfaceConfig& config) const {
+  if (config.state == InterfaceState::kEmpty) return 0.0;
+  const InterfaceProfile* profile = find_profile_relaxed(config.profile);
+  if (profile == nullptr) return 0.0;
+  switch (config.state) {
+    case InterfaceState::kEmpty: return 0.0;
+    case InterfaceState::kPlugged: return profile->plugged_power_w();
+    case InterfaceState::kEnabled: return profile->enabled_power_w();
+    case InterfaceState::kUp: return profile->up_power_w();
+  }
+  return 0.0;
+}
+
+PowerModel::Prediction PowerModel::predict(
+    std::span<const InterfaceConfig> configs,
+    std::span<const InterfaceLoad> loads) const {
+  if (!loads.empty() && loads.size() != configs.size()) {
+    throw std::invalid_argument("PowerModel::predict: loads/configs size mismatch");
+  }
+
+  Prediction prediction;
+  PowerBreakdown& b = prediction.breakdown;
+  b.base_w = base_power_w_;
+
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const InterfaceConfig& config = configs[i];
+    if (config.state == InterfaceState::kEmpty) continue;
+
+    const InterfaceProfile* profile = find_profile_relaxed(config.profile);
+    if (profile == nullptr) {
+      prediction.unmatched_interfaces.push_back(config.name);
+      continue;
+    }
+
+    b.trx_in_w += profile->trx_in_power_w;
+    if (config.state == InterfaceState::kEnabled ||
+        config.state == InterfaceState::kUp) {
+      b.port_w += profile->port_power_w;
+    }
+    if (config.state == InterfaceState::kUp) {
+      b.trx_up_w += profile->trx_up_power_w;
+      if (!loads.empty()) {
+        const InterfaceLoad& load = loads[i];
+        if (load.rate_bps > 0.0 || load.rate_pps > 0.0) {
+          b.bit_w += profile->energy_per_bit_j * load.rate_bps;
+          b.pkt_w += profile->energy_per_packet_j * load.rate_pps;
+          b.offset_w += profile->offset_power_w;
+        }
+      }
+    }
+  }
+  return prediction;
+}
+
+double PowerModel::port_down_saving_w(const ProfileKey& key,
+                                      const InterfaceLoad& load) const {
+  const InterfaceProfile* profile = find_profile_relaxed(key);
+  if (profile == nullptr) return 0.0;
+  return profile->port_power_w + profile->trx_up_power_w +
+         profile->dynamic_power_w(load.rate_bps, load.rate_pps);
+}
+
+}  // namespace joules

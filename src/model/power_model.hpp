@@ -1,0 +1,114 @@
+// The router power model — the paper's primary contribution (§4).
+//
+//   P = P_sta(C) + P_dyn(C, L)                                       (Eq. 1)
+//   P_sta(C) = P_base + sum_i P_interface(c_i)                       (Eq. 2)
+//   P_interface(c_i) = P_port(c_i) + P_trx,in + P_trx,up(c_i)        (Eq. 3/4)
+//   P_dyn(C, L) = sum_i (E_bit r_i + E_pkt p_i + P_offset(c_i))      (Eq. 5/6)
+//
+// A `PowerModel` is P_base plus a set of `InterfaceProfile`s keyed by
+// (port type, transceiver, line rate). Predictions take a router
+// configuration (one `InterfaceConfig` per interface) and a load vector.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/interface_profile.hpp"
+
+namespace joules {
+
+// Administrative / operational state of one interface, as the model sees it.
+enum class InterfaceState : std::uint8_t {
+  kEmpty,       // no transceiver plugged
+  kPlugged,     // transceiver plugged, port configured down
+  kEnabled,     // port configured up, link not established
+  kUp,          // link established
+};
+
+struct InterfaceConfig {
+  std::string name;             // e.g. "et-0/0/12"
+  ProfileKey profile;
+  InterfaceState state = InterfaceState::kEmpty;
+};
+
+// Traffic on one interface; rates are summed over both directions (§4.2).
+struct InterfaceLoad {
+  double rate_bps = 0.0;
+  double rate_pps = 0.0;
+};
+
+// Per-term decomposition of a prediction, for the analyses in §7/§8 that ask
+// "how much of the total is transceivers?" or "what do we save by taking a
+// port down?".
+struct PowerBreakdown {
+  double base_w = 0.0;
+  double port_w = 0.0;
+  double trx_in_w = 0.0;
+  double trx_up_w = 0.0;
+  double offset_w = 0.0;
+  double bit_w = 0.0;
+  double pkt_w = 0.0;
+
+  [[nodiscard]] double static_w() const noexcept {
+    return base_w + port_w + trx_in_w + trx_up_w;
+  }
+  [[nodiscard]] double dynamic_w() const noexcept {
+    return offset_w + bit_w + pkt_w;
+  }
+  [[nodiscard]] double transceiver_w() const noexcept {
+    return trx_in_w + trx_up_w;
+  }
+  [[nodiscard]] double total_w() const noexcept {
+    return static_w() + dynamic_w();
+  }
+};
+
+class PowerModel {
+ public:
+  PowerModel() = default;
+  explicit PowerModel(double base_power_w) : base_power_w_(base_power_w) {}
+
+  [[nodiscard]] double base_power_w() const noexcept { return base_power_w_; }
+  void set_base_power_w(double value) noexcept { base_power_w_ = value; }
+
+  void add_profile(InterfaceProfile profile);
+  [[nodiscard]] const InterfaceProfile* find_profile(const ProfileKey& key) const;
+  // Falls back to a profile with the same port+transceiver at the nearest
+  // lower rate when the exact rate is missing (useful when an inventory
+  // lists rates the lab sweep did not cover). Returns nullptr if nothing
+  // matches the port+transceiver pair at all.
+  [[nodiscard]] const InterfaceProfile* find_profile_relaxed(const ProfileKey& key) const;
+  [[nodiscard]] std::size_t profile_count() const noexcept { return profiles_.size(); }
+  [[nodiscard]] std::vector<InterfaceProfile> profiles() const;
+
+  // Static-power contribution of a single interface in a given state.
+  [[nodiscard]] double interface_static_w(const InterfaceConfig& config) const;
+
+  // Full prediction. `loads` may be empty (static-only) or must match
+  // `configs` in size. Interfaces whose profile is unknown contribute only to
+  // `unmatched_interfaces`.
+  struct Prediction {
+    PowerBreakdown breakdown;
+    std::vector<std::string> unmatched_interfaces;
+    [[nodiscard]] double total_w() const noexcept { return breakdown.total_w(); }
+  };
+  [[nodiscard]] Prediction predict(std::span<const InterfaceConfig> configs,
+                                   std::span<const InterfaceLoad> loads = {}) const;
+
+  // What the model says is saved by bringing one `kUp` interface to
+  // `kPlugged` (i.e. turning the port down without unplugging): P_port +
+  // P_trx,up plus its dynamic power. This is the §8 link-sleeping saving.
+  [[nodiscard]] double port_down_saving_w(const ProfileKey& key,
+                                          const InterfaceLoad& load = {}) const;
+
+  friend bool operator==(const PowerModel&, const PowerModel&) = default;
+
+ private:
+  double base_power_w_ = 0.0;
+  std::map<ProfileKey, InterfaceProfile> profiles_;
+};
+
+}  // namespace joules

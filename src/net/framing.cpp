@@ -1,0 +1,94 @@
+#include "net/framing.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace joules {
+namespace {
+
+void append_be(std::vector<std::byte>& buffer, std::uint64_t value, int bytes) {
+  for (int i = bytes - 1; i >= 0; --i) {
+    buffer.push_back(static_cast<std::byte>((value >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint64_t read_be(std::span<const std::byte> data) {
+  std::uint64_t value = 0;
+  for (const std::byte b : data) {
+    value = (value << 8) | static_cast<std::uint64_t>(b);
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_frame(TcpStream& stream, std::span<const std::byte> payload,
+                 Millis timeout) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw std::invalid_argument("write_frame: payload too large");
+  }
+  std::vector<std::byte> header;
+  append_be(header, payload.size(), 4);
+  stream.send_all(header, timeout);
+  stream.send_all(payload, timeout);
+}
+
+std::optional<std::vector<std::byte>> read_frame(TcpStream& stream,
+                                                 Millis timeout) {
+  std::byte header[4];
+  if (!stream.recv_exact(header, timeout)) return std::nullopt;
+  const std::uint64_t length = read_be(header);
+  if (length > kMaxFrameBytes) {
+    throw std::runtime_error("read_frame: oversized frame (protocol error)");
+  }
+  std::vector<std::byte> payload(length);
+  if (length > 0 && !stream.recv_exact(payload, timeout)) {
+    throw std::runtime_error("read_frame: EOF after frame header");
+  }
+  return payload;
+}
+
+void ByteWriter::u8(std::uint8_t value) { append_be(buffer_, value, 1); }
+void ByteWriter::u16(std::uint16_t value) { append_be(buffer_, value, 2); }
+void ByteWriter::u32(std::uint32_t value) { append_be(buffer_, value, 4); }
+void ByteWriter::u64(std::uint64_t value) { append_be(buffer_, value, 8); }
+void ByteWriter::i64(std::int64_t value) {
+  append_be(buffer_, static_cast<std::uint64_t>(value), 8);
+}
+void ByteWriter::f64(double value) { u64(std::bit_cast<std::uint64_t>(value)); }
+
+void ByteWriter::string(const std::string& value) {
+  if (value.size() > kMaxFrameBytes) {
+    throw std::invalid_argument("ByteWriter: string too large");
+  }
+  u32(static_cast<std::uint32_t>(value.size()));
+  for (const char c : value) buffer_.push_back(static_cast<std::byte>(c));
+}
+
+std::span<const std::byte> ByteReader::take(std::size_t n) {
+  if (remaining() < n) {
+    throw std::out_of_range("ByteReader: message truncated");
+  }
+  const std::span<const std::byte> out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::uint8_t ByteReader::u8() { return static_cast<std::uint8_t>(read_be(take(1))); }
+std::uint16_t ByteReader::u16() { return static_cast<std::uint16_t>(read_be(take(2))); }
+std::uint32_t ByteReader::u32() { return static_cast<std::uint32_t>(read_be(take(4))); }
+std::uint64_t ByteReader::u64() { return read_be(take(8)); }
+std::int64_t ByteReader::i64() { return static_cast<std::int64_t>(read_be(take(8))); }
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string ByteReader::string() {
+  const std::uint32_t length = u32();
+  const std::span<const std::byte> data = take(length);
+  std::string out;
+  out.reserve(length);
+  for (const std::byte b : data) out.push_back(static_cast<char>(b));
+  return out;
+}
+
+}  // namespace joules

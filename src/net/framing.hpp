@@ -1,0 +1,69 @@
+// Length-prefixed message framing and binary (de)serialization.
+//
+// Frames on the wire are a 4-byte big-endian length followed by the payload.
+// `ByteWriter`/`ByteReader` build and parse payloads with explicit
+// fixed-width big-endian encodings — no struct punning, no host-endianness
+// assumptions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace joules {
+
+inline constexpr std::size_t kMaxFrameBytes = 16 * 1024 * 1024;
+
+// Sends one frame (length prefix + payload).
+void write_frame(TcpStream& stream, std::span<const std::byte> payload,
+                 Millis timeout = Millis{5000});
+
+// Receives one frame. nullopt on clean EOF at a frame boundary; throws on
+// malformed length, timeout, or mid-frame EOF.
+[[nodiscard]] std::optional<std::vector<std::byte>> read_frame(
+    TcpStream& stream, Millis timeout = Millis{5000});
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t value);
+  void u16(std::uint16_t value);
+  void u32(std::uint32_t value);
+  void u64(std::uint64_t value);
+  void i64(std::int64_t value);
+  void f64(double value);  // IEEE-754 bits, big-endian
+  void string(const std::string& value);  // u32 length + bytes
+
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept { return buffer_; }
+  [[nodiscard]] std::vector<std::byte> take() && { return std::move(buffer_); }
+
+ private:
+  std::vector<std::byte> buffer_;
+};
+
+// Throws std::out_of_range when reading past the end — a malformed message.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) noexcept : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  std::string string();
+
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+ private:
+  std::span<const std::byte> take(std::size_t n);
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace joules

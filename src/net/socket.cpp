@@ -1,0 +1,182 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+namespace joules {
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void set_nonblocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int wanted = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, wanted) < 0) throw_errno("fcntl(F_SETFL)");
+}
+
+// Waits until `fd` is ready for the given events; returns false on timeout.
+bool wait_ready(int fd, short events, Millis timeout) {
+  pollfd pfd{fd, events, 0};
+  while (true) {
+    const int rc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) throw_errno("poll");
+  }
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+FdOwner::~FdOwner() { reset(); }
+
+FdOwner::FdOwner(FdOwner&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+FdOwner& FdOwner::operator=(FdOwner&& other) noexcept {
+  if (this != &other) {
+    reset(other.fd_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+int FdOwner::release() noexcept {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void FdOwner::reset(int fd) noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+TcpStream TcpStream::connect_loopback(std::uint16_t port, Millis timeout) {
+  FdOwner fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket");
+  set_nonblocking(fd.get(), true);
+
+  const sockaddr_in addr = loopback_addr(port);
+  const int rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof addr);
+  if (rc < 0) {
+    if (errno != EINPROGRESS) throw_errno("connect");
+    if (!wait_ready(fd.get(), POLLOUT, timeout)) {
+      throw std::system_error(ETIMEDOUT, std::generic_category(), "connect timeout");
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      throw_errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      throw std::system_error(err, std::generic_category(), "connect");
+    }
+  }
+  set_nonblocking(fd.get(), false);
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return TcpStream(std::move(fd));
+}
+
+void TcpStream::send_all(std::span<const std::byte> data, Millis timeout) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    if (!wait_ready(fd_.get(), POLLOUT, timeout)) {
+      throw std::system_error(ETIMEDOUT, std::generic_category(), "send timeout");
+    }
+    const ssize_t n = ::send(fd_.get(), data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool TcpStream::recv_exact(std::span<std::byte> out, Millis timeout) {
+  std::size_t received = 0;
+  while (received < out.size()) {
+    if (!wait_ready(fd_.get(), POLLIN, timeout)) {
+      throw std::system_error(ETIMEDOUT, std::generic_category(), "recv timeout");
+    }
+    const ssize_t n =
+        ::recv(fd_.get(), out.data() + received, out.size() - received, 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      throw_errno("recv");
+    }
+    if (n == 0) {
+      if (received == 0) return false;  // clean EOF at a message boundary
+      throw std::system_error(ECONNRESET, std::generic_category(),
+                              "EOF mid-message");
+    }
+    received += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool TcpStream::wait_readable(Millis timeout) {
+  return wait_ready(fd_.get(), POLLIN, timeout);
+}
+
+void TcpStream::shutdown_write() noexcept {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_WR);
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_.reset(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd_.valid()) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd_.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    throw_errno("bind");
+  }
+  if (::listen(fd_.get(), 16) < 0) throw_errno("listen");
+
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+std::optional<TcpStream> TcpListener::accept(Millis timeout) {
+  if (!fd_.valid()) return std::nullopt;
+  if (!wait_ready(fd_.get(), POLLIN, timeout)) return std::nullopt;
+  const int client = ::accept(fd_.get(), nullptr, nullptr);
+  if (client < 0) {
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+        errno == EBADF || errno == EINVAL) {
+      return std::nullopt;  // racing close() or spurious wakeup
+    }
+    throw_errno("accept");
+  }
+  const int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return TcpStream(FdOwner(client));
+}
+
+}  // namespace joules

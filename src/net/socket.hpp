@@ -1,0 +1,92 @@
+// RAII POSIX TCP sockets (loopback-oriented).
+//
+// Autopower's client/server run over real TCP. These wrappers keep the fd
+// lifetime safe (move-only owners, close on destruction), add poll()-based
+// timeouts, and surface errors as std::system_error. IPv4 loopback is all the
+// library needs: the paper's units dial out to a single collection server.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace joules {
+
+// Owns a file descriptor; closes it on destruction. Move-only.
+class FdOwner {
+ public:
+  FdOwner() = default;
+  explicit FdOwner(int fd) noexcept : fd_(fd) {}
+  ~FdOwner();
+  FdOwner(const FdOwner&) = delete;
+  FdOwner& operator=(const FdOwner&) = delete;
+  FdOwner(FdOwner&& other) noexcept;
+  FdOwner& operator=(FdOwner&& other) noexcept;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept;
+  void reset(int fd = -1) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+using Millis = std::chrono::milliseconds;
+
+// A connected TCP stream.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(FdOwner fd) noexcept : fd_(std::move(fd)) {}
+
+  // Connects to 127.0.0.1:port; throws std::system_error on failure or
+  // timeout.
+  static TcpStream connect_loopback(std::uint16_t port,
+                                    Millis timeout = Millis{2000});
+
+  [[nodiscard]] bool valid() const noexcept { return fd_.valid(); }
+
+  // Sends the whole buffer; throws on error (including peer reset).
+  void send_all(std::span<const std::byte> data, Millis timeout = Millis{5000});
+
+  // Receives exactly `size` bytes. Returns false on clean EOF before any byte
+  // was read; throws on error, timeout, or mid-message EOF.
+  bool recv_exact(std::span<std::byte> out, Millis timeout = Millis{5000});
+
+  // Waits until at least one byte (or EOF) is available without consuming
+  // anything; false on timeout. Lets servers poll idle connections in short
+  // slices without risking mid-frame timeouts.
+  [[nodiscard]] bool wait_readable(Millis timeout);
+
+  // Half-closes the write side (signals EOF to the peer).
+  void shutdown_write() noexcept;
+  void close() noexcept { fd_.reset(); }
+
+ private:
+  FdOwner fd_;
+};
+
+// A listening socket on 127.0.0.1. Pass port 0 for an ephemeral port.
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port = 0);
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  // Accepts one connection; nullopt on timeout.
+  [[nodiscard]] std::optional<TcpStream> accept(Millis timeout = Millis{1000});
+
+  // Unblocks a blocked accept() from another thread by closing the fd.
+  void close() noexcept { fd_.reset(); }
+  [[nodiscard]] bool valid() const noexcept { return fd_.valid(); }
+
+ private:
+  FdOwner fd_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace joules

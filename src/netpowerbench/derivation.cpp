@@ -1,0 +1,176 @@
+#include "netpowerbench/derivation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "traffic/generator.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+std::vector<std::size_t> default_ladder(std::size_t max_pairs) {
+  // Up to 6 evenly spread pair counts ending at max_pairs.
+  std::vector<std::size_t> ladder;
+  const std::size_t points = std::min<std::size_t>(6, max_pairs);
+  for (std::size_t i = 1; i <= points; ++i) {
+    ladder.push_back(std::max<std::size_t>(1, max_pairs * i / points));
+  }
+  ladder.erase(std::unique(ladder.begin(), ladder.end()), ladder.end());
+  return ladder;
+}
+
+}  // namespace
+
+ProfileDerivation derive_profile(Orchestrator& orchestrator,
+                                 const ProfileKey& profile,
+                                 double base_power_w,
+                                 const DerivationOptions& options) {
+  const std::size_t max_pairs = orchestrator.max_pairs(profile);
+  if (max_pairs == 0) {
+    throw std::invalid_argument("derive_profile: DUT has no ports of this type");
+  }
+  std::vector<std::size_t> ladder =
+      options.pair_ladder.empty() ? default_ladder(max_pairs) : options.pair_ladder;
+  if (ladder.size() < 2) {
+    throw std::invalid_argument("derive_profile: need >= 2 ladder points");
+  }
+  for (const std::size_t pairs : ladder) {
+    if (pairs == 0 || pairs > max_pairs) {
+      throw std::invalid_argument("derive_profile: ladder point out of range");
+    }
+  }
+
+  ProfileDerivation out;
+  out.profile.key = profile;
+
+  // --- P_trx,in from Idle at the largest ladder point (Eq. 8). ---------
+  const std::size_t big_n = ladder.back();
+  const Measurement idle = orchestrator.run_idle(profile, big_n);
+  out.idle_power_w = idle.mean_power_w;
+  out.profile.trx_in_power_w =
+      (idle.mean_power_w - base_power_w) / (2.0 * static_cast<double>(big_n));
+
+  // --- P_port from the Port ladder (Eq. 9 via regression over N). -------
+  std::vector<double> n_values;
+  std::vector<double> port_powers;
+  for (const std::size_t pairs : ladder) {
+    n_values.push_back(static_cast<double>(pairs));
+    port_powers.push_back(orchestrator.run_port(profile, pairs).mean_power_w);
+  }
+  out.port_fit = fit_linear(n_values, port_powers);
+  out.profile.port_power_w = out.port_fit.slope;
+
+  // --- P_trx,up from the Trx ladder (Eq. 10). ---------------------------
+  // Each pair adds 2 up-interfaces: slope = 2*(P_port + P_trx,up + P_trx,in)
+  // ... except the Idle ladder already plugged both transceivers at every N.
+  // Here interfaces go from plugged (Port run baseline) to up, and we
+  // measure absolute power; the slope over N of P_Trx is
+  //   2*P_trx,in + 2*P_port + 2*P_trx,up per pair... Careful bookkeeping:
+  // P_Trx(N) = P_base + 2N*P_trx,in + 2N*(P_port + P_trx,up)  [both ports up]
+  // P_Port(N) = P_base + 2N*P_trx,in + N*P_port               [one port up]
+  // so slope_Trx = 2*P_trx,in + 2*P_port + 2*P_trx,up
+  //    slope_Port = 2*P_trx,in + P_port.
+  std::vector<double> trx_powers;
+  for (const std::size_t pairs : ladder) {
+    trx_powers.push_back(orchestrator.run_trx(profile, pairs).mean_power_w);
+  }
+  out.trx_fit = fit_linear(n_values, trx_powers);
+  // Unpick the slopes using the Idle-derived P_trx,in.
+  out.profile.port_power_w = out.port_fit.slope - 2.0 * out.profile.trx_in_power_w;
+  out.profile.trx_up_power_w =
+      (out.trx_fit.slope - 2.0 * out.profile.trx_in_power_w) / 2.0 -
+      out.profile.port_power_w;
+
+  // --- Snake sweeps: alpha_L per frame size (Eq. 15/16). -----------------
+  const std::vector<double> frame_sizes =
+      options.frame_sizes.empty() ? default_frame_sizes() : options.frame_sizes;
+  if (options.rate_steps < 2) {
+    throw std::invalid_argument("derive_profile: need >= 2 rate steps");
+  }
+  const double line_rate = line_rate_bps(profile.rate);
+  const double trx_power_at_big_n = trx_powers.back();
+
+  std::vector<double> l_values;
+  std::vector<double> scaled_alphas;  // alpha_L * 8 * (L + L_header)
+  std::vector<double> offsets;        // per-interface P_offset estimates
+  std::vector<double> all_bps;        // across every (rate, L) point
+  std::vector<double> all_pps;
+  std::vector<double> all_powers;
+  for (const double frame_bytes : frame_sizes) {
+    std::vector<double> aggregate_bps;
+    std::vector<double> snake_powers;
+    for (int step = 0; step < options.rate_steps; ++step) {
+      const double frac =
+          options.min_rate_frac +
+          (options.max_rate_frac - options.min_rate_frac) * step /
+              (options.rate_steps - 1);
+      const TrafficSpec spec = make_cbr(frac * line_rate, frame_bytes);
+      const SnakePoint point = orchestrator.run_snake(profile, big_n, spec);
+      aggregate_bps.push_back(point.per_interface_rate_bps * 2.0 *
+                              static_cast<double>(big_n));
+      snake_powers.push_back(point.measurement.mean_power_w);
+      all_bps.push_back(aggregate_bps.back());
+      all_pps.push_back(point.per_interface_rate_pps * 2.0 *
+                        static_cast<double>(big_n));
+      all_powers.push_back(point.measurement.mean_power_w);
+    }
+    const LinearFit fit = fit_linear(aggregate_bps, snake_powers);
+    out.alpha_fits.emplace(frame_bytes, fit);
+    // fit.slope is dP per aggregate bit rate = alpha_L per interface.
+    l_values.push_back(frame_bytes);
+    scaled_alphas.push_back(fit.slope * kBitsPerByte *
+                            (frame_bytes + options.header_bytes));
+    // Eq. 18: the intercept minus the no-traffic Trx power, per interface.
+    offsets.push_back((fit.intercept - trx_power_at_big_n) /
+                      (2.0 * static_cast<double>(big_n)));
+  }
+
+  // Both estimators are always computed (the unused one is cheap and useful
+  // as a diagnostic); `options.energy_estimator` picks which fills the
+  // profile.
+  out.energy_fit = fit_linear(l_values, scaled_alphas);
+  out.direct_fit = fit_plane(all_bps, all_pps, all_powers);
+
+  if (options.energy_estimator == EnergyEstimator::kDirect) {
+    // One-shot OLS: P = E_bit * R_bits + E_pkt * R_pkts + const.
+    out.profile.energy_per_bit_j = out.direct_fit.a;
+    out.profile.energy_per_packet_j = out.direct_fit.b;
+    out.profile.offset_power_w = (out.direct_fit.intercept - trx_power_at_big_n) /
+                                 (2.0 * static_cast<double>(big_n));
+  } else {
+    // --- E_bit and E_pkt from the Eq. 17 regression over L. -------------
+    // alpha_L * 8(L + L_hdr) = 8*E_bit*L + (8*E_bit*L_hdr + E_pkt)
+    out.profile.energy_per_bit_j = out.energy_fit.slope / kBitsPerByte;
+    out.profile.energy_per_packet_j =
+        out.energy_fit.intercept - out.energy_fit.slope * options.header_bytes;
+
+    // --- P_offset: average of the per-L estimates (Eq. 18). --------------
+    double offset_sum = 0.0;
+    for (const double value : offsets) offset_sum += value;
+    out.profile.offset_power_w = offset_sum / static_cast<double>(offsets.size());
+  }
+
+  return out;
+}
+
+DerivedModel derive_power_model(Orchestrator& orchestrator,
+                                const std::vector<ProfileKey>& profiles,
+                                const DerivationOptions& options) {
+  if (profiles.empty()) {
+    throw std::invalid_argument("derive_power_model: no profiles requested");
+  }
+  DerivedModel out;
+  out.base_measurement = orchestrator.run_base();
+  out.base_power_w = out.base_measurement.mean_power_w;
+  out.model.set_base_power_w(out.base_power_w);
+  for (const ProfileKey& key : profiles) {
+    ProfileDerivation derivation =
+        derive_profile(orchestrator, key, out.base_power_w, options);
+    out.model.add_profile(derivation.profile);
+    out.derivations.push_back(std::move(derivation));
+  }
+  return out;
+}
+
+}  // namespace joules

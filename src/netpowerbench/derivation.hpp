@@ -1,0 +1,82 @@
+// Model-parameter derivation (§5.2).
+//
+// Orchestrates the experiment battery against a DUT and turns the
+// measurements into the §4 model parameters:
+//
+//   P_base          = P_Base                                        (Eq. 7)
+//   P_trx,in        = (P_Idle - P_Base) / 2N                        (Eq. 8)
+//   P_port          = slope of P_Port over N                        (Eq. 9)
+//   P_port+P_trx,up = slope of P_Trx over N                         (Eq. 10)
+//   alpha_L         = slope of P_Snake over aggregate bit rate,
+//                     per interface, for each frame size L          (Eq. 15/16)
+//   E_bit, E_pkt    from the regression of alpha_L*8(L+L_hdr)
+//                     over L                                        (Eq. 17)
+//   P_offset        = (beta_L - P_Trx) / 2N, averaged over L        (Eq. 18)
+//
+// Note the derived parameters describe *wall* power: conversion losses and
+// the lab environment are folded into them, exactly as in the paper — which
+// is why deployment predictions are precise but offset.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "model/power_model.hpp"
+#include "netpowerbench/orchestrator.hpp"
+#include "stats/regression.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+
+// How E_bit/E_pkt are estimated from the Snake sweep:
+//   kTwoStep — the paper's Eq. 15-17 pipeline (per-L slopes, then a
+//              regression of alpha_L * 8(L + L_hdr) over L);
+//   kDirect  — one two-regressor OLS of power over (aggregate bit rate,
+//              aggregate packet rate) across every sweep point.
+enum class EnergyEstimator : std::uint8_t { kTwoStep, kDirect };
+
+struct DerivationOptions {
+  // Pair-count ladder for the Port/Trx regressions; empty = use
+  // {1, 2, ..., max_pairs} capped at 6 points spread evenly.
+  std::vector<std::size_t> pair_ladder;
+  EnergyEstimator energy_estimator = EnergyEstimator::kTwoStep;
+  // Frame sizes for the Snake sweep; empty = default_frame_sizes().
+  std::vector<double> frame_sizes;
+  int rate_steps = 6;           // rates per frame size
+  double min_rate_frac = 0.10;  // fraction of the line rate
+  double max_rate_frac = 0.90;
+  double header_bytes = kEthernetOverheadBytes;  // L_header in Eq. 12/17
+};
+
+struct ProfileDerivation {
+  InterfaceProfile profile;  // the derived parameters
+  // Diagnostics, for the quality checks the paper discusses:
+  double idle_power_w = 0.0;
+  LinearFit port_fit;                  // over N
+  LinearFit trx_fit;                   // over N
+  std::map<double, LinearFit> alpha_fits;  // per frame size, over aggregate bps
+  LinearFit energy_fit;                // Eq. 17 regression over L (two-step)
+  PlaneFit direct_fit;                 // one-shot OLS (direct estimator)
+};
+
+struct DerivedModel {
+  PowerModel model;
+  double base_power_w = 0.0;
+  Measurement base_measurement;
+  std::vector<ProfileDerivation> derivations;
+};
+
+// Runs the full battery for one profile. The base measurement can be shared
+// across profiles of the same DUT via `derive_power_model`.
+[[nodiscard]] ProfileDerivation derive_profile(Orchestrator& orchestrator,
+                                               const ProfileKey& profile,
+                                               double base_power_w,
+                                               const DerivationOptions& options = {});
+
+// Full model for a DUT over the given profiles (e.g. DAC at 100/50/25G like
+// Table 2a). Runs Base once, then each profile's battery.
+[[nodiscard]] DerivedModel derive_power_model(
+    Orchestrator& orchestrator, const std::vector<ProfileKey>& profiles,
+    const DerivationOptions& options = {});
+
+}  // namespace joules

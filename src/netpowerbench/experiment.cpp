@@ -1,0 +1,16 @@
+#include "netpowerbench/experiment.hpp"
+
+namespace joules {
+
+std::string_view to_string(ExperimentKind kind) noexcept {
+  switch (kind) {
+    case ExperimentKind::kBase: return "Base";
+    case ExperimentKind::kIdle: return "Idle";
+    case ExperimentKind::kPort: return "Port";
+    case ExperimentKind::kTrx: return "Trx";
+    case ExperimentKind::kSnake: return "Snake";
+  }
+  return "unknown";
+}
+
+}  // namespace joules

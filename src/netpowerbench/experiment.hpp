@@ -1,0 +1,36 @@
+// The five §5.2 experiment types and their measurement results.
+//
+//   Base  — DUT on, no transceivers, no configuration     -> P_base
+//   Idle  — transceivers plugged, all ports down          -> P_trx,in
+//   Port  — one port per cabled pair enabled              -> P_port (regression over N)
+//   Trx   — both ports up, links established              -> P_trx,up (regression over N)
+//   Snake — RFC 8239 snake carrying swept CBR traffic     -> E_bit, E_pkt, P_offset
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace joules {
+
+enum class ExperimentKind : std::uint8_t { kBase, kIdle, kPort, kTrx, kSnake };
+
+[[nodiscard]] std::string_view to_string(ExperimentKind kind) noexcept;
+
+// Averaged wall-power measurement for one experiment run.
+struct Measurement {
+  double mean_power_w = 0.0;
+  double stddev_w = 0.0;
+  std::size_t sample_count = 0;
+};
+
+// One point of a Snake sweep.
+struct SnakePoint {
+  double offered_rate_bps = 0.0;   // orchestrator-injected rate
+  double frame_bytes = 0.0;
+  double per_interface_rate_bps = 0.0;  // both directions summed
+  double per_interface_rate_pps = 0.0;
+  Measurement measurement;
+};
+
+}  // namespace joules

@@ -1,0 +1,58 @@
+#include "netpowerbench/modular.hpp"
+
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace joules {
+
+LinecardDerivation derive_linecard_power(SimulatedModularRouter& dut,
+                                         const PowerMeter& meter,
+                                         const std::string& card_model,
+                                         int max_cards,
+                                         const LinecardDerivationOptions& options) {
+  if (max_cards < 2 || max_cards > dut.spec().slot_count) {
+    throw std::invalid_argument(
+        "derive_linecard_power: need 2..slot_count cards");
+  }
+  if (dut.seated_count() != 0) {
+    throw std::invalid_argument("derive_linecard_power: start with an empty chassis");
+  }
+  dut.set_ambient_override_c(options.lab_ambient_c);
+
+  LinecardDerivation out;
+  out.card_model = card_model;
+
+  SimTime now = options.start_time;
+  std::vector<double> counts;
+  std::vector<double> powers;
+  std::vector<int> seated_slots;
+  for (int k = 0; k <= max_cards; ++k) {
+    if (k > 0) seated_slots.push_back(dut.seat_linecard(card_model));
+    std::vector<double> samples;
+    for (int repeat = 0; repeat < options.repeats; ++repeat) {
+      now += options.settle_s;
+      const SimTime window_end = now + options.measure_s;
+      for (; now < window_end; now += options.sample_period_s) {
+        samples.push_back(meter.measure_w(0, dut.wall_power_w(now), now));
+      }
+    }
+    Measurement measurement;
+    measurement.sample_count = samples.size();
+    measurement.mean_power_w = mean(samples);
+    measurement.stddev_w = stddev(samples);
+    out.measurements.push_back(measurement);
+    counts.push_back(static_cast<double>(k));
+    powers.push_back(measurement.mean_power_w);
+  }
+  for (auto it = seated_slots.rbegin(); it != seated_slots.rend(); ++it) {
+    dut.unseat_linecard(*it);
+  }
+
+  out.fit = fit_linear(counts, powers);
+  out.chassis_base_w = out.fit.intercept;
+  out.linecard_power_w = out.fit.slope;
+  return out;
+}
+
+}  // namespace joules

@@ -1,0 +1,39 @@
+// P_linecard derivation — the §4.3 extension, measured "similarly as P_trx":
+// seat k = 1..K identical cards (no interface configuration), measure wall
+// power at each count, and regress over k. The slope is the per-card wall
+// power; the intercept recovers the chassis base.
+#pragma once
+
+#include <string>
+
+#include "device/modular_router.hpp"
+#include "meter/power_meter.hpp"
+#include "netpowerbench/experiment.hpp"
+#include "stats/regression.hpp"
+
+namespace joules {
+
+struct LinecardDerivationOptions {
+  SimTime start_time = 0;
+  SimTime settle_s = 60;
+  SimTime measure_s = 900;
+  SimTime sample_period_s = 1;
+  int repeats = 2;
+  double lab_ambient_c = 22.0;
+};
+
+struct LinecardDerivation {
+  std::string card_model;
+  double chassis_base_w = 0.0;    // regression intercept (wall)
+  double linecard_power_w = 0.0;  // regression slope (wall)
+  LinearFit fit;                  // over the card count
+  std::vector<Measurement> measurements;  // one per count 0..K
+};
+
+// Measures with 0..max_cards seated. The DUT is left empty afterwards.
+[[nodiscard]] LinecardDerivation derive_linecard_power(
+    SimulatedModularRouter& dut, const PowerMeter& meter,
+    const std::string& card_model, int max_cards,
+    const LinecardDerivationOptions& options = {});
+
+}  // namespace joules

@@ -1,0 +1,160 @@
+#include "netpowerbench/orchestrator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+
+Orchestrator::Orchestrator(SimulatedRouter& dut, PowerMeter meter,
+                           OrchestratorOptions options)
+    : dut_(dut), meter_(std::move(meter)), options_(options),
+      now_(options.start_time) {
+  if (options_.settle_s < 0 || options_.measure_s <= 0 || options_.repeats < 1) {
+    throw std::invalid_argument("Orchestrator: invalid timing options");
+  }
+  dut_.set_ambient_override_c(options_.lab_ambient_c);
+}
+
+std::size_t Orchestrator::max_pairs(const ProfileKey& profile) const {
+  std::size_t ports = 0;
+  for (const PortGroup& group : dut_.spec().ports) {
+    if (group.type == profile.port) ports += group.count;
+  }
+  return ports / 2;
+}
+
+void Orchestrator::configure_pairs(const ProfileKey& profile, std::size_t pairs,
+                                   InterfaceState first_of_pair,
+                                   InterfaceState second_of_pair) {
+  if (pairs == 0 || pairs > max_pairs(profile)) {
+    throw std::invalid_argument("Orchestrator: pair count out of range");
+  }
+  dut_.clear_interfaces();
+  for (std::size_t i = 0; i < pairs; ++i) {
+    dut_.add_interface(profile, first_of_pair);
+    dut_.add_interface(profile, second_of_pair);
+  }
+}
+
+Measurement Orchestrator::measure(std::span<const InterfaceLoad> loads) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(
+      options_.repeats * options_.measure_s / options_.sample_period_s));
+  for (int repeat = 0; repeat < options_.repeats; ++repeat) {
+    now_ += options_.settle_s;
+    const SimTime window_end = now_ + options_.measure_s;
+    for (; now_ < window_end; now_ += options_.sample_period_s) {
+      const double truth = dut_.wall_power_w(now_, loads);
+      samples.push_back(meter_.measure_w(0, truth, now_));
+    }
+  }
+  Measurement result;
+  result.sample_count = samples.size();
+  result.mean_power_w = mean(samples);
+  result.stddev_w = stddev(samples);
+  return result;
+}
+
+Measurement Orchestrator::run_base() {
+  dut_.clear_interfaces();
+  HistoryEntry entry;
+  entry.kind = ExperimentKind::kBase;
+  entry.started_at = now_;
+  entry.measurement = measure({});
+  history_.push_back(entry);
+  return entry.measurement;
+}
+
+Measurement Orchestrator::run_idle(const ProfileKey& profile, std::size_t pairs) {
+  configure_pairs(profile, pairs, InterfaceState::kPlugged,
+                  InterfaceState::kPlugged);
+  HistoryEntry entry;
+  entry.kind = ExperimentKind::kIdle;
+  entry.profile = profile;
+  entry.pairs = pairs;
+  entry.started_at = now_;
+  entry.measurement = measure({});
+  history_.push_back(entry);
+  return entry.measurement;
+}
+
+Measurement Orchestrator::run_port(const ProfileKey& profile, std::size_t pairs) {
+  // One port of each cabled pair is enabled; with the peer down the link
+  // never comes up, isolating P_port.
+  configure_pairs(profile, pairs, InterfaceState::kEnabled,
+                  InterfaceState::kPlugged);
+  HistoryEntry entry;
+  entry.kind = ExperimentKind::kPort;
+  entry.profile = profile;
+  entry.pairs = pairs;
+  entry.started_at = now_;
+  entry.measurement = measure({});
+  history_.push_back(entry);
+  return entry.measurement;
+}
+
+Measurement Orchestrator::run_trx(const ProfileKey& profile, std::size_t pairs) {
+  // Both ports enabled: the links establish, isolating P_port + P_trx,up.
+  configure_pairs(profile, pairs, InterfaceState::kUp, InterfaceState::kUp);
+  HistoryEntry entry;
+  entry.kind = ExperimentKind::kTrx;
+  entry.profile = profile;
+  entry.pairs = pairs;
+  entry.started_at = now_;
+  entry.measurement = measure({});
+  history_.push_back(entry);
+  return entry.measurement;
+}
+
+SnakePoint Orchestrator::run_snake(const ProfileKey& profile, std::size_t pairs,
+                                   const TrafficSpec& spec) {
+  configure_pairs(profile, pairs, InterfaceState::kUp, InterfaceState::kUp);
+  const SnakePlan plan = SnakePlan::over_ports(2 * pairs);
+
+  SnakePoint point;
+  point.offered_rate_bps = spec.rate_bps;
+  point.frame_bytes = spec.frame_bytes;
+  point.per_interface_rate_bps = plan.per_interface_rate_bps(spec);
+  point.per_interface_rate_pps = plan.per_interface_packet_rate_pps(spec);
+
+  const std::vector<InterfaceLoad> loads(
+      2 * pairs,
+      InterfaceLoad{point.per_interface_rate_bps, point.per_interface_rate_pps});
+  HistoryEntry entry;
+  entry.kind = ExperimentKind::kSnake;
+  entry.profile = profile;
+  entry.pairs = pairs;
+  entry.offered_rate_bps = spec.rate_bps;
+  entry.frame_bytes = spec.frame_bytes;
+  entry.started_at = now_;
+  point.measurement = measure(loads);
+  entry.measurement = point.measurement;
+  history_.push_back(entry);
+  return point;
+}
+
+CsvTable Orchestrator::history_csv() const {
+  CsvTable table({"experiment", "profile", "pairs", "offered_rate_gbps",
+                  "frame_bytes", "started_at", "mean_power_w", "stddev_w",
+                  "samples"});
+  for (const HistoryEntry& entry : history_) {
+    table.add_row({std::string(to_string(entry.kind)),
+                   entry.kind == ExperimentKind::kBase
+                       ? std::string{}
+                       : to_string(entry.profile),
+                   std::to_string(entry.pairs),
+                   format_number(bps_to_gbps(entry.offered_rate_bps), 3),
+                   format_number(entry.frame_bytes),
+                   format_date_time(entry.started_at),
+                   format_number(entry.measurement.mean_power_w, 3),
+                   format_number(entry.measurement.stddev_w, 4),
+                   std::to_string(entry.measurement.sample_count)});
+  }
+  return table;
+}
+
+}  // namespace joules

@@ -1,0 +1,87 @@
+// The lab orchestrator (§5.1).
+//
+// Plays the role of the paper's Intel NUC: configures the DUT over its
+// "console" (the SimulatedRouter API), drives the power meter, and generates
+// test traffic. Each experiment configures interfaces, waits a settle time,
+// then records the meter channel for a measurement window and averages it.
+// The lab clock advances monotonically across runs, so slow environmental
+// jitter decorrelates between runs like it would on a real bench.
+#pragma once
+
+#include <cstddef>
+
+#include <vector>
+
+#include "device/router.hpp"
+#include "meter/power_meter.hpp"
+#include "netpowerbench/experiment.hpp"
+#include "util/csv.hpp"
+#include "traffic/generator.hpp"
+#include "traffic/snake.hpp"
+
+namespace joules {
+
+struct OrchestratorOptions {
+  SimTime start_time = 0;       // lab epoch
+  SimTime settle_s = 60;        // wait after reconfiguration
+  SimTime measure_s = 1800;     // measurement window per run
+  SimTime sample_period_s = 1;  // meter sampling during the window
+  int repeats = 3;              // windows averaged per experiment
+  double lab_ambient_c = 22.0;  // bench room temperature
+};
+
+class Orchestrator {
+ public:
+  // The orchestrator owns neither DUT nor meter configuration beyond the lab
+  // session; the DUT's interface list is cleared between experiments.
+  Orchestrator(SimulatedRouter& dut, PowerMeter meter,
+               OrchestratorOptions options = {});
+
+  // Base: no transceivers, no configuration.
+  [[nodiscard]] Measurement run_base();
+
+  // Idle/Port/Trx with `pairs` cabled port pairs of the given profile.
+  [[nodiscard]] Measurement run_idle(const ProfileKey& profile, std::size_t pairs);
+  [[nodiscard]] Measurement run_port(const ProfileKey& profile, std::size_t pairs);
+  [[nodiscard]] Measurement run_trx(const ProfileKey& profile, std::size_t pairs);
+
+  // Snake over 2*pairs interfaces at the given offered load.
+  [[nodiscard]] SnakePoint run_snake(const ProfileKey& profile, std::size_t pairs,
+                                     const TrafficSpec& spec);
+
+  // Maximum cabled pairs for a profile on this DUT.
+  [[nodiscard]] std::size_t max_pairs(const ProfileKey& profile) const;
+
+  // Lab notebook: one entry per experiment run, in execution order. A
+  // replication should be able to audit exactly what the bench did.
+  struct HistoryEntry {
+    ExperimentKind kind = ExperimentKind::kBase;
+    ProfileKey profile;          // meaningless for kBase
+    std::size_t pairs = 0;       // 0 for kBase
+    double offered_rate_bps = 0; // Snake only
+    double frame_bytes = 0;      // Snake only
+    SimTime started_at = 0;
+    Measurement measurement;
+  };
+  [[nodiscard]] const std::vector<HistoryEntry>& history() const noexcept {
+    return history_;
+  }
+  // CSV export of the notebook.
+  [[nodiscard]] CsvTable history_csv() const;
+
+  [[nodiscard]] const OrchestratorOptions& options() const noexcept { return options_; }
+  [[nodiscard]] SimTime lab_time() const noexcept { return now_; }
+
+ private:
+  void configure_pairs(const ProfileKey& profile, std::size_t pairs,
+                       InterfaceState first_of_pair, InterfaceState second_of_pair);
+  [[nodiscard]] Measurement measure(std::span<const InterfaceLoad> loads);
+
+  SimulatedRouter& dut_;
+  PowerMeter meter_;
+  OrchestratorOptions options_;
+  SimTime now_;
+  std::vector<HistoryEntry> history_;
+};
+
+}  // namespace joules

@@ -1,0 +1,120 @@
+#include "network/dataset.hpp"
+
+#include "stats/descriptive.hpp"
+
+namespace joules {
+
+NetworkTraces network_traces(const NetworkSimulation& sim, SimTime begin,
+                             SimTime end, SimTime step) {
+  NetworkTraces traces;
+
+  // Capacity: each internal link counted once, externals once.
+  for (const DeployedRouter& router : sim.topology().routers) {
+    for (const DeployedInterface& iface : router.interfaces) {
+      if (iface.spare) continue;
+      const double line = line_rate_bps(iface.profile.rate);
+      traces.capacity_bps += iface.external ? line : line / 2.0;
+    }
+  }
+
+  for (SimTime t = begin; t < end; t += step) {
+    double power = 0.0;
+    double traffic = 0.0;
+    for (std::size_t r = 0; r < sim.router_count(); ++r) {
+      if (!sim.active(r, t)) continue;
+      power += sim.wall_power_w(r, t);
+      const auto& interfaces = sim.topology().routers[r].interfaces;
+      for (std::size_t i = 0; i < interfaces.size(); ++i) {
+        const InterfaceLoad load = sim.interface_load(r, i, t);
+        // Loads sum both directions; halve to count carried traffic, and
+        // halve internal links again (seen by both endpoints).
+        traffic += load.rate_bps / (interfaces[i].external ? 2.0 : 4.0);
+      }
+    }
+    traces.total_power_w.push(t, power);
+    traces.total_traffic_bps.push(t, traffic);
+  }
+  return traces;
+}
+
+std::vector<PsuObservation> psu_snapshot(const NetworkSimulation& sim,
+                                         SimTime t) {
+  std::vector<PsuObservation> observations;
+  for (std::size_t r = 0; r < sim.router_count(); ++r) {
+    if (!sim.active(r, t)) continue;
+    const DeployedRouter& deployed = sim.topology().routers[r];
+    const auto readings = sim.sensor_snapshot(r, t);
+    for (std::size_t p = 0; p < readings.size(); ++p) {
+      PsuObservation obs;
+      obs.router_name = deployed.name;
+      obs.router_model = deployed.model;
+      obs.psu_index = static_cast<int>(p);
+      obs.capacity_w = sim.device(r).psus()[p].capacity_w();
+      obs.input_power_w = readings[p].input_power_w;
+      obs.output_power_w = readings[p].output_power_w;
+      observations.push_back(std::move(obs));
+    }
+  }
+  return observations;
+}
+
+std::optional<double> snmp_median_power_w(const NetworkSimulation& sim,
+                                          std::size_t router, SimTime begin,
+                                          SimTime end, SimTime step) {
+  std::vector<double> values;
+  for (SimTime t = begin; t < end; t += step) {
+    if (!sim.active(router, t)) continue;
+    const auto reported = sim.reported_power_w(router, t);
+    if (reported.has_value()) values.push_back(*reported);
+  }
+  if (values.empty()) return std::nullopt;
+  return median(values);
+}
+
+TransceiverPowerReport transceiver_power_report(const NetworkSimulation& sim,
+                                                SimTime t) {
+  TransceiverPowerReport report;
+  for (std::size_t r = 0; r < sim.router_count(); ++r) {
+    if (!sim.active(r, t)) continue;
+    report.network_power_w += sim.wall_power_w(r, t);
+    const DeployedRouter& deployed = sim.topology().routers[r];
+    const RouterSpec& spec = sim.device(r).spec();
+    for (std::size_t i = 0; i < deployed.interfaces.size(); ++i) {
+      const InterfaceState state = sim.interface_state(r, i, t);
+      if (state == InterfaceState::kEmpty) continue;
+      const InterfaceProfile* profile =
+          spec.truth.find_profile_relaxed(deployed.interfaces[i].profile);
+      if (profile == nullptr) continue;
+      double module_power = profile->trx_in_power_w;
+      if (state == InterfaceState::kUp) module_power += profile->trx_up_power_w;
+      report.total_w += module_power;
+      report.modules += 1;
+      if (deployed.interfaces[i].external) {
+        report.external_w += module_power;
+        report.external_modules += 1;
+      }
+    }
+  }
+  return report;
+}
+
+VisibleInputs visible_inputs(const NetworkSimulation& sim, std::size_t router,
+                             SimTime t) {
+  VisibleInputs inputs;
+  const DeployedRouter& deployed = sim.topology().routers[router];
+  for (std::size_t i = 0; i < deployed.interfaces.size(); ++i) {
+    const InterfaceLoad load = sim.interface_load(router, i, t);
+    if (load.rate_bps <= 0.0 && load.rate_pps <= 0.0) {
+      continue;  // no counters -> invisible to the operator
+    }
+    InterfaceConfig config;
+    config.name = deployed.interfaces[i].name;
+    config.profile = deployed.interfaces[i].profile;
+    config.state = InterfaceState::kUp;
+    inputs.configs.push_back(std::move(config));
+    inputs.loads.push_back(load);
+  }
+  return inputs;
+}
+
+}  // namespace joules

@@ -1,0 +1,72 @@
+// Analysis-ready views of the simulated deployment — the shapes of the
+// paper's dataset: network-wide power/traffic traces (Fig. 1), PSU sensor
+// snapshots (§9.2), SNMP power medians (Table 1), the transceiver power
+// accounting (§7), and the operator-visible model inputs of §6.2.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "model/power_model.hpp"
+#include "network/simulation.hpp"
+#include "psu/psu_unit.hpp"
+#include "util/time_series.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+
+struct NetworkTraces {
+  TimeSeries total_power_w;     // sum of wall power over active routers
+  TimeSeries total_traffic_bps; // carried traffic (each link counted once)
+  double capacity_bps = 0.0;    // total interface capacity (same convention)
+};
+
+// Samples the whole network every `step` seconds over [begin, end).
+[[nodiscard]] NetworkTraces network_traces(const NetworkSimulation& sim,
+                                           SimTime begin, SimTime end,
+                                           SimTime step);
+
+// One-time export of every active router's PSU sensors at `t` (the §9.2
+// snapshot, including its physically-impossible readings).
+[[nodiscard]] std::vector<PsuObservation> psu_snapshot(
+    const NetworkSimulation& sim, SimTime t);
+
+// Median of the SNMP-reported power over [begin, end) polled at `step`;
+// nullopt for models that do not report power.
+[[nodiscard]] std::optional<double> snmp_median_power_w(
+    const NetworkSimulation& sim, std::size_t router, SimTime begin,
+    SimTime end, SimTime step = 5 * kSecondsPerMinute);
+
+// §7's transceiver accounting at time `t`: total transceiver power, the
+// external share, and the concurrent total network power.
+struct TransceiverPowerReport {
+  double total_w = 0.0;
+  double external_w = 0.0;
+  std::size_t modules = 0;
+  std::size_t external_modules = 0;
+  double network_power_w = 0.0;
+
+  [[nodiscard]] double share_of_network() const noexcept {
+    return network_power_w > 0.0 ? total_w / network_power_w : 0.0;
+  }
+  [[nodiscard]] double external_share_of_transceivers() const noexcept {
+    return total_w > 0.0 ? external_w / total_w : 0.0;
+  }
+};
+[[nodiscard]] TransceiverPowerReport transceiver_power_report(
+    const NetworkSimulation& sim, SimTime t);
+
+// What an operator can reconstruct for a router at time `t` from inventory
+// files + traffic counters (§6.2): interfaces with traffic are `kUp` with
+// their inventory profile; interfaces without traffic are *absent* — the
+// paper's pitfall ("an interface might be drawing power despite reporting no
+// traffic counters"), which is exactly why spares and flapped-but-plugged
+// transceivers make model predictions underestimate.
+struct VisibleInputs {
+  std::vector<InterfaceConfig> configs;
+  std::vector<InterfaceLoad> loads;
+};
+[[nodiscard]] VisibleInputs visible_inputs(const NetworkSimulation& sim,
+                                           std::size_t router, SimTime t);
+
+}  // namespace joules

@@ -1,0 +1,72 @@
+#include "network/inventory.hpp"
+
+#include <stdexcept>
+
+#include "device/catalog.hpp"
+#include "util/sim_clock.hpp"
+
+namespace joules {
+
+CsvTable router_inventory(const NetworkTopology& topology) {
+  CsvTable table({"router", "model", "pop", "commissioned", "decommissioned",
+                  "psu_count", "psu_capacity_w"});
+  for (const DeployedRouter& router : topology.routers) {
+    const RouterSpec spec = find_router_spec(router.model).value();
+    table.add_row({
+        router.name,
+        router.model,
+        topology.pops.at(static_cast<std::size_t>(router.pop)),
+        format_date(router.commissioned_at),
+        router.decommissioned_at == std::numeric_limits<SimTime>::max()
+            ? ""
+            : format_date(router.decommissioned_at),
+        std::to_string(spec.psu_count),
+        format_number(spec.psu_capacity_w),
+    });
+  }
+  return table;
+}
+
+CsvTable module_inventory(const NetworkTopology& topology) {
+  CsvTable table({"router", "interface", "port_type", "transceiver", "rate",
+                  "transceiver_part", "external", "spare", "link_id"});
+  for (const DeployedRouter& router : topology.routers) {
+    for (const DeployedInterface& iface : router.interfaces) {
+      table.add_row({
+          router.name,
+          iface.name,
+          std::string(to_string(iface.profile.port)),
+          std::string(to_string(iface.profile.transceiver)),
+          std::string(to_string(iface.profile.rate)),
+          iface.transceiver_part,
+          iface.external ? "1" : "0",
+          iface.spare ? "1" : "0",
+          std::to_string(iface.link_id),
+      });
+    }
+  }
+  return table;
+}
+
+std::vector<InventoryInterface> interfaces_of(const CsvTable& modules,
+                                              const std::string& router_name) {
+  std::vector<InventoryInterface> out;
+  for (std::size_t i = 0; i < modules.row_count(); ++i) {
+    if (modules.cell(i, "router") != router_name) continue;
+    InventoryInterface iface;
+    iface.name = modules.cell(i, "interface");
+    const auto port = parse_port_type(modules.cell(i, "port_type"));
+    const auto trx = parse_transceiver_kind(modules.cell(i, "transceiver"));
+    const auto rate = parse_line_rate(modules.cell(i, "rate"));
+    if (!port || !trx || !rate) {
+      throw std::invalid_argument("interfaces_of: unparsable inventory row " +
+                                  std::to_string(i));
+    }
+    iface.profile = {*port, *trx, *rate};
+    iface.transceiver_part = modules.cell(i, "transceiver_part");
+    out.push_back(std::move(iface));
+  }
+  return out;
+}
+
+}  // namespace joules

@@ -1,0 +1,30 @@
+// Inventory exports.
+//
+// The paper's pipelines join SNMP traces against two operator-provided
+// files: the hardware inventory (PSU capacities per router) and the module
+// inventory (transceiver part per interface). These exports produce the
+// same artifacts from the simulated network as CSV tables.
+#pragma once
+
+#include "network/topology.hpp"
+#include "util/csv.hpp"
+
+namespace joules {
+
+// router, model, pop, commissioned, decommissioned, psu_count, psu_capacity_w
+[[nodiscard]] CsvTable router_inventory(const NetworkTopology& topology);
+
+// router, interface, port_type, transceiver, rate, external, spare, link_id
+[[nodiscard]] CsvTable module_inventory(const NetworkTopology& topology);
+
+// Round-trip: rebuilds the interface profile list of one router from a
+// module-inventory table (what the §6.2 prediction pipeline does).
+struct InventoryInterface {
+  std::string name;
+  ProfileKey profile;
+  std::string transceiver_part;
+};
+[[nodiscard]] std::vector<InventoryInterface> interfaces_of(
+    const CsvTable& modules, const std::string& router_name);
+
+}  // namespace joules

@@ -1,0 +1,141 @@
+#include "network/simulation.hpp"
+
+#include <stdexcept>
+
+#include "device/catalog.hpp"
+#include "util/rng.hpp"
+
+namespace joules {
+
+NetworkSimulation::NetworkSimulation(NetworkTopology topology, std::uint64_t seed)
+    : topology_(std::move(topology)) {
+  Rng rng(seed);
+  devices_.reserve(topology_.routers.size());
+  for (std::size_t r = 0; r < topology_.routers.size(); ++r) {
+    const DeployedRouter& deployed = topology_.routers[r];
+    const auto spec = find_router_spec(deployed.model);
+    if (!spec) {
+      throw std::invalid_argument("NetworkSimulation: unknown model " +
+                                  deployed.model);
+    }
+    RouterSpec unit_spec = *spec;
+    if (deployed.psu_capacity_override_w > 0.0) {
+      unit_spec.psu_capacity_w = deployed.psu_capacity_override_w;
+    }
+    SimulatedRouter device(unit_spec, rng.fork(deployed.name).next());
+    workload_offset_.push_back(workloads_.size());
+    for (const DeployedInterface& iface : deployed.interfaces) {
+      device.add_interface(iface.profile,
+                           iface.spare ? InterfaceState::kPlugged
+                                       : InterfaceState::kUp,
+                           iface.name);
+      workloads_.emplace_back(iface.workload, topology_.options.study_begin,
+                              iface.workload_seed);
+    }
+    devices_.push_back(std::move(device));
+  }
+}
+
+bool NetworkSimulation::active(std::size_t router, SimTime t) const {
+  const DeployedRouter& deployed = topology_.routers.at(router);
+  return t >= deployed.commissioned_at && t < deployed.decommissioned_at;
+}
+
+InterfaceState NetworkSimulation::interface_state(std::size_t router,
+                                                  std::size_t iface,
+                                                  SimTime t) const {
+  const DeployedInterface& deployed =
+      topology_.routers.at(router).interfaces.at(iface);
+  InterfaceState state =
+      deployed.spare ? InterfaceState::kPlugged : InterfaceState::kUp;
+  for (const StateOverride& override_spec : overrides_) {
+    if (override_spec.router == static_cast<int>(router) &&
+        override_spec.iface == static_cast<int>(iface) &&
+        t >= override_spec.from && t < override_spec.to) {
+      state = override_spec.state;
+    }
+  }
+  return state;
+}
+
+InterfaceLoad NetworkSimulation::interface_load(std::size_t router,
+                                                std::size_t iface,
+                                                SimTime t) const {
+  if (!active(router, t)) return {};
+  if (interface_state(router, iface, t) != InterfaceState::kUp) return {};
+  for (const StateOverride& override_spec : overrides_) {
+    if (override_spec.router == static_cast<int>(router) &&
+        override_spec.iface == static_cast<int>(iface) &&
+        override_spec.suppress_traffic && t >= override_spec.from &&
+        t < override_spec.to) {
+      return {};
+    }
+  }
+  const DeployedInterface& deployed =
+      topology_.routers.at(router).interfaces.at(iface);
+  if (deployed.spare) return {};
+  const DiurnalWorkload& workload =
+      workloads_[workload_offset_[router] + iface];
+  return {workload.rate_bps(t), workload.packet_rate_pps(t)};
+}
+
+std::vector<InterfaceLoad> NetworkSimulation::loads(std::size_t router,
+                                                    SimTime t) const {
+  const std::size_t count = topology_.routers.at(router).interfaces.size();
+  std::vector<InterfaceLoad> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = interface_load(router, i, t);
+  }
+  return out;
+}
+
+void NetworkSimulation::sync_states(std::size_t router, SimTime t) const {
+  SimulatedRouter& device = devices_[router];
+  const std::size_t count = topology_.routers.at(router).interfaces.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    device.set_interface_state(i, interface_state(router, i, t));
+  }
+}
+
+double NetworkSimulation::wall_power_w(std::size_t router, SimTime t) const {
+  if (!active(router, t)) return 0.0;
+  sync_states(router, t);
+  return devices_[router].wall_power_w(t, loads(router, t));
+}
+
+std::optional<double> NetworkSimulation::reported_power_w(std::size_t router,
+                                                          SimTime t) const {
+  if (!active(router, t)) return std::nullopt;
+  sync_states(router, t);
+  return devices_[router].reported_power_w(t, loads(router, t));
+}
+
+std::vector<PsuSensorReading> NetworkSimulation::sensor_snapshot(
+    std::size_t router, SimTime t) const {
+  if (!active(router, t)) return {};
+  sync_states(router, t);
+  return devices_[router].sensor_snapshot(t, loads(router, t));
+}
+
+void NetworkSimulation::add_override(const StateOverride& override_spec) {
+  const auto& interfaces =
+      topology_.routers.at(static_cast<std::size_t>(override_spec.router))
+          .interfaces;
+  if (override_spec.iface < 0 ||
+      static_cast<std::size_t>(override_spec.iface) >= interfaces.size()) {
+    throw std::out_of_range("NetworkSimulation: override interface out of range");
+  }
+  overrides_.push_back(override_spec);
+}
+
+void NetworkSimulation::remove_transceiver_at(int router, int iface, SimTime t) {
+  StateOverride removal;
+  removal.router = router;
+  removal.iface = iface;
+  removal.from = t;
+  removal.to = std::numeric_limits<SimTime>::max();
+  removal.state = InterfaceState::kEmpty;
+  add_override(removal);
+}
+
+}  // namespace joules

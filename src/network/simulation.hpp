@@ -1,0 +1,87 @@
+// The deployed-network simulation.
+//
+// Instantiates a `SimulatedRouter` per deployed router and answers the
+// questions the dataset pipelines ask: what is router r's wall power at time
+// t, what does its PSU telemetry report, what are its interface loads, what
+// do its sensors export. Time-varying interface state (flaps, maintenance,
+// transceiver removal — the Fig. 4 events) is expressed as state overrides
+// over time windows.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "device/router.hpp"
+#include "network/topology.hpp"
+
+namespace joules {
+
+struct StateOverride {
+  int router = 0;
+  int iface = 0;
+  SimTime from = 0;
+  SimTime to = 0;  // half-open [from, to)
+  InterfaceState state = InterfaceState::kPlugged;
+  bool suppress_traffic = true;  // counters stop during the override
+};
+
+class NetworkSimulation {
+ public:
+  explicit NetworkSimulation(NetworkTopology topology, std::uint64_t seed = 1);
+
+  [[nodiscard]] const NetworkTopology& topology() const noexcept { return topology_; }
+  [[nodiscard]] std::size_t router_count() const noexcept {
+    return topology_.routers.size();
+  }
+
+  // Commissioned and not yet decommissioned at `t`.
+  [[nodiscard]] bool active(std::size_t router, SimTime t) const;
+
+  // Interface state at `t`, overrides applied. Spares are kPlugged; regular
+  // interfaces are kUp while the router is active.
+  [[nodiscard]] InterfaceState interface_state(std::size_t router,
+                                               std::size_t iface, SimTime t) const;
+
+  // Offered load (both directions summed) at `t`; zero unless the interface
+  // is up and unsuppressed.
+  [[nodiscard]] InterfaceLoad interface_load(std::size_t router,
+                                             std::size_t iface, SimTime t) const;
+  [[nodiscard]] std::vector<InterfaceLoad> loads(std::size_t router, SimTime t) const;
+
+  // True wall power; 0 when the router is not active.
+  [[nodiscard]] double wall_power_w(std::size_t router, SimTime t) const;
+
+  // PSU-reported (SNMP) power, with the model's telemetry quirks.
+  [[nodiscard]] std::optional<double> reported_power_w(std::size_t router,
+                                                       SimTime t) const;
+
+  // Per-PSU (P_in, P_out) sensor export (§9.2's snapshot source).
+  [[nodiscard]] std::vector<PsuSensorReading> sensor_snapshot(std::size_t router,
+                                                              SimTime t) const;
+
+  // The underlying device (e.g. for spec/PSU metadata). State is synced to
+  // the last queried time; prefer the time-indexed accessors.
+  [[nodiscard]] const SimulatedRouter& device(std::size_t router) const {
+    return devices_[router];
+  }
+  [[nodiscard]] SimulatedRouter& device(std::size_t router) {
+    return devices_[router];
+  }
+
+  void add_override(const StateOverride& override_spec);
+
+  // Transceiver removal: from `t` on, the interface is physically empty
+  // (unlike a "down" override, this removes P_trx,in too).
+  void remove_transceiver_at(int router, int iface, SimTime t);
+
+ private:
+  void sync_states(std::size_t router, SimTime t) const;
+
+  NetworkTopology topology_;
+  mutable std::vector<SimulatedRouter> devices_;
+  std::vector<StateOverride> overrides_;
+  std::vector<DiurnalWorkload> workloads_;      // flattened per interface
+  std::vector<std::size_t> workload_offset_;    // router -> first workload index
+};
+
+}  // namespace joules

@@ -1,0 +1,371 @@
+#include "network/topology.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+
+#include "device/catalog.hpp"
+#include "device/transceiver.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+enum class Tier { kAccess, kAggregation, kCore };
+
+struct Candidate {
+  std::string model;
+  Tier tier;
+};
+
+// Port-usage bookkeeping against the catalog port budgets.
+class PortLedger {
+ public:
+  explicit PortLedger(const std::vector<DeployedRouter>& routers) {
+    for (const DeployedRouter& router : routers) {
+      const RouterSpec spec = find_router_spec(router.model).value();
+      std::map<PortType, int> budget;
+      for (const PortGroup& group : spec.ports) {
+        budget[group.type] += static_cast<int>(group.count);
+      }
+      budgets_.push_back(std::move(budget));
+      used_.emplace_back();
+    }
+  }
+
+  [[nodiscard]] int free_ports(int router, PortType type) const {
+    const auto it = budgets_[static_cast<std::size_t>(router)].find(type);
+    const int budget = it == budgets_[static_cast<std::size_t>(router)].end()
+                           ? 0
+                           : it->second;
+    const auto used_it = used_[static_cast<std::size_t>(router)].find(type);
+    const int used =
+        used_it == used_[static_cast<std::size_t>(router)].end() ? 0
+                                                                 : used_it->second;
+    return budget - used;
+  }
+
+  void take(int router, PortType type) {
+    used_[static_cast<std::size_t>(router)][type] += 1;
+  }
+
+ private:
+  std::vector<std::map<PortType, int>> budgets_;
+  std::vector<std::map<PortType, int>> used_;
+};
+
+// Preferred transceiver kinds: optics for long reach, DAC in-rack.
+constexpr std::array<TransceiverKind, 4> kOpticPreference = {
+    TransceiverKind::kLR4, TransceiverKind::kLR, TransceiverKind::kFR4,
+    TransceiverKind::kSR4};
+
+std::optional<ProfileKey> find_profile_for(const RouterSpec& spec,
+                                           const PortLedger& ledger, int router,
+                                           LineRate rate, bool prefer_dac) {
+  const std::vector<InterfaceProfile> profiles = spec.truth.profiles();
+  const InterfaceProfile* best = nullptr;
+  int best_score = -1;
+  for (const InterfaceProfile& profile : profiles) {
+    if (profile.key.rate != rate) continue;
+    if (ledger.free_ports(router, profile.key.port) <= 0) continue;
+    int score = 0;
+    const bool is_dac = profile.key.transceiver == TransceiverKind::kPassiveDAC;
+    if (prefer_dac == is_dac) score += 10;
+    for (std::size_t i = 0; i < kOpticPreference.size(); ++i) {
+      if (profile.key.transceiver == kOpticPreference[i]) {
+        score += static_cast<int>(kOpticPreference.size() - i);
+      }
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = &profile;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->key;
+}
+
+std::string part_number_for(const ProfileKey& key) {
+  if (const auto module =
+          find_transceiver(key.port, key.transceiver, key.rate)) {
+    return module->part_number;
+  }
+  // Not in the module catalogue (e.g. 25G LR on an SFP28 cage): synthesize a
+  // stable inventory name.
+  return std::string(to_string(key.port)) + "-" +
+         std::string(to_string(key.rate)) + "-" +
+         std::string(to_string(key.transceiver));
+}
+
+WorkloadParams workload_for(const ProfileKey& key, double median_frac, Rng& rng) {
+  WorkloadParams params;
+  const double line = line_rate_bps(key.rate);
+  params.mean_rate_bps = std::min(0.6 * line, rng.log_normal(median_frac * line, 0.7));
+  params.diurnal_amplitude = rng.uniform(0.25, 0.45);
+  params.weekend_factor = rng.uniform(0.75, 0.9);
+  params.jitter_frac = rng.uniform(0.03, 0.08);
+  params.mean_frame_bytes = rng.uniform(600, 1000);
+  params.annual_growth = rng.uniform(0.1, 0.3);
+  params.peak_hour_utc = static_cast<int>(rng.uniform_int(12, 16));
+  return params;
+}
+
+struct LinkEndpoints {
+  ProfileKey profile_a;
+  ProfileKey profile_b;
+};
+
+// Highest common rate with free ports on both routers.
+std::optional<LinkEndpoints> plan_link(const RouterSpec& spec_a, int router_a,
+                                       const RouterSpec& spec_b, int router_b,
+                                       const PortLedger& ledger, bool same_pop,
+                                       LineRate max_rate = LineRate::kG100) {
+  constexpr std::array<LineRate, 6> kRates = {LineRate::kG400, LineRate::kG100,
+                                              LineRate::kG50, LineRate::kG25,
+                                              LineRate::kG10, LineRate::kG1};
+  for (const LineRate rate : kRates) {
+    if (rate > max_rate) continue;
+    const auto a = find_profile_for(spec_a, ledger, router_a, rate, same_pop);
+    if (!a) continue;
+    const auto b = find_profile_for(spec_b, ledger, router_b, rate, same_pop);
+    if (!b) continue;
+    return LinkEndpoints{*a, *b};
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::size_t NetworkTopology::interface_count() const noexcept {
+  std::size_t total = 0;
+  for (const DeployedRouter& router : routers) total += router.interfaces.size();
+  return total;
+}
+
+std::size_t NetworkTopology::external_interface_count() const noexcept {
+  std::size_t total = 0;
+  for (const DeployedRouter& router : routers) {
+    for (const DeployedInterface& iface : router.interfaces) {
+      if (iface.external && !iface.spare) ++total;
+    }
+  }
+  return total;
+}
+
+NetworkTopology build_switch_like_network(const TopologyOptions& options) {
+  Rng rng(options.seed);
+  NetworkTopology topology;
+  topology.options = options;
+
+  // --- PoPs ------------------------------------------------------------
+  for (int i = 0; i < options.pop_count; ++i) {
+    char name[16];
+    std::snprintf(name, sizeof name, "pop%02d", i + 1);
+    topology.pops.emplace_back(name);
+  }
+
+  // --- Routers ------------------------------------------------------------
+  std::vector<Candidate> candidates;
+  auto add_models = [&candidates](const std::string& model, int count, Tier tier) {
+    for (int i = 0; i < count; ++i) candidates.push_back({model, tier});
+  };
+  add_models("ASR-920-24SZ-M", options.access_asr920, Tier::kAccess);
+  add_models("N540X-8Z16G-SYS-A", options.access_n540x, Tier::kAccess);
+  add_models("ASR-9001", options.access_asr9001, Tier::kAccess);
+  add_models("N540-24Z8Q2C-M", options.agg_n540, Tier::kAggregation);
+  add_models("NCS-55A1-24Q6H-SS", options.agg_ncs24q6h, Tier::kAggregation);
+  add_models("NCS-55A1-48Q6H", options.agg_ncs48q6h, Tier::kAggregation);
+  add_models("NCS-55A1-24H", options.core_ncs24h, Tier::kCore);
+  add_models("Nexus9336-FX2", options.core_nexus9336, Tier::kCore);
+  add_models("8201-32FH", options.core_8201_32fh, Tier::kCore);
+  add_models("8201-24H8FH", options.core_8201_24h8fh, Tier::kCore);
+
+  std::vector<Tier> tiers;
+  std::map<int, int> per_pop_counter;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    DeployedRouter router;
+    router.model = candidates[i].model;
+    router.pop = static_cast<int>(i) % options.pop_count;
+    char name[32];
+    std::snprintf(name, sizeof name, "%s-r%d",
+                  topology.pops[static_cast<std::size_t>(router.pop)].c_str(),
+                  ++per_pop_counter[router.pop]);
+    router.name = name;
+    router.commissioned_at = options.study_begin - 2 * 365 * kSecondsPerDay +
+                             rng.uniform_int(0, 300) * kSecondsPerDay;
+    // About a third of the units were bought with the next-size-up PSU
+    // option, spreading the fleet's load/efficiency points (Fig. 6).
+    if (rng.chance(0.35)) {
+      const RouterSpec spec = find_router_spec(router.model).value();
+      constexpr std::array<double, 6> kCaps = {250, 400, 750, 1100, 2000, 2700};
+      for (std::size_t c = 0; c + 1 < kCaps.size(); ++c) {
+        if (kCaps[c] == spec.psu_capacity_w) {
+          router.psu_capacity_override_w = kCaps[c + 1];
+          break;
+        }
+      }
+    }
+    topology.routers.push_back(std::move(router));
+    tiers.push_back(candidates[i].tier);
+  }
+  const int n = static_cast<int>(topology.routers.size());
+
+  PortLedger ledger(topology.routers);
+
+  auto add_link = [&](int router_a, int router_b) -> bool {
+    if (router_a == router_b) return false;
+    const RouterSpec spec_a =
+        find_router_spec(topology.routers[static_cast<std::size_t>(router_a)].model)
+            .value();
+    const RouterSpec spec_b =
+        find_router_spec(topology.routers[static_cast<std::size_t>(router_b)].model)
+            .value();
+    const bool same_pop = topology.routers[static_cast<std::size_t>(router_a)].pop ==
+                          topology.routers[static_cast<std::size_t>(router_b)].pop;
+    const auto plan =
+        plan_link(spec_a, router_a, spec_b, router_b, ledger, same_pop);
+    if (!plan) return false;
+
+    const std::uint64_t shared_seed = rng.next();
+    Rng workload_rng = Rng(shared_seed).fork("link-load");
+    const WorkloadParams workload = workload_for(
+        plan->profile_a, 1.5 * options.external_load_median_frac, workload_rng);
+
+    const int link_id = static_cast<int>(topology.links.size());
+    auto make_iface = [&](int router, const ProfileKey& profile) {
+      DeployedRouter& owner = topology.routers[static_cast<std::size_t>(router)];
+      DeployedInterface iface;
+      iface.name = std::string(to_string(profile.port)) + "-" +
+                   std::to_string(owner.interfaces.size());
+      iface.profile = profile;
+      iface.transceiver_part = part_number_for(profile);
+      iface.external = false;
+      iface.link_id = link_id;
+      iface.workload = workload;
+      iface.workload_seed = shared_seed;  // both ends see the same traffic
+      ledger.take(router, profile.port);
+      owner.interfaces.push_back(std::move(iface));
+      return static_cast<int>(owner.interfaces.size()) - 1;
+    };
+
+    InternalLink link;
+    link.router_a = router_a;
+    link.iface_a = make_iface(router_a, plan->profile_a);
+    link.router_b = router_b;
+    link.iface_b = make_iface(router_b, plan->profile_b);
+    topology.links.push_back(link);
+    return true;
+  };
+
+  // --- Core/aggregation ring + chords ------------------------------------
+  std::vector<int> backbone;
+  std::vector<int> access;
+  for (int i = 0; i < n; ++i) {
+    (tiers[static_cast<std::size_t>(i)] == Tier::kAccess ? access : backbone)
+        .push_back(i);
+  }
+  for (std::size_t i = 0; i < backbone.size(); ++i) {
+    add_link(backbone[i], backbone[(i + 1) % backbone.size()]);
+  }
+  const int chords = static_cast<int>(backbone.size()) / 2;
+  for (int c = 0; c < chords; ++c) {
+    const int a = backbone[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(backbone.size()) - 1))];
+    const int b = backbone[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(backbone.size()) - 1))];
+    add_link(a, b);
+  }
+
+  // --- Access uplinks (2 each, to distinct backbone routers) --------------
+  for (std::size_t i = 0; i < access.size(); ++i) {
+    int attached = 0;
+    std::size_t offset = i;
+    while (attached < 2 && offset < i + backbone.size()) {
+      const int target = backbone[offset % backbone.size()];
+      if (add_link(access[i], target)) ++attached;
+      ++offset;
+    }
+  }
+
+  // --- External interfaces -------------------------------------------------
+  // Add per-router externals until ~51 % of all interfaces are external.
+  auto external_count_for = [&](Tier tier) {
+    switch (tier) {
+      case Tier::kAccess: return rng.uniform_int(3, 6);
+      case Tier::kAggregation: return rng.uniform_int(2, 5);
+      case Tier::kCore: return rng.uniform_int(2, 4);
+    }
+    return std::int64_t{4};
+  };
+  for (int r = 0; r < n; ++r) {
+    DeployedRouter& router = topology.routers[static_cast<std::size_t>(r)];
+    const RouterSpec spec = find_router_spec(router.model).value();
+    const auto wanted = external_count_for(tiers[static_cast<std::size_t>(r)]);
+    for (int k = 0; k < wanted; ++k) {
+      // Externals use the highest rate with a free port, optics preferred.
+      std::optional<ProfileKey> profile;
+      for (const LineRate rate :
+           {LineRate::kG100, LineRate::kG400, LineRate::kG25, LineRate::kG10,
+            LineRate::kG1}) {
+        profile = find_profile_for(spec, ledger, r, rate, /*prefer_dac=*/false);
+        if (profile) break;
+      }
+      if (!profile) break;
+      DeployedInterface iface;
+      iface.name = std::string(to_string(profile->port)) + "-" +
+                   std::to_string(router.interfaces.size());
+      iface.profile = *profile;
+      iface.transceiver_part = part_number_for(*profile);
+      iface.external = true;
+      iface.workload_seed = rng.next();
+      Rng workload_rng = Rng(iface.workload_seed).fork("ext-load");
+      iface.workload = workload_for(*profile, options.external_load_median_frac,
+                                    workload_rng);
+      ledger.take(r, profile->port);
+      router.interfaces.push_back(std::move(iface));
+    }
+  }
+
+  // --- Spare transceivers ---------------------------------------------------
+  const auto spares = static_cast<int>(
+      options.spare_transceiver_frac *
+      static_cast<double>(topology.interface_count()));
+  for (int s = 0; s < spares; ++s) {
+    const int r = static_cast<int>(rng.uniform_int(0, n - 1));
+    DeployedRouter& router = topology.routers[static_cast<std::size_t>(r)];
+    const RouterSpec spec = find_router_spec(router.model).value();
+    std::optional<ProfileKey> profile;
+    for (const LineRate rate : {LineRate::kG100, LineRate::kG10, LineRate::kG1}) {
+      profile = find_profile_for(spec, ledger, r, rate, /*prefer_dac=*/false);
+      if (profile) break;
+    }
+    if (!profile) continue;
+    DeployedInterface iface;
+    iface.name = std::string(to_string(profile->port)) + "-spare-" +
+                 std::to_string(router.interfaces.size());
+    iface.profile = *profile;
+    iface.transceiver_part = part_number_for(*profile);
+    iface.external = false;
+    iface.spare = true;
+    iface.workload_seed = rng.next();
+    ledger.take(r, profile->port);
+    router.interfaces.push_back(std::move(iface));
+  }
+
+  // --- Lifecycle events (the Fig. 1 power steps) --------------------------
+  // One core router decommissioned three weeks into the study, another
+  // commissioned five weeks in.
+  if (backbone.size() >= 2) {
+    topology.routers[static_cast<std::size_t>(backbone[backbone.size() / 2])]
+        .decommissioned_at = options.study_begin + 21 * kSecondsPerDay;
+    topology.routers[static_cast<std::size_t>(backbone[backbone.size() / 3])]
+        .commissioned_at = options.study_begin + 35 * kSecondsPerDay;
+  }
+
+  return topology;
+}
+
+}  // namespace joules

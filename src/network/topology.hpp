@@ -1,0 +1,98 @@
+// A Switch-like Tier-2 ISP topology (§1, dataset description).
+//
+// 107 routers across ~18 points of presence, in three tiers:
+//   - access: ASR-920 / N540X / ASR-9001 devices with 2 x 10G uplinks;
+//   - aggregation: N540 / NCS 24Q6H / 48Q6H devices;
+//   - core: NCS-55A1-24H / Nexus 9336 / Cisco 8000 devices, ringed at 100G
+//     with extra chords for redundancy (Hypnos needs reroute headroom).
+// About half of all interfaces are *external* (customers, peers, transit) —
+// 51 % in the Switch dataset — and a few percent of ports hold *spare*
+// transceivers: plugged in, never brought up, invisible to traffic counters.
+//
+// Router names are anonymized like the paper's release: "pop07-r2" encodes
+// the PoP relation but not the location.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "device/router.hpp"
+#include "traffic/workload.hpp"
+
+namespace joules {
+
+struct TopologyOptions {
+  std::uint64_t seed = 42;
+  int pop_count = 18;
+  // Tier mix, summing to 107 like the paper's SNMP dataset.
+  int access_asr920 = 30;
+  int access_n540x = 10;
+  int access_asr9001 = 8;
+  int agg_n540 = 15;
+  int agg_ncs24q6h = 10;
+  int agg_ncs48q6h = 8;
+  int core_ncs24h = 12;
+  int core_nexus9336 = 6;
+  int core_8201_32fh = 5;
+  int core_8201_24h8fh = 3;
+
+  double spare_transceiver_frac = 0.03;
+  double external_load_median_frac = 0.035;  // of line rate
+  SimTime study_begin = make_time(2024, 9, 1);
+  SimTime study_end = make_time(2025, 6, 30);
+
+  [[nodiscard]] int router_count() const noexcept {
+    return access_asr920 + access_n540x + access_asr9001 + agg_n540 +
+           agg_ncs24q6h + agg_ncs48q6h + core_ncs24h + core_nexus9336 +
+           core_8201_32fh + core_8201_24h8fh;
+  }
+};
+
+struct DeployedInterface {
+  std::string name;
+  ProfileKey profile;
+  std::string transceiver_part;  // inventory entry ("QSFP28-100G-LR4", ...)
+  bool external = true;          // connects outside the network
+  bool spare = false;            // plugged, never brought up
+  int link_id = -1;              // internal link index, -1 for external/spare
+  WorkloadParams workload;       // offered load when up
+  std::uint64_t workload_seed = 0;
+};
+
+struct DeployedRouter {
+  std::string name;   // anonymized ("pop07-r2")
+  std::string model;  // catalog model name
+  int pop = 0;
+  SimTime commissioned_at = std::numeric_limits<SimTime>::min();
+  SimTime decommissioned_at = std::numeric_limits<SimTime>::max();
+  // Per-unit PSU capacity override (0 = use the catalog spec). Real fleets
+  // mix PSU options within a model; this also spreads the Fig. 6 load axis.
+  double psu_capacity_override_w = 0.0;
+  std::vector<DeployedInterface> interfaces;
+};
+
+struct InternalLink {
+  int router_a = 0;
+  int iface_a = 0;
+  int router_b = 0;
+  int iface_b = 0;
+};
+
+struct NetworkTopology {
+  TopologyOptions options;
+  std::vector<std::string> pops;
+  std::vector<DeployedRouter> routers;
+  std::vector<InternalLink> links;
+
+  [[nodiscard]] std::size_t interface_count() const noexcept;
+  [[nodiscard]] std::size_t external_interface_count() const noexcept;
+};
+
+// Deterministic in the options (including the seed).
+[[nodiscard]] NetworkTopology build_switch_like_network(
+    const TopologyOptions& options = {});
+
+}  // namespace joules

@@ -1,0 +1,83 @@
+#include "network/whatif.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace joules {
+
+Scenario::Scenario(NetworkSimulation sim, SimTime eval_at)
+    : sim_(std::move(sim)), eval_at_(eval_at) {}
+
+double Scenario::record(const std::string& name) {
+  double total = 0.0;
+  for (std::size_t r = 0; r < sim_.router_count(); ++r) {
+    total += sim_.wall_power_w(r, eval_at_);
+  }
+  ScenarioStep step;
+  step.name = name;
+  step.network_power_w = total;
+  step.saved_w = steps_.empty() ? 0.0 : steps_.back().network_power_w - total;
+  step.saved_vs_baseline_w = steps_.empty() ? 0.0 : baseline_w_ - total;
+  steps_.push_back(step);
+  return total;
+}
+
+double Scenario::baseline_w() {
+  if (!steps_.empty()) {
+    throw std::logic_error("Scenario: baseline must be the first step");
+  }
+  baseline_w_ = record("baseline");
+  return baseline_w_;
+}
+
+double Scenario::apply_link_sleeping(const HypnosResult& result) {
+  if (steps_.empty()) throw std::logic_error("Scenario: call baseline_w first");
+  const NetworkTopology& topology = sim_.topology();
+  for (const int link_id : result.sleeping_links) {
+    const InternalLink& link =
+        topology.links.at(static_cast<std::size_t>(link_id));
+    for (const auto& [router, iface] :
+         {std::pair{link.router_a, link.iface_a},
+          std::pair{link.router_b, link.iface_b}}) {
+      StateOverride down;
+      down.router = router;
+      down.iface = iface;
+      down.from = std::numeric_limits<SimTime>::min();
+      down.to = std::numeric_limits<SimTime>::max();
+      down.state = InterfaceState::kPlugged;
+      sim_.add_override(down);
+    }
+  }
+  return record("link sleeping (" + std::to_string(result.sleeping_links.size()) +
+                " links)");
+}
+
+double Scenario::apply_hot_standby() {
+  if (steps_.empty()) throw std::logic_error("Scenario: call baseline_w first");
+  int flipped = 0;
+  for (std::size_t r = 0; r < sim_.router_count(); ++r) {
+    if (sim_.device(r).psus().size() >= 2) {
+      sim_.device(r).set_psu_mode(PsuMode::kHotStandby);
+      ++flipped;
+    }
+  }
+  return record("hot-standby PSUs (" + std::to_string(flipped) + " routers)");
+}
+
+double Scenario::remove_spare_transceivers() {
+  if (steps_.empty()) throw std::logic_error("Scenario: call baseline_w first");
+  int removed = 0;
+  const NetworkTopology& topology = sim_.topology();
+  for (std::size_t r = 0; r < topology.routers.size(); ++r) {
+    const auto& interfaces = topology.routers[r].interfaces;
+    for (std::size_t i = 0; i < interfaces.size(); ++i) {
+      if (!interfaces[i].spare) continue;
+      sim_.remove_transceiver_at(static_cast<int>(r), static_cast<int>(i),
+                                 std::numeric_limits<SimTime>::min());
+      ++removed;
+    }
+  }
+  return record("unplug spare transceivers (" + std::to_string(removed) + ")");
+}
+
+}  // namespace joules

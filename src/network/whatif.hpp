@@ -1,0 +1,61 @@
+// Scenario analysis — stacking the paper's energy-saving measures.
+//
+// §10 closes by listing the saving vectors separately (transceiver handling,
+// link sleeping, PSU measures). An operator wants to know what they do
+// *together* on the same fleet, since the measures interact: link sleeping
+// lowers the DC draw, which lowers every PSU's load point, which changes
+// what hot-standby and right-sizing are worth. `Scenario` applies measures
+// to a NetworkSimulation and measures true wall power, so combinations
+// compose on ground truth instead of on independent estimates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "network/simulation.hpp"
+#include "sleep/hypnos.hpp"
+
+namespace joules {
+
+struct ScenarioStep {
+  std::string name;
+  double network_power_w = 0.0;  // after this step
+  double saved_w = 0.0;          // vs the previous step
+  double saved_vs_baseline_w = 0.0;
+};
+
+class Scenario {
+ public:
+  // Takes ownership of a fresh simulation; `eval_at` is the instant all
+  // power readings use.
+  Scenario(NetworkSimulation sim, SimTime eval_at);
+
+  // Measures the untouched fleet; must be called first.
+  double baseline_w();
+
+  // Puts every sleeping link's two interfaces admin-down (modules stay
+  // plugged — "down" is not "off").
+  double apply_link_sleeping(const HypnosResult& result);
+
+  // Switches every router with >= 2 PSUs to hot-standby.
+  double apply_hot_standby();
+
+  // Physically unplugs every spare transceiver (the paper's "awaiting
+  // pick-up at the next PoP visit" modules).
+  double remove_spare_transceivers();
+
+  [[nodiscard]] const std::vector<ScenarioStep>& steps() const noexcept {
+    return steps_;
+  }
+  [[nodiscard]] NetworkSimulation& sim() noexcept { return sim_; }
+
+ private:
+  double record(const std::string& name);
+
+  NetworkSimulation sim_;
+  SimTime eval_at_;
+  double baseline_w_ = 0.0;
+  std::vector<ScenarioStep> steps_;
+};
+
+}  // namespace joules

@@ -1,0 +1,83 @@
+#include "psu/efficiency_curve.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace joules {
+
+EfficiencyCurve::EfficiencyCurve(std::vector<Point> points)
+    : points_(std::move(points)) {
+  if (points_.size() < 2) {
+    throw std::invalid_argument("EfficiencyCurve: need at least 2 points");
+  }
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].efficiency <= 0.0 || points_[i].efficiency > 1.0) {
+      throw std::invalid_argument("EfficiencyCurve: efficiency outside (0,1]");
+    }
+    if (i > 0 && points_[i].load_frac <= points_[i - 1].load_frac) {
+      throw std::invalid_argument("EfficiencyCurve: loads must strictly increase");
+    }
+  }
+}
+
+double EfficiencyCurve::at(double load_frac) const noexcept {
+  if (load_frac <= points_.front().load_frac) return points_.front().efficiency;
+  if (load_frac >= points_.back().load_frac) return points_.back().efficiency;
+  const auto upper = std::upper_bound(
+      points_.begin(), points_.end(), load_frac,
+      [](double l, const Point& p) { return l < p.load_frac; });
+  const Point& hi = *upper;
+  const Point& lo = *std::prev(upper);
+  const double t = (load_frac - lo.load_frac) / (hi.load_frac - lo.load_frac);
+  return lo.efficiency + t * (hi.efficiency - lo.efficiency);
+}
+
+EfficiencyCurve EfficiencyCurve::offset_by(double delta) const {
+  std::vector<Point> shifted = points_;
+  for (Point& p : shifted) {
+    p.efficiency = std::clamp(p.efficiency + delta, kMinEfficiency, 1.0);
+  }
+  return EfficiencyCurve(std::move(shifted));
+}
+
+double EfficiencyCurve::offset_for_observation(double load_frac,
+                                               double efficiency) const noexcept {
+  return efficiency - at(load_frac);
+}
+
+const EfficiencyCurve& pfe600_curve() {
+  // Redrawn from the PFE600-12-054xA datasheet curve in Fig. 5: steep rise
+  // out of light load, a plateau around 94 % near half load, mild droop at
+  // full load.
+  static const EfficiencyCurve curve(std::vector<EfficiencyCurve::Point>{
+      {0.01, 0.45},
+      {0.05, 0.72},
+      {0.10, 0.83},
+      {0.15, 0.875},
+      {0.20, 0.90},
+      {0.30, 0.925},
+      {0.40, 0.935},
+      {0.50, 0.94},
+      {0.60, 0.94},
+      {0.70, 0.935},
+      {0.80, 0.93},
+      {0.90, 0.92},
+      {1.00, 0.91},
+  });
+  return curve;
+}
+
+double input_power_w(double output_power_w, double capacity_w,
+                     const EfficiencyCurve& curve) {
+  if (capacity_w <= 0.0) throw std::invalid_argument("input_power_w: capacity <= 0");
+  if (output_power_w < 0.0) throw std::invalid_argument("input_power_w: output < 0");
+  if (output_power_w == 0.0) return 0.0;
+  return output_power_w / curve.at(output_power_w / capacity_w);
+}
+
+double conversion_loss_w(double output_power_w, double capacity_w,
+                         const EfficiencyCurve& curve) {
+  return input_power_w(output_power_w, capacity_w, curve) - output_power_w;
+}
+
+}  // namespace joules

@@ -1,0 +1,57 @@
+// PSU efficiency curves (§9.1).
+//
+// A power supply's conversion efficiency is a function of its load fraction
+// (delivered power / capacity): typically poor below 10-20 % load, best
+// around 50-60 %, slightly declining toward 100 %. The paper models every
+// PSU's curve as the PFE600-12-054xA reference curve (Fig. 5) plus a constant
+// offset calibrated from a single (load, efficiency) observation.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace joules {
+
+class EfficiencyCurve {
+ public:
+  struct Point {
+    double load_frac = 0.0;   // delivered power / capacity, in [0, 1]
+    double efficiency = 0.0;  // P_out / P_in, in (0, 1]
+  };
+
+  // Points must be strictly increasing in load and have efficiency in (0, 1].
+  explicit EfficiencyCurve(std::vector<Point> points);
+
+  // Efficiency at a load fraction, linearly interpolated; clamped to the
+  // curve's end values outside the covered range. Always returns a value in
+  // (0, 1].
+  [[nodiscard]] double at(double load_frac) const noexcept;
+
+  // This curve shifted by a constant efficiency offset, clamped to
+  // [kMinEfficiency, 1].
+  [[nodiscard]] EfficiencyCurve offset_by(double delta) const;
+
+  // Offset such that `offset_by(...)` passes through (load_frac, efficiency).
+  [[nodiscard]] double offset_for_observation(double load_frac,
+                                              double efficiency) const noexcept;
+
+  [[nodiscard]] const std::vector<Point>& points() const noexcept { return points_; }
+
+  // Lowest efficiency any shifted curve can report; keeps input power finite.
+  static constexpr double kMinEfficiency = 0.05;
+
+ private:
+  std::vector<Point> points_;
+};
+
+// The Platinum-rated PFE600-12-054xA reference curve, redrawn from Fig. 5.
+[[nodiscard]] const EfficiencyCurve& pfe600_curve();
+
+// Conversion helpers. Input (wall) power for a delivered power, given the
+// PSU capacity and its curve; and the loss in watts.
+[[nodiscard]] double input_power_w(double output_power_w, double capacity_w,
+                                   const EfficiencyCurve& curve);
+[[nodiscard]] double conversion_loss_w(double output_power_w, double capacity_w,
+                                       const EfficiencyCurve& curve);
+
+}  // namespace joules

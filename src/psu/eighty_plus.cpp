@@ -1,0 +1,64 @@
+#include "psu/eighty_plus.hpp"
+
+#include <algorithm>
+
+namespace joules {
+namespace {
+
+// 230 V internal-redundant set points.
+constexpr std::array<SetPoint, 3> kBronze = {{{0.20, 0.81}, {0.50, 0.85}, {1.00, 0.81}}};
+constexpr std::array<SetPoint, 3> kSilver = {{{0.20, 0.85}, {0.50, 0.89}, {1.00, 0.85}}};
+constexpr std::array<SetPoint, 3> kGold = {{{0.20, 0.88}, {0.50, 0.92}, {1.00, 0.88}}};
+constexpr std::array<SetPoint, 3> kPlatinum = {{{0.20, 0.90}, {0.50, 0.94}, {1.00, 0.91}}};
+constexpr std::array<SetPoint, 4> kTitanium = {
+    {{0.10, 0.90}, {0.20, 0.94}, {0.50, 0.96}, {1.00, 0.91}}};
+
+}  // namespace
+
+std::string_view to_string(EightyPlusLevel level) noexcept {
+  switch (level) {
+    case EightyPlusLevel::kBronze: return "Bronze";
+    case EightyPlusLevel::kSilver: return "Silver";
+    case EightyPlusLevel::kGold: return "Gold";
+    case EightyPlusLevel::kPlatinum: return "Platinum";
+    case EightyPlusLevel::kTitanium: return "Titanium";
+  }
+  return "unknown";
+}
+
+std::span<const SetPoint> set_points(EightyPlusLevel level) noexcept {
+  switch (level) {
+    case EightyPlusLevel::kBronze: return kBronze;
+    case EightyPlusLevel::kSilver: return kSilver;
+    case EightyPlusLevel::kGold: return kGold;
+    case EightyPlusLevel::kPlatinum: return kPlatinum;
+    case EightyPlusLevel::kTitanium: return kTitanium;
+  }
+  return {};
+}
+
+bool is_certified(const EfficiencyCurve& curve, EightyPlusLevel level) noexcept {
+  const auto points = set_points(level);
+  return std::all_of(points.begin(), points.end(), [&](const SetPoint& sp) {
+    return curve.at(sp.load_frac) >= sp.min_efficiency;
+  });
+}
+
+std::optional<EightyPlusLevel> certification(const EfficiencyCurve& curve) noexcept {
+  std::optional<EightyPlusLevel> best;
+  for (const EightyPlusLevel level : kAllEightyPlusLevels) {
+    if (is_certified(curve, level)) best = level;
+  }
+  return best;
+}
+
+EfficiencyCurve standard_curve(EightyPlusLevel level) {
+  const EfficiencyCurve& reference = pfe600_curve();
+  double offset = -1.0;
+  for (const SetPoint& sp : set_points(level)) {
+    offset = std::max(offset, sp.min_efficiency - reference.at(sp.load_frac));
+  }
+  return reference.offset_by(offset);
+}
+
+}  // namespace joules

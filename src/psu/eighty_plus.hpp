@@ -1,0 +1,53 @@
+// The "80 Plus" PSU efficiency certification standard (§9.1, Fig. 5).
+//
+// Each level requires minimum efficiencies at fixed load set points. We use
+// the 230 V internal-redundant set points, the variant that applies to the
+// datacenter/router PSUs the paper studies.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "psu/efficiency_curve.hpp"
+
+namespace joules {
+
+enum class EightyPlusLevel : std::uint8_t {
+  kBronze,
+  kSilver,
+  kGold,
+  kPlatinum,
+  kTitanium,
+};
+
+inline constexpr std::array<EightyPlusLevel, 5> kAllEightyPlusLevels = {
+    EightyPlusLevel::kBronze, EightyPlusLevel::kSilver, EightyPlusLevel::kGold,
+    EightyPlusLevel::kPlatinum, EightyPlusLevel::kTitanium};
+
+[[nodiscard]] std::string_view to_string(EightyPlusLevel level) noexcept;
+
+struct SetPoint {
+  double load_frac;
+  double min_efficiency;
+};
+
+// Required set points for a level. Titanium adds a 10 %-load requirement; the
+// other levels specify 20/50/100 %.
+[[nodiscard]] std::span<const SetPoint> set_points(EightyPlusLevel level) noexcept;
+
+// True if `curve` meets or exceeds every set point of `level`.
+[[nodiscard]] bool is_certified(const EfficiencyCurve& curve,
+                                EightyPlusLevel level) noexcept;
+
+// Highest level `curve` satisfies, if any.
+[[nodiscard]] std::optional<EightyPlusLevel> certification(
+    const EfficiencyCurve& curve) noexcept;
+
+// The *minimal* curve of a level under the paper's assumption that every PSU
+// curve is PFE600-shaped plus a constant: the PFE600 curve shifted by the
+// smallest offset that satisfies all of the level's set points (§9.3.2).
+[[nodiscard]] EfficiencyCurve standard_curve(EightyPlusLevel level);
+
+}  // namespace joules

@@ -1,0 +1,133 @@
+#include "psu/optimization.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace joules {
+namespace {
+
+// Wall power for a PSU delivering `output_w` at efficiency `eff`, falling
+// back to the observed input when there is nothing to deliver (an idle PSU's
+// standby loss cannot be improved by a better curve).
+double input_for(double output_w, double observed_input_w, double eff) {
+  if (output_w <= 0.0) return observed_input_w;
+  if (eff <= 0.0) return observed_input_w;
+  return output_w / eff;
+}
+
+double smallest_fitting_capacity(double required_w,
+                                 std::span<const double> options) {
+  double best = -1.0;
+  for (const double cap : options) {
+    if (cap >= required_w && (best < 0.0 || cap < best)) best = cap;
+  }
+  if (best < 0.0) {
+    // Nothing large enough: keep the largest available option.
+    best = *std::max_element(options.begin(), options.end());
+  }
+  return best;
+}
+
+// Picks the group's PSU with the best calibrated offset; the consolidation
+// measures route all output through it.
+const PsuObservation* most_efficient_psu(const RouterPsuGroup& group) {
+  const PsuObservation* best = nullptr;
+  double best_offset = 0.0;
+  for (const PsuObservation& psu : group.psus) {
+    if (psu.capacity_w <= 0.0) continue;
+    const double offset =
+        pfe600_curve().offset_for_observation(psu.load_frac(), psu.efficiency());
+    if (best == nullptr || offset > best_offset) {
+      best = &psu;
+      best_offset = offset;
+    }
+  }
+  return best;
+}
+
+SavingsResult consolidate(std::span<const RouterPsuGroup> groups,
+                          const EfficiencyCurve* floor_curve) {
+  SavingsResult result;
+  for (const RouterPsuGroup& group : groups) {
+    const double baseline = group.total_input_w();
+    result.baseline_input_w += baseline;
+
+    const PsuObservation* carrier = most_efficient_psu(group);
+    const double total_output = group.total_output_w();
+    if (group.psus.size() < 2 || carrier == nullptr || total_output <= 0.0 ||
+        total_output > carrier->capacity_w) {
+      // Nothing to consolidate (or it would overload the surviving PSU).
+      result.new_input_w += baseline;
+      continue;
+    }
+
+    const double new_load = total_output / carrier->capacity_w;
+    double eff = carrier->calibrated_curve().at(new_load);
+    if (floor_curve != nullptr) eff = std::max(eff, floor_curve->at(new_load));
+    result.new_input_w +=
+        std::min(baseline, input_for(total_output, baseline, eff));
+  }
+  return result;
+}
+
+}  // namespace
+
+SavingsResult upgrade_to_standard(std::span<const RouterPsuGroup> groups,
+                                  EightyPlusLevel level) {
+  const EfficiencyCurve floor_curve = standard_curve(level);
+  SavingsResult result;
+  for (const RouterPsuGroup& group : groups) {
+    for (const PsuObservation& psu : group.psus) {
+      result.baseline_input_w += psu.input_power_w;
+      const double eff =
+          std::max(psu.efficiency(), floor_curve.at(psu.load_frac()));
+      result.new_input_w += std::min(
+          psu.input_power_w, input_for(psu.output_power_w, psu.input_power_w, eff));
+    }
+  }
+  return result;
+}
+
+SavingsResult consolidate_to_single_psu(std::span<const RouterPsuGroup> groups) {
+  return consolidate(groups, nullptr);
+}
+
+SavingsResult consolidate_and_upgrade(std::span<const RouterPsuGroup> groups,
+                                      EightyPlusLevel level) {
+  const EfficiencyCurve floor_curve = standard_curve(level);
+  return consolidate(groups, &floor_curve);
+}
+
+SavingsResult right_size_capacity(std::span<const RouterPsuGroup> groups,
+                                  double k, double minimum_capacity_w,
+                                  std::span<const double> capacity_options_w) {
+  if (k <= 0.0) throw std::invalid_argument("right_size_capacity: k must be positive");
+  if (capacity_options_w.empty()) {
+    throw std::invalid_argument("right_size_capacity: no capacity options");
+  }
+
+  SavingsResult result;
+  for (const RouterPsuGroup& group : groups) {
+    double l_max_w = 0.0;
+    for (const PsuObservation& psu : group.psus) {
+      l_max_w = std::max(l_max_w, psu.output_power_w);
+    }
+    const double fitted =
+        smallest_fitting_capacity(k * l_max_w, capacity_options_w);
+    const double new_capacity_w = std::max(minimum_capacity_w, fitted);
+
+    for (const PsuObservation& psu : group.psus) {
+      result.baseline_input_w += psu.input_power_w;
+      if (psu.capacity_w <= 0.0 || psu.output_power_w <= 0.0) {
+        result.new_input_w += psu.input_power_w;
+        continue;
+      }
+      const double eff =
+          psu.calibrated_curve().at(psu.output_power_w / new_capacity_w);
+      result.new_input_w += input_for(psu.output_power_w, psu.input_power_w, eff);
+    }
+  }
+  return result;
+}
+
+}  // namespace joules

@@ -1,0 +1,60 @@
+// §9.3 estimators: how much wall power would the network save with better
+// PSUs? Four what-if analyses over the PSU snapshot dataset:
+//
+//   §9.3.2 upgrade every PSU to (at least) an 80 Plus standard's curve;
+//   §9.3.3 right-size PSU capacities (k * l_max rule, five capacity options);
+//   §9.3.4 stop load-balancing: put the whole router on one PSU;
+//   §9.3.5 combine §9.3.2 and §9.3.4.
+//
+// All follow the paper's modeling assumption: every PSU's curve is PFE600 +
+// constant offset, calibrated from its single snapshot observation. Savings
+// are reported against the observed total input power.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "psu/eighty_plus.hpp"
+#include "psu/psu_unit.hpp"
+
+namespace joules {
+
+// The five PSU capacities present in the Switch dataset (§9.3.3).
+inline constexpr std::array<double, 6> kCapacityOptionsW = {250, 400, 750,
+                                                            1100, 2000, 2700};
+
+struct SavingsResult {
+  double baseline_input_w = 0.0;  // observed total wall power of the fleet
+  double new_input_w = 0.0;       // estimated wall power after the measure
+  [[nodiscard]] double saved_w() const noexcept { return baseline_input_w - new_input_w; }
+  [[nodiscard]] double saved_frac() const noexcept {
+    return baseline_input_w > 0.0 ? saved_w() / baseline_input_w : 0.0;
+  }
+};
+
+// §9.3.2 — every PSU delivers its observed P_out, but at an efficiency no
+// worse than `level`'s standard curve at its observed load.
+[[nodiscard]] SavingsResult upgrade_to_standard(
+    std::span<const RouterPsuGroup> groups, EightyPlusLevel level);
+
+// §9.3.4 — per router, one PSU (the most efficient one, calibrated) delivers
+// the router's total output at ~double load; the other PSU draws nothing
+// (paper assumes zero losses from the idle unit).
+[[nodiscard]] SavingsResult consolidate_to_single_psu(
+    std::span<const RouterPsuGroup> groups);
+
+// §9.3.5 — consolidation and the standard's curve combined.
+[[nodiscard]] SavingsResult consolidate_and_upgrade(
+    std::span<const RouterPsuGroup> groups, EightyPlusLevel level);
+
+// §9.3.3 — reset every router's PSU capacity to
+//   max(minimum_capacity_w, C)  with  C = min{cap in options : cap >= k*l_max}
+// where l_max is the largest per-PSU output on that router. Each PSU keeps
+// its calibrated offset; only its load point moves. k=2 preserves resilience
+// to one PSU failure, k=1 maximizes savings.
+[[nodiscard]] SavingsResult right_size_capacity(
+    std::span<const RouterPsuGroup> groups, double k, double minimum_capacity_w,
+    std::span<const double> capacity_options_w = kCapacityOptionsW);
+
+}  // namespace joules

@@ -1,0 +1,59 @@
+#include "psu/psu_unit.hpp"
+
+#include <algorithm>
+
+namespace joules {
+
+double PsuObservation::load_frac() const noexcept {
+  if (capacity_w <= 0.0) return 0.0;
+  return output_power_w / capacity_w;
+}
+
+double PsuObservation::efficiency() const noexcept {
+  if (input_power_w <= 0.0) return 0.0;
+  return std::min(1.0, output_power_w / input_power_w);
+}
+
+double PsuObservation::loss_w() const noexcept {
+  return std::max(0.0, input_power_w - output_power_w);
+}
+
+EfficiencyCurve PsuObservation::calibrated_curve() const {
+  const EfficiencyCurve& reference = pfe600_curve();
+  return reference.offset_by(
+      reference.offset_for_observation(load_frac(), efficiency()));
+}
+
+double RouterPsuGroup::total_input_w() const noexcept {
+  double total = 0.0;
+  for (const PsuObservation& psu : psus) total += psu.input_power_w;
+  return total;
+}
+
+double RouterPsuGroup::total_output_w() const noexcept {
+  double total = 0.0;
+  for (const PsuObservation& psu : psus) total += psu.output_power_w;
+  return total;
+}
+
+std::vector<RouterPsuGroup> group_by_router(
+    std::vector<PsuObservation> observations) {
+  std::vector<RouterPsuGroup> groups;
+  for (PsuObservation& obs : observations) {
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const RouterPsuGroup& g) {
+                             return g.router_name == obs.router_name;
+                           });
+    if (it == groups.end()) {
+      RouterPsuGroup group;
+      group.router_name = obs.router_name;
+      group.router_model = obs.router_model;
+      groups.push_back(std::move(group));
+      it = std::prev(groups.end());
+    }
+    it->psus.push_back(std::move(obs));
+  }
+  return groups;
+}
+
+}  // namespace joules

@@ -1,0 +1,53 @@
+// The PSU snapshot dataset of §9.2.
+//
+// The paper combines SNMP P_in traces with a one-time export of each PSU's
+// (P_in, P_out) sensor readings and the hardware-inventory capacities. The
+// observed efficiency is P_out / P_in capped at 100 % (some sensors report
+// P_out > P_in, which is physically impossible — poor sensor quality and/or
+// asynchronous reads). All §9 estimators start from `PsuObservation`s.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "psu/efficiency_curve.hpp"
+
+namespace joules {
+
+struct PsuObservation {
+  std::string router_name;
+  std::string router_model;
+  int psu_index = 0;          // slot within the router (0, 1, ...)
+  double capacity_w = 0.0;    // maximum deliverable power
+  double input_power_w = 0.0;   // P_in: wall power feeding the PSU
+  double output_power_w = 0.0;  // P_out: power delivered to the router
+
+  // P_out / capacity.
+  [[nodiscard]] double load_frac() const noexcept;
+  // P_out / P_in capped at 1.0 (§9.2's capping rule); 0 if P_in is 0.
+  [[nodiscard]] double efficiency() const noexcept;
+  // P_in - P_out, floored at 0 for capped observations.
+  [[nodiscard]] double loss_w() const noexcept;
+
+  // The PSU's calibrated curve under the paper's assumption: PFE600 shape
+  // plus the constant offset that reproduces this observation.
+  [[nodiscard]] EfficiencyCurve calibrated_curve() const;
+};
+
+// Observations of one router's PSUs, grouped (routers have >= 1 PSU; the
+// Switch dataset has two per router for redundancy).
+struct RouterPsuGroup {
+  std::string router_name;
+  std::string router_model;
+  std::vector<PsuObservation> psus;
+
+  [[nodiscard]] double total_input_w() const noexcept;
+  [[nodiscard]] double total_output_w() const noexcept;
+};
+
+// Groups a flat observation list by router name (preserving first-seen
+// order).
+[[nodiscard]] std::vector<RouterPsuGroup> group_by_router(
+    std::vector<PsuObservation> observations);
+
+}  // namespace joules

@@ -1,0 +1,212 @@
+#include "sleep/hypnos.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+struct Edge {
+  int link_id;
+  int peer;
+};
+
+using AdjacencyList = std::vector<std::vector<Edge>>;
+
+AdjacencyList build_adjacency(const NetworkTopology& topology,
+                              const std::vector<bool>& asleep) {
+  AdjacencyList adjacency(topology.routers.size());
+  for (std::size_t l = 0; l < topology.links.size(); ++l) {
+    if (asleep[l]) continue;
+    const InternalLink& link = topology.links[l];
+    adjacency[static_cast<std::size_t>(link.router_a)].push_back(
+        {static_cast<int>(l), link.router_b});
+    adjacency[static_cast<std::size_t>(link.router_b)].push_back(
+        {static_cast<int>(l), link.router_a});
+  }
+  return adjacency;
+}
+
+// BFS shortest path (hop count) from `from` to `to`; returns the link ids on
+// the path, empty if unreachable.
+std::vector<int> shortest_path(const AdjacencyList& adjacency, int from, int to) {
+  if (from == to) return {};
+  std::vector<int> via_link(adjacency.size(), -1);
+  std::vector<int> via_node(adjacency.size(), -1);
+  std::vector<bool> seen(adjacency.size(), false);
+  std::queue<int> frontier;
+  frontier.push(from);
+  seen[static_cast<std::size_t>(from)] = true;
+  while (!frontier.empty()) {
+    const int node = frontier.front();
+    frontier.pop();
+    for (const Edge& edge : adjacency[static_cast<std::size_t>(node)]) {
+      if (seen[static_cast<std::size_t>(edge.peer)]) continue;
+      seen[static_cast<std::size_t>(edge.peer)] = true;
+      via_link[static_cast<std::size_t>(edge.peer)] = edge.link_id;
+      via_node[static_cast<std::size_t>(edge.peer)] = node;
+      if (edge.peer == to) {
+        std::vector<int> path;
+        for (int cursor = to; cursor != from;
+             cursor = via_node[static_cast<std::size_t>(cursor)]) {
+          path.push_back(via_link[static_cast<std::size_t>(cursor)]);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push(edge.peer);
+    }
+  }
+  return {};
+}
+
+double link_capacity_bps(const NetworkTopology& topology, std::size_t link_id) {
+  const InternalLink& link = topology.links[link_id];
+  const DeployedInterface& iface =
+      topology.routers[static_cast<std::size_t>(link.router_a)]
+          .interfaces[static_cast<std::size_t>(link.iface_a)];
+  return line_rate_bps(iface.profile.rate);
+}
+
+}  // namespace
+
+std::vector<double> average_link_loads_bps(const NetworkSimulation& sim,
+                                           SimTime begin, SimTime end,
+                                           SimTime step) {
+  const NetworkTopology& topology = sim.topology();
+  std::vector<double> totals(topology.links.size(), 0.0);
+  std::size_t samples = 0;
+  for (SimTime t = begin; t < end; t += step) {
+    ++samples;
+    for (std::size_t l = 0; l < topology.links.size(); ++l) {
+      const InternalLink& link = topology.links[l];
+      const InterfaceLoad load = sim.interface_load(
+          static_cast<std::size_t>(link.router_a),
+          static_cast<std::size_t>(link.iface_a), t);
+      // Interface loads sum both directions; a link's one-direction load is
+      // half of that (symmetric workloads).
+      totals[l] += load.rate_bps / 2.0;
+    }
+  }
+  if (samples == 0) throw std::invalid_argument("average_link_loads_bps: empty window");
+  for (double& value : totals) value /= static_cast<double>(samples);
+  return totals;
+}
+
+HypnosResult run_hypnos(const NetworkTopology& topology,
+                        std::span<const double> link_loads_bps,
+                        const HypnosOptions& options) {
+  if (link_loads_bps.size() != topology.links.size()) {
+    throw std::invalid_argument("run_hypnos: load vector size mismatch");
+  }
+  if (options.max_utilization <= 0.0 || options.max_utilization > 1.0) {
+    throw std::invalid_argument("run_hypnos: max_utilization outside (0, 1]");
+  }
+
+  HypnosResult result;
+  result.candidate_links = topology.links.size();
+  result.final_loads_bps.assign(link_loads_bps.begin(), link_loads_bps.end());
+
+  std::vector<bool> asleep(topology.links.size(), false);
+
+  // Candidate order: ascending utilization (lightest links sleep first).
+  std::vector<std::size_t> order(topology.links.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return link_loads_bps[a] / link_capacity_bps(topology, a) <
+           link_loads_bps[b] / link_capacity_bps(topology, b);
+  });
+
+  for (const std::size_t candidate : order) {
+    // Tentatively sleep the link and try to reroute its load.
+    asleep[candidate] = true;
+    const AdjacencyList adjacency = build_adjacency(topology, asleep);
+    const InternalLink& link = topology.links[candidate];
+    const std::vector<int> detour =
+        shortest_path(adjacency, link.router_a, link.router_b);
+
+    bool feasible = !detour.empty();
+    if (feasible) {
+      for (const int on_path : detour) {
+        const double new_load =
+            result.final_loads_bps[static_cast<std::size_t>(on_path)] +
+            result.final_loads_bps[candidate];
+        if (new_load > options.max_utilization *
+                           link_capacity_bps(topology,
+                                             static_cast<std::size_t>(on_path))) {
+          feasible = false;
+          break;
+        }
+      }
+    }
+
+    if (!feasible) {
+      asleep[candidate] = false;
+      continue;
+    }
+    for (const int on_path : detour) {
+      result.final_loads_bps[static_cast<std::size_t>(on_path)] +=
+          result.final_loads_bps[candidate];
+    }
+    result.final_loads_bps[candidate] = 0.0;
+    result.sleeping_links.push_back(static_cast<int>(candidate));
+  }
+  return result;
+}
+
+
+double SleepSchedule::fraction_link_time_off() const noexcept {
+  if (windows.empty() || candidate_links == 0) return 0.0;
+  double link_time_off = 0.0;
+  double link_time_total = 0.0;
+  for (const SleepWindow& window : windows) {
+    const double duration = static_cast<double>(window.end - window.begin);
+    link_time_off +=
+        duration * static_cast<double>(window.result.sleeping_links.size());
+    link_time_total += duration * static_cast<double>(candidate_links);
+  }
+  return link_time_total > 0.0 ? link_time_off / link_time_total : 0.0;
+}
+
+std::size_t SleepSchedule::min_links_off() const noexcept {
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  for (const SleepWindow& window : windows) {
+    best = std::min(best, window.result.sleeping_links.size());
+  }
+  return windows.empty() ? 0 : best;
+}
+
+std::size_t SleepSchedule::max_links_off() const noexcept {
+  std::size_t best = 0;
+  for (const SleepWindow& window : windows) {
+    best = std::max(best, window.result.sleeping_links.size());
+  }
+  return best;
+}
+
+SleepSchedule run_hypnos_schedule(const NetworkSimulation& sim, SimTime begin,
+                                  SimTime end, SimTime window_s,
+                                  SimTime sample_step,
+                                  const HypnosOptions& options) {
+  if (window_s <= 0 || end <= begin) {
+    throw std::invalid_argument("run_hypnos_schedule: bad window");
+  }
+  SleepSchedule schedule;
+  schedule.candidate_links = sim.topology().links.size();
+  for (SimTime t = begin; t < end; t += window_s) {
+    SleepWindow window;
+    window.begin = t;
+    window.end = std::min(end, t + window_s);
+    const std::vector<double> loads =
+        average_link_loads_bps(sim, window.begin, window.end, sample_step);
+    window.result = run_hypnos(sim.topology(), loads, options);
+    schedule.windows.push_back(std::move(window));
+  }
+  return schedule;
+}
+
+}  // namespace joules

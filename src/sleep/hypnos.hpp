@@ -1,0 +1,78 @@
+// Hypnos — link sleeping on real traffic (re-implementation of [31]).
+//
+// Given the network graph and per-link average loads, Hypnos greedily turns
+// off the lowest-utilization *internal* links, as long as
+//   (i) the network stays connected, and
+//   (ii) rerouting the sleeping link's traffic along the shortest surviving
+//        path keeps every remaining link under a utilization ceiling.
+// External links (customers, peers) are never candidates — intra-domain
+// protocols cannot turn them off, which §8 identifies as a structural limit
+// of link sleeping in Tier-2/3 networks.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "network/simulation.hpp"
+#include "network/topology.hpp"
+
+namespace joules {
+
+struct HypnosOptions {
+  double max_utilization = 0.50;  // post-reroute ceiling on surviving links
+};
+
+struct HypnosResult {
+  std::vector<int> sleeping_links;      // link indices put to sleep
+  std::size_t candidate_links = 0;      // internal links considered
+  std::vector<double> final_loads_bps;  // per-link load after rerouting
+
+  [[nodiscard]] double fraction_off() const noexcept {
+    return candidate_links > 0
+               ? static_cast<double>(sleeping_links.size()) /
+                     static_cast<double>(candidate_links)
+               : 0.0;
+  }
+};
+
+// Average one-direction load per internal link over [begin, end).
+[[nodiscard]] std::vector<double> average_link_loads_bps(
+    const NetworkSimulation& sim, SimTime begin, SimTime end, SimTime step);
+
+// Runs the greedy sleeping pass. `link_loads_bps` must have one entry per
+// topology link (one-direction averages).
+[[nodiscard]] HypnosResult run_hypnos(const NetworkTopology& topology,
+                                      std::span<const double> link_loads_bps,
+                                      const HypnosOptions& options = {});
+
+// --- Time-varying evaluation (what [31] actually runs) ---------------------
+//
+// Real link sleeping is a schedule, not a one-shot decision: utilization has
+// a diurnal cycle, so more links can sleep through the night than through
+// the afternoon peak. `run_hypnos_schedule` re-evaluates the greedy pass per
+// window using that window's average loads.
+
+struct SleepWindow {
+  SimTime begin = 0;
+  SimTime end = 0;
+  HypnosResult result;
+};
+
+struct SleepSchedule {
+  std::vector<SleepWindow> windows;
+  std::size_t candidate_links = 0;
+
+  // Fraction of link-hours spent asleep across the whole schedule.
+  [[nodiscard]] double fraction_link_time_off() const noexcept;
+  // Smallest / largest per-window sleep counts (night vs day peak).
+  [[nodiscard]] std::size_t min_links_off() const noexcept;
+  [[nodiscard]] std::size_t max_links_off() const noexcept;
+};
+
+// Evaluates [begin, end) in windows of `window_s`; loads are averaged within
+// each window at `sample_step` resolution.
+[[nodiscard]] SleepSchedule run_hypnos_schedule(
+    const NetworkSimulation& sim, SimTime begin, SimTime end, SimTime window_s,
+    SimTime sample_step, const HypnosOptions& options = {});
+
+}  // namespace joules

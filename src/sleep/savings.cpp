@@ -1,0 +1,88 @@
+#include "sleep/savings.hpp"
+
+#include "device/transceiver.hpp"
+
+namespace joules {
+
+const std::map<PortType, Table5Row>& table5_port_power() {
+  // Table 5, verbatim (P_port and P_trx,up per port type; SFP+ and QSFP-DD
+  // have slightly negative P_trx,up averages in the paper's data).
+  static const std::map<PortType, Table5Row> rows = {
+      {PortType::kSFP, {0.05, 0.005}},
+      {PortType::kSFPPlus, {0.55, -0.016}},
+      {PortType::kQSFP28, {0.53, 0.126}},
+      {PortType::kQSFPDD, {1.82, -0.069}},
+      // Not listed in Table 5; conservative stand-ins for completeness.
+      {PortType::kQSFP, {0.53, 0.126}},
+      {PortType::kRJ45, {0.5, 0.0}},
+  };
+  return rows;
+}
+
+double datasheet_transceiver_power_w(const DeployedInterface& iface) {
+  if (const auto module = find_transceiver(iface.transceiver_part)) {
+    return module->datasheet_power_w;
+  }
+  // Kind-based fallback for synthesized part numbers.
+  switch (iface.profile.transceiver) {
+    case TransceiverKind::kPassiveDAC: return 0.3;
+    case TransceiverKind::kSR4: return 2.0;
+    case TransceiverKind::kLR: return 1.2;
+    case TransceiverKind::kLR4: return 4.5;
+    case TransceiverKind::kFR4: return 12.0;
+    case TransceiverKind::kBaseT: return 1.0;
+    case TransceiverKind::kNone: return 0.0;
+  }
+  return 0.0;
+}
+
+SleepSavings estimate_sleep_savings(const NetworkTopology& topology,
+                                    const HypnosResult& result,
+                                    double network_power_w) {
+  SleepSavings savings;
+  savings.network_power_w = network_power_w;
+  savings.links_off = result.sleeping_links.size();
+
+  const auto& table5 = table5_port_power();
+  for (const int link_id : result.sleeping_links) {
+    const InternalLink& link =
+        topology.links.at(static_cast<std::size_t>(link_id));
+    for (const auto& [router, iface_index] :
+         {std::pair{link.router_a, link.iface_a},
+          std::pair{link.router_b, link.iface_b}}) {
+      const DeployedInterface& iface =
+          topology.routers.at(static_cast<std::size_t>(router))
+              .interfaces.at(static_cast<std::size_t>(iface_index));
+      const auto row = table5.find(iface.profile.port);
+      const double port_w = row != table5.end() ? row->second.port_w : 0.0;
+      const double trx_w = datasheet_transceiver_power_w(iface);
+      savings.min_w += port_w;           // P_trx,up = 0
+      savings.max_w += port_w + trx_w;   // P_trx,up = full module power
+      savings.interfaces_off += 1;
+    }
+  }
+  return savings;
+}
+
+
+SleepEnergySavings estimate_schedule_energy(const NetworkSimulation& sim,
+                                            const SleepSchedule& schedule) {
+  SleepEnergySavings energy;
+  for (const SleepWindow& window : schedule.windows) {
+    const SimTime midpoint = window.begin + (window.end - window.begin) / 2;
+    double network_power = 0.0;
+    for (std::size_t r = 0; r < sim.router_count(); ++r) {
+      network_power += sim.wall_power_w(r, midpoint);
+    }
+    const SleepSavings savings =
+        estimate_sleep_savings(sim.topology(), window.result, network_power);
+    const double hours =
+        static_cast<double>(window.end - window.begin) / 3600.0;
+    energy.min_kwh += savings.min_w * hours / 1000.0;
+    energy.max_kwh += savings.max_w * hours / 1000.0;
+    energy.network_kwh += network_power * hours / 1000.0;
+  }
+  return energy;
+}
+
+}  // namespace joules

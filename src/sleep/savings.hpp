@@ -1,0 +1,71 @@
+// §8 — translating sleeping links into watts.
+//
+// The model says turning a port down saves P_port + P_trx,up (P_trx,in keeps
+// burning as long as the module is plugged — "down" does not mean "off").
+// Network-wide, the paper must approximate:
+//   - P_port: a per-port-type constant averaged over the lab models
+//     (Table 5);
+//   - P_trx,up: unknown split of the *datasheet* transceiver power, so
+//     P_trx,up ∈ [0, P_trx] gives a savings *range*.
+#pragma once
+
+#include <map>
+
+#include "model/interface_profile.hpp"
+#include "network/topology.hpp"
+#include "sleep/hypnos.hpp"
+
+namespace joules {
+
+struct Table5Row {
+  double port_w = 0.0;     // P_port
+  double trx_up_w = 0.0;   // P_trx,up (only used by model-based estimates)
+};
+
+// The per-port-type averages of Table 5.
+[[nodiscard]] const std::map<PortType, Table5Row>& table5_port_power();
+
+// Datasheet power of the module on an interface (catalogue lookup with a
+// kind-based fallback for parts the catalogue does not carry).
+[[nodiscard]] double datasheet_transceiver_power_w(const DeployedInterface& iface);
+
+struct SleepSavings {
+  double min_w = 0.0;           // P_trx,up = 0 everywhere
+  double max_w = 0.0;           // P_trx,up = full datasheet P_trx
+  double network_power_w = 0.0; // reference total for the percentages
+  std::size_t links_off = 0;
+  std::size_t interfaces_off = 0;
+
+  [[nodiscard]] double min_frac() const noexcept {
+    return network_power_w > 0.0 ? min_w / network_power_w : 0.0;
+  }
+  [[nodiscard]] double max_frac() const noexcept {
+    return network_power_w > 0.0 ? max_w / network_power_w : 0.0;
+  }
+};
+
+// Savings bracket for a Hypnos result against a reference network power.
+[[nodiscard]] SleepSavings estimate_sleep_savings(const NetworkTopology& topology,
+                                                  const HypnosResult& result,
+                                                  double network_power_w);
+
+// Energy bracket over a time-varying schedule: per-window power savings
+// integrated over window durations, against the network's energy consumption
+// over the same span.
+struct SleepEnergySavings {
+  double min_kwh = 0.0;
+  double max_kwh = 0.0;
+  double network_kwh = 0.0;
+
+  [[nodiscard]] double min_frac() const noexcept {
+    return network_kwh > 0.0 ? min_kwh / network_kwh : 0.0;
+  }
+  [[nodiscard]] double max_frac() const noexcept {
+    return network_kwh > 0.0 ? max_kwh / network_kwh : 0.0;
+  }
+};
+
+[[nodiscard]] SleepEnergySavings estimate_schedule_energy(
+    const NetworkSimulation& sim, const SleepSchedule& schedule);
+
+}  // namespace joules

@@ -1,0 +1,107 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace joules {
+namespace {
+
+void require_non_empty(std::span<const double> values, const char* what) {
+  if (values.empty()) {
+    throw std::invalid_argument(std::string(what) + ": empty input");
+  }
+}
+
+}  // namespace
+
+double sum(std::span<const double> values) {
+  // Kahan summation: network-scale aggregations add ~1e6 small samples.
+  double total = 0.0;
+  double compensation = 0.0;
+  for (double v : values) {
+    const double y = v - compensation;
+    const double t = total + y;
+    compensation = (t - total) - y;
+    total = t;
+  }
+  return total;
+}
+
+double mean(std::span<const double> values) {
+  require_non_empty(values, "mean");
+  return sum(values) / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  require_non_empty(values, "variance");
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  return std::sqrt(variance(values));
+}
+
+double quantile(std::span<const double> values, double q) {
+  require_non_empty(values, "quantile");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> values) { return quantile(values, 0.5); }
+
+double min_value(std::span<const double> values) {
+  require_non_empty(values, "min_value");
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) {
+  require_non_empty(values, "max_value");
+  return *std::max_element(values.begin(), values.end());
+}
+
+double correlation(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("correlation: size mismatch");
+  }
+  require_non_empty(x, "correlation");
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Summary summarize(std::span<const double> values) {
+  require_non_empty(values, "summarize");
+  Summary s;
+  s.count = values.size();
+  s.mean = mean(values);
+  s.stddev = stddev(values);
+  s.min = min_value(values);
+  s.p25 = quantile(values, 0.25);
+  s.median = median(values);
+  s.p75 = quantile(values, 0.75);
+  s.max = max_value(values);
+  return s;
+}
+
+}  // namespace joules

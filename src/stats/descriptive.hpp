@@ -1,0 +1,39 @@
+// Descriptive statistics over spans of doubles.
+//
+// The analyses use medians (Table 1 compares datasheet "typical" power with
+// the *median* measured power), quantiles, and simple summaries; everything
+// here is allocation-light and NaN-free for non-empty finite inputs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace joules {
+
+double mean(std::span<const double> values);
+double variance(std::span<const double> values);      // population variance
+double stddev(std::span<const double> values);
+double median(std::span<const double> values);
+// Linear-interpolated quantile, q in [0, 1].
+double quantile(std::span<const double> values, double q);
+double min_value(std::span<const double> values);
+double max_value(std::span<const double> values);
+double sum(std::span<const double> values);
+
+// Pearson correlation coefficient; 0 if either side has zero variance.
+double correlation(std::span<const double> x, std::span<const double> y);
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> values);
+
+}  // namespace joules

@@ -1,0 +1,158 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace joules {
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("fit_linear: size mismatch");
+  if (x.size() < 2) throw std::invalid_argument("fit_linear: need at least 2 points");
+
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) throw std::invalid_argument("fit_linear: x is constant");
+
+  LinearFit fit;
+  fit.n = x.size();
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - fit.at(x[i]);
+    ss_res += e * e;
+  }
+  fit.r_squared = (syy == 0.0) ? 1.0 : 1.0 - ss_res / syy;
+  if (x.size() > 2) {
+    fit.slope_stderr =
+        std::sqrt(ss_res / (static_cast<double>(x.size()) - 2.0) / sxx);
+  }
+  return fit;
+}
+
+double fit_proportional(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("fit_proportional: size mismatch");
+  if (x.empty()) throw std::invalid_argument("fit_proportional: empty input");
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  if (sxx == 0.0) throw std::invalid_argument("fit_proportional: x is all zero");
+  return sxy / sxx;
+}
+
+std::vector<double> residuals(const LinearFit& fit, std::span<const double> x,
+                              std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("residuals: size mismatch");
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out.push_back(y[i] - fit.at(x[i]));
+  return out;
+}
+
+
+PlaneFit fit_plane(std::span<const double> x1, std::span<const double> x2,
+                   std::span<const double> y) {
+  if (x1.size() != x2.size() || x1.size() != y.size()) {
+    throw std::invalid_argument("fit_plane: size mismatch");
+  }
+  const std::size_t n = x1.size();
+  if (n < 3) throw std::invalid_argument("fit_plane: need at least 3 points");
+
+  // Center the data, then solve the 2x2 normal equations for (a, b).
+  const double m1 = mean(x1);
+  const double m2 = mean(x2);
+  const double my = mean(y);
+  double s11 = 0.0;
+  double s22 = 0.0;
+  double s12 = 0.0;
+  double s1y = 0.0;
+  double s2y = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d1 = x1[i] - m1;
+    const double d2 = x2[i] - m2;
+    const double dy = y[i] - my;
+    s11 += d1 * d1;
+    s22 += d2 * d2;
+    s12 += d1 * d2;
+    s1y += d1 * dy;
+    s2y += d2 * dy;
+    syy += dy * dy;
+  }
+  const double det = s11 * s22 - s12 * s12;
+  // Collinearity guard: determinant tiny relative to the regressor scales.
+  if (s11 == 0.0 || s22 == 0.0 || std::fabs(det) < 1e-12 * s11 * s22) {
+    throw std::invalid_argument("fit_plane: regressors are collinear");
+  }
+
+  PlaneFit fit;
+  fit.n = n;
+  fit.a = (s22 * s1y - s12 * s2y) / det;
+  fit.b = (s11 * s2y - s12 * s1y) / det;
+  fit.intercept = my - fit.a * m1 - fit.b * m2;
+
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = y[i] - fit.at(x1[i], x2[i]);
+    ss_res += e * e;
+  }
+  fit.r_squared = (syy == 0.0) ? 1.0 : 1.0 - ss_res / syy;
+  return fit;
+}
+
+
+LinearFit fit_theil_sen(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("fit_theil_sen: size mismatch");
+  if (x.size() < 2) throw std::invalid_argument("fit_theil_sen: need at least 2 points");
+
+  std::vector<double> slopes;
+  slopes.reserve(x.size() * (x.size() - 1) / 2);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (std::size_t j = i + 1; j < x.size(); ++j) {
+      if (x[j] == x[i]) continue;  // vertical pairs carry no slope information
+      slopes.push_back((y[j] - y[i]) / (x[j] - x[i]));
+    }
+  }
+  if (slopes.empty()) throw std::invalid_argument("fit_theil_sen: x is constant");
+
+  LinearFit fit;
+  fit.n = x.size();
+  fit.slope = median(slopes);
+  std::vector<double> intercepts;
+  intercepts.reserve(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    intercepts.push_back(y[i] - fit.slope * x[i]);
+  }
+  fit.intercept = median(intercepts);
+
+  // R^2 of the robust line (can be lower than the OLS line's by design).
+  const double my = mean(y);
+  double ss_res = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - fit.at(x[i]);
+    ss_res += e * e;
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  fit.r_squared = (syy == 0.0) ? 1.0 : 1.0 - ss_res / syy;
+  return fit;
+}
+
+}  // namespace joules

@@ -1,0 +1,62 @@
+// Linear regression.
+//
+// The §5 methodology is regression-heavy: P_port and P_trx,up come from
+// regressions over the interface-pair count N; E_bit and E_pkt come from a
+// two-level regression (slope over bit rate r for each packet size L, then a
+// regression of alpha_L * 8(L + L_header) over L). `LinearFit` is ordinary
+// least squares with the diagnostics those derivations need.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace joules {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;       // 1 for a perfect fit; 0 if y has no variance explained
+  double slope_stderr = 0.0;    // standard error of the slope estimate
+  std::size_t n = 0;
+
+  // Predicted value at x.
+  [[nodiscard]] double at(double x) const noexcept { return slope * x + intercept; }
+};
+
+// Ordinary least squares y = slope * x + intercept. Requires >= 2 points and
+// non-constant x.
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+// Least squares through-origin fit y = slope * x (used for sanity checks).
+double fit_proportional(std::span<const double> x, std::span<const double> y);
+
+// Residuals y_i - fit(x_i).
+std::vector<double> residuals(const LinearFit& fit, std::span<const double> x,
+                              std::span<const double> y);
+
+// Two-regressor OLS: y = a*x1 + b*x2 + c. Used by the *direct* E_bit/E_pkt
+// estimator (fit power against aggregate bit AND packet rates in one step)
+// as an alternative to the paper's two-step Eq. 17 derivation.
+struct PlaneFit {
+  double a = 0.0;         // coefficient of x1
+  double b = 0.0;         // coefficient of x2
+  double intercept = 0.0;
+  double r_squared = 0.0;
+  std::size_t n = 0;
+
+  [[nodiscard]] double at(double x1, double x2) const noexcept {
+    return a * x1 + b * x2 + intercept;
+  }
+};
+
+// Requires >= 3 points and non-collinear regressors (throws otherwise).
+PlaneFit fit_plane(std::span<const double> x1, std::span<const double> x2,
+                   std::span<const double> y);
+
+// Theil–Sen robust line: slope = median of pairwise slopes, intercept =
+// median of (y - slope*x). Outlier-resistant — the right estimator for the
+// scatter-heavy Fig. 2b trend where OLS chases the tail. O(n^2) pairs;
+// intended for n up to a few thousand.
+LinearFit fit_theil_sen(std::span<const double> x, std::span<const double> y);
+
+}  // namespace joules

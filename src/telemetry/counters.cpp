@@ -1,0 +1,40 @@
+#include "telemetry/counters.hpp"
+
+#include "util/units.hpp"
+
+namespace joules {
+
+void InterfaceCounters::accumulate(double in_rate_bps, double out_rate_bps,
+                                   double in_rate_pps, double out_rate_pps,
+                                   double seconds) noexcept {
+  if (seconds <= 0.0) return;
+  in_octets += static_cast<std::uint64_t>(bits_to_bytes(in_rate_bps) * seconds);
+  out_octets += static_cast<std::uint64_t>(bits_to_bytes(out_rate_bps) * seconds);
+  in_packets += static_cast<std::uint64_t>(in_rate_pps * seconds);
+  out_packets += static_cast<std::uint64_t>(out_rate_pps * seconds);
+}
+
+CounterDelta rates_between(const InterfaceCounters& earlier,
+                           const InterfaceCounters& later,
+                           double seconds) noexcept {
+  CounterDelta delta;
+  if (seconds <= 0.0) return delta;
+  if (later.in_octets < earlier.in_octets ||
+      later.out_octets < earlier.out_octets ||
+      later.in_packets < earlier.in_packets ||
+      later.out_packets < earlier.out_packets) {
+    return delta;  // counter reset (device reboot) — window unusable
+  }
+  const double octets =
+      static_cast<double>((later.in_octets - earlier.in_octets) +
+                          (later.out_octets - earlier.out_octets));
+  const double packets =
+      static_cast<double>((later.in_packets - earlier.in_packets) +
+                          (later.out_packets - earlier.out_packets));
+  delta.rate_bps = bytes_to_bits(octets) / seconds;
+  delta.rate_pps = packets / seconds;
+  delta.valid = true;
+  return delta;
+}
+
+}  // namespace joules

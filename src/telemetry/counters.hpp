@@ -1,0 +1,44 @@
+// Interface counters, SNMP style.
+//
+// Routers expose monotonically increasing byte/packet counters per interface
+// (IF-MIB ifHCInOctets and friends). The paper's 10-month dataset is 5-minute
+// SNMP polls of those counters plus the PSU power MIB. `InterfaceCounters`
+// accumulates traffic; `CounterDelta` converts two polls into the average
+// bit/packet rates the power model consumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/sim_clock.hpp"
+
+namespace joules {
+
+struct InterfaceCounters {
+  std::uint64_t in_octets = 0;
+  std::uint64_t out_octets = 0;
+  std::uint64_t in_packets = 0;
+  std::uint64_t out_packets = 0;
+
+  // Accumulates `seconds` of traffic at the given *unidirectional* rates in
+  // each direction (the simulation drives symmetric loads by default).
+  void accumulate(double in_rate_bps, double out_rate_bps, double in_rate_pps,
+                  double out_rate_pps, double seconds) noexcept;
+
+  friend bool operator==(const InterfaceCounters&, const InterfaceCounters&) = default;
+};
+
+struct CounterDelta {
+  double rate_bps = 0.0;  // both directions summed (the model's convention)
+  double rate_pps = 0.0;
+  bool valid = false;     // false on counter reset/wrap or non-positive window
+};
+
+// Average rates between two polls taken `seconds` apart. Detects counter
+// resets (later < earlier) and flags them invalid instead of producing
+// negative rates.
+[[nodiscard]] CounterDelta rates_between(const InterfaceCounters& earlier,
+                                         const InterfaceCounters& later,
+                                         double seconds) noexcept;
+
+}  // namespace joules

@@ -1,0 +1,103 @@
+#include "telemetry/snmp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace joules {
+
+SnmpPoller::SnmpPoller(SimTime period, bool green_telemetry)
+    : period_(period), green_telemetry_(green_telemetry) {
+  if (period <= 0) throw std::invalid_argument("SnmpPoller: period must be positive");
+}
+
+std::vector<SnmpPollRecord> SnmpPoller::collect(
+    const SimulatedRouter& router, const LoadFunction& loads, SimTime begin,
+    SimTime end, SimTime integration_step) const {
+  if (integration_step <= 0 || integration_step > period_) {
+    throw std::invalid_argument("SnmpPoller: bad integration step");
+  }
+  const std::size_t n_interfaces = router.interfaces().size();
+  std::vector<InterfaceCounters> counters(n_interfaces);
+  std::vector<SnmpPollRecord> records;
+
+  for (SimTime t = begin; t < end; t += period_) {
+    // Integrate traffic since the previous poll (no-op on the first).
+    if (t > begin) {
+      for (SimTime step = t - period_; step < t; step += integration_step) {
+        const std::vector<InterfaceLoad> load_vector = loads(step);
+        if (load_vector.size() != n_interfaces) {
+          throw std::invalid_argument("SnmpPoller: load vector size mismatch");
+        }
+        const double seconds = static_cast<double>(
+            std::min(integration_step, t - step));
+        for (std::size_t i = 0; i < n_interfaces; ++i) {
+          // The model convention sums directions; split symmetrically for the
+          // in/out counters.
+          counters[i].accumulate(load_vector[i].rate_bps / 2.0,
+                                 load_vector[i].rate_bps / 2.0,
+                                 load_vector[i].rate_pps / 2.0,
+                                 load_vector[i].rate_pps / 2.0, seconds);
+        }
+      }
+    }
+
+    SnmpPollRecord record;
+    record.time = t;
+    record.counters = counters;
+    record.psu_power_w = router.reported_power_w(t, loads(t));
+    if (green_telemetry_) {
+      record.psu_sensors = router.sensor_snapshot(t, loads(t));
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+TimeSeries SnmpPoller::power_trace(const std::vector<SnmpPollRecord>& records) {
+  TimeSeries trace;
+  for (const SnmpPollRecord& record : records) {
+    if (record.psu_power_w.has_value()) trace.push(record.time, *record.psu_power_w);
+  }
+  return trace;
+}
+
+TimeSeries SnmpPoller::rate_trace_bps(const std::vector<SnmpPollRecord>& records,
+                                      std::size_t interface_index) {
+  TimeSeries trace;
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    const double seconds =
+        static_cast<double>(records[i].time - records[i - 1].time);
+    const CounterDelta delta =
+        rates_between(records[i - 1].counters.at(interface_index),
+                      records[i].counters.at(interface_index), seconds);
+    if (delta.valid) trace.push(records[i].time, delta.rate_bps);
+  }
+  return trace;
+}
+
+TimeSeries SnmpPoller::efficiency_trace(
+    const std::vector<SnmpPollRecord>& records, std::size_t psu_index) {
+  TimeSeries trace;
+  for (const SnmpPollRecord& record : records) {
+    if (psu_index >= record.psu_sensors.size()) continue;
+    const PsuSensorReading& reading = record.psu_sensors[psu_index];
+    if (reading.input_power_w <= 0.0) continue;
+    trace.push(record.time,
+               std::min(1.0, reading.output_power_w / reading.input_power_w));
+  }
+  return trace;
+}
+
+std::string if_in_octets_oid(int if_index) {
+  return "IF-MIB::ifHCInOctets." + std::to_string(if_index);
+}
+
+std::string if_out_octets_oid(int if_index) {
+  return "IF-MIB::ifHCOutOctets." + std::to_string(if_index);
+}
+
+std::string psu_power_oid(int psu_index) {
+  return "ENTITY-SENSOR-MIB::entPhySensorValue.psu" + std::to_string(psu_index);
+}
+
+}  // namespace joules

@@ -1,0 +1,61 @@
+#include "traffic/generator.hpp"
+
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+
+double TrafficSpec::packet_rate_pps() const noexcept {
+  if (rate_bps <= 0.0 || frame_bytes <= 0.0) return 0.0;
+  return packet_rate_for_bit_rate(rate_bps, frame_bytes);
+}
+
+GeneratorTool tool_for_rate(double rate_bps) noexcept {
+  return rate_bps >= gbps_to_bps(2.5) ? GeneratorTool::kIbSendBw
+                                      : GeneratorTool::kIperf3Udp;
+}
+
+TrafficSpec make_cbr(double rate_bps, double frame_bytes) {
+  if (rate_bps <= 0.0) throw std::invalid_argument("make_cbr: rate must be positive");
+  if (frame_bytes < 64.0 || frame_bytes > 9216.0) {
+    throw std::invalid_argument("make_cbr: frame size outside 64-9216 bytes");
+  }
+  TrafficSpec spec;
+  spec.rate_bps = rate_bps;
+  spec.frame_bytes = frame_bytes;
+  spec.tool = tool_for_rate(rate_bps);
+  return spec;
+}
+
+std::vector<TrafficSpec> rate_sweep(double min_rate_bps, double max_rate_bps,
+                                    int steps, double frame_bytes) {
+  if (steps < 2) throw std::invalid_argument("rate_sweep: need at least 2 steps");
+  if (min_rate_bps <= 0.0 || max_rate_bps <= min_rate_bps) {
+    throw std::invalid_argument("rate_sweep: invalid rate range");
+  }
+  std::vector<TrafficSpec> out;
+  out.reserve(static_cast<std::size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    const double t = static_cast<double>(i) / (steps - 1);
+    out.push_back(make_cbr(min_rate_bps + t * (max_rate_bps - min_rate_bps),
+                           frame_bytes));
+  }
+  return out;
+}
+
+std::vector<double> default_frame_sizes() {
+  // IMIX-style ladder covering the 64 B / 1500 B extremes the paper quotes.
+  return {64, 128, 256, 512, 1024, 1500};
+}
+
+std::string describe(const TrafficSpec& spec) {
+  std::string out = format_number(bps_to_gbps(spec.rate_bps), 3) + " Gbps, " +
+                    format_number(spec.frame_bytes) + " B frames (";
+  out += spec.tool == GeneratorTool::kIbSendBw ? "ib_send_bw" : "iperf3 -u";
+  out += ")";
+  return out;
+}
+
+}  // namespace joules

@@ -1,0 +1,49 @@
+// Test-traffic generation (§5.1).
+//
+// The paper's orchestrator generates unidirectional constant-bit-rate traffic
+// with ib_send_bw (2.5-100 Gbps) and iPerf3/UDP below that. For the
+// simulation the only observable is the offered load: a bit rate and the
+// implied packet rate for a chosen frame size. `TrafficSpec` captures one
+// such offered load; `sweep` builds the rate ladders the §5 experiments use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace joules {
+
+enum class GeneratorTool : std::uint8_t {
+  kIbSendBw,  // >= 2.5 Gbps in the paper's lab
+  kIperf3Udp, // below 2.5 Gbps
+};
+
+struct TrafficSpec {
+  double rate_bps = 0.0;      // offered L1 bit rate, single direction
+  double frame_bytes = 0.0;   // L2 frame size (payload + headers, pre-overhead)
+  GeneratorTool tool = GeneratorTool::kIbSendBw;
+
+  // Packets per second implied by the rate and frame size (wire overhead
+  // included).
+  [[nodiscard]] double packet_rate_pps() const noexcept;
+};
+
+// Chooses the tool the paper used for a given rate.
+[[nodiscard]] GeneratorTool tool_for_rate(double rate_bps) noexcept;
+
+// Builds a CBR spec, validating rate and frame size (Ethernet frames are
+// 64-9216 bytes).
+[[nodiscard]] TrafficSpec make_cbr(double rate_bps, double frame_bytes);
+
+// Rate ladder for the Snake experiments: `steps` points spaced linearly from
+// `min_rate_bps` up to `max_rate_bps` inclusive.
+[[nodiscard]] std::vector<TrafficSpec> rate_sweep(double min_rate_bps,
+                                                  double max_rate_bps,
+                                                  int steps,
+                                                  double frame_bytes);
+
+// The frame-size ladder the E_bit/E_pkt derivation sweeps over.
+[[nodiscard]] std::vector<double> default_frame_sizes();
+
+[[nodiscard]] std::string describe(const TrafficSpec& spec);
+
+}  // namespace joules

@@ -1,0 +1,32 @@
+#include "traffic/snake.hpp"
+
+#include <stdexcept>
+
+namespace joules {
+
+SnakePlan SnakePlan::over_ports(std::size_t port_count) {
+  if (port_count < 2 || port_count % 2 != 0) {
+    throw std::invalid_argument("SnakePlan: port count must be even and >= 2");
+  }
+  return SnakePlan(port_count);
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> SnakePlan::cabling() const {
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(pair_count());
+  for (std::size_t i = 0; i + 1 < port_count_; i += 2) {
+    pairs.emplace_back(i, i + 1);
+  }
+  return pairs;
+}
+
+double SnakePlan::per_interface_rate_bps(const TrafficSpec& spec) const noexcept {
+  return 2.0 * spec.rate_bps;
+}
+
+double SnakePlan::per_interface_packet_rate_pps(
+    const TrafficSpec& spec) const noexcept {
+  return 2.0 * spec.packet_rate_pps();
+}
+
+}  // namespace joules

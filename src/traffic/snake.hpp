@@ -1,0 +1,48 @@
+// RFC 8239 layer-2 snake tests (§5.1-5.2).
+//
+// In a snake test, the DUT's ports are cabled in pairs and the device is
+// configured so that traffic injected by the orchestrator is looped through
+// *every* interface before returning: with 2N ports, an offered load of r
+// bps traverses all 2N interfaces, so each interface carries r in+out
+// combined... more precisely, every interface forwards the full stream once
+// in each direction it participates in. `SnakePlan` captures which ports are
+// chained and what per-interface load an offered rate implies.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "traffic/generator.hpp"
+
+namespace joules {
+
+struct SnakePort {
+  std::size_t port_index = 0;  // DUT port number
+};
+
+class SnakePlan {
+ public:
+  // Builds a snake over the first `port_count` ports (must be even and >= 2):
+  // ports are cabled (0,1), (2,3), ... and VLAN-bridged so traffic entering
+  // port 0 exits port 2N-1.
+  static SnakePlan over_ports(std::size_t port_count);
+
+  [[nodiscard]] std::size_t port_count() const noexcept { return port_count_; }
+  [[nodiscard]] std::size_t pair_count() const noexcept { return port_count_ / 2; }
+
+  // Cabled pairs (i, i+1).
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> cabling() const;
+
+  // Per-interface bidirectional load when the orchestrator offers `spec`:
+  // every port in the snake both receives and transmits the full stream, so
+  // each interface sees 2x the offered rate (in + out), matching the paper's
+  // convention that r_i sums both directions.
+  [[nodiscard]] double per_interface_rate_bps(const TrafficSpec& spec) const noexcept;
+  [[nodiscard]] double per_interface_packet_rate_pps(const TrafficSpec& spec) const noexcept;
+
+ private:
+  explicit SnakePlan(std::size_t port_count) : port_count_(port_count) {}
+  std::size_t port_count_ = 0;
+};
+
+}  // namespace joules

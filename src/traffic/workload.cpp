@@ -1,0 +1,61 @@
+#include "traffic/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+// Deterministic per-(seed, t) standard-normal-ish noise via a hash.
+double hash_noise(std::uint64_t seed, SimTime t) noexcept {
+  std::uint64_t z = seed ^ (static_cast<std::uint64_t>(t) * 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  // Sum of 4 uniforms, centered and scaled: approximately N(0,1) and cheap.
+  double acc = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    acc += static_cast<double>((z >> (i * 16)) & 0xffff) / 65535.0;
+  }
+  return (acc - 2.0) * std::sqrt(3.0);
+}
+
+}  // namespace
+
+DiurnalWorkload::DiurnalWorkload(WorkloadParams params, SimTime origin,
+                                 std::uint64_t seed) noexcept
+    : params_(params), origin_(origin), seed_(seed) {}
+
+double DiurnalWorkload::rate_bps(SimTime t) const noexcept {
+  // Diurnal cycle: cosine peaking at `peak_hour_utc`.
+  const double day_frac =
+      static_cast<double>(seconds_of_day(t)) / static_cast<double>(kSecondsPerDay);
+  const double peak_frac = params_.peak_hour_utc / 24.0;
+  const double diurnal =
+      1.0 + params_.diurnal_amplitude *
+                std::cos(2.0 * std::numbers::pi * (day_frac - peak_frac));
+
+  // Weekly cycle: Saturday/Sunday scaled by weekend_factor.
+  const int dow = day_of_week(t);
+  const double weekly = (dow >= 5) ? params_.weekend_factor : 1.0;
+
+  // Slow growth around the origin.
+  const double years =
+      static_cast<double>(t - origin_) / (365.25 * kSecondsPerDay);
+  const double growth = std::pow(1.0 + params_.annual_growth, years);
+
+  // Multiplicative jitter, deterministic in t.
+  const double jitter =
+      1.0 + params_.jitter_frac * hash_noise(seed_, t / (5 * kSecondsPerMinute));
+
+  return std::max(0.0, params_.mean_rate_bps * diurnal * weekly * growth * jitter);
+}
+
+double DiurnalWorkload::packet_rate_pps(SimTime t) const noexcept {
+  return packet_rate_for_bit_rate(rate_bps(t), params_.mean_frame_bytes);
+}
+
+}  // namespace joules

@@ -1,0 +1,51 @@
+// Deployment traffic synthesis.
+//
+// The Switch network simulation needs 10 months of per-interface traffic that
+// looks like an ISP's: a diurnal cycle (day peak, night trough), a weekly
+// cycle (weekend dip), slow growth, and link-scale randomness.
+// `DiurnalWorkload` produces the *offered load* on an interface at any
+// SimTime; the telemetry layer turns that into SNMP counters.
+//
+// The workload is a pure function of time: sampling the same instant twice
+// returns the same rate. This matters because the ground-truth power
+// simulation and the model predictions must see identical loads.
+#pragma once
+
+#include <cstdint>
+
+#include "util/sim_clock.hpp"
+
+namespace joules {
+
+struct WorkloadParams {
+  double mean_rate_bps = 0.0;       // long-run average offered bit rate
+  double diurnal_amplitude = 0.5;   // 0 = flat, 1 = full swing around the mean
+  double weekend_factor = 0.7;      // weekend load relative to weekdays
+  double jitter_frac = 0.05;        // multiplicative noise per sample
+  double mean_frame_bytes = 800.0;  // average packet size on the wire
+  double annual_growth = 0.2;       // traffic growth per year (fractional)
+  int peak_hour_utc = 14;           // busiest hour of the day
+};
+
+class DiurnalWorkload {
+ public:
+  // `origin` anchors the growth trend (rate equals the configured mean there);
+  // `seed` individualizes the jitter stream.
+  DiurnalWorkload(WorkloadParams params, SimTime origin, std::uint64_t seed) noexcept;
+
+  // Offered bit rate at `t` (both directions summed). Never negative.
+  // Deterministic in `t`.
+  [[nodiscard]] double rate_bps(SimTime t) const noexcept;
+
+  // Implied packet rate at `t` given the configured mean frame size.
+  [[nodiscard]] double packet_rate_pps(SimTime t) const noexcept;
+
+  [[nodiscard]] const WorkloadParams& params() const noexcept { return params_; }
+
+ private:
+  WorkloadParams params_;
+  SimTime origin_;
+  std::uint64_t seed_;
+};
+
+}  // namespace joules

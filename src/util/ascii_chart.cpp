@@ -1,0 +1,227 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+struct Bounds {
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -std::numeric_limits<double>::infinity();
+  double y_min = std::numeric_limits<double>::infinity();
+  double y_max = -std::numeric_limits<double>::infinity();
+};
+
+Bounds compute_bounds(const std::vector<ChartSeries>& series,
+                      const ChartOptions& options) {
+  Bounds b;
+  for (const ChartSeries& s : series) {
+    for (double v : s.x) {
+      b.x_min = std::min(b.x_min, v);
+      b.x_max = std::max(b.x_max, v);
+    }
+    for (double v : s.y) {
+      b.y_min = std::min(b.y_min, v);
+      b.y_max = std::max(b.y_max, v);
+    }
+  }
+  if (!std::isfinite(b.x_min)) b = Bounds{0, 1, 0, 1};
+  if (options.y_axis_from_zero) b.y_min = std::min(b.y_min, 0.0);
+  if (b.x_max == b.x_min) b.x_max = b.x_min + 1;
+  if (b.y_max == b.y_min) b.y_max = b.y_min + 1;
+  // Pad the y range slightly so extreme points are not drawn on the frame.
+  const double pad = 0.04 * (b.y_max - b.y_min);
+  b.y_min -= pad;
+  b.y_max += pad;
+  if (options.y_axis_from_zero) b.y_min = std::max(b.y_min, 0.0);
+  return b;
+}
+
+std::string y_tick_label(double v) {
+  char buf[32];
+  const double mag = std::fabs(v);
+  if (mag >= 1e12) {
+    std::snprintf(buf, sizeof buf, "%.2fT", v / 1e12);
+  } else if (mag >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2fG", v / 1e9);
+  } else if (mag >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1fM", v / 1e6);
+  } else if (mag >= 1e4) {
+    std::snprintf(buf, sizeof buf, "%.1fk", v / 1e3);
+  } else if (mag >= 100 || v == std::floor(v)) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+  }
+  return buf;
+}
+
+std::string render_grid(const std::vector<ChartSeries>& series,
+                        const ChartOptions& options, bool connect) {
+  const Bounds b = compute_bounds(series, options);
+  const int width = std::max(options.width, 20);
+  const int height = std::max(options.height, 6);
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+
+  auto to_col = [&](double x) {
+    const double t = (x - b.x_min) / (b.x_max - b.x_min);
+    return std::clamp(static_cast<int>(std::lround(t * (width - 1))), 0, width - 1);
+  };
+  auto to_row = [&](double y) {
+    const double t = (y - b.y_min) / (b.y_max - b.y_min);
+    return std::clamp(height - 1 - static_cast<int>(std::lround(t * (height - 1))),
+                      0, height - 1);
+  };
+
+  for (const ChartSeries& s : series) {
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    int prev_col = -1;
+    int prev_row = -1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!std::isfinite(s.x[i]) || !std::isfinite(s.y[i])) {
+        prev_col = -1;
+        continue;
+      }
+      const int col = to_col(s.x[i]);
+      const int row = to_row(s.y[i]);
+      if (connect && prev_col >= 0 && col > prev_col + 1) {
+        // Linear interpolation across skipped columns.
+        for (int c = prev_col + 1; c < col; ++c) {
+          const double t = static_cast<double>(c - prev_col) / (col - prev_col);
+          const int r = static_cast<int>(std::lround(prev_row + t * (row - prev_row)));
+          grid[static_cast<std::size_t>(std::clamp(r, 0, height - 1))]
+              [static_cast<std::size_t>(c)] = s.glyph;
+        }
+      }
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = s.glyph;
+      prev_col = col;
+      prev_row = row;
+    }
+  }
+
+  std::ostringstream out;
+  if (!options.title.empty()) out << "  " << options.title << '\n';
+  if (!options.y_label.empty()) out << "  " << options.y_label << '\n';
+
+  const int label_width = 9;
+  for (int r = 0; r < height; ++r) {
+    std::string label;
+    if (r == 0) {
+      label = y_tick_label(b.y_max);
+    } else if (r == height - 1) {
+      label = y_tick_label(b.y_min);
+    } else if (r == height / 2) {
+      label = y_tick_label((b.y_max + b.y_min) / 2);
+    }
+    out << ' ';
+    for (int pad = 0; pad < label_width - static_cast<int>(label.size()); ++pad) out << ' ';
+    out << label << " |" << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  out << ' ' << std::string(label_width, ' ') << " +" << std::string(width, '-') << '\n';
+  {
+    const std::string left = y_tick_label(b.x_min);
+    const std::string right = y_tick_label(b.x_max);
+    out << ' ' << std::string(label_width + 2, ' ') << left;
+    const int gap = width - static_cast<int>(left.size()) - static_cast<int>(right.size());
+    if (gap > 0) out << std::string(static_cast<std::size_t>(gap), ' ');
+    out << right << '\n';
+  }
+  if (!options.x_label.empty()) {
+    out << ' ' << std::string(label_width + 2, ' ') << options.x_label << '\n';
+  }
+
+  // Legend.
+  out << "  legend:";
+  for (const ChartSeries& s : series) {
+    out << "  [" << s.glyph << "] " << (s.name.empty() ? "series" : s.name);
+  }
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace
+
+std::string render_line_chart(const std::vector<ChartSeries>& series,
+                              const ChartOptions& options) {
+  return render_grid(series, options, /*connect=*/true);
+}
+
+std::string render_scatter(const std::vector<ChartSeries>& series,
+                           const ChartOptions& options) {
+  return render_grid(series, options, /*connect=*/false);
+}
+
+std::string render_time_series_chart(
+    const std::vector<std::pair<std::string, TimeSeries>>& series,
+    const ChartOptions& options) {
+  static constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@'};
+  std::vector<ChartSeries> chart;
+  SimTime t0 = 0;
+  bool have_t0 = false;
+  for (const auto& [name, ts] : series) {
+    if (!ts.empty() && (!have_t0 || ts.front().time < t0)) {
+      t0 = ts.front().time;
+      have_t0 = true;
+    }
+  }
+  std::size_t index = 0;
+  for (const auto& [name, ts] : series) {
+    ChartSeries s;
+    s.name = name;
+    s.glyph = kGlyphs[index++ % std::size(kGlyphs)];
+    for (const Sample& sample : ts) {
+      s.x.push_back(static_cast<double>(sample.time - t0) /
+                    static_cast<double>(kSecondsPerDay));
+      s.y.push_back(sample.value);
+    }
+    chart.push_back(std::move(s));
+  }
+  ChartOptions opts = options;
+  if (opts.x_label.empty()) opts.x_label = "days since trace start";
+  return render_line_chart(chart, opts);
+}
+
+std::string render_text_table(const std::vector<std::string>& header,
+                              const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size(), 0);
+  for (std::size_t i = 0; i < header.size(); ++i) widths[i] = header[i].size();
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto write_row = [&](const std::vector<std::string>& row) {
+    out << " |";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      out << ' ' << cell << std::string(widths[i] - std::min(widths[i], cell.size()), ' ')
+          << " |";
+    }
+    out << '\n';
+  };
+  auto write_rule = [&] {
+    out << " +";
+    for (std::size_t w : widths) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+
+  write_rule();
+  write_row(header);
+  write_rule();
+  for (const auto& row : rows) write_row(row);
+  write_rule();
+  return out.str();
+}
+
+}  // namespace joules

@@ -1,0 +1,49 @@
+// Terminal rendering of the paper's figures.
+//
+// Each bench binary regenerates a figure's data series and renders it as an
+// ASCII chart (line chart for the time-series figures, scatter for the PSU
+// efficiency clouds) so the *shape* of the result can be eyeballed directly
+// in the bench output. The underlying data is also written as CSV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/time_series.hpp"
+
+namespace joules {
+
+struct ChartOptions {
+  int width = 100;              // plot area columns
+  int height = 20;              // plot area rows
+  std::string title;
+  std::string y_label;
+  std::string x_label;
+  bool y_axis_from_zero = false;
+};
+
+struct ChartSeries {
+  std::string name;
+  char glyph = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+// Multi-series line chart (points connected per x-column).
+std::string render_line_chart(const std::vector<ChartSeries>& series,
+                              const ChartOptions& options);
+
+// Scatter plot (points only).
+std::string render_scatter(const std::vector<ChartSeries>& series,
+                           const ChartOptions& options);
+
+// Convenience: plots TimeSeries with x = days since the first sample.
+std::string render_time_series_chart(
+    const std::vector<std::pair<std::string, TimeSeries>>& series,
+    const ChartOptions& options);
+
+// Fixed-width text table with a header row and column alignment.
+std::string render_text_table(const std::vector<std::string>& header,
+                              const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace joules

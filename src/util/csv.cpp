@@ -1,0 +1,157 @@
+#include "util/csv.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace joules {
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void append_field(std::string& out, const std::string& field) {
+  if (!needs_quoting(field)) {
+    out += field;
+    return;
+  }
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+std::vector<std::string> parse_line(const std::string& text, std::size_t& pos) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          current += '"';
+          ++pos;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\n') {
+      ++pos;
+      fields.push_back(std::move(current));
+      return fields;
+    } else if (c != '\r') {
+      current += c;
+    }
+    ++pos;
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace
+
+CsvTable::CsvTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void CsvTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void CsvTable::add_row(std::vector<std::string> row) {
+  if (!header_.empty() && row.size() != header_.size()) {
+    throw std::invalid_argument("CsvTable::add_row: row width != header width");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  throw std::out_of_range("CsvTable: no column named '" + name + "'");
+}
+
+std::string CsvTable::cell(std::size_t row, const std::string& col) const {
+  return rows_.at(row).at(column(col));
+}
+
+double CsvTable::cell_double(std::size_t row, const std::string& col) const {
+  const std::string text = cell(row, col);
+  try {
+    return std::stod(text);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("CsvTable: cell '" + text + "' is not numeric");
+  }
+}
+
+std::string CsvTable::to_string() const {
+  std::string out;
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      append_field(out, row[i]);
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+  return out;
+}
+
+void CsvTable::write_file(const std::filesystem::path& path) const {
+  std::ofstream stream(path);
+  if (!stream) throw std::runtime_error("CsvTable: cannot open " + path.string());
+  stream << to_string();
+}
+
+CsvTable CsvTable::parse(const std::string& text) {
+  CsvTable table;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < text.size()) {
+    auto fields = parse_line(text, pos);
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    if (first) {
+      table.set_header(std::move(fields));
+      first = false;
+    } else {
+      table.add_row(std::move(fields));
+    }
+  }
+  return table;
+}
+
+CsvTable CsvTable::read_file(const std::filesystem::path& path) {
+  std::ifstream stream(path);
+  if (!stream) throw std::runtime_error("CsvTable: cannot open " + path.string());
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  return parse(buffer.str());
+}
+
+std::string format_number(double value, int max_decimals) {
+  if (!std::isfinite(value)) return value > 0 ? "inf" : (value < 0 ? "-inf" : "nan");
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", max_decimals, value);
+  std::string text = buf;
+  if (text.find('.') != std::string::npos) {
+    while (!text.empty() && text.back() == '0') text.pop_back();
+    if (!text.empty() && text.back() == '.') text.pop_back();
+  }
+  if (text == "-0") text = "0";
+  return text;
+}
+
+}  // namespace joules

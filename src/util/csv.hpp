@@ -1,0 +1,49 @@
+// Minimal CSV reading/writing.
+//
+// Bench binaries dump every table/figure's underlying data as CSV next to the
+// ASCII rendering so the series can be re-plotted externally; the datasheet
+// corpus and network inventory also round-trip through CSV in tests.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace joules {
+
+class CsvTable {
+ public:
+  CsvTable() = default;
+  explicit CsvTable(std::vector<std::string> header);
+
+  void set_header(std::vector<std::string> header);
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept { return header_; }
+
+  // Appends a row; must match the header width if a header is set.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+
+  // Column index for a header name; throws if absent.
+  [[nodiscard]] std::size_t column(const std::string& name) const;
+
+  [[nodiscard]] std::string cell(std::size_t row, const std::string& col) const;
+  [[nodiscard]] double cell_double(std::size_t row, const std::string& col) const;
+
+  // RFC-4180-style serialization (quotes fields containing , " or newline).
+  [[nodiscard]] std::string to_string() const;
+  void write_file(const std::filesystem::path& path) const;
+
+  static CsvTable parse(const std::string& text);
+  static CsvTable read_file(const std::filesystem::path& path);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double compactly ("12.5", "0.37", "358") for CSV/table output.
+std::string format_number(double value, int max_decimals = 6);
+
+}  // namespace joules

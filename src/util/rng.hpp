@@ -1,0 +1,54 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library takes an explicit seed so that
+// simulations, tests, and benches are reproducible run to run. `Rng` wraps a
+// 64-bit SplitMix64-seeded xoshiro256** generator with the distribution
+// helpers the simulators need.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace joules {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  // Derives an independent stream from this generator's seed and a label.
+  // Used to give each simulated component (router, PSU, meter channel, ...)
+  // its own stream so adding a component does not perturb the others.
+  [[nodiscard]] Rng fork(std::string_view label) const noexcept;
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept;
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept;
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  // Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  // Standard normal via Marsaglia polar method.
+  double normal() noexcept;
+  // Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+  // Bernoulli trial.
+  bool chance(double probability) noexcept;
+  // Log-normal such that the median of the distribution is `median`.
+  double log_normal(double median, double sigma) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  std::uint64_t seed_ = 0;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace joules

@@ -1,0 +1,112 @@
+#include "util/sim_clock.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+// Howard Hinnant's civil-from-days / days-from-civil algorithms.
+std::int64_t floor_div(std::int64_t a, std::int64_t b) noexcept {
+  return (a >= 0) ? a / b : -((-a + b - 1) / b);
+}
+
+struct Civil {
+  int year;
+  int month;
+  int day;
+};
+
+Civil civil_from_days(std::int64_t z) noexcept {
+  z += 719468;
+  const std::int64_t era = floor_div(z, 146097);
+  const auto doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const auto y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp < 10 ? mp + 3 : mp - 9;
+  return Civil{static_cast<int>(y + (m <= 2)), static_cast<int>(m),
+               static_cast<int>(d)};
+}
+
+constexpr std::array<const char*, 12> kMonthAbbrev = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+}  // namespace
+
+std::int64_t days_from_civil(int year, int month, int day) noexcept {
+  year -= month <= 2;
+  const std::int64_t era = floor_div(year, 400);
+  const auto yoe = static_cast<unsigned>(year - era * 400);
+  const unsigned mp = month > 2 ? static_cast<unsigned>(month) - 3
+                                : static_cast<unsigned>(month) + 9;
+  const unsigned doy = (153 * mp + 2) / 5 + static_cast<unsigned>(day) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+SimTime to_sim_time(const CalendarDate& date) noexcept {
+  return days_from_civil(date.year, date.month, date.day) * kSecondsPerDay +
+         date.hour * kSecondsPerHour + date.minute * kSecondsPerMinute +
+         date.second;
+}
+
+SimTime make_time(int year, int month, int day, int hour, int minute,
+                  int second) noexcept {
+  return to_sim_time(CalendarDate{year, month, day, hour, minute, second});
+}
+
+CalendarDate to_calendar(SimTime t) noexcept {
+  const std::int64_t days = floor_div(t, kSecondsPerDay);
+  std::int64_t rest = t - days * kSecondsPerDay;
+  const Civil civil = civil_from_days(days);
+  CalendarDate out;
+  out.year = civil.year;
+  out.month = civil.month;
+  out.day = civil.day;
+  out.hour = static_cast<int>(rest / kSecondsPerHour);
+  rest %= kSecondsPerHour;
+  out.minute = static_cast<int>(rest / kSecondsPerMinute);
+  out.second = static_cast<int>(rest % kSecondsPerMinute);
+  return out;
+}
+
+int day_of_week(SimTime t) noexcept {
+  // 1970-01-01 was a Thursday (=3 with Monday=0).
+  const std::int64_t days = floor_div(t, kSecondsPerDay);
+  return static_cast<int>(((days % 7) + 7 + 3) % 7);
+}
+
+int seconds_of_day(SimTime t) noexcept {
+  const std::int64_t days = floor_div(t, kSecondsPerDay);
+  return static_cast<int>(t - days * kSecondsPerDay);
+}
+
+std::string format_date(SimTime t) {
+  const CalendarDate c = to_calendar(t);
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d", c.year, c.month, c.day);
+  return buf;
+}
+
+std::string format_date_time(SimTime t) {
+  const CalendarDate c = to_calendar(t);
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d %02d:%02d:%02d", c.year,
+                c.month, c.day, c.hour, c.minute, c.second);
+  return buf;
+}
+
+std::string format_short_date(SimTime t) {
+  const CalendarDate c = to_calendar(t);
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%s %02d", kMonthAbbrev[c.month - 1], c.day);
+  return buf;
+}
+
+}  // namespace joules

@@ -1,0 +1,51 @@
+// Simulation time.
+//
+// All simulated events are stamped with unix seconds (`SimTime`). The library
+// never reads the wall clock; traces are generated over explicit, documented
+// windows (e.g. the paper's Sep 01 - Nov 05 deployment). Helpers here convert
+// between unix seconds and calendar fields for trace labelling, entirely in
+// UTC and without touching the C locale machinery (so results are identical
+// on any host).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace joules {
+
+using SimTime = std::int64_t;  // unix seconds, UTC
+
+struct CalendarDate {
+  int year = 1970;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+  int hour = 0;   // 0..23
+  int minute = 0;
+  int second = 0;
+
+  friend bool operator==(const CalendarDate&, const CalendarDate&) = default;
+};
+
+// Days since 1970-01-01 for a civil date (proleptic Gregorian).
+std::int64_t days_from_civil(int year, int month, int day) noexcept;
+
+// Unix seconds for a UTC calendar date/time.
+SimTime to_sim_time(const CalendarDate& date) noexcept;
+SimTime make_time(int year, int month, int day, int hour = 0, int minute = 0,
+                  int second = 0) noexcept;
+
+// Calendar breakdown of unix seconds (UTC).
+CalendarDate to_calendar(SimTime t) noexcept;
+
+// 0 = Monday ... 6 = Sunday.
+int day_of_week(SimTime t) noexcept;
+
+// Seconds into the (UTC) day: [0, 86400).
+int seconds_of_day(SimTime t) noexcept;
+
+// "2024-09-08" / "2024-09-08 13:05:00" / "Sep 08".
+std::string format_date(SimTime t);
+std::string format_date_time(SimTime t);
+std::string format_short_date(SimTime t);
+
+}  // namespace joules

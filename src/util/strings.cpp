@@ -1,0 +1,146 @@
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace joules {
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+std::string trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return std::string(text.substr(begin, end - begin));
+}
+
+std::vector<std::string> split(std::string_view text, char delimiter) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delimiter) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      std::string_view line = text.substr(start, i - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      out.emplace_back(line);
+      start = i + 1;
+    }
+  }
+  if (!out.empty() && out.back().empty() && !text.empty() && text.back() == '\n') {
+    out.pop_back();
+  }
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+bool contains_ci(std::string_view haystack, std::string_view needle) {
+  if (needle.empty()) return true;
+  const std::string h = to_lower(haystack);
+  const std::string n = to_lower(needle);
+  return h.find(n) != std::string::npos;
+}
+
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to) {
+  if (from.empty()) return std::string(text);
+  std::string out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t hit = text.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out += text.substr(pos);
+      return out;
+    }
+    out += text.substr(pos, hit - pos);
+    out += to;
+    pos = hit + from.size();
+  }
+}
+
+namespace {
+
+// Extracts a numeric token starting at `i`, tolerating thousands separators
+// (comma or space) between digit groups. Returns nullopt if no digit found.
+std::optional<double> parse_number_at(std::string_view text, std::size_t& i) {
+  std::string token;
+  bool seen_digit = false;
+  bool seen_dot = false;
+  if (i < text.size() && (text[i] == '-' || text[i] == '+')) {
+    token += text[i];
+    ++i;
+  }
+  while (i < text.size()) {
+    const char c = text[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      token += c;
+      seen_digit = true;
+      ++i;
+    } else if (c == '.' && !seen_dot && seen_digit) {
+      token += c;
+      seen_dot = true;
+      ++i;
+    } else if ((c == ',' || c == ' ') && seen_digit && i + 3 < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[i + 1])) &&
+               std::isdigit(static_cast<unsigned char>(text[i + 2])) &&
+               std::isdigit(static_cast<unsigned char>(text[i + 3])) &&
+               (i + 4 >= text.size() ||
+                !std::isdigit(static_cast<unsigned char>(text[i + 4])))) {
+      // Thousands separator: exactly three digits follow.
+      ++i;
+    } else {
+      break;
+    }
+  }
+  if (!seen_digit) return std::nullopt;
+  return std::strtod(token.c_str(), nullptr);
+}
+
+}  // namespace
+
+std::optional<double> parse_first_number(std::string_view text) {
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(text[i])) ||
+        ((text[i] == '-' || text[i] == '+') && i + 1 < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      return parse_number_at(text, i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<double> parse_all_numbers(std::string_view text) {
+  std::vector<double> out;
+  for (std::size_t i = 0; i < text.size();) {
+    if (std::isdigit(static_cast<unsigned char>(text[i])) ||
+        ((text[i] == '-' || text[i] == '+') && i + 1 < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      if (auto value = parse_number_at(text, i)) out.push_back(*value);
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace joules

@@ -1,0 +1,145 @@
+#include "util/time_series.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace joules {
+
+TimeSeries::TimeSeries(std::vector<Sample> samples)
+    : samples_(std::move(samples)) {
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    if (samples_[i].time <= samples_[i - 1].time) {
+      throw std::invalid_argument("TimeSeries: samples must be strictly time-ordered");
+    }
+  }
+}
+
+void TimeSeries::push(SimTime time, double value) {
+  if (!samples_.empty() && time <= samples_.back().time) {
+    throw std::invalid_argument("TimeSeries::push: non-increasing timestamp");
+  }
+  samples_.push_back(Sample{time, value});
+}
+
+std::vector<double> TimeSeries::values() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const Sample& s : samples_) out.push_back(s.value);
+  return out;
+}
+
+std::vector<SimTime> TimeSeries::times() const {
+  std::vector<SimTime> out;
+  out.reserve(samples_.size());
+  for (const Sample& s : samples_) out.push_back(s.time);
+  return out;
+}
+
+std::optional<double> TimeSeries::value_at(SimTime time) const {
+  auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), time,
+      [](SimTime t, const Sample& s) { return t < s.time; });
+  if (it == samples_.begin()) return std::nullopt;
+  return std::prev(it)->value;
+}
+
+TimeSeries TimeSeries::slice(SimTime begin, SimTime end) const {
+  TimeSeries out;
+  for (const Sample& s : samples_) {
+    if (s.time >= begin && s.time < end) out.push(s.time, s.value);
+  }
+  return out;
+}
+
+TimeSeries TimeSeries::window_average(SimTime window_seconds) const {
+  if (window_seconds <= 0) {
+    throw std::invalid_argument("TimeSeries::window_average: window must be positive");
+  }
+  TimeSeries out;
+  if (samples_.empty()) return out;
+
+  auto window_start = [&](SimTime t) {
+    // Floor to window boundary, correct for negative times.
+    SimTime w = t / window_seconds;
+    if (t < 0 && t % window_seconds != 0) --w;
+    return w * window_seconds;
+  };
+
+  SimTime current = window_start(samples_.front().time);
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const Sample& s : samples_) {
+    const SimTime w = window_start(s.time);
+    if (w != current) {
+      if (count > 0) out.push(current, sum / static_cast<double>(count));
+      current = w;
+      sum = 0.0;
+      count = 0;
+    }
+    sum += s.value;
+    ++count;
+  }
+  if (count > 0) out.push(current, sum / static_cast<double>(count));
+  return out;
+}
+
+namespace {
+
+TimeSeries pointwise(const TimeSeries& a, const TimeSeries& b,
+                     double (*op)(double, double)) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("TimeSeries: pointwise op on different lengths");
+  }
+  TimeSeries out;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].time != b[i].time) {
+      throw std::invalid_argument("TimeSeries: pointwise op on misaligned timestamps");
+    }
+    out.push(a[i].time, op(a[i].value, b[i].value));
+  }
+  return out;
+}
+
+}  // namespace
+
+TimeSeries TimeSeries::operator+(const TimeSeries& other) const {
+  return pointwise(*this, other, +[](double x, double y) { return x + y; });
+}
+
+TimeSeries TimeSeries::operator-(const TimeSeries& other) const {
+  return pointwise(*this, other, +[](double x, double y) { return x - y; });
+}
+
+TimeSeries TimeSeries::scaled(double factor) const {
+  TimeSeries out;
+  for (const Sample& s : samples_) out.push(s.time, s.value * factor);
+  return out;
+}
+
+TimeSeries TimeSeries::shifted(double offset) const {
+  TimeSeries out;
+  for (const Sample& s : samples_) out.push(s.time, s.value + offset);
+  return out;
+}
+
+TimeSeries TimeSeries::sum_on_grid(std::span<const TimeSeries> series,
+                                   std::span<const SimTime> grid) {
+  TimeSeries out;
+  for (const SimTime t : grid) {
+    double total = 0.0;
+    for (const TimeSeries& s : series) {
+      total += s.value_at(t).value_or(0.0);
+    }
+    out.push(t, total);
+  }
+  return out;
+}
+
+std::vector<SimTime> make_grid(SimTime begin, SimTime end, SimTime step) {
+  if (step <= 0) throw std::invalid_argument("make_grid: step must be positive");
+  std::vector<SimTime> out;
+  for (SimTime t = begin; t < end; t += step) out.push_back(t);
+  return out;
+}
+
+}  // namespace joules

@@ -1,0 +1,76 @@
+// A simple, strictly time-ordered series of (SimTime, double) samples.
+//
+// This is the lingua franca between the simulators (which emit traces) and
+// the analyses (which consume them): SNMP polls, Autopower measurements,
+// model predictions, and network aggregates are all `TimeSeries`.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/sim_clock.hpp"
+
+namespace joules {
+
+struct Sample {
+  SimTime time = 0;
+  double value = 0.0;
+
+  friend bool operator==(const Sample&, const Sample&) = default;
+};
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::vector<Sample> samples);
+
+  // Appends a sample; `time` must be strictly greater than the last sample's.
+  void push(SimTime time, double value);
+
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] const Sample& operator[](std::size_t i) const { return samples_[i]; }
+  [[nodiscard]] const Sample& front() const { return samples_.front(); }
+  [[nodiscard]] const Sample& back() const { return samples_.back(); }
+  [[nodiscard]] std::span<const Sample> samples() const noexcept { return samples_; }
+
+  auto begin() const noexcept { return samples_.begin(); }
+  auto end() const noexcept { return samples_.end(); }
+
+  [[nodiscard]] std::vector<double> values() const;
+  [[nodiscard]] std::vector<SimTime> times() const;
+
+  // Value at or before `time` (step interpolation); nullopt before the first
+  // sample.
+  [[nodiscard]] std::optional<double> value_at(SimTime time) const;
+
+  // Samples with `begin <= time < end`.
+  [[nodiscard]] TimeSeries slice(SimTime begin, SimTime end) const;
+
+  // Averages samples into windows of `window_seconds`, stamping each window
+  // at its start. Windows with no samples are skipped. This mirrors the
+  // paper's "30-minute averaged traces" (Fig. 4).
+  [[nodiscard]] TimeSeries window_average(SimTime window_seconds) const;
+
+  // Pointwise binary operations. Series must have identical timestamps.
+  [[nodiscard]] TimeSeries operator+(const TimeSeries& other) const;
+  [[nodiscard]] TimeSeries operator-(const TimeSeries& other) const;
+  [[nodiscard]] TimeSeries scaled(double factor) const;
+  [[nodiscard]] TimeSeries shifted(double offset) const;
+
+  // Sums many series sampled on arbitrary grids by step-interpolating each
+  // onto `grid` (timestamps). Series that have no sample at or before a grid
+  // point contribute 0 there (e.g. routers not yet commissioned).
+  static TimeSeries sum_on_grid(std::span<const TimeSeries> series,
+                                std::span<const SimTime> grid);
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+// Evenly spaced grid: begin, begin+step, ..., < end.
+std::vector<SimTime> make_grid(SimTime begin, SimTime end, SimTime step);
+
+}  // namespace joules

@@ -1,0 +1,66 @@
+// Unit conventions and conversion helpers.
+//
+// Throughout the library, quantities are plain doubles whose unit is part of
+// the identifier: `power_w` (watts), `rate_bps` (bits per second),
+// `energy_j` (joules), `load_frac` (dimensionless in [0,1]). This header
+// centralizes the conversion factors so magic numbers never appear at call
+// sites.
+#pragma once
+
+namespace joules {
+
+// --- Data-rate conversions (decimal SI, as used by transceiver specs) ------
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+constexpr double gbps_to_bps(double rate_gbps) { return rate_gbps * kGiga; }
+constexpr double bps_to_gbps(double rate_bps) { return rate_bps / kGiga; }
+constexpr double bps_to_tbps(double rate_bps) { return rate_bps / kTera; }
+constexpr double mbps_to_bps(double rate_mbps) { return rate_mbps * kMega; }
+
+// --- Energy conversions -----------------------------------------------------
+inline constexpr double kPicojoule = 1e-12;
+inline constexpr double kNanojoule = 1e-9;
+
+constexpr double picojoules_to_joules(double energy_pj) { return energy_pj * kPicojoule; }
+constexpr double joules_to_picojoules(double energy_j) { return energy_j / kPicojoule; }
+constexpr double nanojoules_to_joules(double energy_nj) { return energy_nj * kNanojoule; }
+constexpr double joules_to_nanojoules(double energy_j) { return energy_j / kNanojoule; }
+
+// --- Byte/bit helpers -------------------------------------------------------
+inline constexpr double kBitsPerByte = 8.0;
+
+constexpr double bytes_to_bits(double n_bytes) { return n_bytes * kBitsPerByte; }
+constexpr double bits_to_bytes(double n_bits) { return n_bits / kBitsPerByte; }
+
+// Packet rate for a given physical-layer bit rate and L2 payload size,
+// Eq. (12) of the paper: p = r / (8 * (L + L_header)).
+//
+// `overhead_bytes` is the per-packet framing overhead counted on the wire.
+// For Ethernet this is preamble(7) + SFD(1) + FCS(4) + IFG(12) = 24 bytes on
+// top of the L2 frame; the paper folds everything into a single L_header.
+inline constexpr double kEthernetOverheadBytes = 24.0;
+
+constexpr double packet_rate_for_bit_rate(double rate_bps, double frame_bytes,
+                                          double overhead_bytes = kEthernetOverheadBytes) {
+  return rate_bps / (kBitsPerByte * (frame_bytes + overhead_bytes));
+}
+
+constexpr double bit_rate_for_packet_rate(double rate_pps, double frame_bytes,
+                                          double overhead_bytes = kEthernetOverheadBytes) {
+  return rate_pps * kBitsPerByte * (frame_bytes + overhead_bytes);
+}
+
+// --- Time -------------------------------------------------------------------
+inline constexpr long long kSecondsPerMinute = 60;
+inline constexpr long long kSecondsPerHour = 3600;
+inline constexpr long long kSecondsPerDay = 86400;
+inline constexpr long long kSecondsPerWeek = 7 * kSecondsPerDay;
+
+// --- Power ------------------------------------------------------------------
+constexpr double kw_to_w(double power_kw) { return power_kw * kKilo; }
+constexpr double w_to_kw(double power_w) { return power_w / kKilo; }
+
+}  // namespace joules

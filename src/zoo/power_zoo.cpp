@@ -1,0 +1,252 @@
+#include "zoo/power_zoo.hpp"
+
+#include <stdexcept>
+
+#include "model/model_io.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+std::string opt_number(const std::optional<double>& value) {
+  return value.has_value() ? format_number(*value, 3) : std::string{};
+}
+
+std::optional<double> parse_opt(const std::string& text) {
+  if (trim(text).empty()) return std::nullopt;
+  return parse_first_number(text);
+}
+
+}  // namespace
+
+std::string_view to_string(MeasurementSource source) noexcept {
+  switch (source) {
+    case MeasurementSource::kSnmp: return "snmp";
+    case MeasurementSource::kAutopower: return "autopower";
+    case MeasurementSource::kLab: return "lab";
+  }
+  return "unknown";
+}
+
+std::optional<MeasurementSource> parse_measurement_source(std::string_view text) {
+  const std::string t = to_lower(trim(text));
+  if (t == "snmp") return MeasurementSource::kSnmp;
+  if (t == "autopower") return MeasurementSource::kAutopower;
+  if (t == "lab") return MeasurementSource::kLab;
+  return std::nullopt;
+}
+
+void PowerZoo::add_datasheet(DatasheetRecord record) {
+  datasheets_.push_back(std::move(record));
+}
+
+void PowerZoo::add_power_model(const std::string& device_model, PowerModel model,
+                               const std::string& contributor) {
+  models_.insert_or_assign(device_model,
+                           std::make_pair(contributor, std::move(model)));
+}
+
+void PowerZoo::add_measurement(MeasurementSummary summary) {
+  measurements_.push_back(std::move(summary));
+}
+
+void PowerZoo::add_psu_observation(PsuObservation observation) {
+  psu_observations_.push_back(std::move(observation));
+}
+
+std::vector<DatasheetRecord> PowerZoo::datasheets(const std::string& vendor,
+                                                  const std::string& model) const {
+  std::vector<DatasheetRecord> out;
+  for (const DatasheetRecord& record : datasheets_) {
+    if (!vendor.empty() && record.vendor != vendor) continue;
+    if (!model.empty() && record.model != model) continue;
+    out.push_back(record);
+  }
+  return out;
+}
+
+std::optional<PowerModel> PowerZoo::power_model(
+    const std::string& device_model) const {
+  const auto it = models_.find(device_model);
+  if (it == models_.end()) return std::nullopt;
+  return it->second.second;
+}
+
+std::vector<MeasurementSummary> PowerZoo::measurements(
+    const std::string& device_model) const {
+  std::vector<MeasurementSummary> out;
+  for (const MeasurementSummary& summary : measurements_) {
+    if (!device_model.empty() && summary.device_model != device_model) continue;
+    out.push_back(summary);
+  }
+  return out;
+}
+
+std::vector<PsuObservation> PowerZoo::psu_observations() const {
+  return psu_observations_;
+}
+
+PowerZoo::DeviceDossier PowerZoo::dossier(const std::string& device_model) const {
+  DeviceDossier dossier;
+  for (const DatasheetRecord& record : datasheets_) {
+    if (record.model == device_model) {
+      dossier.datasheet = record;
+      break;
+    }
+  }
+  dossier.model = power_model(device_model);
+  dossier.measurements = measurements(device_model);
+  for (const PsuObservation& obs : psu_observations_) {
+    if (obs.router_model == device_model) ++dossier.psu_observations;
+  }
+  return dossier;
+}
+
+PowerZoo::Stats PowerZoo::stats() const noexcept {
+  return Stats{datasheets_.size(), models_.size(), measurements_.size(),
+               psu_observations_.size()};
+}
+
+void PowerZoo::save(const std::filesystem::path& directory) const {
+  std::filesystem::create_directories(directory);
+
+  CsvTable datasheets({"vendor", "model", "series", "typical_power_w",
+                       "max_power_w", "max_bandwidth_gbps", "psu_count",
+                       "psu_capacity_w", "release_year"});
+  for (const DatasheetRecord& r : datasheets_) {
+    datasheets.add_row(
+        {r.vendor, r.model, r.series, opt_number(r.typical_power_w),
+         opt_number(r.max_power_w), opt_number(r.max_bandwidth_gbps),
+         r.psu_count ? std::to_string(*r.psu_count) : "",
+         opt_number(r.psu_capacity_w),
+         r.release_year ? std::to_string(*r.release_year) : ""});
+  }
+  datasheets.write_file(directory / "datasheets.csv");
+
+  // Power models flatten into one table: device + contributor + the model's
+  // own CSV schema.
+  CsvTable models({"device", "contributor", "row", "port", "transceiver",
+                   "rate", "P_base_W", "P_port_W", "P_trx_in_W", "P_trx_up_W",
+                   "E_bit_pJ", "E_pkt_nJ", "P_offset_W"});
+  for (const auto& [device, entry] : models_) {
+    const CsvTable model_csv = model_to_csv(entry.second);
+    for (std::size_t i = 0; i < model_csv.row_count(); ++i) {
+      std::vector<std::string> row = {device, entry.first};
+      for (const char* column :
+           {"row", "port", "transceiver", "rate", "P_base_W", "P_port_W",
+            "P_trx_in_W", "P_trx_up_W", "E_bit_pJ", "E_pkt_nJ", "P_offset_W"}) {
+        row.push_back(model_csv.cell(i, column));
+      }
+      models.add_row(std::move(row));
+    }
+  }
+  models.write_file(directory / "power_models.csv");
+
+  CsvTable measurements({"device", "router", "source", "window_begin",
+                         "window_end", "median_w", "mean_w", "samples"});
+  for (const MeasurementSummary& m : measurements_) {
+    measurements.add_row({m.device_model, m.router_name,
+                          std::string(to_string(m.source)),
+                          std::to_string(m.window_begin),
+                          std::to_string(m.window_end),
+                          format_number(m.median_power_w, 3),
+                          format_number(m.mean_power_w, 3),
+                          std::to_string(m.sample_count)});
+  }
+  measurements.write_file(directory / "measurements.csv");
+
+  CsvTable observations({"router", "model", "psu", "capacity_w", "p_in_w",
+                         "p_out_w"});
+  for (const PsuObservation& o : psu_observations_) {
+    observations.add_row({o.router_name, o.router_model,
+                          std::to_string(o.psu_index),
+                          format_number(o.capacity_w, 1),
+                          format_number(o.input_power_w, 3),
+                          format_number(o.output_power_w, 3)});
+  }
+  observations.write_file(directory / "psu_observations.csv");
+}
+
+PowerZoo PowerZoo::load(const std::filesystem::path& directory) {
+  PowerZoo zoo;
+
+  const CsvTable datasheets = CsvTable::read_file(directory / "datasheets.csv");
+  for (std::size_t i = 0; i < datasheets.row_count(); ++i) {
+    DatasheetRecord record;
+    record.vendor = datasheets.cell(i, "vendor");
+    record.model = datasheets.cell(i, "model");
+    record.series = datasheets.cell(i, "series");
+    record.typical_power_w = parse_opt(datasheets.cell(i, "typical_power_w"));
+    record.max_power_w = parse_opt(datasheets.cell(i, "max_power_w"));
+    record.max_bandwidth_gbps = parse_opt(datasheets.cell(i, "max_bandwidth_gbps"));
+    if (const auto count = parse_opt(datasheets.cell(i, "psu_count"))) {
+      record.psu_count = static_cast<int>(*count);
+    }
+    record.psu_capacity_w = parse_opt(datasheets.cell(i, "psu_capacity_w"));
+    if (const auto year = parse_opt(datasheets.cell(i, "release_year"))) {
+      record.release_year = static_cast<int>(*year);
+    }
+    zoo.add_datasheet(std::move(record));
+  }
+
+  const CsvTable models = CsvTable::read_file(directory / "power_models.csv");
+  // Group rows by device, then feed each group through the model codec.
+  std::map<std::string, std::pair<std::string, CsvTable>> grouped;
+  for (std::size_t i = 0; i < models.row_count(); ++i) {
+    const std::string device = models.cell(i, "device");
+    auto [it, inserted] = grouped.try_emplace(
+        device, models.cell(i, "contributor"),
+        CsvTable({"row", "port", "transceiver", "rate", "P_base_W", "P_port_W",
+                  "P_trx_in_W", "P_trx_up_W", "E_bit_pJ", "E_pkt_nJ",
+                  "P_offset_W"}));
+    std::vector<std::string> row;
+    for (const char* column :
+         {"row", "port", "transceiver", "rate", "P_base_W", "P_port_W",
+          "P_trx_in_W", "P_trx_up_W", "E_bit_pJ", "E_pkt_nJ", "P_offset_W"}) {
+      row.push_back(models.cell(i, column));
+    }
+    it->second.second.add_row(std::move(row));
+  }
+  for (const auto& [device, entry] : grouped) {
+    zoo.add_power_model(device, model_from_csv(entry.second), entry.first);
+  }
+
+  const CsvTable measurements =
+      CsvTable::read_file(directory / "measurements.csv");
+  for (std::size_t i = 0; i < measurements.row_count(); ++i) {
+    MeasurementSummary summary;
+    summary.device_model = measurements.cell(i, "device");
+    summary.router_name = measurements.cell(i, "router");
+    const auto source = parse_measurement_source(measurements.cell(i, "source"));
+    if (!source) throw std::invalid_argument("PowerZoo: bad measurement source");
+    summary.source = *source;
+    summary.window_begin =
+        static_cast<SimTime>(measurements.cell_double(i, "window_begin"));
+    summary.window_end =
+        static_cast<SimTime>(measurements.cell_double(i, "window_end"));
+    summary.median_power_w = measurements.cell_double(i, "median_w");
+    summary.mean_power_w = measurements.cell_double(i, "mean_w");
+    summary.sample_count =
+        static_cast<std::size_t>(measurements.cell_double(i, "samples"));
+    zoo.add_measurement(std::move(summary));
+  }
+
+  const CsvTable observations =
+      CsvTable::read_file(directory / "psu_observations.csv");
+  for (std::size_t i = 0; i < observations.row_count(); ++i) {
+    PsuObservation obs;
+    obs.router_name = observations.cell(i, "router");
+    obs.router_model = observations.cell(i, "model");
+    obs.psu_index = static_cast<int>(observations.cell_double(i, "psu"));
+    obs.capacity_w = observations.cell_double(i, "capacity_w");
+    obs.input_power_w = observations.cell_double(i, "p_in_w");
+    obs.output_power_w = observations.cell_double(i, "p_out_w");
+    zoo.add_psu_observation(std::move(obs));
+  }
+
+  return zoo;
+}
+
+}  // namespace joules

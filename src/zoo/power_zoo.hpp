@@ -1,0 +1,97 @@
+// The Network Power Zoo — the paper's public database aggregating every kind
+// of network power data "for the community to use and contribute to":
+// datasheet records, derived power models, measurement summaries (SNMP and
+// Autopower), and PSU sensor observations.
+//
+// The zoo is a plain directory of CSV collections so it can be diffed,
+// versioned, and contributed to without tooling; `save`/`load` round-trip
+// the full database.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datasheet/record.hpp"
+#include "model/power_model.hpp"
+#include "psu/psu_unit.hpp"
+#include "util/sim_clock.hpp"
+
+namespace joules {
+
+// Where a power measurement summary came from.
+enum class MeasurementSource : std::uint8_t {
+  kSnmp,       // router-reported PSU power
+  kAutopower,  // external wall measurement
+  kLab,        // NetPowerBench bench measurement
+};
+
+[[nodiscard]] std::string_view to_string(MeasurementSource source) noexcept;
+[[nodiscard]] std::optional<MeasurementSource> parse_measurement_source(
+    std::string_view text);
+
+struct MeasurementSummary {
+  std::string device_model;  // e.g. "NCS-55A1-24H"
+  std::string router_name;   // anonymized deployment name, empty for lab
+  MeasurementSource source = MeasurementSource::kAutopower;
+  SimTime window_begin = 0;
+  SimTime window_end = 0;
+  double median_power_w = 0.0;
+  double mean_power_w = 0.0;
+  std::size_t sample_count = 0;
+};
+
+class PowerZoo {
+ public:
+  PowerZoo() = default;
+
+  // --- Contributions ----------------------------------------------------
+  void add_datasheet(DatasheetRecord record);
+  // One model per (device, contributor); re-adding replaces.
+  void add_power_model(const std::string& device_model, PowerModel model,
+                       const std::string& contributor = "anonymous");
+  void add_measurement(MeasurementSummary summary);
+  void add_psu_observation(PsuObservation observation);
+
+  // --- Queries ------------------------------------------------------------
+  [[nodiscard]] std::vector<DatasheetRecord> datasheets(
+      const std::string& vendor = {}, const std::string& model = {}) const;
+  [[nodiscard]] std::optional<PowerModel> power_model(
+      const std::string& device_model) const;
+  [[nodiscard]] std::vector<MeasurementSummary> measurements(
+      const std::string& device_model = {}) const;
+  [[nodiscard]] std::vector<PsuObservation> psu_observations() const;
+
+  // Cross-source view for one device: everything the zoo knows about it.
+  struct DeviceDossier {
+    std::optional<DatasheetRecord> datasheet;
+    std::optional<PowerModel> model;
+    std::vector<MeasurementSummary> measurements;
+    std::size_t psu_observations = 0;
+  };
+  [[nodiscard]] DeviceDossier dossier(const std::string& device_model) const;
+
+  struct Stats {
+    std::size_t datasheets = 0;
+    std::size_t power_models = 0;
+    std::size_t measurements = 0;
+    std::size_t psu_observations = 0;
+  };
+  [[nodiscard]] Stats stats() const noexcept;
+
+  // --- Persistence -------------------------------------------------------
+  // Writes datasheets.csv, power_models.csv, measurements.csv, and
+  // psu_observations.csv into `directory` (created if needed).
+  void save(const std::filesystem::path& directory) const;
+  [[nodiscard]] static PowerZoo load(const std::filesystem::path& directory);
+
+ private:
+  std::vector<DatasheetRecord> datasheets_;
+  std::map<std::string, std::pair<std::string, PowerModel>> models_;
+  std::vector<MeasurementSummary> measurements_;
+  std::vector<PsuObservation> psu_observations_;
+};
+
+}  // namespace joules

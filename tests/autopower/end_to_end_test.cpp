@@ -1,0 +1,176 @@
+// End-to-end Autopower tests: a real server and client exchanging frames over
+// loopback TCP, exercising the §6.1 requirements — remote control, buffering
+// across connection loss, resumption after "power failure".
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "autopower/client.hpp"
+#include "autopower/server.hpp"
+#include "util/units.hpp"
+
+namespace joules::autopower {
+namespace {
+
+constexpr SimTime kStart = 1725753600;  // 2024-09-08
+
+Client::Options options_for(const Server& server, const std::string& unit_id) {
+  Client::Options options;
+  options.unit_id = unit_id;
+  options.server_port = server.port();
+  options.upload_batch = 16;
+  return options;
+}
+
+std::function<double(int, SimTime)> flat_source(double watts) {
+  return [watts](int, SimTime) { return watts; };
+}
+
+TEST(AutopowerEndToEnd, HelloRegistersUnit) {
+  Server server;
+  Client client(options_for(server, "unit-a"), PowerMeter(PowerMeterSpec{}, 1),
+                flat_source(100.0));
+  EXPECT_TRUE(client.sync());
+  const auto units = server.known_units();
+  ASSERT_EQ(units.size(), 1u);
+  EXPECT_EQ(units[0], "unit-a");
+}
+
+TEST(AutopowerEndToEnd, SamplesUploadAndArriveInOrder) {
+  Server server;
+  Client client(options_for(server, "unit-b"), PowerMeter(PowerMeterSpec{}, 2),
+                flat_source(358.0));
+  client.start_measurement(0, 1);
+  for (SimTime t = kStart; t < kStart + 100; ++t) client.tick(t);
+  EXPECT_EQ(client.buffered_samples(), 100u);
+  ASSERT_TRUE(client.sync());
+  EXPECT_EQ(client.buffered_samples(), 0u);
+
+  const TimeSeries stored = server.measurements("unit-b", 0);
+  ASSERT_EQ(stored.size(), 100u);
+  EXPECT_EQ(stored.front().time, kStart);
+  EXPECT_EQ(stored.back().time, kStart + 99);
+  EXPECT_NEAR(stored.front().value, 358.0, 3.0);
+  // Batched into ceil(100/16) = 7 uploads.
+  EXPECT_EQ(server.accepted_batches("unit-b"), 7u);
+}
+
+TEST(AutopowerEndToEnd, RemoteStartStopCommands) {
+  Server server;
+  Client client(options_for(server, "unit-c"), PowerMeter(PowerMeterSpec{}, 3),
+                flat_source(50.0));
+  // Queue a start before the unit has ever connected.
+  server.enqueue_command("unit-c", {Command::Kind::kStartMeasurement, 0, 2});
+  ASSERT_TRUE(client.sync());  // poll picks it up
+  EXPECT_TRUE(client.is_measuring(0));
+
+  for (SimTime t = kStart; t < kStart + 10; ++t) client.tick(t);
+  EXPECT_EQ(client.buffered_samples(), 5u);  // period 2 s
+
+  server.enqueue_command("unit-c", {Command::Kind::kStopMeasurement, 0, 0});
+  ASSERT_TRUE(client.sync());
+  EXPECT_FALSE(client.is_measuring(0));
+}
+
+TEST(AutopowerEndToEnd, BufferSurvivesConnectionLossAndReconnects) {
+  Server server;
+  Client client(options_for(server, "unit-d"), PowerMeter(PowerMeterSpec{}, 4),
+                flat_source(75.0));
+  client.start_measurement(0, 1);
+  for (SimTime t = kStart; t < kStart + 20; ++t) client.tick(t);
+
+  // Simulate the uplink going away: sync fails, buffer is retained.
+  client.drop_connection();
+  Server* gone = nullptr;
+  (void)gone;
+  // Stop the server to make connect fail.
+  server.stop();
+  EXPECT_FALSE(client.sync());
+  EXPECT_EQ(client.buffered_samples(), 20u);
+
+  // Bring up a new server on a fresh port; the unit reconnects and flushes.
+  Server revived;
+  Client client2(options_for(revived, "unit-d"), PowerMeter(PowerMeterSpec{}, 4),
+                 flat_source(75.0));
+  client2.start_measurement(0, 1);
+  for (SimTime t = kStart; t < kStart + 20; ++t) client2.tick(t);
+  EXPECT_TRUE(client2.sync());
+  EXPECT_EQ(revived.measurements("unit-d", 0).size(), 20u);
+}
+
+TEST(AutopowerEndToEnd, DuplicateUploadsAreIdempotent) {
+  Server server;
+  Client client(options_for(server, "unit-e"), PowerMeter(PowerMeterSpec{}, 5),
+                flat_source(120.0));
+  client.start_measurement(0, 1);
+  for (SimTime t = kStart; t < kStart + 8; ++t) client.tick(t);
+  ASSERT_TRUE(client.sync());
+  const std::size_t batches = server.accepted_batches("unit-e");
+
+  // Re-send the same window from a restored client state (same sequences):
+  // the server must not duplicate samples.
+  Client replay(options_for(server, "unit-e"), PowerMeter(PowerMeterSpec{}, 5),
+                flat_source(120.0));
+  replay.start_measurement(0, 1);
+  for (SimTime t = kStart; t < kStart + 8; ++t) replay.tick(t);
+  ASSERT_TRUE(replay.sync());
+
+  EXPECT_EQ(server.measurements("unit-e", 0).size(), 8u);
+  EXPECT_EQ(server.accepted_batches("unit-e"), batches);  // duplicates ignored
+}
+
+TEST(AutopowerEndToEnd, StateSurvivesPowerFailure) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "autopower_state_test.csv";
+  Server server;
+  {
+    Client client(options_for(server, "unit-f"), PowerMeter(PowerMeterSpec{}, 6),
+                  flat_source(42.0));
+    client.start_measurement(0, 1);
+    client.start_measurement(1, 2);
+    for (SimTime t = kStart; t < kStart + 10; ++t) client.tick(t);
+    client.save_state(path);
+  }  // "power failure"
+
+  Client reborn(options_for(server, "unit-f"), PowerMeter(PowerMeterSpec{}, 6),
+                flat_source(42.0));
+  reborn.load_state(path);
+  EXPECT_TRUE(reborn.is_measuring(0));
+  EXPECT_TRUE(reborn.is_measuring(1));
+  EXPECT_EQ(reborn.buffered_samples(), 10u + 5u);
+  // Continues sampling from where it stopped without duplicating instants.
+  for (SimTime t = kStart + 10; t < kStart + 12; ++t) reborn.tick(t);
+  EXPECT_EQ(reborn.buffered_samples(), 17u + 1u);  // +2 on ch0, +1 on ch1
+  ASSERT_TRUE(reborn.sync());
+  EXPECT_EQ(server.measurements("unit-f", 0).size(), 12u);
+  std::filesystem::remove(path);
+}
+
+TEST(AutopowerEndToEnd, TwoChannelsTwoRouters) {
+  // One unit monitoring two PSUs (the paper's two-channel setup: one channel
+  // per PSU feed).
+  Server server;
+  Client client(options_for(server, "unit-g"), PowerMeter(PowerMeterSpec{}, 7),
+                [](int channel, SimTime) { return channel == 0 ? 180.0 : 176.0; });
+  client.start_measurement(0, 1);
+  client.start_measurement(1, 1);
+  for (SimTime t = kStart; t < kStart + 30; ++t) client.tick(t);
+  ASSERT_TRUE(client.sync());
+  EXPECT_NEAR(server.measurements("unit-g", 0).front().value, 180.0, 2.0);
+  EXPECT_NEAR(server.measurements("unit-g", 1).front().value, 176.0, 2.0);
+}
+
+TEST(AutopowerClient, ValidatesOptionsAndInputs) {
+  Server server;
+  Client::Options bad_id = options_for(server, "");
+  EXPECT_THROW(Client(bad_id, PowerMeter(PowerMeterSpec{}, 1), flat_source(1)),
+               std::invalid_argument);
+  Client client(options_for(server, "ok"), PowerMeter(PowerMeterSpec{}, 1),
+                flat_source(1));
+  EXPECT_THROW(client.start_measurement(0, 0), std::invalid_argument);
+  client.tick(100);
+  EXPECT_THROW(client.tick(50), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace joules::autopower

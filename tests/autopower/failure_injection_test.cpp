@@ -1,0 +1,147 @@
+// Failure injection against the Autopower stack: malformed frames, protocol
+// violations, version mismatches, and connection loss at awkward moments.
+// The server must shed broken peers without crashing; the client must retain
+// its buffer across every failure mode.
+#include <gtest/gtest.h>
+
+#include "autopower/client.hpp"
+#include "autopower/server.hpp"
+#include "net/framing.hpp"
+#include "util/units.hpp"
+
+namespace joules::autopower {
+namespace {
+
+constexpr SimTime kStart = 1725753600;
+
+Client::Options options_for(const Server& server, const std::string& unit_id) {
+  Client::Options options;
+  options.unit_id = unit_id;
+  options.server_port = server.port();
+  options.upload_batch = 8;
+  return options;
+}
+
+TEST(FailureInjection, GarbageFrameDropsConnectionNotServer) {
+  Server server;
+  {
+    TcpStream raw = TcpStream::connect_loopback(server.port());
+    const std::vector<std::byte> garbage = {std::byte{0xde}, std::byte{0xad},
+                                            std::byte{0xbe}, std::byte{0xef}};
+    write_frame(raw, garbage);
+    // Server drops us; either a clean EOF or a reset is acceptable.
+    try {
+      const auto reply = read_frame(raw, Millis{2000});
+      EXPECT_FALSE(reply.has_value());
+    } catch (const std::exception&) {
+    }
+  }
+  // The server still serves well-behaved units afterwards.
+  Client client(options_for(server, "survivor"), PowerMeter(PowerMeterSpec{}, 1),
+                [](int, SimTime) { return 50.0; });
+  EXPECT_TRUE(client.sync());
+}
+
+TEST(FailureInjection, OversizedLengthPrefixRejected) {
+  Server server;
+  TcpStream raw = TcpStream::connect_loopback(server.port());
+  // A 4-byte length prefix claiming a 1 GiB frame.
+  const std::vector<std::byte> evil = {std::byte{0x40}, std::byte{0x00},
+                                       std::byte{0x00}, std::byte{0x00}};
+  raw.send_all(evil);
+  try {
+    const auto reply = read_frame(raw, Millis{2000});
+    EXPECT_FALSE(reply.has_value());
+  } catch (const std::exception&) {
+  }
+  Client client(options_for(server, "survivor2"), PowerMeter(PowerMeterSpec{}, 2),
+                [](int, SimTime) { return 50.0; });
+  EXPECT_TRUE(client.sync());
+}
+
+TEST(FailureInjection, VersionMismatchRejectedCleanly) {
+  Server server;
+  TcpStream raw = TcpStream::connect_loopback(server.port());
+  Hello hello;
+  hello.unit_id = "old-firmware";
+  hello.version = 99;
+  write_frame(raw, encode(Message{hello}));
+  const auto reply = read_frame(raw, Millis{2000});
+  ASSERT_TRUE(reply.has_value());
+  const Message message = decode(*reply);
+  const auto* ack = std::get_if<HelloAck>(&message);
+  ASSERT_NE(ack, nullptr);
+  EXPECT_FALSE(ack->accepted);
+  // The unit must NOT be registered.
+  EXPECT_TRUE(server.known_units().empty());
+}
+
+TEST(FailureInjection, ServerSideMessageAtServerDropsPeer) {
+  Server server;
+  TcpStream raw = TcpStream::connect_loopback(server.port());
+  // Sending a server->client message (UploadAck) to the server is a
+  // protocol violation.
+  UploadAck bogus;
+  bogus.sequence = 1;
+  write_frame(raw, encode(Message{bogus}));
+  try {
+    const auto reply = read_frame(raw, Millis{2000});
+    EXPECT_FALSE(reply.has_value());
+  } catch (const std::exception&) {
+  }
+}
+
+TEST(FailureInjection, ConnectionLossMidBatchLosesNothing) {
+  Server server;
+  Client client(options_for(server, "flaky-uplink"),
+                PowerMeter(PowerMeterSpec{}, 3),
+                [](int, SimTime) { return 75.0; });
+  client.start_measurement(0, 1);
+  for (SimTime t = kStart; t < kStart + 40; ++t) client.tick(t);
+  const std::size_t buffered = client.buffered_samples();
+  ASSERT_EQ(buffered, 40u);
+
+  // Drop the connection between every sync attempt; data must survive and
+  // eventually all arrive exactly once.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    client.drop_connection();
+  }
+  EXPECT_TRUE(client.sync());
+  EXPECT_EQ(client.buffered_samples(), 0u);
+  EXPECT_EQ(server.measurements("flaky-uplink", 0).size(), 40u);
+}
+
+TEST(FailureInjection, SyncAgainstDeadPortFailsFast) {
+  std::uint16_t dead_port;
+  {
+    Server ephemeral;
+    dead_port = ephemeral.port();
+  }  // server gone
+  Client::Options options;
+  options.unit_id = "orphan";
+  options.server_port = dead_port;
+  Client client(options, PowerMeter(PowerMeterSpec{}, 4),
+                [](int, SimTime) { return 10.0; });
+  client.start_measurement(0, 1);
+  client.tick(kStart);
+  EXPECT_FALSE(client.sync());
+  EXPECT_EQ(client.buffered_samples(), 1u);
+}
+
+TEST(FailureInjection, EmptyFrameToServerIsHandled) {
+  Server server;
+  TcpStream raw = TcpStream::connect_loopback(server.port());
+  write_frame(raw, {});
+  try {
+    const auto reply = read_frame(raw, Millis{2000});
+    EXPECT_FALSE(reply.has_value());
+  } catch (const std::exception&) {
+  }
+  // Server alive.
+  Client client(options_for(server, "after-empty"), PowerMeter(PowerMeterSpec{}, 5),
+                [](int, SimTime) { return 5.0; });
+  EXPECT_TRUE(client.sync());
+}
+
+}  // namespace
+}  // namespace joules::autopower

@@ -1,0 +1,99 @@
+#include "autopower/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace joules::autopower {
+namespace {
+
+template <typename T>
+T round_trip(const T& message) {
+  const std::vector<std::byte> bytes = encode(Message{message});
+  const Message decoded = decode(bytes);
+  return std::get<T>(decoded);
+}
+
+TEST(Protocol, HelloRoundTrip) {
+  Hello hello;
+  hello.unit_id = "pop-zrh-unit-3";
+  hello.version = kProtocolVersion;
+  const Hello back = round_trip(hello);
+  EXPECT_EQ(back.unit_id, hello.unit_id);
+  EXPECT_EQ(back.version, hello.version);
+}
+
+TEST(Protocol, HelloAckRoundTrip) {
+  HelloAck ack;
+  ack.accepted = false;
+  EXPECT_FALSE(round_trip(ack).accepted);
+}
+
+TEST(Protocol, PollCommandsRoundTrip) {
+  PollCommands poll;
+  poll.unit_id = "unit-x";
+  EXPECT_EQ(round_trip(poll).unit_id, "unit-x");
+}
+
+TEST(Protocol, CommandsRoundTrip) {
+  Commands commands;
+  commands.commands.push_back(
+      {Command::Kind::kStartMeasurement, 0, 1});
+  commands.commands.push_back(
+      {Command::Kind::kStopMeasurement, 1, 0});
+  const Commands back = round_trip(commands);
+  ASSERT_EQ(back.commands.size(), 2u);
+  EXPECT_EQ(back.commands[0], commands.commands[0]);
+  EXPECT_EQ(back.commands[1], commands.commands[1]);
+}
+
+TEST(Protocol, DataUploadRoundTrip) {
+  DataUpload upload;
+  upload.unit_id = "unit-y";
+  upload.channel = 1;
+  upload.sequence = 77;
+  upload.samples = {{1725753600, 358.4}, {1725753601, 358.9}};
+  const DataUpload back = round_trip(upload);
+  EXPECT_EQ(back.unit_id, "unit-y");
+  EXPECT_EQ(back.channel, 1);
+  EXPECT_EQ(back.sequence, 77u);
+  ASSERT_EQ(back.samples.size(), 2u);
+  EXPECT_EQ(back.samples[0].time, 1725753600);
+  EXPECT_DOUBLE_EQ(back.samples[1].value, 358.9);
+}
+
+TEST(Protocol, EmptyUploadAllowed) {
+  DataUpload upload;
+  upload.unit_id = "u";
+  EXPECT_TRUE(round_trip(upload).samples.empty());
+}
+
+TEST(Protocol, UploadAckRoundTrip) {
+  UploadAck ack;
+  ack.sequence = 123456789;
+  EXPECT_EQ(round_trip(ack).sequence, 123456789u);
+}
+
+TEST(Protocol, UnknownTypeThrows) {
+  std::vector<std::byte> garbage = {std::byte{0xEE}};
+  EXPECT_THROW(decode(garbage), std::runtime_error);
+}
+
+TEST(Protocol, TruncatedMessageThrows) {
+  Hello hello;
+  hello.unit_id = "abcdef";
+  std::vector<std::byte> bytes = encode(Message{hello});
+  bytes.resize(bytes.size() - 3);
+  EXPECT_THROW(decode(bytes), std::out_of_range);
+}
+
+TEST(Protocol, UnknownCommandKindThrows) {
+  ByteWriter writer;
+  writer.u8(static_cast<std::uint8_t>(MessageType::kCommands));
+  writer.u32(1);
+  writer.u8(99);  // invalid kind
+  writer.u8(0);
+  writer.u32(1);
+  EXPECT_THROW(decode(writer.bytes()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace joules::autopower

@@ -1,0 +1,52 @@
+// Shutdown ordering: stopping or destroying the server while clients still
+// hold open connections must complete promptly (the connection threads poll
+// in short slices rather than blocking on a long read).
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "autopower/client.hpp"
+#include "autopower/server.hpp"
+
+namespace joules::autopower {
+namespace {
+
+TEST(Shutdown, StopWithIdleConnectedClientIsFast) {
+  Client::Options options;
+  options.unit_id = "idle-unit";
+  auto server = std::make_unique<Server>();
+  options.server_port = server->port();
+  Client client(options, PowerMeter(PowerMeterSpec{}, 1),
+                [](int, SimTime) { return 10.0; });
+  ASSERT_TRUE(client.sync());  // leaves the connection open and idle
+  ASSERT_TRUE(client.is_connected());
+
+  const auto start = std::chrono::steady_clock::now();
+  server.reset();  // destructor runs stop(): must not wait behind the client
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(),
+            2000);
+}
+
+TEST(Shutdown, StopIsIdempotent) {
+  Server server;
+  server.stop();
+  server.stop();  // second stop must be a no-op
+  SUCCEED();
+}
+
+TEST(Shutdown, ClientSyncFailsAfterServerStops) {
+  Server server;
+  Client::Options options;
+  options.unit_id = "late-unit";
+  options.server_port = server.port();
+  Client client(options, PowerMeter(PowerMeterSpec{}, 2),
+                [](int, SimTime) { return 10.0; });
+  ASSERT_TRUE(client.sync());
+  server.stop();
+  client.drop_connection();
+  EXPECT_FALSE(client.sync());
+}
+
+}  // namespace
+}  // namespace joules::autopower

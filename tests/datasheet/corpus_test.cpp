@@ -1,0 +1,162 @@
+#include "datasheet/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datasheet/analysis.hpp"
+
+namespace joules {
+namespace {
+
+TEST(Corpus, Has777Models) {
+  const auto corpus = generate_corpus();
+  EXPECT_EQ(corpus.size(), 777u);
+}
+
+TEST(Corpus, Deterministic) {
+  const auto a = generate_corpus();
+  const auto b = generate_corpus();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].model, b[i].model);
+    EXPECT_EQ(a[i].typical_power_w, b[i].typical_power_w);
+  }
+}
+
+TEST(Corpus, ThreeVendorsPresent) {
+  const auto corpus = generate_corpus();
+  std::set<std::string> vendors;
+  for (const DatasheetRecord& record : corpus) vendors.insert(record.vendor);
+  EXPECT_TRUE(vendors.contains("Cisco"));
+  EXPECT_TRUE(vendors.contains("Arista"));
+  EXPECT_TRUE(vendors.contains("Juniper"));
+}
+
+TEST(Corpus, ReleaseDatesCiscoOnly) {
+  // §3.3: "the dataset contains release dates for Cisco devices only".
+  for (const DatasheetRecord& record : generate_corpus()) {
+    if (record.vendor != "Cisco" && record.vendor != "EdgeCore" &&
+        record.vendor != "Extreme") {
+      EXPECT_FALSE(record.release_year.has_value()) << record.model;
+    }
+  }
+}
+
+TEST(Corpus, SomeRecordsLackPowerEntirely) {
+  int missing = 0;
+  for (const DatasheetRecord& record : generate_corpus()) {
+    if (!record.typical_power_w && !record.max_power_w) ++missing;
+  }
+  EXPECT_GT(missing, 20);  // the "TBD" datasheets
+}
+
+TEST(Corpus, SomeRecordsAreMaxPowerOnly) {
+  int max_only = 0;
+  for (const DatasheetRecord& record : generate_corpus()) {
+    if (!record.typical_power_w && record.max_power_w) ++max_only;
+  }
+  EXPECT_GT(max_only, 50);
+}
+
+TEST(Corpus, SomeBandwidthsOnlyDerivableFromPorts) {
+  int ports_only = 0;
+  for (const DatasheetRecord& record : generate_corpus()) {
+    if (!record.max_bandwidth_gbps && !record.ports.empty()) ++ports_only;
+  }
+  EXPECT_GT(ports_only, 30);
+}
+
+TEST(Corpus, CatalogModelsIncludedWithTable1Values) {
+  const auto corpus = generate_corpus();
+  auto find = [&](const std::string& model) -> const DatasheetRecord& {
+    for (const DatasheetRecord& record : corpus) {
+      if (record.model == model) return record;
+    }
+    throw std::runtime_error("model not in corpus: " + model);
+  };
+  EXPECT_DOUBLE_EQ(find("NCS-55A1-24H").typical_power_w.value(), 600.0);
+  EXPECT_DOUBLE_EQ(find("ASR-920-24SZ-M").typical_power_w.value(), 110.0);
+  EXPECT_DOUBLE_EQ(find("8201-32FH").typical_power_w.value(), 288.0);
+  EXPECT_DOUBLE_EQ(find("8201-24H8FH").typical_power_w.value(), 205.0);
+  EXPECT_EQ(find("8201-32FH").series, "Cisco 8000 series");
+}
+
+TEST(Corpus, ContainsTheTwoPlotOutliers) {
+  // The paper excludes two models released 2008/2011 with efficiency ~300.
+  const auto corpus = generate_corpus();
+  const auto points = efficiency_points(corpus);
+  const auto outliers = plot_outliers(points);
+  ASSERT_GE(outliers.size(), 2u);
+  std::set<int> years;
+  for (const EfficiencyPoint& point : outliers) {
+    if (point.w_per_100g > 250.0) years.insert(point.year);
+  }
+  EXPECT_TRUE(years.contains(2008));
+  EXPECT_TRUE(years.contains(2011));
+}
+
+TEST(Corpus, EfficiencyMetricUsesTypicalWithMaxFallback) {
+  DatasheetRecord record;
+  record.max_bandwidth_gbps = 800;
+  EXPECT_FALSE(efficiency_w_per_100g(record).has_value());
+  record.max_power_w = 400;
+  EXPECT_DOUBLE_EQ(efficiency_w_per_100g(record).value(), 50.0);
+  record.typical_power_w = 240;
+  EXPECT_DOUBLE_EQ(efficiency_w_per_100g(record).value(), 30.0);
+}
+
+TEST(Corpus, BandwidthFromPorts) {
+  DatasheetRecord record;
+  EXPECT_FALSE(bandwidth_from_ports_gbps(record).has_value());
+  record.ports.push_back({48, 10.0, "SFP+"});
+  record.ports.push_back({6, 100.0, "QSFP28"});
+  EXPECT_DOUBLE_EQ(bandwidth_from_ports_gbps(record).value(), 1080.0);
+}
+
+TEST(AsicTrend, SteepCleanDecline) {
+  const auto trend = broadcom_asic_trend();
+  ASSERT_GE(trend.size(), 6u);
+  for (std::size_t i = 1; i < trend.size(); ++i) {
+    EXPECT_LT(trend[i].w_per_100g, trend[i - 1].w_per_100g);
+    EXPECT_GT(trend[i].year, trend[i - 1].year);
+  }
+  // Order-of-magnitude improvement over the decade (Fig. 2a).
+  EXPECT_GT(trend.front().w_per_100g / trend.back().w_per_100g, 8.0);
+}
+
+TEST(TrendAnalysis, DatasheetTrendIsWeakerThanAsicTrend) {
+  // The central §3.3.1 finding: the ASIC-level improvement is steep and
+  // clean; the system-level (datasheet) trend is shallow and noisy.
+  const auto corpus = generate_corpus();
+  const auto points = plot_points(efficiency_points(corpus));
+  ASSERT_GT(points.size(), 100u);
+  const LinearFit system_fit = efficiency_trend_fit(points);
+
+  std::vector<EfficiencyPoint> asic_points;
+  for (const AsicEfficiencyPoint& point : broadcom_asic_trend()) {
+    asic_points.push_back({point.year, point.w_per_100g, point.generation});
+  }
+  const LinearFit asic_fit = efficiency_trend_fit(asic_points);
+
+  // ASIC: tight fit. Datasheets: scatter dominates.
+  EXPECT_GT(asic_fit.r_squared, 0.85);
+  EXPECT_LT(system_fit.r_squared, 0.30);
+  // Both slopes negative (efficiency improves), but the relative improvement
+  // per year is far stronger at the ASIC level.
+  EXPECT_LT(asic_fit.slope, 0.0);
+  EXPECT_LT(system_fit.slope, 0.0);
+}
+
+TEST(TrendAnalysis, YearlyMediansCoverRange) {
+  const auto corpus = generate_corpus();
+  const auto medians = yearly_medians(efficiency_points(corpus));
+  ASSERT_GE(medians.size(), 10u);
+  for (const YearlyEfficiency& year : medians) {
+    EXPECT_GT(year.models, 0u);
+    EXPECT_GT(year.median_w_per_100g, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace joules

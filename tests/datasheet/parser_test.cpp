@@ -1,0 +1,159 @@
+#include "datasheet/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datasheet/corpus.hpp"
+#include "datasheet/render.hpp"
+
+namespace joules {
+namespace {
+
+DatasheetRecord sample_record() {
+  DatasheetRecord record;
+  record.vendor = "Cisco";
+  record.model = "NCS-55A1-24H";
+  record.series = "NCS 5500 series";
+  record.typical_power_w = 600;
+  record.max_power_w = 715;
+  record.max_bandwidth_gbps = 2400;
+  record.psu_count = 2;
+  record.psu_capacity_w = 1100;
+  return record;
+}
+
+TEST(Renderer, AllLayoutsMentionTheModelAndPower) {
+  const DatasheetRecord record = sample_record();
+  for (const DatasheetLayout layout :
+       {DatasheetLayout::kSpecSheet, DatasheetLayout::kProse,
+        DatasheetLayout::kTable}) {
+    const std::string text = render_datasheet(record, layout, 1);
+    EXPECT_NE(text.find("NCS-55A1-24H"), std::string::npos);
+    EXPECT_NE(text.find("600"), std::string::npos);
+  }
+}
+
+TEST(Renderer, MissingPowerRendersTbd) {
+  DatasheetRecord record = sample_record();
+  record.typical_power_w.reset();
+  record.max_power_w.reset();
+  const std::string text =
+      render_datasheet(record, DatasheetLayout::kSpecSheet, 1);
+  EXPECT_NE(text.find("TBD"), std::string::npos);
+}
+
+TEST(Parser, RoundTripsEveryLayout) {
+  const DatasheetRecord record = sample_record();
+  for (const DatasheetLayout layout :
+       {DatasheetLayout::kSpecSheet, DatasheetLayout::kProse,
+        DatasheetLayout::kTable}) {
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      const std::string text = render_datasheet(record, layout, seed);
+      const ParsedDatasheet parsed = parse_datasheet(text);
+      EXPECT_EQ(parsed.record.typical_power_w.value_or(-1), 600)
+          << "layout " << static_cast<int>(layout) << " seed " << seed
+          << "\n" << text;
+      EXPECT_EQ(parsed.record.max_power_w.value_or(-1), 715) << text;
+      EXPECT_NEAR(parsed.record.max_bandwidth_gbps.value_or(-1), 2400, 1)
+          << text;
+      EXPECT_EQ(parsed.record.psu_count.value_or(-1), 2) << text;
+      EXPECT_EQ(parsed.record.psu_capacity_w.value_or(-1), 1100) << text;
+    }
+  }
+}
+
+TEST(Parser, TbdParsesAsMissing) {
+  DatasheetRecord record = sample_record();
+  record.typical_power_w.reset();
+  record.max_power_w.reset();
+  const ParsedDatasheet parsed = parse_datasheet(
+      render_datasheet(record, DatasheetLayout::kSpecSheet, 3));
+  EXPECT_FALSE(parsed.record.typical_power_w.has_value());
+  EXPECT_FALSE(parsed.record.max_power_w.has_value());
+}
+
+TEST(Parser, DerivesBandwidthFromPortList) {
+  DatasheetRecord record = sample_record();
+  record.max_bandwidth_gbps.reset();
+  record.ports.push_back({24, 100.0, "QSFP28"});
+  const ParsedDatasheet parsed = parse_datasheet(
+      render_datasheet(record, DatasheetLayout::kSpecSheet, 4));
+  EXPECT_TRUE(parsed.bandwidth_derived_from_ports);
+  EXPECT_NEAR(parsed.record.max_bandwidth_gbps.value_or(-1), 2400, 1);
+}
+
+TEST(Parser, TbpsUnitsConverted) {
+  DatasheetRecord record = sample_record();
+  record.max_bandwidth_gbps = 12800;
+  bool saw_tbps = false;
+  for (std::uint64_t seed = 0; seed < 10 && !saw_tbps; ++seed) {
+    const std::string text =
+        render_datasheet(record, DatasheetLayout::kSpecSheet, seed);
+    if (text.find("Tbps") == std::string::npos) continue;
+    saw_tbps = true;
+    const ParsedDatasheet parsed = parse_datasheet(text);
+    EXPECT_NEAR(parsed.record.max_bandwidth_gbps.value_or(-1), 12800, 10);
+  }
+  EXPECT_TRUE(saw_tbps);
+}
+
+TEST(Parser, DoesNotMistakePsuCapacityForRouterPower) {
+  DatasheetRecord record = sample_record();
+  record.typical_power_w.reset();
+  record.max_power_w.reset();
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const ParsedDatasheet parsed = parse_datasheet(
+        render_datasheet(record, DatasheetLayout::kProse, seed));
+    // 2x1100 W PSUs present, but power fields must stay empty.
+    EXPECT_FALSE(parsed.record.typical_power_w.has_value());
+    EXPECT_FALSE(parsed.record.max_power_w.has_value());
+    EXPECT_EQ(parsed.record.psu_capacity_w.value_or(-1), 1100);
+  }
+}
+
+TEST(Parser, CorpusWideAccuracyHighWithoutErrorModel) {
+  // Render and parse the full 777-model corpus: the heuristic extractor
+  // should be nearly perfect when no hallucination is injected.
+  const auto corpus = generate_corpus();
+  ParserAccuracy accuracy;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const std::string text = render_datasheet(corpus[i], i);
+    score_parse(corpus[i], parse_datasheet(text), accuracy);
+  }
+  EXPECT_GT(accuracy.typical_power.rate(), 0.97);
+  EXPECT_GT(accuracy.max_power.rate(), 0.97);
+  EXPECT_GT(accuracy.bandwidth.rate(), 0.95);
+  EXPECT_GT(accuracy.psu.rate(), 0.95);
+}
+
+TEST(Parser, HallucinationModelDegradesAccuracy) {
+  // §3.2: LLM outputs are "reasonably accurate but far from perfect". With a
+  // 15 % per-document error rate the field accuracy drops measurably and the
+  // affected documents are flagged.
+  const auto corpus = generate_corpus();
+  ParserOptions options;
+  options.hallucination_rate = 0.15;
+  ParserAccuracy clean;
+  ParserAccuracy noisy;
+  int flagged = 0;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const std::string text = render_datasheet(corpus[i], i);
+    score_parse(corpus[i], parse_datasheet(text), clean);
+    const ParsedDatasheet parsed = parse_datasheet(text, options);
+    score_parse(corpus[i], parsed, noisy);
+    flagged += parsed.hallucination_injected ? 1 : 0;
+  }
+  EXPECT_NEAR(flagged / 777.0, 0.15, 0.04);
+  EXPECT_LT(noisy.typical_power.rate(), clean.typical_power.rate() - 0.02);
+}
+
+TEST(Parser, IdentityExtraction) {
+  const DatasheetRecord record = sample_record();
+  const ParsedDatasheet spec = parse_datasheet(
+      render_datasheet(record, DatasheetLayout::kSpecSheet, 1));
+  EXPECT_EQ(spec.record.model, "NCS-55A1-24H");
+  EXPECT_EQ(spec.record.vendor, "Cisco");
+  EXPECT_EQ(spec.record.series, "NCS 5500 series");
+}
+
+}  // namespace
+}  // namespace joules

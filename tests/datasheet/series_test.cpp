@@ -1,0 +1,106 @@
+// Series datasheets: one document, many models (§3.1's pain point #2).
+#include <gtest/gtest.h>
+
+#include "datasheet/parser.hpp"
+#include "datasheet/render.hpp"
+
+namespace joules {
+namespace {
+
+std::vector<DatasheetRecord> ncs_series() {
+  DatasheetRecord a;
+  a.vendor = "Cisco";
+  a.series = "NCS 5500 series";
+  a.model = "NCS-55A1-24H";
+  a.typical_power_w = 600;
+  a.max_power_w = 715;
+  a.max_bandwidth_gbps = 2400;
+  a.psu_count = 2;
+  a.psu_capacity_w = 1100;
+
+  DatasheetRecord b = a;
+  b.model = "NCS-55A1-48Q6H";
+  b.typical_power_w = 460;
+  b.max_power_w = 625;
+  b.max_bandwidth_gbps = 1800;
+
+  DatasheetRecord c = a;
+  c.model = "NCS-55A1-24Q6H-SS";
+  c.typical_power_w = 400;
+  c.max_power_w = 550;
+  c.max_bandwidth_gbps = 1200;
+  c.psu_capacity_w = 750;
+  return {a, b, c};
+}
+
+TEST(SeriesDatasheet, RenderMentionsEveryModelOnce) {
+  const auto models = ncs_series();
+  const std::string text = render_series_datasheet(models, 1);
+  EXPECT_NE(text.find("NCS 5500 series Data Sheet"), std::string::npos);
+  for (const DatasheetRecord& record : models) {
+    EXPECT_NE(text.find(record.model), std::string::npos) << record.model;
+  }
+}
+
+TEST(SeriesDatasheet, ParserRecoversPerModelColumns) {
+  const auto models = ncs_series();
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const std::string text = render_series_datasheet(models, seed);
+    const auto parsed = parse_series_datasheet(text);
+    ASSERT_EQ(parsed.size(), models.size()) << text;
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      EXPECT_EQ(parsed[i].record.model, models[i].model);
+      EXPECT_EQ(parsed[i].record.vendor, "Cisco");
+      EXPECT_EQ(parsed[i].record.series, "NCS 5500 series");
+      EXPECT_DOUBLE_EQ(parsed[i].record.typical_power_w.value_or(-1),
+                       *models[i].typical_power_w)
+          << "seed " << seed << "\n" << text;
+      EXPECT_DOUBLE_EQ(parsed[i].record.max_power_w.value_or(-1),
+                       *models[i].max_power_w);
+      EXPECT_NEAR(parsed[i].record.max_bandwidth_gbps.value_or(-1),
+                  *models[i].max_bandwidth_gbps, 1.0);
+      EXPECT_EQ(parsed[i].record.psu_count.value_or(-1), 2);
+      EXPECT_DOUBLE_EQ(parsed[i].record.psu_capacity_w.value_or(-1),
+                       *models[i].psu_capacity_w);
+    }
+  }
+}
+
+TEST(SeriesDatasheet, TbdAndDashCellsStayMissing) {
+  auto models = ncs_series();
+  models[1].typical_power_w.reset();  // the "TBD" column
+  models[2].psu_count.reset();        // the "-" column
+  models[2].psu_capacity_w.reset();
+  const auto parsed = parse_series_datasheet(render_series_datasheet(models, 3));
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_FALSE(parsed[1].record.typical_power_w.has_value());
+  EXPECT_TRUE(parsed[1].record.max_power_w.has_value());  // others unaffected
+  EXPECT_FALSE(parsed[2].record.psu_count.has_value());
+}
+
+TEST(SeriesDatasheet, EmptyInputs) {
+  EXPECT_TRUE(render_series_datasheet({}, 1).empty());
+  EXPECT_TRUE(parse_series_datasheet("no table here at all").empty());
+}
+
+TEST(SeriesDatasheet, HallucinationModelAppliesPerModel) {
+  const auto models = ncs_series();
+  const std::string text = render_series_datasheet(models, 5);
+  ParserOptions options;
+  options.hallucination_rate = 1.0;  // force an error in every column
+  const auto parsed = parse_series_datasheet(text, options);
+  ASSERT_EQ(parsed.size(), 3u);
+  for (const ParsedDatasheet& result : parsed) {
+    EXPECT_TRUE(result.hallucination_injected);
+  }
+}
+
+TEST(SeriesDatasheet, SingleModelSeriesDegradesGracefully) {
+  const std::vector<DatasheetRecord> one = {ncs_series()[0]};
+  const auto parsed = parse_series_datasheet(render_series_datasheet(one, 2));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed[0].record.typical_power_w.value_or(-1), 600);
+}
+
+}  // namespace
+}  // namespace joules

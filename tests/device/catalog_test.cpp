@@ -1,0 +1,141 @@
+#include "device/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "device/transceiver.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+TEST(Catalog, FourteenModels) {
+  EXPECT_EQ(all_router_specs().size(), 14u);
+}
+
+TEST(Catalog, ModelNamesUnique) {
+  std::set<std::string> names;
+  for (const RouterSpec& spec : all_router_specs()) {
+    EXPECT_TRUE(names.insert(spec.model).second) << spec.model;
+  }
+}
+
+TEST(Catalog, FindByName) {
+  EXPECT_TRUE(find_router_spec("8201-32FH").has_value());
+  EXPECT_FALSE(find_router_spec("CRS-1").has_value());
+}
+
+TEST(Catalog, Table2BasePowersMatchPaper) {
+  EXPECT_DOUBLE_EQ(find_router_spec("NCS-55A1-24H")->truth.base_power_w(), 320.0);
+  EXPECT_DOUBLE_EQ(find_router_spec("Nexus9336-FX2")->truth.base_power_w(), 285.0);
+  EXPECT_DOUBLE_EQ(find_router_spec("8201-32FH")->truth.base_power_w(), 253.0);
+  EXPECT_DOUBLE_EQ(find_router_spec("N540X-8Z16G-SYS-A")->truth.base_power_w(), 33.0);
+}
+
+TEST(Catalog, Table6BasePowersMatchPaper) {
+  EXPECT_DOUBLE_EQ(find_router_spec("Wedge 100BF-32X")->truth.base_power_w(), 108.0);
+  EXPECT_DOUBLE_EQ(find_router_spec("Nexus 93108TC-FX3P")->truth.base_power_w(), 147.0);
+  EXPECT_DOUBLE_EQ(find_router_spec("VSP-4900")->truth.base_power_w(), 8.2);
+  EXPECT_DOUBLE_EQ(find_router_spec("Catalyst 3560")->truth.base_power_w(), 40.0);
+}
+
+TEST(Catalog, Table2aProfileVerbatim) {
+  const RouterSpec spec = find_router_spec("NCS-55A1-24H").value();
+  const InterfaceProfile* p = spec.truth.find_profile(
+      {PortType::kQSFP28, TransceiverKind::kPassiveDAC, LineRate::kG100});
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->port_power_w, 0.32);
+  EXPECT_DOUBLE_EQ(p->trx_in_power_w, 0.02);
+  EXPECT_DOUBLE_EQ(p->trx_up_power_w, 0.19);
+  EXPECT_NEAR(joules_to_picojoules(p->energy_per_bit_j), 22, 1e-9);
+  EXPECT_NEAR(joules_to_nanojoules(p->energy_per_packet_j), 58, 1e-9);
+  EXPECT_DOUBLE_EQ(p->offset_power_w, 0.37);
+}
+
+TEST(Catalog, Table2bNegativeTermsPreserved) {
+  const RouterSpec spec = find_router_spec("Nexus9336-FX2").value();
+  const InterfaceProfile* p = spec.truth.find_profile(
+      {PortType::kQSFP28, TransceiverKind::kLR, LineRate::kG100});
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->trx_up_power_w, -0.06);
+  EXPECT_DOUBLE_EQ(p->offset_power_w, -0.43);
+}
+
+TEST(Catalog, TelemetryQuirksMatchFig4) {
+  EXPECT_EQ(find_router_spec("8201-32FH")->telemetry, PsuTelemetry::kPreciseOffset);
+  EXPECT_EQ(find_router_spec("NCS-55A1-24H")->telemetry,
+            PsuTelemetry::kPseudoConstant);
+  EXPECT_EQ(find_router_spec("N540X-8Z16G-SYS-A")->telemetry, PsuTelemetry::kNone);
+}
+
+TEST(Catalog, Cisco8000SeriesDatasheetUnderestimates) {
+  // Table 1's surprise: 8201-32FH and 8201-24H8FH datasheet "typical" is
+  // *below* realistic deployment power.
+  const RouterSpec fh32 = find_router_spec("8201-32FH").value();
+  const RouterSpec fh24 = find_router_spec("8201-24H8FH").value();
+  EXPECT_LT(fh32.datasheet_typical_w, fh32.truth.base_power_w() + 60.0);
+  EXPECT_LT(fh24.datasheet_typical_w, fh24.truth.base_power_w());
+}
+
+TEST(Catalog, PsuCapacitiesAreFromTheDatasetOptions) {
+  const std::set<double> options = {250, 400, 600, 750, 1100, 2000, 2700};
+  for (const RouterSpec& spec : all_router_specs()) {
+    EXPECT_TRUE(options.contains(spec.psu_capacity_w))
+        << spec.model << " " << spec.psu_capacity_w;
+  }
+}
+
+TEST(Catalog, EveryPortGroupNonEmptyAndProfilesExist) {
+  for (const RouterSpec& spec : all_router_specs()) {
+    EXPECT_FALSE(spec.ports.empty()) << spec.model;
+    EXPECT_GT(spec.total_ports(), 0u) << spec.model;
+    EXPECT_GT(spec.truth.profile_count(), 0u) << spec.model;
+    // Every truth profile must be keyed to a port type the chassis has.
+    for (const InterfaceProfile& profile : spec.truth.profiles()) {
+      bool found = false;
+      for (const PortGroup& group : spec.ports) {
+        found = found || group.type == profile.key.port;
+      }
+      EXPECT_TRUE(found) << spec.model << " profile "
+                         << to_string(profile.key);
+    }
+  }
+}
+
+TEST(Catalog, TableModelListsResolve) {
+  for (const auto& list : {table1_models(), table2_models(), table6_models()}) {
+    for (const std::string& name : list) {
+      EXPECT_TRUE(find_router_spec(name).has_value()) << name;
+    }
+  }
+  EXPECT_EQ(table1_models().size(), 8u);
+  EXPECT_EQ(table2_models().size(), 4u);
+  EXPECT_EQ(table6_models().size(), 4u);
+}
+
+TEST(Catalog, ReleaseYearsPlausible) {
+  for (const RouterSpec& spec : all_router_specs()) {
+    EXPECT_GE(spec.release_year, 2000) << spec.model;
+    EXPECT_LE(spec.release_year, 2025) << spec.model;
+  }
+}
+
+TEST(TransceiverCatalog, LookupsWork) {
+  EXPECT_TRUE(find_transceiver("QSFP-DD-400G-FR4").has_value());
+  EXPECT_DOUBLE_EQ(find_transceiver("QSFP-DD-400G-FR4")->datasheet_power_w, 12.0);
+  EXPECT_FALSE(find_transceiver("BOGUS").has_value());
+  const auto by_key = find_transceiver(PortType::kQSFP28, TransceiverKind::kLR4,
+                                       LineRate::kG100);
+  ASSERT_TRUE(by_key.has_value());
+  EXPECT_EQ(by_key->part_number, "QSFP28-100G-LR4");
+}
+
+TEST(TransceiverCatalog, OpticsCostMoreThanDac) {
+  const auto dac = find_transceiver("QSFP28-100G-DAC").value();
+  const auto lr4 = find_transceiver("QSFP28-100G-LR4").value();
+  EXPECT_LT(dac.datasheet_power_w, lr4.datasheet_power_w);
+}
+
+}  // namespace
+}  // namespace joules

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "device/fan.hpp"
+#include "device/psu_sim.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+TEST(FanModel, BasePowerBelowThreshold) {
+  const FanModel fan({4.0, 2.0, 3.0, 26.0, 0.0});
+  EXPECT_DOUBLE_EQ(fan.power_w(20.0), 4.0);
+  EXPECT_DOUBLE_EQ(fan.power_w(26.0), 4.0);
+}
+
+TEST(FanModel, SteppedAboveThreshold) {
+  const FanModel fan({4.0, 2.0, 3.0, 26.0, 0.0});
+  EXPECT_DOUBLE_EQ(fan.power_w(27.0), 6.0);   // 1 step
+  EXPECT_DOUBLE_EQ(fan.power_w(29.0), 6.0);   // still 1 step
+  EXPECT_DOUBLE_EQ(fan.power_w(29.5), 8.0);   // 2 steps
+  EXPECT_DOUBLE_EQ(fan.power_w(35.0), 10.0);  // 3 steps
+}
+
+TEST(FanModel, PolicyBumpAfterOsUpdate) {
+  const FanModel fan({8.0, 3.0, 3.0, 26.0, 45.0});
+  const SimTime update = make_time(2025, 3, 13);
+  EXPECT_DOUBLE_EQ(fan.power_w(22.0, update - 1, update), 8.0);
+  EXPECT_DOUBLE_EQ(fan.power_w(22.0, update, update), 53.0);
+  EXPECT_DOUBLE_EQ(fan.power_w(22.0, update + kSecondsPerDay, update), 53.0);
+}
+
+TEST(ServerRoomTemperature, DiurnalSwingAroundSetpoint) {
+  const SimTime day = make_time(2024, 9, 10);
+  double lo = 1e9;
+  double hi = -1e9;
+  for (int h = 0; h < 24; ++h) {
+    const double temp = server_room_temperature_c(day + h * kSecondsPerHour);
+    lo = std::min(lo, temp);
+    hi = std::max(hi, temp);
+  }
+  EXPECT_NEAR((lo + hi) / 2, 23.5, 0.1);
+  EXPECT_NEAR(hi - lo, 2.0, 0.1);
+  // Warmest mid-afternoon.
+  EXPECT_GT(server_room_temperature_c(day + 15 * kSecondsPerHour),
+            server_room_temperature_c(day + 3 * kSecondsPerHour));
+}
+
+TEST(SimulatedPsu, InputMatchesCurve) {
+  PsuSimParams params;
+  params.capacity_w = 600;
+  params.efficiency_offset = 0.0;
+  const SimulatedPsu psu(params, 1);
+  const double out = 300.0;
+  EXPECT_NEAR(psu.input_power_w(out), out / pfe600_curve().at(0.5), 1e-9);
+  EXPECT_NEAR(psu.efficiency_at(out), pfe600_curve().at(0.5), 1e-12);
+}
+
+TEST(SimulatedPsu, OffsetShiftsEfficiency) {
+  PsuSimParams good;
+  good.capacity_w = 600;
+  good.efficiency_offset = 0.03;
+  PsuSimParams poor = good;
+  poor.efficiency_offset = -0.15;
+  const SimulatedPsu psu_good(good, 1);
+  const SimulatedPsu psu_poor(poor, 1);
+  EXPECT_GT(psu_good.efficiency_at(90.0), psu_poor.efficiency_at(90.0) + 0.1);
+  EXPECT_LT(psu_good.input_power_w(90.0), psu_poor.input_power_w(90.0));
+}
+
+TEST(SimulatedPsu, SensorReadingDeterministicAndNoisy) {
+  PsuSimParams params;
+  params.capacity_w = 600;
+  const SimulatedPsu psu(params, 7);
+  const SimTime t = make_time(2024, 10, 1);
+  const PsuSensorReading a = psu.sensor_reading(120.0, t);
+  const PsuSensorReading b = psu.sensor_reading(120.0, t);
+  EXPECT_DOUBLE_EQ(a.input_power_w, b.input_power_w);
+  EXPECT_DOUBLE_EQ(a.output_power_w, b.output_power_w);
+  // Close to truth but quantized/noisy.
+  EXPECT_NEAR(a.output_power_w, 120.0, 10.0);
+  EXPECT_NEAR(a.input_power_w, psu.input_power_w(120.0), 10.0);
+}
+
+TEST(SimulatedPsu, AsyncSkewCanInvertInOut) {
+  // Across many instants, at least one reading should show the physically
+  // impossible P_out >= P_in the paper observed (and capped).
+  PsuSimParams params;
+  params.capacity_w = 2000;  // light load -> small true loss, easy to invert
+  params.efficiency_offset = 0.12;
+  params.sensor_noise_frac = 0.02;
+  params.async_skew_frac = 0.06;
+  const SimulatedPsu psu(params, 9);
+  bool inverted = false;
+  for (int i = 0; i < 3000 && !inverted; ++i) {
+    const PsuSensorReading r = psu.sensor_reading(180.0, i * 300);
+    inverted = r.output_power_w >= r.input_power_w;
+  }
+  EXPECT_TRUE(inverted);
+}
+
+}  // namespace
+}  // namespace joules

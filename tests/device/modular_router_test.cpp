@@ -1,0 +1,146 @@
+#include "device/modular_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netpowerbench/modular.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+const SimTime kT = make_time(2025, 4, 1, 12, 0, 0);
+
+SimulatedModularRouter make_dut(std::uint64_t seed = 1) {
+  SimulatedModularRouter dut(reference_modular_chassis(), seed);
+  dut.set_ambient_override_c(22.0);
+  return dut;
+}
+
+TEST(ModularRouter, EmptyChassisDrawsBasePower) {
+  SimulatedModularRouter dut = make_dut();
+  const double dc = dut.dc_power_w(kT);
+  // chassis 430 + fans 10 + control plane ~8.
+  EXPECT_GT(dc, 430.0 + 10.0);
+  EXPECT_LT(dc, 430.0 + 10.0 + 12.0);
+  EXPECT_GT(dut.wall_power_w(kT), dc);  // conversion losses
+}
+
+TEST(ModularRouter, SeatingCardsAddsTheirPower) {
+  SimulatedModularRouter dut = make_dut();
+  const double empty = dut.dc_power_w(kT);
+  const int slot = dut.seat_linecard("LC-24X10GE");
+  EXPECT_NEAR(dut.dc_power_w(kT) - empty, 210.0, 1e-9);
+  const int slot2 = dut.seat_linecard("LC-8X100GE");
+  EXPECT_NEAR(dut.dc_power_w(kT) - empty, 210.0 + 390.0, 1e-9);
+  EXPECT_EQ(dut.seated_count(), 2);
+  EXPECT_NE(slot, slot2);
+}
+
+TEST(ModularRouter, UnknownCardAndFullChassisRejected) {
+  SimulatedModularRouter dut = make_dut();
+  EXPECT_THROW(dut.seat_linecard("LC-BOGUS"), std::invalid_argument);
+  for (int i = 0; i < 8; ++i) dut.seat_linecard("LC-24X10GE");
+  EXPECT_THROW(dut.seat_linecard("LC-24X10GE"), std::invalid_argument);
+}
+
+TEST(ModularRouter, PfePowerOffDropsCardPower) {
+  // The Juniper blogs the paper cites: software-powering-off an unused card
+  // saves its P_linecard while it stays seated.
+  SimulatedModularRouter dut = make_dut();
+  const int slot = dut.seat_linecard("LC-36X10GE");
+  const double powered = dut.dc_power_w(kT);
+  dut.set_linecard_powered(slot, false);
+  EXPECT_FALSE(dut.linecard_powered(slot));
+  EXPECT_NEAR(powered - dut.dc_power_w(kT), 280.0, 1e-9);
+  dut.set_linecard_powered(slot, true);
+  EXPECT_NEAR(dut.dc_power_w(kT), powered, 1e-9);
+}
+
+TEST(ModularRouter, InterfacesLiveOnCardsAndRespectBudgets) {
+  SimulatedModularRouter dut = make_dut();
+  const int slot = dut.seat_linecard("LC-8X100GE");
+  const ProfileKey lr4{PortType::kQSFP28, TransceiverKind::kLR4, LineRate::kG100};
+  const double before = dut.dc_power_w(kT);
+  for (int i = 0; i < 8; ++i) dut.add_interface(slot, lr4, InterfaceState::kUp);
+  EXPECT_THROW(dut.add_interface(slot, lr4, InterfaceState::kUp),
+               std::invalid_argument);
+  // 8 x (P_port 0.6 + trx_in 2.9 + trx_up 0.3).
+  EXPECT_NEAR(dut.dc_power_w(kT) - before, 8 * 3.8, 1e-9);
+  // Wrong card for the port type.
+  const int ten_gig = dut.seat_linecard("LC-24X10GE");
+  EXPECT_THROW(dut.add_interface(ten_gig, lr4, InterfaceState::kUp),
+               std::invalid_argument);
+}
+
+TEST(ModularRouter, PoweredOffCardDarkensItsInterfaces) {
+  SimulatedModularRouter dut = make_dut();
+  const int slot = dut.seat_linecard("LC-8X100GE");
+  const ProfileKey lr4{PortType::kQSFP28, TransceiverKind::kLR4, LineRate::kG100};
+  for (int i = 0; i < 4; ++i) dut.add_interface(slot, lr4, InterfaceState::kUp);
+  const std::vector<InterfaceLoad> loads(4, {gbps_to_bps(40), 4e6});
+  const double on = dut.dc_power_w(kT, loads);
+  dut.set_linecard_powered(slot, false);
+  const double off = dut.dc_power_w(kT, loads);
+  // Card power AND its interfaces' static+dynamic power disappear.
+  EXPECT_GT(on - off, 390.0 + 4 * 3.8);
+}
+
+TEST(ModularRouter, UnseatTombstonesInterfacesButKeepsIndices) {
+  SimulatedModularRouter dut = make_dut();
+  const int a = dut.seat_linecard("LC-24X10GE");
+  const int b = dut.seat_linecard("LC-24X10GE");
+  const ProfileKey lr{PortType::kSFPPlus, TransceiverKind::kLR, LineRate::kG10};
+  dut.add_interface(a, lr, InterfaceState::kUp);
+  const std::size_t on_b = dut.add_interface(b, lr, InterfaceState::kUp);
+  dut.unseat_linecard(a);
+  EXPECT_EQ(dut.seated_count(), 1);
+  EXPECT_EQ(dut.interface_count(), 2u);  // indices stay stable
+  // Loads still address both slots; the tombstoned one contributes nothing.
+  const std::vector<InterfaceLoad> loads = {{gbps_to_bps(5), 5e5},
+                                            {gbps_to_bps(5), 5e5}};
+  EXPECT_NO_THROW(static_cast<void>(dut.dc_power_w(kT, loads)));
+  EXPECT_EQ(dut.card_in_slot(a), std::nullopt);
+  EXPECT_EQ(on_b, 1u);
+  EXPECT_THROW(dut.unseat_linecard(a), std::invalid_argument);
+}
+
+TEST(ModularRouter, LoadSizeValidated) {
+  SimulatedModularRouter dut = make_dut();
+  const int slot = dut.seat_linecard("LC-24X10GE");
+  dut.add_interface(slot, {PortType::kSFPPlus, TransceiverKind::kLR, LineRate::kG10},
+                    InterfaceState::kUp);
+  const std::vector<InterfaceLoad> wrong(3);
+  EXPECT_THROW(static_cast<void>(dut.dc_power_w(kT, wrong)), std::invalid_argument);
+}
+
+TEST(LinecardDerivation, RecoversCardPowerWithinWallScaling) {
+  SimulatedModularRouter dut = make_dut(77);
+  LinecardDerivationOptions options;
+  options.start_time = make_time(2025, 4, 10);
+  options.measure_s = 600;
+  const LinecardDerivation derivation = derive_linecard_power(
+      dut, PowerMeter(PowerMeterSpec{}, 78), "LC-24X10GE", 6, options);
+  // Truth 210 W DC; wall-scaled by the chassis PSUs' marginal efficiency.
+  EXPECT_NEAR(derivation.linecard_power_w, 210.0 / 0.92, 210.0 * 0.08);
+  EXPECT_GT(derivation.fit.r_squared, 0.99);
+  // Chassis base (wall) near the empty-chassis measurement.
+  EXPECT_NEAR(derivation.chassis_base_w, derivation.measurements[0].mean_power_w,
+              5.0);
+  // DUT left empty for the next experiment.
+  EXPECT_EQ(dut.seated_count(), 0);
+}
+
+TEST(LinecardDerivation, ValidatesInputs) {
+  SimulatedModularRouter dut = make_dut();
+  const PowerMeter meter(PowerMeterSpec{}, 1);
+  EXPECT_THROW(derive_linecard_power(dut, meter, "LC-24X10GE", 1),
+               std::invalid_argument);
+  EXPECT_THROW(derive_linecard_power(dut, meter, "LC-24X10GE", 99),
+               std::invalid_argument);
+  dut.seat_linecard("LC-24X10GE");
+  EXPECT_THROW(derive_linecard_power(dut, meter, "LC-24X10GE", 4),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace joules

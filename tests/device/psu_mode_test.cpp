@@ -1,0 +1,89 @@
+// Hot-standby PSU mode (§9.4): redundancy without the low-load efficiency
+// penalty of active-active balancing.
+#include <gtest/gtest.h>
+
+#include "device/catalog.hpp"
+#include "device/router.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+const SimTime kT = make_time(2025, 5, 1, 12, 0, 0);
+
+SimulatedRouter make_router(const char* model, std::uint64_t seed = 5) {
+  SimulatedRouter router(find_router_spec(model).value(), seed);
+  router.set_ambient_override_c(22.0);
+  return router;
+}
+
+TEST(PsuMode, DefaultIsActiveActive) {
+  const SimulatedRouter router = make_router("NCS-55A1-24H");
+  EXPECT_EQ(router.psu_mode(), PsuMode::kActiveActive);
+}
+
+TEST(PsuMode, HotStandbySavesPowerAtLowLoad) {
+  SimulatedRouter router = make_router("NCS-55A1-24H");
+  const double balanced = router.wall_power_w(kT);
+  router.set_psu_mode(PsuMode::kHotStandby);
+  const double standby = router.wall_power_w(kT);
+  // One PSU at ~30 % load beats two at ~15 %, minus the standby draw.
+  EXPECT_LT(standby, balanced);
+  EXPECT_GT(balanced - standby, 3.0);
+}
+
+TEST(PsuMode, SavingsLargerForPoorPsus) {
+  SimulatedRouter good = make_router("NCS-55A1-24H", 9);
+  SimulatedRouter poor = make_router("8201-32FH", 9);
+  const double good_gain = [&] {
+    const double before = good.wall_power_w(kT);
+    good.set_psu_mode(PsuMode::kHotStandby);
+    return before - good.wall_power_w(kT);
+  }();
+  const double poor_gain = [&] {
+    const double before = poor.wall_power_w(kT);
+    poor.set_psu_mode(PsuMode::kHotStandby);
+    return before - poor.wall_power_w(kT);
+  }();
+  // The 8201's curve is lower everywhere but the *steepness* at low load is
+  // what consolidation exploits; both must gain, the poor unit at least as
+  // much in absolute watts.
+  EXPECT_GT(good_gain, 0.0);
+  EXPECT_GT(poor_gain, 0.0);
+}
+
+TEST(PsuMode, FallsBackWhenLoadExceedsOnePsu) {
+  // If the DC draw exceeds a single PSU's capacity, hot-standby silently
+  // behaves like active-active (the survivor could not carry the box).
+  RouterSpec spec = find_router_spec("NCS-55A1-24H").value();
+  spec.psu_capacity_w = 250;  // DC draw ~330 W > 250 W
+  SimulatedRouter router(spec, 5);
+  router.set_ambient_override_c(22.0);
+  const double balanced = router.wall_power_w(kT);
+  router.set_psu_mode(PsuMode::kHotStandby);
+  EXPECT_DOUBLE_EQ(router.wall_power_w(kT), balanced);
+}
+
+TEST(PsuMode, SinglePsuRouterUnaffected) {
+  SimulatedRouter router = make_router("Catalyst 3560");
+  const double before = router.wall_power_w(kT);
+  router.set_psu_mode(PsuMode::kHotStandby);
+  EXPECT_DOUBLE_EQ(router.wall_power_w(kT), before);
+}
+
+TEST(PsuMode, StandbyDrawCharged) {
+  RouterSpec spec = find_router_spec("NCS-55A1-24H").value();
+  spec.psu_standby_w = 0.0;
+  SimulatedRouter free_standby(spec, 5);
+  free_standby.set_ambient_override_c(22.0);
+  spec.psu_standby_w = 10.0;
+  SimulatedRouter paid_standby(spec, 5);
+  paid_standby.set_ambient_override_c(22.0);
+  free_standby.set_psu_mode(PsuMode::kHotStandby);
+  paid_standby.set_psu_mode(PsuMode::kHotStandby);
+  EXPECT_NEAR(paid_standby.wall_power_w(kT) - free_standby.wall_power_w(kT),
+              10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace joules

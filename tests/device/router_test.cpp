@@ -1,0 +1,186 @@
+#include "device/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/catalog.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+RouterSpec test_spec() {
+  return find_router_spec("NCS-55A1-24H").value();
+}
+
+const ProfileKey kDac100{PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                         LineRate::kG100};
+const SimTime kT = make_time(2024, 9, 10, 12, 0, 0);
+
+TEST(SimulatedRouter, PortBudgetEnforced) {
+  SimulatedRouter router(test_spec(), 1);
+  for (int i = 0; i < 24; ++i) {
+    router.add_interface(kDac100, InterfaceState::kPlugged);
+  }
+  EXPECT_THROW(router.add_interface(kDac100, InterfaceState::kPlugged),
+               std::invalid_argument);
+}
+
+TEST(SimulatedRouter, WrongPortTypeRejected) {
+  SimulatedRouter router(test_spec(), 1);
+  const ProfileKey sfp{PortType::kSFP, TransceiverKind::kLR, LineRate::kG1};
+  EXPECT_THROW(router.add_interface(sfp, InterfaceState::kPlugged),
+               std::invalid_argument);
+}
+
+TEST(SimulatedRouter, DcPowerIncludesBaseFanControlPlane) {
+  SimulatedRouter router(test_spec(), 1);
+  router.set_ambient_override_c(22.0);
+  const double dc = router.dc_power_w(kT);
+  // Base 320 + fan base 6 + control plane ~3 (+-1).
+  EXPECT_GT(dc, 320.0 + 6.0);
+  EXPECT_LT(dc, 320.0 + 6.0 + 5.0);
+}
+
+TEST(SimulatedRouter, PluggingTransceiversRaisesDcPower) {
+  SimulatedRouter router(test_spec(), 1);
+  router.set_ambient_override_c(22.0);
+  const double before = router.dc_power_w(kT);
+  for (int i = 0; i < 24; ++i) {
+    router.add_interface(kDac100, InterfaceState::kPlugged);
+  }
+  const double after = router.dc_power_w(kT);
+  EXPECT_NEAR(after - before, 24 * 0.02, 1e-9);
+}
+
+TEST(SimulatedRouter, UpInterfacesCostPortAndTrxUp) {
+  SimulatedRouter router(test_spec(), 1);
+  router.set_ambient_override_c(22.0);
+  for (int i = 0; i < 24; ++i) {
+    router.add_interface(kDac100, InterfaceState::kPlugged);
+  }
+  const double plugged = router.dc_power_w(kT);
+  router.set_all_interfaces(InterfaceState::kUp);
+  const double up = router.dc_power_w(kT);
+  EXPECT_NEAR(up - plugged, 24 * (0.32 + 0.19), 1e-9);
+}
+
+TEST(SimulatedRouter, TrafficRaisesPowerByEbitEpkt) {
+  SimulatedRouter router(test_spec(), 1);
+  router.set_ambient_override_c(22.0);
+  for (int i = 0; i < 2; ++i) router.add_interface(kDac100, InterfaceState::kUp);
+  const double idle = router.dc_power_w(kT);
+  const std::vector<InterfaceLoad> loads = {{gbps_to_bps(100), 8e6},
+                                            {gbps_to_bps(100), 8e6}};
+  const double loaded = router.dc_power_w(kT, loads);
+  const double expected_per_if = 22e-12 * 100e9 + 58e-9 * 8e6 + 0.37;
+  EXPECT_NEAR(loaded - idle, 2 * expected_per_if, 1e-9);
+}
+
+TEST(SimulatedRouter, WallPowerExceedsDcPower) {
+  SimulatedRouter router(test_spec(), 1);
+  router.set_ambient_override_c(22.0);
+  EXPECT_GT(router.wall_power_w(kT), router.dc_power_w(kT));
+}
+
+TEST(SimulatedRouter, GoodPsusSmallConversionLoss) {
+  // NCS-55A1-24H PSUs are > 85 % efficient in the paper's data (Fig. 6b).
+  SimulatedRouter router(test_spec(), 1);
+  router.set_ambient_override_c(22.0);
+  const double dc = router.dc_power_w(kT);
+  const double wall = router.wall_power_w(kT);
+  EXPECT_LT(wall, dc / 0.85);
+}
+
+TEST(SimulatedRouter, PoorPsusLargerLoss) {
+  RouterSpec spec = find_router_spec("8201-32FH").value();
+  SimulatedRouter router(spec, 1);
+  router.set_ambient_override_c(22.0);
+  const double dc = router.dc_power_w(kT);
+  const double wall = router.wall_power_w(kT);
+  EXPECT_GT(wall, dc / 0.83);  // Fig. 6c: ~76 % or worse
+}
+
+TEST(SimulatedRouter, OsUpdateBumpsPower) {
+  RouterSpec spec = find_router_spec("8201-32FH").value();
+  SimulatedRouter router(spec, 1);
+  router.set_ambient_override_c(22.0);
+  const SimTime update = make_time(2025, 3, 13);
+  router.set_os_update_at(update);
+  const double before = router.dc_power_w(update - kSecondsPerDay);
+  const double after = router.dc_power_w(update + kSecondsPerDay);
+  EXPECT_NEAR(after - before, 45.0, 2.0);  // Fig. 8: +45 W
+}
+
+TEST(SimulatedRouter, ReportedPowerQuirks) {
+  // kPreciseOffset: tracks wall power with a constant offset.
+  {
+    RouterSpec spec = find_router_spec("8201-32FH").value();
+    SimulatedRouter router(spec, 2);
+    router.set_ambient_override_c(22.0);
+    const auto reported = router.reported_power_w(kT);
+    ASSERT_TRUE(reported.has_value());
+    EXPECT_NEAR(*reported - router.wall_power_w(kT), 17.0, 1.0);
+  }
+  // kPseudoConstant: flat within a latch bucket.
+  {
+    SimulatedRouter router(test_spec(), 3);
+    router.set_ambient_override_c(22.0);
+    const auto a = router.reported_power_w(kT);
+    const auto b = router.reported_power_w(kT + kSecondsPerHour);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_DOUBLE_EQ(*a, *b);
+  }
+  // kNone: no value.
+  {
+    RouterSpec spec = find_router_spec("N540X-8Z16G-SYS-A").value();
+    SimulatedRouter router(spec, 4);
+    EXPECT_FALSE(router.reported_power_w(kT).has_value());
+  }
+}
+
+TEST(SimulatedRouter, ReportingShiftApplies) {
+  RouterSpec spec = find_router_spec("8201-32FH").value();
+  SimulatedRouter router(spec, 5);
+  router.set_ambient_override_c(22.0);
+  const SimTime cycle = kT + kSecondsPerDay;
+  router.add_reporting_shift(cycle, -7.0);
+  const double before = router.reported_power_w(cycle - 10).value();
+  const double after = router.reported_power_w(cycle + 10).value();
+  EXPECT_NEAR(after - before, -7.0, 1.5);
+}
+
+TEST(SimulatedRouter, SensorSnapshotPlausible) {
+  SimulatedRouter router(test_spec(), 6);
+  router.set_ambient_override_c(22.0);
+  const auto readings = router.sensor_snapshot(kT);
+  ASSERT_EQ(readings.size(), 2u);
+  const double dc = router.dc_power_w(kT);
+  double total_out = 0.0;
+  for (const auto& r : readings) {
+    EXPECT_GT(r.input_power_w, 0.0);
+    EXPECT_GT(r.output_power_w, 0.0);
+    total_out += r.output_power_w;
+  }
+  EXPECT_NEAR(total_out, dc, 0.1 * dc);
+}
+
+TEST(SimulatedRouter, UnknownTruthProfileThrows) {
+  // Force a config whose profile the catalog truth does not cover.
+  RouterSpec spec = test_spec();
+  spec.ports.push_back({PortType::kRJ45, 4, LineRate::kG1});
+  SimulatedRouter router(spec, 7);
+  router.add_interface({PortType::kRJ45, TransceiverKind::kBaseT, LineRate::kG1},
+                       InterfaceState::kUp);
+  EXPECT_THROW(static_cast<void>(router.dc_power_w(kT)), std::logic_error);
+}
+
+TEST(SimulatedRouter, DeterministicAcrossInstances) {
+  SimulatedRouter a(test_spec(), 99);
+  SimulatedRouter b(test_spec(), 99);
+  a.set_ambient_override_c(23.0);
+  b.set_ambient_override_c(23.0);
+  EXPECT_DOUBLE_EQ(a.wall_power_w(kT), b.wall_power_w(kT));
+}
+
+}  // namespace
+}  // namespace joules

@@ -1,0 +1,86 @@
+#include "meter/power_meter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+
+namespace joules {
+namespace {
+
+TEST(PowerMeter, GainWithinSpec) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const PowerMeter meter(PowerMeterSpec{}, seed);
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_LE(std::fabs(meter.gain_error_frac(c)), 0.005);
+    }
+  }
+}
+
+TEST(PowerMeter, MeasurementWithinErrorEnvelope) {
+  const PowerMeter meter(PowerMeterSpec{}, 3);
+  const double truth = 358.0;
+  for (SimTime t = 0; t < 1000; t += 7) {
+    const double reading = meter.measure_w(0, truth, t);
+    // +-0.5 % gain + noise floor.
+    EXPECT_NEAR(reading, truth, truth * 0.005 + 0.5);
+  }
+}
+
+TEST(PowerMeter, DeterministicReadings) {
+  const PowerMeter meter(PowerMeterSpec{}, 5);
+  EXPECT_DOUBLE_EQ(meter.measure_w(0, 100.0, 42), meter.measure_w(0, 100.0, 42));
+}
+
+TEST(PowerMeter, ChannelsHaveIndependentCalibration) {
+  const PowerMeter meter(PowerMeterSpec{}, 7);
+  EXPECT_NE(meter.gain_error_frac(0), meter.gain_error_frac(1));
+}
+
+TEST(PowerMeter, NeverNegative) {
+  PowerMeterSpec spec;
+  spec.noise_floor_w = 10.0;
+  const PowerMeter meter(spec, 9);
+  for (SimTime t = 0; t < 200; ++t) {
+    EXPECT_GE(meter.measure_w(0, 0.5, t), 0.0);
+  }
+}
+
+TEST(PowerMeter, RecordProducesRegularTrace) {
+  const PowerMeter meter(PowerMeterSpec{}, 11);
+  const TimeSeries trace = meter.record(
+      0, [](SimTime) { return 100.0; }, 1000, 1060, 2);
+  ASSERT_EQ(trace.size(), 30u);
+  EXPECT_EQ(trace.front().time, 1000);
+  EXPECT_EQ(trace.back().time, 1058);
+  EXPECT_NEAR(mean(trace.values()), 100.0, 1.0);
+}
+
+TEST(PowerMeter, RecordFollowsChangingPower) {
+  const PowerMeter meter(PowerMeterSpec{}, 13);
+  const TimeSeries trace = meter.record(
+      1, [](SimTime t) { return t < 50 ? 100.0 : 200.0; }, 0, 100, 1);
+  EXPECT_NEAR(trace.value_at(25).value(), 100.0, 2.0);
+  EXPECT_NEAR(trace.value_at(75).value(), 200.0, 2.0);
+}
+
+TEST(PowerMeter, AveragingBeatsTheNoiseFloor) {
+  // 30-minute averaging (the paper's Fig. 4 smoothing) shrinks noise.
+  const PowerMeter meter(PowerMeterSpec{}, 17);
+  const TimeSeries raw = meter.record(
+      0, [](SimTime) { return 358.0; }, 0, 3600, 1);
+  const TimeSeries smooth = raw.window_average(1800);
+  for (const Sample& s : smooth) {
+    EXPECT_NEAR(s.value, 358.0 * (1.0 + meter.gain_error_frac(0)), 0.05);
+  }
+}
+
+TEST(PowerMeter, RequiresAtLeastOneChannel) {
+  PowerMeterSpec spec;
+  spec.channels = 0;
+  EXPECT_THROW(PowerMeter(spec, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace joules

@@ -1,0 +1,79 @@
+#include "model/datasheet_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+TEST(DatasheetLinearModel, InterpolatesBetweenIdleAndMax) {
+  const DatasheetLinearModel model(300.0, 500.0, gbps_to_bps(1000));
+  EXPECT_DOUBLE_EQ(model.predict_w(0.0), 300.0);
+  EXPECT_DOUBLE_EQ(model.predict_w(gbps_to_bps(500)), 400.0);
+  EXPECT_DOUBLE_EQ(model.predict_w(gbps_to_bps(1000)), 500.0);
+}
+
+TEST(DatasheetLinearModel, ClampsAboveCapacity) {
+  const DatasheetLinearModel model(300.0, 500.0, gbps_to_bps(1000));
+  EXPECT_DOUBLE_EQ(model.predict_w(gbps_to_bps(2000)), 500.0);
+  EXPECT_DOUBLE_EQ(model.predict_w(-5.0), 300.0);
+}
+
+TEST(DatasheetLinearModel, ValidatesParameters) {
+  EXPECT_THROW(DatasheetLinearModel(-1, 100, 1e9), std::invalid_argument);
+  EXPECT_THROW(DatasheetLinearModel(200, 100, 1e9), std::invalid_argument);
+  EXPECT_THROW(DatasheetLinearModel(100, 200, 0), std::invalid_argument);
+}
+
+TEST(DatasheetLinearModel, FromRecordUsesTypicalAndMax) {
+  DatasheetRecord record;
+  record.typical_power_w = 600;
+  record.max_power_w = 715;
+  record.max_bandwidth_gbps = 2400;
+  const auto model = DatasheetLinearModel::from_record(record);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_DOUBLE_EQ(model->idle_power_w(), 600);
+  EXPECT_DOUBLE_EQ(model->max_power_w(), 715);
+  EXPECT_DOUBLE_EQ(model->max_bandwidth_bps(), 2.4e12);
+}
+
+TEST(DatasheetLinearModel, FromRecordFallsBackToPortsAndScaledMax) {
+  DatasheetRecord record;
+  record.typical_power_w = 100;
+  record.ports.push_back({24, 10.0, "SFP+"});
+  const auto model = DatasheetLinearModel::from_record(record);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_DOUBLE_EQ(model->max_bandwidth_bps(), 240e9);
+  EXPECT_DOUBLE_EQ(model->max_power_w(), 150.0);  // 1.5x typical
+}
+
+TEST(DatasheetLinearModel, FromRecordRejectsUnusableRecords) {
+  DatasheetRecord no_power;
+  no_power.max_bandwidth_gbps = 100;
+  EXPECT_FALSE(DatasheetLinearModel::from_record(no_power).has_value());
+
+  DatasheetRecord no_bandwidth;
+  no_bandwidth.typical_power_w = 100;
+  EXPECT_FALSE(DatasheetLinearModel::from_record(no_bandwidth).has_value());
+
+  DatasheetRecord inverted;
+  inverted.typical_power_w = 300;
+  inverted.max_power_w = 200;
+  inverted.max_bandwidth_gbps = 100;
+  EXPECT_FALSE(DatasheetLinearModel::from_record(inverted).has_value());
+}
+
+TEST(DatasheetLinearModel, GrosslyOverestimatesLightlyLoadedRouters) {
+  // The §2/§3 critique in one assertion: at Switch-like 2 % utilization the
+  // baseline predicts essentially the (inflated) "typical" datasheet number,
+  // while the real router draws far less — e.g. the NCS-55A1-24H's 358 W
+  // median vs its 600 W typical.
+  const DatasheetLinearModel model(600.0, 715.0, gbps_to_bps(2400));
+  const double at_2pct = model.predict_w(gbps_to_bps(48));
+  EXPECT_GT(at_2pct, 600.0);
+  EXPECT_GT(at_2pct, 358.0 * 1.5);
+}
+
+}  // namespace
+}  // namespace joules

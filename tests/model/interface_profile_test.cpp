@@ -1,0 +1,88 @@
+#include "model/interface_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+TEST(InterfaceProfile, EnumStringRoundTrip) {
+  for (const PortType p : {PortType::kSFP, PortType::kSFPPlus, PortType::kQSFP,
+                           PortType::kQSFP28, PortType::kQSFPDD, PortType::kRJ45}) {
+    EXPECT_EQ(parse_port_type(to_string(p)).value(), p);
+  }
+  for (const TransceiverKind t :
+       {TransceiverKind::kPassiveDAC, TransceiverKind::kSR4, TransceiverKind::kLR,
+        TransceiverKind::kLR4, TransceiverKind::kFR4, TransceiverKind::kBaseT}) {
+    EXPECT_EQ(parse_transceiver_kind(to_string(t)).value(), t);
+  }
+  for (const LineRate r : {LineRate::kM100, LineRate::kG1, LineRate::kG10,
+                           LineRate::kG25, LineRate::kG40, LineRate::kG50,
+                           LineRate::kG100, LineRate::kG400}) {
+    EXPECT_EQ(parse_line_rate(to_string(r)).value(), r);
+  }
+}
+
+TEST(InterfaceProfile, ParseIsCaseInsensitiveAndToleratesPaperTypo) {
+  EXPECT_EQ(parse_port_type("qsfp28").value(), PortType::kQSFP28);
+  EXPECT_EQ(parse_port_type("QSPF28").value(), PortType::kQSFP28);  // Table 2 typo
+  EXPECT_EQ(parse_transceiver_kind("passive dac").value(),
+            TransceiverKind::kPassiveDAC);
+  EXPECT_FALSE(parse_port_type("bogus").has_value());
+  EXPECT_FALSE(parse_line_rate("5G").has_value());
+}
+
+TEST(InterfaceProfile, LineRateBps) {
+  EXPECT_DOUBLE_EQ(line_rate_bps(LineRate::kG100), 100e9);
+  EXPECT_DOUBLE_EQ(line_rate_bps(LineRate::kM100), 100e6);
+  EXPECT_DOUBLE_EQ(line_rate_bps(LineRate::kG400), 400e9);
+}
+
+TEST(InterfaceProfile, ProfileKeyOrderingAndToString) {
+  const ProfileKey a{PortType::kQSFP28, TransceiverKind::kPassiveDAC, LineRate::kG100};
+  const ProfileKey b{PortType::kQSFP28, TransceiverKind::kPassiveDAC, LineRate::kG25};
+  EXPECT_NE(a, b);
+  EXPECT_EQ(to_string(a), "QSFP28/Passive DAC/100G");
+}
+
+TEST(InterfaceProfile, StaticPowerLevels) {
+  InterfaceProfile p;
+  p.port_power_w = 0.32;
+  p.trx_in_power_w = 0.02;
+  p.trx_up_power_w = 0.19;
+  EXPECT_DOUBLE_EQ(p.plugged_power_w(), 0.02);
+  EXPECT_DOUBLE_EQ(p.enabled_power_w(), 0.34);
+  EXPECT_NEAR(p.up_power_w(), 0.53, 1e-12);
+}
+
+TEST(InterfaceProfile, DynamicPowerIsZeroWithoutTraffic) {
+  InterfaceProfile p;
+  p.energy_per_bit_j = picojoules_to_joules(22);
+  p.energy_per_packet_j = nanojoules_to_joules(58);
+  p.offset_power_w = 0.37;
+  EXPECT_DOUBLE_EQ(p.dynamic_power_w(0.0, 0.0), 0.0);
+}
+
+TEST(InterfaceProfile, DynamicPowerMatchesPaperArithmetic) {
+  // §7: at 5 pJ/bit + 15 nJ/pkt, 100 Gbps of 1500 B packets costs ~0.6 W and
+  // of 64 B packets ~3.4 W (offset excluded here).
+  InterfaceProfile p;
+  p.energy_per_bit_j = picojoules_to_joules(5);
+  p.energy_per_packet_j = nanojoules_to_joules(15);
+  const double rate_bps = gbps_to_bps(100);
+  const double pps_1500 = packet_rate_for_bit_rate(rate_bps, 1500, 0);
+  const double pps_64 = packet_rate_for_bit_rate(rate_bps, 64, 0);
+  EXPECT_NEAR(p.dynamic_power_w(rate_bps, pps_1500), 0.625, 0.05);
+  EXPECT_NEAR(p.dynamic_power_w(rate_bps, pps_64), 3.43, 0.1);
+}
+
+TEST(InterfaceProfile, OffsetAppliesWithAnyTraffic) {
+  // P_offset is the difference between "almost no traffic" and "no traffic".
+  InterfaceProfile p;
+  p.offset_power_w = 0.37;
+  EXPECT_NEAR(p.dynamic_power_w(1000.0, 1.0), 0.37, 1e-6);
+}
+
+}  // namespace
+}  // namespace joules

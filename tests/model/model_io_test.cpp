@@ -1,0 +1,87 @@
+#include "model/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+PowerModel sample_model() {
+  PowerModel model(320.0);
+  InterfaceProfile p;
+  p.key = {PortType::kQSFP28, TransceiverKind::kPassiveDAC, LineRate::kG100};
+  p.port_power_w = 0.32;
+  p.trx_in_power_w = 0.02;
+  p.trx_up_power_w = 0.19;
+  p.energy_per_bit_j = picojoules_to_joules(22);
+  p.energy_per_packet_j = nanojoules_to_joules(58);
+  p.offset_power_w = 0.37;
+  model.add_profile(p);
+  InterfaceProfile q = p;
+  q.key.rate = LineRate::kG25;
+  q.port_power_w = 0.10;
+  q.trx_up_power_w = 0.08;
+  model.add_profile(q);
+  return model;
+}
+
+TEST(ModelIo, CsvRoundTripPreservesModel) {
+  const PowerModel model = sample_model();
+  const PowerModel readback = model_from_string(model_to_string(model));
+  EXPECT_EQ(readback, model);
+}
+
+TEST(ModelIo, EnergiesStoredInPaperUnits) {
+  const CsvTable table = model_to_csv(sample_model());
+  // Row 0 is the base row; profile rows follow in key order (25G before 100G).
+  bool found = false;
+  for (std::size_t i = 0; i < table.row_count(); ++i) {
+    if (table.cell(i, "row") == "profile" && table.cell(i, "rate") == "100G") {
+      EXPECT_NEAR(table.cell_double(i, "E_bit_pJ"), 22.0, 1e-9);
+      EXPECT_NEAR(table.cell_double(i, "E_pkt_nJ"), 58.0, 1e-9);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ModelIo, NegativeParametersSurviveRoundTrip) {
+  // Table 2(b) has P_trx,up = -0.06 W; Table 6(b) has P_offset = -0.03 W.
+  PowerModel model(285.0);
+  InterfaceProfile p;
+  p.key = {PortType::kQSFP28, TransceiverKind::kLR, LineRate::kG100};
+  p.trx_up_power_w = -0.06;
+  p.offset_power_w = -0.43;
+  model.add_profile(p);
+  const PowerModel readback = model_from_string(model_to_string(model));
+  EXPECT_DOUBLE_EQ(readback.find_profile(p.key)->trx_up_power_w, -0.06);
+  EXPECT_DOUBLE_EQ(readback.find_profile(p.key)->offset_power_w, -0.43);
+}
+
+TEST(ModelIo, MalformedRowKindThrows) {
+  CsvTable table({"row", "port", "transceiver", "rate", "P_base_W", "P_port_W",
+                  "P_trx_in_W", "P_trx_up_W", "E_bit_pJ", "E_pkt_nJ",
+                  "P_offset_W"});
+  table.add_row({"garbage", "", "", "", "1", "", "", "", "", "", ""});
+  EXPECT_THROW(model_from_csv(table), std::invalid_argument);
+}
+
+TEST(ModelIo, MalformedProfileKeyThrows) {
+  CsvTable table({"row", "port", "transceiver", "rate", "P_base_W", "P_port_W",
+                  "P_trx_in_W", "P_trx_up_W", "E_bit_pJ", "E_pkt_nJ",
+                  "P_offset_W"});
+  table.add_row({"profile", "NOTAPORT", "LR", "100G", "", "1", "1", "1", "1",
+                 "1", "1"});
+  EXPECT_THROW(model_from_csv(table), std::invalid_argument);
+}
+
+TEST(ModelIo, RenderedTableMentionsDeviceAndColumns) {
+  const std::string text = render_model_table("NCS-55A1-24H", sample_model());
+  EXPECT_NE(text.find("NCS-55A1-24H"), std::string::npos);
+  EXPECT_NE(text.find("E_bit[pJ]"), std::string::npos);
+  EXPECT_NE(text.find("P_trx,in[W]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace joules

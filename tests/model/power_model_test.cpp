@@ -1,0 +1,164 @@
+#include "model/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+// NCS-55A1-24H / QSFP28 / DAC / 100G row of Table 2.
+InterfaceProfile ncs_100g_profile() {
+  InterfaceProfile p;
+  p.key = {PortType::kQSFP28, TransceiverKind::kPassiveDAC, LineRate::kG100};
+  p.port_power_w = 0.32;
+  p.trx_in_power_w = 0.02;
+  p.trx_up_power_w = 0.19;
+  p.energy_per_bit_j = picojoules_to_joules(22);
+  p.energy_per_packet_j = nanojoules_to_joules(58);
+  p.offset_power_w = 0.37;
+  return p;
+}
+
+PowerModel make_model() {
+  PowerModel model(320.0);
+  model.add_profile(ncs_100g_profile());
+  return model;
+}
+
+InterfaceConfig iface(InterfaceState state) {
+  InterfaceConfig c;
+  c.name = "eth0";
+  c.profile = {PortType::kQSFP28, TransceiverKind::kPassiveDAC, LineRate::kG100};
+  c.state = state;
+  return c;
+}
+
+TEST(PowerModel, BaseOnlyWhenNoInterfaces) {
+  const PowerModel model = make_model();
+  const auto prediction = model.predict({});
+  EXPECT_DOUBLE_EQ(prediction.total_w(), 320.0);
+}
+
+TEST(PowerModel, EmptyInterfaceContributesNothing) {
+  const PowerModel model = make_model();
+  const std::vector<InterfaceConfig> configs = {iface(InterfaceState::kEmpty)};
+  EXPECT_DOUBLE_EQ(model.predict(configs).total_w(), 320.0);
+}
+
+TEST(PowerModel, StaticStatesAccumulateCorrectTerms) {
+  const PowerModel model = make_model();
+
+  const std::vector<InterfaceConfig> plugged = {iface(InterfaceState::kPlugged)};
+  EXPECT_NEAR(model.predict(plugged).total_w(), 320.02, 1e-9);
+
+  const std::vector<InterfaceConfig> enabled = {iface(InterfaceState::kEnabled)};
+  EXPECT_NEAR(model.predict(enabled).total_w(), 320.34, 1e-9);
+
+  const std::vector<InterfaceConfig> up = {iface(InterfaceState::kUp)};
+  EXPECT_NEAR(model.predict(up).total_w(), 320.53, 1e-9);
+}
+
+TEST(PowerModel, InterfaceStaticHelperMatchesPredict) {
+  const PowerModel model = make_model();
+  const InterfaceConfig up = iface(InterfaceState::kUp);
+  EXPECT_NEAR(model.interface_static_w(up),
+              model.predict(std::vector{up}).total_w() - 320.0, 1e-12);
+}
+
+TEST(PowerModel, DynamicPowerAddsBitPacketAndOffsetTerms) {
+  const PowerModel model = make_model();
+  const std::vector<InterfaceConfig> configs = {iface(InterfaceState::kUp)};
+  const double rate_bps = gbps_to_bps(50);
+  const double rate_pps = 4e6;
+  const std::vector<InterfaceLoad> loads = {{rate_bps, rate_pps}};
+  const auto prediction = model.predict(configs, loads);
+  const double expected_dyn =
+      22e-12 * rate_bps + 58e-9 * rate_pps + 0.37;
+  EXPECT_NEAR(prediction.breakdown.dynamic_w(), expected_dyn, 1e-9);
+  EXPECT_NEAR(prediction.total_w(), 320.53 + expected_dyn, 1e-9);
+}
+
+TEST(PowerModel, NoDynamicPowerOnDownInterfaces) {
+  const PowerModel model = make_model();
+  const std::vector<InterfaceConfig> configs = {iface(InterfaceState::kPlugged)};
+  const std::vector<InterfaceLoad> loads = {{gbps_to_bps(10), 1e6}};
+  const auto prediction = model.predict(configs, loads);
+  EXPECT_DOUBLE_EQ(prediction.breakdown.dynamic_w(), 0.0);
+}
+
+TEST(PowerModel, LoadsSizeMismatchThrows) {
+  const PowerModel model = make_model();
+  const std::vector<InterfaceConfig> configs = {iface(InterfaceState::kUp)};
+  const std::vector<InterfaceLoad> loads = {{1, 1}, {2, 2}};
+  EXPECT_THROW(model.predict(configs, loads), std::invalid_argument);
+}
+
+TEST(PowerModel, UnknownProfileReportedNotSilentlyZero) {
+  const PowerModel model = make_model();
+  InterfaceConfig c = iface(InterfaceState::kUp);
+  c.profile.transceiver = TransceiverKind::kFR4;
+  c.name = "mystery0";
+  const auto prediction = model.predict(std::vector{c});
+  ASSERT_EQ(prediction.unmatched_interfaces.size(), 1u);
+  EXPECT_EQ(prediction.unmatched_interfaces[0], "mystery0");
+  EXPECT_DOUBLE_EQ(prediction.total_w(), 320.0);
+}
+
+TEST(PowerModel, RelaxedLookupFallsBackToNearestRate) {
+  PowerModel model(100.0);
+  InterfaceProfile p25 = ncs_100g_profile();
+  p25.key.rate = LineRate::kG25;
+  p25.port_power_w = 0.10;
+  model.add_profile(p25);
+  InterfaceProfile p100 = ncs_100g_profile();
+  model.add_profile(p100);
+
+  // 50G not present: should fall back to 25G (nearest lower).
+  const ProfileKey want{PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                        LineRate::kG50};
+  const InterfaceProfile* hit = model.find_profile_relaxed(want);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->key.rate, LineRate::kG25);
+
+  // 400G not present and no lower-rate sibling missing: falls back to 100G.
+  const ProfileKey want400{PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                           LineRate::kG400};
+  ASSERT_NE(model.find_profile_relaxed(want400), nullptr);
+  EXPECT_EQ(model.find_profile_relaxed(want400)->key.rate, LineRate::kG100);
+
+  // Different transceiver: no fallback.
+  const ProfileKey wrong{PortType::kQSFP28, TransceiverKind::kLR4, LineRate::kG100};
+  EXPECT_EQ(model.find_profile_relaxed(wrong), nullptr);
+}
+
+TEST(PowerModel, PortDownSavingIsPortPlusTrxUpPlusDynamic) {
+  const PowerModel model = make_model();
+  const ProfileKey key{PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                       LineRate::kG100};
+  EXPECT_NEAR(model.port_down_saving_w(key), 0.32 + 0.19, 1e-12);
+  const InterfaceLoad load{gbps_to_bps(10), 1e6};
+  const double dynamic = 22e-12 * load.rate_bps + 58e-9 * load.rate_pps + 0.37;
+  EXPECT_NEAR(model.port_down_saving_w(key, load), 0.51 + dynamic, 1e-9);
+}
+
+TEST(PowerModel, BreakdownTransceiverShare) {
+  const PowerModel model = make_model();
+  const std::vector<InterfaceConfig> configs(24, iface(InterfaceState::kUp));
+  const auto prediction = model.predict(configs);
+  EXPECT_NEAR(prediction.breakdown.transceiver_w(), 24 * (0.02 + 0.19), 1e-9);
+  EXPECT_NEAR(prediction.breakdown.port_w, 24 * 0.32, 1e-9);
+}
+
+TEST(PowerModel, ProfileOverwriteReplaces) {
+  PowerModel model(10.0);
+  InterfaceProfile p = ncs_100g_profile();
+  model.add_profile(p);
+  p.port_power_w = 1.0;
+  model.add_profile(p);
+  EXPECT_EQ(model.profile_count(), 1u);
+  EXPECT_DOUBLE_EQ(model.find_profile(p.key)->port_power_w, 1.0);
+}
+
+}  // namespace
+}  // namespace joules

@@ -1,0 +1,161 @@
+#include "net/framing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+namespace joules {
+namespace {
+
+TEST(ByteCodec, RoundTripAllTypes) {
+  ByteWriter writer;
+  writer.u8(0xAB);
+  writer.u16(0x1234);
+  writer.u32(0xDEADBEEF);
+  writer.u64(0x0123456789ABCDEFULL);
+  writer.i64(-42);
+  writer.f64(3.14159);
+  writer.string("hello joules");
+
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.u8(), 0xAB);
+  EXPECT_EQ(reader.u16(), 0x1234);
+  EXPECT_EQ(reader.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(reader.i64(), -42);
+  EXPECT_DOUBLE_EQ(reader.f64(), 3.14159);
+  EXPECT_EQ(reader.string(), "hello joules");
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(ByteCodec, TruncatedReadThrows) {
+  ByteWriter writer;
+  writer.u16(7);
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.u8(), 0);
+  EXPECT_EQ(reader.u8(), 7);
+  EXPECT_THROW(reader.u8(), std::out_of_range);
+}
+
+TEST(ByteCodec, StringWithEmbeddedNulAndUnicode) {
+  ByteWriter writer;
+  const std::string tricky = std::string("a\0b", 3) + "\xc3\xa9";
+  writer.string(tricky);
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.string(), tricky);
+}
+
+TEST(ByteCodec, NegativeAndSpecialDoubles) {
+  ByteWriter writer;
+  writer.f64(-0.0);
+  writer.f64(1e-300);
+  writer.f64(std::numeric_limits<double>::infinity());
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.f64(), 0.0);
+  EXPECT_DOUBLE_EQ(reader.f64(), 1e-300);
+  EXPECT_TRUE(std::isinf(reader.f64()));
+}
+
+TEST(Framing, RoundTripOverLoopback) {
+  TcpListener listener;
+  std::optional<std::vector<std::byte>> received;
+
+  std::thread server([&] {
+    auto stream = listener.accept(Millis{3000});
+    ASSERT_TRUE(stream.has_value());
+    received = read_frame(*stream);
+  });
+
+  TcpStream client = TcpStream::connect_loopback(listener.port());
+  ByteWriter writer;
+  writer.string("measurement batch");
+  write_frame(client, writer.bytes());
+  server.join();
+
+  ASSERT_TRUE(received.has_value());
+  ByteReader reader(*received);
+  EXPECT_EQ(reader.string(), "measurement batch");
+}
+
+TEST(Framing, EmptyFrameAllowed) {
+  TcpListener listener;
+  std::optional<std::vector<std::byte>> received;
+  std::thread server([&] {
+    auto stream = listener.accept(Millis{3000});
+    ASSERT_TRUE(stream.has_value());
+    received = read_frame(*stream);
+  });
+  TcpStream client = TcpStream::connect_loopback(listener.port());
+  write_frame(client, {});
+  server.join();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_TRUE(received->empty());
+}
+
+TEST(Framing, CleanEofReturnsNullopt) {
+  TcpListener listener;
+  std::optional<std::vector<std::byte>> result =
+      std::vector<std::byte>{std::byte{1}};
+  std::thread server([&] {
+    auto stream = listener.accept(Millis{3000});
+    ASSERT_TRUE(stream.has_value());
+    result = read_frame(*stream);
+  });
+  {
+    TcpStream client = TcpStream::connect_loopback(listener.port());
+    client.shutdown_write();
+    server.join();
+  }
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(Framing, MultipleFramesInOrder) {
+  TcpListener listener;
+  std::vector<std::string> received;
+  std::thread server([&] {
+    auto stream = listener.accept(Millis{3000});
+    ASSERT_TRUE(stream.has_value());
+    while (auto frame = read_frame(*stream)) {
+      ByteReader reader(*frame);
+      received.push_back(reader.string());
+    }
+  });
+  TcpStream client = TcpStream::connect_loopback(listener.port());
+  for (const std::string text : {"one", "two", "three"}) {
+    ByteWriter writer;
+    writer.string(text);
+    write_frame(client, writer.bytes());
+  }
+  client.shutdown_write();
+  server.join();
+  ASSERT_EQ(received.size(), 3u);
+  EXPECT_EQ(received[0], "one");
+  EXPECT_EQ(received[2], "three");
+}
+
+TEST(Framing, OversizedFrameRejectedBySender) {
+  TcpListener listener;
+  TcpStream client;  // never connected; send should fail before I/O anyway
+  const std::vector<std::byte> huge(kMaxFrameBytes + 1);
+  EXPECT_THROW(write_frame(client, huge), std::invalid_argument);
+}
+
+TEST(Socket, ConnectToClosedPortFails) {
+  // Grab an ephemeral port and close it so nothing is listening.
+  std::uint16_t dead_port;
+  {
+    TcpListener listener;
+    dead_port = listener.port();
+  }
+  EXPECT_THROW(TcpStream::connect_loopback(dead_port, Millis{500}),
+               std::system_error);
+}
+
+TEST(Socket, AcceptTimesOut) {
+  TcpListener listener;
+  EXPECT_FALSE(listener.accept(Millis{50}).has_value());
+}
+
+}  // namespace
+}  // namespace joules

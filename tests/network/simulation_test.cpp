@@ -1,0 +1,240 @@
+#include "network/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/dataset.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+class NetworkSimTest : public ::testing::Test {
+ protected:
+  static NetworkSimulation& sim() {
+    static NetworkSimulation simulation(build_switch_like_network(), 5);
+    return simulation;
+  }
+  static SimTime study_begin() { return sim().topology().options.study_begin; }
+};
+
+TEST_F(NetworkSimTest, AggregatePowerMatchesSwitchScale) {
+  // Fig. 1: total power around 21.5-22 kW for 107 routers.
+  const SimTime t = study_begin() + 10 * kSecondsPerDay;
+  double total = 0.0;
+  for (std::size_t r = 0; r < sim().router_count(); ++r) {
+    total += sim().wall_power_w(r, t);
+  }
+  EXPECT_GT(total, 18000.0);
+  EXPECT_LT(total, 26000.0);
+}
+
+TEST_F(NetworkSimTest, UtilizationMatchesSwitchScale) {
+  // Fig. 1: total traffic 1-2.7 % of capacity.
+  const NetworkTraces traces = network_traces(
+      sim(), study_begin(), study_begin() + 2 * kSecondsPerDay, 6 * kSecondsPerHour);
+  ASSERT_FALSE(traces.total_traffic_bps.empty());
+  for (const Sample& s : traces.total_traffic_bps) {
+    const double utilization = s.value / traces.capacity_bps;
+    EXPECT_GT(utilization, 0.005) << format_date_time(s.time);
+    EXPECT_LT(utilization, 0.05) << format_date_time(s.time);
+  }
+}
+
+TEST_F(NetworkSimTest, TransceiversAreAboutTenPercentOfNetworkPower) {
+  // §7: "all the transceivers in the Switch network collectively draw
+  // ~2.2 kW; that is ~10 % of the total network power".
+  const TransceiverPowerReport report =
+      transceiver_power_report(sim(), study_begin() + 7 * kSecondsPerDay);
+  EXPECT_NEAR(report.share_of_network(), 0.10, 0.05);
+  EXPECT_GT(report.total_w, 1000.0);
+  // §8: external interfaces hold about half the transceiver power.
+  EXPECT_NEAR(report.external_share_of_transceivers(), 0.52, 0.12);
+}
+
+TEST_F(NetworkSimTest, DecommissioningDropsNetworkPower) {
+  // Find the mid-study decommissioned router and compare network power
+  // just before/after.
+  const auto& routers = sim().topology().routers;
+  SimTime event = 0;
+  for (const DeployedRouter& router : routers) {
+    if (router.decommissioned_at < sim().topology().options.study_end) {
+      event = router.decommissioned_at;
+    }
+  }
+  ASSERT_GT(event, 0);
+  double before = 0.0;
+  double after = 0.0;
+  for (std::size_t r = 0; r < sim().router_count(); ++r) {
+    before += sim().wall_power_w(r, event - kSecondsPerHour);
+    after += sim().wall_power_w(r, event + kSecondsPerHour);
+  }
+  EXPECT_LT(after, before - 50.0);  // a router-sized step
+}
+
+TEST_F(NetworkSimTest, InactiveRouterReportsNothing) {
+  const auto& routers = sim().topology().routers;
+  std::size_t late = 0;
+  for (std::size_t r = 0; r < routers.size(); ++r) {
+    if (routers[r].commissioned_at > study_begin()) late = r;
+  }
+  const SimTime before = routers[late].commissioned_at - kSecondsPerDay;
+  EXPECT_FALSE(sim().active(late, before));
+  EXPECT_DOUBLE_EQ(sim().wall_power_w(late, before), 0.0);
+  EXPECT_FALSE(sim().reported_power_w(late, before).has_value());
+  EXPECT_TRUE(sim().sensor_snapshot(late, before).empty());
+}
+
+TEST_F(NetworkSimTest, SparesDrawPowerButCarryNoTraffic) {
+  for (std::size_t r = 0; r < sim().router_count(); ++r) {
+    const auto& interfaces = sim().topology().routers[r].interfaces;
+    for (std::size_t i = 0; i < interfaces.size(); ++i) {
+      if (!interfaces[i].spare) continue;
+      const SimTime t = study_begin() + kSecondsPerDay;
+      EXPECT_EQ(sim().interface_state(r, i, t), InterfaceState::kPlugged);
+      EXPECT_DOUBLE_EQ(sim().interface_load(r, i, t).rate_bps, 0.0);
+      return;  // one spare is enough
+    }
+  }
+  FAIL() << "no spare interface found";
+}
+
+TEST_F(NetworkSimTest, OverrideTakesInterfaceDownAndBack) {
+  NetworkSimulation local(build_switch_like_network(), 9);
+  const SimTime begin = local.topology().options.study_begin;
+  StateOverride flap;
+  flap.router = 0;
+  flap.iface = 0;
+  flap.from = begin + 10 * kSecondsPerDay;
+  flap.to = begin + 13 * kSecondsPerDay;
+  flap.state = InterfaceState::kPlugged;
+  local.add_override(flap);
+
+  const SimTime during = begin + 11 * kSecondsPerDay;
+  const SimTime after = begin + 14 * kSecondsPerDay;
+  EXPECT_EQ(local.interface_state(0, 0, during), InterfaceState::kPlugged);
+  EXPECT_DOUBLE_EQ(local.interface_load(0, 0, during).rate_bps, 0.0);
+  EXPECT_EQ(local.interface_state(0, 0, after), InterfaceState::kUp);
+  EXPECT_GT(local.interface_load(0, 0, after).rate_bps, 0.0);
+}
+
+TEST_F(NetworkSimTest, TransceiverRemovalDropsMorePowerThanDown) {
+  NetworkSimulation a(build_switch_like_network(), 11);
+  NetworkSimulation b(build_switch_like_network(), 11);
+  const SimTime begin = a.topology().options.study_begin;
+  const SimTime t = begin + 20 * kSecondsPerDay;
+
+  // Pick an interface with an optics module (trx_in > 0).
+  int router = -1;
+  int iface = -1;
+  for (std::size_t r = 0; r < a.router_count() && router < 0; ++r) {
+    const auto& interfaces = a.topology().routers[r].interfaces;
+    for (std::size_t i = 0; i < interfaces.size(); ++i) {
+      if (interfaces[i].profile.transceiver == TransceiverKind::kLR4 &&
+          !interfaces[i].spare) {
+        router = static_cast<int>(r);
+        iface = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+  ASSERT_GE(router, 0);
+
+  const double baseline = a.wall_power_w(static_cast<std::size_t>(router), t);
+
+  StateOverride down;
+  down.router = router;
+  down.iface = iface;
+  down.from = begin;
+  down.to = std::numeric_limits<SimTime>::max();
+  down.state = InterfaceState::kPlugged;
+  a.add_override(down);
+  const double with_down = a.wall_power_w(static_cast<std::size_t>(router), t);
+
+  b.remove_transceiver_at(router, iface, begin);
+  const double with_removal = b.wall_power_w(static_cast<std::size_t>(router), t);
+
+  // "Down" does not mean "off": removal saves the P_trx,in too.
+  EXPECT_LT(with_down, baseline);
+  EXPECT_LT(with_removal, with_down - 1.0);
+}
+
+TEST_F(NetworkSimTest, SnmpMedianAvailablePerTelemetryClass) {
+  const SimTime begin = study_begin();
+  const SimTime end = begin + 2 * kSecondsPerDay;
+  bool saw_reporting = false;
+  bool saw_silent = false;
+  for (std::size_t r = 0; r < sim().router_count(); ++r) {
+    const auto median_power =
+        snmp_median_power_w(sim(), r, begin, end, kSecondsPerHour);
+    const std::string& model = sim().topology().routers[r].model;
+    if (model == "N540X-8Z16G-SYS-A") {
+      EXPECT_FALSE(median_power.has_value());
+      saw_silent = true;
+    } else if (median_power.has_value()) {
+      EXPECT_GT(*median_power, 20.0);
+      saw_reporting = true;
+    }
+  }
+  EXPECT_TRUE(saw_reporting);
+  EXPECT_TRUE(saw_silent);
+}
+
+TEST_F(NetworkSimTest, PsuSnapshotCoversActiveRouters) {
+  const SimTime t = study_begin() + 30 * kSecondsPerDay;
+  const auto snapshot = psu_snapshot(sim(), t);
+  std::size_t active = 0;
+  for (std::size_t r = 0; r < sim().router_count(); ++r) {
+    active += sim().active(r, t) ? 1 : 0;
+  }
+  EXPECT_GT(snapshot.size(), active);  // ~2 PSUs per router
+  for (const PsuObservation& obs : snapshot) {
+    EXPECT_GT(obs.capacity_w, 0.0);
+    EXPECT_GE(obs.input_power_w, 0.0);
+  }
+  // §9.3.1: PSU loads are low (10-20 %); allow a wider band for stragglers.
+  int in_band = 0;
+  for (const PsuObservation& obs : snapshot) {
+    if (obs.load_frac() >= 0.04 && obs.load_frac() <= 0.25) ++in_band;
+  }
+  EXPECT_GT(static_cast<double>(in_band) / snapshot.size(), 0.7);
+}
+
+TEST_F(NetworkSimTest, VisibleInputsExcludeSparesAndDownInterfaces) {
+  NetworkSimulation local(build_switch_like_network(), 13);
+  const SimTime begin = local.topology().options.study_begin;
+  const SimTime t = begin + 5 * kSecondsPerDay;
+
+  std::size_t router = 0;
+  bool found = false;
+  for (std::size_t r = 0; r < local.router_count() && !found; ++r) {
+    for (const DeployedInterface& iface :
+         local.topology().routers[r].interfaces) {
+      if (iface.spare) {
+        router = r;
+        found = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(found);
+
+  const VisibleInputs inputs = visible_inputs(local, router, t);
+  std::size_t non_spare_up = 0;
+  for (std::size_t i = 0; i < local.topology().routers[router].interfaces.size();
+       ++i) {
+    const DeployedInterface& iface =
+        local.topology().routers[router].interfaces[i];
+    if (!iface.spare &&
+        local.interface_state(router, i, t) == InterfaceState::kUp) {
+      ++non_spare_up;
+    }
+  }
+  EXPECT_EQ(inputs.configs.size(), non_spare_up);
+  EXPECT_EQ(inputs.configs.size(), inputs.loads.size());
+  for (const InterfaceLoad& load : inputs.loads) {
+    EXPECT_GT(load.rate_bps, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace joules

@@ -1,0 +1,161 @@
+#include "network/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "device/catalog.hpp"
+#include "network/inventory.hpp"
+
+namespace joules {
+namespace {
+
+const NetworkTopology& topo() {
+  static const NetworkTopology topology = build_switch_like_network();
+  return topology;
+}
+
+TEST(Topology, Has107Routers) {
+  EXPECT_EQ(topo().routers.size(), 107u);
+  EXPECT_EQ(TopologyOptions{}.router_count(), 107);
+}
+
+TEST(Topology, Deterministic) {
+  const NetworkTopology a = build_switch_like_network();
+  const NetworkTopology b = build_switch_like_network();
+  ASSERT_EQ(a.routers.size(), b.routers.size());
+  for (std::size_t i = 0; i < a.routers.size(); ++i) {
+    EXPECT_EQ(a.routers[i].name, b.routers[i].name);
+    EXPECT_EQ(a.routers[i].interfaces.size(), b.routers[i].interfaces.size());
+  }
+  EXPECT_EQ(a.links.size(), b.links.size());
+}
+
+TEST(Topology, AllModelsResolveAndPortsWithinBudget) {
+  for (const DeployedRouter& router : topo().routers) {
+    const auto spec = find_router_spec(router.model);
+    ASSERT_TRUE(spec.has_value()) << router.model;
+    std::map<PortType, std::size_t> used;
+    for (const DeployedInterface& iface : router.interfaces) {
+      used[iface.profile.port] += 1;
+      // Every deployed profile must resolve in the model's truth (possibly
+      // via the rate-relaxed lookup).
+      EXPECT_NE(spec->truth.find_profile_relaxed(iface.profile), nullptr)
+          << router.model << " " << to_string(iface.profile);
+    }
+    std::map<PortType, std::size_t> budget;
+    for (const PortGroup& group : spec->ports) budget[group.type] += group.count;
+    for (const auto& [type, count] : used) {
+      EXPECT_LE(count, budget[type]) << router.model << " " << to_string(type);
+    }
+  }
+}
+
+TEST(Topology, AnonymizedNamesEncodePops) {
+  std::set<std::string> names;
+  for (const DeployedRouter& router : topo().routers) {
+    EXPECT_TRUE(names.insert(router.name).second) << router.name;
+    EXPECT_EQ(router.name.rfind("pop", 0), 0u) << router.name;
+    EXPECT_NE(router.name.find("-r"), std::string::npos) << router.name;
+  }
+}
+
+TEST(Topology, LinksAreConsistent) {
+  const NetworkTopology& topology = topo();
+  for (std::size_t l = 0; l < topology.links.size(); ++l) {
+    const InternalLink& link = topology.links[l];
+    const DeployedInterface& a =
+        topology.routers.at(static_cast<std::size_t>(link.router_a))
+            .interfaces.at(static_cast<std::size_t>(link.iface_a));
+    const DeployedInterface& b =
+        topology.routers.at(static_cast<std::size_t>(link.router_b))
+            .interfaces.at(static_cast<std::size_t>(link.iface_b));
+    EXPECT_EQ(a.link_id, static_cast<int>(l));
+    EXPECT_EQ(b.link_id, static_cast<int>(l));
+    EXPECT_FALSE(a.external);
+    EXPECT_FALSE(b.external);
+    // Same rate on both ends, and correlated traffic (same seed).
+    EXPECT_EQ(a.profile.rate, b.profile.rate);
+    EXPECT_EQ(a.workload_seed, b.workload_seed);
+  }
+}
+
+TEST(Topology, BackboneIsConnected) {
+  // Union-find over internal links: every router must reach router 0 (the
+  // Hypnos evaluation needs a connected graph).
+  const NetworkTopology& topology = topo();
+  std::vector<int> parent(topology.routers.size());
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = static_cast<int>(i);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      x = parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+    }
+    return x;
+  };
+  for (const InternalLink& link : topology.links) {
+    parent[static_cast<std::size_t>(find(link.router_a))] = find(link.router_b);
+  }
+  const int root = find(0);
+  for (std::size_t i = 0; i < topology.routers.size(); ++i) {
+    EXPECT_EQ(find(static_cast<int>(i)), root) << topology.routers[i].name;
+  }
+}
+
+TEST(Topology, ExternalShareNearPaper) {
+  // 51 % of interfaces are external in the Switch dataset.
+  const NetworkTopology& topology = topo();
+  const double share = static_cast<double>(topology.external_interface_count()) /
+                       static_cast<double>(topology.interface_count());
+  EXPECT_NEAR(share, 0.51, 0.08);
+}
+
+TEST(Topology, SparesExistAndAreInternalOnly) {
+  std::size_t spares = 0;
+  for (const DeployedRouter& router : topo().routers) {
+    for (const DeployedInterface& iface : router.interfaces) {
+      if (iface.spare) {
+        ++spares;
+        EXPECT_EQ(iface.link_id, -1);
+      }
+    }
+  }
+  EXPECT_GT(spares, 10u);
+}
+
+TEST(Topology, LifecycleEventsPresent) {
+  int commissioned_mid_study = 0;
+  int decommissioned_mid_study = 0;
+  const TopologyOptions& options = topo().options;
+  for (const DeployedRouter& router : topo().routers) {
+    if (router.commissioned_at > options.study_begin) ++commissioned_mid_study;
+    if (router.decommissioned_at < options.study_end) ++decommissioned_mid_study;
+  }
+  EXPECT_EQ(commissioned_mid_study, 1);
+  EXPECT_EQ(decommissioned_mid_study, 1);
+}
+
+TEST(Inventory, RouterTableHasAllRouters) {
+  const CsvTable table = router_inventory(topo());
+  EXPECT_EQ(table.row_count(), topo().routers.size());
+  EXPECT_EQ(table.cell(0, "router"), topo().routers[0].name);
+  EXPECT_GT(table.cell_double(0, "psu_capacity_w"), 0.0);
+}
+
+TEST(Inventory, ModuleTableRoundTrips) {
+  const NetworkTopology& topology = topo();
+  const CsvTable table = module_inventory(topology);
+  EXPECT_EQ(table.row_count(), topology.interface_count());
+  const std::string router_name = topology.routers[3].name;
+  const auto interfaces = interfaces_of(table, router_name);
+  ASSERT_EQ(interfaces.size(), topology.routers[3].interfaces.size());
+  for (std::size_t i = 0; i < interfaces.size(); ++i) {
+    EXPECT_EQ(interfaces[i].profile, topology.routers[3].interfaces[i].profile);
+    EXPECT_EQ(interfaces[i].transceiver_part,
+              topology.routers[3].interfaces[i].transceiver_part);
+  }
+}
+
+}  // namespace
+}  // namespace joules

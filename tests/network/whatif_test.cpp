@@ -1,0 +1,88 @@
+#include "network/whatif.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sleep/hypnos.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+class ScenarioApiTest : public ::testing::Test {
+ protected:
+  static SimTime eval_at() {
+    return TopologyOptions{}.study_begin + 10 * kSecondsPerDay;
+  }
+  static Scenario make_scenario() {
+    return Scenario(NetworkSimulation(build_switch_like_network(), 7), eval_at());
+  }
+};
+
+TEST_F(ScenarioApiTest, BaselineMustComeFirst) {
+  Scenario scenario = make_scenario();
+  EXPECT_THROW(scenario.apply_hot_standby(), std::logic_error);
+  EXPECT_GT(scenario.baseline_w(), 18000.0);
+  EXPECT_THROW(scenario.baseline_w(), std::logic_error);  // only once
+}
+
+TEST_F(ScenarioApiTest, EveryMeasureSavesPower) {
+  NetworkSimulation planner(build_switch_like_network(), 7);
+  const SimTime begin = planner.topology().options.study_begin;
+  const auto loads = average_link_loads_bps(planner, begin,
+                                            begin + 2 * kSecondsPerDay,
+                                            6 * kSecondsPerHour);
+  const HypnosResult hypnos = run_hypnos(planner.topology(), loads);
+
+  Scenario scenario = make_scenario();
+  const double baseline = scenario.baseline_w();
+  const double after_sleep = scenario.apply_link_sleeping(hypnos);
+  const double after_spares = scenario.remove_spare_transceivers();
+  const double after_standby = scenario.apply_hot_standby();
+
+  EXPECT_LT(after_sleep, baseline);
+  EXPECT_LT(after_spares, after_sleep);
+  EXPECT_LT(after_standby, after_spares);
+
+  const auto& steps = scenario.steps();
+  ASSERT_EQ(steps.size(), 4u);
+  EXPECT_DOUBLE_EQ(steps.back().saved_vs_baseline_w, baseline - after_standby);
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    EXPECT_GT(steps[i].saved_w, 0.0) << steps[i].name;
+  }
+}
+
+TEST_F(ScenarioApiTest, StackedSavingsAreSubAdditiveForPsuMeasure) {
+  // Hot-standby alone vs hot-standby after sleeping+spares: the later
+  // application operates on a smaller DC draw, so it saves no more.
+  NetworkSimulation planner(build_switch_like_network(), 7);
+  const SimTime begin = planner.topology().options.study_begin;
+  const auto loads = average_link_loads_bps(planner, begin,
+                                            begin + 2 * kSecondsPerDay,
+                                            6 * kSecondsPerHour);
+  const HypnosResult hypnos = run_hypnos(planner.topology(), loads);
+
+  Scenario alone = make_scenario();
+  alone.baseline_w();
+  alone.apply_hot_standby();
+  const double standby_alone = alone.steps().back().saved_w;
+
+  Scenario stacked = make_scenario();
+  stacked.baseline_w();
+  stacked.apply_link_sleeping(hypnos);
+  stacked.remove_spare_transceivers();
+  stacked.apply_hot_standby();
+  const double standby_stacked = stacked.steps().back().saved_w;
+
+  EXPECT_LE(standby_stacked, standby_alone + 10.0);
+}
+
+TEST_F(ScenarioApiTest, StepNamesDescribeWhatHappened) {
+  Scenario scenario = make_scenario();
+  scenario.baseline_w();
+  scenario.remove_spare_transceivers();
+  ASSERT_EQ(scenario.steps().size(), 2u);
+  EXPECT_NE(scenario.steps()[1].name.find("spare"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace joules

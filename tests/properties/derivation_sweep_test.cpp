@@ -1,0 +1,138 @@
+// The strongest integration property: for a sweep of catalog devices, run
+// the full §5 battery against the simulated DUT and require that every
+// derived parameter tracks the hidden truth within the wall-power scaling
+// envelope. One TEST_P instance per device.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/catalog.hpp"
+#include "psu/efficiency_curve.hpp"
+#include "netpowerbench/derivation.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+struct SweepCase {
+  const char* model;
+  ProfileKey profile;
+};
+
+class DerivationSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(DerivationSweep, DerivedParametersTrackTruth) {
+  const SweepCase& test_case = GetParam();
+  const RouterSpec spec = find_router_spec(test_case.model).value();
+  SimulatedRouter dut(spec, 0xBEEF ^ std::hash<std::string>{}(test_case.model));
+  OrchestratorOptions lab;
+  lab.start_time = make_time(2025, 6, 1);
+  lab.measure_s = 600;
+  lab.repeats = 2;
+  Orchestrator orchestrator(dut, PowerMeter(PowerMeterSpec{}, 0xCAFE), lab);
+
+  const DerivedModel derived = derive_power_model(orchestrator,
+                                                  {test_case.profile});
+  const InterfaceProfile* got = derived.model.find_profile(test_case.profile);
+  ASSERT_NE(got, nullptr);
+  const InterfaceProfile* truth = spec.truth.find_profile(test_case.profile);
+  ASSERT_NE(truth, nullptr);
+
+  // The wall-scaling envelope follows from the device's own PSU parameters
+  // at its idle operating point: each PSU carries dc_base / count, and its
+  // unit offset is within 3 sigma of the model mean.
+  const double dc_base = spec.truth.base_power_w() +
+                         FanModel(spec.fan).power_w(lab.lab_ambient_c) +
+                         spec.control_plane_mean_w;
+  const double base_load =
+      (dc_base / std::max(1, spec.psu_count)) / spec.psu_capacity_w;
+  const double eff_floor = std::max(
+      0.30, pfe600_curve().at(0.8 * base_load) + spec.psu_efficiency_offset_mean -
+                3.0 * spec.psu_efficiency_offset_spread);
+  const double hi = 1.0 / eff_floor;  // max wall-scaling factor
+  EXPECT_GE(derived.base_power_w, dc_base * 0.98);
+  EXPECT_LE(derived.base_power_w, dc_base * hi * 1.02);
+
+  // Static per-interface terms: within the scaling envelope plus noise floor.
+  auto in_envelope = [&](double truth_w, double derived_w, double noise_w) {
+    EXPECT_GE(derived_w, truth_w - noise_w);
+    EXPECT_LE(derived_w, truth_w * hi + noise_w);
+  };
+  in_envelope(truth->port_power_w, got->port_power_w, 0.12);
+  in_envelope(truth->trx_in_power_w, got->trx_in_power_w, 0.08);
+  in_envelope(truth->trx_in_power_w + truth->port_power_w +
+                  truth->trx_up_power_w,
+              got->trx_in_power_w + got->port_power_w + got->trx_up_power_w,
+              0.2);
+
+  // E_bit: relative envelope (the regression can trade a little between
+  // E_bit and E_pkt, so the lower bound is loose).
+  EXPECT_GE(joules_to_picojoules(got->energy_per_bit_j),
+            joules_to_picojoules(truth->energy_per_bit_j) * 0.75);
+  EXPECT_LE(joules_to_picojoules(got->energy_per_bit_j),
+            joules_to_picojoules(truth->energy_per_bit_j) * hi * 1.2);
+}
+
+// §7's "transceiver power is independent of the traffic load" check, as the
+// paper runs it on Table 2(b): derive the SAME device with an optical and a
+// passive electrical transceiver; if the module power were load-dependent,
+// the two E_bit estimates would differ. They must come out equal.
+TEST(TransceiverIndependence, OpticalAndDacEbitAgreeOnNexus9336) {
+  const RouterSpec spec = find_router_spec("Nexus9336-FX2").value();
+  SimulatedRouter dut(spec, 0x9336);
+  OrchestratorOptions lab;
+  lab.start_time = make_time(2025, 6, 10);
+  lab.measure_s = 600;
+  lab.repeats = 2;
+  Orchestrator orchestrator(dut, PowerMeter(PowerMeterSpec{}, 0x9337), lab);
+
+  const ProfileKey lr{PortType::kQSFP28, TransceiverKind::kLR, LineRate::kG100};
+  const ProfileKey dac{PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                       LineRate::kG100};
+  const DerivedModel derived = derive_power_model(orchestrator, {lr, dac});
+  const double ebit_lr =
+      joules_to_picojoules(derived.model.find_profile(lr)->energy_per_bit_j);
+  const double ebit_dac =
+      joules_to_picojoules(derived.model.find_profile(dac)->energy_per_bit_j);
+  // Paper Table 2(b): 8 pJ for both. Equal within measurement noise.
+  EXPECT_NEAR(ebit_lr, ebit_dac, 1.6);
+  EXPECT_NEAR(ebit_lr, 8.0 / 0.9, 1.5);  // wall-scaled truth
+  // And the static transceiver terms differ hugely (optics vs copper), which
+  // is what makes the equality of the dynamic terms informative.
+  EXPECT_GT(derived.model.find_profile(lr)->trx_in_power_w,
+            derived.model.find_profile(dac)->trx_in_power_w + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Devices, DerivationSweep,
+    ::testing::Values(
+        SweepCase{"NCS-55A1-24H",
+                  {PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                   LineRate::kG100}},
+        SweepCase{"NCS-55A1-24H",
+                  {PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                   LineRate::kG50}},
+        SweepCase{"Nexus9336-FX2",
+                  {PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                   LineRate::kG100}},
+        SweepCase{"8201-32FH",
+                  {PortType::kQSFPDD, TransceiverKind::kPassiveDAC,
+                   LineRate::kG100}},
+        SweepCase{"Wedge 100BF-32X",
+                  {PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                   LineRate::kG100}},
+        SweepCase{"Nexus 93108TC-FX3P",
+                  {PortType::kRJ45, TransceiverKind::kBaseT, LineRate::kG10}},
+        SweepCase{"VSP-4900",
+                  {PortType::kSFPPlus, TransceiverKind::kBaseT, LineRate::kG10}}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      std::string name = std::string(info.param.model) + "_" +
+                         std::string(to_string(info.param.profile.rate));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace joules

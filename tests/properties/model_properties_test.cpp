@@ -1,0 +1,133 @@
+// Property sweeps over the whole router catalog: invariants every device
+// model must satisfy, parameterized with TEST_P so each (model, property)
+// pair is its own ctest entry.
+#include <gtest/gtest.h>
+
+#include "device/catalog.hpp"
+#include "model/model_io.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+class CatalogModelProperties : public ::testing::TestWithParam<std::string> {
+ protected:
+  RouterSpec spec() const { return find_router_spec(GetParam()).value(); }
+};
+
+TEST_P(CatalogModelProperties, BasePowerPositive) {
+  EXPECT_GT(spec().truth.base_power_w(), 0.0);
+}
+
+TEST_P(CatalogModelProperties, ProfileTermsSane) {
+  for (const InterfaceProfile& p : spec().truth.profiles()) {
+    // Enabling a port can only add power (P_port >= 0 for every device the
+    // paper modeled), and a plugged+up interface always costs something.
+    EXPECT_GE(p.port_power_w, 0.0) << to_string(p.key);
+    EXPECT_GE(p.trx_in_power_w, 0.0) << to_string(p.key);
+    EXPECT_GT(p.up_power_w(), -1e-9) << to_string(p.key);
+    // E_bit is positive on every row of Tables 2 and 6.
+    EXPECT_GT(p.energy_per_bit_j, 0.0) << to_string(p.key);
+    // Per-interface terms are small relative to the base.
+    EXPECT_LT(p.up_power_w(), spec().truth.base_power_w()) << to_string(p.key);
+  }
+}
+
+TEST_P(CatalogModelProperties, DynamicPowerMonotoneInRate) {
+  for (const InterfaceProfile& p : spec().truth.profiles()) {
+    const double line = line_rate_bps(p.key.rate);
+    double previous = -1e9;
+    for (const double frac : {0.01, 0.1, 0.3, 0.6, 0.9}) {
+      const double rate = frac * line;
+      const double pps = packet_rate_for_bit_rate(rate, 512);
+      const double power = p.dynamic_power_w(rate, pps);
+      EXPECT_GE(power, previous - 1e-12) << to_string(p.key) << " @" << frac;
+      previous = power;
+    }
+  }
+}
+
+TEST_P(CatalogModelProperties, StaticStatesOrdered) {
+  for (const InterfaceProfile& p : spec().truth.profiles()) {
+    EXPECT_LE(p.plugged_power_w(), p.enabled_power_w() + 1e-12)
+        << to_string(p.key);
+  }
+}
+
+TEST_P(CatalogModelProperties, TruthSerializationRoundTrips) {
+  const PowerModel truth = spec().truth;
+  EXPECT_EQ(model_from_string(model_to_string(truth)), truth);
+}
+
+TEST_P(CatalogModelProperties, PredictionAdditiveOverInterfaces) {
+  // P_sta is a sum over interfaces (Eq. 2): predicting k interfaces equals
+  // base + k * per-interface static power.
+  const PowerModel truth = spec().truth;
+  for (const InterfaceProfile& p : truth.profiles()) {
+    InterfaceConfig config;
+    config.profile = p.key;
+    config.state = InterfaceState::kUp;
+    const std::vector<InterfaceConfig> one(1, config);
+    const std::vector<InterfaceConfig> five(5, config);
+    const double single = truth.predict(one).total_w() - truth.base_power_w();
+    const double quintuple = truth.predict(five).total_w() - truth.base_power_w();
+    EXPECT_NEAR(quintuple, 5.0 * single, 1e-9) << to_string(p.key);
+  }
+}
+
+TEST_P(CatalogModelProperties, SimulatedRouterDeterministic) {
+  const RouterSpec router_spec = spec();
+  SimulatedRouter a(router_spec, 123);
+  SimulatedRouter b(router_spec, 123);
+  a.set_ambient_override_c(22.0);
+  b.set_ambient_override_c(22.0);
+  const SimTime t = make_time(2025, 1, 15);
+  EXPECT_DOUBLE_EQ(a.wall_power_w(t), b.wall_power_w(t));
+  EXPECT_DOUBLE_EQ(a.dc_power_w(t), b.dc_power_w(t));
+}
+
+TEST_P(CatalogModelProperties, WallPowerNeverBelowDcPower) {
+  // Conversion can only lose energy: curves are clamped to <= 100 %.
+  const RouterSpec router_spec = spec();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SimulatedRouter router(router_spec, seed);
+    router.set_ambient_override_c(22.0);
+    const SimTime t = make_time(2025, 1, 15) + static_cast<SimTime>(seed) * 997;
+    EXPECT_GE(router.wall_power_w(t), router.dc_power_w(t) - 1e-9) << seed;
+  }
+}
+
+TEST_P(CatalogModelProperties, HotStandbyNeverWorseThanActiveActive) {
+  // With standby draw <= the balancing losses it replaces, hot-standby can
+  // only help at the low loads these routers run at.
+  RouterSpec router_spec = spec();
+  if (router_spec.psu_count < 2) GTEST_SKIP() << "single-PSU platform";
+  router_spec.psu_standby_w = 0.0;  // isolate the curve effect
+  SimulatedRouter balanced(router_spec, 7);
+  SimulatedRouter standby(router_spec, 7);
+  balanced.set_ambient_override_c(22.0);
+  standby.set_ambient_override_c(22.0);
+  standby.set_psu_mode(PsuMode::kHotStandby);
+  const SimTime t = make_time(2025, 1, 15);
+  EXPECT_LE(standby.wall_power_w(t), balanced.wall_power_w(t) + 1e-9);
+}
+
+std::vector<std::string> all_model_names() {
+  std::vector<std::string> names;
+  for (const RouterSpec& spec : all_router_specs()) names.push_back(spec.model);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCatalogModels, CatalogModelProperties,
+    ::testing::ValuesIn(all_model_names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace joules

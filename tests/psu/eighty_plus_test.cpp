@@ -1,0 +1,76 @@
+#include "psu/eighty_plus.hpp"
+
+#include <gtest/gtest.h>
+
+namespace joules {
+namespace {
+
+TEST(EightyPlus, LevelsHaveIncreasingRequirements) {
+  double previous = 0.0;
+  for (const EightyPlusLevel level : kAllEightyPlusLevels) {
+    const auto points = set_points(level);
+    ASSERT_FALSE(points.empty());
+    double at50 = 0.0;
+    for (const SetPoint& sp : points) {
+      if (sp.load_frac == 0.50) at50 = sp.min_efficiency;
+    }
+    EXPECT_GT(at50, previous) << to_string(level);
+    previous = at50;
+  }
+}
+
+TEST(EightyPlus, TitaniumHasTenPercentSetPoint) {
+  const auto points = set_points(EightyPlusLevel::kTitanium);
+  EXPECT_EQ(points.size(), 4u);
+  EXPECT_DOUBLE_EQ(points.front().load_frac, 0.10);
+}
+
+TEST(EightyPlus, Pfe600IsPlatinumButNotTitanium) {
+  // Fig. 5: the PFE600 is Platinum-rated.
+  const EfficiencyCurve& curve = pfe600_curve();
+  EXPECT_TRUE(is_certified(curve, EightyPlusLevel::kBronze));
+  EXPECT_TRUE(is_certified(curve, EightyPlusLevel::kGold));
+  EXPECT_TRUE(is_certified(curve, EightyPlusLevel::kPlatinum));
+  EXPECT_FALSE(is_certified(curve, EightyPlusLevel::kTitanium));
+  EXPECT_EQ(certification(curve).value(), EightyPlusLevel::kPlatinum);
+}
+
+TEST(EightyPlus, PoorCurveHasNoCertification) {
+  const EfficiencyCurve poor = pfe600_curve().offset_by(-0.20);
+  EXPECT_FALSE(certification(poor).has_value());
+}
+
+TEST(EightyPlus, StandardCurveMeetsItsOwnSetPoints) {
+  for (const EightyPlusLevel level : kAllEightyPlusLevels) {
+    const EfficiencyCurve curve = standard_curve(level);
+    EXPECT_TRUE(is_certified(curve, level)) << to_string(level);
+  }
+}
+
+TEST(EightyPlus, StandardCurvesAreOrdered) {
+  // At any load, a higher standard's curve is at least as efficient.
+  const EfficiencyCurve bronze = standard_curve(EightyPlusLevel::kBronze);
+  const EfficiencyCurve platinum = standard_curve(EightyPlusLevel::kPlatinum);
+  const EfficiencyCurve titanium = standard_curve(EightyPlusLevel::kTitanium);
+  for (const double load : {0.05, 0.1, 0.2, 0.5, 0.8, 1.0}) {
+    EXPECT_LE(bronze.at(load), platinum.at(load)) << load;
+    EXPECT_LE(platinum.at(load), titanium.at(load)) << load;
+  }
+}
+
+TEST(EightyPlus, StandardCurveIsMinimal) {
+  // The standard curve should touch (not exceed by much) its binding set
+  // point: shifting it down by any amount must break certification.
+  for (const EightyPlusLevel level : kAllEightyPlusLevels) {
+    const EfficiencyCurve curve = standard_curve(level);
+    EXPECT_FALSE(is_certified(curve.offset_by(-0.005), level)) << to_string(level);
+  }
+}
+
+TEST(EightyPlus, ToStringNames) {
+  EXPECT_EQ(to_string(EightyPlusLevel::kBronze), "Bronze");
+  EXPECT_EQ(to_string(EightyPlusLevel::kTitanium), "Titanium");
+}
+
+}  // namespace
+}  // namespace joules

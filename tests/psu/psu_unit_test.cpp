@@ -1,0 +1,69 @@
+#include "psu/psu_unit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace joules {
+namespace {
+
+PsuObservation make_obs(const std::string& router, int index, double cap,
+                        double in, double out) {
+  PsuObservation obs;
+  obs.router_name = router;
+  obs.router_model = "test-model";
+  obs.psu_index = index;
+  obs.capacity_w = cap;
+  obs.input_power_w = in;
+  obs.output_power_w = out;
+  return obs;
+}
+
+TEST(PsuObservation, LoadAndEfficiency) {
+  const PsuObservation obs = make_obs("r1", 0, 1000, 200, 170);
+  EXPECT_DOUBLE_EQ(obs.load_frac(), 0.17);
+  EXPECT_DOUBLE_EQ(obs.efficiency(), 0.85);
+  EXPECT_DOUBLE_EQ(obs.loss_w(), 30.0);
+}
+
+TEST(PsuObservation, EfficiencyCappedAtHundredPercent) {
+  // §9.2: some sensors report P_out > P_in (physically impossible); the
+  // paper caps efficiency at 100 %.
+  const PsuObservation obs = make_obs("r1", 0, 1000, 150, 160);
+  EXPECT_DOUBLE_EQ(obs.efficiency(), 1.0);
+  EXPECT_DOUBLE_EQ(obs.loss_w(), 0.0);
+}
+
+TEST(PsuObservation, DegenerateInputsAreSafe) {
+  const PsuObservation zero_cap = make_obs("r1", 0, 0, 100, 80);
+  EXPECT_DOUBLE_EQ(zero_cap.load_frac(), 0.0);
+  const PsuObservation zero_in = make_obs("r1", 0, 1000, 0, 0);
+  EXPECT_DOUBLE_EQ(zero_in.efficiency(), 0.0);
+}
+
+TEST(PsuObservation, CalibratedCurvePassesThroughObservation) {
+  const PsuObservation obs = make_obs("r1", 0, 1000, 200, 150);
+  const EfficiencyCurve curve = obs.calibrated_curve();
+  EXPECT_NEAR(curve.at(obs.load_frac()), obs.efficiency(), 1e-12);
+}
+
+TEST(RouterPsuGroup, Totals) {
+  RouterPsuGroup group;
+  group.psus = {make_obs("r1", 0, 1000, 200, 170),
+                make_obs("r1", 1, 1000, 180, 150)};
+  EXPECT_DOUBLE_EQ(group.total_input_w(), 380.0);
+  EXPECT_DOUBLE_EQ(group.total_output_w(), 320.0);
+}
+
+TEST(GroupByRouter, GroupsAndPreservesOrder) {
+  std::vector<PsuObservation> flat = {
+      make_obs("r1", 0, 1000, 200, 170), make_obs("r2", 0, 500, 100, 80),
+      make_obs("r1", 1, 1000, 190, 160), make_obs("r3", 0, 250, 50, 40)};
+  const auto groups = group_by_router(std::move(flat));
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].router_name, "r1");
+  EXPECT_EQ(groups[0].psus.size(), 2u);
+  EXPECT_EQ(groups[1].router_name, "r2");
+  EXPECT_EQ(groups[2].router_name, "r3");
+}
+
+}  // namespace
+}  // namespace joules

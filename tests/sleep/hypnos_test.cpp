@@ -1,0 +1,174 @@
+#include "sleep/hypnos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "sleep/savings.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+// A small hand-built topology: a 4-node ring plus one chord, all 100G.
+NetworkTopology ring_topology() {
+  NetworkTopology topology;
+  topology.pops = {"pop01"};
+  const ProfileKey dac{PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                       LineRate::kG100};
+  for (int i = 0; i < 4; ++i) {
+    DeployedRouter router;
+    router.name = "pop01-r" + std::to_string(i + 1);
+    router.model = "NCS-55A1-24H";
+    topology.routers.push_back(std::move(router));
+  }
+  auto add_link = [&](int a, int b) {
+    const int link_id = static_cast<int>(topology.links.size());
+    auto add_iface = [&](int router) {
+      DeployedInterface iface;
+      iface.name = "if-" + std::to_string(link_id);
+      iface.profile = dac;
+      iface.transceiver_part = "QSFP28-100G-DAC";
+      iface.external = false;
+      iface.link_id = link_id;
+      topology.routers[static_cast<std::size_t>(router)].interfaces.push_back(iface);
+      return static_cast<int>(
+                 topology.routers[static_cast<std::size_t>(router)].interfaces.size()) -
+             1;
+    };
+    InternalLink link;
+    link.router_a = a;
+    link.iface_a = add_iface(a);
+    link.router_b = b;
+    link.iface_b = add_iface(b);
+    topology.links.push_back(link);
+  };
+  add_link(0, 1);  // link 0
+  add_link(1, 2);  // link 1
+  add_link(2, 3);  // link 2
+  add_link(3, 0);  // link 3
+  add_link(0, 2);  // link 4 (chord)
+  return topology;
+}
+
+TEST(Hypnos, SleepsLightLinksKeepsConnectivity) {
+  const NetworkTopology topology = ring_topology();
+  // All links lightly loaded: the greedy pass can sleep links until the
+  // graph would disconnect (a 4-node graph needs >= 3 edges).
+  const std::vector<double> loads(5, gbps_to_bps(1));
+  const HypnosResult result = run_hypnos(topology, loads);
+  EXPECT_EQ(result.sleeping_links.size(), 2u);
+  EXPECT_EQ(result.candidate_links, 5u);
+  EXPECT_NEAR(result.fraction_off(), 0.4, 1e-9);
+}
+
+TEST(Hypnos, ReroutedTrafficRespectsUtilizationCeiling) {
+  const NetworkTopology topology = ring_topology();
+  // Load the chord heavily; other links moderate. With a 50 % ceiling the
+  // chord (40G one-way) can only move if the detour stays under 50G.
+  std::vector<double> loads = {gbps_to_bps(30), gbps_to_bps(30), gbps_to_bps(30),
+                               gbps_to_bps(30), gbps_to_bps(40)};
+  const HypnosResult result = run_hypnos(topology, loads);
+  // No link can sleep: any reroute pushes a survivor over 50 % of 100G.
+  EXPECT_TRUE(result.sleeping_links.empty());
+  // Loads unchanged.
+  for (std::size_t l = 0; l < loads.size(); ++l) {
+    EXPECT_DOUBLE_EQ(result.final_loads_bps[l], loads[l]);
+  }
+}
+
+TEST(Hypnos, TrafficIsConservedByRerouting) {
+  const NetworkTopology topology = ring_topology();
+  const std::vector<double> loads = {gbps_to_bps(2), gbps_to_bps(4),
+                                     gbps_to_bps(6), gbps_to_bps(8),
+                                     gbps_to_bps(10)};
+  const HypnosResult result = run_hypnos(topology, loads);
+  double before = 0.0;
+  double after = 0.0;
+  for (const double value : loads) before += value;
+  for (const double value : result.final_loads_bps) after += value;
+  // Rerouting moves traffic onto (possibly longer) paths, so total carried
+  // bits can only grow or stay equal, never vanish.
+  EXPECT_GE(after + 1.0, before);
+  for (const int link_id : result.sleeping_links) {
+    EXPECT_DOUBLE_EQ(result.final_loads_bps[static_cast<std::size_t>(link_id)], 0.0);
+  }
+}
+
+TEST(Hypnos, ValidatesInputs) {
+  const NetworkTopology topology = ring_topology();
+  const std::vector<double> wrong_size(3, 0.0);
+  EXPECT_THROW(run_hypnos(topology, wrong_size), std::invalid_argument);
+  const std::vector<double> loads(5, 0.0);
+  HypnosOptions bad;
+  bad.max_utilization = 0.0;
+  EXPECT_THROW(run_hypnos(topology, loads, bad), std::invalid_argument);
+}
+
+TEST(Hypnos, FullNetworkSleepsAroundAThirdOfLinks) {
+  // [31]: Hypnos turns off around one third of the links on the Switch
+  // traces; the simulated network is similarly over-provisioned.
+  const NetworkSimulation sim(build_switch_like_network(), 3);
+  const SimTime begin = sim.topology().options.study_begin;
+  const auto loads =
+      average_link_loads_bps(sim, begin, begin + 7 * kSecondsPerDay,
+                             6 * kSecondsPerHour);
+  const HypnosResult result = run_hypnos(sim.topology(), loads);
+  EXPECT_GT(result.fraction_off(), 0.15);
+  EXPECT_LT(result.fraction_off(), 0.65);
+}
+
+TEST(Table5, MatchesPaperValues) {
+  const auto& rows = table5_port_power();
+  EXPECT_DOUBLE_EQ(rows.at(PortType::kSFP).port_w, 0.05);
+  EXPECT_DOUBLE_EQ(rows.at(PortType::kSFPPlus).port_w, 0.55);
+  EXPECT_DOUBLE_EQ(rows.at(PortType::kQSFP28).port_w, 0.53);
+  EXPECT_DOUBLE_EQ(rows.at(PortType::kQSFPDD).port_w, 1.82);
+  EXPECT_DOUBLE_EQ(rows.at(PortType::kQSFP28).trx_up_w, 0.126);
+  EXPECT_DOUBLE_EQ(rows.at(PortType::kSFPPlus).trx_up_w, -0.016);
+}
+
+TEST(SleepSavings, BracketsAreOrderedAndScaleWithLinks) {
+  const NetworkTopology topology = ring_topology();
+  HypnosResult result;
+  result.candidate_links = 5;
+  result.sleeping_links = {0, 4};
+  const SleepSavings savings = estimate_sleep_savings(topology, result, 22000.0);
+  EXPECT_EQ(savings.links_off, 2u);
+  EXPECT_EQ(savings.interfaces_off, 4u);
+  // min = 4 ports x 0.53 W; max adds 4 DAC modules at 0.5 W datasheet.
+  EXPECT_NEAR(savings.min_w, 4 * 0.53, 1e-9);
+  EXPECT_NEAR(savings.max_w, 4 * 0.53 + 4 * 0.5, 1e-9);
+  EXPECT_LT(savings.min_frac(), savings.max_frac());
+}
+
+TEST(SleepSavings, DatasheetFallbackForSynthesizedParts) {
+  DeployedInterface iface;
+  iface.transceiver_part = "SFP+-25G-LR";  // synthesized, not in catalogue
+  iface.profile = {PortType::kSFPPlus, TransceiverKind::kLR, LineRate::kG25};
+  EXPECT_DOUBLE_EQ(datasheet_transceiver_power_w(iface), 1.2);
+  iface.transceiver_part = "QSFP-DD-400G-FR4";
+  iface.profile = {PortType::kQSFPDD, TransceiverKind::kFR4, LineRate::kG400};
+  EXPECT_DOUBLE_EQ(datasheet_transceiver_power_w(iface), 12.0);
+}
+
+TEST(SleepSavings, FullNetworkWithinPaperBand) {
+  // §8: 80-390 W, i.e. 0.4-1.9 % of total router power.
+  const NetworkSimulation sim(build_switch_like_network(), 3);
+  const SimTime begin = sim.topology().options.study_begin;
+  const auto loads = average_link_loads_bps(
+      sim, begin, begin + 7 * kSecondsPerDay, 6 * kSecondsPerHour);
+  const HypnosResult result = run_hypnos(sim.topology(), loads);
+  double network_power = 0.0;
+  for (std::size_t r = 0; r < sim.router_count(); ++r) {
+    network_power += sim.wall_power_w(r, begin + kSecondsPerDay);
+  }
+  const SleepSavings savings =
+      estimate_sleep_savings(sim.topology(), result, network_power);
+  EXPECT_GT(savings.min_frac(), 0.001);
+  EXPECT_LT(savings.max_frac(), 0.03);
+  EXPECT_LT(savings.min_w, savings.max_w);
+}
+
+}  // namespace
+}  // namespace joules

@@ -1,0 +1,93 @@
+// Time-varying Hypnos: the diurnal schedule behaviour of [31].
+#include <gtest/gtest.h>
+
+#include "sleep/hypnos.hpp"
+#include "sleep/savings.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+class ScheduleTest : public ::testing::Test {
+ protected:
+  static const NetworkSimulation& sim() {
+    static const NetworkSimulation simulation(build_switch_like_network(), 3);
+    return simulation;
+  }
+  static SimTime day_start() {
+    // A Tuesday, to avoid weekend effects in the day/night comparison.
+    return make_time(2024, 9, 3);
+  }
+};
+
+TEST_F(ScheduleTest, WindowsTileTheSpan) {
+  const SleepSchedule schedule = run_hypnos_schedule(
+      sim(), day_start(), day_start() + kSecondsPerDay, 6 * kSecondsPerHour,
+      kSecondsPerHour);
+  ASSERT_EQ(schedule.windows.size(), 4u);
+  EXPECT_EQ(schedule.windows.front().begin, day_start());
+  EXPECT_EQ(schedule.windows.back().end, day_start() + kSecondsPerDay);
+  for (std::size_t i = 1; i < schedule.windows.size(); ++i) {
+    EXPECT_EQ(schedule.windows[i].begin, schedule.windows[i - 1].end);
+  }
+}
+
+TEST_F(ScheduleTest, MoreLinksSleepAtNightThanAtPeak) {
+  // 4-hour windows over one weekday: the night window (00-04 UTC) must sleep
+  // at least as many links as the peak window (12-16 UTC, peak hour ~14).
+  const SleepSchedule schedule = run_hypnos_schedule(
+      sim(), day_start(), day_start() + kSecondsPerDay, 4 * kSecondsPerHour,
+      kSecondsPerHour);
+  ASSERT_EQ(schedule.windows.size(), 6u);
+  const std::size_t night = schedule.windows[0].result.sleeping_links.size();
+  const std::size_t peak = schedule.windows[3].result.sleeping_links.size();
+  EXPECT_GE(night, peak);
+  EXPECT_GE(schedule.max_links_off(), schedule.min_links_off());
+}
+
+TEST_F(ScheduleTest, FractionLinkTimeOffBetweenMinAndMax) {
+  const SleepSchedule schedule = run_hypnos_schedule(
+      sim(), day_start(), day_start() + kSecondsPerDay, 6 * kSecondsPerHour,
+      kSecondsPerHour);
+  const double fraction = schedule.fraction_link_time_off();
+  EXPECT_GE(fraction,
+            static_cast<double>(schedule.min_links_off()) /
+                static_cast<double>(schedule.candidate_links) - 1e-9);
+  EXPECT_LE(fraction,
+            static_cast<double>(schedule.max_links_off()) /
+                static_cast<double>(schedule.candidate_links) + 1e-9);
+  EXPECT_GT(fraction, 0.1);
+  EXPECT_LT(fraction, 0.7);
+}
+
+TEST_F(ScheduleTest, EnergyBracketConsistentWithPowerBracket) {
+  const SleepSchedule schedule = run_hypnos_schedule(
+      sim(), day_start(), day_start() + kSecondsPerDay, 6 * kSecondsPerHour,
+      kSecondsPerHour);
+  const SleepEnergySavings energy = estimate_schedule_energy(sim(), schedule);
+  EXPECT_GT(energy.network_kwh, 400.0);  // ~24 kW x 24 h ~ 580 kWh
+  EXPECT_LT(energy.network_kwh, 700.0);
+  EXPECT_GT(energy.min_kwh, 0.0);
+  EXPECT_LT(energy.min_kwh, energy.max_kwh);
+  // §8's percentage band holds in energy terms too.
+  EXPECT_GT(energy.min_frac(), 0.001);
+  EXPECT_LT(energy.max_frac(), 0.03);
+}
+
+TEST_F(ScheduleTest, ValidatesInputs) {
+  EXPECT_THROW(run_hypnos_schedule(sim(), day_start(), day_start(), 3600, 600),
+               std::invalid_argument);
+  EXPECT_THROW(
+      run_hypnos_schedule(sim(), day_start(), day_start() + 100, 0, 600),
+      std::invalid_argument);
+}
+
+TEST_F(ScheduleTest, EmptyScheduleSafeAccessors) {
+  SleepSchedule empty;
+  EXPECT_DOUBLE_EQ(empty.fraction_link_time_off(), 0.0);
+  EXPECT_EQ(empty.min_links_off(), 0u);
+  EXPECT_EQ(empty.max_links_off(), 0u);
+}
+
+}  // namespace
+}  // namespace joules

@@ -1,0 +1,89 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace joules {
+namespace {
+
+TEST(Descriptive, MeanAndSum) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(sum(v), 10.0);
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Descriptive, KahanSumStaysAccurate) {
+  std::vector<double> v(1000000, 0.1);
+  EXPECT_NEAR(sum(v), 100000.0, 1e-6);
+}
+
+TEST(Descriptive, VarianceAndStddev) {
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(variance(v), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 2.0);
+}
+
+TEST(Descriptive, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4, 1, 3, 2}), 2.5);
+}
+
+TEST(Descriptive, QuantileInterpolation) {
+  const std::vector<double> v = {0, 10};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 10.0);
+}
+
+TEST(Descriptive, QuantileRejectsBadQ) {
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(quantile(v, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(v, 1.1), std::invalid_argument);
+}
+
+TEST(Descriptive, EmptyInputThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW(mean(empty), std::invalid_argument);
+  EXPECT_THROW(median(empty), std::invalid_argument);
+  EXPECT_THROW(min_value(empty), std::invalid_argument);
+  EXPECT_THROW(summarize(empty), std::invalid_argument);
+}
+
+TEST(Descriptive, MinMax) {
+  const std::vector<double> v = {5, -2, 7};
+  EXPECT_DOUBLE_EQ(min_value(v), -2.0);
+  EXPECT_DOUBLE_EQ(max_value(v), 7.0);
+}
+
+TEST(Descriptive, CorrelationPerfectAndNone) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y_pos = {2, 4, 6, 8};
+  const std::vector<double> y_neg = {8, 6, 4, 2};
+  const std::vector<double> y_flat = {5, 5, 5, 5};
+  EXPECT_NEAR(correlation(x, y_pos), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(x, y_neg), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(correlation(x, y_flat), 0.0);
+}
+
+TEST(Descriptive, CorrelationSizeMismatchThrows) {
+  const std::vector<double> x = {1, 2};
+  const std::vector<double> y = {1};
+  EXPECT_THROW(correlation(x, y), std::invalid_argument);
+}
+
+TEST(Descriptive, SummaryFields) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p25, 2.0);
+  EXPECT_DOUBLE_EQ(s.p75, 4.0);
+}
+
+}  // namespace
+}  // namespace joules

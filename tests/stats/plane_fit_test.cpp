@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "device/catalog.hpp"
+#include "netpowerbench/derivation.hpp"
+#include "stats/regression.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+TEST(PlaneFit, ExactPlane) {
+  // y = 2*x1 - 3*x2 + 5 on a non-degenerate grid.
+  std::vector<double> x1;
+  std::vector<double> x2;
+  std::vector<double> y;
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      x1.push_back(i);
+      x2.push_back(j * j);  // nonlinear in i so the regressors decorrelate
+      y.push_back(2.0 * i - 3.0 * j * j + 5.0);
+    }
+  }
+  const PlaneFit fit = fit_plane(x1, x2, y);
+  EXPECT_NEAR(fit.a, 2.0, 1e-9);
+  EXPECT_NEAR(fit.b, -3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.at(10, 2), 2.0 * 10 - 3.0 * 2 + 5.0, 1e-9);
+}
+
+TEST(PlaneFit, NoisyPlaneRecovered) {
+  Rng rng(99);
+  std::vector<double> x1;
+  std::vector<double> x2;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.uniform(0, 10);
+    const double b = rng.uniform(0, 10);
+    x1.push_back(a);
+    x2.push_back(b);
+    y.push_back(1.5 * a + 0.7 * b - 2.0 + rng.normal(0, 0.1));
+  }
+  const PlaneFit fit = fit_plane(x1, x2, y);
+  EXPECT_NEAR(fit.a, 1.5, 0.01);
+  EXPECT_NEAR(fit.b, 0.7, 0.01);
+  EXPECT_NEAR(fit.intercept, -2.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(PlaneFit, RejectsCollinearRegressors) {
+  // x2 = 2*x1: the bit/packet-rate degeneracy that forces the paper's
+  // frame-size sweep in the first place.
+  const std::vector<double> x1 = {1, 2, 3, 4};
+  const std::vector<double> x2 = {2, 4, 6, 8};
+  const std::vector<double> y = {1, 2, 3, 4};
+  EXPECT_THROW(fit_plane(x1, x2, y), std::invalid_argument);
+}
+
+TEST(PlaneFit, ValidatesInput) {
+  const std::vector<double> two = {1, 2};
+  EXPECT_THROW(fit_plane(two, two, two), std::invalid_argument);
+  const std::vector<double> three = {1, 2, 3};
+  EXPECT_THROW(fit_plane(two, three, three), std::invalid_argument);
+}
+
+TEST(EnergyEstimators, TwoStepAndDirectAgreeOnTheSameSweep) {
+  // Both estimators see the same physics; on a clean DUT they must land on
+  // the same E_bit/E_pkt within noise. (The frame-size sweep is what makes
+  // the direct fit well-conditioned: at a single L, bit and packet rates are
+  // proportional and fit_plane would throw.)
+  const RouterSpec spec = find_router_spec("NCS-55A1-24H").value();
+  const ProfileKey key{PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                       LineRate::kG100};
+  auto derive_with = [&](EnergyEstimator estimator) {
+    SimulatedRouter dut(spec, 777);
+    OrchestratorOptions lab;
+    lab.start_time = make_time(2025, 3, 1);
+    lab.measure_s = 600;
+    lab.repeats = 2;
+    Orchestrator orchestrator(dut, PowerMeter(PowerMeterSpec{}, 778), lab);
+    DerivationOptions options;
+    options.energy_estimator = estimator;
+    return derive_power_model(orchestrator, {key}, options);
+  };
+
+  const DerivedModel two_step = derive_with(EnergyEstimator::kTwoStep);
+  const DerivedModel direct = derive_with(EnergyEstimator::kDirect);
+  const InterfaceProfile* a = two_step.model.find_profile(key);
+  const InterfaceProfile* b = direct.model.find_profile(key);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+
+  EXPECT_NEAR(joules_to_picojoules(a->energy_per_bit_j),
+              joules_to_picojoules(b->energy_per_bit_j), 1.5);
+  EXPECT_NEAR(joules_to_nanojoules(a->energy_per_packet_j),
+              joules_to_nanojoules(b->energy_per_packet_j), 8.0);
+  EXPECT_NEAR(a->offset_power_w, b->offset_power_w, 0.15);
+  // Identical static terms (the estimators only differ on the Snake stage).
+  EXPECT_NEAR(a->port_power_w, b->port_power_w, 1e-9);
+  EXPECT_NEAR(a->trx_in_power_w, b->trx_in_power_w, 1e-9);
+  // The direct fit's diagnostics are filled either way.
+  EXPECT_GT(two_step.derivations[0].direct_fit.r_squared, 0.99);
+}
+
+}  // namespace
+}  // namespace joules

@@ -1,0 +1,79 @@
+#include "stats/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace joules {
+namespace {
+
+TEST(Regression, ExactLine) {
+  const std::vector<double> x = {0, 1, 2, 3};
+  const std::vector<double> y = {1, 3, 5, 7};  // y = 2x + 1
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_EQ(fit.n, 4u);
+  EXPECT_NEAR(fit.at(10.0), 21.0, 1e-12);
+}
+
+TEST(Regression, NoisyLineRecoversParameters) {
+  Rng rng(11);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    const double xi = i * 0.1;
+    x.push_back(xi);
+    y.push_back(3.5 * xi - 2.0 + rng.normal(0.0, 0.2));
+  }
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 3.5, 0.02);
+  EXPECT_NEAR(fit.intercept, -2.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+  EXPECT_GT(fit.slope_stderr, 0.0);
+  EXPECT_LT(fit.slope_stderr, 0.02);
+}
+
+TEST(Regression, ConstantYGivesZeroSlopeAndPerfectR2) {
+  const std::vector<double> x = {0, 1, 2};
+  const std::vector<double> y = {4, 4, 4};
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 4.0);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(Regression, InvalidInputsThrow) {
+  const std::vector<double> one = {1.0};
+  const std::vector<double> two = {1.0, 2.0};
+  const std::vector<double> constant = {3.0, 3.0};
+  EXPECT_THROW(fit_linear(one, one), std::invalid_argument);
+  EXPECT_THROW(fit_linear(two, one), std::invalid_argument);
+  EXPECT_THROW(fit_linear(constant, two), std::invalid_argument);
+}
+
+TEST(Regression, ProportionalFit) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {2, 4, 6};
+  EXPECT_NEAR(fit_proportional(x, y), 2.0, 1e-12);
+  const std::vector<double> zeros = {0, 0};
+  EXPECT_THROW(fit_proportional(zeros, x), std::invalid_argument);
+}
+
+TEST(Regression, ResidualsSumNearZeroForOls) {
+  const std::vector<double> x = {0, 1, 2, 3, 4};
+  const std::vector<double> y = {1.1, 2.9, 5.2, 6.8, 9.1};
+  const LinearFit fit = fit_linear(x, y);
+  const auto res = residuals(fit, x, y);
+  double total = 0.0;
+  for (double r : res) total += r;
+  EXPECT_NEAR(total, 0.0, 1e-9);
+  EXPECT_EQ(res.size(), x.size());
+}
+
+}  // namespace
+}  // namespace joules

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "stats/regression.hpp"
+#include "util/rng.hpp"
+
+namespace joules {
+namespace {
+
+TEST(TheilSen, ExactLine) {
+  const std::vector<double> x = {0, 1, 2, 3, 4};
+  const std::vector<double> y = {1, 3, 5, 7, 9};
+  const LinearFit fit = fit_theil_sen(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(TheilSen, RobustToOutliers) {
+  // One wild outlier wrecks OLS but barely moves Theil-Sen — the Fig. 2b
+  // situation (a 300 W/100G router in a <100 cloud).
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 30; ++i) {
+    x.push_back(i);
+    y.push_back(-1.0 * i + 50.0);
+  }
+  y[5] = 400.0;  // outlier
+  const LinearFit robust = fit_theil_sen(x, y);
+  const LinearFit ols = fit_linear(x, y);
+  EXPECT_NEAR(robust.slope, -1.0, 0.05);
+  EXPECT_GT(std::abs(ols.slope - (-1.0)), 0.3);  // OLS got dragged
+}
+
+TEST(TheilSen, NoisyLine) {
+  Rng rng(5);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(i * 0.1);
+    y.push_back(2.5 * i * 0.1 + 1.0 + rng.normal(0, 0.5));
+  }
+  const LinearFit fit = fit_theil_sen(x, y);
+  EXPECT_NEAR(fit.slope, 2.5, 0.1);
+  EXPECT_NEAR(fit.intercept, 1.0, 0.3);
+}
+
+TEST(TheilSen, HandlesRepeatedXValues) {
+  // Vertical pairs carry no slope; the estimator must skip them, not divide
+  // by zero.
+  const std::vector<double> x = {1, 1, 2, 2, 3, 3};
+  const std::vector<double> y = {2.0, 2.2, 4.0, 4.2, 6.0, 6.2};
+  const LinearFit fit = fit_theil_sen(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 0.3);
+}
+
+TEST(TheilSen, ValidatesInput) {
+  const std::vector<double> one = {1.0};
+  const std::vector<double> two = {1.0, 2.0};
+  const std::vector<double> constant = {3.0, 3.0};
+  EXPECT_THROW(fit_theil_sen(one, one), std::invalid_argument);
+  EXPECT_THROW(fit_theil_sen(two, one), std::invalid_argument);
+  EXPECT_THROW(fit_theil_sen(constant, two), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace joules

@@ -1,0 +1,73 @@
+// GREEN-style telemetry (§9.4 / IETF GREEN WG): exporting both P_in and
+// P_out per PSU so efficiency can be tracked over time instead of relying on
+// one-off sensor snapshots.
+#include <gtest/gtest.h>
+
+#include "device/catalog.hpp"
+#include "telemetry/snmp.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+class GreenTelemetryTest : public ::testing::Test {
+ protected:
+  GreenTelemetryTest() : router_(find_router_spec("NCS-55A1-24H").value(), 21) {
+    router_.set_ambient_override_c(22.0);
+    const ProfileKey dac{PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                         LineRate::kG100};
+    router_.add_interface(dac, InterfaceState::kUp);
+  }
+  static std::vector<InterfaceLoad> loads(SimTime) {
+    return {{gbps_to_bps(10), 1e6}};
+  }
+  SimulatedRouter router_;
+};
+
+TEST_F(GreenTelemetryTest, DisabledByDefault) {
+  const SnmpPoller poller;
+  EXPECT_FALSE(poller.green_telemetry());
+  const auto records = poller.collect(router_, loads, 0, kSecondsPerHour);
+  for (const auto& record : records) EXPECT_TRUE(record.psu_sensors.empty());
+}
+
+TEST_F(GreenTelemetryTest, EnabledRecordsBothPowerValues) {
+  const SnmpPoller poller(kDefaultSnmpPeriod, /*green_telemetry=*/true);
+  const auto records = poller.collect(router_, loads, 0, kSecondsPerHour);
+  ASSERT_FALSE(records.empty());
+  for (const auto& record : records) {
+    ASSERT_EQ(record.psu_sensors.size(), 2u);  // two PSUs
+    for (const auto& sensor : record.psu_sensors) {
+      EXPECT_GT(sensor.input_power_w, 0.0);
+      EXPECT_GT(sensor.output_power_w, 0.0);
+    }
+  }
+}
+
+TEST_F(GreenTelemetryTest, EfficiencyTraceTracksTheTruth) {
+  const SnmpPoller poller(kDefaultSnmpPeriod, true);
+  const auto records = poller.collect(router_, loads, 0, kSecondsPerDay);
+  const TimeSeries efficiency = SnmpPoller::efficiency_trace(records, 0);
+  ASSERT_EQ(efficiency.size(), records.size());
+  // NCS PSUs are good (Fig. 6b): sustained efficiency must be high, and the
+  // capped ratio can never exceed 1.
+  for (const Sample& s : efficiency) {
+    EXPECT_GT(s.value, 0.80);
+    EXPECT_LE(s.value, 1.0);
+  }
+}
+
+TEST_F(GreenTelemetryTest, EfficiencyTraceEmptyForMissingPsuIndex) {
+  const SnmpPoller poller(kDefaultSnmpPeriod, true);
+  const auto records = poller.collect(router_, loads, 0, kSecondsPerHour);
+  EXPECT_TRUE(SnmpPoller::efficiency_trace(records, 9).empty());
+}
+
+TEST_F(GreenTelemetryTest, EfficiencyTraceEmptyWithoutGreenRecords) {
+  const SnmpPoller poller;  // classic mode, like the paper's dataset
+  const auto records = poller.collect(router_, loads, 0, kSecondsPerHour);
+  EXPECT_TRUE(SnmpPoller::efficiency_trace(records, 0).empty());
+}
+
+}  // namespace
+}  // namespace joules

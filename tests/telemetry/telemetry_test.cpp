@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "device/catalog.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/snmp.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+TEST(Counters, AccumulateAndDelta) {
+  InterfaceCounters a;
+  InterfaceCounters b = a;
+  // 1 Gbps each way for 300 s.
+  b.accumulate(1e9, 1e9, 1e5, 1e5, 300.0);
+  const CounterDelta delta = rates_between(a, b, 300.0);
+  ASSERT_TRUE(delta.valid);
+  EXPECT_NEAR(delta.rate_bps, 2e9, 1e6);
+  EXPECT_NEAR(delta.rate_pps, 2e5, 10);
+}
+
+TEST(Counters, ResetDetected) {
+  InterfaceCounters a;
+  a.accumulate(1e9, 1e9, 1e5, 1e5, 300.0);
+  const InterfaceCounters rebooted;  // all-zero counters after reboot
+  EXPECT_FALSE(rates_between(a, rebooted, 300.0).valid);
+}
+
+TEST(Counters, NonPositiveWindowInvalid) {
+  InterfaceCounters a;
+  EXPECT_FALSE(rates_between(a, a, 0.0).valid);
+  EXPECT_FALSE(rates_between(a, a, -5.0).valid);
+}
+
+TEST(Counters, ZeroTrafficValidZeroRates) {
+  InterfaceCounters a;
+  const CounterDelta delta = rates_between(a, a, 300.0);
+  EXPECT_TRUE(delta.valid);
+  EXPECT_DOUBLE_EQ(delta.rate_bps, 0.0);
+}
+
+class SnmpPollerTest : public ::testing::Test {
+ protected:
+  SnmpPollerTest() : router_(find_router_spec("8201-32FH").value(), 42) {
+    router_.set_ambient_override_c(22.0);
+    const ProfileKey dac{PortType::kQSFPDD, TransceiverKind::kPassiveDAC,
+                         LineRate::kG100};
+    router_.add_interface(dac, InterfaceState::kUp);
+    router_.add_interface(dac, InterfaceState::kUp);
+  }
+
+  std::vector<InterfaceLoad> constant_loads(SimTime) const {
+    return {{gbps_to_bps(20), 2e6}, {gbps_to_bps(10), 1e6}};
+  }
+
+  SimulatedRouter router_;
+};
+
+TEST_F(SnmpPollerTest, PollsEveryFiveMinutes) {
+  const SnmpPoller poller;
+  const SimTime begin = make_time(2024, 9, 10);
+  const auto records = poller.collect(
+      router_, [this](SimTime t) { return constant_loads(t); }, begin,
+      begin + kSecondsPerHour);
+  ASSERT_EQ(records.size(), 12u);
+  EXPECT_EQ(records[1].time - records[0].time, 300);
+}
+
+TEST_F(SnmpPollerTest, CountersAdvanceWithTraffic) {
+  const SnmpPoller poller;
+  const SimTime begin = make_time(2024, 9, 10);
+  const auto records = poller.collect(
+      router_, [this](SimTime t) { return constant_loads(t); }, begin,
+      begin + kSecondsPerHour);
+  const CounterDelta delta = rates_between(records[0].counters[0],
+                                           records[1].counters[0], 300.0);
+  ASSERT_TRUE(delta.valid);
+  EXPECT_NEAR(delta.rate_bps, gbps_to_bps(20), gbps_to_bps(0.5));
+}
+
+TEST_F(SnmpPollerTest, PowerTraceReportedWithOffset) {
+  const SnmpPoller poller;
+  const SimTime begin = make_time(2024, 9, 10);
+  const auto records = poller.collect(
+      router_, [this](SimTime t) { return constant_loads(t); }, begin,
+      begin + kSecondsPerHour);
+  const TimeSeries power = SnmpPoller::power_trace(records);
+  ASSERT_EQ(power.size(), records.size());
+  // 8201-32FH reports wall power + ~17 W.
+  const double wall = router_.wall_power_w(records[0].time, constant_loads(0));
+  EXPECT_NEAR(power.front().value - wall, 17.0, 2.0);
+}
+
+TEST_F(SnmpPollerTest, RateTraceMatchesOfferedLoad) {
+  const SnmpPoller poller;
+  const SimTime begin = make_time(2024, 9, 10);
+  const auto records = poller.collect(
+      router_, [this](SimTime t) { return constant_loads(t); }, begin,
+      begin + 2 * kSecondsPerHour);
+  const TimeSeries rates = SnmpPoller::rate_trace_bps(records, 1);
+  ASSERT_FALSE(rates.empty());
+  for (const Sample& s : rates) {
+    EXPECT_NEAR(s.value, gbps_to_bps(10), gbps_to_bps(0.5));
+  }
+}
+
+TEST_F(SnmpPollerTest, NonReportingRouterYieldsEmptyPowerTrace) {
+  RouterSpec spec = find_router_spec("N540X-8Z16G-SYS-A").value();
+  SimulatedRouter silent(spec, 1);
+  silent.set_ambient_override_c(22.0);
+  const SnmpPoller poller;
+  const SimTime begin = make_time(2024, 9, 10);
+  const auto records = poller.collect(
+      silent, [](SimTime) { return std::vector<InterfaceLoad>{}; }, begin,
+      begin + kSecondsPerHour);
+  EXPECT_TRUE(SnmpPoller::power_trace(records).empty());
+  EXPECT_EQ(records.size(), 12u);
+}
+
+TEST_F(SnmpPollerTest, ValidatesArguments) {
+  EXPECT_THROW(SnmpPoller(0), std::invalid_argument);
+  const SnmpPoller poller;
+  EXPECT_THROW(
+      poller.collect(router_, [](SimTime) { return std::vector<InterfaceLoad>{}; },
+                     0, 600),
+      std::invalid_argument);  // load vector size mismatch
+}
+
+TEST(Mib, OidNames) {
+  EXPECT_EQ(if_in_octets_oid(3), "IF-MIB::ifHCInOctets.3");
+  EXPECT_EQ(if_out_octets_oid(3), "IF-MIB::ifHCOutOctets.3");
+  EXPECT_EQ(psu_power_oid(1), "ENTITY-SENSOR-MIB::entPhySensorValue.psu1");
+}
+
+}  // namespace
+}  // namespace joules

@@ -1,0 +1,67 @@
+#include "traffic/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+TEST(Generator, ToolSelectionMatchesPaperLab) {
+  EXPECT_EQ(tool_for_rate(gbps_to_bps(100)), GeneratorTool::kIbSendBw);
+  EXPECT_EQ(tool_for_rate(gbps_to_bps(2.5)), GeneratorTool::kIbSendBw);
+  EXPECT_EQ(tool_for_rate(gbps_to_bps(1)), GeneratorTool::kIperf3Udp);
+}
+
+TEST(Generator, MakeCbrValidates) {
+  EXPECT_THROW(static_cast<void>(make_cbr(0.0, 1500)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(make_cbr(1e9, 63)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(make_cbr(1e9, 10000)), std::invalid_argument);
+  EXPECT_NO_THROW(static_cast<void>(make_cbr(1e9, 64)));
+  EXPECT_NO_THROW(static_cast<void>(make_cbr(1e9, 9216)));
+}
+
+TEST(Generator, PacketRateMatchesEq12) {
+  const TrafficSpec spec = make_cbr(gbps_to_bps(100), 1500);
+  // p = r / (8 * (L + L_header)), wire overhead 24 B.
+  EXPECT_NEAR(spec.packet_rate_pps(), 100e9 / (8.0 * (1500 + 24)), 1.0);
+}
+
+TEST(Generator, SmallerFramesMorePackets) {
+  const TrafficSpec small = make_cbr(gbps_to_bps(10), 64);
+  const TrafficSpec large = make_cbr(gbps_to_bps(10), 1500);
+  EXPECT_GT(small.packet_rate_pps(), 10 * large.packet_rate_pps());
+}
+
+TEST(Generator, RateSweepEndpointsAndMonotonicity) {
+  const auto sweep = rate_sweep(gbps_to_bps(2.5), gbps_to_bps(100), 8, 1024);
+  ASSERT_EQ(sweep.size(), 8u);
+  EXPECT_DOUBLE_EQ(sweep.front().rate_bps, gbps_to_bps(2.5));
+  EXPECT_DOUBLE_EQ(sweep.back().rate_bps, gbps_to_bps(100));
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GT(sweep[i].rate_bps, sweep[i - 1].rate_bps);
+    EXPECT_DOUBLE_EQ(sweep[i].frame_bytes, 1024);
+  }
+}
+
+TEST(Generator, RateSweepValidates) {
+  EXPECT_THROW(static_cast<void>(rate_sweep(1e9, 2e9, 1, 64)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(rate_sweep(2e9, 1e9, 4, 64)), std::invalid_argument);
+}
+
+TEST(Generator, DefaultFrameSizesCoverPaperExtremes) {
+  const auto sizes = default_frame_sizes();
+  EXPECT_GE(sizes.size(), 4u);
+  EXPECT_DOUBLE_EQ(sizes.front(), 64);
+  EXPECT_DOUBLE_EQ(sizes.back(), 1500);
+}
+
+TEST(Generator, DescribeNamesTheTool) {
+  EXPECT_NE(describe(make_cbr(gbps_to_bps(50), 512)).find("ib_send_bw"),
+            std::string::npos);
+  EXPECT_NE(describe(make_cbr(gbps_to_bps(1), 512)).find("iperf3"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace joules

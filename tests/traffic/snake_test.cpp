@@ -1,0 +1,37 @@
+#include "traffic/snake.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+TEST(Snake, ValidatesPortCount) {
+  EXPECT_THROW(SnakePlan::over_ports(0), std::invalid_argument);
+  EXPECT_THROW(SnakePlan::over_ports(3), std::invalid_argument);
+  EXPECT_NO_THROW(SnakePlan::over_ports(2));
+  EXPECT_NO_THROW(SnakePlan::over_ports(24));
+}
+
+TEST(Snake, CablingPairsAdjacentPorts) {
+  const SnakePlan plan = SnakePlan::over_ports(8);
+  EXPECT_EQ(plan.pair_count(), 4u);
+  const auto pairs = plan.cabling();
+  ASSERT_EQ(pairs.size(), 4u);
+  EXPECT_EQ(pairs[0], (std::pair<std::size_t, std::size_t>{0, 1}));
+  EXPECT_EQ(pairs[3], (std::pair<std::size_t, std::size_t>{6, 7}));
+}
+
+TEST(Snake, PerInterfaceLoadIsBidirectional) {
+  // Every interface in the snake carries the stream once in each direction,
+  // and the model's r_i sums both directions.
+  const SnakePlan plan = SnakePlan::over_ports(24);
+  const TrafficSpec spec = make_cbr(gbps_to_bps(40), 1024);
+  EXPECT_DOUBLE_EQ(plan.per_interface_rate_bps(spec), 2 * spec.rate_bps);
+  EXPECT_DOUBLE_EQ(plan.per_interface_packet_rate_pps(spec),
+                   2 * spec.packet_rate_pps());
+}
+
+}  // namespace
+}  // namespace joules

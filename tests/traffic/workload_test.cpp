@@ -1,0 +1,99 @@
+#include "traffic/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+WorkloadParams base_params() {
+  WorkloadParams p;
+  p.mean_rate_bps = gbps_to_bps(10);
+  p.diurnal_amplitude = 0.5;
+  p.weekend_factor = 0.7;
+  p.jitter_frac = 0.05;
+  p.annual_growth = 0.2;
+  p.peak_hour_utc = 14;
+  return p;
+}
+
+const SimTime kOrigin = make_time(2024, 9, 1);
+
+TEST(Workload, DeterministicInTime) {
+  const DiurnalWorkload w(base_params(), kOrigin, 42);
+  const SimTime t = kOrigin + 12345;
+  EXPECT_DOUBLE_EQ(w.rate_bps(t), w.rate_bps(t));
+}
+
+TEST(Workload, DifferentSeedsDifferentJitter) {
+  const DiurnalWorkload a(base_params(), kOrigin, 1);
+  const DiurnalWorkload b(base_params(), kOrigin, 2);
+  const SimTime t = kOrigin + 3600;
+  EXPECT_NE(a.rate_bps(t), b.rate_bps(t));
+}
+
+TEST(Workload, NeverNegative) {
+  WorkloadParams p = base_params();
+  p.jitter_frac = 2.0;  // absurd jitter still must not go negative
+  const DiurnalWorkload w(p, kOrigin, 3);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_GE(w.rate_bps(kOrigin + i * 977), 0.0);
+  }
+}
+
+TEST(Workload, PeakHourBeatsTrough) {
+  WorkloadParams p = base_params();
+  p.jitter_frac = 0.0;
+  const DiurnalWorkload w(p, kOrigin, 4);
+  // Tue Sep 03 2024: peak at 14:00 UTC, trough 12 h away.
+  const SimTime peak = make_time(2024, 9, 3, 14, 0, 0);
+  const SimTime trough = make_time(2024, 9, 3, 2, 0, 0);
+  EXPECT_GT(w.rate_bps(peak), 2.0 * w.rate_bps(trough));
+}
+
+TEST(Workload, WeekendDip) {
+  WorkloadParams p = base_params();
+  p.jitter_frac = 0.0;
+  const DiurnalWorkload w(p, kOrigin, 5);
+  const SimTime saturday = make_time(2024, 9, 7, 14, 0, 0);
+  const SimTime tuesday = make_time(2024, 9, 3, 14, 0, 0);
+  EXPECT_NEAR(w.rate_bps(saturday) / w.rate_bps(tuesday), 0.7, 0.01);
+}
+
+TEST(Workload, GrowthOverAYear) {
+  WorkloadParams p = base_params();
+  p.jitter_frac = 0.0;
+  p.diurnal_amplitude = 0.0;
+  p.weekend_factor = 1.0;
+  const DiurnalWorkload w(p, kOrigin, 6);
+  const double now = w.rate_bps(make_time(2024, 9, 3, 12, 0, 0));
+  const double later = w.rate_bps(make_time(2025, 9, 3, 12, 0, 0));
+  EXPECT_NEAR(later / now, 1.2, 0.01);
+}
+
+TEST(Workload, LongRunMeanNearConfigured) {
+  WorkloadParams p = base_params();
+  p.annual_growth = 0.0;
+  p.weekend_factor = 1.0;
+  const DiurnalWorkload w(p, kOrigin, 7);
+  std::vector<double> samples;
+  for (SimTime t = kOrigin; t < kOrigin + 7 * kSecondsPerDay; t += 300) {
+    samples.push_back(w.rate_bps(t));
+  }
+  EXPECT_NEAR(mean(samples) / p.mean_rate_bps, 1.0, 0.05);
+}
+
+TEST(Workload, PacketRateConsistentWithFrameSize) {
+  const DiurnalWorkload w(base_params(), kOrigin, 8);
+  const SimTime t = kOrigin + 1000;
+  const double expected =
+      packet_rate_for_bit_rate(w.rate_bps(t), w.params().mean_frame_bytes);
+  EXPECT_DOUBLE_EQ(w.packet_rate_pps(t), expected);
+}
+
+}  // namespace
+}  // namespace joules

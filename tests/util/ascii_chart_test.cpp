@@ -1,0 +1,75 @@
+#include "util/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+namespace joules {
+namespace {
+
+TEST(AsciiChart, LineChartContainsGlyphAndLegend) {
+  ChartSeries s;
+  s.name = "power";
+  s.glyph = '*';
+  s.x = {0, 1, 2, 3};
+  s.y = {10, 12, 11, 13};
+  ChartOptions opts;
+  opts.title = "Test chart";
+  const std::string out = render_line_chart({s}, opts);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("Test chart"), std::string::npos);
+  EXPECT_NE(out.find("[*] power"), std::string::npos);
+}
+
+TEST(AsciiChart, EmptySeriesDoesNotCrash) {
+  const std::string out = render_line_chart({}, ChartOptions{});
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(AsciiChart, ConstantSeriesDoesNotCrash) {
+  ChartSeries s;
+  s.x = {0, 1};
+  s.y = {5, 5};
+  const std::string out = render_line_chart({s}, ChartOptions{});
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, ScatterPlotsAllSeries) {
+  ChartSeries a;
+  a.glyph = 'o';
+  a.x = {1};
+  a.y = {1};
+  ChartSeries b;
+  b.glyph = 'x';
+  b.x = {2};
+  b.y = {2};
+  const std::string out = render_scatter({a, b}, ChartOptions{});
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find('x'), std::string::npos);
+}
+
+TEST(AsciiChart, TimeSeriesChartUsesDaysAxis) {
+  TimeSeries ts;
+  ts.push(0, 1.0);
+  ts.push(86400, 2.0);
+  const std::string out =
+      render_time_series_chart({{"trace", ts}}, ChartOptions{});
+  EXPECT_NE(out.find("days since trace start"), std::string::npos);
+}
+
+TEST(AsciiChart, TextTableAlignsColumns) {
+  const std::string out = render_text_table(
+      {"Model", "Power"}, {{"NCS-55A1-24H", "358"}, {"ASR-9001", "335"}});
+  EXPECT_NE(out.find("NCS-55A1-24H"), std::string::npos);
+  EXPECT_NE(out.find("| Model"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("+--"), std::string::npos);
+}
+
+TEST(AsciiChart, NonFinitePointsSkipped) {
+  ChartSeries s;
+  s.x = {0, 1, 2};
+  s.y = {1.0, std::numeric_limits<double>::quiet_NaN(), 2.0};
+  EXPECT_NO_THROW(render_line_chart({s}, ChartOptions{}));
+}
+
+}  // namespace
+}  // namespace joules

@@ -1,0 +1,82 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+namespace joules {
+namespace {
+
+TEST(Csv, RoundTripSimple) {
+  CsvTable table({"name", "power_w"});
+  table.add_row({"router-a", "358"});
+  table.add_row({"router-b", "73.5"});
+  const CsvTable parsed = CsvTable::parse(table.to_string());
+  ASSERT_EQ(parsed.row_count(), 2u);
+  EXPECT_EQ(parsed.cell(0, "name"), "router-a");
+  EXPECT_DOUBLE_EQ(parsed.cell_double(1, "power_w"), 73.5);
+}
+
+TEST(Csv, QuotingSpecialCharacters) {
+  CsvTable table({"field"});
+  table.add_row({"has,comma"});
+  table.add_row({"has\"quote"});
+  table.add_row({"has\nnewline"});
+  const CsvTable parsed = CsvTable::parse(table.to_string());
+  ASSERT_EQ(parsed.row_count(), 3u);
+  EXPECT_EQ(parsed.cell(0, "field"), "has,comma");
+  EXPECT_EQ(parsed.cell(1, "field"), "has\"quote");
+  EXPECT_EQ(parsed.cell(2, "field"), "has\nnewline");
+}
+
+TEST(Csv, RowWidthValidated) {
+  CsvTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Csv, UnknownColumnThrows) {
+  CsvTable table({"a"});
+  table.add_row({"1"});
+  EXPECT_THROW(table.cell(0, "missing"), std::out_of_range);
+}
+
+TEST(Csv, NonNumericCellThrows) {
+  CsvTable table({"a"});
+  table.add_row({"abc"});
+  EXPECT_THROW(static_cast<void>(table.cell_double(0, "a")), std::invalid_argument);
+}
+
+TEST(Csv, FileRoundTrip) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "joules_csv_test.csv";
+  CsvTable table({"x"});
+  table.add_row({"42"});
+  table.write_file(path);
+  const CsvTable readback = CsvTable::read_file(path);
+  EXPECT_DOUBLE_EQ(readback.cell_double(0, "x"), 42.0);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, ParseSkipsBlankLines) {
+  const CsvTable parsed = CsvTable::parse("a,b\n\n1,2\n");
+  ASSERT_EQ(parsed.row_count(), 1u);
+  EXPECT_EQ(parsed.cell(0, "b"), "2");
+}
+
+TEST(FormatNumber, TrimsTrailingZeros) {
+  EXPECT_EQ(format_number(358.0), "358");
+  EXPECT_EQ(format_number(0.370000), "0.37");
+  EXPECT_EQ(format_number(-0.0), "0");
+  EXPECT_EQ(format_number(1.26, 1), "1.3");
+}
+
+TEST(FormatNumber, HandlesNonFinite) {
+  EXPECT_EQ(format_number(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_number(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(format_number(std::numeric_limits<double>::quiet_NaN()), "nan");
+}
+
+}  // namespace
+}  // namespace joules

@@ -1,0 +1,97 @@
+// Edge cases swept across the utility layer: inputs that production code
+// paths can see but the happy-path tests do not exercise.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "meter/power_meter.hpp"
+#include "network/inventory.hpp"
+#include "traffic/workload.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+TEST(EdgeCases, CsvReadMissingFileThrows) {
+  EXPECT_THROW(CsvTable::read_file("/nonexistent/definitely/not/here.csv"),
+               std::runtime_error);
+}
+
+TEST(EdgeCases, CsvWriteToUnwritablePathThrows) {
+  CsvTable table({"a"});
+  table.add_row({"1"});
+  EXPECT_THROW(table.write_file("/nonexistent/dir/file.csv"), std::runtime_error);
+}
+
+TEST(EdgeCases, CsvParseWithoutTrailingNewline) {
+  const CsvTable parsed = CsvTable::parse("a,b\n1,2");
+  ASSERT_EQ(parsed.row_count(), 1u);
+  EXPECT_EQ(parsed.cell(0, "b"), "2");
+}
+
+TEST(EdgeCases, CsvQuotedFieldSpanningParse) {
+  const CsvTable parsed = CsvTable::parse("a\n\"line1\nline2\"\n");
+  ASSERT_EQ(parsed.row_count(), 1u);
+  EXPECT_EQ(parsed.cell(0, "a"), "line1\nline2");
+}
+
+TEST(EdgeCases, ParseFirstNumberLeadingSign) {
+  EXPECT_DOUBLE_EQ(parse_first_number("+5 W").value(), 5.0);
+  EXPECT_DOUBLE_EQ(parse_first_number("delta -0.37W").value(), -0.37);
+  EXPECT_FALSE(parse_first_number("-").has_value());
+  EXPECT_FALSE(parse_first_number("").has_value());
+}
+
+TEST(EdgeCases, WorkloadPeakHourBoundaries) {
+  for (const int hour : {0, 23}) {
+    WorkloadParams params;
+    params.mean_rate_bps = gbps_to_bps(1);
+    params.jitter_frac = 0.0;
+    params.peak_hour_utc = hour;
+    const DiurnalWorkload workload(params, make_time(2024, 9, 2), 1);
+    // Peak must fall at the configured hour of a weekday.
+    const double at_peak =
+        workload.rate_bps(make_time(2024, 9, 3, hour, 0, 0));
+    const double off_peak =
+        workload.rate_bps(make_time(2024, 9, 3, (hour + 12) % 24, 0, 0));
+    EXPECT_GT(at_peak, off_peak);
+  }
+}
+
+TEST(EdgeCases, WorkloadZeroMeanStaysZero) {
+  WorkloadParams params;
+  params.mean_rate_bps = 0.0;
+  const DiurnalWorkload workload(params, 0, 1);
+  EXPECT_DOUBLE_EQ(workload.rate_bps(12345), 0.0);
+  EXPECT_DOUBLE_EQ(workload.packet_rate_pps(12345), 0.0);
+}
+
+TEST(EdgeCases, MeterRecordSubsecondPeriodClampsToOneSecond) {
+  const PowerMeter meter(PowerMeterSpec{}, 1);
+  const TimeSeries trace = meter.record(
+      0, [](SimTime) { return 100.0; }, 0, 10, 0);
+  EXPECT_EQ(trace.size(), 10u);  // period clamped to 1 s
+}
+
+TEST(EdgeCases, MeterRecordEmptyWindow) {
+  const PowerMeter meter(PowerMeterSpec{}, 1);
+  EXPECT_TRUE(meter.record(0, [](SimTime) { return 1.0; }, 10, 10).empty());
+}
+
+TEST(EdgeCases, InventoryRejectsMalformedRows) {
+  CsvTable modules({"router", "interface", "port_type", "transceiver", "rate",
+                    "transceiver_part", "external", "spare", "link_id"});
+  modules.add_row({"r1", "if0", "NOTAPORT", "LR4", "100G", "X", "0", "0", "-1"});
+  EXPECT_THROW(interfaces_of(modules, "r1"), std::invalid_argument);
+}
+
+TEST(EdgeCases, InventoryUnknownRouterIsEmptyNotError) {
+  CsvTable modules({"router", "interface", "port_type", "transceiver", "rate",
+                    "transceiver_part", "external", "spare", "link_id"});
+  EXPECT_TRUE(interfaces_of(modules, "ghost").empty());
+}
+
+}  // namespace
+}  // namespace joules

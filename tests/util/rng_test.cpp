@@ -1,0 +1,95 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace joules {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng root(7);
+  Rng fork1 = root.fork("router-0");
+  Rng fork1_again = Rng(7).fork("router-0");
+  Rng fork2 = root.fork("router-1");
+  EXPECT_EQ(fork1.next(), fork1_again.next());
+  EXPECT_NE(fork1.next(), fork2.next());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo = saw_lo || v == 2;
+    saw_hi = saw_hi || v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng rng(6);
+  std::vector<double> samples;
+  samples.reserve(50000);
+  for (int i = 0; i < 50000; ++i) samples.push_back(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(mean(samples), 10.0, 0.05);
+  EXPECT_NEAR(stddev(samples), 2.0, 0.05);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(8);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, LogNormalMedianApproximatelyCorrect) {
+  Rng rng(9);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.log_normal(5.0, 0.5));
+  EXPECT_NEAR(median(samples), 5.0, 0.15);
+  for (double v : samples) EXPECT_GT(v, 0.0);
+}
+
+}  // namespace
+}  // namespace joules

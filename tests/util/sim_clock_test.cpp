@@ -1,0 +1,71 @@
+#include "util/sim_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+TEST(SimClock, EpochIsZero) {
+  EXPECT_EQ(make_time(1970, 1, 1), 0);
+  EXPECT_EQ(days_from_civil(1970, 1, 1), 0);
+}
+
+TEST(SimClock, KnownTimestamps) {
+  EXPECT_EQ(make_time(2024, 9, 8), 1725753600);
+  EXPECT_EQ(make_time(2000, 1, 1), 946684800);
+  EXPECT_EQ(make_time(2024, 2, 29), 1709164800);  // leap day
+}
+
+TEST(SimClock, RoundTripThroughCalendar) {
+  for (const SimTime t : {SimTime{0}, make_time(2024, 9, 8, 13, 5, 42),
+                          make_time(1999, 12, 31, 23, 59, 59),
+                          make_time(2100, 6, 15, 1, 2, 3)}) {
+    EXPECT_EQ(to_sim_time(to_calendar(t)), t);
+  }
+}
+
+TEST(SimClock, CalendarFieldsCorrect) {
+  const CalendarDate c = to_calendar(make_time(2024, 10, 20, 7, 30, 15));
+  EXPECT_EQ(c.year, 2024);
+  EXPECT_EQ(c.month, 10);
+  EXPECT_EQ(c.day, 20);
+  EXPECT_EQ(c.hour, 7);
+  EXPECT_EQ(c.minute, 30);
+  EXPECT_EQ(c.second, 15);
+}
+
+TEST(SimClock, DayOfWeek) {
+  EXPECT_EQ(day_of_week(make_time(1970, 1, 1)), 3);   // Thursday
+  EXPECT_EQ(day_of_week(make_time(2024, 9, 8)), 6);   // Sunday
+  EXPECT_EQ(day_of_week(make_time(2024, 9, 9)), 0);   // Monday
+  EXPECT_EQ(day_of_week(make_time(2025, 7, 4)), 4);   // Friday
+}
+
+TEST(SimClock, SecondsOfDay) {
+  EXPECT_EQ(seconds_of_day(make_time(2024, 9, 8)), 0);
+  EXPECT_EQ(seconds_of_day(make_time(2024, 9, 8, 1, 0, 30)), 3630);
+  EXPECT_EQ(seconds_of_day(make_time(2024, 9, 8, 23, 59, 59)),
+            kSecondsPerDay - 1);
+}
+
+TEST(SimClock, Formatting) {
+  const SimTime t = make_time(2024, 9, 8, 13, 5, 7);
+  EXPECT_EQ(format_date(t), "2024-09-08");
+  EXPECT_EQ(format_date_time(t), "2024-09-08 13:05:07");
+  EXPECT_EQ(format_short_date(t), "Sep 08");
+}
+
+TEST(SimClock, NegativeTimesBeforeEpoch) {
+  const SimTime t = make_time(1969, 12, 31, 23, 0, 0);
+  EXPECT_LT(t, 0);
+  const CalendarDate c = to_calendar(t);
+  EXPECT_EQ(c.year, 1969);
+  EXPECT_EQ(c.month, 12);
+  EXPECT_EQ(c.day, 31);
+  EXPECT_EQ(c.hour, 23);
+}
+
+}  // namespace
+}  // namespace joules

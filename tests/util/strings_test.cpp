@@ -1,0 +1,75 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace joules {
+namespace {
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("QSFP28 Passive DAC"), "qsfp28 passive dac");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitLinesHandlesCrLf) {
+  const auto lines = split_lines("one\r\ntwo\nthree\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "one");
+  EXPECT_EQ(lines[1], "two");
+  EXPECT_EQ(lines[2], "three");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("NCS-55A1", "NCS"));
+  EXPECT_FALSE(starts_with("NC", "NCS"));
+}
+
+TEST(Strings, ContainsCi) {
+  EXPECT_TRUE(contains_ci("Typical Power: 600W", "typical power"));
+  EXPECT_FALSE(contains_ci("Max Power", "typical"));
+  EXPECT_TRUE(contains_ci("anything", ""));
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("a-b-c", "-", "--"), "a--b--c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+}
+
+TEST(Strings, ParseFirstNumberPlain) {
+  EXPECT_DOUBLE_EQ(parse_first_number("Typical power: 600 W").value(), 600.0);
+  EXPECT_DOUBLE_EQ(parse_first_number("-24 %").value(), -24.0);
+  EXPECT_DOUBLE_EQ(parse_first_number("no digits here").value_or(-1), -1.0);
+}
+
+TEST(Strings, ParseFirstNumberThousandsSeparators) {
+  EXPECT_DOUBLE_EQ(parse_first_number("up to 1,234.5 W").value(), 1234.5);
+  EXPECT_DOUBLE_EQ(parse_first_number("12 800 Gbps").value(), 12800.0);
+}
+
+TEST(Strings, ParseFirstNumberDoesNotMergeSeparateNumbers) {
+  // "25 C" style text: "at 25 100G ports" must not parse as 25100.
+  EXPECT_DOUBLE_EQ(parse_first_number("25 1000 separate").value(), 25.0);
+}
+
+TEST(Strings, ParseAllNumbers) {
+  const auto nums = parse_all_numbers("typ 450W, max 600W at 25C");
+  ASSERT_EQ(nums.size(), 3u);
+  EXPECT_DOUBLE_EQ(nums[0], 450.0);
+  EXPECT_DOUBLE_EQ(nums[1], 600.0);
+  EXPECT_DOUBLE_EQ(nums[2], 25.0);
+}
+
+}  // namespace
+}  // namespace joules

@@ -1,0 +1,122 @@
+#include "util/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace joules {
+namespace {
+
+TimeSeries make_series(std::initializer_list<Sample> samples) {
+  return TimeSeries(std::vector<Sample>(samples));
+}
+
+TEST(TimeSeries, PushRequiresIncreasingTime) {
+  TimeSeries ts;
+  ts.push(10, 1.0);
+  ts.push(20, 2.0);
+  EXPECT_THROW(ts.push(20, 3.0), std::invalid_argument);
+  EXPECT_THROW(ts.push(5, 3.0), std::invalid_argument);
+  EXPECT_EQ(ts.size(), 2u);
+}
+
+TEST(TimeSeries, ConstructorValidatesOrdering) {
+  EXPECT_THROW(make_series({{10, 1.0}, {10, 2.0}}), std::invalid_argument);
+  EXPECT_NO_THROW(make_series({{10, 1.0}, {11, 2.0}}));
+}
+
+TEST(TimeSeries, ValueAtStepInterpolation) {
+  const TimeSeries ts = make_series({{10, 1.0}, {20, 2.0}, {30, 3.0}});
+  EXPECT_FALSE(ts.value_at(9).has_value());
+  EXPECT_EQ(ts.value_at(10).value(), 1.0);
+  EXPECT_EQ(ts.value_at(15).value(), 1.0);
+  EXPECT_EQ(ts.value_at(20).value(), 2.0);
+  EXPECT_EQ(ts.value_at(1000).value(), 3.0);
+}
+
+TEST(TimeSeries, SliceHalfOpen) {
+  const TimeSeries ts = make_series({{10, 1.0}, {20, 2.0}, {30, 3.0}});
+  const TimeSeries cut = ts.slice(10, 30);
+  ASSERT_EQ(cut.size(), 2u);
+  EXPECT_EQ(cut[0].time, 10);
+  EXPECT_EQ(cut[1].time, 20);
+}
+
+TEST(TimeSeries, WindowAverage) {
+  // Windows of 100: [0,100) -> {1,3}, [100,200) -> {5}.
+  const TimeSeries ts = make_series({{0, 1.0}, {50, 3.0}, {150, 5.0}});
+  const TimeSeries avg = ts.window_average(100);
+  ASSERT_EQ(avg.size(), 2u);
+  EXPECT_EQ(avg[0].time, 0);
+  EXPECT_DOUBLE_EQ(avg[0].value, 2.0);
+  EXPECT_EQ(avg[1].time, 100);
+  EXPECT_DOUBLE_EQ(avg[1].value, 5.0);
+}
+
+TEST(TimeSeries, WindowAverageSkipsEmptyWindows) {
+  const TimeSeries ts = make_series({{0, 1.0}, {350, 2.0}});
+  const TimeSeries avg = ts.window_average(100);
+  ASSERT_EQ(avg.size(), 2u);
+  EXPECT_EQ(avg[0].time, 0);
+  EXPECT_EQ(avg[1].time, 300);
+}
+
+TEST(TimeSeries, WindowAverageRejectsNonPositiveWindow) {
+  const TimeSeries ts = make_series({{0, 1.0}});
+  EXPECT_THROW(ts.window_average(0), std::invalid_argument);
+}
+
+TEST(TimeSeries, PointwiseArithmetic) {
+  const TimeSeries a = make_series({{0, 1.0}, {10, 2.0}});
+  const TimeSeries b = make_series({{0, 0.5}, {10, 1.5}});
+  const TimeSeries sum = a + b;
+  const TimeSeries diff = a - b;
+  EXPECT_DOUBLE_EQ(sum[0].value, 1.5);
+  EXPECT_DOUBLE_EQ(sum[1].value, 3.5);
+  EXPECT_DOUBLE_EQ(diff[0].value, 0.5);
+  EXPECT_DOUBLE_EQ(diff[1].value, 0.5);
+}
+
+TEST(TimeSeries, PointwiseRejectsMisalignment) {
+  const TimeSeries a = make_series({{0, 1.0}, {10, 2.0}});
+  const TimeSeries b = make_series({{0, 0.5}, {11, 1.5}});
+  const TimeSeries c = make_series({{0, 0.5}});
+  EXPECT_THROW(a + b, std::invalid_argument);
+  EXPECT_THROW(a + c, std::invalid_argument);
+}
+
+TEST(TimeSeries, ScaledAndShifted) {
+  const TimeSeries a = make_series({{0, 1.0}, {10, 2.0}});
+  EXPECT_DOUBLE_EQ(a.scaled(3.0)[1].value, 6.0);
+  EXPECT_DOUBLE_EQ(a.shifted(-0.5)[0].value, 0.5);
+}
+
+TEST(TimeSeries, SumOnGridHandlesMissingAndStaggered) {
+  // Router B is "commissioned" at t=20: before that it contributes 0.
+  const TimeSeries a = make_series({{0, 100.0}, {20, 110.0}});
+  const TimeSeries b = make_series({{20, 50.0}});
+  const std::vector<TimeSeries> series = {a, b};
+  const std::vector<SimTime> grid = {0, 10, 20, 30};
+  const TimeSeries total = TimeSeries::sum_on_grid(series, grid);
+  ASSERT_EQ(total.size(), 4u);
+  EXPECT_DOUBLE_EQ(total[0].value, 100.0);
+  EXPECT_DOUBLE_EQ(total[1].value, 100.0);
+  EXPECT_DOUBLE_EQ(total[2].value, 160.0);
+  EXPECT_DOUBLE_EQ(total[3].value, 160.0);
+}
+
+TEST(TimeSeries, MakeGrid) {
+  const auto grid = make_grid(0, 100, 30);
+  ASSERT_EQ(grid.size(), 4u);
+  EXPECT_EQ(grid[3], 90);
+  EXPECT_THROW(make_grid(0, 10, 0), std::invalid_argument);
+}
+
+TEST(TimeSeries, ValuesAndTimes) {
+  const TimeSeries ts = make_series({{1, 10.0}, {2, 20.0}});
+  EXPECT_EQ(ts.values(), (std::vector<double>{10.0, 20.0}));
+  EXPECT_EQ(ts.times(), (std::vector<SimTime>{1, 2}));
+}
+
+}  // namespace
+}  // namespace joules

@@ -1,0 +1,72 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace joules {
+namespace {
+
+TEST(Units, RateConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(gbps_to_bps(100), 100e9);
+  EXPECT_DOUBLE_EQ(bps_to_gbps(gbps_to_bps(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(bps_to_tbps(1.5e12), 1.5);
+  EXPECT_DOUBLE_EQ(mbps_to_bps(100), 1e8);
+}
+
+TEST(Units, EnergyConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(picojoules_to_joules(22), 22e-12);
+  EXPECT_DOUBLE_EQ(joules_to_picojoules(picojoules_to_joules(22)), 22);
+  EXPECT_DOUBLE_EQ(nanojoules_to_joules(58), 58e-9);
+  EXPECT_DOUBLE_EQ(joules_to_nanojoules(nanojoules_to_joules(58)), 58);
+}
+
+TEST(Units, BytesAndBits) {
+  EXPECT_DOUBLE_EQ(bytes_to_bits(1500), 12000);
+  EXPECT_DOUBLE_EQ(bits_to_bytes(bytes_to_bits(64)), 64);
+}
+
+TEST(Units, PacketRateMatchesEq12) {
+  // Eq. 12 with the paper's L_header folded into the wire overhead:
+  // 100 Gbps of 1500 B frames (+24 B overhead) -> r / (8 * 1524) pps.
+  const double pps = packet_rate_for_bit_rate(100e9, 1500);
+  EXPECT_NEAR(pps, 100e9 / (8.0 * 1524.0), 1e-6);
+  // Without overhead (the §7 arithmetic check in the paper).
+  EXPECT_NEAR(packet_rate_for_bit_rate(100e9, 1500, 0), 100e9 / 12000.0, 1e-6);
+}
+
+TEST(Units, PacketAndBitRateInverses) {
+  for (const double frame : {64.0, 512.0, 1500.0, 9000.0}) {
+    const double rate = 42.42e9;
+    EXPECT_NEAR(bit_rate_for_packet_rate(packet_rate_for_bit_rate(rate, frame),
+                                         frame),
+                rate, 1e-3);
+  }
+}
+
+TEST(Units, TimeConstants) {
+  EXPECT_EQ(kSecondsPerMinute, 60);
+  EXPECT_EQ(kSecondsPerHour, 3600);
+  EXPECT_EQ(kSecondsPerDay, 86400);
+  EXPECT_EQ(kSecondsPerWeek, 604800);
+}
+
+TEST(Units, PowerConversions) {
+  EXPECT_DOUBLE_EQ(kw_to_w(21.75), 21750);
+  EXPECT_DOUBLE_EQ(w_to_kw(kw_to_w(2.2)), 2.2);
+}
+
+TEST(Units, PaperSanityCheck) {
+  // §7: "at 5 pJ/bit and 15 nJ/pkt, forwarding 100 Gbps demands between 3.4
+  // and 0.6 W for 64 B and 1500 B packets" (no wire overhead in the paper's
+  // arithmetic).
+  const double e_bit = picojoules_to_joules(5);
+  const double e_pkt = nanojoules_to_joules(15);
+  const double rate = gbps_to_bps(100);
+  const double w_64 = e_bit * rate + e_pkt * packet_rate_for_bit_rate(rate, 64, 0);
+  const double w_1500 =
+      e_bit * rate + e_pkt * packet_rate_for_bit_rate(rate, 1500, 0);
+  EXPECT_NEAR(w_64, 3.4, 0.1);
+  EXPECT_NEAR(w_1500, 0.625, 0.05);
+}
+
+}  // namespace
+}  // namespace joules

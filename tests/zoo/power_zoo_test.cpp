@@ -1,0 +1,177 @@
+#include "zoo/power_zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "datasheet/corpus.hpp"
+#include "device/catalog.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+PowerModel sample_model() {
+  PowerModel model(320.0);
+  InterfaceProfile p;
+  p.key = {PortType::kQSFP28, TransceiverKind::kPassiveDAC, LineRate::kG100};
+  p.port_power_w = 0.32;
+  p.trx_in_power_w = 0.02;
+  p.trx_up_power_w = 0.19;
+  p.energy_per_bit_j = picojoules_to_joules(22);
+  p.energy_per_packet_j = nanojoules_to_joules(58);
+  p.offset_power_w = 0.37;
+  model.add_profile(p);
+  return model;
+}
+
+MeasurementSummary sample_measurement() {
+  MeasurementSummary summary;
+  summary.device_model = "NCS-55A1-24H";
+  summary.router_name = "pop03-r1";
+  summary.source = MeasurementSource::kSnmp;
+  summary.window_begin = make_time(2024, 9, 1);
+  summary.window_end = make_time(2024, 10, 1);
+  summary.median_power_w = 358.0;
+  summary.mean_power_w = 360.5;
+  summary.sample_count = 8640;
+  return summary;
+}
+
+TEST(PowerZoo, EmptyZooStats) {
+  const PowerZoo zoo;
+  const PowerZoo::Stats stats = zoo.stats();
+  EXPECT_EQ(stats.datasheets, 0u);
+  EXPECT_EQ(stats.power_models, 0u);
+  EXPECT_EQ(stats.measurements, 0u);
+  EXPECT_EQ(stats.psu_observations, 0u);
+  EXPECT_FALSE(zoo.power_model("anything").has_value());
+}
+
+TEST(PowerZoo, QueriesFilterByVendorAndModel) {
+  PowerZoo zoo;
+  for (const DatasheetRecord& record : generate_corpus()) {
+    zoo.add_datasheet(record);
+  }
+  EXPECT_EQ(zoo.datasheets().size(), 777u);
+  EXPECT_FALSE(zoo.datasheets("Cisco").empty());
+  EXPECT_EQ(zoo.datasheets("", "NCS-55A1-24H").size(), 1u);
+  EXPECT_TRUE(zoo.datasheets("NoSuchVendor").empty());
+}
+
+TEST(PowerZoo, ModelContributionReplacesPerDevice) {
+  PowerZoo zoo;
+  zoo.add_power_model("NCS-55A1-24H", sample_model(), "nsg-ethz");
+  PowerModel updated = sample_model();
+  updated.set_base_power_w(321.0);
+  zoo.add_power_model("NCS-55A1-24H", updated, "replication-lab");
+  EXPECT_EQ(zoo.stats().power_models, 1u);
+  EXPECT_DOUBLE_EQ(zoo.power_model("NCS-55A1-24H")->base_power_w(), 321.0);
+}
+
+TEST(PowerZoo, DossierAggregatesAllSources) {
+  PowerZoo zoo;
+  DatasheetRecord record;
+  record.vendor = "Cisco";
+  record.model = "NCS-55A1-24H";
+  record.typical_power_w = 600;
+  zoo.add_datasheet(record);
+  zoo.add_power_model("NCS-55A1-24H", sample_model());
+  zoo.add_measurement(sample_measurement());
+  PsuObservation obs;
+  obs.router_name = "pop03-r1";
+  obs.router_model = "NCS-55A1-24H";
+  obs.capacity_w = 1100;
+  obs.input_power_w = 190;
+  obs.output_power_w = 170;
+  zoo.add_psu_observation(obs);
+  zoo.add_psu_observation(obs);
+
+  const PowerZoo::DeviceDossier dossier = zoo.dossier("NCS-55A1-24H");
+  ASSERT_TRUE(dossier.datasheet.has_value());
+  EXPECT_DOUBLE_EQ(dossier.datasheet->typical_power_w.value(), 600);
+  ASSERT_TRUE(dossier.model.has_value());
+  ASSERT_EQ(dossier.measurements.size(), 1u);
+  EXPECT_EQ(dossier.psu_observations, 2u);
+
+  // The zoo's raison d'etre: the dossier exposes the Table 1 gap directly.
+  EXPECT_GT(dossier.datasheet->typical_power_w.value(),
+            dossier.measurements[0].median_power_w * 1.3);
+}
+
+TEST(PowerZoo, SaveLoadRoundTrip) {
+  PowerZoo zoo;
+  DatasheetRecord record;
+  record.vendor = "Cisco";
+  record.model = "8201-32FH";
+  record.series = "Cisco 8000 series";
+  record.typical_power_w = 288;
+  record.max_power_w = 1016;
+  record.max_bandwidth_gbps = 12800;
+  record.psu_count = 2;
+  record.psu_capacity_w = 1100;
+  record.release_year = 2020;
+  zoo.add_datasheet(record);
+  DatasheetRecord sparse;
+  sparse.vendor = "Arista";
+  sparse.model = "7280R-48";  // no power data at all
+  zoo.add_datasheet(sparse);
+  zoo.add_power_model("NCS-55A1-24H", sample_model(), "nsg-ethz");
+  zoo.add_measurement(sample_measurement());
+  PsuObservation obs;
+  obs.router_name = "pop01-r1";
+  obs.router_model = "8201-32FH";
+  obs.psu_index = 1;
+  obs.capacity_w = 1100;
+  obs.input_power_w = 220.5;
+  obs.output_power_w = 168.25;
+  zoo.add_psu_observation(obs);
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "joules_zoo_test";
+  zoo.save(dir);
+  const PowerZoo loaded = PowerZoo::load(dir);
+  std::filesystem::remove_all(dir);
+
+  EXPECT_EQ(loaded.stats().datasheets, 2u);
+  EXPECT_EQ(loaded.stats().power_models, 1u);
+  EXPECT_EQ(loaded.stats().measurements, 1u);
+  EXPECT_EQ(loaded.stats().psu_observations, 1u);
+
+  const auto sheets = loaded.datasheets("Cisco", "8201-32FH");
+  ASSERT_EQ(sheets.size(), 1u);
+  EXPECT_DOUBLE_EQ(sheets[0].typical_power_w.value(), 288);
+  EXPECT_EQ(sheets[0].release_year.value(), 2020);
+
+  const auto sparse_back = loaded.datasheets("Arista");
+  ASSERT_EQ(sparse_back.size(), 1u);
+  EXPECT_FALSE(sparse_back[0].typical_power_w.has_value());
+
+  const auto model = loaded.power_model("NCS-55A1-24H");
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ(*model, sample_model());
+
+  const auto measurements = loaded.measurements("NCS-55A1-24H");
+  ASSERT_EQ(measurements.size(), 1u);
+  EXPECT_EQ(measurements[0].source, MeasurementSource::kSnmp);
+  EXPECT_DOUBLE_EQ(measurements[0].median_power_w, 358.0);
+  EXPECT_EQ(measurements[0].sample_count, 8640u);
+
+  ASSERT_EQ(loaded.psu_observations().size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.psu_observations()[0].output_power_w, 168.25);
+}
+
+TEST(PowerZoo, MeasurementSourceParsing) {
+  EXPECT_EQ(parse_measurement_source("snmp").value(), MeasurementSource::kSnmp);
+  EXPECT_EQ(parse_measurement_source("Autopower").value(),
+            MeasurementSource::kAutopower);
+  EXPECT_EQ(parse_measurement_source("LAB").value(), MeasurementSource::kLab);
+  EXPECT_FALSE(parse_measurement_source("guess").has_value());
+}
+
+TEST(PowerZoo, LoadMissingDirectoryThrows) {
+  EXPECT_THROW(PowerZoo::load("/nonexistent/zoo/dir"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace joules

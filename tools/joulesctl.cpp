@@ -1,0 +1,221 @@
+// joulesctl — command-line front end to the library.
+//
+//   joulesctl derive <router-model> [out.csv]     derive a power model (sim lab)
+//   joulesctl models                              list known router models
+//   joulesctl predict <model.csv> <util%> [ifaces] predict power at a utilization
+//   joulesctl datasheet <file>                    parse a datasheet text file
+//   joulesctl audit [seed]                        network-wide power audit
+//   joulesctl zoo-stats <dir>                     summarize a Power Zoo directory
+//   joulesctl zoo-dossier <dir> <model>           one device across all sources
+//
+// Exit codes: 0 ok, 1 usage error, 2 runtime failure.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "datasheet/parser.hpp"
+#include "device/catalog.hpp"
+#include "model/model_io.hpp"
+#include "netpowerbench/derivation.hpp"
+#include "network/dataset.hpp"
+#include "network/simulation.hpp"
+#include "util/units.hpp"
+#include "zoo/power_zoo.hpp"
+
+using namespace joules;
+
+namespace {
+
+int usage() {
+  std::fputs(
+      "usage:\n"
+      "  joulesctl derive <router-model> [out.csv]\n"
+      "  joulesctl models\n"
+      "  joulesctl predict <model.csv> <utilization%%> [interfaces]\n"
+      "  joulesctl datasheet <file>\n"
+      "  joulesctl audit [seed]\n"
+      "  joulesctl zoo-stats <dir>\n"
+      "  joulesctl zoo-dossier <dir> <device-model>\n",
+      stderr);
+  return 1;
+}
+
+int cmd_models() {
+  for (const RouterSpec& spec : all_router_specs()) {
+    std::printf("%-22s %-10s %3zu ports  P_base %.1f W\n", spec.model.c_str(),
+                spec.vendor.c_str(), spec.total_ports(),
+                spec.truth.base_power_w());
+  }
+  return 0;
+}
+
+int cmd_derive(const std::string& model_name, const std::string& out_path) {
+  const auto spec = find_router_spec(model_name);
+  if (!spec) {
+    std::fprintf(stderr, "unknown model '%s' (see: joulesctl models)\n",
+                 model_name.c_str());
+    return 1;
+  }
+  SimulatedRouter dut(*spec, 20250706);
+  OrchestratorOptions lab;
+  lab.start_time = make_time(2025, 7, 1);
+  lab.measure_s = 900;
+  Orchestrator orchestrator(dut, PowerMeter(PowerMeterSpec{}, 20250707), lab);
+
+  std::vector<ProfileKey> keys;
+  for (const InterfaceProfile& profile : spec->truth.profiles()) {
+    keys.push_back(profile.key);
+  }
+  const DerivedModel derived = derive_power_model(orchestrator, keys);
+  std::printf("%s", render_model_table(model_name, derived.model).c_str());
+  if (!out_path.empty()) {
+    model_to_csv(derived.model).write_file(out_path);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_predict(const std::string& model_path, double utilization_pct,
+                int interfaces) {
+  const PowerModel model = model_from_csv(CsvTable::read_file(model_path));
+  const auto profiles = model.profiles();
+  if (profiles.empty()) {
+    std::fputs("model file has no interface profiles\n", stderr);
+    return 2;
+  }
+  const InterfaceProfile& profile = profiles.front();
+  std::vector<InterfaceConfig> configs;
+  std::vector<InterfaceLoad> loads;
+  const double rate =
+      2.0 * utilization_pct / 100.0 * line_rate_bps(profile.key.rate);
+  for (int i = 0; i < interfaces; ++i) {
+    configs.push_back({"if" + std::to_string(i), profile.key,
+                       InterfaceState::kUp});
+    loads.push_back({rate, packet_rate_for_bit_rate(rate, 800)});
+  }
+  const auto prediction = model.predict(configs, loads);
+  const PowerBreakdown& b = prediction.breakdown;
+  std::printf("%d x %s at %.1f%% utilization\n", interfaces,
+              to_string(profile.key).c_str(), utilization_pct);
+  std::printf("  base %.1f + port %.2f + trx %.2f + dynamic %.2f = %.1f W\n",
+              b.base_w, b.port_w, b.transceiver_w(), b.dynamic_w(), b.total_w());
+  return 0;
+}
+
+int cmd_datasheet(const std::string& path) {
+  std::ifstream stream(path);
+  if (!stream) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  const ParsedDatasheet parsed = parse_datasheet(buffer.str());
+  const DatasheetRecord& r = parsed.record;
+  auto show = [](const char* label, const std::optional<double>& value,
+                 const char* unit) {
+    if (value.has_value()) {
+      std::printf("  %-18s %.0f %s\n", label, *value, unit);
+    } else {
+      std::printf("  %-18s (not found)\n", label);
+    }
+  };
+  std::printf("model:  %s\nvendor: %s\nseries: %s\n", r.model.c_str(),
+              r.vendor.c_str(), r.series.c_str());
+  show("typical power", r.typical_power_w, "W");
+  show("max power", r.max_power_w, "W");
+  show("max bandwidth", r.max_bandwidth_gbps, "Gbps");
+  if (parsed.bandwidth_derived_from_ports) {
+    std::puts("  (bandwidth derived from the port list)");
+  }
+  if (r.psu_count && r.psu_capacity_w) {
+    std::printf("  %-18s %d x %.0f W\n", "power supplies", *r.psu_count,
+                *r.psu_capacity_w);
+  }
+  return 0;
+}
+
+int cmd_audit(std::uint64_t seed) {
+  const NetworkSimulation sim(build_switch_like_network(), seed);
+  const SimTime t = sim.topology().options.study_begin + 10 * kSecondsPerDay;
+  double total = 0.0;
+  int active = 0;
+  for (std::size_t r = 0; r < sim.router_count(); ++r) {
+    if (!sim.active(r, t)) continue;
+    total += sim.wall_power_w(r, t);
+    ++active;
+  }
+  const TransceiverPowerReport trx = transceiver_power_report(sim, t);
+  std::printf("routers active: %d of %zu\n", active, sim.router_count());
+  std::printf("total wall power: %.1f kW\n", w_to_kw(total));
+  std::printf("transceivers: %.1f kW (%.1f%%), %zu modules\n",
+              w_to_kw(trx.total_w), 100.0 * trx.share_of_network(), trx.modules);
+  return 0;
+}
+
+int cmd_zoo_stats(const std::string& dir) {
+  const PowerZoo zoo = PowerZoo::load(dir);
+  const PowerZoo::Stats stats = zoo.stats();
+  std::printf("datasheets:       %zu\n", stats.datasheets);
+  std::printf("power models:     %zu\n", stats.power_models);
+  std::printf("measurements:     %zu\n", stats.measurements);
+  std::printf("PSU observations: %zu\n", stats.psu_observations);
+  return 0;
+}
+
+int cmd_zoo_dossier(const std::string& dir, const std::string& model) {
+  const PowerZoo zoo = PowerZoo::load(dir);
+  const PowerZoo::DeviceDossier dossier = zoo.dossier(model);
+  std::printf("dossier: %s\n", model.c_str());
+  if (dossier.datasheet && dossier.datasheet->typical_power_w) {
+    std::printf("  datasheet typical: %.0f W\n",
+                *dossier.datasheet->typical_power_w);
+  } else {
+    std::puts("  no datasheet power value");
+  }
+  if (dossier.model) {
+    std::printf("  power model: P_base %.1f W, %zu profiles\n",
+                dossier.model->base_power_w(), dossier.model->profile_count());
+  } else {
+    std::puts("  no power model on file");
+  }
+  for (const MeasurementSummary& m : dossier.measurements) {
+    std::printf("  %s median %.1f W (%zu samples)\n",
+                std::string(to_string(m.source)).c_str(), m.median_power_w,
+                m.sample_count);
+  }
+  std::printf("  PSU observations: %zu\n", dossier.psu_observations);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "models") return cmd_models();
+    if (command == "derive" && argc >= 3) {
+      return cmd_derive(argv[2], argc >= 4 ? argv[3] : "");
+    }
+    if (command == "predict" && argc >= 4) {
+      return cmd_predict(argv[2], std::atof(argv[3]),
+                         argc >= 5 ? std::atoi(argv[4]) : 1);
+    }
+    if (command == "datasheet" && argc >= 3) return cmd_datasheet(argv[2]);
+    if (command == "audit") {
+      return cmd_audit(argc >= 3 ? std::strtoull(argv[2], nullptr, 10) : 7);
+    }
+    if (command == "zoo-stats" && argc >= 3) return cmd_zoo_stats(argv[2]);
+    if (command == "zoo-dossier" && argc >= 4) {
+      return cmd_zoo_dossier(argv[2], argv[3]);
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+  return usage();
+}
