@@ -11,6 +11,7 @@
 #include "bench_common.hpp"
 #include "network/dataset.hpp"
 #include "network/simulation.hpp"
+#include "network/trace_engine.hpp"
 #include "psu/optimization.hpp"
 #include "util/units.hpp"
 
@@ -25,7 +26,8 @@ int main() {
   const SimTime t = sim.topology().options.study_begin + 30 * kSecondsPerDay;
 
   // --- Estimator (what the paper could do) -------------------------------
-  const auto fleet = group_by_router(psu_snapshot(sim, t));
+  TraceEngine engine(sim);
+  const auto fleet = group_by_router(engine.psu_snapshot(t));
   const SavingsResult estimated = consolidate_to_single_psu(fleet);
 
   // --- Ground truth (what only a simulator / a brave operator can do) -----

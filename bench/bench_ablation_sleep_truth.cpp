@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "network/trace_engine.hpp"
 #include "sleep/hypnos.hpp"
 #include "sleep/savings.hpp"
 #include "util/units.hpp"
@@ -27,8 +28,9 @@ int main() {
   const SimTime begin = sim.topology().options.study_begin;
   const SimTime eval_at = begin + 15 * kSecondsPerDay;
 
-  const std::vector<double> loads = average_link_loads_bps(
-      sim, begin, begin + 7 * kSecondsPerDay, 6 * kSecondsPerHour);
+  TraceEngine engine(sim);
+  const std::vector<double> loads = engine.average_link_loads_bps(
+      begin, begin + 7 * kSecondsPerDay, 6 * kSecondsPerHour);
   const HypnosResult result = run_hypnos(sim.topology(), loads);
 
   double baseline = 0.0;

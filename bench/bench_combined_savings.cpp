@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "network/trace_engine.hpp"
 #include "network/whatif.hpp"
 #include "sleep/hypnos.hpp"
 #include "util/ascii_chart.hpp"
@@ -28,8 +29,9 @@ int main() {
   const SimTime eval_at = begin + 15 * kSecondsPerDay;
 
   // Plan the sleeping schedule on the untouched network.
-  const std::vector<double> loads = average_link_loads_bps(
-      planning_sim, begin, begin + 7 * kSecondsPerDay, 6 * kSecondsPerHour);
+  TraceEngine engine(planning_sim);
+  const std::vector<double> loads = engine.average_link_loads_bps(
+      begin, begin + 7 * kSecondsPerDay, 6 * kSecondsPerHour);
   const HypnosResult hypnos = run_hypnos(planning_sim.topology(), loads);
 
   Scenario scenario(NetworkSimulation(build_switch_like_network(), 7), eval_at);

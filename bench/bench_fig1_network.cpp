@@ -9,6 +9,7 @@
 #include "bench_common.hpp"
 #include "network/dataset.hpp"
 #include "network/simulation.hpp"
+#include "network/trace_engine.hpp"
 #include "stats/descriptive.hpp"
 #include "util/ascii_chart.hpp"
 #include "util/units.hpp"
@@ -24,8 +25,9 @@ int main() {
   const SimTime begin = sim.topology().options.study_begin;  // Sep 01
   const SimTime end = begin + 55 * kSecondsPerDay;           // ~Oct 25
 
+  TraceEngine engine(sim);  // all cores; bit-identical to the serial sweep
   const NetworkTraces traces =
-      network_traces(sim, begin, end, 2 * kSecondsPerHour);
+      engine.network_traces(begin, end, 2 * kSecondsPerHour);
   const TimeSeries power = traces.total_power_w.window_average(6 * kSecondsPerHour);
   const TimeSeries traffic =
       traces.total_traffic_bps.window_average(6 * kSecondsPerHour);

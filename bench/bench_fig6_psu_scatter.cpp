@@ -6,6 +6,7 @@
 #include "bench_common.hpp"
 #include "network/dataset.hpp"
 #include "network/simulation.hpp"
+#include "network/trace_engine.hpp"
 #include "stats/descriptive.hpp"
 #include "util/ascii_chart.hpp"
 #include "util/units.hpp"
@@ -54,7 +55,8 @@ int main() {
 
   const NetworkSimulation sim(build_switch_like_network(), 7);
   const SimTime t = sim.topology().options.study_begin + 30 * kSecondsPerDay;
-  const std::vector<PsuObservation> snapshot = psu_snapshot(sim, t);
+  TraceEngine engine(sim);
+  const std::vector<PsuObservation> snapshot = engine.psu_snapshot(t);
 
   print_panel(snapshot, "", "Fig 6a: all PSU efficiency points");
   print_panel(snapshot, "NCS-55A1-24H", "Fig 6b: NCS-55A1-24H (fares well)");

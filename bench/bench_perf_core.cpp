@@ -1,13 +1,22 @@
 // Performance microbenchmarks (google-benchmark) for the core library: model
-// evaluation, the derivation regressions, Hypnos, and the network power
-// sweep. These are ours (not a paper artifact) and guard against the bench
-// harness becoming accidentally quadratic.
+// evaluation, the derivation regressions, Hypnos, the network power sweep,
+// and the parallel trace engine. These are ours (not a paper artifact) and
+// guard against the bench harness becoming accidentally quadratic.
+//
+// Unless the caller passes their own --benchmark_out, results are also
+// written as JSON to bench_out/perf_core.json for machine comparison.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
 
 #include "device/catalog.hpp"
 #include "model/power_model.hpp"
 #include "network/dataset.hpp"
 #include "network/simulation.hpp"
+#include "network/trace_engine.hpp"
 #include "sleep/hypnos.hpp"
 #include "stats/regression.hpp"
 #include "util/rng.hpp"
@@ -87,7 +96,83 @@ void BM_Hypnos(benchmark::State& state) {
 }
 BENCHMARK(BM_Hypnos);
 
+// The headline sweep: 14 days of the Switch-like network at 5-minute steps,
+// on 1/2/4/8 workers. Results are bit-identical across the Arg values; only
+// wall-clock should move (on multi-core hosts).
+void BM_NetworkTraces(benchmark::State& state) {
+  static const NetworkSimulation sim(build_switch_like_network(), 7);
+  const SimTime begin = sim.topology().options.study_begin;
+  const SimTime end = begin + 14 * kSecondsPerDay;
+  TraceEngine engine(
+      sim, TraceEngineOptions{.workers = static_cast<std::size_t>(state.range(0))});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.network_traces(begin, end, 300).total_power_w.size());
+  }
+  state.counters["steps"] =
+      benchmark::Counter(14.0 * kSecondsPerDay / 300.0,
+                         benchmark::Counter::kIsIterationInvariant);
+}
+BENCHMARK(BM_NetworkTraces)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Production-scale variant: every tier count x4 (~428 routers), 2 days at
+// 5-minute steps. Guards the sweep's scaling in router count, not just time.
+void BM_NetworkTracesScaled(benchmark::State& state) {
+  static const NetworkSimulation sim = [] {
+    TopologyOptions options;
+    options.pop_count *= 4;
+    options.access_asr920 *= 4;
+    options.access_n540x *= 4;
+    options.access_asr9001 *= 4;
+    options.agg_n540 *= 4;
+    options.agg_ncs24q6h *= 4;
+    options.agg_ncs48q6h *= 4;
+    options.core_ncs24h *= 4;
+    options.core_nexus9336 *= 4;
+    options.core_8201_32fh *= 4;
+    options.core_8201_24h8fh *= 4;
+    return NetworkSimulation(build_switch_like_network(options), 7);
+  }();
+  const SimTime begin = sim.topology().options.study_begin;
+  const SimTime end = begin + 2 * kSecondsPerDay;
+  TraceEngine engine(
+      sim, TraceEngineOptions{.workers = static_cast<std::size_t>(state.range(0))});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.network_traces(begin, end, 300).total_power_w.size());
+  }
+  state.counters["routers"] = benchmark::Counter(
+      static_cast<double>(sim.router_count()),
+      benchmark::Counter::kIsIterationInvariant);
+}
+BENCHMARK(BM_NetworkTracesScaled)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace joules
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a default JSON dump to bench_out/perf_core.json when
+// the caller did not choose their own --benchmark_out.
+int main(int argc, char** argv) {
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=bench_out/perf_core.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    std::filesystem::create_directories("bench_out");
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

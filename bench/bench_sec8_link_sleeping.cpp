@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "network/trace_engine.hpp"
 #include "sleep/hypnos.hpp"
 #include "sleep/savings.hpp"
 #include "util/units.hpp"
@@ -25,8 +26,9 @@ int main() {
   const SimTime begin = sim.topology().options.study_begin;
   const SimTime end = begin + 30 * kSecondsPerDay;
 
+  TraceEngine engine(sim);
   const std::vector<double> loads =
-      average_link_loads_bps(sim, begin, end, 3 * kSecondsPerHour);
+      engine.average_link_loads_bps(begin, end, 3 * kSecondsPerHour);
   const HypnosResult result = run_hypnos(sim.topology(), loads);
 
   double network_power = 0.0;

@@ -14,6 +14,7 @@
 #include "device/catalog.hpp"
 #include "network/dataset.hpp"
 #include "network/simulation.hpp"
+#include "network/trace_engine.hpp"
 #include "stats/descriptive.hpp"
 #include "util/ascii_chart.hpp"
 #include "util/units.hpp"
@@ -42,15 +43,17 @@ int main() {
   const SimTime end = begin + 30 * kSecondsPerDay;
 
   // Median measured power per model, across every deployed router of that
-  // model (SNMP where reported, wall power otherwise).
+  // model (SNMP where reported, wall power otherwise). The engine computes
+  // every router's median in one sharded sweep.
+  TraceEngine engine(sim);
+  const auto snmp_medians =
+      engine.snmp_medians(begin, end, 2 * kSecondsPerHour);
   std::map<std::string, std::vector<double>> measured_by_model;
   for (std::size_t r = 0; r < sim.router_count(); ++r) {
     const std::string& model = sim.topology().routers[r].model;
     if (!kPaperRows.contains(model)) continue;
-    const auto snmp_median = snmp_median_power_w(sim, r, begin, end,
-                                                 2 * kSecondsPerHour);
-    if (snmp_median.has_value()) {
-      measured_by_model[model].push_back(*snmp_median);
+    if (snmp_medians[r].has_value()) {
+      measured_by_model[model].push_back(*snmp_medians[r]);
       continue;
     }
     // Non-reporting model: external measurement median.

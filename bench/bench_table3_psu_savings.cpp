@@ -5,6 +5,7 @@
 #include "bench_common.hpp"
 #include "network/dataset.hpp"
 #include "network/simulation.hpp"
+#include "network/trace_engine.hpp"
 #include "psu/optimization.hpp"
 #include "util/ascii_chart.hpp"
 #include "util/units.hpp"
@@ -18,7 +19,8 @@ int main() {
 
   const NetworkSimulation sim(build_switch_like_network(), 7);
   const SimTime t = sim.topology().options.study_begin + 30 * kSecondsPerDay;
-  const auto fleet = group_by_router(psu_snapshot(sim, t));
+  TraceEngine engine(sim);
+  const auto fleet = group_by_router(engine.psu_snapshot(t));
 
   // Paper's Table 3 percentages for the shape comparison.
   const std::map<EightyPlusLevel, std::pair<double, double>> paper = {

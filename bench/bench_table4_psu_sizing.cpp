@@ -8,6 +8,7 @@
 #include "bench_common.hpp"
 #include "network/dataset.hpp"
 #include "network/simulation.hpp"
+#include "network/trace_engine.hpp"
 #include "psu/optimization.hpp"
 #include "util/ascii_chart.hpp"
 
@@ -21,7 +22,8 @@ int main() {
 
   const NetworkSimulation sim(build_switch_like_network(), 7);
   const SimTime t = sim.topology().options.study_begin + 30 * kSecondsPerDay;
-  const auto fleet = group_by_router(psu_snapshot(sim, t));
+  TraceEngine engine(sim);
+  const auto fleet = group_by_router(engine.psu_snapshot(t));
 
   // Paper's Table 4 (percent saved), k rows x capacity columns.
   const std::map<double, std::vector<double>> paper = {

@@ -1,70 +1,32 @@
 #include "network/dataset.hpp"
 
+#include "network/trace_engine.hpp"
 #include "stats/descriptive.hpp"
 
 namespace joules {
 
 NetworkTraces network_traces(const NetworkSimulation& sim, SimTime begin,
                              SimTime end, SimTime step) {
-  NetworkTraces traces;
-
-  // Capacity: each internal link counted once, externals once.
-  for (const DeployedRouter& router : sim.topology().routers) {
-    for (const DeployedInterface& iface : router.interfaces) {
-      if (iface.spare) continue;
-      const double line = line_rate_bps(iface.profile.rate);
-      traces.capacity_bps += iface.external ? line : line / 2.0;
-    }
-  }
-
-  for (SimTime t = begin; t < end; t += step) {
-    double power = 0.0;
-    double traffic = 0.0;
-    for (std::size_t r = 0; r < sim.router_count(); ++r) {
-      if (!sim.active(r, t)) continue;
-      power += sim.wall_power_w(r, t);
-      const auto& interfaces = sim.topology().routers[r].interfaces;
-      for (std::size_t i = 0; i < interfaces.size(); ++i) {
-        const InterfaceLoad load = sim.interface_load(r, i, t);
-        // Loads sum both directions; halve to count carried traffic, and
-        // halve internal links again (seen by both endpoints).
-        traffic += load.rate_bps / (interfaces[i].external ? 2.0 : 4.0);
-      }
-    }
-    traces.total_power_w.push(t, power);
-    traces.total_traffic_bps.push(t, traffic);
-  }
-  return traces;
+  // Serial compatibility wrapper; a single-worker engine runs inline on the
+  // calling thread and produces bit-identical results to the historical loop.
+  TraceEngine engine(sim, TraceEngineOptions{.workers = 1});
+  return engine.network_traces(begin, end, step);
 }
 
 std::vector<PsuObservation> psu_snapshot(const NetworkSimulation& sim,
                                          SimTime t) {
-  std::vector<PsuObservation> observations;
-  for (std::size_t r = 0; r < sim.router_count(); ++r) {
-    if (!sim.active(r, t)) continue;
-    const DeployedRouter& deployed = sim.topology().routers[r];
-    const auto readings = sim.sensor_snapshot(r, t);
-    for (std::size_t p = 0; p < readings.size(); ++p) {
-      PsuObservation obs;
-      obs.router_name = deployed.name;
-      obs.router_model = deployed.model;
-      obs.psu_index = static_cast<int>(p);
-      obs.capacity_w = sim.device(r).psus()[p].capacity_w();
-      obs.input_power_w = readings[p].input_power_w;
-      obs.output_power_w = readings[p].output_power_w;
-      observations.push_back(std::move(obs));
-    }
-  }
-  return observations;
+  TraceEngine engine(sim, TraceEngineOptions{.workers = 1});
+  return engine.psu_snapshot(t);
 }
 
 std::optional<double> snmp_median_power_w(const NetworkSimulation& sim,
                                           std::size_t router, SimTime begin,
                                           SimTime end, SimTime step) {
   std::vector<double> values;
+  std::vector<InterfaceLoad> scratch;
   for (SimTime t = begin; t < end; t += step) {
     if (!sim.active(router, t)) continue;
-    const auto reported = sim.reported_power_w(router, t);
+    const auto reported = sim.reported_power_w(router, t, scratch);
     if (reported.has_value()) values.push_back(*reported);
   }
   if (values.empty()) return std::nullopt;

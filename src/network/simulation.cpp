@@ -1,5 +1,7 @@
 #include "network/simulation.hpp"
 
+#include <algorithm>
+#include <set>
 #include <stdexcept>
 
 #include "device/catalog.hpp"
@@ -34,6 +36,11 @@ NetworkSimulation::NetworkSimulation(NetworkTopology topology, std::uint64_t see
     }
     devices_.push_back(std::move(device));
   }
+  timeline_of_iface_.assign(workloads_.size(), -1);
+  router_edges_.resize(topology_.routers.size());
+  // Devices start in the base (no-override) state, which is segment 0 of the
+  // (empty) per-router boundary list.
+  synced_segment_.assign(topology_.routers.size(), 0);
 }
 
 bool NetworkSimulation::active(std::size_t router, SimTime t) const {
@@ -41,36 +48,39 @@ bool NetworkSimulation::active(std::size_t router, SimTime t) const {
   return t >= deployed.commissioned_at && t < deployed.decommissioned_at;
 }
 
+InterfaceState NetworkSimulation::base_state(std::size_t router,
+                                             std::size_t iface) const {
+  const DeployedInterface& deployed =
+      topology_.routers.at(router).interfaces.at(iface);
+  return deployed.spare ? InterfaceState::kPlugged : InterfaceState::kUp;
+}
+
+NetworkSimulation::StateAt NetworkSimulation::state_at(std::size_t router,
+                                                       std::size_t iface,
+                                                       SimTime t) const {
+  const InterfaceState base = base_state(router, iface);
+  const int slot = timeline_of_iface_[workload_offset_[router] + iface];
+  if (slot < 0) return {base, false};
+  const IfaceTimeline& timeline = timelines_[static_cast<std::size_t>(slot)];
+  const std::size_t segment = static_cast<std::size_t>(
+      std::upper_bound(timeline.edges.begin(), timeline.edges.end(), t) -
+      timeline.edges.begin());
+  return {timeline.seg_state[segment], timeline.seg_suppress[segment] != 0};
+}
+
 InterfaceState NetworkSimulation::interface_state(std::size_t router,
                                                   std::size_t iface,
                                                   SimTime t) const {
-  const DeployedInterface& deployed =
-      topology_.routers.at(router).interfaces.at(iface);
-  InterfaceState state =
-      deployed.spare ? InterfaceState::kPlugged : InterfaceState::kUp;
-  for (const StateOverride& override_spec : overrides_) {
-    if (override_spec.router == static_cast<int>(router) &&
-        override_spec.iface == static_cast<int>(iface) &&
-        t >= override_spec.from && t < override_spec.to) {
-      state = override_spec.state;
-    }
-  }
-  return state;
+  return state_at(router, iface, t).state;
 }
 
 InterfaceLoad NetworkSimulation::interface_load(std::size_t router,
                                                 std::size_t iface,
                                                 SimTime t) const {
   if (!active(router, t)) return {};
-  if (interface_state(router, iface, t) != InterfaceState::kUp) return {};
-  for (const StateOverride& override_spec : overrides_) {
-    if (override_spec.router == static_cast<int>(router) &&
-        override_spec.iface == static_cast<int>(iface) &&
-        override_spec.suppress_traffic && t >= override_spec.from &&
-        t < override_spec.to) {
-      return {};
-    }
-  }
+  const StateAt state = state_at(router, iface, t);
+  if (state.state != InterfaceState::kUp) return {};
+  if (state.suppressed) return {};
   const DeployedInterface& deployed =
       topology_.routers.at(router).interfaces.at(iface);
   if (deployed.spare) return {};
@@ -79,42 +89,125 @@ InterfaceLoad NetworkSimulation::interface_load(std::size_t router,
   return {workload.rate_bps(t), workload.packet_rate_pps(t)};
 }
 
-std::vector<InterfaceLoad> NetworkSimulation::loads(std::size_t router,
-                                                    SimTime t) const {
+void NetworkSimulation::loads_into(std::size_t router, SimTime t,
+                                   std::vector<InterfaceLoad>& out) const {
   const std::size_t count = topology_.routers.at(router).interfaces.size();
-  std::vector<InterfaceLoad> out(count);
+  out.resize(count);
   for (std::size_t i = 0; i < count; ++i) {
     out[i] = interface_load(router, i, t);
   }
+}
+
+std::vector<InterfaceLoad> NetworkSimulation::loads(std::size_t router,
+                                                    SimTime t) const {
+  std::vector<InterfaceLoad> out;
+  loads_into(router, t, out);
   return out;
 }
 
 void NetworkSimulation::sync_states(std::size_t router, SimTime t) const {
+  // Interface states only change at override boundaries; skip the per-step
+  // resync while `t` stays within the segment we last synced to.
+  const std::vector<SimTime>& edges = router_edges_[router];
+  const std::ptrdiff_t segment =
+      std::upper_bound(edges.begin(), edges.end(), t) - edges.begin();
+  if (synced_segment_[router] == segment) return;
   SimulatedRouter& device = devices_[router];
   const std::size_t count = topology_.routers.at(router).interfaces.size();
   for (std::size_t i = 0; i < count; ++i) {
     device.set_interface_state(i, interface_state(router, i, t));
   }
+  synced_segment_[router] = segment;
+}
+
+double NetworkSimulation::wall_power_w(std::size_t router, SimTime t,
+                                       std::vector<InterfaceLoad>& scratch) const {
+  if (!active(router, t)) return 0.0;
+  sync_states(router, t);
+  loads_into(router, t, scratch);
+  return devices_[router].wall_power_w(t, scratch);
 }
 
 double NetworkSimulation::wall_power_w(std::size_t router, SimTime t) const {
-  if (!active(router, t)) return 0.0;
+  thread_local std::vector<InterfaceLoad> scratch;
+  return wall_power_w(router, t, scratch);
+}
+
+std::optional<double> NetworkSimulation::reported_power_w(
+    std::size_t router, SimTime t, std::vector<InterfaceLoad>& scratch) const {
+  if (!active(router, t)) return std::nullopt;
   sync_states(router, t);
-  return devices_[router].wall_power_w(t, loads(router, t));
+  loads_into(router, t, scratch);
+  return devices_[router].reported_power_w(t, scratch);
 }
 
 std::optional<double> NetworkSimulation::reported_power_w(std::size_t router,
                                                           SimTime t) const {
-  if (!active(router, t)) return std::nullopt;
-  sync_states(router, t);
-  return devices_[router].reported_power_w(t, loads(router, t));
+  thread_local std::vector<InterfaceLoad> scratch;
+  return reported_power_w(router, t, scratch);
 }
 
 std::vector<PsuSensorReading> NetworkSimulation::sensor_snapshot(
     std::size_t router, SimTime t) const {
   if (!active(router, t)) return {};
   sync_states(router, t);
-  return devices_[router].sensor_snapshot(t, loads(router, t));
+  thread_local std::vector<InterfaceLoad> scratch;
+  loads_into(router, t, scratch);
+  return devices_[router].sensor_snapshot(t, scratch);
+}
+
+void NetworkSimulation::rebuild_timeline(std::size_t router, std::size_t iface) {
+  const std::size_t flat = workload_offset_[router] + iface;
+  int slot = timeline_of_iface_[flat];
+  if (slot < 0) {
+    slot = static_cast<int>(timelines_.size());
+    timeline_of_iface_[flat] = slot;
+    timelines_.emplace_back();
+    timeline_overrides_.emplace_back();
+  }
+  IfaceTimeline& timeline = timelines_[static_cast<std::size_t>(slot)];
+  const std::vector<std::uint32_t>& entries =
+      timeline_overrides_[static_cast<std::size_t>(slot)];
+
+  // Sweep the interface's overrides over their boundary points. Within each
+  // elementary segment, the covering override with the highest insertion
+  // index wins (the original list scan's last-writer semantics), and traffic
+  // is suppressed when *any* covering override suppresses it.
+  timeline.edges.clear();
+  for (const std::uint32_t entry : entries) {
+    const StateOverride& spec = overrides_[entry];
+    if (spec.from >= spec.to) continue;
+    timeline.edges.push_back(spec.from);
+    timeline.edges.push_back(spec.to);
+  }
+  std::sort(timeline.edges.begin(), timeline.edges.end());
+  timeline.edges.erase(
+      std::unique(timeline.edges.begin(), timeline.edges.end()),
+      timeline.edges.end());
+
+  const InterfaceState base = base_state(router, iface);
+  timeline.seg_state.assign(timeline.edges.size() + 1, base);
+  timeline.seg_suppress.assign(timeline.edges.size() + 1, 0);
+  std::set<std::uint32_t> covering;
+  std::size_t suppressing = 0;
+  for (std::size_t segment = 1; segment <= timeline.edges.size(); ++segment) {
+    const SimTime edge = timeline.edges[segment - 1];
+    for (const std::uint32_t entry : entries) {
+      const StateOverride& spec = overrides_[entry];
+      if (spec.from >= spec.to) continue;
+      if (spec.to == edge) {
+        covering.erase(entry);
+        if (spec.suppress_traffic) --suppressing;
+      }
+      if (spec.from == edge) {
+        covering.insert(entry);
+        if (spec.suppress_traffic) ++suppressing;
+      }
+    }
+    timeline.seg_state[segment] =
+        covering.empty() ? base : overrides_[*covering.rbegin()].state;
+    timeline.seg_suppress[segment] = suppressing > 0 ? 1 : 0;
+  }
 }
 
 void NetworkSimulation::add_override(const StateOverride& override_spec) {
@@ -125,7 +218,23 @@ void NetworkSimulation::add_override(const StateOverride& override_spec) {
       static_cast<std::size_t>(override_spec.iface) >= interfaces.size()) {
     throw std::out_of_range("NetworkSimulation: override interface out of range");
   }
+  const auto router = static_cast<std::size_t>(override_spec.router);
+  const auto iface = static_cast<std::size_t>(override_spec.iface);
+  const auto entry = static_cast<std::uint32_t>(overrides_.size());
   overrides_.push_back(override_spec);
+
+  const std::size_t flat = workload_offset_[router] + iface;
+  if (timeline_of_iface_[flat] < 0) rebuild_timeline(router, iface);
+  timeline_overrides_[static_cast<std::size_t>(timeline_of_iface_[flat])]
+      .push_back(entry);
+  rebuild_timeline(router, iface);
+
+  std::vector<SimTime>& edges = router_edges_[router];
+  for (const SimTime edge : {override_spec.from, override_spec.to}) {
+    const auto at = std::lower_bound(edges.begin(), edges.end(), edge);
+    if (at == edges.end() || *at != edge) edges.insert(at, edge);
+  }
+  synced_segment_[router] = -1;  // segment numbering changed; force a resync
 }
 
 void NetworkSimulation::remove_transceiver_at(int router, int iface, SimTime t) {

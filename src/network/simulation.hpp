@@ -6,8 +6,24 @@
 // do its sensors export. Time-varying interface state (flaps, maintenance,
 // transceiver removal — the Fig. 4 events) is expressed as state overrides
 // over time windows.
+//
+// Overrides are indexed: `add_override` folds each (router, iface)'s
+// overrides into a piecewise-constant timeline (sorted segment boundaries +
+// the winning state per segment), so `interface_state`/`interface_load` cost
+// O(log overrides-on-this-interface) instead of scanning every override in
+// the network. Later-added overrides win overlaps, matching the original
+// last-writer list scan.
+//
+// Thread-safety contract (what `TraceEngine` relies on): all time-indexed
+// queries are const, but power queries sync the per-router device state and
+// the per-router sync cache. Concurrent queries are therefore safe if and
+// only if no two threads touch the *same router* — shard sweeps by router.
+// `interface_state`/`interface_load`/`loads_into` mutate nothing and are
+// safe under any sharding. `add_override` must not run concurrently with
+// queries.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -48,19 +64,34 @@ class NetworkSimulation {
                                              std::size_t iface, SimTime t) const;
   [[nodiscard]] std::vector<InterfaceLoad> loads(std::size_t router, SimTime t) const;
 
+  // Allocation-free variant: resizes `out` to the router's interface count
+  // and fills it. Reusing the same vector across calls never reallocates
+  // once its capacity covers the largest router.
+  void loads_into(std::size_t router, SimTime t,
+                  std::vector<InterfaceLoad>& out) const;
+
   // True wall power; 0 when the router is not active.
   [[nodiscard]] double wall_power_w(std::size_t router, SimTime t) const;
+  // Buffered variant for hot loops: identical result, `scratch` is left
+  // holding the interface loads used (empty-capacity vectors work).
+  double wall_power_w(std::size_t router, SimTime t,
+                      std::vector<InterfaceLoad>& scratch) const;
 
   // PSU-reported (SNMP) power, with the model's telemetry quirks.
   [[nodiscard]] std::optional<double> reported_power_w(std::size_t router,
                                                        SimTime t) const;
+  std::optional<double> reported_power_w(std::size_t router, SimTime t,
+                                         std::vector<InterfaceLoad>& scratch) const;
 
   // Per-PSU (P_in, P_out) sensor export (§9.2's snapshot source).
   [[nodiscard]] std::vector<PsuSensorReading> sensor_snapshot(std::size_t router,
                                                               SimTime t) const;
 
   // The underlying device (e.g. for spec/PSU metadata). State is synced to
-  // the last queried time; prefer the time-indexed accessors.
+  // the last queried time; prefer the time-indexed accessors. Mutating
+  // interface states directly through this handle is not supported — power
+  // queries own them (and skip re-syncing when no override boundary was
+  // crossed).
   [[nodiscard]] const SimulatedRouter& device(std::size_t router) const {
     return devices_[router];
   }
@@ -69,12 +100,34 @@ class NetworkSimulation {
   }
 
   void add_override(const StateOverride& override_spec);
+  [[nodiscard]] std::size_t override_count() const noexcept {
+    return overrides_.size();
+  }
 
   // Transceiver removal: from `t` on, the interface is physically empty
   // (unlike a "down" override, this removes P_trx,in too).
   void remove_transceiver_at(int router, int iface, SimTime t);
 
  private:
+  // Piecewise-constant state of one interface over time. Segment i covers
+  // [edges[i-1], edges[i]) (segment 0 everything before edges[0], the last
+  // segment everything from edges.back() on); `seg_state`/`seg_suppress`
+  // have edges.size() + 1 entries.
+  struct IfaceTimeline {
+    std::vector<SimTime> edges;
+    std::vector<InterfaceState> seg_state;
+    std::vector<std::uint8_t> seg_suppress;
+  };
+  struct StateAt {
+    InterfaceState state;
+    bool suppressed;
+  };
+
+  [[nodiscard]] InterfaceState base_state(std::size_t router,
+                                          std::size_t iface) const;
+  [[nodiscard]] StateAt state_at(std::size_t router, std::size_t iface,
+                                 SimTime t) const;
+  void rebuild_timeline(std::size_t router, std::size_t iface);
   void sync_states(std::size_t router, SimTime t) const;
 
   NetworkTopology topology_;
@@ -82,6 +135,17 @@ class NetworkSimulation {
   std::vector<StateOverride> overrides_;
   std::vector<DiurnalWorkload> workloads_;      // flattened per interface
   std::vector<std::size_t> workload_offset_;    // router -> first workload index
+
+  // Override interval index (rebuilt per affected interface on add_override).
+  std::vector<int> timeline_of_iface_;  // flat iface index -> timelines_ slot, -1 none
+  std::vector<IfaceTimeline> timelines_;
+  std::vector<std::vector<std::uint32_t>> timeline_overrides_;  // overrides_ indices
+  std::vector<std::vector<SimTime>> router_edges_;  // per router, sorted unique
+
+  // Which inter-boundary segment of router_edges_ the device states were
+  // last synced to; -1 forces a sync. Written under the per-router sharding
+  // contract above.
+  mutable std::vector<std::ptrdiff_t> synced_segment_;
 };
 
 }  // namespace joules

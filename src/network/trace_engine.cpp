@@ -1,0 +1,246 @@
+#include "network/trace_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace joules {
+namespace {
+
+// Number of `t = begin, begin+step, ...` samples with t < end.
+std::size_t step_count(SimTime begin, SimTime end, SimTime step) {
+  if (step <= 0) {
+    throw std::invalid_argument("TraceEngine: step must be positive");
+  }
+  if (end <= begin) return 0;
+  return static_cast<std::size_t>((end - begin + step - 1) / step);
+}
+
+}  // namespace
+
+TraceEngine::TraceEngine(const NetworkSimulation& sim, TraceEngineOptions options)
+    : sim_(sim),
+      owned_pool_(std::make_unique<ThreadPool>(options.workers)),
+      pool_(owned_pool_.get()),
+      options_(options) {
+  iface_offset_.reserve(sim_.router_count());
+  for (std::size_t r = 0; r < sim_.router_count(); ++r) {
+    iface_offset_.push_back(iface_total_);
+    iface_total_ += sim_.topology().routers[r].interfaces.size();
+  }
+  scratch_.resize(pool_->worker_count());
+}
+
+TraceEngine::TraceEngine(const NetworkSimulation& sim, ThreadPool& pool,
+                         TraceEngineOptions options)
+    : sim_(sim), pool_(&pool), options_(options) {
+  iface_offset_.reserve(sim_.router_count());
+  for (std::size_t r = 0; r < sim_.router_count(); ++r) {
+    iface_offset_.push_back(iface_total_);
+    iface_total_ += sim_.topology().routers[r].interfaces.size();
+  }
+  scratch_.resize(pool_->worker_count());
+}
+
+NetworkTraces TraceEngine::network_traces(SimTime begin, SimTime end,
+                                          SimTime step) {
+  NetworkTraces traces;
+
+  // Capacity: each internal link counted once, externals once.
+  for (const DeployedRouter& router : sim_.topology().routers) {
+    for (const DeployedInterface& iface : router.interfaces) {
+      if (iface.spare) continue;
+      const double line = line_rate_bps(iface.profile.rate);
+      traces.capacity_bps += iface.external ? line : line / 2.0;
+    }
+  }
+
+  const std::size_t n = step_count(begin, end, step);
+  const std::size_t routers = sim_.router_count();
+  if (n == 0) return traces;
+
+  // The traffic fold of the serial implementation runs over interfaces in
+  // flat (router, iface) order; divisors depend only on the interface.
+  std::vector<double> divisor(iface_total_, 4.0);
+  for (std::size_t r = 0; r < routers; ++r) {
+    const auto& interfaces = sim_.topology().routers[r].interfaces;
+    for (std::size_t i = 0; i < interfaces.size(); ++i) {
+      if (interfaces[i].external) divisor[iface_offset_[r] + i] = 2.0;
+    }
+  }
+
+  // Workers fill per-(router|interface, timestep) slots for a block of
+  // timesteps; the reduction then folds each timestep serially in the flat
+  // order of the original loops, which keeps results bit-identical for any
+  // worker count (floating-point addition is not associative, so the fold
+  // order is part of the output contract).
+  const std::size_t row_bytes = sizeof(double) * (iface_total_ + routers);
+  const std::size_t block = std::clamp<std::size_t>(
+      row_bytes > 0 ? options_.max_block_bytes / row_bytes : n, 1, n);
+  std::vector<double> power(routers * block, 0.0);
+  std::vector<double> contrib(iface_total_ * block, 0.0);
+
+  std::size_t block_begin = 0;
+  std::size_t m = 0;
+  const ThreadPool::ChunkFn fill = [&](std::size_t r0, std::size_t r1,
+                                       std::size_t slot) {
+    std::vector<InterfaceLoad>& loads = scratch_[slot];
+    for (std::size_t r = r0; r < r1; ++r) {
+      double* power_row = power.data() + r * block;
+      double* contrib_rows = contrib.data() + iface_offset_[r] * block;
+      const double* div = divisor.data() + iface_offset_[r];
+      const std::size_t iface_count =
+          sim_.topology().routers[r].interfaces.size();
+      for (std::size_t j = 0; j < m; ++j) {
+        const SimTime t =
+            begin + static_cast<SimTime>(block_begin + j) * step;
+        if (!sim_.active(r, t)) {
+          power_row[j] = 0.0;
+          for (std::size_t i = 0; i < iface_count; ++i) {
+            contrib_rows[i * block + j] = 0.0;
+          }
+          continue;
+        }
+        power_row[j] = sim_.wall_power_w(r, t, loads);
+        for (std::size_t i = 0; i < iface_count; ++i) {
+          // Loads sum both directions; halve to count carried traffic, and
+          // halve internal links again (seen by both endpoints).
+          contrib_rows[i * block + j] = loads[i].rate_bps / div[i];
+        }
+      }
+    }
+  };
+
+  for (block_begin = 0; block_begin < n; block_begin += m) {
+    m = std::min(block, n - block_begin);
+    pool_->parallel_for(0, routers, fill);
+    for (std::size_t j = 0; j < m; ++j) {
+      const SimTime t = begin + static_cast<SimTime>(block_begin + j) * step;
+      double power_sum = 0.0;
+      for (std::size_t r = 0; r < routers; ++r) {
+        power_sum += power[r * block + j];
+      }
+      double traffic = 0.0;
+      for (std::size_t g = 0; g < iface_total_; ++g) {
+        traffic += contrib[g * block + j];
+      }
+      traces.total_power_w.push(t, power_sum);
+      traces.total_traffic_bps.push(t, traffic);
+    }
+  }
+  return traces;
+}
+
+double TraceEngine::network_power_w(SimTime t) {
+  const std::size_t routers = sim_.router_count();
+  std::vector<double> power(routers, 0.0);
+  pool_->parallel_for(0, routers,
+                      [&](std::size_t r0, std::size_t r1, std::size_t slot) {
+                        std::vector<InterfaceLoad>& loads = scratch_[slot];
+                        for (std::size_t r = r0; r < r1; ++r) {
+                          power[r] = sim_.wall_power_w(r, t, loads);
+                        }
+                      });
+  double total = 0.0;
+  for (const double value : power) total += value;
+  return total;
+}
+
+std::vector<std::optional<double>> TraceEngine::snmp_medians(SimTime begin,
+                                                             SimTime end,
+                                                             SimTime step) {
+  const std::size_t n = step_count(begin, end, step);
+  const std::size_t routers = sim_.router_count();
+  std::vector<std::optional<double>> medians(routers);
+  pool_->parallel_for(
+      0, routers, [&](std::size_t r0, std::size_t r1, std::size_t slot) {
+        std::vector<InterfaceLoad>& loads = scratch_[slot];
+        std::vector<double> values;
+        values.reserve(n);
+        for (std::size_t r = r0; r < r1; ++r) {
+          values.clear();
+          for (std::size_t j = 0; j < n; ++j) {
+            const SimTime t = begin + static_cast<SimTime>(j) * step;
+            if (!sim_.active(r, t)) continue;
+            const auto reported = sim_.reported_power_w(r, t, loads);
+            if (reported.has_value()) values.push_back(*reported);
+          }
+          if (!values.empty()) medians[r] = median(values);
+        }
+      });
+  return medians;
+}
+
+std::vector<std::vector<PsuObservation>> TraceEngine::psu_snapshots(
+    std::span<const SimTime> times) {
+  const std::size_t routers = sim_.router_count();
+  // readings[r * times.size() + ti]
+  std::vector<std::vector<PsuSensorReading>> readings(routers * times.size());
+  pool_->parallel_for(0, routers,
+                      [&](std::size_t r0, std::size_t r1, std::size_t) {
+                        for (std::size_t r = r0; r < r1; ++r) {
+                          for (std::size_t ti = 0; ti < times.size(); ++ti) {
+                            readings[r * times.size() + ti] =
+                                sim_.sensor_snapshot(r, times[ti]);
+                          }
+                        }
+                      });
+  std::vector<std::vector<PsuObservation>> snapshots(times.size());
+  for (std::size_t ti = 0; ti < times.size(); ++ti) {
+    for (std::size_t r = 0; r < routers; ++r) {
+      const DeployedRouter& deployed = sim_.topology().routers[r];
+      const auto& router_readings = readings[r * times.size() + ti];
+      for (std::size_t p = 0; p < router_readings.size(); ++p) {
+        PsuObservation obs;
+        obs.router_name = deployed.name;
+        obs.router_model = deployed.model;
+        obs.psu_index = static_cast<int>(p);
+        obs.capacity_w = sim_.device(r).psus()[p].capacity_w();
+        obs.input_power_w = router_readings[p].input_power_w;
+        obs.output_power_w = router_readings[p].output_power_w;
+        snapshots[ti].push_back(std::move(obs));
+      }
+    }
+  }
+  return snapshots;
+}
+
+std::vector<PsuObservation> TraceEngine::psu_snapshot(SimTime t) {
+  const SimTime times[] = {t};
+  return std::move(psu_snapshots(times).front());
+}
+
+std::vector<double> TraceEngine::average_link_loads_bps(SimTime begin,
+                                                        SimTime end,
+                                                        SimTime step) {
+  const std::size_t samples = step_count(begin, end, step);
+  if (samples == 0) {
+    throw std::invalid_argument("average_link_loads_bps: empty window");
+  }
+  const NetworkTopology& topology = sim_.topology();
+  std::vector<double> totals(topology.links.size(), 0.0);
+  // Interface-load queries touch no device state, so links may be sharded
+  // freely even when two links land on the same router.
+  pool_->parallel_for(
+      0, topology.links.size(),
+      [&](std::size_t l0, std::size_t l1, std::size_t) {
+        for (std::size_t l = l0; l < l1; ++l) {
+          const InternalLink& link = topology.links[l];
+          double total = 0.0;
+          for (std::size_t j = 0; j < samples; ++j) {
+            const SimTime t = begin + static_cast<SimTime>(j) * step;
+            const InterfaceLoad load = sim_.interface_load(
+                static_cast<std::size_t>(link.router_a),
+                static_cast<std::size_t>(link.iface_a), t);
+            // Interface loads sum both directions; a link's one-direction
+            // load is half of that (symmetric workloads).
+            total += load.rate_bps / 2.0;
+          }
+          totals[l] = total / static_cast<double>(samples);
+        }
+      });
+  return totals;
+}
+
+}  // namespace joules

@@ -1,0 +1,85 @@
+// The parallel network trace engine.
+//
+// Every headline experiment funnels through the same sweep: for each
+// timestep over a months-long study, evaluate all routers of the simulated
+// network. `TraceEngine` runs that time × router sweep on a `ThreadPool`,
+// sharded **by router**: each `SimulatedRouter` (and its sync cache) is
+// touched by exactly one worker, which is the thread-safety contract
+// `NetworkSimulation` documents, and each worker slot reuses one
+// interface-load scratch buffer, so the inner loop allocates nothing.
+//
+// Determinism: every sample is a pure function of (router, t), workers write
+// into per-(router|interface, t) slots of a preallocated block buffer, and
+// the reduction over routers/interfaces runs serially in the exact order the
+// original serial loops used. Results are therefore bit-identical to the
+// historical serial implementation for any worker count.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "network/dataset.hpp"
+#include "network/simulation.hpp"
+#include "util/thread_pool.hpp"
+
+namespace joules {
+
+struct TraceEngineOptions {
+  std::size_t workers = 0;  // 0 = hardware concurrency (ignored with an external pool)
+  // Upper bound on the sweep's block buffer (per-interface contributions for
+  // a window of timesteps). Only affects memory/locality, never results.
+  std::size_t max_block_bytes = 8u << 20;
+};
+
+class TraceEngine {
+ public:
+  // Owns a pool with `options.workers` workers.
+  explicit TraceEngine(const NetworkSimulation& sim,
+                       TraceEngineOptions options = {});
+  // Borrows `pool` (which must outlive the engine).
+  TraceEngine(const NetworkSimulation& sim, ThreadPool& pool,
+              TraceEngineOptions options = {});
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return pool_->worker_count();
+  }
+
+  // Parallel equivalents of the serial dataset/hypnos sweeps. Bit-identical
+  // to the serial implementations for any worker count.
+  [[nodiscard]] NetworkTraces network_traces(SimTime begin, SimTime end,
+                                             SimTime step);
+
+  // Total wall power over all routers at `t` (the what-if scenario probe).
+  [[nodiscard]] double network_power_w(SimTime t);
+
+  // SNMP power median per router over [begin, end); nullopt where the model
+  // does not report (or the router is never active in the window).
+  [[nodiscard]] std::vector<std::optional<double>> snmp_medians(
+      SimTime begin, SimTime end, SimTime step);
+
+  // §9.2 PSU snapshots, one per requested instant.
+  [[nodiscard]] std::vector<std::vector<PsuObservation>> psu_snapshots(
+      std::span<const SimTime> times);
+  [[nodiscard]] std::vector<PsuObservation> psu_snapshot(SimTime t);
+
+  // Mean per-internal-link offered load over [begin, end); sharded by link
+  // (interface-load queries mutate no device state).
+  [[nodiscard]] std::vector<double> average_link_loads_bps(SimTime begin,
+                                                           SimTime end,
+                                                           SimTime step);
+
+ private:
+  std::vector<InterfaceLoad>& scratch(std::size_t slot) { return scratch_[slot]; }
+
+  const NetworkSimulation& sim_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_;
+  TraceEngineOptions options_;
+  std::vector<std::size_t> iface_offset_;  // router -> first flat iface index
+  std::size_t iface_total_ = 0;
+  std::vector<std::vector<InterfaceLoad>> scratch_;  // one per worker slot
+};
+
+}  // namespace joules

@@ -3,16 +3,18 @@
 #include <limits>
 #include <stdexcept>
 
+#include "network/trace_engine.hpp"
+
 namespace joules {
 
-Scenario::Scenario(NetworkSimulation sim, SimTime eval_at)
-    : sim_(std::move(sim)), eval_at_(eval_at) {}
+Scenario::Scenario(NetworkSimulation sim, SimTime eval_at, std::size_t workers)
+    : sim_(std::move(sim)), eval_at_(eval_at), pool_(workers) {}
 
 double Scenario::record(const std::string& name) {
-  double total = 0.0;
-  for (std::size_t r = 0; r < sim_.router_count(); ++r) {
-    total += sim_.wall_power_w(r, eval_at_);
-  }
+  // The engine folds per-router powers in ascending router order, matching
+  // the historical serial sum bit for bit.
+  TraceEngine engine(sim_, pool_);
+  const double total = engine.network_power_w(eval_at_);
   ScenarioStep step;
   step.name = name;
   step.network_power_w = total;

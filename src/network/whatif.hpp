@@ -14,6 +14,7 @@
 
 #include "network/simulation.hpp"
 #include "sleep/hypnos.hpp"
+#include "util/thread_pool.hpp"
 
 namespace joules {
 
@@ -27,8 +28,9 @@ struct ScenarioStep {
 class Scenario {
  public:
   // Takes ownership of a fresh simulation; `eval_at` is the instant all
-  // power readings use.
-  Scenario(NetworkSimulation sim, SimTime eval_at);
+  // power readings use. `workers` sizes the pool the per-step power probe
+  // runs on (1 = serial; results are identical for any count).
+  Scenario(NetworkSimulation sim, SimTime eval_at, std::size_t workers = 1);
 
   // Measures the untouched fleet; must be called first.
   double baseline_w();
@@ -54,6 +56,7 @@ class Scenario {
 
   NetworkSimulation sim_;
   SimTime eval_at_;
+  ThreadPool pool_;  // owning the pool makes Scenario non-movable
   double baseline_w_ = 0.0;
   std::vector<ScenarioStep> steps_;
 };

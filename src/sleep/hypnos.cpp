@@ -5,6 +5,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "network/trace_engine.hpp"
 #include "util/units.hpp"
 
 namespace joules {
@@ -77,24 +78,10 @@ double link_capacity_bps(const NetworkTopology& topology, std::size_t link_id) {
 std::vector<double> average_link_loads_bps(const NetworkSimulation& sim,
                                            SimTime begin, SimTime end,
                                            SimTime step) {
-  const NetworkTopology& topology = sim.topology();
-  std::vector<double> totals(topology.links.size(), 0.0);
-  std::size_t samples = 0;
-  for (SimTime t = begin; t < end; t += step) {
-    ++samples;
-    for (std::size_t l = 0; l < topology.links.size(); ++l) {
-      const InternalLink& link = topology.links[l];
-      const InterfaceLoad load = sim.interface_load(
-          static_cast<std::size_t>(link.router_a),
-          static_cast<std::size_t>(link.iface_a), t);
-      // Interface loads sum both directions; a link's one-direction load is
-      // half of that (symmetric workloads).
-      totals[l] += load.rate_bps / 2.0;
-    }
-  }
-  if (samples == 0) throw std::invalid_argument("average_link_loads_bps: empty window");
-  for (double& value : totals) value /= static_cast<double>(samples);
-  return totals;
+  // Serial compatibility wrapper; a single-worker engine runs inline on the
+  // calling thread and produces bit-identical results to the historical loop.
+  TraceEngine engine(sim, TraceEngineOptions{.workers = 1});
+  return engine.average_link_loads_bps(begin, end, step);
 }
 
 HypnosResult run_hypnos(const NetworkTopology& topology,
@@ -192,6 +179,16 @@ SleepSchedule run_hypnos_schedule(const NetworkSimulation& sim, SimTime begin,
                                   SimTime end, SimTime window_s,
                                   SimTime sample_step,
                                   const HypnosOptions& options) {
+  TraceEngine engine(sim, TraceEngineOptions{.workers = 1});
+  return run_hypnos_schedule(engine, sim, begin, end, window_s, sample_step,
+                             options);
+}
+
+SleepSchedule run_hypnos_schedule(TraceEngine& engine,
+                                  const NetworkSimulation& sim, SimTime begin,
+                                  SimTime end, SimTime window_s,
+                                  SimTime sample_step,
+                                  const HypnosOptions& options) {
   if (window_s <= 0 || end <= begin) {
     throw std::invalid_argument("run_hypnos_schedule: bad window");
   }
@@ -202,7 +199,7 @@ SleepSchedule run_hypnos_schedule(const NetworkSimulation& sim, SimTime begin,
     window.begin = t;
     window.end = std::min(end, t + window_s);
     const std::vector<double> loads =
-        average_link_loads_bps(sim, window.begin, window.end, sample_step);
+        engine.average_link_loads_bps(window.begin, window.end, sample_step);
     window.result = run_hypnos(sim.topology(), loads, options);
     schedule.windows.push_back(std::move(window));
   }

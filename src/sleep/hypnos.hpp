@@ -75,4 +75,13 @@ struct SleepSchedule {
     const NetworkSimulation& sim, SimTime begin, SimTime end, SimTime window_s,
     SimTime sample_step, const HypnosOptions& options = {});
 
+// Same schedule with each window's load averaging run on `engine`'s worker
+// pool (sharded by link). `engine` must wrap `sim`. Results are bit-identical
+// to the serial overload for any worker count.
+class TraceEngine;
+[[nodiscard]] SleepSchedule run_hypnos_schedule(
+    TraceEngine& engine, const NetworkSimulation& sim, SimTime begin,
+    SimTime end, SimTime window_s, SimTime sample_step,
+    const HypnosOptions& options = {});
+
 }  // namespace joules

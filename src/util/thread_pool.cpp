@@ -1,0 +1,104 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace joules {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  slots_ = workers;
+  threads_.reserve(slots_ - 1);
+  for (std::size_t s = 1; s < slots_; ++s) {
+    threads_.emplace_back([this, s] { worker_loop(s); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+ThreadPool::Range ThreadPool::chunk_range(std::size_t begin, std::size_t end,
+                                          std::size_t slot,
+                                          std::size_t slots) noexcept {
+  const std::size_t n = end > begin ? end - begin : 0;
+  const std::size_t per = n / slots;
+  const std::size_t rem = n % slots;
+  const std::size_t lo = begin + slot * per + std::min(slot, rem);
+  return {lo, lo + per + (slot < rem ? 1 : 0)};
+}
+
+void ThreadPool::run_chunk(std::size_t begin, std::size_t end, std::size_t slot,
+                           const ChunkFn& fn) noexcept {
+  if (begin >= end) return;
+  try {
+    fn(begin, end, slot);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t slot) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    const ChunkFn* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      begin = job_begin_;
+      end = job_end_;
+      fn = job_fn_;
+    }
+    const Range range = chunk_range(begin, end, slot, slots_);
+    run_chunk(range.begin, range.end, slot, *fn);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const ChunkFn& fn) {
+  if (end <= begin) return;
+  if (slots_ > 1) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_begin_ = begin;
+      job_end_ = end;
+      job_fn_ = &fn;
+      pending_ = slots_ - 1;
+      first_error_ = nullptr;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    first_error_ = nullptr;
+  }
+  const Range mine = chunk_range(begin, end, 0, slots_);
+  run_chunk(mine.begin, mine.end, 0, fn);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    error = first_error_;
+    first_error_ = nullptr;
+    job_fn_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace joules

@@ -1,0 +1,77 @@
+// A fixed-size worker pool with a deterministic `parallel_for`.
+//
+// The trace sweeps need parallelism *without* giving up the repo's
+// bit-for-bit determinism guarantee. The contract that makes this work:
+//
+//   - `parallel_for(begin, end, fn)` splits [begin, end) into
+//     `worker_count()` contiguous chunks whose boundaries depend only on the
+//     range and the worker count — never on scheduling. Chunk `s` always
+//     runs on scratch slot `s`.
+//   - Callers write results into per-index (or per-slot) storage and reduce
+//     serially afterwards, so the floating-point fold order is fixed no
+//     matter how many workers execute the chunks or in what real-time order
+//     they finish.
+//
+// The calling thread executes chunk 0 itself; a pool with one worker
+// therefore spawns no threads at all and runs inline, which is what the
+// serial compatibility wrappers use.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace joules {
+
+class ThreadPool {
+ public:
+  // `workers` = 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return slots_; }
+
+  // fn(chunk_begin, chunk_end, slot): slot in [0, worker_count()). Blocks
+  // until every chunk finished; rethrows the first exception a chunk threw.
+  // Not re-entrant: fn must not call parallel_for on the same pool.
+  using ChunkFn = std::function<void(std::size_t, std::size_t, std::size_t)>;
+  void parallel_for(std::size_t begin, std::size_t end, const ChunkFn& fn);
+
+  // The contiguous chunk of [begin, end) assigned to `slot` out of `slots`
+  // (pure; exposed for tests and for callers sizing per-chunk storage).
+  struct Range {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  [[nodiscard]] static Range chunk_range(std::size_t begin, std::size_t end,
+                                         std::size_t slot,
+                                         std::size_t slots) noexcept;
+
+ private:
+  void worker_loop(std::size_t slot);
+  void run_chunk(std::size_t begin, std::size_t end, std::size_t slot,
+                 const ChunkFn& fn) noexcept;
+
+  std::size_t slots_ = 1;
+  std::vector<std::thread> threads_;  // slots 1..slots_-1; slot 0 is the caller
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  std::size_t job_begin_ = 0;
+  std::size_t job_end_ = 0;
+  const ChunkFn* job_fn_ = nullptr;
+  std::size_t pending_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace joules

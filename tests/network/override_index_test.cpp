@@ -1,0 +1,295 @@
+// Regression tests for the override interval index: the indexed
+// `interface_state` / `interface_load` must agree with the pre-index
+// linear-scan semantics (later-added overrides win overlaps; traffic is
+// suppressed while *any* covering override suppresses it) and stay fast with
+// a thousand overrides installed.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "network/simulation.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+// The original implementation, verbatim semantics: scan the full override
+// list in insertion order.
+class LinearScanReference {
+ public:
+  explicit LinearScanReference(const NetworkTopology& topology)
+      : topology_(&topology) {}
+
+  void add(const StateOverride& spec) { overrides_.push_back(spec); }
+
+  InterfaceState state(std::size_t router, std::size_t iface, SimTime t) const {
+    const DeployedInterface& deployed =
+        topology_->routers[router].interfaces[iface];
+    InterfaceState state =
+        deployed.spare ? InterfaceState::kPlugged : InterfaceState::kUp;
+    for (const StateOverride& spec : overrides_) {
+      if (spec.router == static_cast<int>(router) &&
+          spec.iface == static_cast<int>(iface) && t >= spec.from &&
+          t < spec.to) {
+        state = spec.state;
+      }
+    }
+    return state;
+  }
+
+  bool suppressed(std::size_t router, std::size_t iface, SimTime t) const {
+    for (const StateOverride& spec : overrides_) {
+      if (spec.router == static_cast<int>(router) &&
+          spec.iface == static_cast<int>(iface) && spec.suppress_traffic &&
+          t >= spec.from && t < spec.to) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  const NetworkTopology* topology_;
+  std::vector<StateOverride> overrides_;
+};
+
+// Deterministic 64-bit mixer so the test needs no <random> state.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+class OverrideIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    topology_ = build_switch_like_network();
+    begin_ = topology_.options.study_begin;
+  }
+
+  NetworkTopology topology_;
+  SimTime begin_ = 0;
+};
+
+TEST_F(OverrideIndexTest, RandomOverridesMatchLinearScanSemantics) {
+  NetworkSimulation sim(topology_, 7);
+  NetworkSimulation plain(topology_, 7);  // no overrides: base loads
+  LinearScanReference reference(sim.topology());
+
+  // ~200 overlapping overrides on a handful of interfaces, with clustered
+  // boundaries so many intervals share edges.
+  const std::size_t routers = 4;
+  std::vector<SimTime> edges;
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    const std::uint64_t h = mix(k + 1);
+    StateOverride spec;
+    spec.router = static_cast<int>(h % routers);
+    spec.iface = static_cast<int>(
+        (h >> 8) % sim.topology().routers[spec.router].interfaces.size());
+    spec.from = begin_ + static_cast<SimTime>((h >> 16) % 240) * kSecondsPerHour;
+    spec.to = spec.from + static_cast<SimTime>(1 + (h >> 32) % 72) * kSecondsPerHour;
+    switch ((h >> 40) % 3) {
+      case 0: spec.state = InterfaceState::kUp; break;
+      case 1: spec.state = InterfaceState::kPlugged; break;
+      default: spec.state = InterfaceState::kEmpty; break;
+    }
+    spec.suppress_traffic = ((h >> 48) % 2) == 0;
+    sim.add_override(spec);
+    reference.add(spec);
+    edges.push_back(spec.from);
+    edges.push_back(spec.to);
+  }
+
+  // Probe every override boundary (and its neighbors) plus an hourly grid.
+  std::vector<SimTime> probes;
+  for (const SimTime edge : edges) {
+    probes.push_back(edge - 1);
+    probes.push_back(edge);
+    probes.push_back(edge + 1);
+  }
+  for (int h = 0; h < 320; h += 7) probes.push_back(begin_ + h * kSecondsPerHour);
+
+  for (std::size_t r = 0; r < routers; ++r) {
+    const std::size_t ifaces = sim.topology().routers[r].interfaces.size();
+    for (std::size_t i = 0; i < ifaces; ++i) {
+      for (const SimTime t : probes) {
+        ASSERT_EQ(sim.interface_state(r, i, t), reference.state(r, i, t))
+            << "router " << r << " iface " << i << " t " << t;
+        const InterfaceLoad got = sim.interface_load(r, i, t);
+        InterfaceLoad want;
+        if (reference.state(r, i, t) == InterfaceState::kUp &&
+            !reference.suppressed(r, i, t)) {
+          want = plain.interface_load(r, i, t);
+        }
+        ASSERT_EQ(got.rate_bps, want.rate_bps)
+            << "router " << r << " iface " << i << " t " << t;
+        ASSERT_EQ(got.rate_pps, want.rate_pps)
+            << "router " << r << " iface " << i << " t " << t;
+      }
+    }
+  }
+}
+
+TEST_F(OverrideIndexTest, LaterOverridesWinOverlapTies) {
+  NetworkSimulation sim(topology_, 7);
+  const SimTime from = begin_;
+  const SimTime to = begin_ + kSecondsPerDay;
+
+  StateOverride first;
+  first.router = 0;
+  first.iface = 0;
+  first.from = from;
+  first.to = to;
+  first.state = InterfaceState::kPlugged;
+  sim.add_override(first);
+  EXPECT_EQ(sim.interface_state(0, 0, from + 1), InterfaceState::kPlugged);
+
+  StateOverride second = first;  // identical window, different state
+  second.state = InterfaceState::kEmpty;
+  sim.add_override(second);
+  EXPECT_EQ(sim.interface_state(0, 0, from + 1), InterfaceState::kEmpty);
+
+  StateOverride third = first;  // covers a sub-window; wins inside it only
+  third.from = from + kSecondsPerHour;
+  third.to = from + 2 * kSecondsPerHour;
+  third.state = InterfaceState::kUp;
+  sim.add_override(third);
+  EXPECT_EQ(sim.interface_state(0, 0, from + 1), InterfaceState::kEmpty);
+  EXPECT_EQ(sim.interface_state(0, 0, from + kSecondsPerHour),
+            InterfaceState::kUp);
+  EXPECT_EQ(sim.interface_state(0, 0, from + 2 * kSecondsPerHour),
+            InterfaceState::kEmpty);
+}
+
+TEST_F(OverrideIndexTest, WindowsAreHalfOpen) {
+  NetworkSimulation sim(topology_, 7);
+  StateOverride spec;
+  spec.router = 1;
+  spec.iface = 0;
+  spec.from = begin_ + kSecondsPerHour;
+  spec.to = begin_ + 2 * kSecondsPerHour;
+  spec.state = InterfaceState::kEmpty;
+  sim.add_override(spec);
+
+  EXPECT_EQ(sim.interface_state(1, 0, spec.from - 1), InterfaceState::kUp);
+  EXPECT_EQ(sim.interface_state(1, 0, spec.from), InterfaceState::kEmpty);
+  EXPECT_EQ(sim.interface_state(1, 0, spec.to - 1), InterfaceState::kEmpty);
+  EXPECT_EQ(sim.interface_state(1, 0, spec.to), InterfaceState::kUp);
+}
+
+TEST_F(OverrideIndexTest, SuppressionZeroesTrafficWithoutChangingState) {
+  NetworkSimulation sim(topology_, 7);
+  const SimTime t = begin_ + 12 * kSecondsPerHour;
+  ASSERT_GT(sim.interface_load(0, 0, t).rate_bps, 0.0);
+
+  StateOverride keep_up;  // kUp + suppress: counters stop, port stays up
+  keep_up.router = 0;
+  keep_up.iface = 0;
+  keep_up.from = begin_;
+  keep_up.to = begin_ + kSecondsPerDay;
+  keep_up.state = InterfaceState::kUp;
+  keep_up.suppress_traffic = true;
+  sim.add_override(keep_up);
+  EXPECT_EQ(sim.interface_state(0, 0, t), InterfaceState::kUp);
+  EXPECT_EQ(sim.interface_load(0, 0, t).rate_bps, 0.0);
+
+  // A later non-suppressing override does NOT lift the earlier suppression
+  // (any covering suppressor wins — matching the original scan).
+  StateOverride also_up = keep_up;
+  also_up.suppress_traffic = false;
+  sim.add_override(also_up);
+  EXPECT_EQ(sim.interface_load(0, 0, t).rate_bps, 0.0);
+}
+
+TEST_F(OverrideIndexTest, ThousandOverridesStayFastAndCorrect) {
+  NetworkSimulation sim(topology_, 7);
+  LinearScanReference reference(sim.topology());
+
+  // 1000 overrides: 600 stacked on (0, 0), the rest spread around, so both
+  // the deep-stack and the many-interfaces shapes are exercised.
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    const std::uint64_t h = mix(0x9e3779b97f4a7c15ULL + k);
+    StateOverride spec;
+    if (k < 600) {
+      spec.router = 0;
+      spec.iface = 0;
+    } else {
+      spec.router = static_cast<int>(h % sim.router_count());
+      spec.iface = static_cast<int>(
+          (h >> 8) % sim.topology().routers[spec.router].interfaces.size());
+    }
+    spec.from = begin_ + static_cast<SimTime>((h >> 16) % 1000) * kSecondsPerHour;
+    spec.to = spec.from + static_cast<SimTime>(1 + (h >> 32) % 48) * kSecondsPerHour;
+    spec.state =
+        (h >> 40) % 2 == 0 ? InterfaceState::kPlugged : InterfaceState::kUp;
+    spec.suppress_traffic = ((h >> 48) % 2) == 0;
+    sim.add_override(spec);
+    reference.add(spec);
+  }
+  ASSERT_EQ(sim.override_count(), 1000u);
+
+  // Spot-check the deep stack against the linear-scan reference.
+  for (int h = 0; h < 1050; h += 13) {
+    const SimTime t = begin_ + h * kSecondsPerHour;
+    ASSERT_EQ(sim.interface_state(0, 0, t), reference.state(0, 0, t)) << t;
+  }
+
+  // 200k indexed lookups. The old linear scan did 1000 interval checks per
+  // lookup; the index does O(log). The bound is deliberately loose — it only
+  // fails if lookups degrade back to scanning everything.
+  const auto t0 = std::chrono::steady_clock::now();
+  double checksum = 0.0;
+  for (int pass = 0; pass < 200; ++pass) {
+    for (int h = 0; h < 1000; ++h) {
+      const SimTime t = begin_ + h * kSecondsPerHour;
+      checksum += static_cast<double>(sim.interface_state(0, 0, t));
+    }
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - t0;
+  EXPECT_GT(checksum, 0.0);
+  EXPECT_LT(elapsed.count(), 2.0) << "200k lookups took " << elapsed.count()
+                                  << " s — index regressed to a linear scan?";
+}
+
+TEST_F(OverrideIndexTest, PowerQueriesSeeOverridesImmediately) {
+  NetworkSimulation sim(topology_, 7);
+  const SimTime t = begin_ + 12 * kSecondsPerHour;
+  const double before = sim.wall_power_w(0, t);
+
+  // Admin-down every interface of router 0; the sync cache must invalidate.
+  const std::size_t ifaces = sim.topology().routers[0].interfaces.size();
+  for (std::size_t i = 0; i < ifaces; ++i) {
+    StateOverride down;
+    down.router = 0;
+    down.iface = static_cast<int>(i);
+    down.from = begin_;
+    down.to = begin_ + kSecondsPerDay;
+    down.state = InterfaceState::kPlugged;
+    sim.add_override(down);
+  }
+  const double during = sim.wall_power_w(0, t);
+  EXPECT_LT(during, before);
+  // Outside the override window the router is back to normal.
+  EXPECT_EQ(sim.wall_power_w(0, t + kSecondsPerDay),
+            sim.wall_power_w(0, t + kSecondsPerDay));
+  EXPECT_GT(sim.wall_power_w(0, t + kSecondsPerDay), during);
+}
+
+TEST_F(OverrideIndexTest, RejectsOutOfRangeInterface) {
+  NetworkSimulation sim(topology_, 7);
+  StateOverride bad;
+  bad.router = 0;
+  bad.iface = 10000;
+  bad.from = begin_;
+  bad.to = begin_ + kSecondsPerHour;
+  EXPECT_THROW(sim.add_override(bad), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace joules

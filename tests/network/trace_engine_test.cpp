@@ -1,0 +1,216 @@
+#include "network/trace_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "network/dataset.hpp"
+#include "sleep/hypnos.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+// Golden trace values captured from the serial implementation before the
+// trace engine existed (build_switch_like_network() defaults, sim seed 7,
+// 2 days hourly from study_begin). The engine must reproduce these *bit for
+// bit* for every worker count — hex-float literals make the comparison exact.
+struct GoldenSample {
+  std::size_t index;
+  SimTime time;
+  double power_w;
+  double traffic_bps;
+};
+constexpr GoldenSample kGolden[] = {
+    {0, 1725148800, 0x1.7bcb0f5f66236p+14, 0x1.4e0cf49f877f3p+38},
+    {7, 1725174000, 0x1.7c0052927d3c8p+14, 0x1.a7b976cce2983p+38},
+    {23, 1725231600, 0x1.7bec81eb6b36p+14, 0x1.634b770ab99c3p+38},
+    {31, 1725260400, 0x1.7bef9e55b98fcp+14, 0x1.faf6d5f193091p+38},
+    {47, 1725318000, 0x1.7be8f48612fd4p+14, 0x1.aed9e3f8fb038p+38},
+};
+constexpr double kGoldenCapacityBps = 0x1.6741f786p+44;
+
+class TraceEngineTest : public ::testing::Test {
+ protected:
+  static const NetworkSimulation& sim() {
+    static NetworkSimulation simulation(build_switch_like_network(), 7);
+    return simulation;
+  }
+  static SimTime begin() { return sim().topology().options.study_begin; }
+  static SimTime end() { return begin() + 2 * kSecondsPerDay; }
+
+  static void expect_identical(const NetworkTraces& a, const NetworkTraces& b) {
+    EXPECT_EQ(a.capacity_bps, b.capacity_bps);
+    ASSERT_EQ(a.total_power_w.size(), b.total_power_w.size());
+    ASSERT_EQ(a.total_traffic_bps.size(), b.total_traffic_bps.size());
+    for (std::size_t i = 0; i < a.total_power_w.size(); ++i) {
+      EXPECT_EQ(a.total_power_w[i].time, b.total_power_w[i].time) << i;
+      EXPECT_EQ(a.total_power_w[i].value, b.total_power_w[i].value) << i;
+      EXPECT_EQ(a.total_traffic_bps[i].value, b.total_traffic_bps[i].value) << i;
+    }
+  }
+};
+
+TEST_F(TraceEngineTest, ReproducesPreEngineGoldenValuesBitForBit) {
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    TraceEngine engine(sim(), TraceEngineOptions{.workers = workers});
+    const NetworkTraces traces =
+        engine.network_traces(begin(), end(), kSecondsPerHour);
+    EXPECT_EQ(traces.capacity_bps, kGoldenCapacityBps);
+    ASSERT_EQ(traces.total_power_w.size(), 48u);
+    for (const GoldenSample& golden : kGolden) {
+      EXPECT_EQ(traces.total_power_w[golden.index].time, golden.time);
+      EXPECT_EQ(traces.total_power_w[golden.index].value, golden.power_w)
+          << "workers=" << workers << " i=" << golden.index;
+      EXPECT_EQ(traces.total_traffic_bps[golden.index].value, golden.traffic_bps)
+          << "workers=" << workers << " i=" << golden.index;
+    }
+  }
+}
+
+TEST_F(TraceEngineTest, TracesBitIdenticalAcrossWorkerCountsAndToSerial) {
+  const NetworkTraces serial =
+      network_traces(sim(), begin(), end(), kSecondsPerHour);
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    TraceEngine engine(sim(), TraceEngineOptions{.workers = workers});
+    expect_identical(engine.network_traces(begin(), end(), kSecondsPerHour),
+                     serial);
+  }
+}
+
+TEST_F(TraceEngineTest, TinyBlockSizeDoesNotChangeResults) {
+  // Force many reduction blocks; blocking must affect locality only.
+  TraceEngine tiny(sim(), TraceEngineOptions{.workers = 2, .max_block_bytes = 1});
+  TraceEngine big(sim(), TraceEngineOptions{.workers = 2});
+  expect_identical(tiny.network_traces(begin(), end(), kSecondsPerHour),
+                   big.network_traces(begin(), end(), kSecondsPerHour));
+}
+
+TEST_F(TraceEngineTest, EmptyWindowYieldsCapacityOnly) {
+  TraceEngine engine(sim(), TraceEngineOptions{.workers = 2});
+  const NetworkTraces traces = engine.network_traces(begin(), begin(), 300);
+  EXPECT_EQ(traces.capacity_bps, kGoldenCapacityBps);
+  EXPECT_TRUE(traces.total_power_w.empty());
+  EXPECT_TRUE(traces.total_traffic_bps.empty());
+}
+
+TEST_F(TraceEngineTest, NetworkPowerMatchesSerialRouterSum) {
+  const SimTime t = begin() + 10 * kSecondsPerDay;
+  double serial = 0.0;
+  for (std::size_t r = 0; r < sim().router_count(); ++r) {
+    serial += sim().wall_power_w(r, t);
+  }
+  for (const std::size_t workers : {1u, 8u}) {
+    TraceEngine engine(sim(), TraceEngineOptions{.workers = workers});
+    EXPECT_EQ(engine.network_power_w(t), serial) << "workers=" << workers;
+  }
+}
+
+TEST_F(TraceEngineTest, SnmpMediansMatchTheSerialPerRouterFunction) {
+  TraceEngine engine(sim(), TraceEngineOptions{.workers = 8});
+  const auto medians = engine.snmp_medians(begin(), end(), kSecondsPerHour);
+  ASSERT_EQ(medians.size(), sim().router_count());
+  for (std::size_t r = 0; r < sim().router_count(); ++r) {
+    const auto serial =
+        snmp_median_power_w(sim(), r, begin(), end(), kSecondsPerHour);
+    ASSERT_EQ(medians[r].has_value(), serial.has_value()) << "router " << r;
+    if (serial.has_value()) {
+      EXPECT_EQ(*medians[r], *serial) << "router " << r;
+    }
+  }
+}
+
+TEST_F(TraceEngineTest, PsuSnapshotsMatchTheSerialFunction) {
+  const SimTime times[] = {begin(), begin() + 7 * kSecondsPerDay,
+                           begin() + 100 * kSecondsPerDay};
+  TraceEngine engine(sim(), TraceEngineOptions{.workers = 8});
+  const auto snapshots = engine.psu_snapshots(times);
+  ASSERT_EQ(snapshots.size(), 3u);
+  for (std::size_t ti = 0; ti < 3; ++ti) {
+    const std::vector<PsuObservation> serial = psu_snapshot(sim(), times[ti]);
+    ASSERT_EQ(snapshots[ti].size(), serial.size()) << "t index " << ti;
+    for (std::size_t k = 0; k < serial.size(); ++k) {
+      EXPECT_EQ(snapshots[ti][k].router_name, serial[k].router_name);
+      EXPECT_EQ(snapshots[ti][k].psu_index, serial[k].psu_index);
+      EXPECT_EQ(snapshots[ti][k].capacity_w, serial[k].capacity_w);
+      EXPECT_EQ(snapshots[ti][k].input_power_w, serial[k].input_power_w);
+      EXPECT_EQ(snapshots[ti][k].output_power_w, serial[k].output_power_w);
+    }
+  }
+}
+
+TEST_F(TraceEngineTest, LinkLoadsMatchTheSerialFunction) {
+  const std::vector<double> serial =
+      average_link_loads_bps(sim(), begin(), end(), kSecondsPerHour);
+  for (const std::size_t workers : {1u, 8u}) {
+    TraceEngine engine(sim(), TraceEngineOptions{.workers = workers});
+    const std::vector<double> parallel =
+        engine.average_link_loads_bps(begin(), end(), kSecondsPerHour);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t l = 0; l < serial.size(); ++l) {
+      EXPECT_EQ(parallel[l], serial[l]) << "link " << l;
+    }
+  }
+}
+
+TEST_F(TraceEngineTest, LinkLoadsThrowOnEmptyWindow) {
+  TraceEngine engine(sim(), TraceEngineOptions{.workers = 2});
+  EXPECT_THROW(engine.average_link_loads_bps(begin(), begin(), 300),
+               std::invalid_argument);
+}
+
+TEST_F(TraceEngineTest, DeterministicWithActiveOverrides) {
+  // Overrides exercise both the interval index and the sync-skip
+  // invalidation; worker counts must still agree bit for bit.
+  auto make_sim = [] {
+    NetworkSimulation sim(build_switch_like_network(), 7);
+    const SimTime b = sim.topology().options.study_begin;
+    for (int iface = 0; iface < 3; ++iface) {
+      StateOverride down;
+      down.router = 2;
+      down.iface = iface;
+      down.from = b + 6 * kSecondsPerHour;
+      down.to = b + 30 * kSecondsPerHour;
+      down.state = InterfaceState::kPlugged;
+      sim.add_override(down);
+    }
+    sim.remove_transceiver_at(5, 0, b + 12 * kSecondsPerHour);
+    return sim;
+  };
+  const NetworkSimulation sim_a = make_sim();
+  const NetworkSimulation sim_b = make_sim();
+  TraceEngine serial(sim_a, TraceEngineOptions{.workers = 1});
+  TraceEngine parallel(sim_b, TraceEngineOptions{.workers = 8});
+  expect_identical(serial.network_traces(begin(), end(), kSecondsPerHour),
+                   parallel.network_traces(begin(), end(), kSecondsPerHour));
+}
+
+TEST_F(TraceEngineTest, BorrowedPoolIsSharedAcrossEngines) {
+  ThreadPool pool(4);
+  TraceEngine first(sim(), pool);
+  TraceEngine second(sim(), pool);
+  EXPECT_EQ(first.worker_count(), 4u);
+  const NetworkTraces a = first.network_traces(begin(), end(), kSecondsPerHour);
+  const NetworkTraces b = second.network_traces(begin(), end(), kSecondsPerHour);
+  expect_identical(a, b);
+}
+
+TEST_F(TraceEngineTest, HypnosScheduleMatchesSerialOverload) {
+  TraceEngine engine(sim(), TraceEngineOptions{.workers = 8});
+  const SleepSchedule serial = run_hypnos_schedule(
+      sim(), begin(), begin() + kSecondsPerDay, 6 * kSecondsPerHour,
+      kSecondsPerHour);
+  const SleepSchedule parallel = run_hypnos_schedule(
+      engine, sim(), begin(), begin() + kSecondsPerDay, 6 * kSecondsPerHour,
+      kSecondsPerHour);
+  ASSERT_EQ(parallel.windows.size(), serial.windows.size());
+  for (std::size_t w = 0; w < serial.windows.size(); ++w) {
+    EXPECT_EQ(parallel.windows[w].result.sleeping_links,
+              serial.windows[w].result.sleeping_links);
+    EXPECT_EQ(parallel.windows[w].result.final_loads_bps,
+              serial.windows[w].result.final_loads_bps);
+  }
+}
+
+}  // namespace
+}  // namespace joules

@@ -1,0 +1,142 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace joules {
+namespace {
+
+TEST(ChunkRangeTest, PartitionsRangeExactlyAndBalanced) {
+  for (const std::size_t begin : {std::size_t{0}, std::size_t{3}}) {
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                          std::size_t{8}, std::size_t{107}}) {
+      for (std::size_t slots : {std::size_t{1}, std::size_t{2}, std::size_t{8},
+                                std::size_t{13}}) {
+        std::size_t cursor = begin;
+        std::size_t smallest = n + 1;
+        std::size_t largest = 0;
+        for (std::size_t s = 0; s < slots; ++s) {
+          const ThreadPool::Range range =
+              ThreadPool::chunk_range(begin, begin + n, s, slots);
+          // Chunks are contiguous, ordered, and tile the range exactly.
+          EXPECT_EQ(range.begin, cursor);
+          EXPECT_LE(range.begin, range.end);
+          cursor = range.end;
+          const std::size_t size = range.end - range.begin;
+          smallest = std::min(smallest, size);
+          largest = std::max(largest, size);
+        }
+        EXPECT_EQ(cursor, begin + n);
+        EXPECT_LE(largest - smallest, 1u) << "n=" << n << " slots=" << slots;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, DefaultConstructionHasAtLeastOneWorker) {
+  ThreadPool pool;
+  EXPECT_GE(pool.worker_count(), 1u);
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsInlineOnCallingThread) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.worker_count(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.parallel_for(0, 5, [&](std::size_t begin, std::size_t end, std::size_t slot) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 5u);
+    EXPECT_EQ(slot, 0u);
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPoolTest, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> visits(n);
+  pool.parallel_for(0, n, [&](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ChunksMatchChunkRangeAndSlotsAreDistinct) {
+  const std::size_t workers = 4;
+  ThreadPool pool(workers);
+  std::vector<std::atomic<int>> slot_used(workers);
+  pool.parallel_for(
+      0, 103, [&](std::size_t begin, std::size_t end, std::size_t slot) {
+        ASSERT_LT(slot, workers);
+        slot_used[slot].fetch_add(1);
+        const ThreadPool::Range expected =
+            ThreadPool::chunk_range(0, 103, slot, workers);
+        EXPECT_EQ(begin, expected.begin);
+        EXPECT_EQ(end, expected.end);
+      });
+  for (std::size_t s = 0; s < workers; ++s) {
+    EXPECT_EQ(slot_used[s].load(), 1) << "slot " << s;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokesTheFunction) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t, std::size_t) {
+    calls.fetch_add(1);
+  });
+  pool.parallel_for(7, 3, [&](std::size_t, std::size_t, std::size_t) {
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, RethrowsExceptionAndStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 4,
+                        [&](std::size_t begin, std::size_t, std::size_t) {
+                          if (begin == 1) throw std::runtime_error("chunk 1");
+                        }),
+      std::runtime_error);
+
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 100, [&](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) {
+      sum.fetch_add(static_cast<int>(i));
+    }
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPoolTest, ManyConsecutiveJobsProduceStableResults) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<long> sum{0};
+    pool.parallel_for(0, 257, [&](std::size_t begin, std::size_t end, std::size_t) {
+      long local = 0;
+      for (std::size_t i = begin; i < end; ++i) local += static_cast<long>(i);
+      sum.fetch_add(local);
+    });
+    ASSERT_EQ(sum.load(), 256L * 257L / 2) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, MoreWorkersThanItemsLeavesExtraSlotsIdle) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 3, [&](std::size_t begin, std::size_t end, std::size_t) {
+    EXPECT_EQ(end - begin, 1u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+}  // namespace
+}  // namespace joules
