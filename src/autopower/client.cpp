@@ -1,21 +1,51 @@
 #include "autopower/client.hpp"
 
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
+#include <thread>
 
+#include "util/atomic_file.hpp"
 #include "util/csv.hpp"
 
 namespace joules::autopower {
+namespace {
+
+constexpr const char* kStateHeaderPrefix = "# autopower-client-state v";
+constexpr int kStateVersion = 2;
+
+// Shortest decimal that round-trips the double exactly (17 significant
+// digits); the 6-decimal table formatting would corrupt stored readings.
+std::string format_exact(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
 
 Client::Client(Options options, PowerMeter meter,
                std::function<double(int, SimTime)> source)
     : options_(std::move(options)),
       meter_(std::move(meter)),
-      source_(std::move(source)) {
+      source_(std::move(source)),
+      retry_rng_(options_.retry.seed) {
   if (options_.unit_id.empty()) {
     throw std::invalid_argument("autopower::Client: unit_id required");
   }
   if (options_.upload_batch == 0) {
     throw std::invalid_argument("autopower::Client: upload_batch must be positive");
+  }
+  if (options_.retry.max_attempts < 1) {
+    throw std::invalid_argument("autopower::Client: retry needs >= 1 attempt");
+  }
+  if (options_.retry.multiplier < 1.0) {
+    throw std::invalid_argument("autopower::Client: retry multiplier must be >= 1");
+  }
+  if (options_.retry.jitter < 0.0 || options_.retry.jitter >= 1.0) {
+    throw std::invalid_argument("autopower::Client: retry jitter outside [0, 1)");
   }
 }
 
@@ -140,10 +170,43 @@ bool Client::upload_buffered() {
   }
 }
 
-bool Client::sync() {
+bool Client::try_sync_once() {
   if (!ensure_connected()) return false;
   if (!poll_commands()) return false;
   return upload_buffered();
+}
+
+Millis Client::backoff_delay(int failure_index) {
+  const RetryPolicy& policy = options_.retry;
+  double ms = static_cast<double>(policy.initial_backoff.count()) *
+              std::pow(policy.multiplier, failure_index);
+  ms = std::min(ms, static_cast<double>(policy.max_backoff.count()));
+  if (policy.jitter > 0.0) {
+    ms *= 1.0 + retry_rng_.uniform(-policy.jitter, policy.jitter);
+  }
+  return Millis{static_cast<std::int64_t>(std::llround(std::max(0.0, ms)))};
+}
+
+bool Client::sync() {
+  last_backoff_delays_.clear();
+  for (int attempt = 0; attempt < options_.retry.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      const Millis delay = backoff_delay(attempt - 1);
+      last_backoff_delays_.push_back(delay);
+      std::this_thread::sleep_for(delay);
+    }
+    sync_stats_.attempts += 1;
+    if (try_sync_once()) {
+      gave_up_ = false;
+      return true;
+    }
+    sync_stats_.failures += 1;
+    // A half-dead connection is worthless for the retry: reconnect fresh.
+    stream_.close();
+  }
+  gave_up_ = true;
+  sync_stats_.give_ups += 1;
+  return false;
 }
 
 std::size_t Client::buffered_samples() const {
@@ -164,28 +227,53 @@ void Client::save_state(const std::filesystem::path& path) const {
     // ...then one row per buffered sample.
     for (const Sample& sample : state.buffer) {
       table.add_row({std::to_string(channel), "", "", "", "",
-                     std::to_string(sample.time), format_number(sample.value, 6)});
+                     std::to_string(sample.time), format_exact(sample.value)});
     }
   }
-  table.write_file(path);
+  const std::string contents = kStateHeaderPrefix +
+                               std::to_string(kStateVersion) + "\n" +
+                               table.to_string();
+  write_file_atomic(path, contents);
 }
 
 void Client::load_state(const std::filesystem::path& path) {
-  const CsvTable table = CsvTable::read_file(path);
+  std::ifstream stream(path);
+  if (!stream) {
+    throw std::runtime_error("autopower::Client: cannot open " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  std::string contents = std::move(buffer).str();
+
+  int version = 1;  // headerless files predate the version header
+  if (contents.starts_with(kStateHeaderPrefix)) {
+    const std::size_t eol = contents.find('\n');
+    const std::string header = contents.substr(0, eol);
+    version = std::stoi(header.substr(std::string(kStateHeaderPrefix).size()));
+    contents = eol == std::string::npos ? std::string() : contents.substr(eol + 1);
+  }
+  if (version > kStateVersion) {
+    throw std::runtime_error("autopower::Client: state file version " +
+                             std::to_string(version) + " is newer than this build");
+  }
+
+  const CsvTable table = CsvTable::parse(contents);
   channels_.clear();
   for (std::size_t i = 0; i < table.row_count(); ++i) {
-    const int channel = static_cast<int>(table.cell_double(i, "channel"));
+    const int channel = static_cast<int>(table.cell_int64(i, "channel"));
     ChannelState& state = channels_[channel];
     if (!table.cell(i, "period_s").empty()) {
       state.measuring = table.cell(i, "measuring") == "1";
-      state.period_s = static_cast<SimTime>(table.cell_double(i, "period_s"));
-      state.last_sample = static_cast<SimTime>(table.cell_double(i, "last_sample"));
+      // Exact integer parses: v1 always wrote these as decimal integers too,
+      // so both versions take this path (the old double round trip corrupted
+      // sequences above 2^53 and the "never sampled" sentinel).
+      state.period_s = table.cell_int64(i, "period_s");
+      state.last_sample = table.cell_int64(i, "last_sample");
       state.next_sequence =
-          static_cast<std::uint64_t>(table.cell_double(i, "next_sequence"));
+          static_cast<std::uint64_t>(table.cell_int64(i, "next_sequence"));
     } else {
-      state.buffer.push_back(
-          Sample{static_cast<SimTime>(table.cell_double(i, "time")),
-                 table.cell_double(i, "value")});
+      state.buffer.push_back(Sample{table.cell_int64(i, "time"),
+                                    table.cell_double(i, "value")});
     }
   }
 }

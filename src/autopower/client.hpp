@@ -23,8 +23,24 @@
 #include "autopower/protocol.hpp"
 #include "meter/power_meter.hpp"
 #include "net/socket.hpp"
+#include "util/rng.hpp"
 
 namespace joules::autopower {
+
+// How `Client::sync` retries a failed flush. The delay before retry k
+// (zero-based) is min(initial_backoff * multiplier^k, max_backoff), scaled
+// by a uniform jitter factor in [1 - jitter, 1 + jitter] drawn from a
+// generator seeded with `seed` — so a fleet of units sharing a schedule
+// still spreads its reconnect storm, and a test with jitter = 0 can assert
+// the exact documented sequence.
+struct RetryPolicy {
+  int max_attempts = 3;          // total attempts per sync() call (>= 1)
+  Millis initial_backoff{50};
+  double multiplier = 2.0;
+  Millis max_backoff{2000};
+  double jitter = 0.1;           // fraction of the delay; 0 disables
+  std::uint64_t seed = 0x4a6f756c6573ull;
+};
 
 class Client {
  public:
@@ -32,6 +48,7 @@ class Client {
     std::string unit_id;
     std::uint16_t server_port = 0;
     std::size_t upload_batch = 256;  // samples per DataUpload
+    RetryPolicy retry;
   };
 
   // `source(channel, t)` is the true wall power on a channel at time t (the
@@ -53,9 +70,28 @@ class Client {
 
   // --- Networking --------------------------------------------------------
   // Connects (if needed), polls for commands, applies them, and uploads all
-  // buffered batches. Returns true if everything flushed; false leaves the
-  // buffer intact for a later retry (store-and-forward).
+  // buffered batches, retrying per the RetryPolicy with exponential backoff
+  // between attempts. Returns true if everything flushed; false (after the
+  // capped schedule is exhausted) leaves the buffer intact for a later call
+  // (store-and-forward) and latches the give-up state.
   bool sync();
+
+  // True after a sync() exhausted its whole retry schedule; cleared by the
+  // next successful sync.
+  [[nodiscard]] bool gave_up() const noexcept { return gave_up_; }
+
+  // The backoff delays the most recent sync() actually slept, in order.
+  // Empty when the first attempt succeeded. Lets tests pin the schedule.
+  [[nodiscard]] const std::vector<Millis>& last_backoff_delays() const noexcept {
+    return last_backoff_delays_;
+  }
+
+  struct SyncStats {
+    std::uint64_t attempts = 0;   // individual connect+flush attempts
+    std::uint64_t failures = 0;   // attempts that failed
+    std::uint64_t give_ups = 0;   // sync() calls that exhausted the schedule
+  };
+  [[nodiscard]] const SyncStats& sync_stats() const noexcept { return sync_stats_; }
 
   [[nodiscard]] bool is_connected() const noexcept { return stream_.valid(); }
   // Simulates a network interruption.
@@ -64,16 +100,24 @@ class Client {
   // --- Local persistence -----------------------------------------------
   // Saves/restores buffered samples and upload sequence numbers, so a unit
   // restarted after a power failure resumes without loss or duplication.
+  //
+  // The on-disk format is a versioned header line ("# autopower-client-state
+  // v2") followed by CSV; integers (times, sequences) round-trip exactly —
+  // never through double — and the file is replaced atomically (temp file +
+  // fsync + rename), so a crash mid-save leaves the previous state intact.
+  // Headerless v1 files from older builds still load.
   void save_state(const std::filesystem::path& path) const;
   void load_state(const std::filesystem::path& path);
 
   [[nodiscard]] std::size_t buffered_samples() const;
 
  private:
+  bool try_sync_once();
   bool ensure_connected();
   bool poll_commands();
   bool upload_buffered();
   void apply_command(const Command& command);
+  [[nodiscard]] Millis backoff_delay(int failure_index);
 
   struct ChannelState {
     bool measuring = false;
@@ -89,6 +133,10 @@ class Client {
   std::map<int, ChannelState> channels_;
   TcpStream stream_;
   SimTime last_tick_ = std::numeric_limits<SimTime>::min();
+  Rng retry_rng_;
+  bool gave_up_ = false;
+  std::vector<Millis> last_backoff_delays_;
+  SyncStats sync_stats_;
 };
 
 }  // namespace joules::autopower

@@ -12,15 +12,18 @@ Server::~Server() { stop(); }
 
 void Server::stop() {
   if (!running_.exchange(false)) return;
-  listener_.close();
+  // Join before closing: accept() polls in 200 ms slices and rechecks
+  // running_, so the acceptor exits on its own. Closing the fd from here
+  // while the acceptor still polls it would be a data race.
   if (acceptor_.joinable()) acceptor_.join();
-  std::vector<std::thread> connections;
+  listener_.close();
+  std::vector<Connection> connections;
   {
     const std::lock_guard lock(connections_mutex_);
     connections.swap(connections_);
   }
-  for (std::thread& thread : connections) {
-    if (thread.joinable()) thread.join();
+  for (Connection& connection : connections) {
+    if (connection.thread.joinable()) connection.thread.join();
   }
 }
 
@@ -56,18 +59,57 @@ std::size_t Server::accepted_batches(const std::string& unit_id) const {
   return it == units_.end() ? 0 : it->second.accepted_batches;
 }
 
+Server::ConnectionStats Server::connection_stats() const {
+  ConnectionStats stats;
+  stats.accepted = accepted_count_.load();
+  stats.rejected = rejected_count_.load();
+  stats.dropped = dropped_count_.load();
+  stats.reaped = reaped_count_.load();
+  {
+    const std::lock_guard lock(connections_mutex_);
+    for (const Connection& connection : connections_) {
+      if (!connection.done->load()) stats.active += 1;
+    }
+  }
+  return stats;
+}
+
+void Server::reap_finished_connections() {
+  const std::lock_guard lock(connections_mutex_);
+  auto it = connections_.begin();
+  while (it != connections_.end()) {
+    if (!it->done->load()) {
+      ++it;
+      continue;
+    }
+    it->thread.join();  // instant: the thread already signalled completion
+    it = connections_.erase(it);
+    reaped_count_.fetch_add(1);
+  }
+}
+
 void Server::accept_loop() {
   while (running_) {
+    reap_finished_connections();
     std::optional<TcpStream> stream = listener_.accept(Millis{200});
     if (!stream) continue;
+    accepted_count_.fetch_add(1);
+    auto done = std::make_shared<std::atomic<bool>>(false);
     const std::lock_guard lock(connections_mutex_);
-    connections_.emplace_back(
-        [this, s = std::move(*stream)]() mutable { serve_connection(std::move(s)); });
+    connections_.push_back(Connection{
+        std::thread([this, done, s = std::move(*stream)]() mutable {
+          serve_connection(std::move(s));
+          done->store(true);
+        }),
+        done});
   }
 }
 
 void Server::serve_connection(TcpStream stream) {
-  std::string unit_id;  // set by Hello; required before data is accepted
+  // Set by a successful Hello; until then the connection may not poll or
+  // upload, and afterwards every message must carry this exact unit_id.
+  std::string unit_id;
+  bool authenticated = false;
   try {
     while (running_) {
       // Poll in short slices so stop() never waits behind an idle client,
@@ -82,35 +124,47 @@ void Server::serve_connection(TcpStream stream) {
         HelloAck ack;
         ack.accepted = hello->version == kProtocolVersion;
         if (ack.accepted) {
+          authenticated = true;
           unit_id = hello->unit_id;
           const std::lock_guard lock(mutex_);
           units_.try_emplace(unit_id);
         }
         write_frame(stream, encode(ack));
-        if (!ack.accepted) return;
+        if (!ack.accepted) {
+          rejected_count_.fetch_add(1);
+          return;
+        }
         continue;
       }
 
       if (const auto* poll = std::get_if<PollCommands>(&message)) {
+        if (!authenticated || poll->unit_id != unit_id) {
+          rejected_count_.fetch_add(1);
+          return;  // no phantom unit state for unauthenticated peers
+        }
         Commands response;
         {
           const std::lock_guard lock(mutex_);
-          auto& state = units_[poll->unit_id];
-          response.commands.swap(state.pending_commands);
+          response.commands.swap(units_[unit_id].pending_commands);
         }
         write_frame(stream, encode(response));
         continue;
       }
 
       if (const auto* upload = std::get_if<DataUpload>(&message)) {
+        if (!authenticated || upload->unit_id != unit_id) {
+          rejected_count_.fetch_add(1);
+          return;  // drop data claiming another (or no) identity
+        }
         {
           const std::lock_guard lock(mutex_);
-          auto& channel = units_[upload->unit_id].channels[upload->channel];
+          UnitState& unit = units_[unit_id];
+          ChannelData& channel = unit.channels[upload->channel];
           if (channel.seen_sequences.insert(upload->sequence).second) {
             for (const Sample& sample : upload->samples) {
               channel.samples.insert_or_assign(sample.time, sample.value);
             }
-            units_[upload->unit_id].accepted_batches += 1;
+            unit.accepted_batches += 1;
           }
         }
         UploadAck ack;
@@ -120,11 +174,13 @@ void Server::serve_connection(TcpStream stream) {
       }
 
       // Server-only message arriving at the server: protocol violation.
+      dropped_count_.fetch_add(1);
       return;
     }
   } catch (const std::exception&) {
     // Connection-level failure: drop the connection; the client reconnects
     // and re-uploads (uploads are idempotent).
+    dropped_count_.fetch_add(1);
   }
 }
 

@@ -6,6 +6,14 @@
 // accepted is acknowledged again without being stored twice — so a client
 // that lost an ack can safely re-send.
 //
+// Connection hygiene: a connection must complete a Hello handshake before
+// its polls/uploads are honoured, and each message's unit_id must match the
+// one that authenticated — a peer can neither create phantom unit state nor
+// write into another unit's series. Finished connection threads are reaped
+// by the acceptor as it loops, so a reconnect-heavy deployment (the normal
+// case: units redial after every uplink drop) does not accumulate one zombie
+// thread per reconnect until shutdown.
+//
 // Thread model: one acceptor thread, one thread per connection; all shared
 // state behind a single mutex (the server handles a handful of units, not
 // thousands).
@@ -14,6 +22,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -36,10 +45,12 @@ class Server {
 
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
-  // Queues a command for a unit; delivered on its next poll.
+  // Queues a command for a unit; delivered on its next poll. (Trusted local
+  // admin API: may name a unit that has not connected yet.)
   void enqueue_command(const std::string& unit_id, const Command& command);
 
-  // Units that have said Hello at least once.
+  // Units that have said Hello at least once (plus any pre-registered via
+  // enqueue_command).
   [[nodiscard]] std::vector<std::string> known_units() const;
 
   // All stored measurements for a unit's channel, time-ordered.
@@ -49,10 +60,21 @@ class Server {
   // Number of accepted (non-duplicate) upload batches, for tests/monitoring.
   [[nodiscard]] std::size_t accepted_batches(const std::string& unit_id) const;
 
+  // Connection-lifecycle counters, for tests and monitoring.
+  struct ConnectionStats {
+    std::uint64_t accepted = 0;  // connections the acceptor handed to a thread
+    std::uint64_t rejected = 0;  // failed handshakes + unit_id gate violations
+    std::uint64_t dropped = 0;   // connections torn down on I/O or protocol errors
+    std::uint64_t reaped = 0;    // finished connection threads joined pre-stop
+    std::uint64_t active = 0;    // connection threads currently running
+  };
+  [[nodiscard]] ConnectionStats connection_stats() const;
+
   void stop();
 
  private:
   void accept_loop();
+  void reap_finished_connections();
   void serve_connection(TcpStream stream);
 
   struct ChannelData {
@@ -71,9 +93,19 @@ class Server {
   TcpListener listener_;
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{true};
+
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
   std::thread acceptor_;
-  std::vector<std::thread> connections_;
-  std::mutex connections_mutex_;
+  std::vector<Connection> connections_;  // guarded by connections_mutex_
+  mutable std::mutex connections_mutex_;
+
+  std::atomic<std::uint64_t> accepted_count_{0};
+  std::atomic<std::uint64_t> rejected_count_{0};
+  std::atomic<std::uint64_t> dropped_count_{0};
+  std::atomic<std::uint64_t> reaped_count_{0};
 };
 
 }  // namespace joules::autopower

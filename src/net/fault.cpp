@@ -1,0 +1,196 @@
+#include "net/fault.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace joules {
+
+// Grants the hook implementation access to the plan's schedule without
+// making the fields part of FaultPlan's public surface.
+struct FaultPlanAccess {
+  static const auto& connect_faults(const FaultPlan& p) { return p.connect_faults_; }
+  static const auto& send_faults(const FaultPlan& p) { return p.send_faults_; }
+  static const auto& recv_faults(const FaultPlan& p) { return p.recv_faults_; }
+  static std::uint16_t port(const FaultPlan& p) { return p.port_; }
+  static std::uint64_t seed(const FaultPlan& p) { return p.seed_; }
+  static std::size_t send_chunk_cap(const FaultPlan& p) { return p.send_chunk_cap_; }
+  static double recv_drop_probability(const FaultPlan& p) {
+    return p.recv_drop_probability_;
+  }
+};
+
+namespace {
+
+using Access = FaultPlanAccess;
+
+struct ActivePlan {
+  explicit ActivePlan(FaultPlan p, std::uint64_t seed)
+      : plan(std::move(p)), rng(seed) {}
+  FaultPlan plan;
+  Rng rng;
+  FaultStats stats;
+  std::uint64_t next_connect = 0;  // zero-based operation counters
+  std::uint64_t next_send_frame = 0;
+  std::uint64_t next_recv_frame = 0;
+};
+
+// One installed plan at a time, guarded by g_mutex; g_active is the fast
+// path so uninstrumented runs pay one relaxed load per hook.
+std::mutex g_mutex;
+std::atomic<bool> g_active{false};
+std::unique_ptr<ActivePlan> g_plan;
+
+}  // namespace
+
+FaultPlan& FaultPlan::match_port(std::uint16_t port) {
+  port_ = port;
+  return *this;
+}
+
+FaultPlan& FaultPlan::refuse_connect(std::uint64_t attempt) {
+  connect_faults_[attempt].refuse = true;
+  return *this;
+}
+
+FaultPlan& FaultPlan::refuse_connects(std::uint64_t first, std::uint64_t count) {
+  for (std::uint64_t i = 0; i < count; ++i) refuse_connect(first + i);
+  return *this;
+}
+
+FaultPlan& FaultPlan::delay_connect(std::uint64_t attempt, Millis delay) {
+  connect_faults_[attempt].delay = delay;
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_send_frame(std::uint64_t frame,
+                                      std::size_t after_bytes) {
+  send_faults_[frame] = SendFault{true, after_bytes};
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_recv_frame(std::uint64_t frame) {
+  recv_faults_[frame].drop = true;
+  return *this;
+}
+
+FaultPlan& FaultPlan::delay_recv_frame(std::uint64_t frame, Millis delay) {
+  recv_faults_[frame].delay = delay;
+  return *this;
+}
+
+FaultPlan& FaultPlan::cap_send_chunk(std::size_t max_bytes) {
+  send_chunk_cap_ = max_bytes;
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_recv_randomly(double probability) {
+  if (probability < 0.0 || probability > 1.0) {
+    throw std::invalid_argument("FaultPlan: probability outside [0, 1]");
+  }
+  recv_drop_probability_ = probability;
+  return *this;
+}
+
+ScopedFaultPlan::ScopedFaultPlan(FaultPlan plan) {
+  const std::lock_guard lock(g_mutex);
+  if (g_plan != nullptr) {
+    throw std::logic_error("ScopedFaultPlan: a plan is already installed");
+  }
+  const std::uint64_t seed = Access::seed(plan);
+  g_plan = std::make_unique<ActivePlan>(std::move(plan), seed);
+  g_active.store(true, std::memory_order_release);
+}
+
+ScopedFaultPlan::~ScopedFaultPlan() {
+  const std::lock_guard lock(g_mutex);
+  g_active.store(false, std::memory_order_release);
+  g_plan.reset();
+}
+
+FaultStats ScopedFaultPlan::stats() const {
+  const std::lock_guard lock(g_mutex);
+  return g_plan != nullptr ? g_plan->stats : FaultStats{};
+}
+
+namespace fault_hooks {
+
+std::uint64_t on_connect(std::uint16_t port) {
+  if (!g_active.load(std::memory_order_acquire)) return 0;
+  Millis delay{0};
+  {
+    const std::lock_guard lock(g_mutex);
+    if (g_plan == nullptr) return 0;
+    const FaultPlan& plan = g_plan->plan;
+    if (Access::port(plan) != 0 && Access::port(plan) != port) return 0;
+    g_plan->stats.connect_attempts += 1;
+    const std::uint64_t index = g_plan->next_connect++;
+    const auto& faults = Access::connect_faults(plan);
+    const auto it = faults.find(index);
+    if (it != faults.end()) {
+      if (it->second.refuse) {
+        g_plan->stats.connects_refused += 1;
+        throw std::system_error(ECONNREFUSED, std::generic_category(),
+                                "fault injection: connect refused");
+      }
+      delay = it->second.delay;
+      if (delay.count() > 0) g_plan->stats.delays_injected += 1;
+    }
+  }
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  return 1;  // tracked
+}
+
+std::size_t send_chunk_cap(std::uint64_t token) noexcept {
+  if (token == 0 || !g_active.load(std::memory_order_acquire)) return 0;
+  const std::lock_guard lock(g_mutex);
+  return g_plan != nullptr ? Access::send_chunk_cap(g_plan->plan) : 0;
+}
+
+SendFrameFault on_send_frame(std::uint64_t token) {
+  if (token == 0 || !g_active.load(std::memory_order_acquire)) return {};
+  const std::lock_guard lock(g_mutex);
+  if (g_plan == nullptr) return {};
+  g_plan->stats.send_frames += 1;
+  const std::uint64_t index = g_plan->next_send_frame++;
+  const auto& faults = Access::send_faults(g_plan->plan);
+  const auto it = faults.find(index);
+  if (it == faults.end()) return {};
+  g_plan->stats.drops_injected += 1;
+  return SendFrameFault{true, it->second.after_bytes};
+}
+
+RecvFrameFault on_recv_frame(std::uint64_t token) {
+  if (token == 0 || !g_active.load(std::memory_order_acquire)) return {};
+  Millis delay{0};
+  RecvFrameFault fault;
+  {
+    const std::lock_guard lock(g_mutex);
+    if (g_plan == nullptr) return {};
+    g_plan->stats.recv_frames += 1;
+    const std::uint64_t index = g_plan->next_recv_frame++;
+    const auto& faults = Access::recv_faults(g_plan->plan);
+    const auto it = faults.find(index);
+    if (it != faults.end()) {
+      fault.drop = it->second.drop;
+      delay = it->second.delay;
+    }
+    if (!fault.drop && Access::recv_drop_probability(g_plan->plan) > 0.0 &&
+        g_plan->rng.chance(Access::recv_drop_probability(g_plan->plan))) {
+      fault.drop = true;
+    }
+    if (fault.drop) g_plan->stats.drops_injected += 1;
+    if (delay.count() > 0) g_plan->stats.delays_injected += 1;
+  }
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  return fault;
+}
+
+}  // namespace fault_hooks
+}  // namespace joules

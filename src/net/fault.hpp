@@ -1,0 +1,140 @@
+// Deterministic fault injection for the loopback transport.
+//
+// Production telemetry fails in specific, reproducible ways — connections
+// refused, links dying mid-frame, acks lost after the server already
+// committed a batch — and the Autopower robustness claims are only testable
+// if tests can script those exact sequences. A `FaultPlan` describes a
+// schedule of faults; installing it (via `ScopedFaultPlan`, test-scoped)
+// makes every `TcpStream::connect_loopback` consult the plan, and tags the
+// streams it produces so the frame layer (net/framing.hpp) can inject
+// send/recv faults on them. Faults only ever apply to *dialing* (client-side)
+// streams: server-side accepted streams are untouched, which is exactly the
+// asymmetry of the paper's deployment (units behind NAT dial out; the
+// collection server just answers).
+//
+// Scripted faults are keyed by a zero-based operation index counted across
+// the plan's lifetime (connect attempts, sent frames, received frames each
+// have their own counter). Probabilistic faults draw from a seeded Rng, so a
+// given (plan, seed) replays the identical fault sequence every run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "net/socket.hpp"
+
+namespace joules {
+
+// Counters a test can assert against (e.g. "the client made exactly four
+// connect attempts before giving up").
+struct FaultStats {
+  std::uint64_t connect_attempts = 0;  // tracked connect_loopback calls
+  std::uint64_t connects_refused = 0;
+  std::uint64_t send_frames = 0;       // frames written on tracked streams
+  std::uint64_t recv_frames = 0;       // frame reads started on tracked streams
+  std::uint64_t drops_injected = 0;    // connections killed mid-operation
+  std::uint64_t delays_injected = 0;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  // Seed for the probabilistic faults (drop_recv_randomly); scripted faults
+  // are deterministic regardless.
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  // Restricts the plan to connects against one port (0 = every loopback
+  // connect). Streams dialed to other ports are not tracked or counted.
+  FaultPlan& match_port(std::uint16_t port);
+
+  // Refuses the given zero-based connect attempt(s) with ECONNREFUSED.
+  FaultPlan& refuse_connect(std::uint64_t attempt);
+  FaultPlan& refuse_connects(std::uint64_t first, std::uint64_t count);
+  // Sleeps before letting the given connect attempt proceed (added latency).
+  FaultPlan& delay_connect(std::uint64_t attempt, Millis delay);
+
+  // Kills the connection while writing the given frame: `after_bytes` of the
+  // encoded frame (length prefix included) are put on the wire, then the
+  // socket closes — the peer sees a torn frame.
+  FaultPlan& drop_send_frame(std::uint64_t frame, std::size_t after_bytes = 0);
+  // Kills the connection instead of reading the given frame. Applied to the
+  // frame index *after* the peer may have committed and replied, this is the
+  // classic "ack lost after server commit" fault.
+  FaultPlan& drop_recv_frame(std::uint64_t frame);
+  // Sleeps before reading the given frame (added latency).
+  FaultPlan& delay_recv_frame(std::uint64_t frame, Millis delay);
+
+  // Caps every send(2) on tracked streams to `max_bytes` per call, forcing
+  // the multi-chunk partial-write path even for small frames.
+  FaultPlan& cap_send_chunk(std::size_t max_bytes);
+
+  // Drops each tracked frame read with the given probability (seeded).
+  FaultPlan& drop_recv_randomly(double probability);
+
+ private:
+  friend struct FaultPlanAccess;  // fault.cpp's window into the schedule
+
+  struct ConnectFault {
+    bool refuse = false;
+    Millis delay{0};
+  };
+  struct SendFault {
+    bool drop = false;
+    std::size_t after_bytes = 0;
+  };
+  struct RecvFault {
+    bool drop = false;
+    Millis delay{0};
+  };
+
+  std::uint64_t seed_ = 0;
+  std::uint16_t port_ = 0;  // 0 = match any
+  std::map<std::uint64_t, ConnectFault> connect_faults_;
+  std::map<std::uint64_t, SendFault> send_faults_;
+  std::map<std::uint64_t, RecvFault> recv_faults_;
+  std::size_t send_chunk_cap_ = 0;  // 0 = uncapped
+  double recv_drop_probability_ = 0.0;
+};
+
+// Installs a plan process-wide for its lifetime. One at a time; constructing
+// a second concurrently throws std::logic_error. Intended for tests: the
+// hooks cost one relaxed atomic load when no plan is installed.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(FaultPlan plan);
+  ~ScopedFaultPlan();
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+
+  [[nodiscard]] FaultStats stats() const;
+};
+
+namespace fault_hooks {
+// Internal seams the net layer calls; application code never uses these.
+// All are no-ops (returning 0 / no fault) when no plan is installed.
+
+// Consulted at the top of connect_loopback. Throws std::system_error
+// (ECONNREFUSED) to refuse; otherwise returns a nonzero token when the new
+// stream should be tracked, 0 when untracked.
+std::uint64_t on_connect(std::uint16_t port);
+
+// Per-send(2) byte cap for a tracked stream (0 = uncapped).
+std::size_t send_chunk_cap(std::uint64_t token) noexcept;
+
+struct SendFrameFault {
+  bool drop = false;
+  std::size_t after_bytes = 0;
+};
+// Consulted by write_frame before encoding hits the wire.
+SendFrameFault on_send_frame(std::uint64_t token);
+
+struct RecvFrameFault {
+  bool drop = false;
+};
+// Consulted by read_frame before the header read; sleeps internally when the
+// plan scripts added latency.
+RecvFrameFault on_recv_frame(std::uint64_t token);
+
+}  // namespace fault_hooks
+
+}  // namespace joules

@@ -1,8 +1,12 @@
 #include "net/framing.hpp"
 
 #include <bit>
+#include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <system_error>
+
+#include "net/fault.hpp"
 
 namespace joules {
 namespace {
@@ -24,29 +28,61 @@ std::uint64_t read_be(std::span<const std::byte> data) {
 }  // namespace
 
 void write_frame(TcpStream& stream, std::span<const std::byte> payload,
-                 Millis timeout) {
+                 Deadline deadline) {
   if (payload.size() > kMaxFrameBytes) {
     throw std::invalid_argument("write_frame: payload too large");
   }
+  const auto fault = fault_hooks::on_send_frame(stream.fault_token());
+  if (fault.drop) {
+    // Mid-frame disconnect: put the scripted prefix of the encoded frame on
+    // the wire, then die — the peer sees a torn frame.
+    std::vector<std::byte> frame;
+    append_be(frame, payload.size(), 4);
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    const std::size_t sent =
+        fault.after_bytes < frame.size() ? fault.after_bytes : frame.size();
+    if (sent > 0) stream.send_all(std::span(frame).first(sent), deadline);
+    stream.close();
+    throw std::system_error(ECONNRESET, std::generic_category(),
+                            "fault injection: connection dropped mid-frame");
+  }
   std::vector<std::byte> header;
   append_be(header, payload.size(), 4);
-  stream.send_all(header, timeout);
-  stream.send_all(payload, timeout);
+  stream.send_all(header, deadline);
+  stream.send_all(payload, deadline);
+}
+
+void write_frame(TcpStream& stream, std::span<const std::byte> payload,
+                 Millis timeout) {
+  write_frame(stream, payload, Deadline::after(timeout));
 }
 
 std::optional<std::vector<std::byte>> read_frame(TcpStream& stream,
-                                                 Millis timeout) {
+                                                 Deadline deadline) {
+  const auto fault = fault_hooks::on_recv_frame(stream.fault_token());
+  if (fault.drop) {
+    // The frame (e.g. an ack the peer already committed) is lost in transit:
+    // the connection dies before a single byte of it is read.
+    stream.close();
+    throw std::system_error(ECONNRESET, std::generic_category(),
+                            "fault injection: frame dropped");
+  }
   std::byte header[4];
-  if (!stream.recv_exact(header, timeout)) return std::nullopt;
+  if (!stream.recv_exact(header, deadline)) return std::nullopt;
   const std::uint64_t length = read_be(header);
   if (length > kMaxFrameBytes) {
     throw std::runtime_error("read_frame: oversized frame (protocol error)");
   }
   std::vector<std::byte> payload(length);
-  if (length > 0 && !stream.recv_exact(payload, timeout)) {
+  if (length > 0 && !stream.recv_exact(payload, deadline)) {
     throw std::runtime_error("read_frame: EOF after frame header");
   }
   return payload;
+}
+
+std::optional<std::vector<std::byte>> read_frame(TcpStream& stream,
+                                                 Millis timeout) {
+  return read_frame(stream, Deadline::after(timeout));
 }
 
 void ByteWriter::u8(std::uint8_t value) { append_be(buffer_, value, 1); }

@@ -18,12 +18,18 @@ namespace joules {
 
 inline constexpr std::size_t kMaxFrameBytes = 16 * 1024 * 1024;
 
-// Sends one frame (length prefix + payload).
+// Sends one frame (length prefix + payload). The whole frame — header and
+// payload together — shares one deadline; the Millis overload converts once
+// at entry.
+void write_frame(TcpStream& stream, std::span<const std::byte> payload,
+                 Deadline deadline);
 void write_frame(TcpStream& stream, std::span<const std::byte> payload,
                  Millis timeout = Millis{5000});
 
-// Receives one frame. nullopt on clean EOF at a frame boundary; throws on
-// malformed length, timeout, or mid-frame EOF.
+// Receives one frame under a single deadline. nullopt on clean EOF at a
+// frame boundary; throws on malformed length, timeout, or mid-frame EOF.
+[[nodiscard]] std::optional<std::vector<std::byte>> read_frame(
+    TcpStream& stream, Deadline deadline);
 [[nodiscard]] std::optional<std::vector<std::byte>> read_frame(
     TcpStream& stream, Millis timeout = Millis{5000});
 

@@ -8,9 +8,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <system_error>
+
+#include "net/fault.hpp"
 
 namespace joules {
 namespace {
@@ -26,14 +29,37 @@ void set_nonblocking(int fd, bool nonblocking) {
   if (::fcntl(fd, F_SETFL, wanted) < 0) throw_errno("fcntl(F_SETFL)");
 }
 
-// Waits until `fd` is ready for the given events; returns false on timeout.
-bool wait_ready(int fd, short events, Millis timeout) {
+int real_poll(pollfd* fds, unsigned long nfds, int timeout_ms) {
+  return ::poll(fds, static_cast<nfds_t>(nfds), timeout_ms);
+}
+
+std::atomic<net_testing::PollFn> g_poll_fn{&real_poll};
+
+// Longest single poll() slice; never-expiring deadlines re-poll in slices so
+// the fd stays responsive to the test poll hook being swapped out.
+constexpr int kMaxPollSliceMs = 60'000;
+
+// Waits until `fd` is ready for the given events; returns false once the
+// deadline expires. The deadline is absolute: EINTR and slice wakeups retry
+// with the *remaining* time, never the original budget.
+bool wait_ready(int fd, short events, Deadline deadline) {
   pollfd pfd{fd, events, 0};
+  const net_testing::PollFn poll_fn = g_poll_fn.load(std::memory_order_relaxed);
   while (true) {
-    const int rc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    int wait_ms = kMaxPollSliceMs;
+    if (!deadline.is_never()) {
+      const auto remaining = deadline.remaining().count();
+      wait_ms = static_cast<int>(
+          remaining < kMaxPollSliceMs ? remaining : kMaxPollSliceMs);
+    }
+    const int rc = poll_fn(&pfd, 1, wait_ms);
     if (rc > 0) return true;
-    if (rc == 0) return false;
+    if (rc == 0) {
+      if (!deadline.is_never() && deadline.expired()) return false;
+      continue;  // slice elapsed before the deadline; keep waiting
+    }
     if (errno != EINTR) throw_errno("poll");
+    if (!deadline.is_never() && deadline.expired()) return false;
   }
 }
 
@@ -46,6 +72,35 @@ sockaddr_in loopback_addr(std::uint16_t port) {
 }
 
 }  // namespace
+
+namespace net_testing {
+PollFn set_poll_fn(PollFn fn) noexcept {
+  return g_poll_fn.exchange(fn != nullptr ? fn : &real_poll);
+}
+}  // namespace net_testing
+
+Deadline Deadline::after(Millis timeout) noexcept {
+  Deadline d;
+  d.at_ = std::chrono::steady_clock::now() + timeout;
+  return d;
+}
+
+Deadline Deadline::never() noexcept {
+  Deadline d;
+  d.never_ = true;
+  return d;
+}
+
+bool Deadline::expired() const noexcept {
+  return !never_ && std::chrono::steady_clock::now() >= at_;
+}
+
+Millis Deadline::remaining() const noexcept {
+  if (never_) return Millis::max();
+  const auto left = std::chrono::duration_cast<Millis>(
+      at_ - std::chrono::steady_clock::now());
+  return left < Millis{0} ? Millis{0} : left;
+}
 
 FdOwner::~FdOwner() { reset(); }
 
@@ -70,7 +125,11 @@ void FdOwner::reset(int fd) noexcept {
   fd_ = fd;
 }
 
-TcpStream TcpStream::connect_loopback(std::uint16_t port, Millis timeout) {
+TcpStream TcpStream::connect_loopback(std::uint16_t port, Deadline deadline) {
+  // The installed fault plan may refuse the attempt (throws ECONNREFUSED)
+  // or tag the resulting stream for later send/recv injection.
+  const std::uint64_t token = fault_hooks::on_connect(port);
+
   FdOwner fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) throw_errno("socket");
   set_nonblocking(fd.get(), true);
@@ -80,7 +139,7 @@ TcpStream TcpStream::connect_loopback(std::uint16_t port, Millis timeout) {
                            sizeof addr);
   if (rc < 0) {
     if (errno != EINPROGRESS) throw_errno("connect");
-    if (!wait_ready(fd.get(), POLLOUT, timeout)) {
+    if (!wait_ready(fd.get(), POLLOUT, deadline)) {
       throw std::system_error(ETIMEDOUT, std::generic_category(), "connect timeout");
     }
     int err = 0;
@@ -95,17 +154,27 @@ TcpStream TcpStream::connect_loopback(std::uint16_t port, Millis timeout) {
   set_nonblocking(fd.get(), false);
   const int one = 1;
   ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  return TcpStream(std::move(fd));
+  TcpStream stream(std::move(fd));
+  stream.fault_token_ = token;
+  return stream;
 }
 
-void TcpStream::send_all(std::span<const std::byte> data, Millis timeout) {
+TcpStream TcpStream::connect_loopback(std::uint16_t port, Millis timeout) {
+  return connect_loopback(port, Deadline::after(timeout));
+}
+
+void TcpStream::send_all(std::span<const std::byte> data, Deadline deadline) {
   std::size_t sent = 0;
   while (sent < data.size()) {
-    if (!wait_ready(fd_.get(), POLLOUT, timeout)) {
+    if (!wait_ready(fd_.get(), POLLOUT, deadline)) {
       throw std::system_error(ETIMEDOUT, std::generic_category(), "send timeout");
     }
-    const ssize_t n = ::send(fd_.get(), data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
+    std::size_t chunk = data.size() - sent;
+    if (fault_token_ != 0) {
+      const std::size_t cap = fault_hooks::send_chunk_cap(fault_token_);
+      if (cap != 0 && chunk > cap) chunk = cap;  // forced partial write
+    }
+    const ssize_t n = ::send(fd_.get(), data.data() + sent, chunk, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       throw_errno("send");
@@ -114,10 +183,14 @@ void TcpStream::send_all(std::span<const std::byte> data, Millis timeout) {
   }
 }
 
-bool TcpStream::recv_exact(std::span<std::byte> out, Millis timeout) {
+void TcpStream::send_all(std::span<const std::byte> data, Millis timeout) {
+  send_all(data, Deadline::after(timeout));
+}
+
+bool TcpStream::recv_exact(std::span<std::byte> out, Deadline deadline) {
   std::size_t received = 0;
   while (received < out.size()) {
-    if (!wait_ready(fd_.get(), POLLIN, timeout)) {
+    if (!wait_ready(fd_.get(), POLLIN, deadline)) {
       throw std::system_error(ETIMEDOUT, std::generic_category(), "recv timeout");
     }
     const ssize_t n =
@@ -136,8 +209,16 @@ bool TcpStream::recv_exact(std::span<std::byte> out, Millis timeout) {
   return true;
 }
 
+bool TcpStream::recv_exact(std::span<std::byte> out, Millis timeout) {
+  return recv_exact(out, Deadline::after(timeout));
+}
+
+bool TcpStream::wait_readable(Deadline deadline) {
+  return wait_ready(fd_.get(), POLLIN, deadline);
+}
+
 bool TcpStream::wait_readable(Millis timeout) {
-  return wait_ready(fd_.get(), POLLIN, timeout);
+  return wait_readable(Deadline::after(timeout));
 }
 
 void TcpStream::shutdown_write() noexcept {
@@ -165,7 +246,7 @@ TcpListener::TcpListener(std::uint16_t port) {
 
 std::optional<TcpStream> TcpListener::accept(Millis timeout) {
   if (!fd_.valid()) return std::nullopt;
-  if (!wait_ready(fd_.get(), POLLIN, timeout)) return std::nullopt;
+  if (!wait_ready(fd_.get(), POLLIN, Deadline::after(timeout))) return std::nullopt;
   const int client = ::accept(fd_.get(), nullptr, nullptr);
   if (client < 0) {
     if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||

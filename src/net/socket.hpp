@@ -4,6 +4,13 @@
 // lifetime safe (move-only owners, close on destruction), add poll()-based
 // timeouts, and surface errors as std::system_error. IPv4 loopback is all the
 // library needs: the paper's units dial out to a single collection server.
+//
+// Timeouts are absolute deadlines: a `send_all`/`recv_exact`/`connect` call
+// converts its timeout to one `Deadline` up front, and every internal poll()
+// retry (including after EINTR) waits only for the time remaining — so a
+// multi-chunk transfer or a signal storm can never extend a call past the
+// requested budget. The `Millis` overloads are conveniences that forward to
+// the `Deadline` ones.
 #pragma once
 
 #include <chrono>
@@ -12,6 +19,8 @@
 #include <optional>
 #include <span>
 #include <string>
+
+struct pollfd;
 
 namespace joules {
 
@@ -37,6 +46,26 @@ class FdOwner {
 
 using Millis = std::chrono::milliseconds;
 
+// An absolute point in time an I/O operation must finish by. Computed once
+// per operation; polls consult `remaining()` so retries share one budget.
+class Deadline {
+ public:
+  // A deadline `timeout` from now.
+  [[nodiscard]] static Deadline after(Millis timeout) noexcept;
+  // A deadline that never expires (block until the event).
+  [[nodiscard]] static Deadline never() noexcept;
+
+  [[nodiscard]] bool is_never() const noexcept { return never_; }
+  [[nodiscard]] bool expired() const noexcept;
+  // Time left before expiry, clamped to >= 0. Millis::max() when never().
+  [[nodiscard]] Millis remaining() const noexcept;
+
+ private:
+  Deadline() = default;
+  std::chrono::steady_clock::time_point at_{};
+  bool never_ = false;
+};
+
 // A connected TCP stream.
 class TcpStream {
  public:
@@ -44,30 +73,42 @@ class TcpStream {
   explicit TcpStream(FdOwner fd) noexcept : fd_(std::move(fd)) {}
 
   // Connects to 127.0.0.1:port; throws std::system_error on failure or
-  // timeout.
+  // timeout (the whole connect, including the readiness wait, shares one
+  // deadline).
+  static TcpStream connect_loopback(std::uint16_t port, Deadline deadline);
   static TcpStream connect_loopback(std::uint16_t port,
                                     Millis timeout = Millis{2000});
 
   [[nodiscard]] bool valid() const noexcept { return fd_.valid(); }
 
-  // Sends the whole buffer; throws on error (including peer reset).
+  // Sends the whole buffer; throws on error (including peer reset) or when
+  // the deadline expires before the last byte is written.
+  void send_all(std::span<const std::byte> data, Deadline deadline);
   void send_all(std::span<const std::byte> data, Millis timeout = Millis{5000});
 
   // Receives exactly `size` bytes. Returns false on clean EOF before any byte
-  // was read; throws on error, timeout, or mid-message EOF.
+  // was read; throws on error, deadline expiry, or mid-message EOF.
+  bool recv_exact(std::span<std::byte> out, Deadline deadline);
   bool recv_exact(std::span<std::byte> out, Millis timeout = Millis{5000});
 
   // Waits until at least one byte (or EOF) is available without consuming
   // anything; false on timeout. Lets servers poll idle connections in short
   // slices without risking mid-frame timeouts.
+  [[nodiscard]] bool wait_readable(Deadline deadline);
   [[nodiscard]] bool wait_readable(Millis timeout);
 
   // Half-closes the write side (signals EOF to the peer).
   void shutdown_write() noexcept;
   void close() noexcept { fd_.reset(); }
 
+  // Nonzero when the stream is tracked by an installed net::FaultPlan
+  // (see net/fault.hpp). Internal plumbing for the fault-injection layer;
+  // application code never needs it.
+  [[nodiscard]] std::uint64_t fault_token() const noexcept { return fault_token_; }
+
  private:
   FdOwner fd_;
+  std::uint64_t fault_token_ = 0;
 };
 
 // A listening socket on 127.0.0.1. Pass port 0 for an ephemeral port.
@@ -80,7 +121,8 @@ class TcpListener {
   // Accepts one connection; nullopt on timeout.
   [[nodiscard]] std::optional<TcpStream> accept(Millis timeout = Millis{1000});
 
-  // Unblocks a blocked accept() from another thread by closing the fd.
+  // Closing while another thread is blocked in accept() is a data race;
+  // have the accepting thread exit its poll slice first, then close.
   void close() noexcept { fd_.reset(); }
   [[nodiscard]] bool valid() const noexcept { return fd_.valid(); }
 
@@ -88,5 +130,13 @@ class TcpListener {
   FdOwner fd_;
   std::uint16_t port_ = 0;
 };
+
+namespace net_testing {
+// Test-only seam: replaces the poll(2) entry point the socket layer uses, so
+// tests can inject EINTR storms or stalls deterministically. Returns the
+// previous function; pass nullptr to restore the real poll().
+using PollFn = int (*)(pollfd* fds, unsigned long nfds, int timeout_ms);
+PollFn set_poll_fn(PollFn fn) noexcept;
+}  // namespace net_testing
 
 }  // namespace joules

@@ -1,0 +1,73 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <string>
+#include <system_error>
+
+namespace joules {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+// Distinguishes temp files from concurrent writers in the same process (the
+// pid suffix already separates processes).
+std::atomic<std::uint64_t> g_temp_counter{0};
+
+}  // namespace
+
+void write_file_atomic(const std::filesystem::path& path,
+                       std::string_view contents) {
+  const std::filesystem::path dir =
+      path.has_parent_path() ? path.parent_path() : std::filesystem::path(".");
+  const std::filesystem::path tmp =
+      dir / (path.filename().string() + ".tmp." + std::to_string(::getpid()) +
+             "." + std::to_string(g_temp_counter.fetch_add(1)));
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("write_file_atomic: open " + tmp.string());
+
+  try {
+    std::size_t written = 0;
+    while (written < contents.size()) {
+      const ssize_t n =
+          ::write(fd, contents.data() + written, contents.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("write_file_atomic: write " + tmp.string());
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) < 0) throw_errno("write_file_atomic: fsync " + tmp.string());
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (::close(fd) < 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("write_file_atomic: close " + tmp.string());
+  }
+
+  if (::rename(tmp.c_str(), path.c_str()) < 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    errno = saved;
+    throw_errno("write_file_atomic: rename to " + path.string());
+  }
+
+  // Make the rename itself durable. Best-effort: some filesystems refuse
+  // directory fsync, and the file contents are already safe.
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+}  // namespace joules

@@ -1,0 +1,21 @@
+// Crash-safe file replacement.
+//
+// A plain `ofstream` overwrite truncates the destination before writing, so
+// a crash (or power failure — the exact event Autopower units must survive)
+// mid-write leaves a torn file where the only copy of the client's recovery
+// state used to be. `write_file_atomic` writes to a temp file in the same
+// directory, fsyncs it, and renames it over the destination: readers see
+// either the old contents or the complete new contents, never a mix.
+#pragma once
+
+#include <filesystem>
+#include <string_view>
+
+namespace joules {
+
+// Throws std::system_error on I/O failure; on failure the destination is
+// untouched and the temp file is removed.
+void write_file_atomic(const std::filesystem::path& path,
+                       std::string_view contents);
+
+}  // namespace joules

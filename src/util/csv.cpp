@@ -1,5 +1,6 @@
 #include "util/csv.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -94,6 +95,19 @@ double CsvTable::cell_double(std::size_t row, const std::string& col) const {
   } catch (const std::exception&) {
     throw std::invalid_argument("CsvTable: cell '" + text + "' is not numeric");
   }
+}
+
+std::int64_t CsvTable::cell_int64(std::size_t row, const std::string& col) const {
+  const std::string text = cell(row, col);
+  std::int64_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || begin == end) {
+    throw std::invalid_argument("CsvTable: cell '" + text +
+                                "' is not a 64-bit integer");
+  }
+  return value;
 }
 
 std::string CsvTable::to_string() const {

@@ -5,6 +5,7 @@
 // corpus and network inventory also round-trip through CSV in tests.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -30,6 +31,10 @@ class CsvTable {
 
   [[nodiscard]] std::string cell(std::size_t row, const std::string& col) const;
   [[nodiscard]] double cell_double(std::size_t row, const std::string& col) const;
+  // Exact 64-bit integer parse (no round trip through double, which silently
+  // corrupts magnitudes above 2^53 and sentinel values like INT64_MIN).
+  // Throws std::invalid_argument unless the whole cell is a decimal integer.
+  [[nodiscard]] std::int64_t cell_int64(std::size_t row, const std::string& col) const;
 
   // RFC-4180-style serialization (quotes fields containing , " or newline).
   [[nodiscard]] std::string to_string() const;

@@ -1,0 +1,143 @@
+// Server connection-lifecycle hygiene: the Hello handshake gates all unit
+// state (no phantom units from unauthenticated polls/uploads, no writing
+// into another unit's series), and finished connection threads are reaped
+// while the server runs instead of accumulating until stop().
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "autopower/client.hpp"
+#include "autopower/server.hpp"
+#include "net/framing.hpp"
+
+namespace joules::autopower {
+namespace {
+
+constexpr SimTime kStart = 1725753600;
+
+Client::Options options_for(const Server& server, const std::string& unit_id) {
+  Client::Options options;
+  options.unit_id = unit_id;
+  options.server_port = server.port();
+  options.upload_batch = 8;
+  return options;
+}
+
+// Polls `predicate` for up to two seconds — connection teardown and thread
+// reaping are asynchronous.
+bool eventually(const std::function<bool()>& predicate) {
+  for (int i = 0; i < 200; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(Millis{10});
+  }
+  return predicate();
+}
+
+TEST(ServerLifecycle, PollWithoutHelloCreatesNoPhantomUnit) {
+  Server server;
+  TcpStream raw = TcpStream::connect_loopback(server.port());
+  PollCommands poll;
+  poll.unit_id = "ghost";
+  write_frame(raw, encode(Message{poll}));
+  // The server drops the connection instead of answering.
+  try {
+    const auto reply = read_frame(raw, Millis{2000});
+    EXPECT_FALSE(reply.has_value());
+  } catch (const std::exception&) {
+  }
+  EXPECT_TRUE(server.known_units().empty());
+  EXPECT_TRUE(eventually([&] { return server.connection_stats().rejected >= 1; }));
+}
+
+TEST(ServerLifecycle, UploadWithoutHelloCreatesNoPhantomUnit) {
+  Server server;
+  TcpStream raw = TcpStream::connect_loopback(server.port());
+  DataUpload upload;
+  upload.unit_id = "intruder";
+  upload.channel = 0;
+  upload.sequence = 0;
+  upload.samples.push_back(Sample{kStart, 999.0});
+  write_frame(raw, encode(Message{upload}));
+  try {
+    const auto reply = read_frame(raw, Millis{2000});
+    EXPECT_FALSE(reply.has_value());
+  } catch (const std::exception&) {
+  }
+  EXPECT_TRUE(server.known_units().empty());
+  EXPECT_EQ(server.measurements("intruder", 0).size(), 0u);
+}
+
+TEST(ServerLifecycle, MismatchedUnitIdCannotWriteIntoAnotherSeries) {
+  Server server;
+  TcpStream raw = TcpStream::connect_loopback(server.port());
+  Hello hello;
+  hello.unit_id = "honest";
+  write_frame(raw, encode(Message{hello}));
+  const auto hello_reply = read_frame(raw, Millis{2000});
+  ASSERT_TRUE(hello_reply.has_value());
+
+  // Authenticated as "honest" but uploading as "victim": dropped.
+  DataUpload upload;
+  upload.unit_id = "victim";
+  upload.channel = 0;
+  upload.sequence = 0;
+  upload.samples.push_back(Sample{kStart, 999.0});
+  write_frame(raw, encode(Message{upload}));
+  try {
+    const auto reply = read_frame(raw, Millis{2000});
+    EXPECT_FALSE(reply.has_value());
+  } catch (const std::exception&) {
+  }
+  const auto units = server.known_units();
+  ASSERT_EQ(units.size(), 1u);
+  EXPECT_EQ(units[0], "honest");
+  EXPECT_EQ(server.measurements("victim", 0).size(), 0u);
+}
+
+TEST(ServerLifecycle, AuthenticatedClientStillWorksThroughTheGate) {
+  Server server;
+  Client client(options_for(server, "legit"), PowerMeter(PowerMeterSpec{}, 1),
+                [](int, SimTime) { return 75.0; });
+  client.start_measurement(0, 1);
+  for (SimTime t = kStart; t < kStart + 10; ++t) client.tick(t);
+  EXPECT_TRUE(client.sync());
+  EXPECT_EQ(server.measurements("legit", 0).size(), 10u);
+}
+
+TEST(ServerLifecycle, ReconnectingClientsAreReapedWhileServerRuns) {
+  Server server;
+  constexpr int kReconnects = 15;
+  for (int i = 0; i < kReconnects; ++i) {
+    Client client(options_for(server, "redialer"), PowerMeter(PowerMeterSpec{}, 2),
+                  [](int, SimTime) { return 10.0; });
+    ASSERT_TRUE(client.sync());
+    client.drop_connection();
+  }
+  // The acceptor sweeps finished threads as it loops: most of the 15
+  // connection threads must be joined long before stop(), and none of the
+  // finished ones may linger as "active".
+  EXPECT_TRUE(eventually([&] {
+    const auto stats = server.connection_stats();
+    return stats.reaped >= kReconnects - 1 && stats.active <= 1;
+  }));
+  const auto stats = server.connection_stats();
+  EXPECT_EQ(stats.accepted, static_cast<std::uint64_t>(kReconnects));
+  server.stop();
+}
+
+TEST(ServerLifecycle, StatsCountRejectedHandshakes) {
+  Server server;
+  TcpStream raw = TcpStream::connect_loopback(server.port());
+  Hello hello;
+  hello.unit_id = "old-firmware";
+  hello.version = 99;
+  write_frame(raw, encode(Message{hello}));
+  const auto reply = read_frame(raw, Millis{2000});
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(eventually([&] { return server.connection_stats().rejected >= 1; }));
+  EXPECT_TRUE(server.known_units().empty());
+}
+
+}  // namespace
+}  // namespace joules::autopower

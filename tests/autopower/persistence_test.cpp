@@ -1,0 +1,213 @@
+// Client state persistence: exact integer round trips (the old code parsed
+// times and sequence numbers through double, corrupting anything above 2^53
+// and the INT64_MIN "never sampled" sentinel), versioned headers, legacy
+// files, and atomic replacement of the recovery file.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "autopower/client.hpp"
+#include "autopower/server.hpp"
+
+namespace joules::autopower {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr SimTime kStart = 1725753600;
+
+Client::Options options_for(std::uint16_t port, const std::string& unit_id) {
+  Client::Options options;
+  options.unit_id = unit_id;
+  options.server_port = port;
+  options.upload_batch = 8;
+  return options;
+}
+
+Client make_client(std::uint16_t port, const std::string& unit_id) {
+  return Client(options_for(port, unit_id), PowerMeter(PowerMeterSpec{}, 42),
+                [](int, SimTime) { return 123.456 + 1e-11; });
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream stream(path);
+  std::string out((std::istreambuf_iterator<char>(stream)),
+                  std::istreambuf_iterator<char>());
+  return out;
+}
+
+struct TempDir {
+  TempDir() : path(fs::temp_directory_path() /
+                   ("autopower_persist_" + std::to_string(::getpid()) + "_" +
+                    std::to_string(counter++))) {
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  static inline int counter = 0;
+  fs::path path;
+};
+
+TEST(Persistence, NeverSampledSentinelSurvivesReload) {
+  TempDir dir;
+  const fs::path state = dir.path / "state.csv";
+  Client client = make_client(1, "sentinel-unit");
+  client.start_measurement(0, 3);  // started but never ticked: sentinel stays
+  client.save_state(state);
+
+  Client reborn = make_client(1, "sentinel-unit");
+  reborn.load_state(state);
+  EXPECT_TRUE(reborn.is_measuring(0));
+  // The sentinel means "sample immediately on the first tick".
+  reborn.tick(kStart);
+  EXPECT_EQ(reborn.buffered_samples(), 1u);
+  // A corrupted sentinel (any finite time) would make this second tick, one
+  // second later with period 3, look "not yet due" — or worse, overflow.
+  reborn.tick(kStart + 1);
+  EXPECT_EQ(reborn.buffered_samples(), 1u);
+  reborn.tick(kStart + 3);
+  EXPECT_EQ(reborn.buffered_samples(), 2u);
+}
+
+TEST(Persistence, IntegersAbove2to53RoundTripExactly) {
+  TempDir dir;
+  const fs::path state = dir.path / "state.csv";
+  // 2^53 + 1 is the first integer double cannot represent; a round trip
+  // through cell_double turns it into 2^53. Handcraft a v2 state file with
+  // such values in every integer column.
+  const std::string contents =
+      "# autopower-client-state v2\n"
+      "channel,measuring,period_s,last_sample,next_sequence,time,value\n"
+      "0,1,1,9007199254740993,9007199254740995,,\n"
+      "0,,,,,9007199254740997,42.125\n";
+  {
+    std::ofstream stream(state);
+    stream << contents;
+  }
+
+  Client client = make_client(1, "big-ints");
+  client.load_state(state);
+  EXPECT_EQ(client.buffered_samples(), 1u);
+
+  const fs::path resaved = dir.path / "resaved.csv";
+  client.save_state(resaved);
+  const std::string text = slurp(resaved);
+  EXPECT_NE(text.find("9007199254740993"), std::string::npos);
+  EXPECT_NE(text.find("9007199254740995"), std::string::npos);
+  EXPECT_NE(text.find("9007199254740997"), std::string::npos);
+
+  // Save -> load -> save is a fixed point: byte-identical files.
+  Client again = make_client(1, "big-ints");
+  again.load_state(resaved);
+  const fs::path resaved2 = dir.path / "resaved2.csv";
+  again.save_state(resaved2);
+  EXPECT_EQ(slurp(resaved2), text);
+}
+
+TEST(Persistence, SampleValuesRoundTripBitExactly) {
+  TempDir dir;
+  const fs::path state = dir.path / "state.csv";
+  Client client = make_client(1, "precise-unit");
+  client.start_measurement(0, 1);
+  for (SimTime t = kStart; t < kStart + 5; ++t) client.tick(t);
+  client.save_state(state);
+
+  // The old 6-decimal formatting truncated readings; %.17g must not.
+  Client reborn = make_client(1, "precise-unit");
+  reborn.load_state(state);
+  const fs::path resaved = dir.path / "resaved.csv";
+  reborn.save_state(resaved);
+  EXPECT_EQ(slurp(resaved), slurp(state));
+}
+
+TEST(Persistence, LegacyHeaderlessV1FileStillLoads) {
+  TempDir dir;
+  const fs::path state = dir.path / "v1.csv";
+  {
+    std::ofstream stream(state);
+    stream << "channel,measuring,period_s,last_sample,next_sequence,time,value\n"
+              "2,1,5,1725753600,7,,\n"
+              "2,,,,,1725753605,99.5\n";
+  }
+  Client client = make_client(1, "legacy-unit");
+  client.load_state(state);
+  EXPECT_TRUE(client.is_measuring(2));
+  EXPECT_EQ(client.buffered_samples(), 1u);
+}
+
+TEST(Persistence, NewerVersionRejected) {
+  TempDir dir;
+  const fs::path state = dir.path / "future.csv";
+  {
+    std::ofstream stream(state);
+    stream << "# autopower-client-state v99\nchannel,measuring,period_s,"
+              "last_sample,next_sequence,time,value\n";
+  }
+  Client client = make_client(1, "future-unit");
+  EXPECT_THROW(client.load_state(state), std::runtime_error);
+}
+
+TEST(Persistence, FailedSaveLeavesPreviousStateIntact) {
+  TempDir dir;
+  const fs::path state = dir.path / "state.csv";
+  Client client = make_client(1, "atomic-unit");
+  client.start_measurement(0, 1);
+  client.tick(kStart);
+  client.save_state(state);
+  const std::string before = slurp(state);
+
+  // A save that cannot complete (missing directory) must throw without
+  // touching the existing file.
+  EXPECT_THROW(client.save_state(dir.path / "missing" / "state.csv"),
+               std::system_error);
+  EXPECT_EQ(slurp(state), before);
+}
+
+TEST(Persistence, SaveLeavesNoTempFilesBehind) {
+  TempDir dir;
+  const fs::path state = dir.path / "state.csv";
+  Client client = make_client(1, "tidy-unit");
+  client.start_measurement(0, 1);
+  client.tick(kStart);
+  client.save_state(state);
+  client.tick(kStart + 1);
+  client.save_state(state);  // atomic overwrite of an existing file
+
+  std::size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    (void)entry;
+    entries += 1;
+  }
+  EXPECT_EQ(entries, 1u);  // just state.csv — no .tmp litter
+  EXPECT_NE(slurp(state).find("# autopower-client-state v2"), std::string::npos);
+}
+
+TEST(Persistence, KillAndReloadMidBufferResumesWithoutLossOrDuplicates) {
+  TempDir dir;
+  const fs::path state = dir.path / "state.csv";
+  Server server;
+  {
+    Client client(options_for(server.port(), "phoenix"),
+                  PowerMeter(PowerMeterSpec{}, 7),
+                  [](int, SimTime) { return 200.0; });
+    client.start_measurement(0, 1);
+    for (SimTime t = kStart; t < kStart + 20; ++t) client.tick(t);
+    ASSERT_TRUE(client.sync());  // first 20 samples durable server-side
+    for (SimTime t = kStart + 20; t < kStart + 33; ++t) client.tick(t);
+    client.save_state(state);
+  }  // power failure with 13 samples still buffered
+
+  Client reborn(options_for(server.port(), "phoenix"),
+                PowerMeter(PowerMeterSpec{}, 7),
+                [](int, SimTime) { return 200.0; });
+  reborn.load_state(state);
+  EXPECT_EQ(reborn.buffered_samples(), 13u);
+  ASSERT_TRUE(reborn.sync());
+  EXPECT_EQ(reborn.buffered_samples(), 0u);
+  // Exactly 33 unique samples: nothing lost, nothing double-counted.
+  EXPECT_EQ(server.measurements("phoenix", 0).size(), 33u);
+}
+
+}  // namespace
+}  // namespace joules::autopower

@@ -1,0 +1,149 @@
+// Client::sync retry policy: exponential backoff with cap and jitter, an
+// explicit give-up state after the schedule is exhausted, and recovery on
+// the next successful sync. Fault-plan connect refusal drives the failures
+// deterministically (no dead ports or timing races).
+#include <gtest/gtest.h>
+
+#include "autopower/client.hpp"
+#include "autopower/server.hpp"
+#include "net/fault.hpp"
+
+namespace joules::autopower {
+namespace {
+
+constexpr SimTime kStart = 1725753600;
+
+Client::Options options_for(const Server& server, const std::string& unit_id,
+                            RetryPolicy retry) {
+  Client::Options options;
+  options.unit_id = unit_id;
+  options.server_port = server.port();
+  options.upload_batch = 8;
+  options.retry = retry;
+  return options;
+}
+
+RetryPolicy fast_policy(int attempts, double jitter = 0.0) {
+  RetryPolicy policy;
+  policy.max_attempts = attempts;
+  policy.initial_backoff = Millis{2};
+  policy.multiplier = 2.0;
+  policy.max_backoff = Millis{100};
+  policy.jitter = jitter;
+  return policy;
+}
+
+TEST(Retry, ConnectRefusedBacksOffOnDocumentedSchedule) {
+  Server server;
+  Client client(options_for(server, "backoff-unit", fast_policy(4)),
+                PowerMeter(PowerMeterSpec{}, 1), [](int, SimTime) { return 50.0; });
+  client.start_measurement(0, 1);
+  client.tick(kStart);
+
+  {
+    ScopedFaultPlan scope(
+        FaultPlan().match_port(server.port()).refuse_connects(0, 100));
+    EXPECT_FALSE(client.sync());
+    EXPECT_TRUE(client.gave_up());
+    // Documented schedule with jitter 0: min(2 * 2^k, 100) ms between the
+    // four attempts -> sleeps of exactly 2, 4, 8 ms.
+    const std::vector<Millis> expected = {Millis{2}, Millis{4}, Millis{8}};
+    EXPECT_EQ(client.last_backoff_delays(), expected);
+    EXPECT_EQ(scope.stats().connect_attempts, 4u);
+    EXPECT_EQ(scope.stats().connects_refused, 4u);
+  }
+
+  // The buffer survived the give-up; the next sync recovers and clears it.
+  EXPECT_EQ(client.buffered_samples(), 1u);
+  EXPECT_TRUE(client.sync());
+  EXPECT_FALSE(client.gave_up());
+  EXPECT_EQ(client.buffered_samples(), 0u);
+  EXPECT_EQ(client.sync_stats().give_ups, 1u);
+}
+
+TEST(Retry, BackoffIsCappedAtMaxBackoff) {
+  Server server;
+  RetryPolicy policy = fast_policy(5);
+  policy.initial_backoff = Millis{4};
+  policy.multiplier = 10.0;
+  policy.max_backoff = Millis{20};
+  Client client(options_for(server, "capped-unit", policy),
+                PowerMeter(PowerMeterSpec{}, 2), [](int, SimTime) { return 50.0; });
+
+  ScopedFaultPlan scope(
+      FaultPlan().match_port(server.port()).refuse_connects(0, 100));
+  EXPECT_FALSE(client.sync());
+  const std::vector<Millis> expected = {Millis{4}, Millis{20}, Millis{20},
+                                        Millis{20}};
+  EXPECT_EQ(client.last_backoff_delays(), expected);
+}
+
+TEST(Retry, JitterStaysWithinBoundsAndIsSeeded) {
+  Server server;
+  RetryPolicy policy = fast_policy(4, 0.5);
+  policy.initial_backoff = Millis{10};
+  policy.seed = 1234;
+
+  const auto delays_for = [&](const std::string& unit) {
+    Client client(options_for(server, unit, policy),
+                  PowerMeter(PowerMeterSpec{}, 3),
+                  [](int, SimTime) { return 50.0; });
+    ScopedFaultPlan scope(
+        FaultPlan().match_port(server.port()).refuse_connects(0, 100));
+    EXPECT_FALSE(client.sync());
+    return client.last_backoff_delays();
+  };
+
+  const std::vector<Millis> first = delays_for("jitter-a");
+  const std::vector<Millis> second = delays_for("jitter-b");
+  ASSERT_EQ(first.size(), 3u);
+  // Same seed -> identical schedule; bounds: base * [1 - j, 1 + j].
+  EXPECT_EQ(first, second);
+  const std::vector<std::int64_t> bases = {10, 20, 40};
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_GE(first[i].count(), bases[i] / 2);
+    EXPECT_LE(first[i].count(), bases[i] + bases[i] / 2);
+  }
+}
+
+TEST(Retry, SingleAttemptPolicyNeverSleeps) {
+  Server server;
+  Client client(options_for(server, "one-shot", fast_policy(1)),
+                PowerMeter(PowerMeterSpec{}, 4), [](int, SimTime) { return 50.0; });
+  ScopedFaultPlan scope(
+      FaultPlan().match_port(server.port()).refuse_connects(0, 100));
+  EXPECT_FALSE(client.sync());
+  EXPECT_TRUE(client.last_backoff_delays().empty());
+  EXPECT_TRUE(client.gave_up());
+}
+
+TEST(Retry, TransientRefusalRecoversWithinOneSyncCall) {
+  Server server;
+  Client client(options_for(server, "transient", fast_policy(3)),
+                PowerMeter(PowerMeterSpec{}, 5), [](int, SimTime) { return 50.0; });
+  client.start_measurement(0, 1);
+  for (SimTime t = kStart; t < kStart + 5; ++t) client.tick(t);
+
+  // First connect refused, second succeeds: one sync() call rides it out.
+  ScopedFaultPlan scope(
+      FaultPlan().match_port(server.port()).refuse_connect(0));
+  EXPECT_TRUE(client.sync());
+  EXPECT_FALSE(client.gave_up());
+  EXPECT_EQ(client.last_backoff_delays().size(), 1u);
+  EXPECT_EQ(server.measurements("transient", 0).size(), 5u);
+}
+
+TEST(Retry, PolicyValidation) {
+  Server server;
+  Client::Options options = options_for(server, "bad", fast_policy(0));
+  EXPECT_THROW(Client(options, PowerMeter(PowerMeterSpec{}, 6),
+                      [](int, SimTime) { return 1.0; }),
+               std::invalid_argument);
+  options = options_for(server, "bad", fast_policy(2, -0.1));
+  EXPECT_THROW(Client(options, PowerMeter(PowerMeterSpec{}, 6),
+                      [](int, SimTime) { return 1.0; }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace joules::autopower

@@ -1,0 +1,125 @@
+// Deadline semantics for the socket layer, including the regression test for
+// the EINTR bug: wait_ready used to restart its *full* timeout after every
+// EINTR, so a stream of signals could extend a bounded wait indefinitely.
+// The injected poll() seam simulates that signal storm deterministically.
+#include "net/socket.hpp"
+
+#include <gtest/gtest.h>
+#include <poll.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+namespace joules {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Millis elapsed_since(Clock::time_point start) {
+  return std::chrono::duration_cast<Millis>(Clock::now() - start);
+}
+
+TEST(Deadline, AfterAndNeverBasics) {
+  const Deadline soon = Deadline::after(Millis{50});
+  EXPECT_FALSE(soon.is_never());
+  EXPECT_FALSE(soon.expired());
+  EXPECT_GT(soon.remaining().count(), 0);
+  EXPECT_LE(soon.remaining(), Millis{50});
+
+  const Deadline past = Deadline::after(Millis{0});
+  EXPECT_TRUE(past.expired());
+  EXPECT_EQ(past.remaining(), Millis{0});
+
+  const Deadline never = Deadline::never();
+  EXPECT_TRUE(never.is_never());
+  EXPECT_FALSE(never.expired());
+  EXPECT_EQ(never.remaining(), Millis::max());
+}
+
+TEST(Deadline, WaitReadableHonoursBudgetOnSilentPeer) {
+  TcpListener listener;
+  TcpStream client = TcpStream::connect_loopback(listener.port());
+  const auto start = Clock::now();
+  EXPECT_FALSE(client.wait_readable(Millis{150}));  // nobody ever writes
+  const Millis took = elapsed_since(start);
+  EXPECT_GE(took, Millis{100});
+  EXPECT_LT(took, Millis{1500});
+}
+
+// Simulated signal storm: every poll() attempt is interrupted after ~20 ms.
+// A correct implementation charges those 20 ms against the one absolute
+// deadline and still returns at ~200 ms; the old per-retry-timeout code
+// would never converge while the storm lasted.
+struct InterruptingPoll {
+  static std::atomic<int> calls;
+  static int poll(pollfd*, unsigned long, int) {
+    calls.fetch_add(1);
+    std::this_thread::sleep_for(Millis{20});
+    errno = EINTR;
+    return -1;
+  }
+};
+std::atomic<int> InterruptingPoll::calls{0};
+
+TEST(Deadline, EintrStormCannotExtendTheWait) {
+  TcpListener listener;
+  TcpStream client = TcpStream::connect_loopback(listener.port());
+
+  InterruptingPoll::calls.store(0);
+  const auto previous = net_testing::set_poll_fn(&InterruptingPoll::poll);
+  const auto start = Clock::now();
+  bool readable = true;
+  try {
+    readable = client.wait_readable(Millis{200});
+  } catch (...) {
+    net_testing::set_poll_fn(previous);
+    throw;
+  }
+  net_testing::set_poll_fn(previous);
+
+  const Millis took = elapsed_since(start);
+  EXPECT_FALSE(readable);
+  // One absolute deadline: ~10 interrupted polls x 20 ms, then timeout. The
+  // buggy version would still be restarting its full 200 ms budget here.
+  EXPECT_GE(took, Millis{180});
+  EXPECT_LT(took, Millis{450});
+  EXPECT_GE(InterruptingPoll::calls.load(), 5);
+}
+
+TEST(Deadline, RecvExactSharesOneDeadlineAcrossChunks) {
+  TcpListener listener;
+  TcpStream client = TcpStream::connect_loopback(listener.port());
+  auto accepted = listener.accept();
+  ASSERT_TRUE(accepted.has_value());
+
+  // Trickle 3 of 8 requested bytes, then go silent: the recv must give up
+  // once the single 300 ms budget is gone, not 300 ms after the last chunk.
+  std::thread feeder([&accepted] {
+    const std::byte chunk[3] = {std::byte{1}, std::byte{2}, std::byte{3}};
+    accepted->send_all(chunk);
+  });
+  std::byte out[8];
+  const auto start = Clock::now();
+  EXPECT_THROW(client.recv_exact(out, Millis{300}), std::system_error);
+  const Millis took = elapsed_since(start);
+  EXPECT_LT(took, Millis{1500});
+  feeder.join();
+}
+
+TEST(Deadline, ExpiredDeadlineStillChecksInstantReadiness) {
+  TcpListener listener;
+  TcpStream client = TcpStream::connect_loopback(listener.port());
+  auto accepted = listener.accept();
+  ASSERT_TRUE(accepted.has_value());
+  const std::byte byte[1] = {std::byte{7}};
+  accepted->send_all(byte);
+  // Give loopback delivery a moment, then ask with a zero budget: data that
+  // is already there must be visible.
+  std::this_thread::sleep_for(Millis{50});
+  EXPECT_TRUE(client.wait_readable(Millis{0}));
+}
+
+}  // namespace
+}  // namespace joules

@@ -1,0 +1,115 @@
+// Unit tests for the fault-injection layer itself: scripted connect refusal,
+// partial writes, mid-frame disconnects, and recv-frame loss — checked
+// against a plain echo-less listener, independent of the Autopower stack.
+#include "net/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <system_error>
+#include <thread>
+#include <vector>
+
+#include "net/framing.hpp"
+
+namespace joules {
+namespace {
+
+std::vector<std::byte> bytes_of(const std::string& text) {
+  std::vector<std::byte> out;
+  out.reserve(text.size());
+  for (const char c : text) out.push_back(static_cast<std::byte>(c));
+  return out;
+}
+
+TEST(FaultPlan, RefusesScriptedConnectAttemptsOnly) {
+  TcpListener listener;
+  ScopedFaultPlan scope(
+      FaultPlan().match_port(listener.port()).refuse_connect(0).refuse_connect(2));
+
+  EXPECT_THROW(TcpStream::connect_loopback(listener.port()), std::system_error);
+  EXPECT_NO_THROW(TcpStream::connect_loopback(listener.port()));
+  EXPECT_THROW(TcpStream::connect_loopback(listener.port()), std::system_error);
+  EXPECT_NO_THROW(TcpStream::connect_loopback(listener.port()));
+
+  const FaultStats stats = scope.stats();
+  EXPECT_EQ(stats.connect_attempts, 4u);
+  EXPECT_EQ(stats.connects_refused, 2u);
+}
+
+TEST(FaultPlan, PortFilterLeavesOtherConnectsAlone) {
+  TcpListener victim;
+  TcpListener bystander;
+  ScopedFaultPlan scope(
+      FaultPlan().match_port(victim.port()).refuse_connects(0, 100));
+
+  EXPECT_THROW(TcpStream::connect_loopback(victim.port()), std::system_error);
+  // A different port is neither refused nor counted.
+  EXPECT_NO_THROW(TcpStream::connect_loopback(bystander.port()));
+  EXPECT_EQ(scope.stats().connect_attempts, 1u);
+}
+
+TEST(FaultPlan, CapSendChunkForcesPartialWritesButDeliversEverything) {
+  TcpListener listener;
+  ScopedFaultPlan scope(
+      FaultPlan().match_port(listener.port()).cap_send_chunk(1));
+
+  TcpStream client = TcpStream::connect_loopback(listener.port());
+  auto server = listener.accept();
+  ASSERT_TRUE(server.has_value());
+
+  const std::vector<std::byte> payload = bytes_of("partial-write-торture");
+  write_frame(client, payload);
+  const auto received = read_frame(*server);
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(*received, payload);
+}
+
+TEST(FaultPlan, DropSendFrameTearsTheFrameMidWire) {
+  TcpListener listener;
+  ScopedFaultPlan scope(
+      FaultPlan().match_port(listener.port()).drop_send_frame(0, 2));
+
+  TcpStream client = TcpStream::connect_loopback(listener.port());
+  auto server = listener.accept();
+  ASSERT_TRUE(server.has_value());
+
+  EXPECT_THROW(write_frame(client, bytes_of("doomed")), std::system_error);
+  EXPECT_FALSE(client.valid());  // the injector killed the connection
+  // The peer got two header bytes then EOF: a torn frame, not a clean close.
+  EXPECT_THROW((void)read_frame(*server, Millis{2000}), std::system_error);
+  EXPECT_EQ(scope.stats().drops_injected, 1u);
+}
+
+TEST(FaultPlan, DropRecvFrameLosesTheReplyNotTheSendersCommit) {
+  TcpListener listener;
+  ScopedFaultPlan scope(
+      FaultPlan().match_port(listener.port()).drop_recv_frame(0));
+
+  TcpStream client = TcpStream::connect_loopback(listener.port());
+  auto server = listener.accept();
+  ASSERT_TRUE(server.has_value());
+
+  // The (untracked) server side sends its reply successfully...
+  write_frame(*server, bytes_of("ack"));
+  // ...but the tracked client never sees it: the connection dies first.
+  EXPECT_THROW((void)read_frame(client, Millis{2000}), std::system_error);
+  EXPECT_FALSE(client.valid());
+}
+
+TEST(FaultPlan, SecondConcurrentPlanRejected) {
+  ScopedFaultPlan scope{FaultPlan()};
+  EXPECT_THROW(ScopedFaultPlan{FaultPlan()}, std::logic_error);
+}
+
+TEST(FaultPlan, UninstalledPlanHasNoEffect) {
+  TcpListener listener;
+  {
+    ScopedFaultPlan scope(
+        FaultPlan().match_port(listener.port()).refuse_connects(0, 100));
+    EXPECT_THROW(TcpStream::connect_loopback(listener.port()), std::system_error);
+  }
+  EXPECT_NO_THROW(TcpStream::connect_loopback(listener.port()));
+}
+
+}  // namespace
+}  // namespace joules

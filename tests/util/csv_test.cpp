@@ -65,6 +65,31 @@ TEST(Csv, ParseSkipsBlankLines) {
   EXPECT_EQ(parsed.cell(0, "b"), "2");
 }
 
+TEST(Csv, CellInt64RoundTripsExactValues) {
+  CsvTable table({"v"});
+  table.add_row({"9007199254740993"});   // 2^53 + 1: silently corrupted by
+  table.add_row({"-9223372036854775808"});  // a double round trip
+  table.add_row({"9223372036854775807"});
+  EXPECT_EQ(table.cell_int64(0, "v"), 9007199254740993LL);
+  EXPECT_EQ(table.cell_int64(1, "v"), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(table.cell_int64(2, "v"), std::numeric_limits<std::int64_t>::max());
+  // The double path demonstrably loses the first value.
+  EXPECT_NE(static_cast<std::int64_t>(table.cell_double(0, "v")),
+            9007199254740993LL);
+}
+
+TEST(Csv, CellInt64RejectsNonIntegers) {
+  CsvTable table({"v"});
+  table.add_row({"12.5"});
+  table.add_row({""});
+  table.add_row({"12x"});
+  table.add_row({"9223372036854775808"});  // INT64_MAX + 1 overflows
+  for (std::size_t i = 0; i < table.row_count(); ++i) {
+    EXPECT_THROW((void)table.cell_int64(i, "v"), std::invalid_argument)
+        << "row " << i;
+  }
+}
+
 TEST(FormatNumber, TrimsTrailingZeros) {
   EXPECT_EQ(format_number(358.0), "358");
   EXPECT_EQ(format_number(0.370000), "0.37");
