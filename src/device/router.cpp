@@ -83,8 +83,34 @@ void SimulatedRouter::add_reporting_shift(SimTime t, double delta_w) {
   std::sort(reporting_shifts_.begin(), reporting_shifts_.end());
 }
 
+void SimulatedRouter::add_reboot(SimTime begin, SimTime duration_s) {
+  if (duration_s <= 0) {
+    throw std::invalid_argument("SimulatedRouter: reboot needs duration > 0");
+  }
+  reboots_.emplace_back(begin, begin + duration_s);
+}
+
+void SimulatedRouter::add_ambient_transient(SimTime begin, SimTime duration_s,
+                                            double delta_c) {
+  if (duration_s <= 0) {
+    throw std::invalid_argument("SimulatedRouter: transient needs duration > 0");
+  }
+  ambient_transients_.push_back({begin, begin + duration_s, delta_c});
+}
+
+bool SimulatedRouter::rebooting(SimTime t) const noexcept {
+  for (const auto& [begin, end] : reboots_) {
+    if (t >= begin && t < end) return true;
+  }
+  return false;
+}
+
 double SimulatedRouter::ambient_c(SimTime t) const noexcept {
-  return ambient_override_c_.value_or(server_room_temperature_c(t));
+  double ambient = ambient_override_c_.value_or(server_room_temperature_c(t));
+  for (const AmbientTransient& transient : ambient_transients_) {
+    if (t >= transient.begin && t < transient.end) ambient += transient.delta_c;
+  }
+  return ambient;
 }
 
 double SimulatedRouter::control_plane_w(SimTime t) const noexcept {
@@ -102,6 +128,12 @@ double SimulatedRouter::dc_power_w(SimTime t,
     throw std::logic_error("SimulatedRouter: no truth profile for interface '" +
                            truth.unmatched_interfaces.front() + "' on " +
                            spec_.model);
+  }
+  if (rebooting(t)) {
+    // Boot loader + fans: the forwarding plane is down, interfaces draw
+    // nothing, and the chassis idles well below its running P_base.
+    return 0.55 * spec_.truth.base_power_w() +
+           fan_.power_w(ambient_c(t), t, os_update_at_);
   }
   return truth.total_w() + fan_.power_w(ambient_c(t), t, os_update_at_) +
          control_plane_w(t);

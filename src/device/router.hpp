@@ -114,6 +114,15 @@ class SimulatedRouter {
   // Telemetry shift event (e.g. the -7 W re-calibration jump the paper saw
   // after power-cycling a PSU). Applies to reported power from `t` on.
   void add_reporting_shift(SimTime t, double delta_w);
+  // Bench disturbances (§5 campaigns). A reboot collapses the DUT to a
+  // boot-loader draw for `duration_s`: interfaces contribute nothing and the
+  // chassis pulls a fraction of P_base while the OS comes back.
+  void add_reboot(SimTime begin, SimTime duration_s);
+  // Ambient excursion (e.g. a bench door left open, an A/C hiccup) that the
+  // fan curve answers with a step: `delta_c` is added to the effective
+  // ambient — override included — for `duration_s`.
+  void add_ambient_transient(SimTime begin, SimTime duration_s, double delta_c);
+  [[nodiscard]] bool rebooting(SimTime t) const noexcept;
 
   // --- Power (ground truth) ---------------------------------------------
   // True DC-side power: §4 truth terms + fan + control plane. `loads` may be
@@ -154,6 +163,13 @@ class SimulatedRouter {
   PsuMode psu_mode_ = PsuMode::kActiveActive;
   SimTime os_update_at_ = kNever;
   std::vector<std::pair<SimTime, double>> reporting_shifts_;
+  std::vector<std::pair<SimTime, SimTime>> reboots_;  // [begin, end)
+  struct AmbientTransient {
+    SimTime begin = 0;
+    SimTime end = 0;
+    double delta_c = 0.0;
+  };
+  std::vector<AmbientTransient> ambient_transients_;
 };
 
 }  // namespace joules

@@ -40,13 +40,14 @@ double PowerMeter::measure_w(int channel, double true_power_w, SimTime t) const 
       spec_.noise_floor_w *
       hash_unit(seed_, t, 0xA0 + static_cast<std::uint64_t>(channel));
   const double reading = true_power_w * gain + noise;
-  return reading > 0.0 ? reading : 0.0;
+  const double clean = reading > 0.0 ? reading : 0.0;
+  return fault_transform_ ? fault_transform_(channel, t, clean) : clean;
 }
 
 TimeSeries PowerMeter::record(
     int channel, const std::function<double(SimTime)>& true_power_of_t,
     SimTime begin, SimTime end, SimTime period_s) const {
-  if (period_s < 1) period_s = 1;
+  period_s = clamp_record_period(period_s);
   TimeSeries trace;
   for (SimTime t = begin; t < end; t += period_s) {
     trace.push(t, measure_w(channel, true_power_of_t(t), t));

@@ -33,25 +33,56 @@ class PowerMeter {
   [[nodiscard]] const PowerMeterSpec& spec() const noexcept { return spec_; }
 
   // One reading of `true_power_w` on `channel` at time `t`. Deterministic in
-  // (unit seed, channel, t).
+  // (unit seed, channel, t) — unless a fault transform is installed, in which
+  // case the clean reading passes through it last.
   [[nodiscard]] double measure_w(int channel, double true_power_w, SimTime t) const;
 
   // Records a trace: samples `true_power_of_t` every `period_s` over
-  // [begin, end). Sub-second periods are rounded up to 1 s in SimTime
-  // resolution; the paper's analyses all operate on >= 30 s averages.
+  // [begin, end).
+  //
+  // Period contract: `SimTime` is whole seconds, so the MCP39F511N's native
+  // 0.5 s streaming rate is not representable here. Any `period_s < 1`
+  // (including 0 and negative values) is clamped up to `kMinRecordPeriodS` =
+  // 1 s by `clamp_record_period` — the single place this rounding happens.
+  // The paper's analyses all operate on >= 30 s averages, so the clamp never
+  // affects a published number.
   [[nodiscard]] TimeSeries record(int channel,
                                   const std::function<double(SimTime)>& true_power_of_t,
                                   SimTime begin, SimTime end,
                                   SimTime period_s = 1) const;
 
+  static constexpr SimTime kMinRecordPeriodS = 1;
+  // The documented sub-second rounding rule, exposed so callers (and tests)
+  // can predict exactly what `record` will do with their period.
+  [[nodiscard]] static constexpr SimTime clamp_record_period(SimTime period_s) noexcept {
+    return period_s < kMinRecordPeriodS ? kMinRecordPeriodS : period_s;
+  }
+
   // The unit's actual (hidden) gain error for a channel — used by tests to
   // assert the spec envelope, not by the analyses.
   [[nodiscard]] double gain_error_frac(int channel) const;
+
+  // --- Bench fault seam --------------------------------------------------
+  // When set, every reading passes through the transform after gain and
+  // noise: `transform(channel, t, clean_reading)` returns what the glitching
+  // meter actually reports (spikes, NaN, stuck values...). Installed by the
+  // NetPowerBench fault plan for one measurement window at a time; cleared
+  // with an empty function. No-fault campaigns never pay more than an empty
+  // std::function check.
+  using FaultTransform = std::function<double(int, SimTime, double)>;
+  void set_fault_transform(FaultTransform transform) {
+    fault_transform_ = std::move(transform);
+  }
+  void clear_fault_transform() { fault_transform_ = nullptr; }
+  [[nodiscard]] bool has_fault_transform() const noexcept {
+    return static_cast<bool>(fault_transform_);
+  }
 
  private:
   PowerMeterSpec spec_;
   std::uint64_t seed_;
   std::vector<double> channel_gain_;
+  FaultTransform fault_transform_;
 };
 
 }  // namespace joules

@@ -1,0 +1,42 @@
+// The lab-bench surface the derivation pipeline drives.
+//
+// §5.2's parameter derivation only needs five experiment verbs and the DUT's
+// port budget; it does not care whether the bench underneath is the plain
+// `Orchestrator` (every sample trusted, every run completes) or the
+// fault-tolerant `Campaign` (robust windows, retries, checkpoint/resume).
+// `derive_profile`/`derive_power_model` take a `LabBench&`, so the same
+// derivation code runs against either — and tests can assert the two agree
+// bit-for-bit on a clean bench.
+#pragma once
+
+#include <cstddef>
+
+#include "model/interface_profile.hpp"
+#include "netpowerbench/experiment.hpp"
+#include "traffic/generator.hpp"
+
+namespace joules {
+
+class LabBench {
+ public:
+  virtual ~LabBench() = default;
+
+  // Base: no transceivers, no configuration.
+  [[nodiscard]] virtual Measurement run_base() = 0;
+  // Idle/Port/Trx with `pairs` cabled port pairs of the given profile.
+  [[nodiscard]] virtual Measurement run_idle(const ProfileKey& profile,
+                                             std::size_t pairs) = 0;
+  [[nodiscard]] virtual Measurement run_port(const ProfileKey& profile,
+                                             std::size_t pairs) = 0;
+  [[nodiscard]] virtual Measurement run_trx(const ProfileKey& profile,
+                                            std::size_t pairs) = 0;
+  // Snake over 2*pairs interfaces at the given offered load.
+  [[nodiscard]] virtual SnakePoint run_snake(const ProfileKey& profile,
+                                             std::size_t pairs,
+                                             const TrafficSpec& spec) = 0;
+
+  // Maximum cabled pairs for a profile on this DUT.
+  [[nodiscard]] virtual std::size_t max_pairs(const ProfileKey& profile) const = 0;
+};
+
+}  // namespace joules

@@ -1,0 +1,277 @@
+#include "netpowerbench/bench_fault.hpp"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+namespace joules {
+namespace {
+
+// SplitMix64-style avalanche, the same construction the simulators use for
+// per-(seed, index) determinism independent of call order.
+std::uint64_t mix(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double hash_unit(std::uint64_t seed, ExperimentKind kind,
+                 std::uint64_t window, std::uint64_t salt) noexcept {
+  const std::uint64_t z =
+      mix(seed ^ salt ^ (static_cast<std::uint64_t>(kind) + 1) * 0x9e3779b97f4a7c15ULL ^
+          mix(window * 0xd1342543de82ef95ULL + 1));
+  return static_cast<double>(z >> 11) * 0x1.0p-53;  // [0, 1)
+}
+
+void require_frac(double value, const char* what) {
+  if (value < 0.0 || value >= 1.0) {
+    throw std::invalid_argument(std::string("BenchFaultPlan: ") + what +
+                                " must be in [0, 1)");
+  }
+}
+
+}  // namespace
+
+WindowFault& BenchFaultPlan::slot(ExperimentKind kind, std::uint64_t window) {
+  return scripted_[{static_cast<std::uint8_t>(kind), window}];
+}
+
+BenchFaultPlan& BenchFaultPlan::meter_dropout(ExperimentKind kind,
+                                              std::uint64_t window,
+                                              double at_frac, double span_frac) {
+  require_frac(at_frac, "dropout position");
+  if (span_frac <= 0.0) {
+    throw std::invalid_argument("BenchFaultPlan: dropout span must be > 0");
+  }
+  WindowFault& fault = slot(kind, window);
+  fault.dropout_at_frac = at_frac;
+  fault.dropout_span_frac = span_frac;
+  return *this;
+}
+
+BenchFaultPlan& BenchFaultPlan::meter_nan(ExperimentKind kind,
+                                          std::uint64_t window, double at_frac) {
+  require_frac(at_frac, "NaN position");
+  slot(kind, window).nan_at_frac = at_frac;
+  return *this;
+}
+
+BenchFaultPlan& BenchFaultPlan::meter_spike(ExperimentKind kind,
+                                            std::uint64_t window, double at_frac,
+                                            double magnitude_w, int samples) {
+  require_frac(at_frac, "spike position");
+  if (samples < 1) {
+    throw std::invalid_argument("BenchFaultPlan: spike needs >= 1 sample");
+  }
+  WindowFault& fault = slot(kind, window);
+  fault.spike_at_frac = at_frac;
+  fault.spike_w = magnitude_w;
+  fault.spike_samples = samples;
+  return *this;
+}
+
+BenchFaultPlan& BenchFaultPlan::meter_stuck(ExperimentKind kind,
+                                            std::uint64_t window, double at_frac,
+                                            double span_frac) {
+  require_frac(at_frac, "stuck position");
+  if (span_frac <= 0.0) {
+    throw std::invalid_argument("BenchFaultPlan: stuck span must be > 0");
+  }
+  WindowFault& fault = slot(kind, window);
+  fault.stuck_at_frac = at_frac;
+  fault.stuck_span_frac = span_frac;
+  return *this;
+}
+
+BenchFaultPlan& BenchFaultPlan::dut_reboot(ExperimentKind kind,
+                                           std::uint64_t window, double at_frac,
+                                           SimTime duration_s) {
+  require_frac(at_frac, "reboot position");
+  if (duration_s <= 0) {
+    throw std::invalid_argument("BenchFaultPlan: reboot duration must be > 0");
+  }
+  WindowFault& fault = slot(kind, window);
+  fault.reboot_at_frac = at_frac;
+  fault.reboot_duration_s = duration_s;
+  return *this;
+}
+
+BenchFaultPlan& BenchFaultPlan::dut_os_update(ExperimentKind kind,
+                                              std::uint64_t window,
+                                              double at_frac) {
+  require_frac(at_frac, "OS-update position");
+  slot(kind, window).os_update_at_frac = at_frac;
+  return *this;
+}
+
+BenchFaultPlan& BenchFaultPlan::fan_transient(ExperimentKind kind,
+                                              std::uint64_t window,
+                                              double at_frac, SimTime span_s,
+                                              double delta_c) {
+  require_frac(at_frac, "fan-transient position");
+  if (span_s <= 0) {
+    throw std::invalid_argument("BenchFaultPlan: fan-transient span must be > 0");
+  }
+  WindowFault& fault = slot(kind, window);
+  fault.fan_step_at_frac = at_frac;
+  fault.fan_step_span_s = span_s;
+  fault.fan_step_delta_c = delta_c;
+  return *this;
+}
+
+BenchFaultPlan& BenchFaultPlan::disturb_randomly(double probability) {
+  if (probability < 0.0 || probability > 1.0) {
+    throw std::invalid_argument(
+        "BenchFaultPlan: disturb probability outside [0, 1]");
+  }
+  disturb_probability_ = probability;
+  return *this;
+}
+
+std::optional<WindowFault> BenchFaultPlan::faults_for(
+    ExperimentKind kind, std::uint64_t window) const {
+  std::optional<WindowFault> out;
+  const auto it = scripted_.find({static_cast<std::uint8_t>(kind), window});
+  if (it != scripted_.end()) out = it->second;
+
+  if (disturb_probability_ > 0.0 &&
+      hash_unit(seed_, kind, window, 0xD1) < disturb_probability_) {
+    if (!out) out.emplace();
+    const double at = 0.1 + 0.8 * hash_unit(seed_, kind, window, 0xD2);
+    switch (static_cast<int>(5.0 * hash_unit(seed_, kind, window, 0xD3))) {
+      case 0:
+        out->spike_at_frac = at;
+        out->spike_w = 150.0 + 400.0 * hash_unit(seed_, kind, window, 0xD4);
+        out->spike_samples = 1 + static_cast<int>(
+            6.0 * hash_unit(seed_, kind, window, 0xD5));
+        break;
+      case 1:
+        out->nan_at_frac = at;
+        break;
+      case 2:
+        out->dropout_at_frac = at;
+        out->dropout_span_frac = 0.25 + 0.5 * hash_unit(seed_, kind, window, 0xD6);
+        break;
+      case 3:
+        out->stuck_at_frac = at;
+        out->stuck_span_frac = 0.3 + 0.4 * hash_unit(seed_, kind, window, 0xD7);
+        break;
+      default:
+        out->reboot_at_frac = at;
+        out->reboot_duration_s = 30;
+        break;
+    }
+  }
+  return out;
+}
+
+WindowSample sample_window(SimulatedRouter& dut, PowerMeter& meter,
+                           const BenchFaultPlan* plan, ExperimentKind kind,
+                           std::uint64_t window_index,
+                           std::span<const InterfaceLoad> loads, SimTime begin,
+                           SimTime measure_s, SimTime period_s,
+                           BenchFaultCounters* counters) {
+  WindowSample out;
+  out.expected_count = static_cast<std::size_t>(
+      (measure_s + period_s - 1) / period_s);
+  out.samples.reserve(out.expected_count);
+  const SimTime window_end = begin + measure_s;
+
+  std::optional<WindowFault> fault;
+  if (plan != nullptr) fault = plan->faults_for(kind, window_index);
+  const auto at_time = [&](double frac) {
+    return begin + static_cast<SimTime>(frac * static_cast<double>(measure_s));
+  };
+
+  // Arm DUT events: real router state, so a reboot depresses the truth the
+  // meter sees and an OS update persists into every later window.
+  SimTime dropout_begin = window_end;
+  SimTime dropout_end = window_end;
+  SimTime stuck_begin = window_end;
+  SimTime stuck_end = window_end;
+  if (fault) {
+    out.fault_armed = true;
+    if (counters != nullptr) {
+      ++counters->windows_faulted;
+      if (fault->any_meter_fault()) ++counters->meter_faults;
+      if (fault->any_dut_event()) ++counters->dut_events;
+    }
+    if (fault->reboot_at_frac >= 0.0) {
+      dut.add_reboot(at_time(fault->reboot_at_frac), fault->reboot_duration_s);
+    }
+    if (fault->os_update_at_frac >= 0.0) {
+      dut.set_os_update_at(at_time(fault->os_update_at_frac));
+    }
+    if (fault->fan_step_at_frac >= 0.0) {
+      dut.add_ambient_transient(at_time(fault->fan_step_at_frac),
+                                fault->fan_step_span_s,
+                                fault->fan_step_delta_c);
+    }
+    if (fault->dropout_at_frac >= 0.0) {
+      dropout_begin = at_time(fault->dropout_at_frac);
+      dropout_end = std::min<SimTime>(
+          window_end,
+          dropout_begin + static_cast<SimTime>(fault->dropout_span_frac *
+                                               static_cast<double>(measure_s)));
+    }
+    if (fault->stuck_at_frac >= 0.0) {
+      stuck_begin = at_time(fault->stuck_at_frac);
+      stuck_end = std::min<SimTime>(
+          window_end,
+          stuck_begin + static_cast<SimTime>(fault->stuck_span_frac *
+                                             static_cast<double>(measure_s)));
+    }
+
+    // Meter-side corruptions route through the meter's fault seam so every
+    // consumer of this meter sees the same glitching instrument.
+    if (fault->any_meter_fault()) {
+      struct SeamState {
+        double last_reading = 0.0;
+        bool have_last = false;
+        int spike_left = 0;
+      };
+      auto state = std::make_shared<SeamState>();
+      const SimTime nan_at =
+          fault->nan_at_frac >= 0.0 ? at_time(fault->nan_at_frac) : window_end;
+      const SimTime spike_at =
+          fault->spike_at_frac >= 0.0 ? at_time(fault->spike_at_frac) : window_end;
+      const WindowFault f = *fault;
+      meter.set_fault_transform(
+          [state, f, nan_at, spike_at, period_s, stuck_begin, stuck_end,
+           window_end](int, SimTime t, double clean) {
+            if (t >= stuck_begin && t < stuck_end && state->have_last) {
+              return state->last_reading;  // latched channel repeats itself
+            }
+            double reading = clean;
+            if (nan_at < window_end && t >= nan_at && t < nan_at + period_s) {
+              reading = std::numeric_limits<double>::quiet_NaN();
+            }
+            if (t >= spike_at) {
+              if (t < spike_at + period_s) state->spike_left = f.spike_samples;
+              if (state->spike_left > 0) {
+                --state->spike_left;
+                reading += f.spike_w;
+              }
+            }
+            state->last_reading = reading;
+            state->have_last = true;
+            return reading;
+          });
+    }
+  }
+
+  for (SimTime t = begin; t < window_end; t += period_s) {
+    if (t >= dropout_begin && t < dropout_end) {
+      if (counters != nullptr) ++counters->samples_dropped;
+      continue;  // the meter never delivered this sample
+    }
+    const double truth = dut.wall_power_w(t, loads);
+    out.samples.push_back(meter.measure_w(0, truth, t));
+  }
+  out.end_time = begin + static_cast<SimTime>(out.expected_count) * period_s;
+  meter.clear_fault_transform();
+  return out;
+}
+
+}  // namespace joules

@@ -1,0 +1,141 @@
+// Deterministic bench fault injection for NetPowerBench campaigns.
+//
+// The §5 lab campaigns run for days against real hardware, and the bench
+// misbehaves in specific, reproducible ways: the meter drops samples, reads
+// NaN, spikes, or latches a stuck value; the DUT reboots, takes an OS update
+// that changes the fan policy mid-window, or answers an ambient excursion
+// with a fan step. The robustness claims of the campaign layer are only
+// testable if tests can script those exact sequences — the same philosophy as
+// `net::FaultPlan` for the transport.
+//
+// A `BenchFaultPlan` schedules faults against *measurement windows*, keyed by
+// (experiment kind, zero-based window index counted per kind across the
+// bench's lifetime). Fault positions inside a window are fractions of the
+// window length, so the same plan scales across lab timing options.
+// Probabilistic disturbances draw from a hash of (seed, kind, window), so a
+// given (plan, seed) replays the identical fault sequence every run — in any
+// execution order.
+//
+// The plan is consulted by `sample_window`, the one code path both the naive
+// `Orchestrator` and the robust `Campaign` sample through: meter corruptions
+// pass through the `PowerMeter` fault seam, DUT events arm real state on the
+// `SimulatedRouter` (an OS update deliberately outlives its window, exactly
+// like the paper's Fig. 8 incident).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "device/router.hpp"
+#include "meter/power_meter.hpp"
+#include "netpowerbench/experiment.hpp"
+
+namespace joules {
+
+// Everything that can go wrong inside one measurement window. Fractions are
+// positions in [0, 1) of the window length; a negative position means "not
+// scheduled".
+struct WindowFault {
+  // Meter-side corruptions (applied to readings through the meter seam):
+  double dropout_at_frac = -1.0;  // samples silently missing...
+  double dropout_span_frac = 0.0; // ...for this fraction of the window
+  double nan_at_frac = -1.0;      // one NaN reading
+  double spike_at_frac = -1.0;    // additive spike...
+  double spike_w = 0.0;           // ...of this magnitude...
+  int spike_samples = 1;          // ...for this many consecutive samples
+  double stuck_at_frac = -1.0;    // channel latches its last reading...
+  double stuck_span_frac = 0.0;   // ...for this fraction of the window
+  // DUT-side events (armed as real router state at window start):
+  double reboot_at_frac = -1.0;
+  SimTime reboot_duration_s = 0;
+  double os_update_at_frac = -1.0;  // fan-policy bump, persists after the window
+  double fan_step_at_frac = -1.0;   // ambient excursion -> fan step
+  SimTime fan_step_span_s = 0;
+  double fan_step_delta_c = 0.0;
+
+  [[nodiscard]] bool any_meter_fault() const noexcept {
+    return dropout_at_frac >= 0.0 || nan_at_frac >= 0.0 || spike_at_frac >= 0.0 ||
+           stuck_at_frac >= 0.0;
+  }
+  [[nodiscard]] bool any_dut_event() const noexcept {
+    return reboot_at_frac >= 0.0 || os_update_at_frac >= 0.0 ||
+           fan_step_at_frac >= 0.0;
+  }
+};
+
+class BenchFaultPlan {
+ public:
+  BenchFaultPlan() = default;
+  // Seed for the probabilistic disturbances; scripted faults are
+  // deterministic regardless.
+  explicit BenchFaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  // --- Scripted faults, keyed by (kind, per-kind window index) -----------
+  BenchFaultPlan& meter_dropout(ExperimentKind kind, std::uint64_t window,
+                                double at_frac, double span_frac);
+  BenchFaultPlan& meter_nan(ExperimentKind kind, std::uint64_t window,
+                            double at_frac);
+  BenchFaultPlan& meter_spike(ExperimentKind kind, std::uint64_t window,
+                              double at_frac, double magnitude_w,
+                              int samples = 1);
+  BenchFaultPlan& meter_stuck(ExperimentKind kind, std::uint64_t window,
+                              double at_frac, double span_frac);
+  BenchFaultPlan& dut_reboot(ExperimentKind kind, std::uint64_t window,
+                             double at_frac, SimTime duration_s);
+  BenchFaultPlan& dut_os_update(ExperimentKind kind, std::uint64_t window,
+                                double at_frac);
+  BenchFaultPlan& fan_transient(ExperimentKind kind, std::uint64_t window,
+                                double at_frac, SimTime span_s, double delta_c);
+
+  // Disturbs each window with the given probability (seeded); the fault type
+  // is drawn from {spike, NaN, dropout, stuck, reboot} per window.
+  BenchFaultPlan& disturb_randomly(double probability);
+
+  [[nodiscard]] bool empty() const noexcept {
+    return scripted_.empty() && disturb_probability_ == 0.0;
+  }
+
+  // Resolved faults for one window; nullopt when the window runs clean.
+  [[nodiscard]] std::optional<WindowFault> faults_for(
+      ExperimentKind kind, std::uint64_t window) const;
+
+ private:
+  WindowFault& slot(ExperimentKind kind, std::uint64_t window);
+
+  std::uint64_t seed_ = 0;
+  double disturb_probability_ = 0.0;
+  std::map<std::pair<std::uint8_t, std::uint64_t>, WindowFault> scripted_;
+};
+
+// Counters the bench keeps while sampling (asserted by tests, surfaced by
+// joulesctl).
+struct BenchFaultCounters {
+  std::size_t windows_faulted = 0;    // windows with any fault armed
+  std::size_t meter_faults = 0;       // meter-side corruptions armed
+  std::size_t dut_events = 0;         // DUT-side events armed
+  std::size_t samples_dropped = 0;    // meter dropout casualties
+};
+
+// One measurement window, sampled through the shared naive/robust code path.
+struct WindowSample {
+  std::vector<double> samples;     // what the meter reported (may hold NaN)
+  std::size_t expected_count = 0;  // samples a healthy meter would deliver
+  SimTime end_time = 0;            // lab clock after the window
+  bool fault_armed = false;
+};
+
+// Samples `[begin, begin + measure_s)` every `period_s` from the DUT through
+// the meter, consulting `plan` (may be nullptr) for window
+// `(kind, window_index)`. With no plan — or no fault scheduled — this is
+// bit-identical to the historical Orchestrator sampling loop.
+WindowSample sample_window(SimulatedRouter& dut, PowerMeter& meter,
+                           const BenchFaultPlan* plan, ExperimentKind kind,
+                           std::uint64_t window_index,
+                           std::span<const InterfaceLoad> loads, SimTime begin,
+                           SimTime measure_s, SimTime period_s,
+                           BenchFaultCounters* counters = nullptr);
+
+}  // namespace joules

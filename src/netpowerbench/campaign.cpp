@@ -1,0 +1,320 @@
+#include "netpowerbench/campaign.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/atomic_file.hpp"
+#include "util/strings.hpp"
+
+namespace joules {
+namespace {
+
+std::string format_exact(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+std::string describe(const HistoryEntry& entry) {
+  std::string out{to_string(entry.kind)};
+  if (entry.kind != ExperimentKind::kBase) {
+    out += " " + to_string(entry.profile) + " x" + std::to_string(entry.pairs);
+  }
+  return out;
+}
+
+bool same_experiment(const HistoryEntry& a, const HistoryEntry& b) noexcept {
+  return a.kind == b.kind && (a.kind == ExperimentKind::kBase ||
+                              (a.profile == b.profile && a.pairs == b.pairs)) &&
+         a.offered_rate_bps == b.offered_rate_bps &&
+         a.frame_bytes == b.frame_bytes;
+}
+
+}  // namespace
+
+Campaign::Campaign(SimulatedRouter& dut, PowerMeter meter,
+                   CampaignOptions options)
+    : dut_(dut), meter_(std::move(meter)), options_(std::move(options)),
+      now_(options_.lab.start_time) {
+  if (options_.lab.settle_s < 0 || options_.lab.measure_s <= 0 ||
+      options_.lab.repeats < 1) {
+    throw std::invalid_argument("Campaign: invalid timing options");
+  }
+  if (options_.retry_budget < 0) {
+    throw std::invalid_argument("Campaign: retry budget must be >= 0");
+  }
+  dut_.set_ambient_override_c(options_.lab.lab_ambient_c);
+  if (!options_.checkpoint_path.empty() &&
+      std::filesystem::exists(options_.checkpoint_path)) {
+    std::ifstream stream(options_.checkpoint_path);
+    std::ostringstream buffer;
+    buffer << stream.rdbuf();
+    replay_log_ = parse_checkpoint(buffer.str());
+  }
+}
+
+std::size_t Campaign::max_pairs(const ProfileKey& profile) const {
+  std::size_t ports = 0;
+  for (const PortGroup& group : dut_.spec().ports) {
+    if (group.type == profile.port) ports += group.count;
+  }
+  return ports / 2;
+}
+
+void Campaign::configure_pairs(const ProfileKey& profile, std::size_t pairs,
+                               InterfaceState first_of_pair,
+                               InterfaceState second_of_pair) {
+  if (pairs == 0 || pairs > max_pairs(profile)) {
+    throw std::invalid_argument("Campaign: pair count out of range");
+  }
+  dut_.clear_interfaces();
+  for (std::size_t i = 0; i < pairs; ++i) {
+    dut_.add_interface(profile, first_of_pair);
+    dut_.add_interface(profile, second_of_pair);
+  }
+}
+
+std::optional<Measurement> Campaign::try_replay(HistoryEntry& entry) {
+  if (replay_cursor_ >= replay_log_.size()) return std::nullopt;
+  const HistoryEntry& recorded = replay_log_[replay_cursor_];
+  if (!same_experiment(recorded, entry) || recorded.started_at != now_) {
+    throw std::runtime_error(
+        "Campaign: checkpoint diverges from the requested battery (recorded " +
+        describe(recorded) + ", requested " + describe(entry) +
+        ") — delete the checkpoint to start over");
+  }
+  ++replay_cursor_;
+  ++stats_.runs_replayed;
+  // Restore exactly the state the live run left behind: lab clock and the
+  // per-kind window counters the fault plan keys on. The DUT itself is not
+  // reconfigured — the next live run configures from scratch anyway.
+  entry = recorded;
+  now_ = recorded.ended_at;
+  window_counters_[static_cast<std::size_t>(recorded.kind)] +=
+      recorded.windows_used;
+  history_.push_back(recorded);
+  return recorded.measurement;
+}
+
+Measurement Campaign::run_experiment(HistoryEntry entry,
+                                     std::span<const InterfaceLoad> loads) {
+  const BenchFaultPlan* plan = fault_plan_.has_value() ? &*fault_plan_ : nullptr;
+  std::vector<double> accepted;
+  accepted.reserve(static_cast<std::size_t>(
+      options_.lab.repeats * options_.lab.measure_s /
+      options_.lab.sample_period_s));
+  std::size_t rejected = 0;
+  int retries_left = options_.retry_budget;
+  WindowQuality quality = WindowQuality::kClean;
+  entry.windows_used = 0;
+
+  for (int repeat = 0; repeat < options_.lab.repeats; ++repeat) {
+    for (;;) {
+      now_ += options_.lab.settle_s;
+      WindowSample window = sample_window(
+          dut_, meter_, plan, entry.kind,
+          window_counters_[static_cast<std::size_t>(entry.kind)]++, loads, now_,
+          options_.lab.measure_s, options_.lab.sample_period_s, &stats_.faults);
+      ++entry.windows_used;
+      ++stats_.windows_measured;
+      now_ = window.end_time;
+
+      WindowValidation validation = validate_window(
+          window.samples, window.expected_count, options_.window);
+      if (validation.ok()) {
+        if (validation.rejected > 0) {
+          quality = worst(quality, WindowQuality::kRecovered);
+        }
+        rejected += validation.rejected;
+        stats_.samples_rejected += validation.rejected;
+        accepted.insert(accepted.end(), validation.accepted.begin(),
+                        validation.accepted.end());
+        break;
+      }
+      // Disturbed window: none of its samples may touch the average.
+      rejected += window.samples.size();
+      if (retries_left > 0) {
+        --retries_left;
+        ++stats_.windows_retried;
+        quality = worst(quality, WindowQuality::kRecovered);
+        continue;  // re-measure at fresh lab time
+      }
+      ++stats_.windows_discarded;
+      quality = WindowQuality::kDisturbed;
+      break;
+    }
+  }
+
+  Measurement measurement = measurement_from_samples(accepted);
+  measurement.rejected_count = rejected;
+  measurement.quality = quality;
+  entry.retries = options_.retry_budget - retries_left;
+  entry.ended_at = now_;
+  entry.measurement = measurement;
+  history_.push_back(std::move(entry));
+  if (!options_.checkpoint_path.empty()) save_checkpoint();
+  return measurement;
+}
+
+Measurement Campaign::run_base() {
+  HistoryEntry entry;
+  entry.kind = ExperimentKind::kBase;
+  entry.started_at = now_;
+  if (auto replayed = try_replay(entry)) return *replayed;
+  dut_.clear_interfaces();
+  return run_experiment(std::move(entry), {});
+}
+
+Measurement Campaign::run_idle(const ProfileKey& profile, std::size_t pairs) {
+  HistoryEntry entry;
+  entry.kind = ExperimentKind::kIdle;
+  entry.profile = profile;
+  entry.pairs = pairs;
+  entry.started_at = now_;
+  if (auto replayed = try_replay(entry)) return *replayed;
+  configure_pairs(profile, pairs, InterfaceState::kPlugged,
+                  InterfaceState::kPlugged);
+  return run_experiment(std::move(entry), {});
+}
+
+Measurement Campaign::run_port(const ProfileKey& profile, std::size_t pairs) {
+  HistoryEntry entry;
+  entry.kind = ExperimentKind::kPort;
+  entry.profile = profile;
+  entry.pairs = pairs;
+  entry.started_at = now_;
+  if (auto replayed = try_replay(entry)) return *replayed;
+  configure_pairs(profile, pairs, InterfaceState::kEnabled,
+                  InterfaceState::kPlugged);
+  return run_experiment(std::move(entry), {});
+}
+
+Measurement Campaign::run_trx(const ProfileKey& profile, std::size_t pairs) {
+  HistoryEntry entry;
+  entry.kind = ExperimentKind::kTrx;
+  entry.profile = profile;
+  entry.pairs = pairs;
+  entry.started_at = now_;
+  if (auto replayed = try_replay(entry)) return *replayed;
+  configure_pairs(profile, pairs, InterfaceState::kUp, InterfaceState::kUp);
+  return run_experiment(std::move(entry), {});
+}
+
+SnakePoint Campaign::run_snake(const ProfileKey& profile, std::size_t pairs,
+                               const TrafficSpec& spec) {
+  const SnakePlan plan = SnakePlan::over_ports(2 * pairs);
+  SnakePoint point;
+  point.offered_rate_bps = spec.rate_bps;
+  point.frame_bytes = spec.frame_bytes;
+  point.per_interface_rate_bps = plan.per_interface_rate_bps(spec);
+  point.per_interface_rate_pps = plan.per_interface_packet_rate_pps(spec);
+
+  HistoryEntry entry;
+  entry.kind = ExperimentKind::kSnake;
+  entry.profile = profile;
+  entry.pairs = pairs;
+  entry.offered_rate_bps = spec.rate_bps;
+  entry.frame_bytes = spec.frame_bytes;
+  entry.started_at = now_;
+  if (auto replayed = try_replay(entry)) {
+    point.measurement = *replayed;
+    return point;
+  }
+  configure_pairs(profile, pairs, InterfaceState::kUp, InterfaceState::kUp);
+  const std::vector<InterfaceLoad> loads(
+      2 * pairs,
+      InterfaceLoad{point.per_interface_rate_bps, point.per_interface_rate_pps});
+  point.measurement = run_experiment(std::move(entry), loads);
+  return point;
+}
+
+std::string Campaign::serialize_checkpoint(std::span<const HistoryEntry> history) {
+  CsvTable table({"run", "kind", "port", "transceiver", "rate", "pairs",
+                  "offered_rate_bps", "frame_bytes", "started_at", "ended_at",
+                  "windows_used", "retries", "mean_power_w", "stddev_w",
+                  "samples", "rejected", "quality"});
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    const HistoryEntry& entry = history[i];
+    const bool base = entry.kind == ExperimentKind::kBase;
+    table.add_row({std::to_string(i), std::string(to_string(entry.kind)),
+                   base ? "" : std::string(to_string(entry.profile.port)),
+                   base ? "" : std::string(to_string(entry.profile.transceiver)),
+                   base ? "" : std::string(to_string(entry.profile.rate)),
+                   std::to_string(entry.pairs),
+                   format_exact(entry.offered_rate_bps),
+                   format_exact(entry.frame_bytes),
+                   std::to_string(entry.started_at),
+                   std::to_string(entry.ended_at),
+                   std::to_string(entry.windows_used),
+                   std::to_string(entry.retries),
+                   format_exact(entry.measurement.mean_power_w),
+                   format_exact(entry.measurement.stddev_w),
+                   std::to_string(entry.measurement.sample_count),
+                   std::to_string(entry.measurement.rejected_count),
+                   std::string(to_string(entry.measurement.quality))});
+  }
+  return std::string(kCheckpointHeaderPrefix) +
+         std::to_string(kCheckpointVersion) + "\n" + table.to_string();
+}
+
+std::vector<HistoryEntry> Campaign::parse_checkpoint(const std::string& contents) {
+  const std::size_t eol = contents.find('\n');
+  if (eol == std::string::npos ||
+      !starts_with(contents, kCheckpointHeaderPrefix)) {
+    throw std::runtime_error("Campaign: checkpoint missing version header");
+  }
+  const int version =
+      std::stoi(contents.substr(kCheckpointHeaderPrefix.size(),
+                                eol - kCheckpointHeaderPrefix.size()));
+  if (version > kCheckpointVersion) {
+    throw std::runtime_error("Campaign: checkpoint version " +
+                             std::to_string(version) +
+                             " is newer than this build");
+  }
+  const CsvTable table = CsvTable::parse(contents.substr(eol + 1));
+  std::vector<HistoryEntry> out;
+  out.reserve(table.row_count());
+  for (std::size_t i = 0; i < table.row_count(); ++i) {
+    HistoryEntry entry;
+    const auto kind = parse_experiment_kind(table.cell(i, "kind"));
+    if (!kind) throw std::runtime_error("Campaign: bad experiment kind");
+    entry.kind = *kind;
+    if (entry.kind != ExperimentKind::kBase) {
+      const auto port = parse_port_type(table.cell(i, "port"));
+      const auto trx = parse_transceiver_kind(table.cell(i, "transceiver"));
+      const auto rate = parse_line_rate(table.cell(i, "rate"));
+      if (!port || !trx || !rate) {
+        throw std::runtime_error("Campaign: bad profile key in checkpoint");
+      }
+      entry.profile = {*port, *trx, *rate};
+    }
+    entry.pairs = static_cast<std::size_t>(table.cell_int64(i, "pairs"));
+    entry.offered_rate_bps = table.cell_double(i, "offered_rate_bps");
+    entry.frame_bytes = table.cell_double(i, "frame_bytes");
+    entry.started_at = table.cell_int64(i, "started_at");
+    entry.ended_at = table.cell_int64(i, "ended_at");
+    entry.windows_used =
+        static_cast<std::size_t>(table.cell_int64(i, "windows_used"));
+    entry.retries = static_cast<int>(table.cell_int64(i, "retries"));
+    entry.measurement.mean_power_w = table.cell_double(i, "mean_power_w");
+    entry.measurement.stddev_w = table.cell_double(i, "stddev_w");
+    entry.measurement.sample_count =
+        static_cast<std::size_t>(table.cell_int64(i, "samples"));
+    entry.measurement.rejected_count =
+        static_cast<std::size_t>(table.cell_int64(i, "rejected"));
+    const auto quality = parse_window_quality(table.cell(i, "quality"));
+    if (!quality) throw std::runtime_error("Campaign: bad quality flag");
+    entry.measurement.quality = *quality;
+    out.push_back(entry);
+  }
+  return out;
+}
+
+void Campaign::save_checkpoint() {
+  write_file_atomic(options_.checkpoint_path, serialize_checkpoint(history_));
+  ++stats_.checkpoints_written;
+}
+
+}  // namespace joules

@@ -1,0 +1,127 @@
+// Fault-tolerant measurement campaigns for NetPowerBench.
+//
+// The §5 lab campaigns run for days; the plain `Orchestrator` assumes every
+// sample is clean and every run completes. `Campaign` is the hardened bench:
+//
+//   * Window validation — every measurement window passes the robust gates
+//     (stats/robust.hpp): MAD outlier rejection for meter spikes and NaNs, a
+//     split-window steadiness check for reboots / OS updates / fan steps, a
+//     dropout fraction gate, and stuck-channel detection.
+//   * Bounded retries — a disturbed window is re-measured (fresh lab time) up
+//     to `retry_budget` extra windows per experiment; what stays dirty is
+//     excluded and the run is marked `WindowQuality::kDisturbed` instead of
+//     averaging garbage.
+//   * Crash-safe checkpoint/resume — every completed run is appended to a
+//     versioned checkpoint written via util::write_file_atomic. A campaign
+//     killed mid-run reconstructs from the checkpoint: completed runs replay
+//     exactly (measurement, lab clock, and fault-plan window counters), then
+//     execution continues live. No run is duplicated or lost.
+//
+// With an empty fault plan and no disturbances, a Campaign is bit-identical
+// to the Orchestrator: both sample through `sample_window` with the same
+// clock arithmetic, and the robust gates accept every clean window whole.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "device/router.hpp"
+#include "meter/power_meter.hpp"
+#include "netpowerbench/bench.hpp"
+#include "netpowerbench/bench_fault.hpp"
+#include "netpowerbench/orchestrator.hpp"
+#include "stats/robust.hpp"
+#include "util/csv.hpp"
+
+namespace joules {
+
+struct CampaignOptions {
+  OrchestratorOptions lab;      // same timing knobs as the naive bench
+  RobustWindowOptions window;   // validation thresholds
+  int retry_budget = 2;         // extra windows per experiment, total
+  // Checkpoint file; empty disables persistence. If the file exists when the
+  // Campaign is constructed, the campaign resumes from it.
+  std::filesystem::path checkpoint_path;
+};
+
+struct CampaignStats {
+  std::size_t windows_measured = 0;   // windows sampled live (retries incl.)
+  std::size_t windows_retried = 0;    // disturbed windows re-measured
+  std::size_t windows_discarded = 0;  // windows dirty after the budget
+  std::size_t samples_rejected = 0;   // per-sample rejections in kept windows
+  std::size_t runs_replayed = 0;      // runs restored from the checkpoint
+  std::size_t checkpoints_written = 0;
+  BenchFaultCounters faults;          // what the fault plan actually injected
+};
+
+class Campaign : public LabBench {
+ public:
+  // The checkpoint format version this build reads and writes.
+  static constexpr int kCheckpointVersion = 1;
+  static constexpr std::string_view kCheckpointHeaderPrefix =
+      "# netpowerbench-campaign v";
+
+  // Throws std::runtime_error if `options.checkpoint_path` exists but cannot
+  // be parsed (torn files cannot happen — writes are atomic — so a parse
+  // failure means a version from the future or a foreign file).
+  Campaign(SimulatedRouter& dut, PowerMeter meter, CampaignOptions options = {});
+
+  // Installs the bench fault plan (deterministic, seeded). Must be set before
+  // the first run for replayed window counters to line up.
+  void set_fault_plan(BenchFaultPlan plan) { fault_plan_ = std::move(plan); }
+
+  [[nodiscard]] Measurement run_base() override;
+  [[nodiscard]] Measurement run_idle(const ProfileKey& profile,
+                                     std::size_t pairs) override;
+  [[nodiscard]] Measurement run_port(const ProfileKey& profile,
+                                     std::size_t pairs) override;
+  [[nodiscard]] Measurement run_trx(const ProfileKey& profile,
+                                    std::size_t pairs) override;
+  [[nodiscard]] SnakePoint run_snake(const ProfileKey& profile, std::size_t pairs,
+                                     const TrafficSpec& spec) override;
+  [[nodiscard]] std::size_t max_pairs(const ProfileKey& profile) const override;
+
+  [[nodiscard]] const std::vector<HistoryEntry>& history() const noexcept {
+    return history_;
+  }
+  [[nodiscard]] CsvTable history_csv() const { return history_to_csv(history_); }
+  [[nodiscard]] const CampaignStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const CampaignOptions& options() const noexcept { return options_; }
+  [[nodiscard]] SimTime lab_time() const noexcept { return now_; }
+  // Completed runs still pending replay (non-zero only mid-resume).
+  [[nodiscard]] std::size_t pending_replays() const noexcept {
+    return replay_log_.size() - replay_cursor_;
+  }
+
+  // Checkpoint codec, exposed for tests and tooling. `serialize_checkpoint`
+  // produces the exact bytes `save_checkpoint` writes; `parse_checkpoint`
+  // round-trips them (exact doubles via %.17g, exact int64 times).
+  [[nodiscard]] static std::string serialize_checkpoint(
+      std::span<const HistoryEntry> history);
+  [[nodiscard]] static std::vector<HistoryEntry> parse_checkpoint(
+      const std::string& contents);
+
+ private:
+  void configure_pairs(const ProfileKey& profile, std::size_t pairs,
+                       InterfaceState first_of_pair, InterfaceState second_of_pair);
+  [[nodiscard]] Measurement run_experiment(HistoryEntry entry,
+                                           std::span<const InterfaceLoad> loads);
+  [[nodiscard]] std::optional<Measurement> try_replay(HistoryEntry& entry);
+  void save_checkpoint();
+
+  SimulatedRouter& dut_;
+  PowerMeter meter_;
+  CampaignOptions options_;
+  SimTime now_;
+  std::vector<HistoryEntry> history_;
+  std::vector<HistoryEntry> replay_log_;
+  std::size_t replay_cursor_ = 0;
+  std::optional<BenchFaultPlan> fault_plan_;
+  std::array<std::uint64_t, kExperimentKindCount> window_counters_{};
+  CampaignStats stats_;
+};
+
+}  // namespace joules

@@ -20,13 +20,39 @@ std::vector<std::size_t> default_ladder(std::size_t max_pairs) {
   return ladder;
 }
 
+bool usable(const Measurement& measurement) noexcept {
+  return measurement.quality != WindowQuality::kDisturbed &&
+         measurement.sample_count > 0;
+}
+
 }  // namespace
 
-ProfileDerivation derive_profile(Orchestrator& orchestrator,
-                                 const ProfileKey& profile,
+std::string_view to_string(TermConfidence confidence) noexcept {
+  switch (confidence) {
+    case TermConfidence::kHigh: return "high";
+    case TermConfidence::kReduced: return "reduced";
+    case TermConfidence::kLow: return "low";
+  }
+  return "low";
+}
+
+TermConfidence worst(TermConfidence a, TermConfidence b) noexcept {
+  return a > b ? a : b;
+}
+
+TermConfidence confidence_of(WindowQuality quality) noexcept {
+  switch (quality) {
+    case WindowQuality::kClean: return TermConfidence::kHigh;
+    case WindowQuality::kRecovered: return TermConfidence::kReduced;
+    case WindowQuality::kDisturbed: return TermConfidence::kLow;
+  }
+  return TermConfidence::kLow;
+}
+
+ProfileDerivation derive_profile(LabBench& bench, const ProfileKey& profile,
                                  double base_power_w,
                                  const DerivationOptions& options) {
-  const std::size_t max_pairs = orchestrator.max_pairs(profile);
+  const std::size_t max_pairs = bench.max_pairs(profile);
   if (max_pairs == 0) {
     throw std::invalid_argument("derive_profile: DUT has no ports of this type");
   }
@@ -43,23 +69,43 @@ ProfileDerivation derive_profile(Orchestrator& orchestrator,
 
   ProfileDerivation out;
   out.profile.key = profile;
+  ProfileQuality& quality = out.quality;
 
   // --- P_trx,in from Idle at the largest ladder point (Eq. 8). ---------
   const std::size_t big_n = ladder.back();
-  const Measurement idle = orchestrator.run_idle(profile, big_n);
+  const Measurement idle = bench.run_idle(profile, big_n);
   out.idle_power_w = idle.mean_power_w;
-  out.profile.trx_in_power_w =
-      (idle.mean_power_w - base_power_w) / (2.0 * static_cast<double>(big_n));
+  quality.trx_in = confidence_of(idle.quality);
+  if (usable(idle)) {
+    out.profile.trx_in_power_w =
+        (idle.mean_power_w - base_power_w) / (2.0 * static_cast<double>(big_n));
+  } else {
+    ++quality.runs_excluded;
+    out.profile.trx_in_power_w = 0.0;  // partial model: Eq. 8 not estimable
+  }
 
   // --- P_port from the Port ladder (Eq. 9 via regression over N). -------
-  std::vector<double> n_values;
+  // Disturbed ladder points are dropped; the fit runs over what survived.
+  std::vector<double> port_n;
   std::vector<double> port_powers;
   for (const std::size_t pairs : ladder) {
-    n_values.push_back(static_cast<double>(pairs));
-    port_powers.push_back(orchestrator.run_port(profile, pairs).mean_power_w);
+    const Measurement measured = bench.run_port(profile, pairs);
+    if (!usable(measured)) {
+      ++quality.runs_excluded;
+      quality.port = worst(quality.port, TermConfidence::kReduced);
+      continue;
+    }
+    quality.port = worst(quality.port, confidence_of(measured.quality));
+    port_n.push_back(static_cast<double>(pairs));
+    port_powers.push_back(measured.mean_power_w);
   }
-  out.port_fit = fit_linear(n_values, port_powers);
-  out.profile.port_power_w = out.port_fit.slope;
+  if (port_n.size() >= 2) {
+    out.port_fit = fit_linear(port_n, port_powers);
+    out.profile.port_power_w = out.port_fit.slope;
+  } else {
+    quality.port = TermConfidence::kLow;
+    out.profile.port_power_w = 0.0;
+  }
 
   // --- P_trx,up from the Trx ladder (Eq. 10). ---------------------------
   // Each pair adds 2 up-interfaces: slope = 2*(P_port + P_trx,up + P_trx,in)
@@ -71,16 +117,52 @@ ProfileDerivation derive_profile(Orchestrator& orchestrator,
   // P_Port(N) = P_base + 2N*P_trx,in + N*P_port               [one port up]
   // so slope_Trx = 2*P_trx,in + 2*P_port + 2*P_trx,up
   //    slope_Port = 2*P_trx,in + P_port.
+  std::vector<double> trx_n;
   std::vector<double> trx_powers;
+  Measurement trx_at_big_n;
+  bool have_trx_at_big_n = false;
   for (const std::size_t pairs : ladder) {
-    trx_powers.push_back(orchestrator.run_trx(profile, pairs).mean_power_w);
+    const Measurement measured = bench.run_trx(profile, pairs);
+    if (pairs == big_n) {
+      trx_at_big_n = measured;
+      have_trx_at_big_n = usable(measured);
+    }
+    if (!usable(measured)) {
+      ++quality.runs_excluded;
+      quality.trx_up = worst(quality.trx_up, TermConfidence::kReduced);
+      continue;
+    }
+    quality.trx_up = worst(quality.trx_up, confidence_of(measured.quality));
+    trx_n.push_back(static_cast<double>(pairs));
+    trx_powers.push_back(measured.mean_power_w);
   }
-  out.trx_fit = fit_linear(n_values, trx_powers);
-  // Unpick the slopes using the Idle-derived P_trx,in.
-  out.profile.port_power_w = out.port_fit.slope - 2.0 * out.profile.trx_in_power_w;
-  out.profile.trx_up_power_w =
-      (out.trx_fit.slope - 2.0 * out.profile.trx_in_power_w) / 2.0 -
-      out.profile.port_power_w;
+  const bool have_trx_fit = trx_n.size() >= 2;
+  if (have_trx_fit) out.trx_fit = fit_linear(trx_n, trx_powers);
+
+  // Unpick the slopes using the Idle-derived P_trx,in. Both unpicked terms
+  // inherit the Idle run's trust: a garbage P_trx,in poisons them too, and
+  // without it the raw Port slope still carries a 2*P_trx,in bias — degrade
+  // rather than ship the bias.
+  if (quality.port != TermConfidence::kLow) {
+    if (quality.trx_in == TermConfidence::kLow) {
+      quality.port = TermConfidence::kLow;
+      out.profile.port_power_w = 0.0;
+    } else {
+      out.profile.port_power_w =
+          out.port_fit.slope - 2.0 * out.profile.trx_in_power_w;
+      quality.port = worst(quality.port, quality.trx_in);
+    }
+  }
+  if (have_trx_fit && quality.port != TermConfidence::kLow &&
+      quality.trx_in != TermConfidence::kLow) {
+    out.profile.trx_up_power_w =
+        (out.trx_fit.slope - 2.0 * out.profile.trx_in_power_w) / 2.0 -
+        out.profile.port_power_w;
+    quality.trx_up = worst(quality.trx_up, worst(quality.port, quality.trx_in));
+  } else {
+    quality.trx_up = TermConfidence::kLow;
+    out.profile.trx_up_power_w = 0.0;
+  }
 
   // --- Snake sweeps: alpha_L per frame size (Eq. 15/16). -----------------
   const std::vector<double> frame_sizes =
@@ -89,24 +171,34 @@ ProfileDerivation derive_profile(Orchestrator& orchestrator,
     throw std::invalid_argument("derive_profile: need >= 2 rate steps");
   }
   const double line_rate = line_rate_bps(profile.rate);
-  const double trx_power_at_big_n = trx_powers.back();
+  // Eq. 18 references the no-traffic Trx power at big_n; without a usable
+  // measurement of it the per-L offsets are meaningless.
+  const double trx_power_at_big_n =
+      have_trx_at_big_n ? trx_at_big_n.mean_power_w : 0.0;
 
   std::vector<double> l_values;
   std::vector<double> scaled_alphas;  // alpha_L * 8 * (L + L_header)
   std::vector<double> offsets;        // per-interface P_offset estimates
-  std::vector<double> all_bps;        // across every (rate, L) point
+  std::vector<double> all_bps;        // across every usable (rate, L) point
   std::vector<double> all_pps;
   std::vector<double> all_powers;
   for (const double frame_bytes : frame_sizes) {
     std::vector<double> aggregate_bps;
     std::vector<double> snake_powers;
+    TermConfidence sweep = TermConfidence::kHigh;
     for (int step = 0; step < options.rate_steps; ++step) {
       const double frac =
           options.min_rate_frac +
           (options.max_rate_frac - options.min_rate_frac) * step /
               (options.rate_steps - 1);
       const TrafficSpec spec = make_cbr(frac * line_rate, frame_bytes);
-      const SnakePoint point = orchestrator.run_snake(profile, big_n, spec);
+      const SnakePoint point = bench.run_snake(profile, big_n, spec);
+      if (!usable(point.measurement)) {
+        ++quality.runs_excluded;
+        sweep = worst(sweep, TermConfidence::kReduced);
+        continue;
+      }
+      sweep = worst(sweep, confidence_of(point.measurement.quality));
       aggregate_bps.push_back(point.per_interface_rate_bps * 2.0 *
                               static_cast<double>(big_n));
       snake_powers.push_back(point.measurement.mean_power_w);
@@ -115,8 +207,14 @@ ProfileDerivation derive_profile(Orchestrator& orchestrator,
                         static_cast<double>(big_n));
       all_powers.push_back(point.measurement.mean_power_w);
     }
+    if (aggregate_bps.size() < 2) {
+      // Too few usable rates for this L: no alpha_L, drop it from Eq. 17.
+      quality.energy = worst(quality.energy, TermConfidence::kReduced);
+      continue;
+    }
     const LinearFit fit = fit_linear(aggregate_bps, snake_powers);
     out.alpha_fits.emplace(frame_bytes, fit);
+    quality.energy = worst(quality.energy, sweep);
     // fit.slope is dP per aggregate bit rate = alpha_L per interface.
     l_values.push_back(frame_bytes);
     scaled_alphas.push_back(fit.slope * kBitsPerByte *
@@ -129,15 +227,39 @@ ProfileDerivation derive_profile(Orchestrator& orchestrator,
   // Both estimators are always computed (the unused one is cheap and useful
   // as a diagnostic); `options.energy_estimator` picks which fills the
   // profile.
-  out.energy_fit = fit_linear(l_values, scaled_alphas);
-  out.direct_fit = fit_plane(all_bps, all_pps, all_powers);
+  const bool have_two_step = l_values.size() >= 2;
+  if (have_two_step) out.energy_fit = fit_linear(l_values, scaled_alphas);
+  bool have_direct = all_bps.size() >= 3;
+  if (have_direct) {
+    try {
+      out.direct_fit = fit_plane(all_bps, all_pps, all_powers);
+    } catch (const std::invalid_argument&) {
+      have_direct = false;  // surviving points collapsed onto a line
+    }
+  }
 
-  if (options.energy_estimator == EnergyEstimator::kDirect) {
+  const bool direct = options.energy_estimator == EnergyEstimator::kDirect;
+  if ((direct && !have_direct) || (!direct && !have_two_step)) {
+    quality.energy = TermConfidence::kLow;
+    quality.offset = TermConfidence::kLow;
+    out.profile.energy_per_bit_j = 0.0;
+    out.profile.energy_per_packet_j = 0.0;
+    out.profile.offset_power_w = 0.0;
+    return out;
+  }
+
+  quality.offset = worst(quality.energy, have_trx_at_big_n
+                                             ? confidence_of(trx_at_big_n.quality)
+                                             : TermConfidence::kLow);
+  if (direct) {
     // One-shot OLS: P = E_bit * R_bits + E_pkt * R_pkts + const.
     out.profile.energy_per_bit_j = out.direct_fit.a;
     out.profile.energy_per_packet_j = out.direct_fit.b;
-    out.profile.offset_power_w = (out.direct_fit.intercept - trx_power_at_big_n) /
-                                 (2.0 * static_cast<double>(big_n));
+    out.profile.offset_power_w =
+        quality.offset == TermConfidence::kLow
+            ? 0.0
+            : (out.direct_fit.intercept - trx_power_at_big_n) /
+                  (2.0 * static_cast<double>(big_n));
   } else {
     // --- E_bit and E_pkt from the Eq. 17 regression over L. -------------
     // alpha_L * 8(L + L_hdr) = 8*E_bit*L + (8*E_bit*L_hdr + E_pkt)
@@ -146,27 +268,44 @@ ProfileDerivation derive_profile(Orchestrator& orchestrator,
         out.energy_fit.intercept - out.energy_fit.slope * options.header_bytes;
 
     // --- P_offset: average of the per-L estimates (Eq. 18). --------------
-    double offset_sum = 0.0;
-    for (const double value : offsets) offset_sum += value;
-    out.profile.offset_power_w = offset_sum / static_cast<double>(offsets.size());
+    if (quality.offset == TermConfidence::kLow) {
+      out.profile.offset_power_w = 0.0;
+    } else {
+      double offset_sum = 0.0;
+      for (const double value : offsets) offset_sum += value;
+      out.profile.offset_power_w =
+          offset_sum / static_cast<double>(offsets.size());
+    }
   }
 
   return out;
 }
 
-DerivedModel derive_power_model(Orchestrator& orchestrator,
+DerivedModel derive_power_model(LabBench& bench,
                                 const std::vector<ProfileKey>& profiles,
                                 const DerivationOptions& options) {
   if (profiles.empty()) {
     throw std::invalid_argument("derive_power_model: no profiles requested");
   }
   DerivedModel out;
-  out.base_measurement = orchestrator.run_base();
-  out.base_power_w = out.base_measurement.mean_power_w;
+  out.base_measurement = bench.run_base();
+  out.base_confidence = confidence_of(out.base_measurement.quality);
+  // A disturbed Base run poisons every term that subtracts it; zero it and
+  // let the confidence flags say so instead of shipping a garbage model.
+  out.base_power_w = out.base_confidence == TermConfidence::kLow
+                         ? 0.0
+                         : out.base_measurement.mean_power_w;
   out.model.set_base_power_w(out.base_power_w);
   for (const ProfileKey& key : profiles) {
     ProfileDerivation derivation =
-        derive_profile(orchestrator, key, out.base_power_w, options);
+        derive_profile(bench, key, out.base_power_w, options);
+    if (out.base_confidence == TermConfidence::kLow) {
+      derivation.quality.trx_in = TermConfidence::kLow;
+      derivation.profile.trx_in_power_w = 0.0;
+    } else {
+      derivation.quality.trx_in =
+          worst(derivation.quality.trx_in, out.base_confidence);
+    }
     out.model.add_profile(derivation.profile);
     out.derivations.push_back(std::move(derivation));
   }

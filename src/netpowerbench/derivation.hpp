@@ -16,12 +16,20 @@
 // Note the derived parameters describe *wall* power: conversion losses and
 // the lab environment are folded into them, exactly as in the paper — which
 // is why deployment predictions are precise but offset.
+//
+// The battery runs against any `LabBench` — the naive `Orchestrator` or the
+// fault-tolerant `Campaign`. Runs flagged `WindowQuality::kDisturbed` are
+// excluded from every fit, and each derived term carries a `TermConfidence`:
+// if too few usable runs remain for a term, that term is zeroed and marked
+// `kLow` (a partial model) rather than fit to garbage.
 #pragma once
 
 #include <map>
+#include <string_view>
 #include <vector>
 
 #include "model/power_model.hpp"
+#include "netpowerbench/bench.hpp"
 #include "netpowerbench/orchestrator.hpp"
 #include "stats/regression.hpp"
 #include "util/units.hpp"
@@ -34,6 +42,33 @@ namespace joules {
 //   kDirect  — one two-regressor OLS of power over (aggregate bit rate,
 //              aggregate packet rate) across every sweep point.
 enum class EnergyEstimator : std::uint8_t { kTwoStep, kDirect };
+
+// Trust in a derived model term, propagated from the measurement quality of
+// the runs that fed it:
+//   kHigh    — every contributing run was clean;
+//   kReduced — some runs were recovered (outliers rejected / windows
+//              retried) or some disturbed runs were excluded, but enough
+//              usable points remained for the fit;
+//   kLow     — too few usable runs: the term is zeroed, not estimated.
+enum class TermConfidence : std::uint8_t { kHigh, kReduced, kLow };
+
+[[nodiscard]] std::string_view to_string(TermConfidence confidence) noexcept;
+[[nodiscard]] TermConfidence worst(TermConfidence a, TermConfidence b) noexcept;
+// kClean -> kHigh, kRecovered -> kReduced, kDisturbed -> kLow.
+[[nodiscard]] TermConfidence confidence_of(WindowQuality quality) noexcept;
+
+// Per-term confidence for one profile's derivation.
+struct ProfileQuality {
+  TermConfidence trx_in = TermConfidence::kHigh;  // Eq. 8
+  TermConfidence port = TermConfidence::kHigh;    // Eq. 9
+  TermConfidence trx_up = TermConfidence::kHigh;  // Eq. 10
+  TermConfidence energy = TermConfidence::kHigh;  // Eq. 15-17 (E_bit/E_pkt)
+  TermConfidence offset = TermConfidence::kHigh;  // Eq. 18
+  std::size_t runs_excluded = 0;  // disturbed runs dropped from the fits
+  [[nodiscard]] TermConfidence overall() const noexcept {
+    return worst(worst(worst(trx_in, port), worst(trx_up, energy)), offset);
+  }
+};
 
 struct DerivationOptions {
   // Pair-count ladder for the Port/Trx regressions; empty = use
@@ -50,6 +85,7 @@ struct DerivationOptions {
 
 struct ProfileDerivation {
   InterfaceProfile profile;  // the derived parameters
+  ProfileQuality quality;    // per-term trust
   // Diagnostics, for the quality checks the paper discusses:
   double idle_power_w = 0.0;
   LinearFit port_fit;                  // over N
@@ -63,12 +99,13 @@ struct DerivedModel {
   PowerModel model;
   double base_power_w = 0.0;
   Measurement base_measurement;
+  TermConfidence base_confidence = TermConfidence::kHigh;
   std::vector<ProfileDerivation> derivations;
 };
 
 // Runs the full battery for one profile. The base measurement can be shared
 // across profiles of the same DUT via `derive_power_model`.
-[[nodiscard]] ProfileDerivation derive_profile(Orchestrator& orchestrator,
+[[nodiscard]] ProfileDerivation derive_profile(LabBench& bench,
                                                const ProfileKey& profile,
                                                double base_power_w,
                                                const DerivationOptions& options = {});
@@ -76,7 +113,7 @@ struct DerivedModel {
 // Full model for a DUT over the given profiles (e.g. DAC at 100/50/25G like
 // Table 2a). Runs Base once, then each profile's battery.
 [[nodiscard]] DerivedModel derive_power_model(
-    Orchestrator& orchestrator, const std::vector<ProfileKey>& profiles,
+    LabBench& bench, const std::vector<ProfileKey>& profiles,
     const DerivationOptions& options = {});
 
 }  // namespace joules

@@ -1,5 +1,7 @@
 #include "netpowerbench/experiment.hpp"
 
+#include "stats/descriptive.hpp"
+
 namespace joules {
 
 std::string_view to_string(ExperimentKind kind) noexcept {
@@ -11,6 +13,46 @@ std::string_view to_string(ExperimentKind kind) noexcept {
     case ExperimentKind::kSnake: return "Snake";
   }
   return "unknown";
+}
+
+std::optional<ExperimentKind> parse_experiment_kind(std::string_view text) {
+  if (text == "Base") return ExperimentKind::kBase;
+  if (text == "Idle") return ExperimentKind::kIdle;
+  if (text == "Port") return ExperimentKind::kPort;
+  if (text == "Trx") return ExperimentKind::kTrx;
+  if (text == "Snake") return ExperimentKind::kSnake;
+  return std::nullopt;
+}
+
+std::string_view to_string(WindowQuality quality) noexcept {
+  switch (quality) {
+    case WindowQuality::kClean: return "clean";
+    case WindowQuality::kRecovered: return "recovered";
+    case WindowQuality::kDisturbed: return "disturbed";
+  }
+  return "unknown";
+}
+
+std::optional<WindowQuality> parse_window_quality(std::string_view text) {
+  if (text == "clean") return WindowQuality::kClean;
+  if (text == "recovered") return WindowQuality::kRecovered;
+  if (text == "disturbed") return WindowQuality::kDisturbed;
+  return std::nullopt;
+}
+
+WindowQuality worst(WindowQuality a, WindowQuality b) noexcept {
+  return static_cast<std::uint8_t>(a) >= static_cast<std::uint8_t>(b) ? a : b;
+}
+
+Measurement measurement_from_samples(std::span<const double> samples) {
+  Measurement result;
+  result.sample_count = samples.size();
+  if (samples.empty()) return result;
+  result.mean_power_w = mean(samples);
+  // One sample has no spread; stats::stddev would agree (variance 0) but the
+  // guard is explicit so a degenerate window can never surface NaN.
+  result.stddev_w = samples.size() < 2 ? 0.0 : stddev(samples);
+  return result;
 }
 
 }  // namespace joules

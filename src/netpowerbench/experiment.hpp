@@ -8,21 +8,53 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
 #include <string>
 #include <string_view>
+
+#include "model/interface_profile.hpp"
+#include "util/sim_clock.hpp"
 
 namespace joules {
 
 enum class ExperimentKind : std::uint8_t { kBase, kIdle, kPort, kTrx, kSnake };
+inline constexpr std::size_t kExperimentKindCount = 5;
 
 [[nodiscard]] std::string_view to_string(ExperimentKind kind) noexcept;
+[[nodiscard]] std::optional<ExperimentKind> parse_experiment_kind(
+    std::string_view text);
+
+// How much the robust campaign layer had to intervene to produce a
+// measurement. The ordering matters: merging two qualities takes the worst.
+enum class WindowQuality : std::uint8_t {
+  kClean,      // every window accepted first try, no samples rejected
+  kRecovered,  // outliers rejected and/or disturbed windows retried, then OK
+  kDisturbed,  // at least one window stayed dirty after the retry budget
+};
+
+[[nodiscard]] std::string_view to_string(WindowQuality quality) noexcept;
+[[nodiscard]] std::optional<WindowQuality> parse_window_quality(
+    std::string_view text);
+[[nodiscard]] WindowQuality worst(WindowQuality a, WindowQuality b) noexcept;
 
 // Averaged wall-power measurement for one experiment run.
 struct Measurement {
   double mean_power_w = 0.0;
   double stddev_w = 0.0;
-  std::size_t sample_count = 0;
+  std::size_t sample_count = 0;    // samples the statistics are computed over
+  std::size_t rejected_count = 0;  // samples the robust gates threw away
+  WindowQuality quality = WindowQuality::kClean;
+
+  friend bool operator==(const Measurement&, const Measurement&) = default;
 };
+
+// Folds samples into a Measurement. Degenerate windows are guarded: fewer
+// than two samples yield stddev_w = 0 (never NaN), and an empty span yields
+// an all-zero measurement rather than throwing — a fully disturbed window
+// must degrade, not crash, a campaign.
+[[nodiscard]] Measurement measurement_from_samples(std::span<const double> samples);
 
 // One point of a Snake sweep.
 struct SnakePoint {
@@ -30,6 +62,22 @@ struct SnakePoint {
   double frame_bytes = 0.0;
   double per_interface_rate_bps = 0.0;  // both directions summed
   double per_interface_rate_pps = 0.0;
+  Measurement measurement;
+};
+
+// Lab notebook entry: one experiment run, as recorded by the orchestrator's
+// history and persisted by the campaign checkpoint. A replication should be
+// able to audit exactly what the bench did.
+struct HistoryEntry {
+  ExperimentKind kind = ExperimentKind::kBase;
+  ProfileKey profile;           // meaningless for kBase
+  std::size_t pairs = 0;        // 0 for kBase
+  double offered_rate_bps = 0;  // Snake only
+  double frame_bytes = 0;       // Snake only
+  SimTime started_at = 0;
+  SimTime ended_at = 0;         // lab clock after the run (checkpoint resume)
+  std::size_t windows_used = 0; // measurement windows consumed (retries incl.)
+  int retries = 0;              // windows re-measured by the robust layer
   Measurement measurement;
 };
 

@@ -4,10 +4,32 @@
 #include <stdexcept>
 #include <vector>
 
-#include "stats/descriptive.hpp"
 #include "util/units.hpp"
 
 namespace joules {
+
+CsvTable history_to_csv(std::span<const HistoryEntry> history) {
+  CsvTable table({"experiment", "profile", "pairs", "offered_rate_gbps",
+                  "frame_bytes", "started_at", "mean_power_w", "stddev_w",
+                  "samples", "rejected", "quality", "retries"});
+  for (const HistoryEntry& entry : history) {
+    table.add_row({std::string(to_string(entry.kind)),
+                   entry.kind == ExperimentKind::kBase
+                       ? std::string{}
+                       : to_string(entry.profile),
+                   std::to_string(entry.pairs),
+                   format_number(bps_to_gbps(entry.offered_rate_bps), 3),
+                   format_number(entry.frame_bytes),
+                   format_date_time(entry.started_at),
+                   format_number(entry.measurement.mean_power_w, 3),
+                   format_number(entry.measurement.stddev_w, 4),
+                   std::to_string(entry.measurement.sample_count),
+                   std::to_string(entry.measurement.rejected_count),
+                   std::string(to_string(entry.measurement.quality)),
+                   std::to_string(entry.retries)});
+  }
+  return table;
+}
 
 Orchestrator::Orchestrator(SimulatedRouter& dut, PowerMeter meter,
                            OrchestratorOptions options)
@@ -40,23 +62,34 @@ void Orchestrator::configure_pairs(const ProfileKey& profile, std::size_t pairs,
   }
 }
 
-Measurement Orchestrator::measure(std::span<const InterfaceLoad> loads) {
+Measurement Orchestrator::measure(ExperimentKind kind,
+                                  std::span<const InterfaceLoad> loads) {
+  const BenchFaultPlan* plan =
+      fault_plan_.has_value() ? &*fault_plan_ : nullptr;
   std::vector<double> samples;
   samples.reserve(static_cast<std::size_t>(
       options_.repeats * options_.measure_s / options_.sample_period_s));
+  windows_used_ = 0;
   for (int repeat = 0; repeat < options_.repeats; ++repeat) {
     now_ += options_.settle_s;
-    const SimTime window_end = now_ + options_.measure_s;
-    for (; now_ < window_end; now_ += options_.sample_period_s) {
-      const double truth = dut_.wall_power_w(now_, loads);
-      samples.push_back(meter_.measure_w(0, truth, now_));
-    }
+    WindowSample window = sample_window(
+        dut_, meter_, plan, kind,
+        window_counters_[static_cast<std::size_t>(kind)]++, loads, now_,
+        options_.measure_s, options_.sample_period_s);
+    ++windows_used_;
+    now_ = window.end_time;
+    samples.insert(samples.end(), window.samples.begin(), window.samples.end());
   }
-  Measurement result;
-  result.sample_count = samples.size();
-  result.mean_power_w = mean(samples);
-  result.stddev_w = stddev(samples);
-  return result;
+  // The naive bench trusts every delivered sample: NaN readings and spikes
+  // flow straight into the average (that is the failure mode the robust
+  // Campaign exists to prevent).
+  return measurement_from_samples(samples);
+}
+
+void Orchestrator::finish_entry(HistoryEntry entry) {
+  entry.ended_at = now_;
+  entry.windows_used = windows_used_;
+  history_.push_back(std::move(entry));
 }
 
 Measurement Orchestrator::run_base() {
@@ -64,8 +97,8 @@ Measurement Orchestrator::run_base() {
   HistoryEntry entry;
   entry.kind = ExperimentKind::kBase;
   entry.started_at = now_;
-  entry.measurement = measure({});
-  history_.push_back(entry);
+  entry.measurement = measure(ExperimentKind::kBase, {});
+  finish_entry(entry);
   return entry.measurement;
 }
 
@@ -77,8 +110,8 @@ Measurement Orchestrator::run_idle(const ProfileKey& profile, std::size_t pairs)
   entry.profile = profile;
   entry.pairs = pairs;
   entry.started_at = now_;
-  entry.measurement = measure({});
-  history_.push_back(entry);
+  entry.measurement = measure(ExperimentKind::kIdle, {});
+  finish_entry(entry);
   return entry.measurement;
 }
 
@@ -92,8 +125,8 @@ Measurement Orchestrator::run_port(const ProfileKey& profile, std::size_t pairs)
   entry.profile = profile;
   entry.pairs = pairs;
   entry.started_at = now_;
-  entry.measurement = measure({});
-  history_.push_back(entry);
+  entry.measurement = measure(ExperimentKind::kPort, {});
+  finish_entry(entry);
   return entry.measurement;
 }
 
@@ -105,8 +138,8 @@ Measurement Orchestrator::run_trx(const ProfileKey& profile, std::size_t pairs) 
   entry.profile = profile;
   entry.pairs = pairs;
   entry.started_at = now_;
-  entry.measurement = measure({});
-  history_.push_back(entry);
+  entry.measurement = measure(ExperimentKind::kTrx, {});
+  finish_entry(entry);
   return entry.measurement;
 }
 
@@ -131,30 +164,10 @@ SnakePoint Orchestrator::run_snake(const ProfileKey& profile, std::size_t pairs,
   entry.offered_rate_bps = spec.rate_bps;
   entry.frame_bytes = spec.frame_bytes;
   entry.started_at = now_;
-  point.measurement = measure(loads);
+  point.measurement = measure(ExperimentKind::kSnake, loads);
   entry.measurement = point.measurement;
-  history_.push_back(entry);
+  finish_entry(entry);
   return point;
-}
-
-CsvTable Orchestrator::history_csv() const {
-  CsvTable table({"experiment", "profile", "pairs", "offered_rate_gbps",
-                  "frame_bytes", "started_at", "mean_power_w", "stddev_w",
-                  "samples"});
-  for (const HistoryEntry& entry : history_) {
-    table.add_row({std::string(to_string(entry.kind)),
-                   entry.kind == ExperimentKind::kBase
-                       ? std::string{}
-                       : to_string(entry.profile),
-                   std::to_string(entry.pairs),
-                   format_number(bps_to_gbps(entry.offered_rate_bps), 3),
-                   format_number(entry.frame_bytes),
-                   format_date_time(entry.started_at),
-                   format_number(entry.measurement.mean_power_w, 3),
-                   format_number(entry.measurement.stddev_w, 4),
-                   std::to_string(entry.measurement.sample_count)});
-  }
-  return table;
 }
 
 }  // namespace joules

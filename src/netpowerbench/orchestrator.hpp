@@ -6,14 +6,23 @@
 // then records the meter channel for a measurement window and averages it.
 // The lab clock advances monotonically across runs, so slow environmental
 // jitter decorrelates between runs like it would on a real bench.
+//
+// The orchestrator is the *naive* bench: it trusts every sample and completes
+// every run, which is exactly how a disturbed window poisons a regression. A
+// `BenchFaultPlan` can be installed so tests can show that poisoning; the
+// fault-tolerant counterpart is `Campaign` (campaign.hpp), which shares this
+// class's sampling code path bit for bit.
 #pragma once
 
+#include <array>
 #include <cstddef>
-
+#include <optional>
 #include <vector>
 
 #include "device/router.hpp"
 #include "meter/power_meter.hpp"
+#include "netpowerbench/bench.hpp"
+#include "netpowerbench/bench_fault.hpp"
 #include "netpowerbench/experiment.hpp"
 #include "util/csv.hpp"
 #include "traffic/generator.hpp"
@@ -30,44 +39,41 @@ struct OrchestratorOptions {
   double lab_ambient_c = 22.0;  // bench room temperature
 };
 
-class Orchestrator {
+// CSV export of a lab notebook, shared by Orchestrator and Campaign.
+[[nodiscard]] CsvTable history_to_csv(std::span<const HistoryEntry> history);
+
+class Orchestrator : public LabBench {
  public:
   // The orchestrator owns neither DUT nor meter configuration beyond the lab
   // session; the DUT's interface list is cleared between experiments.
   Orchestrator(SimulatedRouter& dut, PowerMeter meter,
                OrchestratorOptions options = {});
 
-  // Base: no transceivers, no configuration.
-  [[nodiscard]] Measurement run_base();
+  // Bench fault injection (tests/benchmarks): the orchestrator arms the
+  // faults but performs no validation — the naive path.
+  void set_fault_plan(BenchFaultPlan plan) { fault_plan_ = std::move(plan); }
 
-  // Idle/Port/Trx with `pairs` cabled port pairs of the given profile.
-  [[nodiscard]] Measurement run_idle(const ProfileKey& profile, std::size_t pairs);
-  [[nodiscard]] Measurement run_port(const ProfileKey& profile, std::size_t pairs);
-  [[nodiscard]] Measurement run_trx(const ProfileKey& profile, std::size_t pairs);
-
-  // Snake over 2*pairs interfaces at the given offered load.
+  [[nodiscard]] Measurement run_base() override;
+  [[nodiscard]] Measurement run_idle(const ProfileKey& profile,
+                                     std::size_t pairs) override;
+  [[nodiscard]] Measurement run_port(const ProfileKey& profile,
+                                     std::size_t pairs) override;
+  [[nodiscard]] Measurement run_trx(const ProfileKey& profile,
+                                    std::size_t pairs) override;
   [[nodiscard]] SnakePoint run_snake(const ProfileKey& profile, std::size_t pairs,
-                                     const TrafficSpec& spec);
+                                     const TrafficSpec& spec) override;
 
   // Maximum cabled pairs for a profile on this DUT.
-  [[nodiscard]] std::size_t max_pairs(const ProfileKey& profile) const;
+  [[nodiscard]] std::size_t max_pairs(const ProfileKey& profile) const override;
 
   // Lab notebook: one entry per experiment run, in execution order. A
   // replication should be able to audit exactly what the bench did.
-  struct HistoryEntry {
-    ExperimentKind kind = ExperimentKind::kBase;
-    ProfileKey profile;          // meaningless for kBase
-    std::size_t pairs = 0;       // 0 for kBase
-    double offered_rate_bps = 0; // Snake only
-    double frame_bytes = 0;      // Snake only
-    SimTime started_at = 0;
-    Measurement measurement;
-  };
+  using HistoryEntry = joules::HistoryEntry;
   [[nodiscard]] const std::vector<HistoryEntry>& history() const noexcept {
     return history_;
   }
   // CSV export of the notebook.
-  [[nodiscard]] CsvTable history_csv() const;
+  [[nodiscard]] CsvTable history_csv() const { return history_to_csv(history_); }
 
   [[nodiscard]] const OrchestratorOptions& options() const noexcept { return options_; }
   [[nodiscard]] SimTime lab_time() const noexcept { return now_; }
@@ -75,13 +81,18 @@ class Orchestrator {
  private:
   void configure_pairs(const ProfileKey& profile, std::size_t pairs,
                        InterfaceState first_of_pair, InterfaceState second_of_pair);
-  [[nodiscard]] Measurement measure(std::span<const InterfaceLoad> loads);
+  [[nodiscard]] Measurement measure(ExperimentKind kind,
+                                    std::span<const InterfaceLoad> loads);
+  void finish_entry(HistoryEntry entry);
 
   SimulatedRouter& dut_;
   PowerMeter meter_;
   OrchestratorOptions options_;
   SimTime now_;
   std::vector<HistoryEntry> history_;
+  std::optional<BenchFaultPlan> fault_plan_;
+  std::array<std::uint64_t, kExperimentKindCount> window_counters_{};
+  std::size_t windows_used_ = 0;  // windows consumed by the current run
 };
 
 }  // namespace joules

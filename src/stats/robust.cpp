@@ -1,0 +1,105 @@
+#include "stats/robust.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+
+namespace joules {
+namespace {
+
+double median_of(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  const double upper = values[mid];
+  if (values.size() % 2 == 1) return upper;
+  const double lower =
+      *std::max_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lower + upper);
+}
+
+}  // namespace
+
+double median_absolute_deviation(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double med = median_of({values.begin(), values.end()});
+  std::vector<double> deviations;
+  deviations.reserve(values.size());
+  for (const double v : values) deviations.push_back(std::abs(v - med));
+  return median_of(std::move(deviations));
+}
+
+WindowValidation validate_window(std::span<const double> samples,
+                                 std::size_t expected_count,
+                                 const RobustWindowOptions& options) {
+  WindowValidation out;
+
+  // NaN/Inf readings are rejected before any statistic touches them.
+  std::vector<double> finite;
+  finite.reserve(samples.size());
+  std::size_t identical_run = 1;
+  double previous = 0.0;
+  bool have_previous = false;
+  for (const double v : samples) {
+    if (!std::isfinite(v)) {
+      ++out.rejected;
+      continue;
+    }
+    if (have_previous && v == previous) {
+      ++identical_run;
+    } else {
+      identical_run = 1;
+    }
+    out.longest_identical_run = std::max(out.longest_identical_run, identical_run);
+    previous = v;
+    have_previous = true;
+    finite.push_back(v);
+  }
+  out.stuck = out.longest_identical_run > options.max_stuck_run;
+
+  // MAD rejection around the window median.
+  if (finite.size() >= 2) {
+    const double med = median_of(finite);
+    const double mad = median_absolute_deviation(finite);
+    const double threshold = std::max(options.min_reject_threshold_w,
+                                      options.mad_k * kMadToSigma * mad);
+    out.accepted.reserve(finite.size());
+    for (const double v : finite) {
+      if (std::abs(v - med) > threshold) {
+        ++out.rejected;
+      } else {
+        out.accepted.push_back(v);
+      }
+    }
+  } else {
+    out.accepted = std::move(finite);
+  }
+
+  // Dropout gate: a meter that delivered too few usable samples was not
+  // healthy, whatever the survivors say.
+  const double accept_frac =
+      expected_count == 0
+          ? 1.0
+          : static_cast<double>(out.accepted.size()) /
+                static_cast<double>(expected_count);
+  out.enough_samples = accept_frac >= options.min_accept_frac;
+
+  // Split-window steadiness over the accepted samples.
+  if (out.accepted.size() >= 4) {
+    const std::size_t half = out.accepted.size() / 2;
+    const std::span<const double> all(out.accepted);
+    const double first = mean(all.subspan(0, half));
+    const double second = mean(all.subspan(half));
+    out.drift_w = std::abs(second - first);
+    const double med = median_of(out.accepted);
+    const double limit =
+        std::max(options.drift_limit_w, options.drift_limit_frac * std::abs(med));
+    out.steady = out.drift_w <= limit;
+  }
+
+  return out;
+}
+
+}  // namespace joules

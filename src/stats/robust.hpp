@@ -1,0 +1,84 @@
+// Robust window statistics for bench measurement campaigns.
+//
+// The §5 lab campaigns average wall power over long windows, assuming the
+// bench behaves. Real benches do not: meters glitch (dropped samples, NaN
+// readings, stuck channels), DUTs reboot or take an OS update mid-window, and
+// fan steps put a ramp under the "steady" plateau. A single disturbed window
+// silently poisons a whole regression, so before a window's mean is trusted
+// it must pass two gates:
+//
+//   1. MAD outlier rejection — samples further than `mad_k` scaled median
+//      absolute deviations from the window median are rejected (meter spikes,
+//      NaN readings). MAD, unlike stddev, is not inflated by the outliers it
+//      is trying to find.
+//   2. Steadiness — the means of the two window halves must agree within a
+//      drift limit (catches reboots, OS updates, fan steps: anything that
+//      moves the plateau mid-window), the accepted-sample fraction must be
+//      high enough (catches meter dropouts), and no implausibly long run of
+//      bit-identical readings may appear (catches stuck channels; a live
+//      meter's noise floor makes exact repeats rare).
+//
+// A window that fails a gate is *disturbed*: the caller retries it under a
+// bounded budget rather than averaging garbage.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace joules {
+
+// Raw median absolute deviation: median(|x - median(x)|). 0 for inputs with
+// fewer than two samples. Consistent with stddev for normal data after
+// scaling by 1.4826.
+double median_absolute_deviation(std::span<const double> values);
+
+inline constexpr double kMadToSigma = 1.4826;
+
+struct RobustWindowOptions {
+  // Reject samples with |x - median| > mad_k * 1.4826 * MAD. The default is
+  // far outside anything the clean bench produces (meter noise is bounded,
+  // control-plane jitter is ~1 W) but well inside meter spike magnitudes.
+  double mad_k = 6.0;
+  // Floor under the MAD rejection threshold, so a window where the meter
+  // noise dominates (MAD of a few mW) does not reject benign samples.
+  double min_reject_threshold_w = 2.5;
+  // Split-window steadiness: |mean(second half) - mean(first half)| of the
+  // accepted samples must stay under max(drift_limit_w, drift_limit_frac *
+  // |median|). Clean benches shift by <~1.6 W (control-plane buckets).
+  double drift_limit_w = 5.0;
+  double drift_limit_frac = 0.02;
+  // A window keeping fewer than this fraction of its expected samples (NaNs
+  // and MAD rejections included) was disturbed, not merely noisy.
+  double min_accept_frac = 0.8;
+  // More than this many *consecutive, bit-identical* readings means a stuck
+  // meter channel: additive noise makes exact repeats vanishingly rare.
+  std::size_t max_stuck_run = 8;
+};
+
+struct WindowValidation {
+  // Gate outcomes.
+  bool steady = true;        // split-window drift gate
+  bool stuck = false;        // implausible identical-reading run
+  bool enough_samples = true;  // accepted/expected fraction gate
+  double drift_w = 0.0;      // measured |mean(half2) - mean(half1)|
+  std::size_t longest_identical_run = 0;
+
+  std::size_t rejected = 0;  // NaN + MAD-rejected samples
+  std::vector<double> accepted;  // surviving samples, original order
+
+  // A window is usable when every gate passed; rejected samples alone do not
+  // disqualify it (that is exactly what the MAD gate is for).
+  [[nodiscard]] bool ok() const noexcept {
+    return steady && !stuck && enough_samples;
+  }
+};
+
+// Validates one measurement window. `expected_count` is the number of samples
+// the meter should have delivered (dropouts show up as samples.size() <
+// expected_count); pass samples.size() when dropouts cannot occur.
+WindowValidation validate_window(std::span<const double> samples,
+                                 std::size_t expected_count,
+                                 const RobustWindowOptions& options = {});
+
+}  // namespace joules

@@ -19,6 +19,13 @@ std::optional<double> parse_opt(const std::string& text) {
   return parse_first_number(text);
 }
 
+bool has_column(const CsvTable& table, std::string_view name) {
+  for (const std::string& column : table.header()) {
+    if (column == name) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 std::string_view to_string(MeasurementSource source) noexcept {
@@ -145,7 +152,8 @@ void PowerZoo::save(const std::filesystem::path& directory) const {
   models.write_file(directory / "power_models.csv");
 
   CsvTable measurements({"device", "router", "source", "window_begin",
-                         "window_end", "median_w", "mean_w", "samples"});
+                         "window_end", "median_w", "mean_w", "samples",
+                         "rejected", "quality"});
   for (const MeasurementSummary& m : measurements_) {
     measurements.add_row({m.device_model, m.router_name,
                           std::string(to_string(m.source)),
@@ -153,7 +161,9 @@ void PowerZoo::save(const std::filesystem::path& directory) const {
                           std::to_string(m.window_end),
                           format_number(m.median_power_w, 3),
                           format_number(m.mean_power_w, 3),
-                          std::to_string(m.sample_count)});
+                          std::to_string(m.sample_count),
+                          std::to_string(m.rejected_count),
+                          std::string(to_string(m.quality))});
   }
   measurements.write_file(directory / "measurements.csv");
 
@@ -230,6 +240,17 @@ PowerZoo PowerZoo::load(const std::filesystem::path& directory) {
     summary.mean_power_w = measurements.cell_double(i, "mean_w");
     summary.sample_count =
         static_cast<std::size_t>(measurements.cell_double(i, "samples"));
+    // Pre-campaign zoo directories lack the provenance columns; they loaded
+    // as clean measurements then and still do.
+    if (has_column(measurements, "rejected")) {
+      summary.rejected_count =
+          static_cast<std::size_t>(measurements.cell_int64(i, "rejected"));
+    }
+    if (has_column(measurements, "quality")) {
+      const auto quality = parse_window_quality(measurements.cell(i, "quality"));
+      if (!quality) throw std::invalid_argument("PowerZoo: bad quality flag");
+      summary.quality = *quality;
+    }
     zoo.add_measurement(std::move(summary));
   }
 

@@ -16,6 +16,7 @@
 
 #include "datasheet/record.hpp"
 #include "model/power_model.hpp"
+#include "netpowerbench/experiment.hpp"
 #include "psu/psu_unit.hpp"
 #include "util/sim_clock.hpp"
 
@@ -41,6 +42,11 @@ struct MeasurementSummary {
   double median_power_w = 0.0;
   double mean_power_w = 0.0;
   std::size_t sample_count = 0;
+  // Robust-campaign provenance: how many samples the validation gates threw
+  // away, and whether the bench had to intervene (lab measurements only;
+  // SNMP/Autopower summaries stay kClean/0).
+  std::size_t rejected_count = 0;
+  WindowQuality quality = WindowQuality::kClean;
 };
 
 class PowerZoo {

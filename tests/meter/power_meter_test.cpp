@@ -82,5 +82,38 @@ TEST(PowerMeter, RequiresAtLeastOneChannel) {
   EXPECT_THROW(PowerMeter(spec, 1), std::invalid_argument);
 }
 
+TEST(PowerMeter, SubSecondRecordPeriodsClampToOneSecond) {
+  // SimTime is whole seconds, so the meter's native 0.5 s streaming rate is
+  // not representable; the documented contract is a clamp to 1 s, applied in
+  // exactly one place.
+  static_assert(PowerMeter::clamp_record_period(0) == PowerMeter::kMinRecordPeriodS);
+  static_assert(PowerMeter::clamp_record_period(-5) == PowerMeter::kMinRecordPeriodS);
+  static_assert(PowerMeter::clamp_record_period(1) == 1);
+  static_assert(PowerMeter::clamp_record_period(30) == 30);
+
+  const PowerMeter meter(PowerMeterSpec{}, 19);
+  const auto flat = [](SimTime) { return 100.0; };
+  const TimeSeries clamped = meter.record(0, flat, 0, 10, 0);
+  const TimeSeries unit = meter.record(0, flat, 0, 10, 1);
+  ASSERT_EQ(clamped.size(), 10u);
+  ASSERT_EQ(clamped.size(), unit.size());
+  for (std::size_t i = 0; i < clamped.size(); ++i) {
+    EXPECT_EQ(clamped[i].time, unit[i].time);
+    EXPECT_DOUBLE_EQ(clamped[i].value, unit[i].value);
+  }
+}
+
+TEST(PowerMeter, FaultTransformAppliesAfterGainAndNoise) {
+  PowerMeter meter(PowerMeterSpec{}, 21);
+  const double clean = meter.measure_w(0, 200.0, 77);
+  meter.set_fault_transform(
+      [](int, SimTime, double reading) { return reading + 150.0; });
+  EXPECT_TRUE(meter.has_fault_transform());
+  EXPECT_DOUBLE_EQ(meter.measure_w(0, 200.0, 77), clean + 150.0);
+  meter.clear_fault_transform();
+  EXPECT_FALSE(meter.has_fault_transform());
+  EXPECT_DOUBLE_EQ(meter.measure_w(0, 200.0, 77), clean);
+}
+
 }  // namespace
 }  // namespace joules

@@ -1,0 +1,297 @@
+// The fault-tolerant Campaign: no-fault equivalence with the naive
+// Orchestrator, degenerate-window guards, and the crash-safe checkpoint
+// (exact round trip, kill/reload resume, divergence detection).
+#include "netpowerbench/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "device/catalog.hpp"
+#include "netpowerbench/derivation.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+namespace fs = std::filesystem;
+
+const ProfileKey kDac100{PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                         LineRate::kG100};
+
+OrchestratorOptions fast_lab() {
+  OrchestratorOptions options;
+  options.start_time = make_time(2025, 2, 1);
+  options.settle_s = 30;
+  options.measure_s = 120;
+  options.repeats = 2;
+  return options;
+}
+
+CampaignOptions fast_campaign(fs::path checkpoint = {}) {
+  CampaignOptions options;
+  options.lab = fast_lab();
+  options.checkpoint_path = std::move(checkpoint);
+  return options;
+}
+
+DerivationOptions small_battery() {
+  DerivationOptions options;
+  options.pair_ladder = {4, 12};
+  options.frame_sizes = {256, 1500};
+  options.rate_steps = 2;
+  return options;
+}
+
+struct TempFile {
+  explicit TempFile(const char* name)
+      : path(fs::temp_directory_path() / name) {
+    fs::remove(path);
+  }
+  ~TempFile() { fs::remove(path); }
+  fs::path path;
+};
+
+void expect_entries_equal(const HistoryEntry& a, const HistoryEntry& b) {
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.profile, b.profile);
+  EXPECT_EQ(a.pairs, b.pairs);
+  EXPECT_DOUBLE_EQ(a.offered_rate_bps, b.offered_rate_bps);
+  EXPECT_DOUBLE_EQ(a.frame_bytes, b.frame_bytes);
+  EXPECT_EQ(a.started_at, b.started_at);
+  EXPECT_EQ(a.ended_at, b.ended_at);
+  EXPECT_EQ(a.windows_used, b.windows_used);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.measurement, b.measurement);
+}
+
+// --- Satellite: degenerate-window guard ----------------------------------
+
+TEST(MeasurementFromSamples, FewerThanTwoSamplesNeverYieldNaN) {
+  const Measurement empty = measurement_from_samples({});
+  EXPECT_DOUBLE_EQ(empty.mean_power_w, 0.0);
+  EXPECT_DOUBLE_EQ(empty.stddev_w, 0.0);
+  EXPECT_EQ(empty.sample_count, 0u);
+
+  const std::vector<double> one{358.0};
+  const Measurement single = measurement_from_samples(one);
+  EXPECT_DOUBLE_EQ(single.mean_power_w, 358.0);
+  EXPECT_DOUBLE_EQ(single.stddev_w, 0.0);
+  EXPECT_FALSE(std::isnan(single.stddev_w));
+  EXPECT_EQ(single.sample_count, 1u);
+}
+
+// --- No-fault equivalence --------------------------------------------------
+
+TEST(Campaign, NoFaultRunsBitIdenticalToOrchestrator) {
+  const RouterSpec spec = find_router_spec("NCS-55A1-24H").value();
+
+  SimulatedRouter naive_dut(spec, 11);
+  Orchestrator orchestrator(naive_dut, PowerMeter(PowerMeterSpec{}, 12),
+                            fast_lab());
+
+  SimulatedRouter robust_dut(spec, 11);
+  Campaign campaign(robust_dut, PowerMeter(PowerMeterSpec{}, 12),
+                    fast_campaign());
+  // An explicitly installed empty plan must not perturb the path either.
+  campaign.set_fault_plan(BenchFaultPlan{});
+
+  const Measurement base_naive = orchestrator.run_base();
+  const Measurement base_robust = campaign.run_base();
+  EXPECT_EQ(base_naive, base_robust);
+
+  EXPECT_EQ(orchestrator.run_idle(kDac100, 12), campaign.run_idle(kDac100, 12));
+  EXPECT_EQ(orchestrator.run_port(kDac100, 6), campaign.run_port(kDac100, 6));
+  EXPECT_EQ(orchestrator.run_trx(kDac100, 6), campaign.run_trx(kDac100, 6));
+  const TrafficSpec spec40 = make_cbr(gbps_to_bps(40), 512);
+  EXPECT_EQ(orchestrator.run_snake(kDac100, 12, spec40).measurement,
+            campaign.run_snake(kDac100, 12, spec40).measurement);
+
+  EXPECT_EQ(orchestrator.lab_time(), campaign.lab_time());
+  ASSERT_EQ(orchestrator.history().size(), campaign.history().size());
+  for (std::size_t i = 0; i < orchestrator.history().size(); ++i) {
+    expect_entries_equal(orchestrator.history()[i], campaign.history()[i]);
+  }
+  EXPECT_EQ(campaign.stats().windows_retried, 0u);
+  EXPECT_EQ(campaign.stats().samples_rejected, 0u);
+}
+
+TEST(Campaign, NoFaultDerivedModelMatchesOrchestrator) {
+  const RouterSpec spec = find_router_spec("NCS-55A1-24H").value();
+
+  SimulatedRouter naive_dut(spec, 21);
+  Orchestrator orchestrator(naive_dut, PowerMeter(PowerMeterSpec{}, 22),
+                            fast_lab());
+  const DerivedModel naive =
+      derive_power_model(orchestrator, {kDac100}, small_battery());
+
+  SimulatedRouter robust_dut(spec, 21);
+  Campaign campaign(robust_dut, PowerMeter(PowerMeterSpec{}, 22),
+                    fast_campaign());
+  const DerivedModel robust =
+      derive_power_model(campaign, {kDac100}, small_battery());
+
+  EXPECT_EQ(naive.model, robust.model);
+  EXPECT_DOUBLE_EQ(naive.base_power_w, robust.base_power_w);
+  EXPECT_EQ(robust.base_confidence, TermConfidence::kHigh);
+  ASSERT_EQ(robust.derivations.size(), 1u);
+  EXPECT_EQ(robust.derivations[0].quality.overall(), TermConfidence::kHigh);
+  EXPECT_EQ(robust.derivations[0].quality.runs_excluded, 0u);
+}
+
+// --- Checkpoint codec ------------------------------------------------------
+
+TEST(CampaignCheckpoint, SerializeParseRoundTripsExactly) {
+  const RouterSpec spec = find_router_spec("NCS-55A1-24H").value();
+  SimulatedRouter dut(spec, 31);
+  Campaign campaign(dut, PowerMeter(PowerMeterSpec{}, 32), fast_campaign());
+  // Inject faults so the round trip covers non-trivial quality values.
+  campaign.set_fault_plan(
+      BenchFaultPlan().meter_spike(ExperimentKind::kPort, 0, 0.5, 300.0, 4));
+  (void)campaign.run_base();
+  (void)campaign.run_port(kDac100, 6);
+  (void)campaign.run_snake(kDac100, 12, make_cbr(gbps_to_bps(40), 512));
+
+  const std::string serialized =
+      Campaign::serialize_checkpoint(campaign.history());
+  EXPECT_TRUE(serialized.starts_with(Campaign::kCheckpointHeaderPrefix));
+
+  const std::vector<HistoryEntry> parsed =
+      Campaign::parse_checkpoint(serialized);
+  ASSERT_EQ(parsed.size(), campaign.history().size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    expect_entries_equal(campaign.history()[i], parsed[i]);
+  }
+  // Exactness, not mere closeness: a second serialization is byte-identical.
+  EXPECT_EQ(Campaign::serialize_checkpoint(parsed), serialized);
+}
+
+TEST(CampaignCheckpoint, RejectsForeignAndFutureFiles) {
+  EXPECT_THROW((void)Campaign::parse_checkpoint("not a checkpoint\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)Campaign::parse_checkpoint(
+                   "# netpowerbench-campaign v999\nkind\nBase\n"),
+               std::runtime_error);
+
+  TempFile file("joules_campaign_foreign.csv");
+  std::ofstream(file.path) << "some,other,csv\n1,2,3\n";
+  const RouterSpec spec = find_router_spec("NCS-55A1-24H").value();
+  SimulatedRouter dut(spec, 41);
+  EXPECT_THROW(Campaign(dut, PowerMeter(PowerMeterSpec{}, 42),
+                        fast_campaign(file.path)),
+               std::runtime_error);
+}
+
+TEST(CampaignCheckpoint, KilledCampaignResumesWithNoDuplicatedOrLostRuns) {
+  const RouterSpec spec = find_router_spec("NCS-55A1-24H").value();
+  const BenchFaultPlan plan =
+      BenchFaultPlan()
+          .meter_spike(ExperimentKind::kIdle, 0, 0.4, 400.0, 3)
+          .dut_reboot(ExperimentKind::kTrx, 1, 0.3, 45);
+  TempFile checkpoint("joules_campaign_resume.csv");
+
+  const auto run_battery = [&](Campaign& campaign, std::size_t runs) {
+    if (runs > 0) (void)campaign.run_base();
+    if (runs > 1) (void)campaign.run_idle(kDac100, 12);
+    if (runs > 2) (void)campaign.run_port(kDac100, 4);
+    if (runs > 3) (void)campaign.run_port(kDac100, 12);
+    if (runs > 4) (void)campaign.run_trx(kDac100, 4);
+    if (runs > 5) (void)campaign.run_trx(kDac100, 12);
+    if (runs > 6) {
+      (void)campaign.run_snake(kDac100, 12, make_cbr(gbps_to_bps(40), 512));
+    }
+  };
+  constexpr std::size_t kTotalRuns = 7;
+
+  // Reference: the uninterrupted campaign.
+  SimulatedRouter reference_dut(spec, 51);
+  Campaign reference(reference_dut, PowerMeter(PowerMeterSpec{}, 52),
+                     fast_campaign());
+  reference.set_fault_plan(plan);
+  run_battery(reference, kTotalRuns);
+
+  // The same campaign, killed after four completed runs...
+  {
+    SimulatedRouter dut(spec, 51);
+    Campaign killed(dut, PowerMeter(PowerMeterSpec{}, 52),
+                    fast_campaign(checkpoint.path));
+    killed.set_fault_plan(plan);
+    run_battery(killed, 4);
+    ASSERT_EQ(killed.history().size(), 4u);
+  }  // process dies here; only the checkpoint survives
+
+  // ...and restarted from scratch against fresh hardware state.
+  SimulatedRouter dut(spec, 51);
+  Campaign resumed(dut, PowerMeter(PowerMeterSpec{}, 52),
+                   fast_campaign(checkpoint.path));
+  resumed.set_fault_plan(plan);
+  EXPECT_EQ(resumed.pending_replays(), 4u);
+  run_battery(resumed, kTotalRuns);
+  EXPECT_EQ(resumed.pending_replays(), 0u);
+  EXPECT_EQ(resumed.stats().runs_replayed, 4u);
+
+  ASSERT_EQ(resumed.history().size(), kTotalRuns);
+  ASSERT_EQ(reference.history().size(), kTotalRuns);
+  for (std::size_t i = 0; i < kTotalRuns; ++i) {
+    expect_entries_equal(reference.history()[i], resumed.history()[i]);
+  }
+  // Monotone lab clock across the replay boundary: nothing ran twice.
+  for (std::size_t i = 1; i < resumed.history().size(); ++i) {
+    EXPECT_GT(resumed.history()[i].started_at,
+              resumed.history()[i - 1].started_at);
+  }
+}
+
+TEST(CampaignCheckpoint, DivergingBatteryIsRefused) {
+  const RouterSpec spec = find_router_spec("NCS-55A1-24H").value();
+  TempFile checkpoint("joules_campaign_diverge.csv");
+  {
+    SimulatedRouter dut(spec, 61);
+    Campaign campaign(dut, PowerMeter(PowerMeterSpec{}, 62),
+                      fast_campaign(checkpoint.path));
+    (void)campaign.run_base();
+  }
+  SimulatedRouter dut(spec, 61);
+  Campaign resumed(dut, PowerMeter(PowerMeterSpec{}, 62),
+                   fast_campaign(checkpoint.path));
+  // The checkpoint recorded a Base run; asking for Idle first is a different
+  // campaign definition and must fail loudly, not silently mix results.
+  EXPECT_THROW((void)resumed.run_idle(kDac100, 12), std::runtime_error);
+}
+
+// --- History CSV -----------------------------------------------------------
+
+TEST(HistoryCsv, CarriesQualityColumnsForBothBenches) {
+  const RouterSpec spec = find_router_spec("NCS-55A1-24H").value();
+  SimulatedRouter dut(spec, 71);
+  Campaign campaign(dut, PowerMeter(PowerMeterSpec{}, 72), fast_campaign());
+  campaign.set_fault_plan(
+      BenchFaultPlan().meter_nan(ExperimentKind::kIdle, 0, 0.5));
+  (void)campaign.run_base();
+  (void)campaign.run_idle(kDac100, 12);
+
+  const CsvTable csv = campaign.history_csv();
+  ASSERT_EQ(csv.row_count(), 2u);
+  for (const char* column :
+       {"experiment", "profile", "pairs", "offered_rate_gbps", "frame_bytes",
+        "started_at", "mean_power_w", "stddev_w", "samples", "rejected",
+        "quality", "retries"}) {
+    EXPECT_NO_THROW((void)csv.column(column)) << column;
+  }
+  EXPECT_EQ(csv.cell(0, "quality"), "clean");
+  EXPECT_EQ(csv.cell_int64(0, "rejected"), 0);
+  EXPECT_EQ(csv.cell(1, "quality"), "recovered");
+  EXPECT_EQ(csv.cell_int64(1, "rejected"), 1);
+  // The notebook row agrees with the in-memory history.
+  const HistoryEntry& idle = campaign.history()[1];
+  EXPECT_NEAR(csv.cell_double(1, "mean_power_w"),
+              idle.measurement.mean_power_w, 5e-4);
+  EXPECT_EQ(static_cast<std::size_t>(csv.cell_int64(1, "samples")),
+            idle.measurement.sample_count);
+  EXPECT_EQ(csv.cell_int64(1, "retries"), idle.retries);
+}
+
+}  // namespace
+}  // namespace joules

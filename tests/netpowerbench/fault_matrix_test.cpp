@@ -1,0 +1,270 @@
+// The fault matrix: seeded bench faults demonstrating the campaign layer's
+// acceptance criteria end to end —
+//   (a) disturbed windows are detected, retried, and excluded;
+//   (b) a campaign killed mid-run resumes from its checkpoint with no
+//       duplicated or lost runs, faults included;
+//   (c) robust coefficients under faults stay within the clean-bench
+//       envelope while the naive bench's measurably do not.
+// These run longer than the unit suites and carry the `faultmatrix` ctest
+// label so CI can schedule them (with per-test timeouts) separately.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "device/catalog.hpp"
+#include "netpowerbench/campaign.hpp"
+#include "netpowerbench/derivation.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+namespace fs = std::filesystem;
+
+const ProfileKey kDac100{PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                         LineRate::kG100};
+
+OrchestratorOptions fast_lab() {
+  OrchestratorOptions options;
+  options.start_time = make_time(2025, 2, 1);
+  options.settle_s = 30;
+  options.measure_s = 120;
+  options.repeats = 2;
+  return options;
+}
+
+CampaignOptions fast_campaign(fs::path checkpoint = {}) {
+  CampaignOptions options;
+  options.lab = fast_lab();
+  options.checkpoint_path = std::move(checkpoint);
+  return options;
+}
+
+DerivationOptions small_battery() {
+  DerivationOptions options;
+  options.pair_ladder = {4, 12};
+  options.frame_sizes = {256, 1500};
+  options.rate_steps = 2;
+  return options;
+}
+
+// The full §5.2 battery scripted with one fault of every family that the
+// robust gates must catch: a meter spike, a NaN reading, a stuck channel, a
+// dropout, and a DUT reboot. (OS updates persist beyond their window by
+// design — Fig. 8 — so they are exercised separately below.)
+BenchFaultPlan scripted_matrix() {
+  return BenchFaultPlan()
+      .meter_spike(ExperimentKind::kIdle, 0, 0.4, 450.0, 4)
+      .meter_nan(ExperimentKind::kPort, 1, 0.5)
+      .meter_stuck(ExperimentKind::kTrx, 0, 0.3, 0.4)
+      .meter_dropout(ExperimentKind::kSnake, 2, 0.2, 0.5)
+      .dut_reboot(ExperimentKind::kTrx, 3, 0.4, 45);
+}
+
+struct TempFile {
+  explicit TempFile(const char* name)
+      : path(fs::temp_directory_path() / name) {
+    fs::remove(path);
+  }
+  ~TempFile() { fs::remove(path); }
+  fs::path path;
+};
+
+DerivedModel derive_clean(std::uint64_t seed) {
+  SimulatedRouter dut(find_router_spec("NCS-55A1-24H").value(), seed);
+  Orchestrator orchestrator(dut, PowerMeter(PowerMeterSpec{}, seed + 1),
+                            fast_lab());
+  return derive_power_model(orchestrator, {kDac100}, small_battery());
+}
+
+// (a) Disturbed windows are detected, retried within the budget, and what
+// stays dirty is excluded rather than averaged.
+TEST(FaultMatrix, DisturbedWindowsDetectedRetriedAndExcluded) {
+  SimulatedRouter dut(find_router_spec("NCS-55A1-24H").value(), 101);
+  Campaign campaign(dut, PowerMeter(PowerMeterSpec{}, 102), fast_campaign());
+  campaign.set_fault_plan(scripted_matrix());
+  const DerivedModel derived =
+      derive_power_model(campaign, {kDac100}, small_battery());
+
+  const CampaignStats& stats = campaign.stats();
+  EXPECT_EQ(stats.faults.windows_faulted, 5u);
+  // Sample-level faults (spike, NaN) recover by rejection; window-level
+  // faults (stuck, dropout, reboot) force re-measurement.
+  EXPECT_GT(stats.samples_rejected, 0u);
+  EXPECT_GE(stats.windows_retried, 3u);
+  EXPECT_EQ(stats.windows_discarded, 0u);  // budget of 2 covers one bad window
+
+  // Every faulted run is flagged, nothing silently averaged a disturbance.
+  std::size_t recovered = 0;
+  for (const HistoryEntry& entry : campaign.history()) {
+    EXPECT_NE(entry.measurement.quality, WindowQuality::kDisturbed);
+    if (entry.measurement.quality == WindowQuality::kRecovered) ++recovered;
+  }
+  EXPECT_GE(recovered, 5u);
+  ASSERT_EQ(derived.derivations.size(), 1u);
+  EXPECT_EQ(derived.derivations[0].quality.overall(), TermConfidence::kReduced);
+}
+
+// A fault the budget cannot absorb: the run is marked disturbed, its garbage
+// is excluded from the fits, and the affected terms degrade honestly.
+TEST(FaultMatrix, BudgetExhaustionDegradesToPartialModel) {
+  // Reboot every Idle window this short battery can reach: retries included.
+  BenchFaultPlan plan;
+  for (std::uint64_t window = 0; window < 8; ++window) {
+    plan.dut_reboot(ExperimentKind::kIdle, window, 0.3, 50);
+  }
+  SimulatedRouter dut(find_router_spec("NCS-55A1-24H").value(), 111);
+  Campaign campaign(dut, PowerMeter(PowerMeterSpec{}, 112), fast_campaign());
+  campaign.set_fault_plan(plan);
+  const DerivedModel derived =
+      derive_power_model(campaign, {kDac100}, small_battery());
+
+  EXPECT_GT(campaign.stats().windows_discarded, 0u);
+  ASSERT_EQ(derived.derivations.size(), 1u);
+  const ProfileDerivation& derivation = derived.derivations[0];
+  // Idle feeds Eq. 8: P_trx,in is not estimable and must be zeroed, not
+  // fabricated; the downstream unpicking (Eq. 9/10) degrades with it.
+  EXPECT_EQ(derivation.quality.trx_in, TermConfidence::kLow);
+  EXPECT_DOUBLE_EQ(derivation.profile.trx_in_power_w, 0.0);
+  EXPECT_EQ(derivation.quality.trx_up, TermConfidence::kLow);
+  // Terms fed by clean experiments keep their confidence.
+  EXPECT_EQ(derivation.quality.energy, TermConfidence::kHigh);
+  EXPECT_FALSE(std::isnan(derivation.profile.energy_per_bit_j));
+}
+
+// (b) Kill the campaign mid-battery — faults in flight — and resume: the
+// merged history equals the uninterrupted run's, bit for bit.
+TEST(FaultMatrix, ResumeUnderFaultsLosesAndDuplicatesNothing) {
+  const RouterSpec spec = find_router_spec("NCS-55A1-24H").value();
+  TempFile checkpoint("joules_fault_matrix_resume.csv");
+
+  SimulatedRouter reference_dut(spec, 121);
+  Campaign reference(reference_dut, PowerMeter(PowerMeterSpec{}, 122),
+                     fast_campaign());
+  reference.set_fault_plan(scripted_matrix());
+  const DerivedModel expected =
+      derive_power_model(reference, {kDac100}, small_battery());
+
+  {
+    SimulatedRouter dut(spec, 121);
+    Campaign killed(dut, PowerMeter(PowerMeterSpec{}, 122),
+                    fast_campaign(checkpoint.path));
+    killed.set_fault_plan(scripted_matrix());
+    // Die partway through the ladder: after Base, Idle, and one Port run.
+    (void)killed.run_base();
+    (void)killed.run_idle(kDac100, 12);
+    (void)killed.run_port(kDac100, 4);
+  }
+
+  SimulatedRouter dut(spec, 121);
+  Campaign resumed(dut, PowerMeter(PowerMeterSpec{}, 122),
+                   fast_campaign(checkpoint.path));
+  resumed.set_fault_plan(scripted_matrix());
+  EXPECT_EQ(resumed.pending_replays(), 3u);
+  const DerivedModel derived =
+      derive_power_model(resumed, {kDac100}, small_battery());
+
+  EXPECT_EQ(resumed.stats().runs_replayed, 3u);
+  EXPECT_EQ(expected.model, derived.model);
+  ASSERT_EQ(reference.history().size(), resumed.history().size());
+  for (std::size_t i = 0; i < reference.history().size(); ++i) {
+    EXPECT_EQ(reference.history()[i].started_at,
+              resumed.history()[i].started_at);
+    EXPECT_EQ(reference.history()[i].measurement,
+              resumed.history()[i].measurement);
+  }
+}
+
+// (c) Under the fault matrix, robust coefficients stay inside the clean-bench
+// envelope; the naive bench's are measurably poisoned.
+TEST(FaultMatrix, RobustCoefficientsSurviveFaultsNaiveOnesDoNot) {
+  const RouterSpec spec = find_router_spec("NCS-55A1-24H").value();
+
+  // Clean-bench confidence interval: the spread over several physical units
+  // (cf. SeedSensitivity.DifferentUnitsDifferWithinEnvelope), widened to a
+  // generous +-3 W band around the clean value for the idle-derived term.
+  const DerivedModel clean = derive_clean(131);
+  const InterfaceProfile clean_profile = *clean.model.find_profile(kDac100);
+
+  // Same physical unit, same fault plan, two benches.
+  const BenchFaultPlan plan = scripted_matrix();
+  SimulatedRouter naive_dut(spec, 131);
+  Orchestrator naive_bench(naive_dut, PowerMeter(PowerMeterSpec{}, 132),
+                           fast_lab());
+  naive_bench.set_fault_plan(plan);
+  const DerivedModel naive =
+      derive_power_model(naive_bench, {kDac100}, small_battery());
+
+  SimulatedRouter robust_dut(spec, 131);
+  Campaign robust_bench(robust_dut, PowerMeter(PowerMeterSpec{}, 132),
+                        fast_campaign());
+  robust_bench.set_fault_plan(plan);
+  const DerivedModel robust =
+      derive_power_model(robust_bench, {kDac100}, small_battery());
+  const InterfaceProfile robust_profile = *robust.model.find_profile(kDac100);
+  const InterfaceProfile naive_profile = *naive.model.find_profile(kDac100);
+
+  // Robust: within the clean envelope everywhere the paper's Table 2 cares.
+  EXPECT_NEAR(robust.base_power_w, clean.base_power_w, 3.0);
+  EXPECT_NEAR(robust_profile.trx_in_power_w, clean_profile.trx_in_power_w, 0.2);
+  EXPECT_GT(robust_profile.port_power_w, 0.22);
+  EXPECT_LT(robust_profile.port_power_w, 0.50);
+  EXPECT_NEAR(robust_profile.port_power_w, clean_profile.port_power_w, 0.1);
+  EXPECT_NEAR(robust_profile.trx_up_power_w, clean_profile.trx_up_power_w, 0.2);
+
+  // Naive: the spiked Idle window alone shifts P_Idle by 450*4/240 = 7.5 W,
+  // i.e. P_trx,in by ~0.3 W (~double its truth); the NaN Port reading turns
+  // the Port fit to NaN; the rebooted Trx window craters a ladder point by
+  // hundreds of watts. None of the poisoned terms lands inside the clean
+  // envelope (NaN fails every comparison, which is the point).
+  EXPECT_GT(std::fabs(naive_profile.trx_in_power_w -
+                      clean_profile.trx_in_power_w),
+            0.25);
+  EXPECT_FALSE(naive_profile.port_power_w > 0.22 &&
+               naive_profile.port_power_w < 0.50);
+  EXPECT_FALSE(std::fabs(naive_profile.trx_up_power_w -
+                         clean_profile.trx_up_power_w) < 1.0);
+}
+
+// OS updates persist past their window (Fig. 8): the steadiness gate catches
+// the stepped window, the retry measures the *new* plateau, and the campaign
+// carries on — the documented behavior for persistent DUT state changes.
+TEST(FaultMatrix, OsUpdateMidWindowIsCaughtByTheSteadinessGate) {
+  const RouterSpec spec = find_router_spec("8201-32FH").value();
+  SimulatedRouter dut(spec, 141);
+  Campaign campaign(dut, PowerMeter(PowerMeterSpec{}, 142), fast_campaign());
+  campaign.set_fault_plan(
+      BenchFaultPlan().dut_os_update(ExperimentKind::kBase, 0, 0.5));
+  const Measurement base = campaign.run_base();
+  // The fan-policy bump on this model is ~45 W: impossible to miss.
+  EXPECT_EQ(base.quality, WindowQuality::kRecovered);
+  EXPECT_GE(campaign.stats().windows_retried, 1u);
+}
+
+// Randomized soak: seeded probabilistic disturbance over the whole battery
+// still yields a flagged, finite, within-envelope model.
+TEST(FaultMatrix, RandomDisturbanceSoak) {
+  SimulatedRouter dut(find_router_spec("NCS-55A1-24H").value(), 151);
+  CampaignOptions options = fast_campaign();
+  options.retry_budget = 4;
+  Campaign campaign(dut, PowerMeter(PowerMeterSpec{}, 152), options);
+  campaign.set_fault_plan(BenchFaultPlan(77).disturb_randomly(0.25));
+  const DerivedModel derived =
+      derive_power_model(campaign, {kDac100}, small_battery());
+
+  EXPECT_GT(campaign.stats().faults.windows_faulted, 0u);
+  const InterfaceProfile& profile = *derived.model.find_profile(kDac100);
+  EXPECT_TRUE(std::isfinite(profile.port_power_w));
+  EXPECT_TRUE(std::isfinite(profile.energy_per_bit_j));
+  EXPECT_GT(derived.base_power_w, 100.0);
+  // Whatever the dice did, nothing disturbed leaked into the model unflagged.
+  for (const HistoryEntry& entry : campaign.history()) {
+    if (entry.measurement.quality == WindowQuality::kDisturbed) {
+      EXPECT_GT(entry.measurement.rejected_count, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace joules

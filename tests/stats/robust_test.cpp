@@ -1,0 +1,159 @@
+// Robust window validation: the gates that keep a disturbed measurement
+// window out of a regression (MAD outlier rejection, steadiness, dropout
+// fraction, stuck-channel detection).
+#include "stats/robust.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace joules {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// A plausible clean window: plateau around 400 W with bounded meter noise.
+std::vector<double> clean_window(std::size_t n, double level = 400.0) {
+  std::vector<double> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Deterministic sub-watt wiggle, nothing near any gate threshold.
+    samples.push_back(level + 0.08 * std::sin(0.7 * static_cast<double>(i)) +
+                      0.03 * static_cast<double>(i % 5));
+  }
+  return samples;
+}
+
+TEST(MedianAbsoluteDeviation, DegenerateInputsGiveZero) {
+  EXPECT_DOUBLE_EQ(median_absolute_deviation({}), 0.0);
+  const std::vector<double> one{42.0};
+  EXPECT_DOUBLE_EQ(median_absolute_deviation(one), 0.0);
+}
+
+TEST(MedianAbsoluteDeviation, MatchesHandComputedValue) {
+  // median = 3, deviations {2, 1, 0, 1, 2} -> MAD = 1.
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(median_absolute_deviation(values), 1.0);
+}
+
+TEST(MedianAbsoluteDeviation, ImmuneToASingleOutlier) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0, 1000.0};
+  EXPECT_DOUBLE_EQ(median_absolute_deviation(values), 1.0);
+}
+
+TEST(ValidateWindow, CleanWindowAcceptedWhole) {
+  const std::vector<double> samples = clean_window(120);
+  const WindowValidation v = validate_window(samples, samples.size());
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(v.rejected, 0u);
+  ASSERT_EQ(v.accepted.size(), samples.size());
+  // Original order and exact values preserved (the bit-identical no-fault
+  // equivalence of Campaign vs Orchestrator depends on this).
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(v.accepted[i], samples[i]);
+  }
+}
+
+TEST(ValidateWindow, NanReadingsAreRejectedNotPropagated) {
+  std::vector<double> samples = clean_window(120);
+  samples[17] = kNaN;
+  samples[90] = kNaN;
+  const WindowValidation v = validate_window(samples, samples.size());
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(v.rejected, 2u);
+  EXPECT_EQ(v.accepted.size(), samples.size() - 2);
+  for (const double value : v.accepted) EXPECT_TRUE(std::isfinite(value));
+}
+
+TEST(ValidateWindow, MeterSpikeRejectedByMadGate) {
+  std::vector<double> samples = clean_window(120);
+  samples[60] += 250.0;  // one huge reading
+  samples[61] += 250.0;
+  const WindowValidation v = validate_window(samples, samples.size());
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(v.rejected, 2u);
+  for (const double value : v.accepted) EXPECT_LT(value, 500.0);
+}
+
+TEST(ValidateWindow, SmallSpikeUnderThresholdFloorIsKept) {
+  // The 2.5 W floor protects benign samples in low-MAD windows.
+  std::vector<double> samples = clean_window(120);
+  samples[60] += 2.0;
+  const WindowValidation v = validate_window(samples, samples.size());
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(v.rejected, 0u);
+}
+
+TEST(ValidateWindow, MidWindowStepFailsSteadiness) {
+  // A reboot/OS-update/fan-step moves the plateau: halves disagree.
+  std::vector<double> samples = clean_window(60, 400.0);
+  const std::vector<double> second = clean_window(60, 430.0);
+  samples.insert(samples.end(), second.begin(), second.end());
+  const WindowValidation v = validate_window(samples, samples.size());
+  EXPECT_FALSE(v.steady);
+  EXPECT_FALSE(v.ok());
+  EXPECT_GT(v.drift_w, 5.0);
+}
+
+TEST(ValidateWindow, DriftLimitScalesWithPowerLevel) {
+  // 2% of an 8 kW chassis is 160 W: a 20 W wobble must still pass there,
+  // while the absolute 5 W limit governs small fixed routers.
+  std::vector<double> samples = clean_window(60, 8000.0);
+  const std::vector<double> second = clean_window(60, 8020.0);
+  samples.insert(samples.end(), second.begin(), second.end());
+  const WindowValidation v = validate_window(samples, samples.size());
+  EXPECT_TRUE(v.steady);
+  EXPECT_TRUE(v.ok());
+}
+
+TEST(ValidateWindow, DropoutFractionGate) {
+  // The meter delivered 60 of 120 expected samples: disturbed.
+  const std::vector<double> samples = clean_window(60);
+  const WindowValidation v = validate_window(samples, 120);
+  EXPECT_FALSE(v.enough_samples);
+  EXPECT_FALSE(v.ok());
+  // The same 60 samples with the right expectation pass.
+  EXPECT_TRUE(validate_window(samples, 60).ok());
+}
+
+TEST(ValidateWindow, StuckChannelDetected) {
+  std::vector<double> samples = clean_window(120);
+  for (std::size_t i = 40; i < 60; ++i) samples[i] = samples[39];
+  const WindowValidation v = validate_window(samples, samples.size());
+  EXPECT_TRUE(v.stuck);
+  EXPECT_GE(v.longest_identical_run, 20u);
+  EXPECT_FALSE(v.ok());
+}
+
+TEST(ValidateWindow, ShortIdenticalRunsAreAllowed) {
+  std::vector<double> samples = clean_window(120);
+  for (std::size_t i = 40; i < 45; ++i) samples[i] = samples[39];
+  const WindowValidation v = validate_window(samples, samples.size());
+  EXPECT_FALSE(v.stuck);
+  EXPECT_TRUE(v.ok());
+}
+
+TEST(ValidateWindow, DegenerateWindowsNeverProduceNaN) {
+  const WindowValidation empty = validate_window({}, 0);
+  EXPECT_EQ(empty.rejected, 0u);
+  EXPECT_TRUE(empty.accepted.empty());
+  EXPECT_FALSE(std::isnan(empty.drift_w));
+
+  const std::vector<double> one{358.0};
+  const WindowValidation single = validate_window(one, 1);
+  EXPECT_EQ(single.accepted.size(), 1u);
+  EXPECT_FALSE(std::isnan(single.drift_w));
+}
+
+TEST(ValidateWindow, AllNanWindowIsDisturbed) {
+  const std::vector<double> samples(100, kNaN);
+  const WindowValidation v = validate_window(samples, samples.size());
+  EXPECT_EQ(v.rejected, 100u);
+  EXPECT_TRUE(v.accepted.empty());
+  EXPECT_FALSE(v.ok());
+}
+
+}  // namespace
+}  // namespace joules

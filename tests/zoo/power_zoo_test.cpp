@@ -6,6 +6,7 @@
 
 #include "datasheet/corpus.hpp"
 #include "device/catalog.hpp"
+#include "util/csv.hpp"
 #include "util/units.hpp"
 
 namespace joules {
@@ -156,9 +157,56 @@ TEST(PowerZoo, SaveLoadRoundTrip) {
   EXPECT_EQ(measurements[0].source, MeasurementSource::kSnmp);
   EXPECT_DOUBLE_EQ(measurements[0].median_power_w, 358.0);
   EXPECT_EQ(measurements[0].sample_count, 8640u);
+  EXPECT_EQ(measurements[0].rejected_count, 0u);
+  EXPECT_EQ(measurements[0].quality, WindowQuality::kClean);
 
   ASSERT_EQ(loaded.psu_observations().size(), 1u);
   EXPECT_DOUBLE_EQ(loaded.psu_observations()[0].output_power_w, 168.25);
+}
+
+TEST(PowerZoo, LabMeasurementQualityRoundTrips) {
+  PowerZoo zoo;
+  MeasurementSummary lab = sample_measurement();
+  lab.router_name = "";
+  lab.source = MeasurementSource::kLab;
+  lab.rejected_count = 7;
+  lab.quality = WindowQuality::kRecovered;
+  zoo.add_measurement(lab);
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "joules_zoo_quality_test";
+  zoo.save(dir);
+  const PowerZoo loaded = PowerZoo::load(dir);
+  std::filesystem::remove_all(dir);
+
+  const auto measurements = loaded.measurements("NCS-55A1-24H");
+  ASSERT_EQ(measurements.size(), 1u);
+  EXPECT_EQ(measurements[0].source, MeasurementSource::kLab);
+  EXPECT_EQ(measurements[0].rejected_count, 7u);
+  EXPECT_EQ(measurements[0].quality, WindowQuality::kRecovered);
+}
+
+TEST(PowerZoo, LoadsPreQualityMeasurementFiles) {
+  // Zoo directories written before the campaign layer lack the provenance
+  // columns; they must keep loading as clean measurements.
+  PowerZoo zoo;
+  zoo.add_measurement(sample_measurement());
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "joules_zoo_legacy_test";
+  zoo.save(dir);
+  // Rewrite measurements.csv with the legacy schema.
+  CsvTable legacy({"device", "router", "source", "window_begin", "window_end",
+                   "median_w", "mean_w", "samples"});
+  legacy.add_row({"NCS-55A1-24H", "pop03-r1", "snmp", "100", "200", "358",
+                  "360.5", "8640"});
+  legacy.write_file(dir / "measurements.csv");
+
+  const PowerZoo loaded = PowerZoo::load(dir);
+  std::filesystem::remove_all(dir);
+  const auto measurements = loaded.measurements("NCS-55A1-24H");
+  ASSERT_EQ(measurements.size(), 1u);
+  EXPECT_EQ(measurements[0].rejected_count, 0u);
+  EXPECT_EQ(measurements[0].quality, WindowQuality::kClean);
 }
 
 TEST(PowerZoo, MeasurementSourceParsing) {

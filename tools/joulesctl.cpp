@@ -1,6 +1,9 @@
 // joulesctl — command-line front end to the library.
 //
 //   joulesctl derive <router-model> [out.csv]     derive a power model (sim lab)
+//   joulesctl campaign <router-model> <checkpoint.csv> [disturb-prob] [out.csv]
+//                                                 fault-tolerant derivation with
+//                                                 crash-safe resume
 //   joulesctl models                              list known router models
 //   joulesctl predict <model.csv> <util%> [ifaces] predict power at a utilization
 //   joulesctl datasheet <file>                    parse a datasheet text file
@@ -8,7 +11,8 @@
 //   joulesctl zoo-stats <dir>                     summarize a Power Zoo directory
 //   joulesctl zoo-dossier <dir> <model>           one device across all sources
 //
-// Exit codes: 0 ok, 1 usage error, 2 runtime failure.
+// Exit codes: 0 ok, 1 usage error, 2 runtime failure, 3 campaign completed
+// but produced low-confidence (partial) model terms.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -19,6 +23,7 @@
 #include "datasheet/parser.hpp"
 #include "device/catalog.hpp"
 #include "model/model_io.hpp"
+#include "netpowerbench/campaign.hpp"
 #include "netpowerbench/derivation.hpp"
 #include "network/dataset.hpp"
 #include "network/simulation.hpp"
@@ -33,6 +38,8 @@ int usage() {
   std::fputs(
       "usage:\n"
       "  joulesctl derive <router-model> [out.csv]\n"
+      "  joulesctl campaign <router-model> <checkpoint.csv> [disturb-prob] "
+      "[out.csv]\n"
       "  joulesctl models\n"
       "  joulesctl predict <model.csv> <utilization%%> [interfaces]\n"
       "  joulesctl datasheet <file>\n"
@@ -74,6 +81,76 @@ int cmd_derive(const std::string& model_name, const std::string& out_path) {
   if (!out_path.empty()) {
     model_to_csv(derived.model).write_file(out_path);
     std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_campaign(const std::string& model_name, const std::string& checkpoint,
+                 double disturb_prob, const std::string& out_path) {
+  const auto spec = find_router_spec(model_name);
+  if (!spec) {
+    std::fprintf(stderr, "unknown model '%s' (see: joulesctl models)\n",
+                 model_name.c_str());
+    return 1;
+  }
+  if (disturb_prob < 0.0 || disturb_prob > 1.0) {
+    std::fputs("disturb probability must be in [0, 1]\n", stderr);
+    return 1;
+  }
+  SimulatedRouter dut(*spec, 20250706);
+  CampaignOptions options;
+  options.lab.start_time = make_time(2025, 7, 1);
+  options.lab.measure_s = 900;
+  options.checkpoint_path = checkpoint;
+  Campaign campaign(dut, PowerMeter(PowerMeterSpec{}, 20250707), options);
+  if (disturb_prob > 0.0) {
+    campaign.set_fault_plan(
+        BenchFaultPlan(20250708).disturb_randomly(disturb_prob));
+  }
+  if (campaign.pending_replays() > 0) {
+    std::printf("resuming from %s: %zu completed runs to replay\n",
+                checkpoint.c_str(), campaign.pending_replays());
+  }
+
+  std::vector<ProfileKey> keys;
+  for (const InterfaceProfile& profile : spec->truth.profiles()) {
+    keys.push_back(profile.key);
+  }
+  const DerivedModel derived = derive_power_model(campaign, keys);
+  std::printf("%s", render_model_table(model_name, derived.model).c_str());
+
+  const CampaignStats& stats = campaign.stats();
+  std::printf(
+      "campaign: %zu windows measured, %zu retried, %zu discarded, "
+      "%zu samples rejected, %zu runs replayed\n",
+      stats.windows_measured, stats.windows_retried, stats.windows_discarded,
+      stats.samples_rejected, stats.runs_replayed);
+
+  TermConfidence overall = derived.base_confidence;
+  std::printf("confidence: base %s\n",
+              std::string(to_string(derived.base_confidence)).c_str());
+  for (const ProfileDerivation& derivation : derived.derivations) {
+    const ProfileQuality& q = derivation.quality;
+    std::printf(
+        "  %-16s trx_in %s, port %s, trx_up %s, energy %s, offset %s"
+        " (%zu runs excluded)\n",
+        to_string(derivation.profile.key).c_str(),
+        std::string(to_string(q.trx_in)).c_str(),
+        std::string(to_string(q.port)).c_str(),
+        std::string(to_string(q.trx_up)).c_str(),
+        std::string(to_string(q.energy)).c_str(),
+        std::string(to_string(q.offset)).c_str(), q.runs_excluded);
+    overall = worst(overall, q.overall());
+  }
+
+  if (!out_path.empty()) {
+    model_to_csv(derived.model).write_file(out_path);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  if (overall == TermConfidence::kLow) {
+    std::fputs("campaign failed: low-confidence terms were zeroed; "
+               "re-run to extend the battery\n", stderr);
+    return 3;
   }
   return 0;
 }
@@ -183,9 +260,16 @@ int cmd_zoo_dossier(const std::string& dir, const std::string& model) {
     std::puts("  no power model on file");
   }
   for (const MeasurementSummary& m : dossier.measurements) {
-    std::printf("  %s median %.1f W (%zu samples)\n",
-                std::string(to_string(m.source)).c_str(), m.median_power_w,
-                m.sample_count);
+    if (m.quality == WindowQuality::kClean) {
+      std::printf("  %s median %.1f W (%zu samples)\n",
+                  std::string(to_string(m.source)).c_str(), m.median_power_w,
+                  m.sample_count);
+    } else {
+      std::printf("  %s median %.1f W (%zu samples, %zu rejected, %s)\n",
+                  std::string(to_string(m.source)).c_str(), m.median_power_w,
+                  m.sample_count, m.rejected_count,
+                  std::string(to_string(m.quality)).c_str());
+    }
   }
   std::printf("  PSU observations: %zu\n", dossier.psu_observations);
   return 0;
@@ -200,6 +284,11 @@ int main(int argc, char** argv) {
     if (command == "models") return cmd_models();
     if (command == "derive" && argc >= 3) {
       return cmd_derive(argv[2], argc >= 4 ? argv[3] : "");
+    }
+    if (command == "campaign" && argc >= 4) {
+      return cmd_campaign(argv[2], argv[3],
+                          argc >= 5 ? std::atof(argv[4]) : 0.0,
+                          argc >= 6 ? argv[5] : "");
     }
     if (command == "predict" && argc >= 4) {
       return cmd_predict(argv[2], std::atof(argv[3]),
