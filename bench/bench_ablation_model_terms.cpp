@@ -85,6 +85,7 @@ int main() {
   std::size_t subject = 0;
   for (std::size_t r = 0; r < sim.router_count(); ++r) {
     if (sim.topology().routers[r].model == "NCS-55A1-24H" &&
+        // joules-lint: allow(float-equality) — 0.0 is the exact "no override" sentinel
         sim.topology().routers[r].psu_capacity_override_w == 0.0 &&
         sim.active(r, begin) && sim.active(r, end)) {
       subject = r;

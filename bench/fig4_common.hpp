@@ -55,6 +55,7 @@ inline ValidationSetup make_validation_setup() {
           topology.routers[r].decommissioned_at >
               begin + 70 * kSecondsPerDay &&
           topology.routers[r].commissioned_at < begin &&
+          // joules-lint: allow(float-equality) — 0.0 is the exact "no override" sentinel
           topology.routers[r].psu_capacity_override_w == 0.0) {
         subject[model] = r;
         break;

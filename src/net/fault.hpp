@@ -126,14 +126,14 @@ struct SendFrameFault {
   std::size_t after_bytes = 0;
 };
 // Consulted by write_frame before encoding hits the wire.
-SendFrameFault on_send_frame(std::uint64_t token);
+[[nodiscard]] SendFrameFault on_send_frame(std::uint64_t token);
 
 struct RecvFrameFault {
   bool drop = false;
 };
 // Consulted by read_frame before the header read; sleeps internally when the
 // plan scripts added latency.
-RecvFrameFault on_recv_frame(std::uint64_t token);
+[[nodiscard]] RecvFrameFault on_recv_frame(std::uint64_t token);
 
 }  // namespace fault_hooks
 

@@ -37,7 +37,8 @@ class FdOwner {
 
   [[nodiscard]] int get() const noexcept { return fd_; }
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
-  int release() noexcept;
+  // Discarding the returned fd leaks it: nobody closes it afterwards.
+  [[nodiscard]] int release() noexcept;
   void reset(int fd = -1) noexcept;
 
  private:
@@ -75,9 +76,10 @@ class TcpStream {
   // Connects to 127.0.0.1:port; throws std::system_error on failure or
   // timeout (the whole connect, including the readiness wait, shares one
   // deadline).
-  static TcpStream connect_loopback(std::uint16_t port, Deadline deadline);
-  static TcpStream connect_loopback(std::uint16_t port,
-                                    Millis timeout = Millis{2000});
+  [[nodiscard]] static TcpStream connect_loopback(std::uint16_t port,
+                                                  Deadline deadline);
+  [[nodiscard]] static TcpStream connect_loopback(std::uint16_t port,
+                                                  Millis timeout = Millis{2000});
 
   [[nodiscard]] bool valid() const noexcept { return fd_.valid(); }
 
@@ -87,9 +89,11 @@ class TcpStream {
   void send_all(std::span<const std::byte> data, Millis timeout = Millis{5000});
 
   // Receives exactly `size` bytes. Returns false on clean EOF before any byte
-  // was read; throws on error, deadline expiry, or mid-message EOF.
-  bool recv_exact(std::span<std::byte> out, Deadline deadline);
-  bool recv_exact(std::span<std::byte> out, Millis timeout = Millis{5000});
+  // was read; throws on error, deadline expiry, or mid-message EOF. Ignoring
+  // the result would treat a half-open peer as delivered data.
+  [[nodiscard]] bool recv_exact(std::span<std::byte> out, Deadline deadline);
+  [[nodiscard]] bool recv_exact(std::span<std::byte> out,
+                                Millis timeout = Millis{5000});
 
   // Waits until at least one byte (or EOF) is available without consuming
   // anything; false on timeout. Lets servers poll idle connections in short

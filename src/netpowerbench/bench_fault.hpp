@@ -95,6 +95,7 @@ class BenchFaultPlan {
   BenchFaultPlan& disturb_randomly(double probability);
 
   [[nodiscard]] bool empty() const noexcept {
+    // joules-lint: allow(float-equality) — 0.0 is the exact "disabled" sentinel
     return scripted_.empty() && disturb_probability_ == 0.0;
   }
 
@@ -131,7 +132,7 @@ struct WindowSample {
 // the meter, consulting `plan` (may be nullptr) for window
 // `(kind, window_index)`. With no plan — or no fault scheduled — this is
 // bit-identical to the historical Orchestrator sampling loop.
-WindowSample sample_window(SimulatedRouter& dut, PowerMeter& meter,
+[[nodiscard]] WindowSample sample_window(SimulatedRouter& dut, PowerMeter& meter,
                            const BenchFaultPlan* plan, ExperimentKind kind,
                            std::uint64_t window_index,
                            std::span<const InterfaceLoad> loads, SimTime begin,

@@ -71,7 +71,7 @@ double input_power_w(double output_power_w, double capacity_w,
                      const EfficiencyCurve& curve) {
   if (capacity_w <= 0.0) throw std::invalid_argument("input_power_w: capacity <= 0");
   if (output_power_w < 0.0) throw std::invalid_argument("input_power_w: output < 0");
-  if (output_power_w == 0.0) return 0.0;
+  if (output_power_w == 0.0) return 0.0;  // joules-lint: allow(float-equality) — exact-zero load short-circuit
   return output_power_w / curve.at(output_power_w / capacity_w);
 }
 

@@ -86,7 +86,7 @@ double correlation(std::span<const double> x, std::span<const double> y) {
     sxx += dx * dx;
     syy += dy * dy;
   }
-  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  if (sxx == 0.0 || syy == 0.0) return 0.0;  // joules-lint: allow(float-equality) — exact-zero variance guard before division
   return sxy / std::sqrt(sxx * syy);
 }
 

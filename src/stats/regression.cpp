@@ -24,6 +24,7 @@ LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
     sxy += dx * dy;
     syy += dy * dy;
   }
+  // joules-lint: allow(float-equality) — exact-zero variance guard
   if (sxx == 0.0) throw std::invalid_argument("fit_linear: x is constant");
 
   LinearFit fit;
@@ -36,6 +37,7 @@ LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
     const double e = y[i] - fit.at(x[i]);
     ss_res += e * e;
   }
+  // joules-lint: allow(float-equality) — exact-zero variance guard
   fit.r_squared = (syy == 0.0) ? 1.0 : 1.0 - ss_res / syy;
   if (x.size() > 2) {
     fit.slope_stderr =
@@ -53,6 +55,7 @@ double fit_proportional(std::span<const double> x, std::span<const double> y) {
     sxx += x[i] * x[i];
     sxy += x[i] * y[i];
   }
+  // joules-lint: allow(float-equality) — exact-zero variance guard
   if (sxx == 0.0) throw std::invalid_argument("fit_proportional: x is all zero");
   return sxy / sxx;
 }
@@ -98,6 +101,7 @@ PlaneFit fit_plane(std::span<const double> x1, std::span<const double> x2,
   }
   const double det = s11 * s22 - s12 * s12;
   // Collinearity guard: determinant tiny relative to the regressor scales.
+  // joules-lint: allow(float-equality) — exact-zero regressor guard
   if (s11 == 0.0 || s22 == 0.0 || std::fabs(det) < 1e-12 * s11 * s22) {
     throw std::invalid_argument("fit_plane: regressors are collinear");
   }
@@ -113,6 +117,7 @@ PlaneFit fit_plane(std::span<const double> x1, std::span<const double> x2,
     const double e = y[i] - fit.at(x1[i], x2[i]);
     ss_res += e * e;
   }
+  // joules-lint: allow(float-equality) — exact-zero variance guard
   fit.r_squared = (syy == 0.0) ? 1.0 : 1.0 - ss_res / syy;
   return fit;
 }
@@ -151,6 +156,7 @@ LinearFit fit_theil_sen(std::span<const double> x, std::span<const double> y) {
     ss_res += e * e;
     syy += (y[i] - my) * (y[i] - my);
   }
+  // joules-lint: allow(float-equality) — exact-zero variance guard
   fit.r_squared = (syy == 0.0) ? 1.0 : 1.0 - ss_res / syy;
   return fit;
 }

@@ -70,4 +70,23 @@ void write_file_atomic(const std::filesystem::path& path,
   }
 }
 
+std::optional<std::string> read_text_file(const std::filesystem::path& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return std::nullopt;
+  std::string contents;
+  char buffer[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return std::nullopt;
+    }
+    if (n == 0) break;
+    contents.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return contents;
+}
+
 }  // namespace joules

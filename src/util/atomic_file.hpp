@@ -9,6 +9,8 @@
 #pragma once
 
 #include <filesystem>
+#include <optional>
+#include <string>
 #include <string_view>
 
 namespace joules {
@@ -17,5 +19,11 @@ namespace joules {
 // untouched and the temp file is removed.
 void write_file_atomic(const std::filesystem::path& path,
                        std::string_view contents);
+
+// Reads a whole file into memory; nullopt when the file cannot be opened.
+// The read-side companion to `write_file_atomic` for small state files
+// (checkpoints, allowlists, lint fixtures).
+[[nodiscard]] std::optional<std::string> read_text_file(
+    const std::filesystem::path& path);
 
 }  // namespace joules

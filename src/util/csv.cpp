@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/strings.hpp"
+
 namespace joules {
 namespace {
 
@@ -89,12 +91,21 @@ std::string CsvTable::cell(std::size_t row, const std::string& col) const {
 }
 
 double CsvTable::cell_double(std::size_t row, const std::string& col) const {
-  const std::string text = cell(row, col);
-  try {
-    return std::stod(text);
-  } catch (const std::exception&) {
+  // std::from_chars, not stod: stod honors the global locale, so a host
+  // locale with ',' as decimal separator would silently misparse checkpoint
+  // values and break exact %.17g round trips.
+  const std::string text = trim(cell(row, col));
+  // from_chars rejects an explicit leading '+' that stod tolerated.
+  std::string_view digits{text};
+  if (!digits.empty() && digits.front() == '+') digits.remove_prefix(1);
+  double value = 0.0;
+  const char* begin = digits.data();
+  const char* end = begin + digits.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || begin == end) {
     throw std::invalid_argument("CsvTable: cell '" + text + "' is not numeric");
   }
+  return value;
 }
 
 std::int64_t CsvTable::cell_int64(std::size_t row, const std::string& col) const {

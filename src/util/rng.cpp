@@ -76,7 +76,7 @@ double Rng::normal() noexcept {
     u = uniform(-1.0, 1.0);
     v = uniform(-1.0, 1.0);
     s = u * u + v * v;
-  } while (s >= 1.0 || s == 0.0);
+  } while (s >= 1.0 || s == 0.0);  // joules-lint: allow(float-equality) — Marsaglia polar rejects the exact origin
   const double factor = std::sqrt(-2.0 * std::log(s) / s);
   cached_normal_ = v * factor;
   has_cached_normal_ = true;

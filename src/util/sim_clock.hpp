@@ -30,18 +30,18 @@ struct CalendarDate {
 std::int64_t days_from_civil(int year, int month, int day) noexcept;
 
 // Unix seconds for a UTC calendar date/time.
-SimTime to_sim_time(const CalendarDate& date) noexcept;
-SimTime make_time(int year, int month, int day, int hour = 0, int minute = 0,
+[[nodiscard]] SimTime to_sim_time(const CalendarDate& date) noexcept;
+[[nodiscard]] SimTime make_time(int year, int month, int day, int hour = 0, int minute = 0,
                   int second = 0) noexcept;
 
 // Calendar breakdown of unix seconds (UTC).
-CalendarDate to_calendar(SimTime t) noexcept;
+[[nodiscard]] CalendarDate to_calendar(SimTime t) noexcept;
 
 // 0 = Monday ... 6 = Sunday.
-int day_of_week(SimTime t) noexcept;
+[[nodiscard]] int day_of_week(SimTime t) noexcept;
 
 // Seconds into the (UTC) day: [0, 86400).
-int seconds_of_day(SimTime t) noexcept;
+[[nodiscard]] int seconds_of_day(SimTime t) noexcept;
 
 // "2024-09-08" / "2024-09-08 13:05:00" / "Sep 08".
 std::string format_date(SimTime t);

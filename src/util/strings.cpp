@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cstdlib>
+#include <charconv>
 
 namespace joules {
 
@@ -113,7 +113,14 @@ std::optional<double> parse_number_at(std::string_view text, std::size_t& i) {
     }
   }
   if (!seen_digit) return std::nullopt;
-  return std::strtod(token.c_str(), nullptr);
+  // std::from_chars, not strtod: strtod's decimal point follows the global C
+  // locale, so parsed datasheet values would depend on the host environment.
+  // from_chars rejects an explicit '+', so drop it (the sign is a no-op).
+  std::string_view digits{token};
+  if (digits.front() == '+') digits.remove_prefix(1);
+  double value = 0.0;
+  std::from_chars(digits.data(), digits.data() + digits.size(), value);
+  return value;
 }
 
 }  // namespace

@@ -8,21 +8,21 @@
 
 namespace joules {
 
-std::string to_lower(std::string_view text);
-std::string trim(std::string_view text);
-std::vector<std::string> split(std::string_view text, char delimiter);
-std::vector<std::string> split_lines(std::string_view text);
-bool starts_with(std::string_view text, std::string_view prefix) noexcept;
-bool contains_ci(std::string_view haystack, std::string_view needle);
+[[nodiscard]] std::string to_lower(std::string_view text);
+[[nodiscard]] std::string trim(std::string_view text);
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char delimiter);
+[[nodiscard]] std::vector<std::string> split_lines(std::string_view text);
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+[[nodiscard]] bool contains_ci(std::string_view haystack, std::string_view needle);
 
 // Replaces every occurrence of `from` with `to`.
-std::string replace_all(std::string_view text, std::string_view from,
+[[nodiscard]] std::string replace_all(std::string_view text, std::string_view from,
                         std::string_view to);
 
 // Parses the first number in `text` (handles "1,234.5", "1 234", "450W").
-std::optional<double> parse_first_number(std::string_view text);
+[[nodiscard]] std::optional<double> parse_first_number(std::string_view text);
 
 // Parses all numbers in `text` in order of appearance.
-std::vector<double> parse_all_numbers(std::string_view text);
+[[nodiscard]] std::vector<double> parse_all_numbers(std::string_view text);
 
 }  // namespace joules

@@ -58,6 +58,7 @@ TEST_F(PipelineTest, ModelPredictionsArePreciseButOffset) {
   for (std::size_t r = 0; r < sim().router_count(); ++r) {
     const DeployedRouter& deployed = sim().topology().routers[r];
     if (deployed.model != "NCS-55A1-24H") continue;
+    // joules-lint: allow(float-equality) — 0.0 is the exact "no override" sentinel
     if (deployed.psu_capacity_override_w != 0.0) continue;
     if (!sim().active(r, begin()) ||
         !sim().active(r, begin() + 14 * kSecondsPerDay)) {

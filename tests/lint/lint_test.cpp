@@ -1,0 +1,291 @@
+// Tests for the determinism lint (tools/joules_lint). Every banned pattern
+// referenced here lives inside a string literal or a .fixture file: this
+// file is itself scanned by the lint_clean_head ctest entry, and string
+// literals are masked before rules run.
+#include "joules_lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/atomic_file.hpp"
+
+namespace {
+
+using joules::lint::Config;
+using joules::lint::Finding;
+using joules::lint::lint_source;
+using joules::lint::mask_source;
+
+std::string load_fixture(const std::string& name) {
+  const std::filesystem::path path =
+      std::filesystem::path(JOULES_LINT_FIXTURE_DIR) / name;
+  const auto contents = joules::read_text_file(path);
+  EXPECT_TRUE(contents.has_value()) << "missing fixture " << path;
+  return contents.value_or("");
+}
+
+// (line, rule) pairs in report order, for compact fixture assertions.
+std::vector<std::pair<std::size_t, std::string>> hits(
+    const std::vector<Finding>& findings) {
+  std::vector<std::pair<std::size_t, std::string>> out;
+  out.reserve(findings.size());
+  for (const Finding& finding : findings) {
+    out.emplace_back(finding.line, finding.rule);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::size_t, std::string>> lint_fixture(
+    const std::string& name) {
+  return hits(lint_source("src/sim/" + name + ".cpp", load_fixture(name), {}));
+}
+
+using Expected = std::vector<std::pair<std::size_t, std::string>>;
+
+// ---------------------------------------------------------------------------
+// Masking: comments, strings, raw strings, and char/digit-separator quirks
+// must never leak banned tokens into the scanned code channel.
+
+TEST(MaskSource, CommentsAndStringsAreMasked) {
+  const std::string src =
+      "int x = 5;  // std::random_device in a comment\n"
+      "const char* s = \"std::random_device in a string\";\n";
+  const auto masked = mask_source(src);
+  ASSERT_EQ(masked.code.size(), 2u);
+  EXPECT_EQ(masked.code[0].find("random_device"), std::string::npos);
+  EXPECT_EQ(masked.code[1].find("random_device"), std::string::npos);
+  EXPECT_NE(masked.comments[0].find("random_device"), std::string::npos);
+  EXPECT_TRUE(lint_source("src/sim/masked.cpp", src, {}).empty());
+}
+
+TEST(MaskSource, RawStringsAreMasked) {
+  const std::string src =
+      "const char* s = R\"(std::random_device)\";\n"
+      "const char* t = R\"x(srand(1); rand())x\";\n";
+  const auto masked = mask_source(src);
+  ASSERT_EQ(masked.code.size(), 2u);
+  EXPECT_EQ(masked.code[0].find("random_device"), std::string::npos);
+  EXPECT_EQ(masked.code[1].find("rand"), std::string::npos);
+  EXPECT_TRUE(lint_source("src/sim/raw.cpp", src, {}).empty());
+}
+
+TEST(MaskSource, DigitSeparatorIsNotACharLiteral) {
+  // If 60'000 opened a char literal, everything after it would be masked
+  // and the violation on the same line would be missed.
+  const std::string src = "int ms = 60'000; std::random_device rd;\n";
+  const auto findings = lint_source("src/sim/sep.cpp", src, {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "random-device");
+  EXPECT_EQ(findings[0].line, 1u);
+}
+
+TEST(MaskSource, CharLiteralContentsAreMasked) {
+  const std::string src = "char c = ':'; std::random_device rd;\n";
+  const auto findings = lint_source("src/sim/chr.cpp", src, {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "random-device");
+}
+
+TEST(MaskSource, BlockCommentsSpanLines) {
+  const std::string src =
+      "/* std::random_device\n"
+      "   srand(1) still in the comment */ int x = 0;\n";
+  EXPECT_TRUE(lint_source("src/sim/blk.cpp", src, {}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// One fixture per rule family; line numbers are annotated in the fixtures.
+
+TEST(LintRules, RandomSourceFixture) {
+  const Expected expected = {{6, "unseeded-rng"},
+                             {7, "unseeded-rng"},
+                             {9, "random-device"},
+                             {14, "libc-rand"},
+                             {15, "libc-rand"}};
+  EXPECT_EQ(lint_fixture("rng_violations.fixture"), expected);
+}
+
+TEST(LintRules, WallClockFixture) {
+  const Expected expected = {{5, "wall-clock"},
+                             {6, "wall-clock"},
+                             {7, "wall-clock"},
+                             {8, "wall-clock"}};
+  EXPECT_EQ(lint_fixture("clock_violations.fixture"), expected);
+}
+
+TEST(LintRules, FloatEqualityFixture) {
+  const Expected expected = {{2, "float-equality"},
+                             {3, "float-equality"},
+                             {4, "float-equality"},
+                             {5, "float-equality"}};
+  EXPECT_EQ(lint_fixture("float_eq_violations.fixture"), expected);
+}
+
+TEST(LintRules, UnorderedIterationFixture) {
+  const Expected expected = {{13, "unordered-iteration"},
+                             {16, "unordered-iteration"}};
+  EXPECT_EQ(lint_fixture("unordered_violations.fixture"), expected);
+}
+
+TEST(LintRules, LocaleFormatFixture) {
+  const Expected expected = {{8, "locale-format"},
+                             {9, "locale-format"},
+                             {10, "locale-format"},
+                             {11, "locale-format"},
+                             {12, "locale-format"}};
+  EXPECT_EQ(lint_fixture("locale_violations.fixture"), expected);
+}
+
+TEST(LintRules, LocaleConversionOnlyFlaggedInSerializationFiles) {
+  // std::to_string alone is allowed in files with no serialization marker.
+  const std::string src = "std::string s = std::to_string(v);\n";
+  EXPECT_TRUE(lint_source("src/sim/plain.cpp", src, {}).empty());
+  const std::string ser =
+      "void save_state();\nstd::string s = std::to_string(v);\n";
+  const auto findings = lint_source("src/sim/ser.cpp", ser, {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "locale-format");
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Suppression pragmas.
+
+TEST(Suppressions, PragmaFixture) {
+  // ok1 (same-line pragma) and ok2 (standalone pragma above) are suppressed;
+  // bad1 lacks a reason, bad2 names an unknown rule — both yield
+  // bad-suppression AND leave the underlying violation unsuppressed.
+  const Expected expected = {{7, "bad-suppression"}, {7, "random-device"},
+                             {8, "bad-suppression"}, {8, "random-device"},
+                             {9, "random-device"}};
+  EXPECT_EQ(lint_fixture("suppressions.fixture"), expected);
+}
+
+TEST(Suppressions, ReasonSurvivesAsciiAndUnicodeDashes) {
+  const std::string ascii =
+      "std::random_device rd;  // joules-lint: allow(random-device) -- why\n";
+  EXPECT_TRUE(lint_source("src/sim/a.cpp", ascii, {}).empty());
+  const std::string colon =
+      "std::random_device rd;  // joules-lint: allow(random-device): why\n";
+  EXPECT_TRUE(lint_source("src/sim/b.cpp", colon, {}).empty());
+}
+
+TEST(Suppressions, StandalonePragmaDoesNotLeakPastNextLine) {
+  const std::string src =
+      "// joules-lint: allow(random-device) -- only the next line\n"
+      "std::random_device a;\n"
+      "std::random_device b;\n";
+  const auto findings = lint_source("src/sim/leak.cpp", src, {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST(Suppressions, PragmaOnlySuppressesNamedRule) {
+  const std::string src =
+      "std::random_device rd;  // joules-lint: allow(wall-clock) -- wrong rule\n";
+  const auto findings = lint_source("src/sim/wrong.cpp", src, {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "random-device");
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist parsing and application.
+
+TEST(Allowlist, ParsesEntriesAndSkipsComments) {
+  const std::string text =
+      "# wall-clock sites that do real I/O\n"
+      "\n"
+      "src/net/socket.cpp wall-clock deadline I/O uses the host clock\n";
+  const auto entries = joules::lint::parse_allowlist(text);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].path, "src/net/socket.cpp");
+  EXPECT_EQ(entries[0].rule, "wall-clock");
+  EXPECT_EQ(entries[0].reason, "deadline I/O uses the host clock");
+}
+
+TEST(Allowlist, RejectsMalformedLines) {
+  EXPECT_THROW((void)joules::lint::parse_allowlist("src/x.cpp wall-clock"),
+               std::invalid_argument);  // no reason
+  EXPECT_THROW(
+      (void)joules::lint::parse_allowlist("src/x.cpp not-a-rule some reason"),
+      std::invalid_argument);  // unknown rule
+}
+
+TEST(Allowlist, MatchesExactFileAndDirectoryPrefix) {
+  Config config;
+  config.allowlist = joules::lint::parse_allowlist(
+      "src/net/socket.cpp wall-clock reason one\n"
+      "src/net wall-clock reason two\n");
+  const std::string clock_src = "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(lint_source("src/net/socket.cpp", clock_src, config).empty());
+  EXPECT_TRUE(lint_source("src/net/deep/file.cpp", clock_src, config).empty());
+  // "src/net" must not prefix-match "src/network/…".
+  EXPECT_EQ(lint_source("src/network/sim.cpp", clock_src, config).size(), 1u);
+  // An allowlisted path only covers its named rule.
+  const std::string rng_src = "std::random_device rd;\n";
+  EXPECT_EQ(lint_source("src/net/socket.cpp", rng_src, config).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Rule table, report rendering, and the acceptance-criterion smoke tests.
+
+TEST(RuleTable, AllRulesAreSelfConsistent) {
+  for (const auto& rule : joules::lint::rules()) {
+    EXPECT_TRUE(joules::lint::is_known_rule(rule.id));
+    EXPECT_FALSE(rule.summary.empty());
+    EXPECT_FALSE(rule.fix_hint.empty());
+  }
+  EXPECT_FALSE(joules::lint::is_known_rule("not-a-rule"));
+}
+
+TEST(Report, ListsFindingsCountAndFixHints) {
+  joules::lint::ScanResult result;
+  result.files_scanned = 3;
+  result.findings = lint_source("src/device/fan.cpp",
+                                std::string("std::random_device rd;\n"), {});
+  ASSERT_EQ(result.findings.size(), 1u);
+  const std::string report = joules::lint::render_report(result, true);
+  EXPECT_NE(report.find("src/device/fan.cpp:1:"), std::string::npos);
+  EXPECT_NE(report.find("[random-device]"), std::string::npos);
+  EXPECT_NE(report.find("1 finding(s) in 3 file(s) scanned"), std::string::npos);
+  EXPECT_NE(report.find("fix hints:"), std::string::npos);
+  const std::string quiet =
+      joules::lint::render_report(joules::lint::ScanResult{}, true);
+  EXPECT_EQ(quiet.find("fix hints:"), std::string::npos);
+}
+
+// Mirror of the acceptance criterion: injecting a banned pattern into a
+// src/device/ path must produce a finding even under the HEAD allowlist.
+TEST(LintTree, InjectedViolationIsCaughtUnderHeadAllowlist) {
+  const std::filesystem::path root = JOULES_REPO_ROOT;
+  const auto allow_text =
+      joules::read_text_file(root / "tools/joules_lint/allowlist.txt");
+  ASSERT_TRUE(allow_text.has_value());
+  Config config;
+  config.allowlist = joules::lint::parse_allowlist(*allow_text);
+  const auto findings = lint_source(
+      "src/device/fan.cpp", std::string("std::random_device rd;\n"), config);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "random-device");
+}
+
+TEST(LintTree, HeadIsClean) {
+  const std::filesystem::path root = JOULES_REPO_ROOT;
+  const auto allow_text =
+      joules::read_text_file(root / "tools/joules_lint/allowlist.txt");
+  ASSERT_TRUE(allow_text.has_value());
+  Config config;
+  config.allowlist = joules::lint::parse_allowlist(*allow_text);
+  const auto result = joules::lint::lint_tree(
+      root, {"src", "bench", "tools", "tests"}, config);
+  EXPECT_GT(result.files_scanned, 100u);
+  EXPECT_TRUE(result.findings.empty())
+      << joules::lint::render_report(result, false);
+}
+
+}  // namespace

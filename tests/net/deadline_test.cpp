@@ -102,7 +102,7 @@ TEST(Deadline, RecvExactSharesOneDeadlineAcrossChunks) {
   });
   std::byte out[8];
   const auto start = Clock::now();
-  EXPECT_THROW(client.recv_exact(out, Millis{300}), std::system_error);
+  EXPECT_THROW((void)client.recv_exact(out, Millis{300}), std::system_error);
   const Millis took = elapsed_since(start);
   EXPECT_LT(took, Millis{1500});
   feeder.join();

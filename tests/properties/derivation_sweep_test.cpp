@@ -125,9 +125,9 @@ INSTANTIATE_TEST_SUITE_P(
                   {PortType::kRJ45, TransceiverKind::kBaseT, LineRate::kG10}},
         SweepCase{"VSP-4900",
                   {PortType::kSFPPlus, TransceiverKind::kBaseT, LineRate::kG10}}),
-    [](const ::testing::TestParamInfo<SweepCase>& info) {
-      std::string name = std::string(info.param.model) + "_" +
-                         std::string(to_string(info.param.profile.rate));
+    [](const ::testing::TestParamInfo<SweepCase>& param_info) {
+      std::string name = std::string(param_info.param.model) + "_" +
+                         std::string(to_string(param_info.param.profile.rate));
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

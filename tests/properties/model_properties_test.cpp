@@ -121,8 +121,8 @@ std::vector<std::string> all_model_names() {
 INSTANTIATE_TEST_SUITE_P(
     AllCatalogModels, CatalogModelProperties,
     ::testing::ValuesIn(all_model_names()),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      std::string name = info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      std::string name = param_info.param;
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

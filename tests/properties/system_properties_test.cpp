@@ -81,10 +81,10 @@ TEST_P(HypnosSafety, ConnectivityAndCeilingHold) {
 
 INSTANTIATE_TEST_SUITE_P(Ceilings, HypnosSafety,
                          ::testing::Values(0.3, 0.5, 0.7, 0.9),
-                         [](const ::testing::TestParamInfo<double>& info) {
+                         [](const ::testing::TestParamInfo<double>& param_info) {
                            return "ceiling_" +
                                   std::to_string(static_cast<int>(
-                                      info.param * 100));
+                                      param_info.param * 100));
                          });
 
 // ---------------------------------------------------------------------------
@@ -105,9 +105,9 @@ TEST_P(FrameSizeInversion, PacketAndBitRatesInvert) {
 
 INSTANTIATE_TEST_SUITE_P(Frames, FrameSizeInversion,
                          ::testing::Values(64.0, 128.0, 512.0, 1500.0, 9000.0),
-                         [](const ::testing::TestParamInfo<double>& info) {
+                         [](const ::testing::TestParamInfo<double>& param_info) {
                            return "bytes_" +
-                                  std::to_string(static_cast<int>(info.param));
+                                  std::to_string(static_cast<int>(param_info.param));
                          });
 
 // ---------------------------------------------------------------------------
@@ -131,8 +131,8 @@ TEST_P(EightyPlusLadder, MinimalCurveCertifiedExactlyUpToItsLevel) {
 
 INSTANTIATE_TEST_SUITE_P(Levels, EightyPlusLadder,
                          ::testing::ValuesIn(kAllEightyPlusLevels),
-                         [](const ::testing::TestParamInfo<EightyPlusLevel>& info) {
-                           return std::string(to_string(info.param));
+                         [](const ::testing::TestParamInfo<EightyPlusLevel>& param_info) {
+                           return std::string(to_string(param_info.param));
                          });
 
 // ---------------------------------------------------------------------------

@@ -12,6 +12,7 @@ TEST(EightyPlus, LevelsHaveIncreasingRequirements) {
     ASSERT_FALSE(points.empty());
     double at50 = 0.0;
     for (const SetPoint& sp : points) {
+      // joules-lint: allow(float-equality) — 0.50 is an exactly representable table key
       if (sp.load_frac == 0.50) at50 = sp.min_efficiency;
     }
     EXPECT_GT(at50, previous) << to_string(level);

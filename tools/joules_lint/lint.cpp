@@ -1,0 +1,589 @@
+#include "joules_lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iterator>
+#include <regex>
+#include <stdexcept>
+#include <tuple>
+
+#include "util/atomic_file.hpp"
+#include "util/strings.hpp"
+
+namespace joules::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule table. Patterns live in rule_findings() below; this table is the
+// public contract (ids, rationale, remediation).
+
+const std::vector<Rule>& rule_table() {
+  static const std::vector<Rule> kRules = {
+      {"unseeded-rng",
+       "default-constructed std::mt19937 draws an implementation-defined "
+       "sequence",
+       "seed explicitly, or use util/rng.hpp (Rng takes a mandatory seed)"},
+      {"random-device",
+       "std::random_device yields different entropy every run",
+       "thread an explicit std::uint64_t seed down from the caller"},
+      {"libc-rand",
+       "rand()/srand() share hidden global state across the process",
+       "use a locally seeded joules::Rng stream (Rng::fork for substreams)"},
+      {"wall-clock",
+       "reading the host clock makes simulation output depend on when it ran",
+       "derive time from SimTime / the lab clock; real-I/O deadlines belong "
+       "in net::Deadline (allowlisted)"},
+      {"float-equality",
+       "== / != against a float literal is exact bit comparison",
+       "compare against an epsilon, or suppress with a reason when an "
+       "exact-zero sentinel/guard is intended"},
+      {"unordered-iteration",
+       "unordered container iteration order is unspecified and varies across "
+       "libc++/libstdc++ and runs",
+       "copy keys into a sorted vector (or use std::map) before serializing "
+       "or hashing"},
+      {"locale-format",
+       "locale-sensitive number formatting/parsing breaks exact %.17g "
+       "checkpoint round trips",
+       "format with snprintf %.17g / format_number, parse with "
+       "std::from_chars; never touch the global locale"},
+      {"bad-suppression",
+       "a suppression pragma must name a known rule and carry a reason",
+       "write the pragma as: allow(<rule>) followed by a dash and a reason"},
+  };
+  return kRules;
+}
+
+// ---------------------------------------------------------------------------
+// Comment / string stripping.
+
+enum class State {
+  kCode,
+  kLineComment,
+  kBlockComment,
+  kString,
+  kChar,
+  kRawString,
+};
+
+}  // namespace
+
+MaskedSource mask_source(std::string_view source) {
+  MaskedSource out;
+  std::string code_line;
+  std::string comment_line;
+  State state = State::kCode;
+  std::string raw_delim;  // delimiter for the active raw string literal
+
+  const auto flush_line = [&] {
+    out.code.push_back(code_line);
+    out.comments.push_back(comment_line);
+    code_line.clear();
+    comment_line.clear();
+  };
+
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      flush_line();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (code_line.empty() ||
+                    !(std::isalnum(static_cast<unsigned char>(code_line.back())) ||
+                      code_line.back() == '_'))) {
+          // R"delim( ... )delim"
+          const std::size_t open = source.find('(', i + 2);
+          if (open == std::string_view::npos) {
+            code_line += c;  // stray R" — treat as code
+            break;
+          }
+          const std::size_t delim_len = open - (i + 2);
+          raw_delim = std::string(source.substr(i + 2, delim_len));
+          state = State::kRawString;
+          code_line += "R\"";
+          code_line += std::string(delim_len + 1, ' ');  // delimiter and '('
+          i = open;
+        } else if (c == '"') {
+          state = State::kString;
+          code_line += '"';
+        } else if (c == '\'') {
+          // A quote directly after an identifier/digit char is a digit
+          // separator (60'000) or literal suffix, not a char literal.
+          if (!code_line.empty() &&
+              (std::isalnum(static_cast<unsigned char>(code_line.back())) ||
+               code_line.back() == '_')) {
+            code_line += '\'';
+          } else {
+            state = State::kChar;
+            code_line += '\'';
+          }
+        } else {
+          code_line += c;
+        }
+        break;
+      case State::kLineComment:
+        comment_line += c;
+        code_line += ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          code_line += "  ";
+          ++i;
+        } else {
+          comment_line += c;
+          code_line += ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          code_line += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          code_line += '"';
+        } else {
+          code_line += ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          code_line += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          code_line += '\'';
+        } else {
+          code_line += ' ';
+        }
+        break;
+      case State::kRawString: {
+        const std::string close = ")" + raw_delim + "\"";
+        if (source.compare(i, close.size(), close) == 0) {
+          state = State::kCode;
+          code_line += '"';
+          i += close.size() - 1;
+        } else {
+          code_line += ' ';
+        }
+        break;
+      }
+    }
+  }
+  if (!code_line.empty() || !comment_line.empty()) flush_line();
+  return out;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Suppression pragmas.
+
+struct Pragma {
+  std::vector<std::string> rules;
+  bool malformed = false;
+  std::string error;
+};
+
+// Parses "joules-lint: allow(rule[, rule]) -- reason" from a line's comment
+// text. Returns nullopt when the comment is not a pragma at all.
+std::optional<Pragma> parse_pragma(std::string_view comment_text) {
+  static constexpr std::string_view kTag = "joules-lint:";
+  const std::string text = trim(comment_text);
+  if (!starts_with(text, kTag)) return std::nullopt;
+  Pragma pragma;
+  std::string rest = trim(std::string_view(text).substr(kTag.size()));
+  if (!starts_with(rest, "allow(")) {
+    pragma.malformed = true;
+    pragma.error = "pragma must use allow(<rule>)";
+    return pragma;
+  }
+  const std::size_t close = rest.find(')');
+  if (close == std::string::npos) {
+    pragma.malformed = true;
+    pragma.error = "unterminated allow(";
+    return pragma;
+  }
+  for (const std::string& id : split(rest.substr(6, close - 6), ',')) {
+    const std::string rule = trim(id);
+    if (!is_known_rule(rule)) {
+      pragma.malformed = true;
+      pragma.error = "unknown rule '" + rule + "'";
+      return pragma;
+    }
+    pragma.rules.push_back(rule);
+  }
+  if (pragma.rules.empty()) {
+    pragma.malformed = true;
+    pragma.error = "allow() names no rule";
+    return pragma;
+  }
+  // Everything after ')' minus separator punctuation (ASCII dashes, colons,
+  // or an em/en dash) must leave a non-empty reason.
+  std::string reason = trim(rest.substr(close + 1));
+  std::size_t skip = 0;
+  while (skip < reason.size() &&
+         (reason[skip] == '-' || reason[skip] == ':' ||
+          static_cast<unsigned char>(reason[skip]) >= 0x80)) {
+    ++skip;
+  }
+  reason = trim(std::string_view(reason).substr(skip));
+  if (reason.empty()) {
+    pragma.malformed = true;
+    pragma.error = "suppression carries no reason";
+  }
+  return pragma;
+}
+
+// ---------------------------------------------------------------------------
+// Pattern matching on masked code.
+
+struct LineHit {
+  std::size_t line_index;  // 0-based
+  std::string_view rule;
+  std::string message;
+};
+
+const std::regex& re_unseeded_rng() {
+  static const std::regex re(
+      R"(\bmt19937(_64)?\b\s*(\w+\s*)?(\(\s*\)|\{\s*\}|;))");
+  return re;
+}
+const std::regex& re_random_device() {
+  static const std::regex re(R"(\brandom_device\b)");
+  return re;
+}
+const std::regex& re_libc_rand() {
+  static const std::regex re(R"(\bs?rand\s*\()");
+  return re;
+}
+const std::regex& re_wall_clock() {
+  static const std::regex re(
+      R"(\b(system_clock|steady_clock|high_resolution_clock|gettimeofday|clock_gettime|localtime|gmtime)\b|\btime\s*\(\s*(nullptr|NULL|0)\s*\))");
+  return re;
+}
+// A float literal: 1.0, .5, 1., 2e9, 1.5e-3 — optional f/F/l/L suffix.
+constexpr const char* kFloatLit =
+    R"([-+]?(\d+\.\d*|\.\d+|\d+[eE][-+]?\d+|\d+\.\d*[eE][-+]?\d+)[fFlL]?)";
+const std::regex& re_float_eq_rhs() {
+  static const std::regex re(std::string(R"((==|!=)\s*)") + kFloatLit);
+  return re;
+}
+const std::regex& re_float_eq_lhs() {
+  static const std::regex re(std::string(kFloatLit) + R"(\s*(==|!=))");
+  return re;
+}
+const std::regex& re_unordered_decl() {
+  static const std::regex re(
+      R"(\bunordered_(map|set)\b.*>\s*&?\s*(\w+)\s*[;={)])");
+  return re;
+}
+const std::regex& re_range_for() {
+  static const std::regex re(R"(\bfor\s*\(([^)]*)\))");
+  return re;
+}
+const std::regex& re_locale_global() {
+  static const std::regex re(
+      R"(\bsetlocale\s*\(|\bstd\s*::\s*locale\b|\.imbue\s*\()");
+  return re;
+}
+const std::regex& re_locale_serialization() {
+  static const std::regex re(
+      R"(\bstd\s*::\s*to_string\s*\(|\bstd\s*::\s*stod\s*\(|\bstd\s*::\s*stof\s*\(|\bstrtod\s*\(|\batof\s*\()");
+  return re;
+}
+// Files that read or write persistent state: any mention of these tokens in
+// (masked) code puts the whole file under the stricter locale-format rule.
+const std::regex& re_serialization_marker() {
+  static const std::regex re(
+      R"(checkpoint|save_state|write_file|serialize|Checkpoint|SaveState)");
+  return re;
+}
+
+// The range expression of a range-for: text after the first ':' that is not
+// part of a '::' scope operator.
+std::optional<std::string> range_for_expr(const std::string& head) {
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    if (head[i] != ':') continue;
+    if (i + 1 < head.size() && head[i + 1] == ':') {
+      ++i;
+      continue;
+    }
+    if (i > 0 && head[i - 1] == ':') continue;
+    return head.substr(i + 1);
+  }
+  return std::nullopt;
+}
+
+bool contains_word(std::string_view haystack, std::string_view word) {
+  std::size_t pos = 0;
+  while ((pos = haystack.find(word, pos)) != std::string_view::npos) {
+    const bool left_ok =
+        pos == 0 || !(std::isalnum(static_cast<unsigned char>(haystack[pos - 1])) ||
+                      haystack[pos - 1] == '_');
+    const std::size_t end = pos + word.size();
+    const bool right_ok =
+        end >= haystack.size() ||
+        !(std::isalnum(static_cast<unsigned char>(haystack[end])) ||
+          haystack[end] == '_');
+    if (left_ok && right_ok) return true;
+    ++pos;
+  }
+  return false;
+}
+
+std::vector<LineHit> rule_findings(const MaskedSource& masked) {
+  std::vector<LineHit> hits;
+  const auto scan = [&](const std::regex& re, std::string_view rule,
+                        std::string message) {
+    for (std::size_t i = 0; i < masked.code.size(); ++i) {
+      if (std::regex_search(masked.code[i], re)) {
+        hits.push_back({i, rule, message});
+      }
+    }
+  };
+
+  scan(re_unseeded_rng(), "unseeded-rng",
+       "default-constructed mt19937; thread an explicit seed");
+  scan(re_random_device(), "random-device",
+       "std::random_device is nondeterministic across runs");
+  scan(re_libc_rand(), "libc-rand", "rand()/srand() use hidden global state");
+  scan(re_wall_clock(), "wall-clock",
+       "host clock read in simulation code; use SimTime / net::Deadline");
+  scan(re_float_eq_rhs(), "float-equality",
+       "exact == / != against a float literal");
+  for (std::size_t i = 0; i < masked.code.size(); ++i) {
+    // lhs form, skipping lines the rhs form already flagged.
+    if (std::regex_search(masked.code[i], re_float_eq_lhs()) &&
+        !std::regex_search(masked.code[i], re_float_eq_rhs())) {
+      hits.push_back({i, "float-equality",
+                      "exact == / != against a float literal"});
+    }
+  }
+
+  // unordered-iteration: collect declared unordered container names, then
+  // flag range-for statements over them (or over unordered temporaries).
+  std::vector<std::string> unordered_names;
+  for (const std::string& line : masked.code) {
+    std::smatch m;
+    if (std::regex_search(line, m, re_unordered_decl())) {
+      unordered_names.push_back(m[2].str());
+    }
+  }
+  for (std::size_t i = 0; i < masked.code.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(masked.code[i], m, re_range_for())) continue;
+    const auto expr = range_for_expr(m[1].str());
+    if (!expr) continue;
+    const bool over_unordered =
+        expr->find("unordered_") != std::string::npos ||
+        std::any_of(unordered_names.begin(), unordered_names.end(),
+                    [&](const std::string& name) {
+                      return contains_word(*expr, name);
+                    });
+    if (over_unordered) {
+      hits.push_back({i, "unordered-iteration",
+                      "iteration order of unordered containers is "
+                      "unspecified; sort keys before use"});
+    }
+  }
+
+  // locale-format: global bans everywhere; formatting/parsing bans only in
+  // files that touch persistent state.
+  scan(re_locale_global(), "locale-format",
+       "global locale mutation changes numeric formatting process-wide");
+  const bool serialization_file = std::any_of(
+      masked.code.begin(), masked.code.end(), [](const std::string& line) {
+        return std::regex_search(line, re_serialization_marker());
+      });
+  if (serialization_file) {
+    scan(re_locale_serialization(), "locale-format",
+         "locale-sensitive number conversion in a serialization path; use "
+         "%.17g / std::from_chars");
+  }
+  return hits;
+}
+
+bool allowlisted(const Config& config, std::string_view file,
+                 std::string_view rule) {
+  for (const AllowlistEntry& entry : config.allowlist) {
+    if (entry.rule != rule) continue;
+    if (file == entry.path) return true;
+    if (starts_with(file, entry.path) &&
+        (entry.path.back() == '/' || file[entry.path.size()] == '/')) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::vector<Rule>& rules() { return rule_table(); }
+
+bool is_known_rule(std::string_view id) {
+  const auto& table = rule_table();
+  return std::any_of(table.begin(), table.end(),
+                     [&](const Rule& rule) { return rule.id == id; });
+}
+
+std::vector<AllowlistEntry> parse_allowlist(std::string_view text) {
+  std::vector<AllowlistEntry> entries;
+  std::size_t line_no = 0;
+  for (const std::string& raw : split_lines(text)) {
+    ++line_no;
+    const std::string line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t first_space = line.find(' ');
+    const std::size_t second_space =
+        first_space == std::string::npos ? std::string::npos
+                                         : line.find(' ', first_space + 1);
+    if (second_space == std::string::npos) {
+      throw std::invalid_argument(
+          "allowlist line " + std::to_string(line_no) +
+          ": expected '<path> <rule> <reason>'");
+    }
+    AllowlistEntry entry;
+    entry.path = trim(line.substr(0, first_space));
+    entry.rule = trim(line.substr(first_space + 1, second_space - first_space - 1));
+    entry.reason = trim(line.substr(second_space + 1));
+    if (!is_known_rule(entry.rule)) {
+      throw std::invalid_argument("allowlist line " + std::to_string(line_no) +
+                                  ": unknown rule '" + entry.rule + "'");
+    }
+    if (entry.reason.empty()) {
+      throw std::invalid_argument("allowlist line " + std::to_string(line_no) +
+                                  ": entry carries no reason");
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::vector<Finding> lint_source(std::string_view path, std::string_view source,
+                                 const Config& config) {
+  const MaskedSource masked = mask_source(source);
+  const std::vector<std::string> raw_lines = split_lines(source);
+
+  // Per-line suppression sets from pragmas; malformed pragmas are findings.
+  // A pragma sharing its line with code suppresses that line; a pragma on a
+  // standalone comment line suppresses the line below it.
+  std::vector<Finding> findings;
+  std::vector<std::vector<std::string>> allowed(masked.comments.size() + 1);
+  for (std::size_t i = 0; i < masked.comments.size(); ++i) {
+    if (masked.comments[i].empty()) continue;
+    const auto pragma = parse_pragma(masked.comments[i]);
+    if (!pragma) continue;
+    if (pragma->malformed) {
+      findings.push_back({std::string(path), i + 1, "bad-suppression",
+                          pragma->error,
+                          i < raw_lines.size() ? trim(raw_lines[i]) : ""});
+      continue;
+    }
+    const bool standalone = trim(masked.code[i]).empty();
+    const std::size_t target = standalone ? i + 1 : i;
+    allowed[target].insert(allowed[target].end(), pragma->rules.begin(),
+                           pragma->rules.end());
+  }
+
+  for (const LineHit& hit : rule_findings(masked)) {
+    const std::size_t i = hit.line_index;
+    if (i < allowed.size() &&
+        std::find(allowed[i].begin(), allowed[i].end(),
+                  std::string(hit.rule)) != allowed[i].end()) {
+      continue;
+    }
+    if (allowlisted(config, path, hit.rule)) continue;
+    findings.push_back({std::string(path), i + 1, std::string(hit.rule),
+                        hit.message,
+                        i < raw_lines.size() ? trim(raw_lines[i]) : ""});
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return findings;
+}
+
+ScanResult lint_tree(const std::filesystem::path& root,
+                     const std::vector<std::string>& subdirs,
+                     const Config& config) {
+  namespace fs = std::filesystem;
+  static const std::vector<std::string> kExtensions = {".cpp", ".hpp", ".cc",
+                                                       ".h", ".cxx"};
+  std::vector<fs::path> files;
+  for (const std::string& subdir : subdirs) {
+    const fs::path dir = root / subdir;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (std::find(kExtensions.begin(), kExtensions.end(), ext) ==
+          kExtensions.end()) {
+        continue;
+      }
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  ScanResult result;
+  for (const fs::path& file : files) {
+    const auto contents = read_text_file(file);
+    if (!contents) {
+      throw std::runtime_error("joules_lint: cannot read " + file.string());
+    }
+    ++result.files_scanned;
+    const std::string rel =
+        fs::relative(file, root).generic_string();
+    auto findings = lint_source(rel, *contents, config);
+    result.findings.insert(result.findings.end(),
+                           std::make_move_iterator(findings.begin()),
+                           std::make_move_iterator(findings.end()));
+  }
+  return result;
+}
+
+std::string render_report(const ScanResult& result, bool fix_hints) {
+  std::string out;
+  std::vector<std::string_view> fired;
+  for (const Finding& finding : result.findings) {
+    out += finding.file + ":" + std::to_string(finding.line) + ": [" +
+           finding.rule + "] " + finding.message + "\n";
+    if (!finding.excerpt.empty()) {
+      out += "    " + finding.excerpt + "\n";
+    }
+    if (std::find(fired.begin(), fired.end(), finding.rule) == fired.end()) {
+      fired.push_back(finding.rule);
+    }
+  }
+  out += std::to_string(result.findings.size()) + " finding(s) in " +
+         std::to_string(result.files_scanned) + " file(s) scanned\n";
+  if (fix_hints && !fired.empty()) {
+    out += "\nfix hints:\n";
+    for (const Rule& rule : rules()) {
+      if (std::find(fired.begin(), fired.end(), rule.id) == fired.end()) {
+        continue;
+      }
+      out += "  " + std::string(rule.id) + ": " + std::string(rule.summary) +
+             "\n    fix: " + std::string(rule.fix_hint) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace joules::lint

@@ -1,0 +1,109 @@
+// joules_lint — the repo's determinism lint.
+//
+// The library's scientific claim is bit-identical replay: parallel sweeps,
+// fault hashing, and `%.17g` checkpoints must reproduce exactly, run to run,
+// machine to machine. The compiler cannot enforce that; this lint bans the
+// constructs that silently break it:
+//
+//   unseeded-rng         default-constructed std::mt19937 / mt19937_64
+//   random-device        std::random_device (entropy differs per run)
+//   libc-rand            rand() / srand() (global hidden state)
+//   wall-clock           system_clock / steady_clock / time(nullptr) / ... in
+//                        simulation code (lab time comes from SimTime)
+//   float-equality       == / != against a floating-point literal
+//   unordered-iteration  range-for over an unordered_map/unordered_set
+//                        (iteration order is unspecified; feeding it to a
+//                        checkpoint writer or hash breaks replay)
+//   locale-format        setlocale / std::locale / imbue anywhere, plus
+//                        std::to_string / stod / stof / strtod / atof inside
+//                        serialization code (locale-dependent decimal point)
+//
+// Matching runs on comment- and string-stripped source, so documentation and
+// format strings never trip a rule. Two suppression channels exist, and both
+// must carry a written reason:
+//
+//   * a per-line pragma comment of the form
+//     "joules-lint: allow(<rule>) -- <reason>" on the offending line, or
+//   * an entry in the checked-in allowlist (tools/joules_lint/allowlist.txt):
+//     "<path> <rule> <reason>" per line, matching a file or directory prefix.
+//
+// A pragma with no reason, or naming an unknown rule, is itself a finding
+// (rule id "bad-suppression"); a malformed allowlist throws.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace joules::lint {
+
+struct Rule {
+  std::string_view id;
+  std::string_view summary;   // one-line "why this is banned"
+  std::string_view fix_hint;  // shown by --fix-hints / joulesctl lint
+};
+
+// The rule table, in reporting order. Stable ids; tests and the allowlist
+// reference them by name.
+[[nodiscard]] const std::vector<Rule>& rules();
+[[nodiscard]] bool is_known_rule(std::string_view id);
+
+struct Finding {
+  std::string file;     // repo-relative path, forward slashes
+  std::size_t line = 0; // 1-based
+  std::string rule;
+  std::string message;
+  std::string excerpt;  // trimmed source line
+};
+
+struct AllowlistEntry {
+  std::string path;    // repo-relative file path or directory prefix
+  std::string rule;
+  std::string reason;  // mandatory
+};
+
+// Parses the allowlist format: one "<path> <rule> <reason...>" entry per
+// line; '#' starts a comment. Throws std::invalid_argument on a malformed
+// line, an unknown rule id, or a missing reason.
+[[nodiscard]] std::vector<AllowlistEntry> parse_allowlist(std::string_view text);
+
+struct Config {
+  std::vector<AllowlistEntry> allowlist;
+};
+
+// Lints one file's contents. `path` must be repo-relative (it scopes
+// path-based allowlist matches). Pure: no filesystem access.
+[[nodiscard]] std::vector<Finding> lint_source(std::string_view path,
+                                               std::string_view source,
+                                               const Config& config);
+
+struct ScanResult {
+  std::vector<Finding> findings;  // sorted by (file, line, rule)
+  std::size_t files_scanned = 0;
+};
+
+// Scans `subdirs` under `root` (default: src bench tools tests) for
+// .cpp/.hpp/.cc/.h/.cxx files. File order is sorted, so output is
+// deterministic regardless of directory enumeration order.
+[[nodiscard]] ScanResult lint_tree(const std::filesystem::path& root,
+                                   const std::vector<std::string>& subdirs,
+                                   const Config& config);
+
+// Human-readable report; with `fix_hints`, appends the per-rule remediation
+// notes for every rule that fired.
+[[nodiscard]] std::string render_report(const ScanResult& result,
+                                        bool fix_hints);
+
+// Exposed for tests: comment/string stripping. `code` holds the source with
+// comment and literal contents blanked (line structure preserved); `comments`
+// holds the comment text per line (for pragma parsing).
+struct MaskedSource {
+  std::vector<std::string> code;
+  std::vector<std::string> comments;
+};
+[[nodiscard]] MaskedSource mask_source(std::string_view source);
+
+}  // namespace joules::lint

@@ -1,0 +1,76 @@
+// joules_lint — CLI front end to the determinism lint (see lint.hpp).
+//
+//   joules_lint [--root DIR] [--allowlist FILE] [--fix-hints]
+//               [--report FILE] [subdir...]
+//
+// Scans src/ bench/ tools/ tests/ under --root (default: the current
+// directory) unless explicit subdirs are given. Exit codes: 0 clean,
+// 1 findings, 2 usage or I/O error — so `ctest -L lint` and CI can gate on
+// it directly. --report writes the same report to a file (uploaded as a CI
+// artifact); --fix-hints appends per-rule remediation notes.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "joules_lint/lint.hpp"
+#include "util/atomic_file.hpp"
+
+namespace {
+
+int usage() {
+  std::fputs(
+      "usage: joules_lint [--root DIR] [--allowlist FILE] [--fix-hints]\n"
+      "                   [--report FILE] [subdir...]\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string allowlist_path;
+  std::string report_path;
+  bool fix_hints = false;
+  std::vector<std::string> subdirs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist_path = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (arg == "--fix-hints") {
+      fix_hints = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      subdirs.push_back(arg);
+    }
+  }
+  if (subdirs.empty()) subdirs = {"src", "bench", "tools", "tests"};
+  if (allowlist_path.empty()) {
+    allowlist_path = root + "/tools/joules_lint/allowlist.txt";
+  }
+
+  try {
+    joules::lint::Config config;
+    if (const auto text = joules::read_text_file(allowlist_path)) {
+      config.allowlist = joules::lint::parse_allowlist(*text);
+    }
+    const joules::lint::ScanResult result =
+        joules::lint::lint_tree(root, subdirs, config);
+    const std::string report = joules::lint::render_report(result, fix_hints);
+    std::fputs(report.c_str(), stdout);
+    if (!report_path.empty()) {
+      joules::write_file_atomic(report_path, report);
+    }
+    return result.findings.empty() ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "joules_lint: %s\n", error.what());
+    return 2;
+  }
+}

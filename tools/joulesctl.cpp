@@ -10,9 +10,11 @@
 //   joulesctl audit [seed]                        network-wide power audit
 //   joulesctl zoo-stats <dir>                     summarize a Power Zoo directory
 //   joulesctl zoo-dossier <dir> <model>           one device across all sources
+//   joulesctl lint [repo-root]                    determinism lint with fix hints
 //
 // Exit codes: 0 ok, 1 usage error, 2 runtime failure, 3 campaign completed
 // but produced low-confidence (partial) model terms.
+#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -22,17 +24,29 @@
 
 #include "datasheet/parser.hpp"
 #include "device/catalog.hpp"
+#include "joules_lint/lint.hpp"
 #include "model/model_io.hpp"
 #include "netpowerbench/campaign.hpp"
 #include "netpowerbench/derivation.hpp"
 #include "network/dataset.hpp"
 #include "network/simulation.hpp"
+#include "util/atomic_file.hpp"
 #include "util/units.hpp"
 #include "zoo/power_zoo.hpp"
 
 using namespace joules;
 
 namespace {
+
+// Locale-independent double parse for CLI arguments (atof follows the host
+// locale's decimal separator; from_chars never does). Returns `fallback` on
+// anything that is not a full numeric token.
+double parse_double_arg(const char* text, double fallback) {
+  double value = 0.0;
+  const char* end = text + std::strlen(text);
+  const auto [ptr, ec] = std::from_chars(text, end, value);
+  return (ec == std::errc{} && ptr == end && end != text) ? value : fallback;
+}
 
 int usage() {
   std::fputs(
@@ -45,7 +59,8 @@ int usage() {
       "  joulesctl datasheet <file>\n"
       "  joulesctl audit [seed]\n"
       "  joulesctl zoo-stats <dir>\n"
-      "  joulesctl zoo-dossier <dir> <device-model>\n",
+      "  joulesctl zoo-dossier <dir> <device-model>\n"
+      "  joulesctl lint [repo-root]\n",
       stderr);
   return 1;
 }
@@ -169,6 +184,7 @@ int cmd_predict(const std::string& model_path, double utilization_pct,
   const double rate =
       2.0 * utilization_pct / 100.0 * line_rate_bps(profile.key.rate);
   for (int i = 0; i < interfaces; ++i) {
+    // joules-lint: allow(locale-format) — interface index, integral to_string
     configs.push_back({"if" + std::to_string(i), profile.key,
                        InterfaceState::kUp});
     loads.push_back({rate, packet_rate_for_bit_rate(rate, 800)});
@@ -275,6 +291,21 @@ int cmd_zoo_dossier(const std::string& dir, const std::string& model) {
   return 0;
 }
 
+// The determinism lint in report mode: always prints fix hints, so a
+// developer staring at a finding knows the sanctioned replacement. The bare
+// `joules_lint` binary is the terse CI gate; this is the human front end.
+int cmd_lint(const std::string& root) {
+  lint::Config config;
+  const std::string allowlist_path = root + "/tools/joules_lint/allowlist.txt";
+  if (const auto text = read_text_file(allowlist_path)) {
+    config.allowlist = lint::parse_allowlist(*text);
+  }
+  const lint::ScanResult result =
+      lint::lint_tree(root, {"src", "bench", "tools", "tests"}, config);
+  std::fputs(lint::render_report(result, /*fix_hints=*/true).c_str(), stdout);
+  return result.findings.empty() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -287,11 +318,11 @@ int main(int argc, char** argv) {
     }
     if (command == "campaign" && argc >= 4) {
       return cmd_campaign(argv[2], argv[3],
-                          argc >= 5 ? std::atof(argv[4]) : 0.0,
+                          argc >= 5 ? parse_double_arg(argv[4], -1.0) : 0.0,
                           argc >= 6 ? argv[5] : "");
     }
     if (command == "predict" && argc >= 4) {
-      return cmd_predict(argv[2], std::atof(argv[3]),
+      return cmd_predict(argv[2], parse_double_arg(argv[3], 0.0),
                          argc >= 5 ? std::atoi(argv[4]) : 1);
     }
     if (command == "datasheet" && argc >= 3) return cmd_datasheet(argv[2]);
@@ -302,6 +333,7 @@ int main(int argc, char** argv) {
     if (command == "zoo-dossier" && argc >= 4) {
       return cmd_zoo_dossier(argv[2], argv[3]);
     }
+    if (command == "lint") return cmd_lint(argc >= 3 ? argv[2] : ".");
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 2;
