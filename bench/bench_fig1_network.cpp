@@ -10,8 +10,10 @@
 #include "network/dataset.hpp"
 #include "network/simulation.hpp"
 #include "network/trace_engine.hpp"
+#include "obs/registry.hpp"
 #include "stats/descriptive.hpp"
 #include "util/ascii_chart.hpp"
+#include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
 using namespace joules;
@@ -25,7 +27,15 @@ int main() {
   const SimTime begin = sim.topology().options.study_begin;  // Sep 01
   const SimTime end = begin + 55 * kSecondsPerDay;           // ~Oct 25
 
-  TraceEngine engine(sim);  // all cores; bit-identical to the serial sweep
+  // All cores; bit-identical to the serial sweep. The attached registry
+  // records the sweep's work counters and writes the run manifest next to
+  // the CSV (see `joulesctl obs bench_out/fig1_run_manifest.json`).
+  ThreadPool pool;
+  obs::Registry registry(pool.worker_count());
+  TraceEngineOptions engine_options;
+  engine_options.registry = &registry;
+  engine_options.manifest_path = bench::output_dir() / "fig1_run_manifest.json";
+  TraceEngine engine(sim, pool, engine_options);
   const NetworkTraces traces =
       engine.network_traces(begin, end, 2 * kSecondsPerHour);
   const TimeSeries power = traces.total_power_w.window_average(6 * kSecondsPerHour);
@@ -85,5 +95,9 @@ int main() {
                  format_number(traffic[i].value, 0)});
   }
   bench::dump_csv(csv, "fig1_network_power_traffic.csv");
+  if constexpr (obs::kEnabled) {
+    std::printf("  [manifest] %s\n",
+                engine_options.manifest_path.string().c_str());
+  }
   return 0;
 }

@@ -17,6 +17,7 @@
 #include "network/dataset.hpp"
 #include "network/simulation.hpp"
 #include "network/trace_engine.hpp"
+#include "obs/registry.hpp"
 #include "sleep/hypnos.hpp"
 #include "stats/regression.hpp"
 #include "util/rng.hpp"
@@ -24,6 +25,26 @@
 
 namespace joules {
 namespace {
+
+// Publishes the registry's deterministic work counters into the benchmark's
+// counter table, averaged per iteration. These — not wall time — are what
+// tools/bench_compare gates on in CI: the counts are pure functions of the
+// workload, so a committed baseline compares cleanly across runner hardware,
+// and a counter that grows >1.5x means the code now does more work per
+// sweep (accidental quadratic, lost skip path), which no amount of runner
+// noise can excuse.
+void export_obs_counters(benchmark::State& state,
+                         const obs::Registry& registry) {
+  if constexpr (obs::kEnabled) {
+    for (const obs::CounterValue& counter : registry.counters()) {
+      state.counters[std::string("obs_") + counter.name] = benchmark::Counter(
+          static_cast<double>(counter.value), benchmark::Counter::kAvgIterations);
+    }
+  } else {
+    (void)state;
+    (void)registry;
+  }
+}
 
 void BM_ModelPredict(benchmark::State& state) {
   const RouterSpec spec = find_router_spec("NCS-55A1-24H").value();
@@ -103,8 +124,12 @@ void BM_NetworkTraces(benchmark::State& state) {
   static const NetworkSimulation sim(build_switch_like_network(), 7);
   const SimTime begin = sim.topology().options.study_begin;
   const SimTime end = begin + 14 * kSecondsPerDay;
-  TraceEngine engine(
-      sim, TraceEngineOptions{.workers = static_cast<std::size_t>(state.range(0))});
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  obs::Registry registry(workers);
+  TraceEngineOptions options;
+  options.workers = workers;
+  options.registry = &registry;
+  TraceEngine engine(sim, options);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         engine.network_traces(begin, end, 300).total_power_w.size());
@@ -112,6 +137,7 @@ void BM_NetworkTraces(benchmark::State& state) {
   state.counters["steps"] =
       benchmark::Counter(14.0 * kSecondsPerDay / 300.0,
                          benchmark::Counter::kIsIterationInvariant);
+  export_obs_counters(state, registry);
 }
 BENCHMARK(BM_NetworkTraces)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
@@ -136,8 +162,12 @@ void BM_NetworkTracesScaled(benchmark::State& state) {
   }();
   const SimTime begin = sim.topology().options.study_begin;
   const SimTime end = begin + 2 * kSecondsPerDay;
-  TraceEngine engine(
-      sim, TraceEngineOptions{.workers = static_cast<std::size_t>(state.range(0))});
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  obs::Registry registry(workers);
+  TraceEngineOptions options;
+  options.workers = workers;
+  options.registry = &registry;
+  TraceEngine engine(sim, options);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         engine.network_traces(begin, end, 300).total_power_w.size());
@@ -145,6 +175,7 @@ void BM_NetworkTracesScaled(benchmark::State& state) {
   state.counters["routers"] = benchmark::Counter(
       static_cast<double>(sim.router_count()),
       benchmark::Counter::kIsIterationInvariant);
+  export_obs_counters(state, registry);
 }
 BENCHMARK(BM_NetworkTracesScaled)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);

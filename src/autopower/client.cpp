@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/manifest.hpp"
+#include "obs/registry.hpp"
 #include "util/atomic_file.hpp"
 #include "util/csv.hpp"
 
@@ -213,6 +215,29 @@ std::size_t Client::buffered_samples() const {
   std::size_t total = 0;
   for (const auto& [channel, state] : channels_) total += state.buffer.size();
   return total;
+}
+
+void Client::write_manifest(const std::filesystem::path& path) const {
+  // Snapshot registry, same rationale as Server::write_manifest: an explicit
+  // admin/recovery action, available regardless of JOULES_OBS.
+  obs::Registry registry;
+  registry.add("client.sync_attempts", sync_stats_.attempts);
+  registry.add("client.sync_failures", sync_stats_.failures);
+  registry.add("client.sync_give_ups", sync_stats_.give_ups);
+  registry.add("client.buffered_samples", buffered_samples());
+  registry.add("client.channels", channels_.size());
+  char config[160];
+  std::snprintf(config, sizeof config,
+                "autopower_client unit=%s port=%u batch=%zu",
+                options_.unit_id.c_str(),
+                static_cast<unsigned>(options_.server_port),
+                options_.upload_batch);
+  obs::ManifestInfo info;
+  info.tool = "autopower_client";
+  info.seed = options_.retry.seed;
+  info.config_hash = obs::config_fingerprint(config);
+  info.notes = options_.unit_id;
+  obs::write_manifest(path, info, registry);
 }
 
 void Client::save_state(const std::filesystem::path& path) const {

@@ -111,6 +111,10 @@ class Client {
 
   [[nodiscard]] std::size_t buffered_samples() const;
 
+  // Writes a run manifest (obs) with the unit's sync counters and buffer
+  // depth — what a technician reads after recovering a unit from the field.
+  void write_manifest(const std::filesystem::path& path) const;
+
  private:
   bool try_sync_once();
   bool ensure_connected();

@@ -1,6 +1,10 @@
 #include "autopower/server.hpp"
 
+#include <cstdio>
 #include <utility>
+
+#include "obs/manifest.hpp"
+#include "obs/registry.hpp"
 
 namespace joules::autopower {
 
@@ -72,6 +76,40 @@ Server::ConnectionStats Server::connection_stats() const {
     }
   }
   return stats;
+}
+
+void Server::write_manifest(const std::filesystem::path& path) const {
+  // A throwaway registry snapshot of the lifecycle counters: the manifest is
+  // an explicit admin action, not hot-path instrumentation, so it stays
+  // available regardless of JOULES_OBS.
+  obs::Registry registry;
+  const ConnectionStats stats = connection_stats();
+  registry.add("server.connections_accepted", stats.accepted);
+  registry.add("server.connections_rejected", stats.rejected);
+  registry.add("server.connections_dropped", stats.dropped);
+  registry.add("server.threads_reaped", stats.reaped);
+  registry.add("server.connections_active", stats.active);
+  {
+    const std::lock_guard lock(mutex_);
+    std::uint64_t batches = 0;
+    std::uint64_t samples = 0;
+    for (const auto& [unit_id, unit] : units_) {
+      batches += unit.accepted_batches;
+      for (const auto& [channel, data] : unit.channels) {
+        samples += data.samples.size();
+      }
+    }
+    registry.add("server.units_known", units_.size());
+    registry.add("server.batches_accepted", batches);
+    registry.add("server.samples_stored", samples);
+  }
+  char config[64];
+  std::snprintf(config, sizeof config, "autopower_server port=%u",
+                static_cast<unsigned>(port_));
+  obs::ManifestInfo info;
+  info.tool = "autopower_server";
+  info.config_hash = obs::config_fingerprint(config);
+  obs::write_manifest(path, info, registry);
 }
 
 void Server::reap_finished_connections() {

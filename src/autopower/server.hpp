@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -69,6 +70,11 @@ class Server {
     std::uint64_t active = 0;    // connection threads currently running
   };
   [[nodiscard]] ConnectionStats connection_stats() const;
+
+  // Writes a run manifest (obs) with the connection-lifecycle counters and
+  // per-unit batch totals — the server's audit trail. Atomic write; safe to
+  // call while serving (counters are a consistent-enough snapshot).
+  void write_manifest(const std::filesystem::path& path) const;
 
   void stop();
 

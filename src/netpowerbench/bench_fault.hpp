@@ -103,6 +103,9 @@ class BenchFaultPlan {
   [[nodiscard]] std::optional<WindowFault> faults_for(
       ExperimentKind kind, std::uint64_t window) const;
 
+  // The disturbance seed (run-manifest provenance).
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
  private:
   WindowFault& slot(ExperimentKind kind, std::uint64_t window);
 

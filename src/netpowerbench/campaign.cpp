@@ -5,11 +5,23 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/manifest.hpp"
 #include "util/atomic_file.hpp"
 #include "util/strings.hpp"
 
 namespace joules {
 namespace {
+
+const char* span_id(ExperimentKind kind) {
+  switch (kind) {
+    case ExperimentKind::kBase: return "campaign.base";
+    case ExperimentKind::kIdle: return "campaign.idle";
+    case ExperimentKind::kPort: return "campaign.port";
+    case ExperimentKind::kTrx: return "campaign.trx";
+    case ExperimentKind::kSnake: return "campaign.snake";
+  }
+  return "campaign.unknown";
+}
 
 std::string format_exact(double value) {
   char buffer[64];
@@ -76,6 +88,39 @@ void Campaign::configure_pairs(const ProfileKey& profile, std::size_t pairs,
   }
 }
 
+void Campaign::record(const char* name, std::uint64_t delta) {
+  if constexpr (obs::kEnabled) {
+    if (options_.registry != nullptr && delta > 0) {
+      options_.registry->add(name, delta);
+    }
+  } else {
+    (void)name;
+    (void)delta;
+  }
+}
+
+void Campaign::write_manifest() const {
+  if constexpr (obs::kEnabled) {
+    if (options_.registry == nullptr || options_.manifest_path.empty()) return;
+    char config[256];
+    std::snprintf(config, sizeof config,
+                  "campaign model=%s start=%lld settle=%lld measure=%lld "
+                  "period=%lld repeats=%d retry_budget=%d",
+                  dut_.spec().model.c_str(),
+                  static_cast<long long>(options_.lab.start_time),
+                  static_cast<long long>(options_.lab.settle_s),
+                  static_cast<long long>(options_.lab.measure_s),
+                  static_cast<long long>(options_.lab.sample_period_s),
+                  options_.lab.repeats, options_.retry_budget);
+    obs::ManifestInfo info;
+    info.tool = "campaign";
+    info.seed = fault_plan_.has_value() ? fault_plan_->seed() : 0;
+    info.config_hash = obs::config_fingerprint(config);
+    info.notes = dut_.spec().model;
+    obs::write_manifest(options_.manifest_path, info, *options_.registry);
+  }
+}
+
 std::optional<Measurement> Campaign::try_replay(HistoryEntry& entry) {
   if (replay_cursor_ >= replay_log_.size()) return std::nullopt;
   const HistoryEntry& recorded = replay_log_[replay_cursor_];
@@ -87,6 +132,7 @@ std::optional<Measurement> Campaign::try_replay(HistoryEntry& entry) {
   }
   ++replay_cursor_;
   ++stats_.runs_replayed;
+  record("campaign.runs_replayed");
   // Restore exactly the state the live run left behind: lab clock and the
   // per-kind window counters the fault plan keys on. The DUT itself is not
   // reconfigured — the next live run configures from scratch anyway.
@@ -100,6 +146,19 @@ std::optional<Measurement> Campaign::try_replay(HistoryEntry& entry) {
 
 Measurement Campaign::run_experiment(HistoryEntry entry,
                                      std::span<const InterfaceLoad> loads) {
+  Measurement measurement;
+  {
+    // Scoped so the experiment's span has closed (duration recorded) before
+    // the manifest snapshot reads the registry.
+    const obs::Span span(options_.registry, span_id(entry.kind));
+    measurement = run_experiment_impl(std::move(entry), loads);
+  }
+  write_manifest();
+  return measurement;
+}
+
+Measurement Campaign::run_experiment_impl(HistoryEntry entry,
+                                          std::span<const InterfaceLoad> loads) {
   const BenchFaultPlan* plan = fault_plan_.has_value() ? &*fault_plan_ : nullptr;
   std::vector<double> accepted;
   accepted.reserve(static_cast<std::size_t>(
@@ -119,6 +178,7 @@ Measurement Campaign::run_experiment(HistoryEntry entry,
           options_.lab.measure_s, options_.lab.sample_period_s, &stats_.faults);
       ++entry.windows_used;
       ++stats_.windows_measured;
+      record("campaign.windows_measured");
       now_ = window.end_time;
 
       WindowValidation validation = validate_window(
@@ -129,8 +189,16 @@ Measurement Campaign::run_experiment(HistoryEntry entry,
         }
         rejected += validation.rejected;
         stats_.samples_rejected += validation.rejected;
+        record("campaign.samples_rejected", validation.rejected);
         accepted.insert(accepted.end(), validation.accepted.begin(),
                         validation.accepted.end());
+        if constexpr (obs::kEnabled) {
+          if (options_.registry != nullptr) {
+            options_.registry->observe(
+                "campaign.window_samples",
+                static_cast<double>(validation.accepted.size()));
+          }
+        }
         break;
       }
       // Disturbed window: none of its samples may touch the average.
@@ -138,10 +206,12 @@ Measurement Campaign::run_experiment(HistoryEntry entry,
       if (retries_left > 0) {
         --retries_left;
         ++stats_.windows_retried;
+        record("campaign.windows_retried");
         quality = worst(quality, WindowQuality::kRecovered);
         continue;  // re-measure at fresh lab time
       }
       ++stats_.windows_discarded;
+      record("campaign.windows_discarded");
       quality = WindowQuality::kDisturbed;
       break;
     }
@@ -315,6 +385,7 @@ std::vector<HistoryEntry> Campaign::parse_checkpoint(const std::string& contents
 void Campaign::save_checkpoint() {
   write_file_atomic(options_.checkpoint_path, serialize_checkpoint(history_));
   ++stats_.checkpoints_written;
+  record("campaign.checkpoints_written");
 }
 
 }  // namespace joules

@@ -33,6 +33,7 @@
 #include "netpowerbench/bench.hpp"
 #include "netpowerbench/bench_fault.hpp"
 #include "netpowerbench/orchestrator.hpp"
+#include "obs/registry.hpp"
 #include "stats/robust.hpp"
 #include "util/csv.hpp"
 
@@ -45,6 +46,15 @@ struct CampaignOptions {
   // Checkpoint file; empty disables persistence. If the file exists when the
   // Campaign is constructed, the campaign resumes from it.
   std::filesystem::path checkpoint_path;
+  // Observability (optional, inert with JOULES_OBS=OFF). A campaign is
+  // single-threaded, so all counters land in shard 0: campaign.* counters
+  // mirror CampaignStats, the campaign.window_samples histogram tracks
+  // accepted samples per window, and each experiment runs under a
+  // campaign.<kind> span. With `manifest_path` set, every completed
+  // experiment refreshes the run manifest there (atomic write, so a killed
+  // battery leaves the manifest of its last finished run).
+  obs::Registry* registry = nullptr;
+  std::filesystem::path manifest_path{};
 };
 
 struct CampaignStats {
@@ -104,11 +114,19 @@ class Campaign : public LabBench {
   [[nodiscard]] static std::vector<HistoryEntry> parse_checkpoint(
       const std::string& contents);
 
+  // Writes the run manifest now (no-op without options.manifest_path or a
+  // registry). run_experiment calls this after every completed run; batteries
+  // may call it once more after their last run for a final snapshot.
+  void write_manifest() const;
+
  private:
+  void record(const char* name, std::uint64_t delta = 1);
   void configure_pairs(const ProfileKey& profile, std::size_t pairs,
                        InterfaceState first_of_pair, InterfaceState second_of_pair);
   [[nodiscard]] Measurement run_experiment(HistoryEntry entry,
                                            std::span<const InterfaceLoad> loads);
+  [[nodiscard]] Measurement run_experiment_impl(
+      HistoryEntry entry, std::span<const InterfaceLoad> loads);
   [[nodiscard]] std::optional<Measurement> try_replay(HistoryEntry& entry);
   void save_checkpoint();
 

@@ -5,17 +5,27 @@
 
 namespace joules {
 
+namespace {
+
+TraceEngineOptions serial_options() {
+  TraceEngineOptions options;
+  options.workers = 1;
+  return options;
+}
+
+}  // namespace
+
 NetworkTraces network_traces(const NetworkSimulation& sim, SimTime begin,
                              SimTime end, SimTime step) {
   // Serial compatibility wrapper; a single-worker engine runs inline on the
   // calling thread and produces bit-identical results to the historical loop.
-  TraceEngine engine(sim, TraceEngineOptions{.workers = 1});
+  TraceEngine engine(sim, serial_options());
   return engine.network_traces(begin, end, step);
 }
 
 std::vector<PsuObservation> psu_snapshot(const NetworkSimulation& sim,
                                          SimTime t) {
-  TraceEngine engine(sim, TraceEngineOptions{.workers = 1});
+  TraceEngine engine(sim, serial_options());
   return engine.psu_snapshot(t);
 }
 

@@ -10,7 +10,7 @@
 namespace joules {
 
 NetworkSimulation::NetworkSimulation(NetworkTopology topology, std::uint64_t seed)
-    : topology_(std::move(topology)) {
+    : topology_(std::move(topology)), seed_(seed) {
   Rng rng(seed);
   devices_.reserve(topology_.routers.size());
   for (std::size_t r = 0; r < topology_.routers.size(); ++r) {

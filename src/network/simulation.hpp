@@ -49,6 +49,8 @@ class NetworkSimulation {
   [[nodiscard]] std::size_t router_count() const noexcept {
     return topology_.routers.size();
   }
+  // The construction seed (run-manifest provenance).
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
   // Commissioned and not yet decommissioned at `t`.
   [[nodiscard]] bool active(std::size_t router, SimTime t) const;
@@ -131,6 +133,7 @@ class NetworkSimulation {
   void sync_states(std::size_t router, SimTime t) const;
 
   NetworkTopology topology_;
+  std::uint64_t seed_ = 0;
   mutable std::vector<SimulatedRouter> devices_;
   std::vector<StateOverride> overrides_;
   std::vector<DiurnalWorkload> workloads_;      // flattened per interface

@@ -1,8 +1,10 @@
 #include "network/trace_engine.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
+#include "obs/manifest.hpp"
 #include "stats/descriptive.hpp"
 
 namespace joules {
@@ -15,6 +17,19 @@ std::size_t step_count(SimTime begin, SimTime end, SimTime step) {
   }
   if (end <= begin) return 0;
   return static_cast<std::size_t>((end - begin + step - 1) / step);
+}
+
+void check_registry_shards(const obs::Registry* registry,
+                           std::size_t worker_count) {
+  if constexpr (obs::kEnabled) {
+    if (registry != nullptr && registry->shard_count() < worker_count) {
+      throw std::invalid_argument(
+          "TraceEngine: registry has fewer shards than the pool has workers");
+    }
+  } else {
+    (void)registry;
+    (void)worker_count;
+  }
 }
 
 }  // namespace
@@ -30,6 +45,7 @@ TraceEngine::TraceEngine(const NetworkSimulation& sim, TraceEngineOptions option
     iface_total_ += sim_.topology().routers[r].interfaces.size();
   }
   scratch_.resize(pool_->worker_count());
+  check_registry_shards(options_.registry, pool_->worker_count());
 }
 
 TraceEngine::TraceEngine(const NetworkSimulation& sim, ThreadPool& pool,
@@ -41,10 +57,24 @@ TraceEngine::TraceEngine(const NetworkSimulation& sim, ThreadPool& pool,
     iface_total_ += sim_.topology().routers[r].interfaces.size();
   }
   scratch_.resize(pool_->worker_count());
+  check_registry_shards(options_.registry, pool_->worker_count());
 }
 
 NetworkTraces TraceEngine::network_traces(SimTime begin, SimTime end,
                                           SimTime step) {
+  NetworkTraces traces;
+  {
+    // Scoped so the phase span has closed (duration recorded) before the
+    // manifest snapshot below reads the registry.
+    const obs::Span sweep_span(options_.registry, "trace.network_traces");
+    traces = network_traces_impl(begin, end, step);
+  }
+  write_sweep_manifest(begin, end, step);
+  return traces;
+}
+
+NetworkTraces TraceEngine::network_traces_impl(SimTime begin, SimTime end,
+                                               SimTime step) {
   NetworkTraces traces;
 
   // Capacity: each internal link counted once, externals once.
@@ -86,6 +116,11 @@ NetworkTraces TraceEngine::network_traces(SimTime begin, SimTime end,
   const ThreadPool::ChunkFn fill = [&](std::size_t r0, std::size_t r1,
                                        std::size_t slot) {
     std::vector<InterfaceLoad>& loads = scratch_[slot];
+    // Plain locals in the hot loop; the shard flush below is the only
+    // registry touch per chunk, and with JOULES_OBS=OFF it compiles away
+    // (taking these dead stores with it).
+    std::uint64_t samples = 0;
+    std::uint64_t skips = 0;
     for (std::size_t r = r0; r < r1; ++r) {
       double* power_row = power.data() + r * block;
       double* contrib_rows = contrib.data() + iface_offset_[r] * block;
@@ -96,12 +131,14 @@ NetworkTraces TraceEngine::network_traces(SimTime begin, SimTime end,
         const SimTime t =
             begin + static_cast<SimTime>(block_begin + j) * step;
         if (!sim_.active(r, t)) {
+          ++skips;
           power_row[j] = 0.0;
           for (std::size_t i = 0; i < iface_count; ++i) {
             contrib_rows[i * block + j] = 0.0;
           }
           continue;
         }
+        ++samples;
         power_row[j] = sim_.wall_power_w(r, t, loads);
         for (std::size_t i = 0; i < iface_count; ++i) {
           // Loads sum both directions; halve to count carried traffic, and
@@ -110,10 +147,17 @@ NetworkTraces TraceEngine::network_traces(SimTime begin, SimTime end,
         }
       }
     }
+    if constexpr (obs::kEnabled) {
+      if (options_.registry != nullptr) {
+        options_.registry->add(slot, "trace.samples", samples);
+        options_.registry->add(slot, "trace.inactive_skips", skips);
+      }
+    }
   };
 
   for (block_begin = 0; block_begin < n; block_begin += m) {
     m = std::min(block, n - block_begin);
+    const obs::Span block_span(options_.registry, "trace.block");
     pool_->parallel_for(0, routers, fill);
     for (std::size_t j = 0; j < m; ++j) {
       const SimTime t = begin + static_cast<SimTime>(block_begin + j) * step;
@@ -128,8 +172,37 @@ NetworkTraces TraceEngine::network_traces(SimTime begin, SimTime end,
       traces.total_power_w.push(t, power_sum);
       traces.total_traffic_bps.push(t, traffic);
     }
+    if constexpr (obs::kEnabled) {
+      if (options_.registry != nullptr) {
+        options_.registry->add("trace.blocks");
+        options_.registry->add("trace.timesteps", m);
+      }
+    }
   }
   return traces;
+}
+
+void TraceEngine::write_sweep_manifest(SimTime begin, SimTime end,
+                                       SimTime step) const {
+  if constexpr (obs::kEnabled) {
+    if (options_.registry == nullptr || options_.manifest_path.empty()) return;
+    char config[256];
+    std::snprintf(config, sizeof config,
+                  "trace_engine routers=%zu ifaces=%zu begin=%lld end=%lld "
+                  "step=%lld workers=%zu",
+                  sim_.router_count(), iface_total_,
+                  static_cast<long long>(begin), static_cast<long long>(end),
+                  static_cast<long long>(step), pool_->worker_count());
+    obs::ManifestInfo info;
+    info.tool = "trace_engine";
+    info.seed = sim_.seed();
+    info.config_hash = obs::config_fingerprint(config);
+    obs::write_manifest(options_.manifest_path, info, *options_.registry);
+  } else {
+    (void)begin;
+    (void)end;
+    (void)step;
+  }
 }
 
 double TraceEngine::network_power_w(SimTime t) {
@@ -144,12 +217,18 @@ double TraceEngine::network_power_w(SimTime t) {
                       });
   double total = 0.0;
   for (const double value : power) total += value;
+  if constexpr (obs::kEnabled) {
+    if (options_.registry != nullptr) {
+      options_.registry->add("trace.power_probes");
+    }
+  }
   return total;
 }
 
 std::vector<std::optional<double>> TraceEngine::snmp_medians(SimTime begin,
                                                              SimTime end,
                                                              SimTime step) {
+  const obs::Span span(options_.registry, "trace.snmp_medians");
   const std::size_t n = step_count(begin, end, step);
   const std::size_t routers = sim_.router_count();
   std::vector<std::optional<double>> medians(routers);
@@ -158,6 +237,7 @@ std::vector<std::optional<double>> TraceEngine::snmp_medians(SimTime begin,
         std::vector<InterfaceLoad>& loads = scratch_[slot];
         std::vector<double> values;
         values.reserve(n);
+        std::uint64_t reported_samples = 0;
         for (std::size_t r = r0; r < r1; ++r) {
           values.clear();
           for (std::size_t j = 0; j < n; ++j) {
@@ -166,7 +246,13 @@ std::vector<std::optional<double>> TraceEngine::snmp_medians(SimTime begin,
             const auto reported = sim_.reported_power_w(r, t, loads);
             if (reported.has_value()) values.push_back(*reported);
           }
+          reported_samples += values.size();
           if (!values.empty()) medians[r] = median(values);
+        }
+        if constexpr (obs::kEnabled) {
+          if (options_.registry != nullptr) {
+            options_.registry->add(slot, "trace.snmp_samples", reported_samples);
+          }
         }
       });
   return medians;
@@ -218,13 +304,14 @@ std::vector<double> TraceEngine::average_link_loads_bps(SimTime begin,
   if (samples == 0) {
     throw std::invalid_argument("average_link_loads_bps: empty window");
   }
+  const obs::Span span(options_.registry, "trace.link_loads");
   const NetworkTopology& topology = sim_.topology();
   std::vector<double> totals(topology.links.size(), 0.0);
   // Interface-load queries touch no device state, so links may be sharded
   // freely even when two links land on the same router.
   pool_->parallel_for(
       0, topology.links.size(),
-      [&](std::size_t l0, std::size_t l1, std::size_t) {
+      [&](std::size_t l0, std::size_t l1, std::size_t slot) {
         for (std::size_t l = l0; l < l1; ++l) {
           const InternalLink& link = topology.links[l];
           double total = 0.0;
@@ -238,6 +325,13 @@ std::vector<double> TraceEngine::average_link_loads_bps(SimTime begin,
             total += load.rate_bps / 2.0;
           }
           totals[l] = total / static_cast<double>(samples);
+        }
+        if constexpr (obs::kEnabled) {
+          if (options_.registry != nullptr) {
+            options_.registry->add(slot, "trace.link_samples",
+                                   static_cast<std::uint64_t>(l1 - l0) *
+                                       static_cast<std::uint64_t>(samples));
+          }
         }
       });
   return totals;

@@ -15,6 +15,7 @@
 // historical serial implementation for any worker count.
 #pragma once
 
+#include <filesystem>
 #include <memory>
 #include <optional>
 #include <span>
@@ -22,6 +23,7 @@
 
 #include "network/dataset.hpp"
 #include "network/simulation.hpp"
+#include "obs/registry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace joules {
@@ -31,6 +33,15 @@ struct TraceEngineOptions {
   // Upper bound on the sweep's block buffer (per-interface contributions for
   // a window of timesteps). Only affects memory/locality, never results.
   std::size_t max_block_bytes = 8u << 20;
+  // Observability (optional, and inert with JOULES_OBS=OFF). When `registry`
+  // is set, sweeps record work counters (trace.samples, trace.inactive_skips,
+  // trace.blocks, ...) and phase spans; it must have at least as many shards
+  // as the engine has workers (ctor-checked) since worker `slot` writes shard
+  // `slot`. When `manifest_path` is also set, network_traces() writes a run
+  // manifest there on completion. Attaching a registry never changes domain
+  // output — sweeps stay bit-identical (tests/obs/golden_obs_test.cpp).
+  obs::Registry* registry = nullptr;
+  std::filesystem::path manifest_path{};
 };
 
 class TraceEngine {
@@ -72,6 +83,10 @@ class TraceEngine {
 
  private:
   std::vector<InterfaceLoad>& scratch(std::size_t slot) { return scratch_[slot]; }
+
+  [[nodiscard]] NetworkTraces network_traces_impl(SimTime begin, SimTime end,
+                                                  SimTime step);
+  void write_sweep_manifest(SimTime begin, SimTime end, SimTime step) const;
 
   const NetworkSimulation& sim_;
   std::unique_ptr<ThreadPool> owned_pool_;

@@ -1,0 +1,218 @@
+#include "obs/manifest.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "obs/registry.hpp"
+#include "util/atomic_file.hpp"
+#include "util/json.hpp"
+
+namespace joules::obs {
+namespace {
+
+std::string format_u64(std::uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%llu",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+std::string format_ms(std::uint64_t ns) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.3f",
+                static_cast<double>(ns) / 1e6);
+  return buffer;
+}
+
+std::uint64_t read_u64(const Json& parent, std::string_view key) {
+  const Json* value = parent.find(key);
+  if (value == nullptr) {
+    throw std::invalid_argument("manifest: missing field '" +
+                                std::string(key) + "'");
+  }
+  return static_cast<std::uint64_t>(value->as_int64());
+}
+
+std::string read_string(const Json& parent, std::string_view key) {
+  const Json* value = parent.find(key);
+  return value != nullptr ? value->as_string() : std::string();
+}
+
+}  // namespace
+
+std::string build_id() {
+#ifdef JOULES_BUILD_ID
+  return JOULES_BUILD_ID;
+#else
+  return "unknown";
+#endif
+}
+
+std::string config_fingerprint(std::string_view canonical_config) {
+  // FNV-1a 64: tiny, stable across platforms, and good enough to answer "did
+  // these two runs share a configuration" (not a security boundary).
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : canonical_config) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+std::string manifest_json(const ManifestInfo& info, const Registry& registry) {
+  Json root = Json::object();
+  root.set("manifest_version", Json(kManifestVersion));
+  root.set("tool", Json(info.tool));
+  root.set("build", Json(info.build.empty() ? build_id() : info.build));
+  root.set("seed", Json(info.seed));
+  root.set("config_hash", Json(info.config_hash.empty()
+                                   ? config_fingerprint("")
+                                   : info.config_hash));
+  if (!info.notes.empty()) root.set("notes", Json(info.notes));
+
+  Json phases = Json::array();
+  for (const PhaseTotal& phase : registry.phase_totals()) {
+    Json entry = Json::object();
+    entry.set("id", Json(phase.id));
+    entry.set("count", Json(phase.count));
+    entry.set("total_ns", Json(phase.total_ns));
+    phases.push(std::move(entry));
+  }
+  root.set("phases", std::move(phases));
+
+  // Re-parse the registry dump rather than duplicating its serialization:
+  // one code path decides how counters/histograms/spans look as JSON.
+  Json registry_doc = Json::parse(dump_json(registry));
+  for (Json::Member& member : registry_doc.as_object()) {
+    root.set(member.first, std::move(member.second));
+  }
+  return root.dump(2) + "\n";
+}
+
+void write_manifest(const std::filesystem::path& path, const ManifestInfo& info,
+                    const Registry& registry) {
+  write_file_atomic(path, manifest_json(info, registry));
+}
+
+ParsedManifest parse_manifest(std::string_view json_text) {
+  const Json root = Json::parse(json_text);
+  if (!root.is_object()) {
+    throw std::invalid_argument("manifest: top level is not an object");
+  }
+  ParsedManifest out;
+  out.raw = std::string(json_text);
+  out.version = static_cast<int>(read_u64(root, "manifest_version"));
+  if (out.version > kManifestVersion) {
+    throw std::invalid_argument("manifest: version newer than this build");
+  }
+  out.info.tool = read_string(root, "tool");
+  out.info.build = read_string(root, "build");
+  out.info.config_hash = read_string(root, "config_hash");
+  out.info.notes = read_string(root, "notes");
+  out.info.seed = read_u64(root, "seed");
+
+  if (const Json* counters = root.find("counters")) {
+    for (const Json::Member& member : counters->as_object()) {
+      out.counters[member.first] =
+          static_cast<std::uint64_t>(member.second.as_int64());
+    }
+  }
+  if (const Json* phases = root.find("phases")) {
+    for (const Json& entry : phases->as_array()) {
+      const std::string id = read_string(entry, "id");
+      ParsedManifest::Phase phase;
+      phase.count = read_u64(entry, "count");
+      phase.total_ns = read_u64(entry, "total_ns");
+      out.phases[id] = phase;
+      out.phase_order.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::string render_manifest(const ParsedManifest& manifest) {
+  std::string out;
+  out += "tool:        " + manifest.info.tool + "\n";
+  out += "build:       " + manifest.info.build + "\n";
+  out += "seed:        " + format_u64(manifest.info.seed) + "\n";
+  out += "config_hash: " + manifest.info.config_hash + "\n";
+  if (!manifest.info.notes.empty()) {
+    out += "notes:       " + manifest.info.notes + "\n";
+  }
+  if (!manifest.phase_order.empty()) {
+    out += "phases:\n";
+    for (const std::string& id : manifest.phase_order) {
+      const ParsedManifest::Phase& phase = manifest.phases.at(id);
+      out += "  " + id + "  x" + format_u64(phase.count) + "  " +
+             format_ms(phase.total_ns) + " ms\n";
+    }
+  }
+  if (!manifest.counters.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, value] : manifest.counters) {
+      out += "  " + name + " = " + format_u64(value) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string diff_manifests(const ParsedManifest& a, const ParsedManifest& b) {
+  std::string out;
+  if (a.info.build != b.info.build) {
+    out += "build: " + a.info.build + " -> " + b.info.build + "\n";
+  }
+  if (a.info.seed != b.info.seed) {
+    out += "seed: " + format_u64(a.info.seed) + " -> " +
+           format_u64(b.info.seed) + "\n";
+  }
+  if (a.info.config_hash != b.info.config_hash) {
+    out += "config_hash: " + a.info.config_hash + " -> " + b.info.config_hash +
+           "\n";
+  }
+
+  std::size_t counter_diffs = 0;
+  // std::map iteration: sorted, deterministic. Walk the union of names.
+  auto ai = a.counters.begin();
+  auto bi = b.counters.begin();
+  while (ai != a.counters.end() || bi != b.counters.end()) {
+    if (bi == b.counters.end() ||
+        (ai != a.counters.end() && ai->first < bi->first)) {
+      out += "counter " + ai->first + ": " + format_u64(ai->second) +
+             " -> (absent)\n";
+      ++counter_diffs;
+      ++ai;
+    } else if (ai == a.counters.end() || bi->first < ai->first) {
+      out += "counter " + bi->first + ": (absent) -> " +
+             format_u64(bi->second) + "\n";
+      ++counter_diffs;
+      ++bi;
+    } else {
+      if (ai->second != bi->second) {
+        out += "counter " + ai->first + ": " + format_u64(ai->second) +
+               " -> " + format_u64(bi->second) + "\n";
+        ++counter_diffs;
+      }
+      ++ai;
+      ++bi;
+    }
+  }
+
+  // Phase timings are host-dependent: informative, never a "difference".
+  for (const std::string& id : b.phase_order) {
+    const auto in_a = a.phases.find(id);
+    if (in_a == a.phases.end()) continue;
+    out += "phase " + id + ": " + format_ms(in_a->second.total_ns) +
+           " ms -> " + format_ms(b.phases.at(id).total_ns) + " ms\n";
+  }
+
+  if (counter_diffs == 0 && a.info.build == b.info.build &&
+      a.info.seed == b.info.seed && a.info.config_hash == b.info.config_hash) {
+    out = "no differences (counters, seed, build, config all match)\n" + out;
+  }
+  return out;
+}
+
+}  // namespace joules::obs

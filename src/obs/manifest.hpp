@@ -1,0 +1,82 @@
+// Run manifests: one small JSON file per pipeline run that answers "what
+// ran, on what build, with what inputs, and where did the time go".
+//
+// A manifest is the obs::Registry dump wrapped in provenance: the build id
+// (git describe, injected at configure time), the run's seed, a fingerprint
+// of its configuration, per-phase span timings, and the counter totals.
+// TraceEngine sweeps, netpowerbench::Campaign batteries, and the autopower
+// server/client all write one via util::write_file_atomic, so a crash never
+// leaves a torn manifest and a finished run always carries its own audit
+// trail. `joulesctl obs` pretty-prints and diffs them.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace joules::obs {
+
+class Registry;
+
+// The manifest schema version this build reads and writes.
+inline constexpr int kManifestVersion = 1;
+
+// git describe --always --dirty at configure time; "unknown" outside a git
+// checkout or a CMake build.
+[[nodiscard]] std::string build_id();
+
+// FNV-1a 64 over a canonical configuration string, as 16 hex digits. Callers
+// render the knobs that define the run (topology options, campaign timing,
+// seeds) into one string and fingerprint it; two manifests with equal
+// fingerprints ran the same configuration.
+[[nodiscard]] std::string config_fingerprint(std::string_view canonical_config);
+
+struct ManifestInfo {
+  std::string tool;         // "trace_engine", "campaign", "autopower_server", ...
+  std::string build;        // default: build_id()
+  std::uint64_t seed = 0;
+  std::string config_hash;  // default: fingerprint of ""
+  std::string notes;        // free-form, e.g. a topology summary
+};
+
+// The manifest document for `info` + the registry's current state
+// (pretty-printed JSON, trailing newline, deterministic member order).
+[[nodiscard]] std::string manifest_json(const ManifestInfo& info,
+                                        const Registry& registry);
+
+// Atomic write of manifest_json (temp file + fsync + rename).
+void write_manifest(const std::filesystem::path& path, const ManifestInfo& info,
+                    const Registry& registry);
+
+// The read side, for joulesctl and tests. Spans and histograms beyond the
+// phase table are carried through `raw` only.
+struct ParsedManifest {
+  int version = 0;
+  ManifestInfo info;
+  std::map<std::string, std::uint64_t> counters;
+  struct Phase {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+  };
+  std::map<std::string, Phase> phases;      // keyed by span id
+  std::vector<std::string> phase_order;     // ids in run order
+  std::string raw;                          // the full document text
+};
+
+// Throws std::invalid_argument on malformed JSON or a missing/unsupported
+// version field.
+[[nodiscard]] ParsedManifest parse_manifest(std::string_view json_text);
+
+// Human-readable rendering (joulesctl obs <manifest>).
+[[nodiscard]] std::string render_manifest(const ParsedManifest& manifest);
+
+// Side-by-side diff of counters and phase timings (joulesctl obs <a> <b>).
+// Reports "no differences" when counter values match (phase timings are
+// host-dependent and always shown, but never counted as a difference).
+[[nodiscard]] std::string diff_manifests(const ParsedManifest& a,
+                                         const ParsedManifest& b);
+
+}  // namespace joules::obs

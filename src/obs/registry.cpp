@@ -1,0 +1,237 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace joules::obs {
+namespace {
+
+// Decade buckets for histograms observed without a prior define: wide enough
+// for counts, bytes, and nanoseconds alike.
+const std::vector<double>& default_bounds() {
+  static const std::vector<double> bounds = {1.0,   10.0,  1e2, 1e3, 1e4,
+                                             1e5,   1e6,   1e7, 1e8, 1e9};
+  return bounds;
+}
+
+std::size_t bucket_index(const std::vector<double>& upper_bounds, double value) {
+  // First bucket whose upper bound admits the value; past-the-end is the
+  // overflow bucket.
+  const auto it =
+      std::lower_bound(upper_bounds.begin(), upper_bounds.end(), value);
+  return static_cast<std::size_t>(it - upper_bounds.begin());
+}
+
+}  // namespace
+
+Registry::Registry(std::size_t shards, Stopwatch* stopwatch)
+    : stopwatch_(stopwatch != nullptr ? stopwatch : &default_stopwatch()),
+      shards_(std::max<std::size_t>(shards, 1)) {}
+
+void Registry::add(std::size_t shard, std::string_view name,
+                   std::uint64_t delta) {
+  if (shard >= shards_.size()) {
+    throw std::out_of_range("obs::Registry: shard index out of range");
+  }
+  auto& counters = shards_[shard].counters;
+  const auto it = counters.find(name);
+  if (it != counters.end()) {
+    it->second += delta;
+  } else {
+    counters.emplace(std::string(name), delta);
+  }
+}
+
+void Registry::define_histogram(std::string_view name,
+                                std::vector<double> upper_bounds) {
+  if (upper_bounds.empty()) {
+    throw std::invalid_argument("obs::Registry: histogram needs >= 1 bound");
+  }
+  for (std::size_t i = 1; i < upper_bounds.size(); ++i) {
+    if (upper_bounds[i] <= upper_bounds[i - 1]) {
+      throw std::invalid_argument(
+          "obs::Registry: histogram bounds must be strictly increasing");
+    }
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (histogram_bounds_.find(name) != histogram_bounds_.end()) {
+    throw std::invalid_argument("obs::Registry: histogram already defined: " +
+                                std::string(name));
+  }
+  histogram_bounds_.emplace(std::string(name), std::move(upper_bounds));
+}
+
+std::vector<double> Registry::bounds_for(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histogram_bounds_.find(name);
+  if (it != histogram_bounds_.end()) return it->second;
+  return histogram_bounds_.emplace(std::string(name), default_bounds())
+      .first->second;
+}
+
+void Registry::observe(std::size_t shard, std::string_view name, double value) {
+  if (shard >= shards_.size()) {
+    throw std::out_of_range("obs::Registry: shard index out of range");
+  }
+  auto& histograms = shards_[shard].histograms;
+  auto it = histograms.find(name);
+  if (it == histograms.end()) {
+    HistogramValue fresh;
+    fresh.name = std::string(name);
+    fresh.upper_bounds = bounds_for(name);
+    fresh.counts.assign(fresh.upper_bounds.size() + 1, 0);
+    it = histograms.emplace(fresh.name, std::move(fresh)).first;
+  }
+  HistogramValue& histogram = it->second;
+  ++histogram.counts[bucket_index(histogram.upper_bounds, value)];
+  ++histogram.count;
+  histogram.sum += value;
+}
+
+std::size_t Registry::open_span(std::string_view id) {
+  const std::uint64_t start = stopwatch_->now_ns();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SpanRecord record;
+  record.id = std::string(id);
+  record.depth = open_stack_.size();
+  record.start_ns = start;
+  const std::size_t index = span_records_.size();
+  span_records_.push_back(std::move(record));
+  open_stack_.push_back(index);
+  return index;
+}
+
+void Registry::close_span(std::size_t index) {
+  const std::uint64_t end = stopwatch_->now_ns();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (index >= span_records_.size()) {
+    throw std::out_of_range("obs::Registry: bad span index");
+  }
+  SpanRecord& record = span_records_[index];
+  record.duration_ns = end - record.start_ns;
+  // Closing out of order (an escaping exception unwinds outer spans with
+  // inner ones technically open) pops everything above `index` too — those
+  // inner spans already recorded their own close or keep duration 0.
+  while (!open_stack_.empty() && open_stack_.back() >= index) {
+    open_stack_.pop_back();
+  }
+}
+
+std::vector<CounterValue> Registry::counters() const {
+  // Deterministic merge: per-shard maps iterate name-sorted already; fold
+  // shards in index order into one sorted map.
+  std::map<std::string, std::uint64_t, std::less<>> merged;
+  for (const Shard& shard : shards_) {
+    for (const auto& [name, value] : shard.counters) {
+      merged[name] += value;
+    }
+  }
+  std::vector<CounterValue> out;
+  out.reserve(merged.size());
+  for (const auto& [name, value] : merged) {
+    out.push_back(CounterValue{name, value});
+  }
+  return out;
+}
+
+std::uint64_t Registry::counter(std::string_view name) const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    const auto it = shard.counters.find(name);
+    if (it != shard.counters.end()) total += it->second;
+  }
+  return total;
+}
+
+std::vector<HistogramValue> Registry::histograms() const {
+  std::map<std::string, HistogramValue, std::less<>> merged;
+  for (const Shard& shard : shards_) {
+    for (const auto& [name, histogram] : shard.histograms) {
+      const auto it = merged.find(name);
+      if (it == merged.end()) {
+        merged.emplace(name, histogram);
+        continue;
+      }
+      HistogramValue& into = it->second;
+      if (into.upper_bounds != histogram.upper_bounds) {
+        throw std::logic_error(
+            "obs::Registry: shards disagree on histogram bounds for " + name);
+      }
+      for (std::size_t b = 0; b < into.counts.size(); ++b) {
+        into.counts[b] += histogram.counts[b];
+      }
+      into.count += histogram.count;
+      into.sum += histogram.sum;
+    }
+  }
+  std::vector<HistogramValue> out;
+  out.reserve(merged.size());
+  for (auto& [name, histogram] : merged) {
+    out.push_back(std::move(histogram));
+  }
+  return out;
+}
+
+std::vector<SpanRecord> Registry::spans() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return span_records_;
+}
+
+std::vector<PhaseTotal> Registry::phase_totals() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PhaseTotal> out;  // first-seen order: the run's phase sequence
+  for (const SpanRecord& record : span_records_) {
+    if (record.depth != 0) continue;
+    const auto it = std::find_if(out.begin(), out.end(), [&](const PhaseTotal& p) {
+      return p.id == record.id;
+    });
+    if (it != out.end()) {
+      ++it->count;
+      it->total_ns += record.duration_ns;
+    } else {
+      out.push_back(PhaseTotal{record.id, 1, record.duration_ns});
+    }
+  }
+  return out;
+}
+
+std::string dump_json(const Registry& registry) {
+  Json root = Json::object();
+  Json counters = Json::object();
+  for (const CounterValue& counter : registry.counters()) {
+    counters.set(counter.name, Json(counter.value));
+  }
+  root.set("counters", std::move(counters));
+
+  Json histograms = Json::array();
+  for (const HistogramValue& histogram : registry.histograms()) {
+    Json entry = Json::object();
+    entry.set("name", Json(histogram.name));
+    Json bounds = Json::array();
+    for (const double bound : histogram.upper_bounds) bounds.push(Json(bound));
+    entry.set("upper_bounds", std::move(bounds));
+    Json counts = Json::array();
+    for (const std::uint64_t count : histogram.counts) counts.push(Json(count));
+    entry.set("counts", std::move(counts));
+    entry.set("count", Json(histogram.count));
+    entry.set("sum", Json(histogram.sum));
+    histograms.push(std::move(entry));
+  }
+  root.set("histograms", std::move(histograms));
+
+  Json spans = Json::array();
+  for (const SpanRecord& record : registry.spans()) {
+    Json entry = Json::object();
+    entry.set("id", Json(record.id));
+    entry.set("depth", Json(static_cast<std::uint64_t>(record.depth)));
+    entry.set("start_ns", Json(record.start_ns));
+    entry.set("duration_ns", Json(record.duration_ns));
+    spans.push(std::move(entry));
+  }
+  root.set("spans", std::move(spans));
+  return root.dump(2) + "\n";
+}
+
+}  // namespace joules::obs

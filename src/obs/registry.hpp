@@ -1,0 +1,178 @@
+// Process observability: named counters, fixed-bucket histograms, and RAII
+// spans, designed for the repo's determinism contract.
+//
+// This is a different animal from `src/telemetry`, which simulates the SNMP
+// counters of the modeled routers (domain data). `obs` watches the pipeline
+// itself: how many samples a sweep computed, how many windows a campaign
+// retried, how long each phase ran. It must obey two rules the usual
+// metrics libraries ignore:
+//
+//   * No contended state on hot paths. Counters live in per-worker *shards*;
+//     worker `slot` writes only shard `slot` (plain maps, no atomics), and
+//     merged views sum shards in sorted name order — so serialization is
+//     deterministic and the merge never races writers (callers merge after
+//     joins, exactly like the trace engine's reduction contract).
+//   * No observable perturbation. Instrumented code paths produce bit-
+//     identical domain output whether or not a Registry is attached, and
+//     with JOULES_OBS=OFF the instrumentation call sites compile away
+//     entirely (guarded by `if constexpr (obs::kEnabled)`).
+//
+// Spans time phases through the `Stopwatch` seam (stopwatch.hpp): real runs
+// read the host monotonic clock, tests plug a `FakeStopwatch` and assert the
+// span tree bit-exactly. Span ids are static strings chosen by call sites
+// ("trace.network_traces", "campaign.snake", ...).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/stopwatch.hpp"
+
+// CMake defines JOULES_OBS_ENABLED=0 when configured with -DJOULES_OBS=OFF;
+// default to enabled for non-CMake consumers of the header.
+#ifndef JOULES_OBS_ENABLED
+#define JOULES_OBS_ENABLED 1
+#endif
+
+namespace joules::obs {
+
+inline constexpr bool kEnabled = JOULES_OBS_ENABLED != 0;
+
+struct CounterValue {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct HistogramValue {
+  std::string name;
+  // counts[b] tallies observations with value <= upper_bounds[b]; the final
+  // counts entry (size upper_bounds.size() + 1) is the overflow bucket.
+  std::vector<double> upper_bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;  // total observations
+  double sum = 0.0;         // sum of observed values (fold order: shard, then
+                            // observation order — deterministic per shard map)
+};
+
+struct SpanRecord {
+  std::string id;
+  std::size_t depth = 0;  // 0 = top-level; children carry parent depth + 1
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+};
+
+// Top-level (depth 0) spans aggregated by id, in first-seen order — the
+// manifest's per-phase timing table.
+struct PhaseTotal {
+  std::string id;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+};
+
+class Registry {
+ public:
+  // `shards` is the number of independent writer slots (use the thread
+  // pool's worker_count()); `stopwatch` defaults to the process steady
+  // clock. The registry never takes ownership of the stopwatch.
+  explicit Registry(std::size_t shards = 1, Stopwatch* stopwatch = nullptr);
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] Stopwatch& stopwatch() noexcept { return *stopwatch_; }
+
+  // --- Counters (monotonic) ---------------------------------------------
+  // Concurrent calls are safe iff they target distinct shards. Throws
+  // std::out_of_range on a bad shard index.
+  void add(std::size_t shard, std::string_view name, std::uint64_t delta = 1);
+  void add(std::string_view name, std::uint64_t delta = 1) { add(0, name, delta); }
+
+  // --- Histograms (fixed buckets) ---------------------------------------
+  // Bounds must be strictly increasing. Define before threaded use so every
+  // shard buckets identically; an undefined name observed on the fly uses
+  // the default decade bounds {1, 10, ..., 1e9}. Redefining an existing
+  // histogram throws std::invalid_argument (shards may already hold counts).
+  void define_histogram(std::string_view name, std::vector<double> upper_bounds);
+  void observe(std::size_t shard, std::string_view name, double value);
+  void observe(std::string_view name, double value) { observe(0, name, value); }
+
+  // --- Spans -------------------------------------------------------------
+  // Used through the RAII `Span` below; exposed for tests. Span open/close
+  // is mutex-guarded (phase granularity, never per-sample).
+  [[nodiscard]] std::size_t open_span(std::string_view id);
+  void close_span(std::size_t index);
+
+  // --- Merged views -------------------------------------------------------
+  // Deterministic: counters/histograms in sorted name order with values
+  // summed across shards in shard order. Must not race shard writers; call
+  // after workers have joined (the parallel_for contract already guarantees
+  // this for pool users).
+  [[nodiscard]] std::vector<CounterValue> counters() const;
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  [[nodiscard]] std::vector<HistogramValue> histograms() const;
+  [[nodiscard]] std::vector<SpanRecord> spans() const;
+  [[nodiscard]] std::vector<PhaseTotal> phase_totals() const;
+
+ private:
+  struct Shard {
+    std::map<std::string, std::uint64_t, std::less<>> counters;
+    std::map<std::string, HistogramValue, std::less<>> histograms;
+  };
+
+  [[nodiscard]] std::vector<double> bounds_for(std::string_view name);
+
+  Stopwatch* stopwatch_;
+  std::vector<Shard> shards_;
+  // Bucket definitions, shared by all shards and only touched under mutex_.
+  // Each shard copies the bounds into its own HistogramValue on the first
+  // observation of a name, so steady-state observes stay lock-free.
+  std::map<std::string, std::vector<double>, std::less<>> histogram_bounds_;
+
+  mutable std::mutex mutex_;  // guards histogram_bounds_ + span state
+  std::vector<SpanRecord> span_records_;
+  std::vector<std::size_t> open_stack_;
+};
+
+// RAII span: opens on construction, closes (and records its duration) on
+// destruction. A null registry — or a build with JOULES_OBS=OFF — makes the
+// whole object a no-op.
+class Span {
+ public:
+  Span(Registry* registry, const char* id) {
+    if constexpr (kEnabled) {
+      if (registry != nullptr) {
+        registry_ = registry;
+        index_ = registry->open_span(id);
+      }
+    } else {
+      (void)registry;
+      (void)id;
+    }
+  }
+  Span(Registry& registry, const char* id) : Span(&registry, id) {}
+
+  ~Span() {
+    if constexpr (kEnabled) {
+      if (registry_ != nullptr) registry_->close_span(index_);
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Registry* registry_ = nullptr;
+  std::size_t index_ = 0;
+};
+
+// The registry's full state as pretty-printed JSON (sorted counter and
+// histogram names, spans in record order). See manifest.hpp for the
+// run-manifest envelope around this.
+[[nodiscard]] std::string dump_json(const Registry& registry);
+
+}  // namespace joules::obs

@@ -1,0 +1,22 @@
+#include "obs/stopwatch.hpp"
+
+#include <chrono>
+
+namespace joules::obs {
+
+// The one sanctioned host-clock read of the observability layer (allowlisted
+// as such in tools/joules_lint/allowlist.txt): span timings describe this
+// process, not the simulation, and tests substitute FakeStopwatch.
+std::uint64_t SteadyStopwatch::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Stopwatch& default_stopwatch() {
+  static SteadyStopwatch stopwatch;
+  return stopwatch;
+}
+
+}  // namespace joules::obs

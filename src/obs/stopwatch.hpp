@@ -1,0 +1,55 @@
+// The time seam for the observability layer.
+//
+// Span timings are diagnostics about *this process* (how long a sweep phase
+// took on this host), never simulation input — simulation time is SimTime
+// throughout the library. Reading the host clock is therefore legitimate
+// here, but it is confined behind this one seam so that (a) the determinism
+// lint has exactly one reasoned suppression to carry, and (b) tests can swap
+// in `FakeStopwatch` and assert span trees bit-exactly.
+#pragma once
+
+#include <cstdint>
+
+namespace joules::obs {
+
+class Stopwatch {
+ public:
+  virtual ~Stopwatch() = default;
+  // Monotonic nanoseconds since an arbitrary epoch; only differences matter.
+  [[nodiscard]] virtual std::uint64_t now_ns() = 0;
+};
+
+// Host monotonic clock (std::chrono::steady_clock). The single allowlisted
+// wall-clock site of the observability layer.
+class SteadyStopwatch final : public Stopwatch {
+ public:
+  [[nodiscard]] std::uint64_t now_ns() override;
+};
+
+// Process-wide default instance (what a Registry built without an explicit
+// stopwatch uses).
+[[nodiscard]] Stopwatch& default_stopwatch();
+
+// Deterministic stopwatch for tests: every `now_ns` call returns the current
+// value and then advances it by `tick_ns`, so the k-th read is
+// `start_ns + k * tick_ns` regardless of host speed. `advance` models a
+// block of work between reads.
+class FakeStopwatch final : public Stopwatch {
+ public:
+  explicit FakeStopwatch(std::uint64_t start_ns = 0, std::uint64_t tick_ns = 1)
+      : next_(start_ns), tick_(tick_ns) {}
+
+  [[nodiscard]] std::uint64_t now_ns() override {
+    const std::uint64_t value = next_;
+    next_ += tick_;
+    return value;
+  }
+
+  void advance(std::uint64_t ns) noexcept { next_ += ns; }
+
+ private:
+  std::uint64_t next_;
+  std::uint64_t tick_;
+};
+
+}  // namespace joules::obs

@@ -1,0 +1,342 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace joules {
+namespace {
+
+[[noreturn]] void fail(std::size_t offset, const std::string& what) {
+  char where[32];
+  std::snprintf(where, sizeof where, "%zu", offset);
+  throw std::invalid_argument("Json: " + what + " at byte " + where);
+}
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    if (pos >= text.size()) fail(pos, "unexpected end of input");
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(pos, std::string("expected '") + c + "'");
+    ++pos;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail(pos, "bad literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail(pos, "bad literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail(pos, "bad literal");
+        return Json();
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json out = Json::object();
+    skip_ws();
+    if (peek() == '}') { ++pos; return out; }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      out.set(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') { ++pos; continue; }
+      expect('}');
+      return out;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json out = Json::array();
+    skip_ws();
+    if (peek() == ']') { ++pos; return out; }
+    for (;;) {
+      out.push(parse_value());
+      skip_ws();
+      if (peek() == ',') { ++pos; continue; }
+      expect(']');
+      return out;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos >= text.size()) fail(pos, "unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (c != '\\') { out += c; continue; }
+      if (pos >= text.size()) fail(pos, "unterminated escape");
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: fail(pos - 1, "unknown escape");
+      }
+    }
+  }
+
+  std::string parse_unicode_escape() {
+    if (pos + 4 > text.size()) fail(pos, "truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text[pos + static_cast<std::size_t>(i)];
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+      else fail(pos, "bad hex digit in \\u escape");
+    }
+    pos += 4;
+    // UTF-8 encode the BMP code point (surrogate pairs are not needed for
+    // manifests or benchmark output; a lone surrogate encodes as-is).
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return out;
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    bool is_double = false;
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c >= '0' && c <= '9') { ++pos; continue; }
+      if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        if (c == '.' || c == 'e' || c == 'E') is_double = true;
+        ++pos;
+        continue;
+      }
+      break;
+    }
+    const std::string_view token = text.substr(start, pos - start);
+    if (token.empty()) fail(start, "expected a value");
+    if (!is_double) {
+      std::int64_t value = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec == std::errc{} && ptr == token.data() + token.size()) {
+        return Json(value);
+      }
+      // Out-of-range integer: fall through to double.
+    }
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || ptr != token.data() + token.size()) {
+      fail(start, "malformed number");
+    }
+    return Json(value);
+  }
+};
+
+void append_escaped(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+             ' ');
+}
+
+}  // namespace
+
+Json Json::parse(std::string_view text) {
+  Parser parser{text};
+  Json value = parser.parse_value();
+  parser.skip_ws();
+  if (parser.pos != text.size()) fail(parser.pos, "trailing content");
+  return value;
+}
+
+bool Json::as_bool() const {
+  if (kind_ != Kind::kBool) throw std::invalid_argument("Json: not a bool");
+  return bool_;
+}
+
+std::int64_t Json::as_int64() const {
+  if (kind_ != Kind::kInt) throw std::invalid_argument("Json: not an integer");
+  return int_;
+}
+
+double Json::as_double() const {
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  if (kind_ != Kind::kDouble) throw std::invalid_argument("Json: not a number");
+  return double_;
+}
+
+const std::string& Json::as_string() const {
+  if (kind_ != Kind::kString) throw std::invalid_argument("Json: not a string");
+  return string_;
+}
+
+const Json::Array& Json::as_array() const {
+  if (kind_ != Kind::kArray) throw std::invalid_argument("Json: not an array");
+  return array_;
+}
+
+const Json::Object& Json::as_object() const {
+  if (kind_ != Kind::kObject) throw std::invalid_argument("Json: not an object");
+  return object_;
+}
+
+Json::Array& Json::as_array() {
+  if (kind_ != Kind::kArray) throw std::invalid_argument("Json: not an array");
+  return array_;
+}
+
+Json::Object& Json::as_object() {
+  if (kind_ != Kind::kObject) throw std::invalid_argument("Json: not an object");
+  return object_;
+}
+
+const Json* Json::find(std::string_view key) const noexcept {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const Member& member : object_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+void Json::set(std::string key, Json value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  if (kind_ != Kind::kObject) throw std::invalid_argument("Json: not an object");
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+void Json::push(Json value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  if (kind_ != Kind::kArray) throw std::invalid_argument("Json: not an array");
+  array_.push_back(std::move(value));
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  char buffer[64];
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt:
+      std::snprintf(buffer, sizeof buffer, "%lld",
+                    static_cast<long long>(int_));
+      out += buffer;
+      break;
+    case Kind::kDouble:
+      if (!std::isfinite(double_)) {
+        out += "null";  // JSON has no inf/nan; null is the least-wrong spelling
+      } else {
+        std::snprintf(buffer, sizeof buffer, "%.17g", double_);
+        out += buffer;
+      }
+      break;
+    case Kind::kString: append_escaped(out, string_); break;
+    case Kind::kArray: {
+      if (array_.empty()) { out += "[]"; break; }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        append_newline_indent(out, indent, depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) { out += "{}"; break; }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out += ',';
+        append_newline_indent(out, indent, depth + 1);
+        append_escaped(out, object_[i].first);
+        out += indent < 0 ? ":" : ": ";
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace joules

@@ -1,0 +1,89 @@
+// A minimal JSON document model: parse, navigate, dump.
+//
+// Exists for the observability layer (run manifests) and the bench-compare
+// gate (google-benchmark output), not as a general interchange library. Two
+// properties matter here and drove the implementation:
+//
+//   * Locale independence — numbers parse via std::from_chars and print via
+//     snprintf "%.17g"/"%lld", so a manifest written on one machine byte-
+//     compares against one written on another regardless of the host locale.
+//   * Deterministic output — objects preserve insertion order and writers
+//     insert keys in sorted order, so dumping the same document twice (or
+//     after a parse round trip) yields identical bytes.
+//
+// Integers and doubles are distinct kinds: counter values round-trip exactly
+// through std::int64_t and never pass through a double.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace joules {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+  using Array = std::vector<Json>;
+  using Member = std::pair<std::string, Json>;
+  using Object = std::vector<Member>;
+
+  Json() = default;  // null
+  Json(bool value) : kind_(Kind::kBool), bool_(value) {}
+  Json(std::int64_t value) : kind_(Kind::kInt), int_(value) {}
+  Json(std::uint64_t value) : kind_(Kind::kInt), int_(static_cast<std::int64_t>(value)) {}
+  Json(int value) : kind_(Kind::kInt), int_(value) {}
+  Json(double value) : kind_(Kind::kDouble), double_(value) {}
+  Json(std::string value) : kind_(Kind::kString), string_(std::move(value)) {}
+  Json(std::string_view value) : kind_(Kind::kString), string_(value) {}
+  Json(const char* value) : kind_(Kind::kString), string_(value) {}
+
+  [[nodiscard]] static Json array() { Json j; j.kind_ = Kind::kArray; return j; }
+  [[nodiscard]] static Json object() { Json j; j.kind_ = Kind::kObject; return j; }
+
+  // Throws std::invalid_argument (with a byte offset) on malformed input.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+
+  // Typed reads; each throws std::invalid_argument on a kind mismatch.
+  // as_double accepts kInt (counters compared against measured ratios).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int64() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] Object& as_object();
+
+  // Object member lookup (first match); nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept;
+
+  // Builders: `set` appends to an object, `push` to an array; both convert
+  // this value from null to the container kind on first use.
+  void set(std::string key, Json value);
+  void push(Json value);
+
+  // Compact when indent < 0; pretty-printed with `indent` spaces per level
+  // otherwise. Key order is emitted exactly as stored.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace joules

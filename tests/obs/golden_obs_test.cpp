@@ -1,0 +1,93 @@
+// The no-perturbation contract: attaching an obs::Registry to a sweep must
+// not change a single bit of its domain output, and the counters the sweep
+// records must themselves be deterministic across worker counts. (The
+// compile-time half of the contract — JOULES_OBS=OFF builds byte-identical
+// golden traces — is exercised by the CI matrix, which builds and runs this
+// same suite with the registry compiled out.)
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "network/dataset.hpp"
+#include "network/simulation.hpp"
+#include "network/trace_engine.hpp"
+#include "obs/registry.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+const NetworkSimulation& sim() {
+  static NetworkSimulation simulation(build_switch_like_network(), 7);
+  return simulation;
+}
+
+TEST(ObsGolden, AttachingARegistryNeverChangesTraceBits) {
+  const SimTime begin = sim().topology().options.study_begin;
+  const SimTime end = begin + kSecondsPerDay;
+  for (const std::size_t workers : {1u, 4u}) {
+    TraceEngineOptions bare;
+    bare.workers = workers;
+    TraceEngine plain(sim(), bare);
+    const NetworkTraces reference =
+        plain.network_traces(begin, end, kSecondsPerHour);
+
+    obs::Registry registry(workers);
+    TraceEngineOptions observed;
+    observed.workers = workers;
+    observed.registry = &registry;
+    TraceEngine instrumented(sim(), observed);
+    const NetworkTraces traced =
+        instrumented.network_traces(begin, end, kSecondsPerHour);
+
+    EXPECT_EQ(traced.capacity_bps, reference.capacity_bps);
+    ASSERT_EQ(traced.total_power_w.size(), reference.total_power_w.size());
+    for (std::size_t i = 0; i < traced.total_power_w.size(); ++i) {
+      EXPECT_EQ(traced.total_power_w[i].value, reference.total_power_w[i].value)
+          << "workers=" << workers << " i=" << i;
+      EXPECT_EQ(traced.total_traffic_bps[i].value,
+                reference.total_traffic_bps[i].value)
+          << "workers=" << workers << " i=" << i;
+    }
+  }
+}
+
+TEST(ObsGolden, SweepCountersIdenticalAcrossWorkerCounts) {
+  if constexpr (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  const SimTime begin = sim().topology().options.study_begin;
+  const SimTime end = begin + kSecondsPerDay;
+  std::uint64_t reference_samples = 0;
+  std::uint64_t reference_blocks = 0;
+  for (const std::size_t workers : {1u, 4u, 16u}) {
+    obs::Registry registry(workers);
+    TraceEngineOptions options;
+    options.workers = workers;
+    options.registry = &registry;
+    TraceEngine engine(sim(), options);
+    (void)engine.network_traces(begin, end, kSecondsPerHour);
+    const std::uint64_t samples = registry.counter("trace.samples");
+    const std::uint64_t blocks = registry.counter("trace.blocks");
+    EXPECT_GT(samples, 0u);
+    if (reference_samples == 0) {
+      reference_samples = samples;
+      reference_blocks = blocks;
+    } else {
+      EXPECT_EQ(samples, reference_samples) << "workers=" << workers;
+      EXPECT_EQ(blocks, reference_blocks) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(ObsGolden, RegistryWithTooFewShardsIsRejected) {
+  if constexpr (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  obs::Registry registry(1);
+  TraceEngineOptions options;
+  options.workers = 4;
+  options.registry = &registry;
+  EXPECT_THROW(TraceEngine(sim(), options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace joules

@@ -1,0 +1,115 @@
+#include "obs/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+#include "obs/registry.hpp"
+#include "obs/stopwatch.hpp"
+#include "util/atomic_file.hpp"
+
+namespace joules::obs {
+namespace {
+
+TEST(ObsManifest, ConfigFingerprintIsStableFnv1a) {
+  // FNV-1a 64 offset basis: the fingerprint of the empty string.
+  EXPECT_EQ(config_fingerprint(""), "cbf29ce484222325");
+  EXPECT_EQ(config_fingerprint("a"), config_fingerprint("a"));
+  EXPECT_NE(config_fingerprint("a"), config_fingerprint("b"));
+  EXPECT_EQ(config_fingerprint("workers=4").size(), 16u);
+}
+
+TEST(ObsManifest, BuildIdIsNonEmpty) { EXPECT_FALSE(build_id().empty()); }
+
+// A manifest written through write_file_atomic parses back to exactly the
+// info, counters, and phase table that went in.
+TEST(ObsManifest, RoundTripsThroughAtomicWrite) {
+  FakeStopwatch clock(0, 1);
+  Registry registry(2, &clock);
+  registry.add(0, "run.samples", 10);
+  registry.add(1, "run.samples", 32);
+  registry.add(1, "run.retries", 2);
+  // open_span/close_span directly (not the compile-gated RAII Span) so the
+  // round trip stays fully exercised in JOULES_OBS=OFF builds too.
+  registry.close_span(registry.open_span("run.sweep"));
+  registry.close_span(registry.open_span("run.sweep"));
+  registry.close_span(registry.open_span("run.report"));
+
+  ManifestInfo info;
+  info.tool = "unit_test";
+  info.seed = 42;
+  info.config_hash = config_fingerprint("unit config");
+  info.notes = "round trip";
+
+  const std::filesystem::path path =
+      std::filesystem::path(::testing::TempDir()) / "obs_manifest_rt.json";
+  write_manifest(path, info, registry);
+
+  const auto text = read_text_file(path);
+  ASSERT_TRUE(text.has_value());
+  EXPECT_EQ(*text, manifest_json(info, registry));
+
+  const ParsedManifest parsed = parse_manifest(*text);
+  EXPECT_EQ(parsed.version, kManifestVersion);
+  EXPECT_EQ(parsed.info.tool, "unit_test");
+  EXPECT_EQ(parsed.info.build, build_id());
+  EXPECT_EQ(parsed.info.seed, 42u);
+  EXPECT_EQ(parsed.info.config_hash, config_fingerprint("unit config"));
+  EXPECT_EQ(parsed.info.notes, "round trip");
+
+  ASSERT_EQ(parsed.counters.size(), 2u);
+  EXPECT_EQ(parsed.counters.at("run.samples"), 42u);
+  EXPECT_EQ(parsed.counters.at("run.retries"), 2u);
+
+  ASSERT_EQ(parsed.phase_order.size(), 2u);
+  EXPECT_EQ(parsed.phase_order[0], "run.sweep");
+  EXPECT_EQ(parsed.phase_order[1], "run.report");
+  EXPECT_EQ(parsed.phases.at("run.sweep").count, 2u);
+  EXPECT_EQ(parsed.phases.at("run.report").count, 1u);
+  EXPECT_EQ(parsed.raw, *text);
+
+  std::filesystem::remove(path);
+}
+
+TEST(ObsManifest, RenderMentionsToolCountersAndPhases) {
+  FakeStopwatch clock(0, 1);
+  Registry registry(1, &clock);
+  registry.add("run.samples", 7);
+  registry.close_span(registry.open_span("run.sweep"));
+  ManifestInfo info;
+  info.tool = "unit_test";
+  const ParsedManifest parsed = parse_manifest(manifest_json(info, registry));
+  const std::string text = render_manifest(parsed);
+  EXPECT_NE(text.find("unit_test"), std::string::npos);
+  EXPECT_NE(text.find("run.samples"), std::string::npos);
+  EXPECT_NE(text.find("run.sweep"), std::string::npos);
+}
+
+TEST(ObsManifest, DiffReportsCleanForIdenticalAndFlagsCounterDrift) {
+  Registry registry(1);
+  registry.add("run.samples", 7);
+  ManifestInfo info;
+  info.tool = "unit_test";
+  const ParsedManifest a = parse_manifest(manifest_json(info, registry));
+  const std::string clean = diff_manifests(a, a);
+  EXPECT_EQ(clean.rfind("no differences", 0), 0u) << clean;
+
+  Registry other(1);
+  other.add("run.samples", 9);
+  const ParsedManifest b = parse_manifest(manifest_json(info, other));
+  const std::string drift = diff_manifests(a, b);
+  EXPECT_NE(drift.rfind("no differences", 0), 0u) << drift;
+  EXPECT_NE(drift.find("run.samples"), std::string::npos);
+}
+
+TEST(ObsManifest, ParseRejectsMalformedAndWrongVersion) {
+  EXPECT_THROW(parse_manifest("not json"), std::invalid_argument);
+  EXPECT_THROW(parse_manifest("{}"), std::invalid_argument);
+  EXPECT_THROW(parse_manifest("{\"manifest_version\": 99}"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace joules::obs

@@ -1,0 +1,121 @@
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace joules::obs {
+namespace {
+
+TEST(ObsRegistry, CountersMergeAcrossShardsInSortedNameOrder) {
+  Registry registry(3);
+  registry.add(2, "zeta", 5);
+  registry.add(0, "alpha", 1);
+  registry.add(1, "zeta", 7);
+  registry.add(1, "alpha", 2);
+  registry.add(0, "mid", 4);
+
+  const std::vector<CounterValue> merged = registry.counters();
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].name, "alpha");
+  EXPECT_EQ(merged[0].value, 3u);
+  EXPECT_EQ(merged[1].name, "mid");
+  EXPECT_EQ(merged[1].value, 4u);
+  EXPECT_EQ(merged[2].name, "zeta");
+  EXPECT_EQ(merged[2].value, 12u);
+
+  EXPECT_EQ(registry.counter("zeta"), 12u);
+  EXPECT_EQ(registry.counter("missing"), 0u);
+}
+
+TEST(ObsRegistry, AddThrowsOnBadShardIndex) {
+  Registry registry(2);
+  EXPECT_THROW(registry.add(2, "x"), std::out_of_range);
+  EXPECT_THROW(registry.observe(2, "x", 1.0), std::out_of_range);
+}
+
+// The shard-merge determinism contract: each worker writes only its own
+// shard, and the merged totals (and their serialization) depend only on the
+// work range — never on the worker count or scheduling order.
+TEST(ObsRegistry, MergedCountersBitIdenticalAcrossWorkerCounts) {
+  constexpr std::size_t kItems = 1000;
+  std::string reference_dump;
+  for (const std::size_t workers : {1u, 4u, 16u}) {
+    ThreadPool pool(workers);
+    Registry registry(pool.worker_count());
+    registry.define_histogram("work.size", {10.0, 100.0, 500.0});
+    pool.parallel_for(0, kItems, [&](std::size_t begin, std::size_t end,
+                                     std::size_t slot) {
+      for (std::size_t i = begin; i < end; ++i) {
+        registry.add(slot, "work.items");
+        if (i % 2 == 1) registry.add(slot, "work.odd");
+        registry.observe(slot, "work.size", static_cast<double>(i));
+      }
+    });
+    EXPECT_EQ(registry.counter("work.items"), kItems);
+    EXPECT_EQ(registry.counter("work.odd"), kItems / 2);
+
+    const std::string dump = dump_json(registry);
+    if (reference_dump.empty()) {
+      reference_dump = dump;
+    } else {
+      EXPECT_EQ(dump, reference_dump) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(ObsRegistry, HistogramBucketsCountAndOverflow) {
+  Registry registry(1);
+  registry.define_histogram("h", {1.0, 10.0});
+  registry.observe("h", 0.5);   // bucket 0 (<= 1)
+  registry.observe("h", 1.0);   // bucket 0 (inclusive upper bound)
+  registry.observe("h", 5.0);   // bucket 1
+  registry.observe("h", 100.0); // overflow
+
+  const std::vector<HistogramValue> histograms = registry.histograms();
+  ASSERT_EQ(histograms.size(), 1u);
+  const HistogramValue& h = histograms[0];
+  EXPECT_EQ(h.name, "h");
+  ASSERT_EQ(h.upper_bounds.size(), 2u);
+  ASSERT_EQ(h.counts.size(), 3u);
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.counts[2], 1u);
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_DOUBLE_EQ(h.sum, 106.5);
+}
+
+TEST(ObsRegistry, UndefinedHistogramUsesDecadeBoundsAndRedefineThrows) {
+  Registry registry(1);
+  registry.observe("onthefly", 50.0);
+  const std::vector<HistogramValue> histograms = registry.histograms();
+  ASSERT_EQ(histograms.size(), 1u);
+  ASSERT_EQ(histograms[0].upper_bounds.size(), 10u);
+  EXPECT_DOUBLE_EQ(histograms[0].upper_bounds.front(), 1.0);
+  EXPECT_DOUBLE_EQ(histograms[0].upper_bounds.back(), 1e9);
+
+  EXPECT_THROW(registry.define_histogram("onthefly", {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(registry.define_histogram("bad", {2.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(ObsRegistry, DumpJsonIsSortedAndStable) {
+  Registry registry(2);
+  registry.add(1, "b.counter", 2);
+  registry.add(0, "a.counter", 1);
+  const std::string dump = dump_json(registry);
+  EXPECT_NE(dump.find("\"a.counter\""), std::string::npos);
+  EXPECT_NE(dump.find("\"b.counter\""), std::string::npos);
+  EXPECT_LT(dump.find("\"a.counter\""), dump.find("\"b.counter\""));
+  EXPECT_EQ(dump.back(), '\n');
+  EXPECT_EQ(dump, dump_json(registry));  // reading must not mutate
+}
+
+}  // namespace
+}  // namespace joules::obs

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/stopwatch.hpp"
+
+namespace joules::obs {
+namespace {
+
+// With FakeStopwatch(0, 1) every clock read is one tick after the previous,
+// so the full span tree — starts, durations, depths — is a pure function of
+// the open/close sequence and can be asserted bit-exactly.
+TEST(ObsSpan, NestedSpansRecordExactTreeWithFakeStopwatch) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "RAII Span is a no-op when obs is compiled out";
+  FakeStopwatch clock(0, 1);
+  Registry registry(1, &clock);
+  {
+    const Span outer(registry, "phase.outer");   // open reads t=0
+    {
+      const Span inner(registry, "phase.inner"); // open reads t=1
+    }                                            // close reads t=2
+    {
+      const Span inner(registry, "phase.inner"); // open reads t=3
+    }                                            // close reads t=4
+  }                                              // close reads t=5
+
+  const std::vector<SpanRecord> spans = registry.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].id, "phase.outer");
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(spans[0].start_ns, 0u);
+  EXPECT_EQ(spans[0].duration_ns, 5u);
+  EXPECT_EQ(spans[1].id, "phase.inner");
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[1].start_ns, 1u);
+  EXPECT_EQ(spans[1].duration_ns, 1u);
+  EXPECT_EQ(spans[2].id, "phase.inner");
+  EXPECT_EQ(spans[2].depth, 1u);
+  EXPECT_EQ(spans[2].start_ns, 3u);
+  EXPECT_EQ(spans[2].duration_ns, 1u);
+}
+
+TEST(ObsSpan, AdvanceModelsWorkInsideASpan) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "RAII Span is a no-op when obs is compiled out";
+  FakeStopwatch clock(100, 0);  // tick 0: time moves only via advance()
+  Registry registry(1, &clock);
+  {
+    const Span span(registry, "phase.work");
+    clock.advance(250);
+  }
+  const std::vector<SpanRecord> spans = registry.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].start_ns, 100u);
+  EXPECT_EQ(spans[0].duration_ns, 250u);
+}
+
+TEST(ObsSpan, PhaseTotalsAggregateTopLevelSpansInFirstSeenOrder) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "RAII Span is a no-op when obs is compiled out";
+  FakeStopwatch clock(0, 1);
+  Registry registry(1, &clock);
+  { const Span a(registry, "phase.b"); }  // duration 1
+  { const Span b(registry, "phase.a"); }  // duration 1
+  {
+    const Span a(registry, "phase.b");
+    { const Span child(registry, "phase.a"); }  // nested: not a phase
+  }
+
+  const std::vector<PhaseTotal> totals = registry.phase_totals();
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_EQ(totals[0].id, "phase.b");  // first seen, not sorted
+  EXPECT_EQ(totals[0].count, 2u);
+  EXPECT_EQ(totals[1].id, "phase.a");
+  EXPECT_EQ(totals[1].count, 1u);
+}
+
+TEST(ObsSpan, NullRegistrySpanIsANoOp) {
+  const Span span(nullptr, "phase.nothing");  // must not crash or record
+  Registry registry(1);
+  EXPECT_TRUE(registry.spans().empty());
+}
+
+}  // namespace
+}  // namespace joules::obs

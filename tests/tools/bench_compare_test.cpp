@@ -1,0 +1,154 @@
+#include "bench_compare/compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace joules::benchcmp {
+namespace {
+
+constexpr const char* kBaselineJson = R"({
+  "context": {"host_name": "ci"},
+  "benchmarks": [
+    {
+      "name": "BM_NetworkTraces/1",
+      "family_index": 0,
+      "run_name": "BM_NetworkTraces/1",
+      "run_type": "iteration",
+      "repetitions": 1,
+      "threads": 1,
+      "iterations": 3,
+      "real_time": 12.5,
+      "cpu_time": 12.4,
+      "time_unit": "ms",
+      "steps": 4032.0,
+      "obs_trace.samples": 96768.0,
+      "obs_trace.blocks": 28.0
+    },
+    {
+      "name": "BM_NetworkTraces/1",
+      "run_type": "aggregate",
+      "aggregate_name": "mean",
+      "iterations": 3,
+      "real_time": 13.0,
+      "obs_trace.samples": 999999.0
+    }
+  ]
+})";
+
+std::vector<CounterSample> make(
+    std::initializer_list<CounterSample> samples) {
+  return samples;
+}
+
+TEST(BenchCompare, ParseSkipsHarnessFieldsAndKeepsFirstOccurrence) {
+  const std::vector<CounterSample> samples =
+      parse_benchmark_counters(kBaselineJson);
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].counter, "steps");
+  EXPECT_EQ(samples[1].counter, "obs_trace.samples");
+  // The aggregate row's duplicate must not overwrite the first value.
+  EXPECT_DOUBLE_EQ(samples[1].value, 96768.0);
+  EXPECT_EQ(samples[2].counter, "obs_trace.blocks");
+  for (const CounterSample& sample : samples) {
+    EXPECT_EQ(sample.benchmark, "BM_NetworkTraces/1");
+    EXPECT_NE(sample.counter, "real_time");
+    EXPECT_NE(sample.counter, "iterations");
+  }
+}
+
+TEST(BenchCompare, ParsePrefixFilterKeepsOnlyObsCounters) {
+  const std::vector<CounterSample> samples =
+      parse_benchmark_counters(kBaselineJson, "obs_");
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].counter, "obs_trace.samples");
+  EXPECT_EQ(samples[1].counter, "obs_trace.blocks");
+}
+
+TEST(BenchCompare, ParseThrowsWithoutBenchmarksArray) {
+  EXPECT_THROW(parse_benchmark_counters("{}"), std::invalid_argument);
+  EXPECT_THROW(parse_benchmark_counters("not json"), std::invalid_argument);
+}
+
+TEST(BenchCompare, IdenticalRunsPass) {
+  const auto baseline = parse_benchmark_counters(kBaselineJson);
+  const CompareResult result = compare(baseline, baseline, {});
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.counters_checked, 3u);
+}
+
+TEST(BenchCompare, GrowthBeyondThresholdFails) {
+  const auto baseline = make({{"BM_X/1", "obs_trace.samples", 100.0}});
+  const auto slower = make({{"BM_X/1", "obs_trace.samples", 151.0}});
+  const auto within = make({{"BM_X/1", "obs_trace.samples", 149.0}});
+
+  const CompareResult bad = compare(baseline, slower, {});
+  ASSERT_EQ(bad.findings.size(), 1u);
+  EXPECT_EQ(bad.findings[0].kind, Finding::Kind::kGrew);
+  EXPECT_DOUBLE_EQ(bad.findings[0].baseline, 100.0);
+  EXPECT_DOUBLE_EQ(bad.findings[0].current, 151.0);
+
+  EXPECT_TRUE(compare(baseline, within, {}).ok());
+  // Shrinking is always fine: less work is not a regression.
+  const auto faster = make({{"BM_X/1", "obs_trace.samples", 10.0}});
+  EXPECT_TRUE(compare(baseline, faster, {}).ok());
+}
+
+TEST(BenchCompare, MissingBenchmarkAndCounterAreDistinctFindings) {
+  const auto baseline = make({{"BM_X/1", "obs_a", 5.0},
+                              {"BM_Y/1", "obs_b", 5.0}});
+  const auto current = make({{"BM_X/1", "obs_other", 5.0}});
+  const CompareResult result = compare(baseline, current, {});
+  ASSERT_EQ(result.findings.size(), 2u);
+  EXPECT_EQ(result.findings[0].kind, Finding::Kind::kMissingCounter);
+  EXPECT_EQ(result.findings[1].kind, Finding::Kind::kMissingBenchmark);
+}
+
+TEST(BenchCompare, WorkAppearingFromZeroFails) {
+  const auto baseline = make({{"BM_X/1", "obs_retries", 0.0}});
+  const auto clean = make({{"BM_X/1", "obs_retries", 0.0}});
+  const auto dirty = make({{"BM_X/1", "obs_retries", 3.0}});
+  EXPECT_TRUE(compare(baseline, clean, {}).ok());
+  const CompareResult result = compare(baseline, dirty, {});
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].kind, Finding::Kind::kAppeared);
+}
+
+TEST(BenchCompare, PrefixOptionRestrictsTheGate) {
+  const auto baseline = make({{"BM_X/1", "obs_a", 100.0},
+                              {"BM_X/1", "steps", 100.0}});
+  const auto current = make({{"BM_X/1", "obs_a", 100.0},
+                             {"BM_X/1", "steps", 1000.0}});
+  CompareOptions options;
+  options.counter_prefix = "obs_";
+  const CompareResult result = compare(baseline, current, options);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.counters_checked, 1u);
+}
+
+TEST(BenchCompare, ThresholdMustBePositive) {
+  CompareOptions options;
+  options.threshold = 0.0;
+  EXPECT_THROW(compare({}, {}, options), std::invalid_argument);
+}
+
+TEST(BenchCompare, ReportNamesTheCounterAndSummarizes) {
+  const auto baseline = make({{"BM_X/1", "obs_a", 100.0}});
+  const auto current = make({{"BM_X/1", "obs_a", 200.0}});
+  const CompareOptions options;
+  const CompareResult result = compare(baseline, current, options);
+  const std::string report = render_report(result, options);
+  EXPECT_NE(report.find("BM_X/1 obs_a"), std::string::npos);
+  EXPECT_NE(report.find("1 counter(s) checked, 1 regression(s)"),
+            std::string::npos);
+
+  const CompareResult clean = compare(baseline, baseline, options);
+  EXPECT_NE(render_report(clean, options)
+                .find("1 counter(s) checked, 0 regression(s)"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace joules::benchcmp

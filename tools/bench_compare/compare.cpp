@@ -1,0 +1,155 @@
+#include "bench_compare/compare.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace joules::benchcmp {
+namespace {
+
+// google-benchmark's own per-entry fields; everything numeric beyond these
+// is a user counter.
+constexpr std::array<std::string_view, 14> kHarnessFields = {
+    "name",       "family_index",   "per_family_instance_index",
+    "run_name",   "run_type",       "repetitions",
+    "repetition_index",             "threads",
+    "iterations", "real_time",      "cpu_time",
+    "time_unit",  "aggregate_name", "aggregate_unit",
+};
+
+bool is_harness_field(std::string_view key) {
+  return std::find(kHarnessFields.begin(), kHarnessFields.end(), key) !=
+         kHarnessFields.end();
+}
+
+std::string format_value(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+const CounterSample* find_sample(const std::vector<CounterSample>& samples,
+                                 const std::string& benchmark,
+                                 const std::string& counter) {
+  for (const CounterSample& sample : samples) {
+    if (sample.benchmark == benchmark && sample.counter == counter) {
+      return &sample;
+    }
+  }
+  return nullptr;
+}
+
+bool has_benchmark(const std::vector<CounterSample>& samples,
+                   const std::string& benchmark) {
+  return std::any_of(samples.begin(), samples.end(),
+                     [&](const CounterSample& sample) {
+                       return sample.benchmark == benchmark;
+                     });
+}
+
+}  // namespace
+
+std::vector<CounterSample> parse_benchmark_counters(
+    std::string_view json_text, std::string_view counter_prefix) {
+  const Json root = Json::parse(json_text);
+  const Json* benchmarks = root.find("benchmarks");
+  if (benchmarks == nullptr || !benchmarks->is_array()) {
+    throw std::invalid_argument(
+        "bench_compare: no \"benchmarks\" array (not google-benchmark JSON?)");
+  }
+  std::vector<CounterSample> out;
+  for (const Json& entry : benchmarks->as_array()) {
+    const Json* name = entry.find("name");
+    if (name == nullptr) continue;
+    for (const Json::Member& member : entry.as_object()) {
+      if (is_harness_field(member.first)) continue;
+      const Json::Kind kind = member.second.kind();
+      if (kind != Json::Kind::kInt && kind != Json::Kind::kDouble) continue;
+      if (member.first.rfind(counter_prefix, 0) != 0) continue;
+      if (find_sample(out, name->as_string(), member.first) != nullptr) {
+        continue;  // aggregate repetition rows: first wins
+      }
+      out.push_back(CounterSample{name->as_string(), member.first,
+                                  member.second.as_double()});
+    }
+  }
+  return out;
+}
+
+CompareResult compare(const std::vector<CounterSample>& baseline,
+                      const std::vector<CounterSample>& current,
+                      const CompareOptions& options) {
+  if (options.threshold <= 0.0) {
+    throw std::invalid_argument("bench_compare: threshold must be positive");
+  }
+  CompareResult result;
+  for (const CounterSample& expected : baseline) {
+    if (expected.counter.rfind(options.counter_prefix, 0) != 0) continue;
+    ++result.counters_checked;
+    Finding finding;
+    finding.benchmark = expected.benchmark;
+    finding.counter = expected.counter;
+    finding.baseline = expected.value;
+    const CounterSample* actual =
+        find_sample(current, expected.benchmark, expected.counter);
+    if (actual == nullptr) {
+      finding.kind = has_benchmark(current, expected.benchmark)
+                         ? Finding::Kind::kMissingCounter
+                         : Finding::Kind::kMissingBenchmark;
+      result.findings.push_back(std::move(finding));
+      continue;
+    }
+    finding.current = actual->value;
+    // Counters are non-negative; <= 0 is the "no work recorded" case.
+    if (expected.value <= 0.0) {
+      if (actual->value > 0.0) {
+        finding.kind = Finding::Kind::kAppeared;
+        result.findings.push_back(std::move(finding));
+      }
+      continue;
+    }
+    if (actual->value / expected.value > options.threshold) {
+      finding.kind = Finding::Kind::kGrew;
+      result.findings.push_back(std::move(finding));
+    }
+  }
+  return result;
+}
+
+std::string render_report(const CompareResult& result,
+                          const CompareOptions& options) {
+  std::string out;
+  for (const Finding& finding : result.findings) {
+    out += finding.benchmark + " " + finding.counter + ": ";
+    switch (finding.kind) {
+      case Finding::Kind::kGrew:
+        out += format_value(finding.baseline) + " -> " +
+               format_value(finding.current) + " (x" +
+               format_value(finding.current / finding.baseline) +
+               " > threshold x" + format_value(options.threshold) + ")";
+        break;
+      case Finding::Kind::kAppeared:
+        out += "0 -> " + format_value(finding.current) +
+               " (work appeared where the baseline had none)";
+        break;
+      case Finding::Kind::kMissingBenchmark:
+        out += "benchmark missing from the current run";
+        break;
+      case Finding::Kind::kMissingCounter:
+        out += "counter missing from the current run";
+        break;
+    }
+    out += "\n";
+  }
+  char summary[128];
+  std::snprintf(summary, sizeof summary,
+                "%zu counter(s) checked, %zu regression(s)\n",
+                result.counters_checked, result.findings.size());
+  out += summary;
+  return out;
+}
+
+}  // namespace joules::benchcmp

@@ -1,0 +1,79 @@
+// The counter-based perf gate behind CI's perf-smoke job.
+//
+// Wall time on shared CI runners is noise: a neighbour's build can double a
+// benchmark's real_time without any code change. The deterministic work
+// counters the benches export (obs_trace.samples, steps, routers, ...) are
+// not: they are pure functions of the workload, identical on every machine.
+// So the gate compares *counters* between a committed baseline JSON and a
+// fresh run, and fails only when a counter grew beyond the threshold — which
+// means the code now does more work per iteration (an accidental quadratic,
+// a lost skip path), something runner noise cannot cause or excuse.
+//
+// Input is google-benchmark's JSON output format; counters are the numeric
+// members of each benchmark object beyond the harness's own fields
+// (real_time, cpu_time, iterations, ...), which are ignored by design.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace joules::benchcmp {
+
+struct CounterSample {
+  std::string benchmark;  // e.g. "BM_NetworkTraces/4"
+  std::string counter;    // e.g. "obs_trace.samples"
+  double value = 0.0;
+};
+
+struct CompareOptions {
+  // Fail when current / baseline exceeds this (and on a counter vanishing or
+  // appearing from zero). 1.5 tolerates deliberate small growth — block-size
+  // tweaks shifting trace.blocks — while catching anything super-linear.
+  double threshold = 1.5;
+  // Only counters whose name starts with this participate; "" gates all.
+  std::string counter_prefix;
+};
+
+struct Finding {
+  enum class Kind {
+    kGrew,              // current / baseline > threshold
+    kAppeared,          // baseline 0 (or absent as a value), current > 0
+    kMissingBenchmark,  // baseline benchmark absent from the current run
+    kMissingCounter,    // benchmark present but the counter vanished
+  };
+  Kind kind = Kind::kGrew;
+  std::string benchmark;
+  std::string counter;
+  double baseline = 0.0;
+  double current = 0.0;
+};
+
+struct CompareResult {
+  std::vector<Finding> findings;   // empty = gate passes
+  std::size_t counters_checked = 0;
+  [[nodiscard]] bool ok() const noexcept { return findings.empty(); }
+};
+
+// Extracts (benchmark, counter, value) triples from google-benchmark JSON.
+// Counters are numeric members of each "benchmarks" entry that are not
+// harness fields; `counter_prefix` filters by name ("" keeps all). Repeated
+// entries (aggregates) keep the first occurrence of each (benchmark,
+// counter). Throws std::invalid_argument on malformed JSON or a missing
+// "benchmarks" array.
+[[nodiscard]] std::vector<CounterSample> parse_benchmark_counters(
+    std::string_view json_text, std::string_view counter_prefix = "");
+
+// Walks every baseline counter and checks it against the current run. The
+// baseline drives the loop: counters only the current run has are informative
+// (new instrumentation), never failures — committing the new baseline adopts
+// them.
+[[nodiscard]] CompareResult compare(const std::vector<CounterSample>& baseline,
+                                    const std::vector<CounterSample>& current,
+                                    const CompareOptions& options = {});
+
+// Human-readable report (one line per finding + a summary line).
+[[nodiscard]] std::string render_report(const CompareResult& result,
+                                        const CompareOptions& options);
+
+}  // namespace joules::benchcmp

@@ -1,0 +1,78 @@
+// bench_compare — CI gate comparing two google-benchmark JSON files by their
+// deterministic work counters (see compare.hpp for why not wall time).
+//
+//   bench_compare <baseline.json> <current.json> [--threshold X] [--prefix P]
+//
+// Exit codes: 0 gate passes, 1 regression(s) found, 2 usage or I/O error.
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "bench_compare/compare.hpp"
+#include "util/atomic_file.hpp"
+
+using namespace joules;
+
+namespace {
+
+// Locale-independent CLI double parse (from_chars, never atof).
+std::optional<double> parse_double_arg(const char* text) {
+  double value = 0.0;
+  const char* end = text + std::strlen(text);
+  const auto [ptr, ec] = std::from_chars(text, end, value);
+  if (ec != std::errc{} || ptr != end || end == text) return std::nullopt;
+  return value;
+}
+
+int usage() {
+  std::fputs(
+      "usage: bench_compare <baseline.json> <current.json>"
+      " [--threshold X] [--prefix P]\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  benchcmp::CompareOptions options;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      const auto parsed = parse_double_arg(argv[++i]);
+      if (!parsed.has_value() || *parsed <= 0.0) {
+        std::fputs("bench_compare: bad --threshold\n", stderr);
+        return 2;
+      }
+      options.threshold = *parsed;
+    } else if (std::strcmp(argv[i], "--prefix") == 0 && i + 1 < argc) {
+      options.counter_prefix = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    const auto baseline_text = read_text_file(argv[1]);
+    if (!baseline_text) {
+      std::fprintf(stderr, "bench_compare: cannot open %s\n", argv[1]);
+      return 2;
+    }
+    const auto current_text = read_text_file(argv[2]);
+    if (!current_text) {
+      std::fprintf(stderr, "bench_compare: cannot open %s\n", argv[2]);
+      return 2;
+    }
+    const auto baseline = benchcmp::parse_benchmark_counters(*baseline_text);
+    const auto current = benchcmp::parse_benchmark_counters(*current_text);
+    const benchcmp::CompareResult result =
+        benchcmp::compare(baseline, current, options);
+    std::fputs(benchcmp::render_report(result, options).c_str(), stdout);
+    return result.ok() ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "bench_compare: %s\n", error.what());
+    return 2;
+  }
+}

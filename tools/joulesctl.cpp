@@ -10,6 +10,8 @@
 //   joulesctl audit [seed]                        network-wide power audit
 //   joulesctl zoo-stats <dir>                     summarize a Power Zoo directory
 //   joulesctl zoo-dossier <dir> <model>           one device across all sources
+//   joulesctl obs <manifest.json>                 pretty-print a run manifest
+//   joulesctl obs <a.json> <b.json>               diff two run manifests
 //   joulesctl lint [repo-root]                    determinism lint with fix hints
 //
 // Exit codes: 0 ok, 1 usage error, 2 runtime failure, 3 campaign completed
@@ -28,6 +30,8 @@
 #include "model/model_io.hpp"
 #include "netpowerbench/campaign.hpp"
 #include "netpowerbench/derivation.hpp"
+#include "obs/manifest.hpp"
+#include "obs/registry.hpp"
 #include "network/dataset.hpp"
 #include "network/simulation.hpp"
 #include "util/atomic_file.hpp"
@@ -60,6 +64,7 @@ int usage() {
       "  joulesctl audit [seed]\n"
       "  joulesctl zoo-stats <dir>\n"
       "  joulesctl zoo-dossier <dir> <device-model>\n"
+      "  joulesctl obs <manifest.json> [other-manifest.json]\n"
       "  joulesctl lint [repo-root]\n",
       stderr);
   return 1;
@@ -113,10 +118,15 @@ int cmd_campaign(const std::string& model_name, const std::string& checkpoint,
     return 1;
   }
   SimulatedRouter dut(*spec, 20250706);
+  obs::Registry registry;
   CampaignOptions options;
   options.lab.start_time = make_time(2025, 7, 1);
   options.lab.measure_s = 900;
   options.checkpoint_path = checkpoint;
+  // The battery's run manifest rides next to the checkpoint; refreshed after
+  // every completed run, so a killed campaign keeps its audit trail too.
+  options.registry = &registry;
+  options.manifest_path = checkpoint + ".manifest.json";
   Campaign campaign(dut, PowerMeter(PowerMeterSpec{}, 20250707), options);
   if (disturb_prob > 0.0) {
     campaign.set_fault_plan(
@@ -161,6 +171,9 @@ int cmd_campaign(const std::string& model_name, const std::string& checkpoint,
   if (!out_path.empty()) {
     model_to_csv(derived.model).write_file(out_path);
     std::printf("wrote %s\n", out_path.c_str());
+  }
+  if constexpr (obs::kEnabled) {
+    std::printf("manifest: %s\n", options.manifest_path.string().c_str());
   }
   if (overall == TermConfidence::kLow) {
     std::fputs("campaign failed: low-confidence terms were zeroed; "
@@ -291,6 +304,32 @@ int cmd_zoo_dossier(const std::string& dir, const std::string& model) {
   return 0;
 }
 
+// Pretty-print one run manifest, or diff two. Exit 0 on print / no
+// counter differences, 1 when a diff found differences, 2 on unreadable or
+// malformed manifests.
+int cmd_obs(const std::string& path_a, const std::string& path_b) {
+  const auto text_a = read_text_file(path_a);
+  if (!text_a) {
+    std::fprintf(stderr, "cannot open %s\n", path_a.c_str());
+    return 2;
+  }
+  const obs::ParsedManifest a = obs::parse_manifest(*text_a);
+  if (path_b.empty()) {
+    std::fputs(obs::render_manifest(a).c_str(), stdout);
+    return 0;
+  }
+  const auto text_b = read_text_file(path_b);
+  if (!text_b) {
+    std::fprintf(stderr, "cannot open %s\n", path_b.c_str());
+    return 2;
+  }
+  const obs::ParsedManifest b = obs::parse_manifest(*text_b);
+  const std::string diff = obs::diff_manifests(a, b);
+  std::fputs(diff.c_str(), stdout);
+  const bool clean = diff.rfind("no differences", 0) == 0;
+  return clean ? 0 : 1;
+}
+
 // The determinism lint in report mode: always prints fix hints, so a
 // developer staring at a finding knows the sanctioned replacement. The bare
 // `joules_lint` binary is the terse CI gate; this is the human front end.
@@ -332,6 +371,9 @@ int main(int argc, char** argv) {
     if (command == "zoo-stats" && argc >= 3) return cmd_zoo_stats(argv[2]);
     if (command == "zoo-dossier" && argc >= 4) {
       return cmd_zoo_dossier(argv[2], argv[3]);
+    }
+    if (command == "obs" && argc >= 3) {
+      return cmd_obs(argv[2], argc >= 4 ? argv[3] : "");
     }
     if (command == "lint") return cmd_lint(argc >= 3 ? argv[2] : ".");
   } catch (const std::exception& error) {
