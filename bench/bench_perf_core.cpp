@@ -9,6 +9,7 @@
 
 #include <cstring>
 #include <filesystem>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -142,31 +143,50 @@ void BM_NetworkTraces(benchmark::State& state) {
 BENCHMARK(BM_NetworkTraces)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
-// Production-scale variant: every tier count x4 (~428 routers), 2 days at
-// 5-minute steps. Guards the sweep's scaling in router count, not just time.
+// Builds (once per scale factor, cached for the process) the Switch-like
+// network with every tier count multiplied by `scale`. scale=1 is the stock
+// topology (~107 routers); scale=4 is production-scale (~428).
+const NetworkSimulation& scaled_sim(int scale) {
+  static std::map<int, NetworkSimulation> sims;
+  const auto it = sims.find(scale);
+  if (it != sims.end()) return it->second;
+  TopologyOptions options;
+  options.pop_count *= scale;
+  options.access_asr920 *= scale;
+  options.access_n540x *= scale;
+  options.access_asr9001 *= scale;
+  options.agg_n540 *= scale;
+  options.agg_ncs24q6h *= scale;
+  options.agg_ncs48q6h *= scale;
+  options.core_ncs24h *= scale;
+  options.core_nexus9336 *= scale;
+  options.core_8201_32fh *= scale;
+  options.core_8201_24h8fh *= scale;
+  return sims
+      .emplace(std::piecewise_construct, std::forward_as_tuple(scale),
+               std::forward_as_tuple(build_switch_like_network(options), 7))
+      .first->second;
+}
+
+// Scaling variant: 2 days at 5-minute steps across a router-count axis.
+// Args are {workers, scale, reuse_quantum_s}: scale multiplies every tier
+// count (x4 ~= 428 routers), and a non-zero quantum turns on the trace
+// engine's incremental sweep (versioned sample-and-hold; see DESIGN.md).
+// Guards the sweep's scaling in router count, and the quantum rows pin the
+// skip path: obs_trace.samples_reused is floor-gated by bench_compare so a
+// lost reuse path fails CI even though it only *adds* work.
 void BM_NetworkTracesScaled(benchmark::State& state) {
-  static const NetworkSimulation sim = [] {
-    TopologyOptions options;
-    options.pop_count *= 4;
-    options.access_asr920 *= 4;
-    options.access_n540x *= 4;
-    options.access_asr9001 *= 4;
-    options.agg_n540 *= 4;
-    options.agg_ncs24q6h *= 4;
-    options.agg_ncs48q6h *= 4;
-    options.core_ncs24h *= 4;
-    options.core_nexus9336 *= 4;
-    options.core_8201_32fh *= 4;
-    options.core_8201_24h8fh *= 4;
-    return NetworkSimulation(build_switch_like_network(options), 7);
-  }();
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  const int scale = static_cast<int>(state.range(1));
+  const auto quantum = static_cast<SimTime>(state.range(2));
+  const NetworkSimulation& sim = scaled_sim(scale);
   const SimTime begin = sim.topology().options.study_begin;
   const SimTime end = begin + 2 * kSecondsPerDay;
-  const auto workers = static_cast<std::size_t>(state.range(0));
   obs::Registry registry(workers);
   TraceEngineOptions options;
   options.workers = workers;
   options.registry = &registry;
+  options.reuse_quantum_s = quantum;
   TraceEngine engine(sim, options);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -177,7 +197,15 @@ void BM_NetworkTracesScaled(benchmark::State& state) {
       benchmark::Counter::kIsIterationInvariant);
   export_obs_counters(state, registry);
 }
-BENCHMARK(BM_NetworkTracesScaled)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+BENCHMARK(BM_NetworkTracesScaled)
+    ->Args({1, 1, 0})
+    ->Args({4, 1, 0})
+    ->Args({1, 4, 0})
+    ->Args({2, 4, 0})
+    ->Args({4, 4, 0})
+    ->Args({8, 4, 0})
+    ->Args({1, 4, 3600})
+    ->Args({4, 4, 3600})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

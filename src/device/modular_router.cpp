@@ -65,6 +65,7 @@ int SimulatedModularRouter::seat_linecard(const std::string& card_model) {
     if (!slots_[slot].card.has_value()) {
       slots_[slot].card = card_model;
       slots_[slot].powered = true;
+      shell_dirty_ = true;
       return static_cast<int>(slot);
     }
   }
@@ -82,6 +83,7 @@ void SimulatedModularRouter::unseat_linecard(int slot) {
   for (Interface& iface : interfaces_) {
     if (iface.slot == slot) iface.slot = -1;
   }
+  shell_dirty_ = true;
 }
 
 void SimulatedModularRouter::set_linecard_powered(int slot, bool powered) {
@@ -89,7 +91,10 @@ void SimulatedModularRouter::set_linecard_powered(int slot, bool powered) {
   if (!entry.card.has_value()) {
     throw std::invalid_argument("SimulatedModularRouter: empty slot");
   }
-  entry.powered = powered;
+  if (entry.powered != powered) {
+    entry.powered = powered;
+    shell_dirty_ = true;
+  }
 }
 
 bool SimulatedModularRouter::linecard_powered(int slot) const {
@@ -136,16 +141,43 @@ std::size_t SimulatedModularRouter::add_interface(int slot,
                       std::to_string(interfaces_.size());
   shell_.add_interface(profile, state, iface.config.name);
   interfaces_.push_back(std::move(iface));
+  shell_dirty_ = true;
   return interfaces_.size() - 1;
 }
 
 void SimulatedModularRouter::set_interface_state(std::size_t index,
                                                  InterfaceState state) {
-  interfaces_.at(index).config.state = state;
+  Interface& iface = interfaces_.at(index);
+  if (iface.config.state == state) return;
+  iface.config.state = state;
+  shell_dirty_ = true;
 }
 
 std::size_t SimulatedModularRouter::interface_count() const noexcept {
   return interfaces_.size();
+}
+
+void SimulatedModularRouter::sync_shell() const {
+  // Sync the shell: interfaces on removed or powered-off cards are dark.
+  // The shell's own set_interface_state skips unchanged states, so its
+  // compiled power plan survives a sync that changes nothing.
+  dark_.resize(interfaces_.size());
+  for (std::size_t i = 0; i < interfaces_.size(); ++i) {
+    const Interface& iface = interfaces_[i];
+    const bool dark =
+        iface.slot < 0 ||
+        !slots_[static_cast<std::size_t>(iface.slot)].powered;
+    dark_[i] = dark ? 1 : 0;
+    shell_.set_interface_state(i, dark ? InterfaceState::kEmpty
+                                       : iface.config.state);
+  }
+  card_power_w_ = 0.0;
+  for (const Slot& slot : slots_) {
+    if (slot.card.has_value() && slot.powered) {
+      card_power_w_ += card_spec(*slot.card).power_w;
+    }
+  }
+  shell_dirty_ = false;
 }
 
 double SimulatedModularRouter::dc_power_w(
@@ -154,28 +186,19 @@ double SimulatedModularRouter::dc_power_w(
     throw std::invalid_argument(
         "SimulatedModularRouter: loads/interfaces size mismatch");
   }
-  // Sync the shell: interfaces on removed or powered-off cards are dark.
-  std::vector<InterfaceLoad> effective(interfaces_.size());
-  for (std::size_t i = 0; i < interfaces_.size(); ++i) {
-    const Interface& iface = interfaces_[i];
-    const bool dark =
-        iface.slot < 0 ||
-        !slots_[static_cast<std::size_t>(iface.slot)].powered;
-    shell_.set_interface_state(i, dark ? InterfaceState::kEmpty
-                                       : iface.config.state);
-    if (!loads.empty() && !dark) effective[i] = loads[i];
-  }
-
-  double card_power = 0.0;
-  for (const Slot& slot : slots_) {
-    if (slot.card.has_value() && slot.powered) {
-      card_power += card_spec(*slot.card).power_w;
+  if (shell_dirty_) sync_shell();
+  // Loads change every call; the dark mask and card power do not. Reuse the
+  // scratch vector so steady-state sampling allocates nothing.
+  effective_.assign(interfaces_.size(), InterfaceLoad{});
+  if (!loads.empty()) {
+    for (std::size_t i = 0; i < interfaces_.size(); ++i) {
+      if (dark_[i] == 0) effective_[i] = loads[i];
     }
   }
   return shell_.dc_power_w(t, loads.empty() ? std::span<const InterfaceLoad>{}
                                             : std::span<const InterfaceLoad>(
-                                                  effective)) +
-         card_power;
+                                                  effective_)) +
+         card_power_w_;
 }
 
 double SimulatedModularRouter::wall_power_w(

@@ -98,6 +98,7 @@ class SimulatedModularRouter {
   };
 
   [[nodiscard]] const LinecardSpec& card_spec(const std::string& model) const;
+  void sync_shell() const;
 
   ModularChassisSpec spec_;
   std::vector<Slot> slots_;
@@ -105,6 +106,17 @@ class SimulatedModularRouter {
   // The chassis shell (fans, control plane, PSUs) is a SimulatedRouter with
   // the linecard power folded into its base dynamically.
   mutable SimulatedRouter shell_;
+
+  // Seat/power/state-derived caches, rebuilt by sync_shell() only when a
+  // mutator flips shell_dirty_ — so steady-state power calls reuse the
+  // shell's compiled plan and the summed card power instead of re-deriving
+  // both per call. Same thread-safety stance as SimulatedRouter's plan
+  // cache: safe under per-router sharding, not concurrent calls on one
+  // router.
+  mutable bool shell_dirty_ = true;
+  mutable double card_power_w_ = 0.0;
+  mutable std::vector<std::uint8_t> dark_;          // per interface: card off/gone
+  mutable std::vector<InterfaceLoad> effective_;    // per-call loads scratch
 };
 
 // A reference modular platform for tests/benches: an 8-slot core chassis

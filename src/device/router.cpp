@@ -64,19 +64,39 @@ std::size_t SimulatedRouter::add_interface(const ProfileKey& profile,
                           std::to_string(interfaces_.size())
                     : std::move(name);
   interfaces_.push_back(std::move(config));
+  plan_valid_ = false;
   return interfaces_.size() - 1;
+}
+
+const PowerPlan& SimulatedRouter::power_plan() const {
+  if (!plan_valid_ || plan_.model_revision() != spec_.truth.revision()) {
+    plan_ = PowerPlan::compile(spec_.truth, interfaces_);
+    plan_valid_ = true;
+    ++plan_rebuilds_;
+  }
+  return plan_;
 }
 
 void SimulatedRouter::set_interface_state(std::size_t index,
                                           InterfaceState state) {
-  interfaces_.at(index).state = state;
+  InterfaceConfig& config = interfaces_.at(index);
+  if (config.state == state) return;  // no-op: keep the compiled plan
+  config.state = state;
+  plan_valid_ = false;
 }
 
 void SimulatedRouter::set_all_interfaces(InterfaceState state) {
-  for (InterfaceConfig& config : interfaces_) config.state = state;
+  for (InterfaceConfig& config : interfaces_) {
+    if (config.state == state) continue;
+    config.state = state;
+    plan_valid_ = false;
+  }
 }
 
-void SimulatedRouter::clear_interfaces() { interfaces_.clear(); }
+void SimulatedRouter::clear_interfaces() {
+  interfaces_.clear();
+  plan_valid_ = false;
+}
 
 void SimulatedRouter::add_reporting_shift(SimTime t, double delta_w) {
   reporting_shifts_.emplace_back(t, delta_w);
@@ -123,11 +143,15 @@ double SimulatedRouter::control_plane_w(SimTime t) const noexcept {
 
 double SimulatedRouter::dc_power_w(SimTime t,
                                    std::span<const InterfaceLoad> loads) const {
-  const PowerModel::Prediction truth = spec_.truth.predict(interfaces_, loads);
-  if (!truth.unmatched_interfaces.empty()) {
+  // The compiled plan is bit-identical to spec_.truth.predict(interfaces_,
+  // loads) — the property suite in tests/model/power_plan_test.cpp holds
+  // that line — so this is the same arithmetic minus the per-call profile
+  // lookups. evaluate() validates the loads size exactly like predict().
+  const PowerPlan& plan = power_plan();
+  const double truth_total = plan.total_w(loads);
+  if (!plan.complete()) {
     throw std::logic_error("SimulatedRouter: no truth profile for interface '" +
-                           truth.unmatched_interfaces.front() + "' on " +
-                           spec_.model);
+                           plan.unmatched().front() + "' on " + spec_.model);
   }
   if (rebooting(t)) {
     // Boot loader + fans: the forwarding plane is down, interfaces draw
@@ -135,7 +159,7 @@ double SimulatedRouter::dc_power_w(SimTime t,
     return 0.55 * spec_.truth.base_power_w() +
            fan_.power_w(ambient_c(t), t, os_update_at_);
   }
-  return truth.total_w() + fan_.power_w(ambient_c(t), t, os_update_at_) +
+  return truth_total + fan_.power_w(ambient_c(t), t, os_update_at_) +
          control_plane_w(t);
 }
 

@@ -26,6 +26,7 @@
 #include "device/fan.hpp"
 #include "device/psu_sim.hpp"
 #include "model/power_model.hpp"
+#include "model/power_plan.hpp"
 
 namespace joules {
 
@@ -148,6 +149,21 @@ class SimulatedRouter {
 
   [[nodiscard]] const std::vector<SimulatedPsu>& psus() const noexcept { return psus_; }
 
+  // --- Compiled power plan ----------------------------------------------
+  // The columnar kernel for the current (truth model, interfaces) pair,
+  // compiled lazily and cached. Interface mutators invalidate it; a no-op
+  // `set_interface_state` (same state) deliberately does not, so the
+  // sweep's per-segment state sync stays rebuild-free. The cache is
+  // `mutable`: like every other use of this class it is safe under the
+  // sweep's per-router sharding (no two threads touch the same router), not
+  // under concurrent calls on one router.
+  [[nodiscard]] const PowerPlan& power_plan() const;
+  // How many times the plan has been (re)compiled — the obs layer's
+  // `plan.rebuilds` source. Monotonic.
+  [[nodiscard]] std::uint64_t plan_rebuilds() const noexcept {
+    return plan_rebuilds_;
+  }
+
   static constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
 
  private:
@@ -170,6 +186,11 @@ class SimulatedRouter {
     double delta_c = 0.0;
   };
   std::vector<AmbientTransient> ambient_transients_;
+
+  // Lazily compiled columnar kernel; see power_plan().
+  mutable PowerPlan plan_;
+  mutable bool plan_valid_ = false;
+  mutable std::uint64_t plan_rebuilds_ = 0;
 };
 
 }  // namespace joules

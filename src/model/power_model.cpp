@@ -6,6 +6,7 @@ namespace joules {
 
 void PowerModel::add_profile(InterfaceProfile profile) {
   profiles_.insert_or_assign(profile.key, std::move(profile));
+  ++revision_;
 }
 
 const InterfaceProfile* PowerModel::find_profile(const ProfileKey& key) const {

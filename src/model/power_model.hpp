@@ -10,6 +10,7 @@
 // configuration (one `InterfaceConfig` per interface) and a load vector.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <span>
@@ -72,7 +73,16 @@ class PowerModel {
   explicit PowerModel(double base_power_w) : base_power_w_(base_power_w) {}
 
   [[nodiscard]] double base_power_w() const noexcept { return base_power_w_; }
-  void set_base_power_w(double value) noexcept { base_power_w_ = value; }
+  void set_base_power_w(double value) noexcept {
+    base_power_w_ = value;
+    ++revision_;
+  }
+
+  // Monotonic mutation counter: bumped by every add_profile /
+  // set_base_power_w. Compiled artifacts (PowerPlan) snapshot it so callers
+  // can detect a stale plan without comparing whole models. Not part of the
+  // model's value: copies carry it along, but operator== ignores it.
+  [[nodiscard]] std::uint64_t revision() const noexcept { return revision_; }
 
   void add_profile(InterfaceProfile profile);
   [[nodiscard]] const InterfaceProfile* find_profile(const ProfileKey& key) const;
@@ -104,11 +114,15 @@ class PowerModel {
   [[nodiscard]] double port_down_saving_w(const ProfileKey& key,
                                           const InterfaceLoad& load = {}) const;
 
-  friend bool operator==(const PowerModel&, const PowerModel&) = default;
+  friend bool operator==(const PowerModel& lhs, const PowerModel& rhs) {
+    return lhs.base_power_w_ == rhs.base_power_w_ &&
+           lhs.profiles_ == rhs.profiles_;
+  }
 
  private:
   double base_power_w_ = 0.0;
   std::map<ProfileKey, InterfaceProfile> profiles_;
+  std::uint64_t revision_ = 0;
 };
 
 }  // namespace joules

@@ -1,0 +1,81 @@
+#include "model/power_plan.hpp"
+
+#include <stdexcept>
+
+namespace joules {
+
+PowerPlan PowerPlan::compile(const PowerModel& model,
+                             std::span<const InterfaceConfig> configs) {
+  PowerPlan plan;
+  plan.config_count_ = configs.size();
+  plan.model_revision_ = model.revision();
+  plan.base_w_ = model.base_power_w();
+
+  plan.up_index_.reserve(configs.size());
+  plan.energy_per_bit_.reserve(configs.size());
+  plan.energy_per_packet_.reserve(configs.size());
+  plan.offset_w_.reserve(configs.size());
+
+  // Mirrors the loop body of PowerModel::predict exactly: same skip rules,
+  // same per-accumulator addition order. The static sums folded here are the
+  // ones predict would produce for zero load.
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const InterfaceConfig& config = configs[i];
+    if (config.state == InterfaceState::kEmpty) continue;
+
+    const InterfaceProfile* profile = model.find_profile_relaxed(config.profile);
+    if (profile == nullptr) {
+      plan.unmatched_.push_back(config.name);
+      continue;
+    }
+
+    plan.trx_in_w_ += profile->trx_in_power_w;
+    if (config.state == InterfaceState::kEnabled ||
+        config.state == InterfaceState::kUp) {
+      plan.port_w_ += profile->port_power_w;
+    }
+    if (config.state == InterfaceState::kUp) {
+      plan.trx_up_w_ += profile->trx_up_power_w;
+      plan.up_index_.push_back(static_cast<std::uint32_t>(i));
+      plan.energy_per_bit_.push_back(profile->energy_per_bit_j);
+      plan.energy_per_packet_.push_back(profile->energy_per_packet_j);
+      plan.offset_w_.push_back(profile->offset_power_w);
+    }
+  }
+  return plan;
+}
+
+PowerBreakdown PowerPlan::evaluate(std::span<const InterfaceLoad> loads) const {
+  if (!loads.empty() && loads.size() != config_count_) {
+    throw std::invalid_argument("PowerPlan::evaluate: loads/configs size mismatch");
+  }
+
+  PowerBreakdown b;
+  b.base_w = base_w_;
+  b.port_w = port_w_;
+  b.trx_in_w = trx_in_w_;
+  b.trx_up_w = trx_up_w_;
+
+  if (!loads.empty()) {
+    // The zero-load branch is kept (rather than a masked multiply-add) so the
+    // accumulators match predict bit for bit, including the -0.0 corner.
+    double bit_w = 0.0;
+    double pkt_w = 0.0;
+    double offset_w = 0.0;
+    const std::size_t n = up_index_.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      const InterfaceLoad& load = loads[up_index_[k]];
+      if (load.rate_bps > 0.0 || load.rate_pps > 0.0) {
+        bit_w += energy_per_bit_[k] * load.rate_bps;
+        pkt_w += energy_per_packet_[k] * load.rate_pps;
+        offset_w += offset_w_[k];
+      }
+    }
+    b.bit_w = bit_w;
+    b.pkt_w = pkt_w;
+    b.offset_w = offset_w;
+  }
+  return b;
+}
+
+}  // namespace joules

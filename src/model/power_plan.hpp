@@ -1,0 +1,100 @@
+// The columnar power-evaluation kernel.
+//
+// `PowerModel::predict` is the reference implementation of Eq. 1-6: per
+// interface it resolves a profile through a `std::map` (plus the relaxed
+// rate fallback) and branches on the admin state. That is the right shape
+// for one-off predictions, but the network sweeps evaluate the *same*
+// configuration thousands of times with only the loads changing — and there
+// the map walks and state branches dominate the per-sample cost.
+//
+// A `PowerPlan` compiles a (model, configs) pair once into struct-of-arrays
+// form:
+//
+//   * the static terms (P_base, sum P_port, sum P_trx,in, sum P_trx,up) are
+//     folded at compile time, in exactly the accumulation order `predict`
+//     uses, so they are constants of the plan;
+//   * the dynamic coefficients (E_bit, E_pkt, P_offset) of the `kUp`
+//     interfaces are packed into parallel arrays together with their load
+//     index, so `evaluate` is a branch-light linear pass with no profile
+//     lookups, no strings, and no per-interface state dispatch.
+//
+// The contract is *bit-identity*: for the configs it was compiled from,
+// `plan.evaluate(loads)` equals `model.predict(configs, loads).breakdown`
+// field for field, bit for bit (tests/model/power_plan_test.cpp sweeps this
+// over randomized models/configs/loads). A plan is a snapshot: it must be
+// recompiled after any mutation of the model (watch `PowerModel::revision`)
+// or of the interface configs (callers own that dirty bit; see
+// `SimulatedRouter`, which rebuilds its plan on interface-state changes and
+// counts rebuilds for the obs layer).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/power_model.hpp"
+
+namespace joules {
+
+class PowerPlan {
+ public:
+  // An empty plan: zero interfaces, zero static power. Usable but useless;
+  // compile() is the real constructor.
+  PowerPlan() = default;
+
+  // Compiles `model` against `configs`. Interfaces whose profile is unknown
+  // are recorded in `unmatched()` and contribute nothing, exactly like
+  // `predict`'s `unmatched_interfaces`.
+  [[nodiscard]] static PowerPlan compile(const PowerModel& model,
+                                         std::span<const InterfaceConfig> configs);
+
+  // Bit-identical equivalent of `model.predict(configs, loads).breakdown`
+  // for the compiled configs. `loads` is empty (static-only) or must have
+  // one entry per compiled config (throws std::invalid_argument otherwise,
+  // like `predict`).
+  [[nodiscard]] PowerBreakdown evaluate(std::span<const InterfaceLoad> loads) const;
+
+  // `evaluate(loads).total_w()` without materializing the breakdown at the
+  // call site.
+  [[nodiscard]] double total_w(std::span<const InterfaceLoad> loads) const {
+    return evaluate(loads).total_w();
+  }
+
+  // Interfaces that had no (relaxed) profile at compile time, in config
+  // order — mirrors `Prediction::unmatched_interfaces`.
+  [[nodiscard]] const std::vector<std::string>& unmatched() const noexcept {
+    return unmatched_;
+  }
+  [[nodiscard]] bool complete() const noexcept { return unmatched_.empty(); }
+
+  // Number of configs the plan was compiled from (the required loads size).
+  [[nodiscard]] std::size_t config_count() const noexcept { return config_count_; }
+  // Number of `kUp` interfaces carrying dynamic terms.
+  [[nodiscard]] std::size_t up_count() const noexcept { return up_index_.size(); }
+
+  // The model revision captured at compile time; compare against the live
+  // model's `revision()` to detect staleness.
+  [[nodiscard]] std::uint64_t model_revision() const noexcept {
+    return model_revision_;
+  }
+
+ private:
+  // Static terms, folded at compile time in predict's accumulation order.
+  double base_w_ = 0.0;
+  double port_w_ = 0.0;
+  double trx_in_w_ = 0.0;
+  double trx_up_w_ = 0.0;
+
+  // Parallel arrays over the `kUp` interfaces, ascending config order.
+  std::vector<std::uint32_t> up_index_;  // index into the loads span
+  std::vector<double> energy_per_bit_;
+  std::vector<double> energy_per_packet_;
+  std::vector<double> offset_w_;
+
+  std::vector<std::string> unmatched_;
+  std::size_t config_count_ = 0;
+  std::uint64_t model_revision_ = 0;
+};
+
+}  // namespace joules

@@ -86,7 +86,8 @@ InterfaceLoad NetworkSimulation::interface_load(std::size_t router,
   if (deployed.spare) return {};
   const DiurnalWorkload& workload =
       workloads_[workload_offset_[router] + iface];
-  return {workload.rate_bps(t), workload.packet_rate_pps(t)};
+  const DiurnalWorkload::Sample sample = workload.sample(t);
+  return {sample.rate_bps, sample.packet_rate_pps};
 }
 
 void NetworkSimulation::loads_into(std::size_t router, SimTime t,
@@ -105,12 +106,24 @@ std::vector<InterfaceLoad> NetworkSimulation::loads(std::size_t router,
   return out;
 }
 
+std::size_t NetworkSimulation::max_interface_count() const noexcept {
+  std::size_t max_count = 0;
+  for (const DeployedRouter& deployed : topology_.routers) {
+    max_count = std::max(max_count, deployed.interfaces.size());
+  }
+  return max_count;
+}
+
+std::uint64_t NetworkSimulation::plan_rebuilds() const noexcept {
+  std::uint64_t total = 0;
+  for (const SimulatedRouter& device : devices_) total += device.plan_rebuilds();
+  return total;
+}
+
 void NetworkSimulation::sync_states(std::size_t router, SimTime t) const {
   // Interface states only change at override boundaries; skip the per-step
   // resync while `t` stays within the segment we last synced to.
-  const std::vector<SimTime>& edges = router_edges_[router];
-  const std::ptrdiff_t segment =
-      std::upper_bound(edges.begin(), edges.end(), t) - edges.begin();
+  const std::ptrdiff_t segment = override_segment(router, t);
   if (synced_segment_[router] == segment) return;
   SimulatedRouter& device = devices_[router];
   const std::size_t count = topology_.routers.at(router).interfaces.size();

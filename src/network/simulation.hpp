@@ -23,7 +23,10 @@
 // queries.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -105,6 +108,35 @@ class NetworkSimulation {
   [[nodiscard]] std::size_t override_count() const noexcept {
     return overrides_.size();
   }
+
+  // The dirty-tracking seam for incremental sweeps: which inter-boundary
+  // segment of this router's override-edge list `t` falls in. Interface
+  // states — and therefore the device's compiled power plan — can only
+  // change when this value changes (or the router's active window opens or
+  // closes). Pure query; safe under any sharding.
+  [[nodiscard]] std::ptrdiff_t override_segment(std::size_t router,
+                                                SimTime t) const {
+    const std::vector<SimTime>& edges = router_edges_[router];
+    return std::upper_bound(edges.begin(), edges.end(), t) - edges.begin();
+  }
+
+  // First override boundary strictly after `t` (the end of `t`'s segment),
+  // or SimTime's max when none remains. Incremental sweeps hold a router's
+  // power until this time: within [t, end) the override segment — and so
+  // the power, absent workload-bucket changes — cannot change.
+  [[nodiscard]] SimTime override_segment_end(std::size_t router,
+                                             SimTime t) const {
+    const std::vector<SimTime>& edges = router_edges_[router];
+    const auto it = std::upper_bound(edges.begin(), edges.end(), t);
+    return it == edges.end() ? std::numeric_limits<SimTime>::max() : *it;
+  }
+
+  // Largest interface count of any router — the capacity bound sweep
+  // engines pre-reserve their load scratch to.
+  [[nodiscard]] std::size_t max_interface_count() const noexcept;
+
+  // Total power-plan compilations across all devices (obs: plan.rebuilds).
+  [[nodiscard]] std::uint64_t plan_rebuilds() const noexcept;
 
   // Transceiver removal: from `t` on, the interface is physically empty
   // (unlike a "down" override, this removes P_trx,in too).

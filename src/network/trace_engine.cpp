@@ -39,24 +39,31 @@ TraceEngine::TraceEngine(const NetworkSimulation& sim, TraceEngineOptions option
       owned_pool_(std::make_unique<ThreadPool>(options.workers)),
       pool_(owned_pool_.get()),
       options_(options) {
-  iface_offset_.reserve(sim_.router_count());
-  for (std::size_t r = 0; r < sim_.router_count(); ++r) {
-    iface_offset_.push_back(iface_total_);
-    iface_total_ += sim_.topology().routers[r].interfaces.size();
-  }
-  scratch_.resize(pool_->worker_count());
-  check_registry_shards(options_.registry, pool_->worker_count());
+  init();
 }
 
 TraceEngine::TraceEngine(const NetworkSimulation& sim, ThreadPool& pool,
                          TraceEngineOptions options)
     : sim_(sim), pool_(&pool), options_(options) {
+  init();
+}
+
+void TraceEngine::init() {
+  if (options_.reuse_quantum_s < 0) {
+    throw std::invalid_argument("TraceEngine: reuse_quantum_s must be >= 0");
+  }
   iface_offset_.reserve(sim_.router_count());
   for (std::size_t r = 0; r < sim_.router_count(); ++r) {
     iface_offset_.push_back(iface_total_);
     iface_total_ += sim_.topology().routers[r].interfaces.size();
   }
   scratch_.resize(pool_->worker_count());
+  // Reserve every worker's load scratch up to the largest router once, so
+  // loads_into never reallocates mid-sweep.
+  const std::size_t max_ifaces = sim_.max_interface_count();
+  for (std::vector<InterfaceLoad>& slot_scratch : scratch_) {
+    slot_scratch.reserve(max_ifaces);
+  }
   check_registry_shards(options_.registry, pool_->worker_count());
 }
 
@@ -104,12 +111,24 @@ NetworkTraces TraceEngine::network_traces_impl(SimTime begin, SimTime end,
   // timesteps; the reduction then folds each timestep serially in the flat
   // order of the original loops, which keeps results bit-identical for any
   // worker count (floating-point addition is not associative, so the fold
-  // order is part of the output contract).
+  // order is part of the output contract). Layout is timestep-major
+  // (power[j * routers + r], contrib[j * iface_total_ + flat_iface]): a
+  // router-step's interface writes and the reduction's per-timestep reads
+  // are then both contiguous, where the router-major layout strided every
+  // one of them by the block length.
   const std::size_t row_bytes = sizeof(double) * (iface_total_ + routers);
   const std::size_t block = std::clamp<std::size_t>(
       row_bytes > 0 ? options_.max_block_bytes / row_bytes : n, 1, n);
   std::vector<double> power(routers * block, 0.0);
   std::vector<double> contrib(iface_total_ * block, 0.0);
+
+  // Incremental mode: fresh carries per sweep (buckets are begin-relative,
+  // so a stale carry from an earlier window would alias).
+  const SimTime quantum = options_.reuse_quantum_s;
+  if (quantum > 0) {
+    carry_.assign(routers, ReuseCarry{});
+    carry_contrib_.assign(iface_total_, 0.0);
+  }
 
   std::size_t block_begin = 0;
   std::size_t m = 0;
@@ -120,40 +139,76 @@ NetworkTraces TraceEngine::network_traces_impl(SimTime begin, SimTime end,
     // registry touch per chunk, and with JOULES_OBS=OFF it compiles away
     // (taking these dead stores with it).
     std::uint64_t samples = 0;
+    std::uint64_t computed = 0;
+    std::uint64_t reused = 0;
     std::uint64_t skips = 0;
     for (std::size_t r = r0; r < r1; ++r) {
-      double* power_row = power.data() + r * block;
-      double* contrib_rows = contrib.data() + iface_offset_[r] * block;
       const double* div = divisor.data() + iface_offset_[r];
       const std::size_t iface_count =
           sim_.topology().routers[r].interfaces.size();
       for (std::size_t j = 0; j < m; ++j) {
+        double& power_slot = power[j * routers + r];
+        double* contrib_row = contrib.data() + j * iface_total_ + iface_offset_[r];
         const SimTime t =
             begin + static_cast<SimTime>(block_begin + j) * step;
         if (!sim_.active(r, t)) {
           ++skips;
-          power_row[j] = 0.0;
-          for (std::size_t i = 0; i < iface_count; ++i) {
-            contrib_rows[i * block + j] = 0.0;
-          }
+          power_slot = 0.0;
+          for (std::size_t i = 0; i < iface_count; ++i) contrib_row[i] = 0.0;
+          // A decommission/commission boundary invalidates the carry, so a
+          // router that comes (back) up always recomputes.
+          if (quantum > 0) carry_[r].valid = false;
           continue;
         }
         ++samples;
-        power_row[j] = sim_.wall_power_w(r, t, loads);
+        if (quantum > 0) {
+          ReuseCarry& carry = carry_[r];
+          double* carry_contrib = carry_contrib_.data() + iface_offset_[r];
+          if (carry.valid && t < carry.hold_until) {
+            ++reused;
+            power_slot = carry.power;
+            for (std::size_t i = 0; i < iface_count; ++i) {
+              contrib_row[i] = carry_contrib[i];
+            }
+            continue;
+          }
+          ++computed;
+          power_slot = sim_.wall_power_w(r, t, loads);
+          for (std::size_t i = 0; i < iface_count; ++i) {
+            const double value = loads[i].rate_bps / div[i];
+            contrib_row[i] = value;
+            carry_contrib[i] = value;
+          }
+          const SimTime bucket_end = begin + ((t - begin) / quantum + 1) * quantum;
+          carry.power = power_slot;
+          carry.hold_until =
+              std::min(sim_.override_segment_end(r, t), bucket_end);
+          carry.valid = true;
+          continue;
+        }
+        ++computed;
+        power_slot = sim_.wall_power_w(r, t, loads);
         for (std::size_t i = 0; i < iface_count; ++i) {
           // Loads sum both directions; halve to count carried traffic, and
           // halve internal links again (seen by both endpoints).
-          contrib_rows[i * block + j] = loads[i].rate_bps / div[i];
+          contrib_row[i] = loads[i].rate_bps / div[i];
         }
       }
     }
     if constexpr (obs::kEnabled) {
       if (options_.registry != nullptr) {
         options_.registry->add(slot, "trace.samples", samples);
+        options_.registry->add(slot, "trace.samples_computed", computed);
+        options_.registry->add(slot, "trace.samples_reused", reused);
         options_.registry->add(slot, "trace.inactive_skips", skips);
       }
     }
   };
+
+  std::uint64_t rebuilds_before = 0;
+  if constexpr (obs::kEnabled) {
+    if (options_.registry != nullptr) rebuilds_before = sim_.plan_rebuilds();
+  }
 
   for (block_begin = 0; block_begin < n; block_begin += m) {
     m = std::min(block, n - block_begin);
@@ -161,13 +216,15 @@ NetworkTraces TraceEngine::network_traces_impl(SimTime begin, SimTime end,
     pool_->parallel_for(0, routers, fill);
     for (std::size_t j = 0; j < m; ++j) {
       const SimTime t = begin + static_cast<SimTime>(block_begin + j) * step;
+      const double* power_row = power.data() + j * routers;
       double power_sum = 0.0;
       for (std::size_t r = 0; r < routers; ++r) {
-        power_sum += power[r * block + j];
+        power_sum += power_row[r];
       }
+      const double* contrib_row = contrib.data() + j * iface_total_;
       double traffic = 0.0;
       for (std::size_t g = 0; g < iface_total_; ++g) {
-        traffic += contrib[g * block + j];
+        traffic += contrib_row[g];
       }
       traces.total_power_w.push(t, power_sum);
       traces.total_traffic_bps.push(t, traffic);
@@ -177,6 +234,15 @@ NetworkTraces TraceEngine::network_traces_impl(SimTime begin, SimTime end,
         options_.registry->add("trace.blocks");
         options_.registry->add("trace.timesteps", m);
       }
+    }
+  }
+  if constexpr (obs::kEnabled) {
+    if (options_.registry != nullptr) {
+      // How many device power plans this sweep forced to (re)compile —
+      // steady state is one per router for the first sweep and ~zero after,
+      // since the per-segment state sync skips no-op state writes.
+      options_.registry->add("plan.rebuilds",
+                             sim_.plan_rebuilds() - rebuilds_before);
     }
   }
   return traces;

@@ -42,6 +42,21 @@ struct TraceEngineOptions {
   // output — sweeps stay bit-identical (tests/obs/golden_obs_test.cpp).
   obs::Registry* registry = nullptr;
   std::filesystem::path manifest_path{};
+  // Incremental sweep (opt-in). 0 — the default — is the exact sweep: every
+  // active (router, timestep) sample is computed, bit-identical to the
+  // historical serial implementation. A positive value Q switches
+  // network_traces() to sample-and-hold semantics: a router's sample is
+  // recomputed only on timesteps where its override segment changed
+  // (NetworkSimulation::override_segment — the dirty-tracking seam), its
+  // active window opened, or the sweep crossed a Q-second bucket boundary
+  // (floor((t - begin) / Q) changed); between recompute points the previous
+  // power sample and per-interface traffic contributions are carried
+  // forward. That is a *versioned* semantic, not an approximation bug:
+  // workloads vary every timestep (diurnal/growth/jitter), so honest reuse
+  // must quantize them — see DESIGN.md. For a fixed Q the result is again
+  // bit-identical across worker counts and block sizes, and a sweep whose
+  // step >= Q degenerates to the exact sweep.
+  SimTime reuse_quantum_s = 0;
 };
 
 class TraceEngine {
@@ -84,6 +99,7 @@ class TraceEngine {
  private:
   std::vector<InterfaceLoad>& scratch(std::size_t slot) { return scratch_[slot]; }
 
+  void init();
   [[nodiscard]] NetworkTraces network_traces_impl(SimTime begin, SimTime end,
                                                   SimTime step);
   void write_sweep_manifest(SimTime begin, SimTime end, SimTime step) const;
@@ -95,6 +111,23 @@ class TraceEngine {
   std::vector<std::size_t> iface_offset_;  // router -> first flat iface index
   std::size_t iface_total_ = 0;
   std::vector<std::vector<InterfaceLoad>> scratch_;  // one per worker slot
+
+  // Incremental-sweep carry (reuse_quantum_s > 0 only). Indexed by router /
+  // flat interface, so carries survive block boundaries and worker
+  // reassignment; reset at every sweep start. Written under the per-router
+  // sharding contract, like the devices themselves.
+  struct ReuseCarry {
+    double power = 0.0;
+    // The carried sample holds until the first recompute point after it:
+    // min(end of its override segment, end of its quantum bucket). Within a
+    // sweep each router's time only moves forward, so `t < hold_until` is
+    // exactly "same segment and same bucket" — one comparison instead of an
+    // upper_bound and a division per reused sample.
+    SimTime hold_until = 0;
+    bool valid = false;
+  };
+  std::vector<ReuseCarry> carry_;      // per router
+  std::vector<double> carry_contrib_;  // per flat iface: carried rate/divisor
 };
 
 }  // namespace joules

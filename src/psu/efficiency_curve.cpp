@@ -18,16 +18,51 @@ EfficiencyCurve::EfficiencyCurve(std::vector<Point> points)
       throw std::invalid_argument("EfficiencyCurve: loads must strictly increase");
     }
   }
+  build_segment_hints();
+}
+
+std::size_t EfficiencyCurve::cell(double load_frac) const noexcept {
+  // Monotone in load_frac: subtract-constant, multiply-by-positive-constant,
+  // and truncation are all monotone under round-to-nearest. Monotonicity is
+  // what makes the hints safe; exactness is not required.
+  const double x = (load_frac - grid_lo_) * grid_scale_;
+  if (x <= 0.0) return 0;
+  const auto last = static_cast<double>(kGridCells - 1);
+  if (x >= last) return kGridCells - 1;
+  return static_cast<std::size_t>(x);
+}
+
+void EfficiencyCurve::build_segment_hints() {
+  grid_lo_ = points_.front().load_frac;
+  grid_scale_ = static_cast<double>(kGridCells) /
+                (points_.back().load_frac - points_.front().load_frac);
+  // Index 1 is the smallest possible upper_bound answer once the front clamp
+  // has fired, so it is always a safe scan start.
+  hint_.assign(kGridCells, 1);
+  // A load mapped to a cell strictly above cell(points_[p].load_frac) is,
+  // by monotonicity of cell(), strictly above points_[p].load_frac itself —
+  // so its upper_bound answer is at least p + 1.
+  for (std::size_t p = 1; p + 1 < points_.size(); ++p) {
+    const std::size_t g = cell(points_[p].load_frac);
+    if (g + 1 < kGridCells) {
+      hint_[g + 1] = static_cast<std::uint32_t>(p + 1);
+    }
+  }
+  for (std::size_t g = 1; g < kGridCells; ++g) {
+    hint_[g] = std::max(hint_[g], hint_[g - 1]);
+  }
 }
 
 double EfficiencyCurve::at(double load_frac) const noexcept {
   if (load_frac <= points_.front().load_frac) return points_.front().efficiency;
   if (load_frac >= points_.back().load_frac) return points_.back().efficiency;
-  const auto upper = std::upper_bound(
-      points_.begin(), points_.end(), load_frac,
-      [](double l, const Point& p) { return l < p.load_frac; });
-  const Point& hi = *upper;
-  const Point& lo = *std::prev(upper);
+  // Equivalent to std::upper_bound over points_ (first point with
+  // load_frac strictly greater), started from the grid hint. The back
+  // clamp above guarantees the scan terminates before end().
+  std::size_t idx = hint_[cell(load_frac)];
+  while (points_[idx].load_frac <= load_frac) ++idx;
+  const Point& hi = points_[idx];
+  const Point& lo = points_[idx - 1];
   const double t = (load_frac - lo.load_frac) / (hi.load_frac - lo.load_frac);
   return lo.efficiency + t * (hi.efficiency - lo.efficiency);
 }

@@ -7,6 +7,7 @@
 // offset calibrated from a single (load, efficiency) observation.
 #pragma once
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -41,7 +42,22 @@ class EfficiencyCurve {
   static constexpr double kMinEfficiency = 0.05;
 
  private:
+  // The segment-hint grid: `at` is on the per-sample hot path (once per PSU
+  // per timestep), so instead of a binary search per call the constructor
+  // precomputes, for each uniform grid cell over [front, back], a safe
+  // lower bound on the `upper_bound` answer for any load in that cell. `at`
+  // then scans forward at most a segment or two. The hints are constructed
+  // with the same float expression `cell()` uses, so the selected (lo, hi)
+  // segment — and therefore the interpolated value — is bit-identical to
+  // the binary-search implementation.
+  static constexpr std::size_t kGridCells = 64;
+  [[nodiscard]] std::size_t cell(double load_frac) const noexcept;
+  void build_segment_hints();
+
   std::vector<Point> points_;
+  std::vector<std::uint32_t> hint_;  // per grid cell: scan-start point index
+  double grid_lo_ = 0.0;
+  double grid_scale_ = 0.0;
 };
 
 // The Platinum-rated PFE600-12-054xA reference curve, redrawn from Fig. 5.

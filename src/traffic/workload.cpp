@@ -58,4 +58,9 @@ double DiurnalWorkload::packet_rate_pps(SimTime t) const noexcept {
   return packet_rate_for_bit_rate(rate_bps(t), params_.mean_frame_bytes);
 }
 
+DiurnalWorkload::Sample DiurnalWorkload::sample(SimTime t) const noexcept {
+  const double rate = rate_bps(t);
+  return {rate, packet_rate_for_bit_rate(rate, params_.mean_frame_bytes)};
+}
+
 }  // namespace joules

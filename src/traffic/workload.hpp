@@ -40,6 +40,17 @@ class DiurnalWorkload {
   // Implied packet rate at `t` given the configured mean frame size.
   [[nodiscard]] double packet_rate_pps(SimTime t) const noexcept;
 
+  // Both rates from one evaluation of the shape. The packet rate is a pure
+  // function of the bit rate, so calling `rate_bps` + `packet_rate_pps`
+  // walks the diurnal/growth/jitter pipeline twice for the same numbers;
+  // the network sweep's per-interface hot path uses this instead.
+  // Bit-identical to calling the two accessors separately.
+  struct Sample {
+    double rate_bps = 0.0;
+    double packet_rate_pps = 0.0;
+  };
+  [[nodiscard]] Sample sample(SimTime t) const noexcept;
+
   [[nodiscard]] const WorkloadParams& params() const noexcept { return params_; }
 
  private:

@@ -130,6 +130,29 @@ TEST(LinecardDerivation, RecoversCardPowerWithinWallScaling) {
   EXPECT_EQ(dut.seated_count(), 0);
 }
 
+TEST(SimulatedModularRouter, CachedShellSurvivesRepeatedSampling) {
+  // Steady-state sampling must not churn the shell's compiled plan: the
+  // card-power sum and dark mask are cached until a seat/power/state
+  // mutation, and repeated identical queries return identical power.
+  SimulatedModularRouter dut = make_dut();
+  const int slot = dut.seat_linecard("LC-8X100GE");
+  dut.add_interface(slot, {PortType::kQSFP28, TransceiverKind::kLR4,
+                           LineRate::kG100},
+                    InterfaceState::kUp);
+  const std::vector<InterfaceLoad> loads(dut.interface_count(),
+                                         InterfaceLoad{40e9, 5e6});
+  const double first = dut.dc_power_w(kT, loads);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(dut.dc_power_w(kT, loads), first);
+  }
+  // Power-off must invalidate the cache: card power and its interfaces drop.
+  dut.set_linecard_powered(slot, false);
+  const double off = dut.dc_power_w(kT, loads);
+  EXPECT_LT(off, first - 390.0 + 1.0);
+  dut.set_linecard_powered(slot, true);
+  EXPECT_EQ(dut.dc_power_w(kT, loads), first);
+}
+
 TEST(LinecardDerivation, ValidatesInputs) {
   SimulatedModularRouter dut = make_dut();
   const PowerMeter meter(PowerMeterSpec{}, 1);

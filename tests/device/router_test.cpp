@@ -182,5 +182,42 @@ TEST(SimulatedRouter, DeterministicAcrossInstances) {
   EXPECT_DOUBLE_EQ(a.wall_power_w(kT), b.wall_power_w(kT));
 }
 
+TEST(SimulatedRouterPlan, RepeatedSamplingCompilesOnce) {
+  SimulatedRouter router(test_spec(), 1);
+  for (int i = 0; i < 8; ++i) {
+    router.add_interface(kDac100, InterfaceState::kUp);
+  }
+  for (int s = 0; s < 100; ++s) {
+    static_cast<void>(router.dc_power_w(kT + s * 300));
+  }
+  EXPECT_EQ(router.plan_rebuilds(), 1u);
+}
+
+TEST(SimulatedRouterPlan, NoOpStateWriteKeepsPlan) {
+  SimulatedRouter router(test_spec(), 1);
+  const std::size_t index = router.add_interface(kDac100, InterfaceState::kUp);
+  static_cast<void>(router.dc_power_w(kT));
+  const std::uint64_t rebuilds = router.plan_rebuilds();
+  router.set_interface_state(index, InterfaceState::kUp);  // unchanged
+  static_cast<void>(router.dc_power_w(kT));
+  EXPECT_EQ(router.plan_rebuilds(), rebuilds);
+}
+
+TEST(SimulatedRouterPlan, StateChangeInvalidatesAndTracksPower) {
+  SimulatedRouter router(test_spec(), 1);
+  const std::size_t index = router.add_interface(kDac100, InterfaceState::kUp);
+  router.set_ambient_override_c(22.0);
+  const double up = router.dc_power_w(kT);
+  const std::uint64_t rebuilds = router.plan_rebuilds();
+  router.set_interface_state(index, InterfaceState::kPlugged);
+  const double plugged = router.dc_power_w(kT);
+  EXPECT_GT(router.plan_rebuilds(), rebuilds);
+  EXPECT_LT(plugged, up);
+  // The cached-plan result must equal the reference predict() arithmetic.
+  const double expected =
+      router.spec().truth.predict(router.interfaces()).total_w();
+  EXPECT_EQ(router.power_plan().evaluate({}).total_w(), expected);
+}
+
 }  // namespace
 }  // namespace joules

@@ -1,0 +1,155 @@
+// PowerPlan's contract is bit-identity with PowerModel::predict: the
+// columnar kernel is a pure layout change, never an arithmetic one. The
+// property sweep here hammers that over randomized models, configurations,
+// states, and loads — including unmatched profiles, empty states, zero
+// loads, and relaxed-rate fallbacks — comparing every breakdown field with
+// EXPECT_EQ (exact bits, not tolerances).
+#include "model/power_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "model/power_model.hpp"
+#include "util/rng.hpp"
+
+namespace joules {
+namespace {
+
+constexpr int kPortTypes = 6;
+constexpr int kTransceiverKinds = 7;
+constexpr int kLineRates = 8;
+
+ProfileKey random_key(Rng& rng) {
+  return {static_cast<PortType>(rng.uniform_int(0, kPortTypes - 1)),
+          static_cast<TransceiverKind>(rng.uniform_int(0, kTransceiverKinds - 1)),
+          static_cast<LineRate>(rng.uniform_int(0, kLineRates - 1))};
+}
+
+PowerModel random_model(Rng& rng) {
+  PowerModel model(rng.uniform(50.0, 600.0));
+  const std::int64_t profiles = rng.uniform_int(1, 12);
+  for (std::int64_t p = 0; p < profiles; ++p) {
+    InterfaceProfile profile;
+    profile.key = random_key(rng);
+    profile.port_power_w = rng.uniform(0.0, 1.5);
+    profile.trx_in_power_w = rng.uniform(0.0, 5.0);
+    profile.trx_up_power_w = rng.uniform(0.0, 1.0);
+    profile.energy_per_bit_j = rng.uniform(0.0, 40e-12);
+    profile.energy_per_packet_j = rng.uniform(0.0, 80e-9);
+    profile.offset_power_w = rng.uniform(0.0, 0.6);
+    model.add_profile(profile);
+  }
+  return model;
+}
+
+std::vector<InterfaceConfig> random_configs(Rng& rng) {
+  std::vector<InterfaceConfig> configs(
+      static_cast<std::size_t>(rng.uniform_int(0, 48)));
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    configs[i].name = "rand-" + std::to_string(i);
+    configs[i].profile = random_key(rng);
+    configs[i].state =
+        static_cast<InterfaceState>(rng.uniform_int(0, 3));  // kEmpty..kUp
+  }
+  return configs;
+}
+
+std::vector<InterfaceLoad> random_loads(Rng& rng, std::size_t count) {
+  std::vector<InterfaceLoad> loads(count);
+  for (InterfaceLoad& load : loads) {
+    if (rng.chance(0.25)) continue;  // exact zero (the skipped-load branch)
+    load.rate_bps = rng.uniform(0.0, 100e9);
+    load.rate_pps = rng.uniform(0.0, 20e6);
+  }
+  return loads;
+}
+
+void expect_bitwise_equal(const PowerBreakdown& plan_value,
+                          const PowerBreakdown& predict_value) {
+  EXPECT_EQ(plan_value.base_w, predict_value.base_w);
+  EXPECT_EQ(plan_value.port_w, predict_value.port_w);
+  EXPECT_EQ(plan_value.trx_in_w, predict_value.trx_in_w);
+  EXPECT_EQ(plan_value.trx_up_w, predict_value.trx_up_w);
+  EXPECT_EQ(plan_value.offset_w, predict_value.offset_w);
+  EXPECT_EQ(plan_value.bit_w, predict_value.bit_w);
+  EXPECT_EQ(plan_value.pkt_w, predict_value.pkt_w);
+  EXPECT_EQ(plan_value.total_w(), predict_value.total_w());
+}
+
+TEST(PowerPlanProperty, EvaluateIsBitIdenticalToPredict) {
+  Rng rng(20260807);
+  for (int round = 0; round < 300; ++round) {
+    const PowerModel model = random_model(rng);
+    const std::vector<InterfaceConfig> configs = random_configs(rng);
+    const PowerPlan plan = PowerPlan::compile(model, configs);
+    const std::vector<InterfaceLoad> loads = random_loads(rng, configs.size());
+
+    const PowerModel::Prediction loaded = model.predict(configs, loads);
+    expect_bitwise_equal(plan.evaluate(loads), loaded.breakdown);
+    EXPECT_EQ(plan.total_w(loads), loaded.total_w());
+    EXPECT_EQ(plan.unmatched(), loaded.unmatched_interfaces);
+
+    const PowerModel::Prediction unloaded = model.predict(configs);
+    expect_bitwise_equal(plan.evaluate({}), unloaded.breakdown);
+  }
+}
+
+TEST(PowerPlan, ThrowsOnLoadsSizeMismatchLikePredict) {
+  Rng rng(7);
+  const PowerModel model = random_model(rng);
+  std::vector<InterfaceConfig> configs = random_configs(rng);
+  while (configs.empty()) configs = random_configs(rng);
+  const PowerPlan plan = PowerPlan::compile(model, configs);
+  const std::vector<InterfaceLoad> wrong(configs.size() + 1);
+  EXPECT_THROW(static_cast<void>(plan.evaluate(wrong)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(model.predict(configs, wrong)),
+               std::invalid_argument);
+}
+
+TEST(PowerPlan, RecordsUnmatchedInterfacesInConfigOrder) {
+  PowerModel model(100.0);  // no profiles: everything non-empty is unmatched
+  std::vector<InterfaceConfig> configs(3);
+  configs[0] = {"a", {PortType::kSFP, TransceiverKind::kLR, LineRate::kG1},
+                InterfaceState::kUp};
+  configs[1] = {"b", {PortType::kSFP, TransceiverKind::kLR, LineRate::kG1},
+                InterfaceState::kEmpty};
+  configs[2] = {"c", {PortType::kRJ45, TransceiverKind::kBaseT, LineRate::kG1},
+                InterfaceState::kPlugged};
+  const PowerPlan plan = PowerPlan::compile(model, configs);
+  EXPECT_FALSE(plan.complete());
+  ASSERT_EQ(plan.unmatched().size(), 2u);
+  EXPECT_EQ(plan.unmatched()[0], "a");
+  EXPECT_EQ(plan.unmatched()[1], "c");
+  // kEmpty never counts as unmatched, matching predict.
+  const auto prediction = model.predict(configs);
+  EXPECT_EQ(plan.unmatched(), prediction.unmatched_interfaces);
+}
+
+TEST(PowerPlan, CapturesModelRevision) {
+  Rng rng(11);
+  PowerModel model = random_model(rng);
+  const std::vector<InterfaceConfig> configs = random_configs(rng);
+  const PowerPlan plan = PowerPlan::compile(model, configs);
+  EXPECT_EQ(plan.model_revision(), model.revision());
+  model.set_base_power_w(model.base_power_w() + 1.0);
+  EXPECT_NE(plan.model_revision(), model.revision());
+}
+
+TEST(PowerModelRevision, BumpedByMutatorsIgnoredByEquality) {
+  PowerModel a(100.0);
+  const std::uint64_t before = a.revision();
+  InterfaceProfile profile;
+  profile.key = {PortType::kSFP, TransceiverKind::kLR, LineRate::kG1};
+  a.add_profile(profile);
+  EXPECT_GT(a.revision(), before);
+
+  PowerModel b(100.0);
+  b.add_profile(profile);
+  b.add_profile(profile);  // extra mutation: different revision, same value
+  EXPECT_NE(a.revision(), b.revision());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace joules

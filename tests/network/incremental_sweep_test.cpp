@@ -1,0 +1,182 @@
+// The incremental (reuse_quantum_s > 0) sweep's own golden and determinism
+// suite. The contract, per TraceEngineOptions: sample-and-hold between
+// recompute points, recompute on override-segment change / active-window
+// open / quantum-bucket change — and, for a fixed quantum, bit-identical
+// results across worker counts and block sizes. The default quantum of 0
+// stays covered by trace_engine_test.cpp's pre-engine goldens, which this
+// PR must not (and does not) move.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "network/dataset.hpp"
+#include "network/trace_engine.hpp"
+#include "obs/registry.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+constexpr SimTime kQuantum = 6 * kSecondsPerHour;
+
+// Golden samples for the incremental sweep: build_switch_like_network()
+// defaults, sim seed 7, 2 days hourly from study_begin, reuse quantum 6 h.
+// Captured from the first implementation at worker count 1; every worker
+// count and block size must reproduce them bit for bit.
+struct GoldenSample {
+  std::size_t index;
+  SimTime time;
+  double power_w;
+  double traffic_bps;
+};
+constexpr GoldenSample kIncrementalGolden[] = {
+    {0, 1725148800, 0x1.7bcb0f5f66236p+14, 0x1.4e0cf49f877f3p+38},
+    {7, 1725174000, 0x1.7bd90a4f7eccdp+14, 0x1.7ffd31153da92p+38},
+    {23, 1725231600, 0x1.7c356b33c0234p+14, 0x1.0e596c2b94274p+39},
+    {31, 1725260400, 0x1.7c0b9838e1534p+14, 0x1.d25e09d92a272p+38},
+    {47, 1725318000, 0x1.7c45399405624p+14, 0x1.4942014546016p+39},
+};
+
+class TraceEngineIncrementalTest : public ::testing::Test {
+ protected:
+  static const NetworkSimulation& sim() {
+    static NetworkSimulation simulation(build_switch_like_network(), 7);
+    return simulation;
+  }
+  static SimTime begin() { return sim().topology().options.study_begin; }
+  static SimTime end() { return begin() + 2 * kSecondsPerDay; }
+
+  static NetworkTraces sweep(const NetworkSimulation& simulation,
+                             TraceEngineOptions options) {
+    TraceEngine engine(simulation, options);
+    return engine.network_traces(begin(), end(), kSecondsPerHour);
+  }
+
+  static void expect_identical(const NetworkTraces& a, const NetworkTraces& b) {
+    EXPECT_EQ(a.capacity_bps, b.capacity_bps);
+    ASSERT_EQ(a.total_power_w.size(), b.total_power_w.size());
+    ASSERT_EQ(a.total_traffic_bps.size(), b.total_traffic_bps.size());
+    for (std::size_t i = 0; i < a.total_power_w.size(); ++i) {
+      EXPECT_EQ(a.total_power_w[i].time, b.total_power_w[i].time) << i;
+      EXPECT_EQ(a.total_power_w[i].value, b.total_power_w[i].value) << i;
+      EXPECT_EQ(a.total_traffic_bps[i].value, b.total_traffic_bps[i].value) << i;
+    }
+  }
+};
+
+TEST_F(TraceEngineIncrementalTest, GoldenValuesBitIdenticalAt1_4_16Workers) {
+  for (const std::size_t workers : {1u, 4u, 16u}) {
+    const NetworkTraces traces = sweep(
+        sim(), TraceEngineOptions{.workers = workers, .reuse_quantum_s = kQuantum});
+    ASSERT_EQ(traces.total_power_w.size(), 48u);
+    for (const GoldenSample& golden : kIncrementalGolden) {
+      EXPECT_EQ(traces.total_power_w[golden.index].time, golden.time);
+      EXPECT_EQ(traces.total_power_w[golden.index].value, golden.power_w)
+          << "workers=" << workers << " i=" << golden.index;
+      EXPECT_EQ(traces.total_traffic_bps[golden.index].value, golden.traffic_bps)
+          << "workers=" << workers << " i=" << golden.index;
+    }
+  }
+}
+
+TEST_F(TraceEngineIncrementalTest, TinyBlocksDoNotChangeIncrementalResults) {
+  // Carries must survive block boundaries: force single-row blocks and
+  // compare against the default blocking.
+  const NetworkTraces tiny = sweep(
+      sim(), TraceEngineOptions{.workers = 4,
+                                .max_block_bytes = 1,
+                                .reuse_quantum_s = kQuantum});
+  const NetworkTraces big = sweep(
+      sim(), TraceEngineOptions{.workers = 4, .reuse_quantum_s = kQuantum});
+  expect_identical(tiny, big);
+}
+
+TEST_F(TraceEngineIncrementalTest, QuantumAtOrBelowStepDegeneratesToExact) {
+  // Every step crosses a bucket boundary, so the incremental sweep computes
+  // every sample — and must then equal the exact sweep bit for bit.
+  const NetworkTraces exact = sweep(sim(), TraceEngineOptions{.workers = 4});
+  const NetworkTraces degenerate = sweep(
+      sim(),
+      TraceEngineOptions{.workers = 4, .reuse_quantum_s = kSecondsPerHour});
+  expect_identical(degenerate, exact);
+}
+
+TEST_F(TraceEngineIncrementalTest, SecondSweepOnSameEngineIsIdentical) {
+  // Carries are reset per sweep; a reused engine must not leak state.
+  TraceEngine engine(
+      sim(), TraceEngineOptions{.workers = 4, .reuse_quantum_s = kQuantum});
+  const NetworkTraces first =
+      engine.network_traces(begin(), end(), kSecondsPerHour);
+  const NetworkTraces second =
+      engine.network_traces(begin(), end(), kSecondsPerHour);
+  expect_identical(first, second);
+}
+
+TEST_F(TraceEngineIncrementalTest, CountersSplitSamplesIntoComputedPlusReused) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with JOULES_OBS=OFF";
+  obs::Registry registry(16);
+  TraceEngine engine(sim(),
+                     TraceEngineOptions{.workers = 4,
+                                        .registry = &registry,
+                                        .reuse_quantum_s = kQuantum});
+  static_cast<void>(engine.network_traces(begin(), end(), kSecondsPerHour));
+  const std::uint64_t samples = registry.counter("trace.samples");
+  const std::uint64_t computed = registry.counter("trace.samples_computed");
+  const std::uint64_t reused = registry.counter("trace.samples_reused");
+  EXPECT_GT(samples, 0u);
+  EXPECT_EQ(computed + reused, samples);
+  // The whole point: on an override-sparse workload most samples are reused.
+  EXPECT_LT(computed, samples);
+  EXPECT_GT(reused, computed);
+}
+
+TEST_F(TraceEngineIncrementalTest, ExactModeCountsEverySampleAsComputed) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with JOULES_OBS=OFF";
+  obs::Registry registry(16);
+  TraceEngine engine(
+      sim(), TraceEngineOptions{.workers = 4, .registry = &registry});
+  static_cast<void>(engine.network_traces(begin(), end(), kSecondsPerHour));
+  EXPECT_EQ(registry.counter("trace.samples_computed"),
+            registry.counter("trace.samples"));
+  EXPECT_EQ(registry.counter("trace.samples_reused"), 0u);
+}
+
+TEST_F(TraceEngineIncrementalTest, DenseOverrideScheduleForcesExactRecompute) {
+  // An override boundary at every timestep on every router keeps each
+  // router's override segment changing each step, so even a huge quantum
+  // degenerates to the exact sweep. The overrides pin the base state
+  // (kUp, traffic unsuppressed), so the exact sweep itself is unchanged —
+  // which makes the two paths directly comparable.
+  NetworkSimulation dense(build_switch_like_network(), 7);
+  for (std::size_t r = 0; r < dense.router_count(); ++r) {
+    for (SimTime t = begin(); t < end(); t += kSecondsPerHour) {
+      StateOverride keep_up;
+      keep_up.router = static_cast<int>(r);
+      keep_up.iface = 0;
+      keep_up.from = t;
+      keep_up.to = t + kSecondsPerHour;
+      keep_up.state = InterfaceState::kUp;
+      keep_up.suppress_traffic = false;
+      dense.add_override(keep_up);
+    }
+  }
+  obs::Registry registry(16);
+  TraceEngineOptions incremental_options{.workers = 4,
+                                         .registry = obs::kEnabled ? &registry
+                                                                   : nullptr,
+                                         .reuse_quantum_s = 4 * kSecondsPerDay};
+  const NetworkTraces incremental = sweep(dense, incremental_options);
+  const NetworkTraces exact = sweep(dense, TraceEngineOptions{.workers = 4});
+  expect_identical(incremental, exact);
+  if (obs::kEnabled) {
+    EXPECT_EQ(registry.counter("trace.samples_reused"), 0u);
+  }
+}
+
+TEST_F(TraceEngineIncrementalTest, RejectsNegativeQuantum) {
+  EXPECT_THROW(TraceEngine(sim(), TraceEngineOptions{.reuse_quantum_s = -1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace joules

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace joules {
@@ -87,6 +89,54 @@ TEST(EfficiencyCurve, LowLoadCostsMoreInput) {
   // load): the right-sized PSU draws less from the wall.
   const EfficiencyCurve& curve = pfe600_curve();
   EXPECT_GT(input_power_w(60.0, 600.0, curve), input_power_w(60.0, 250.0, curve));
+}
+
+// Reference interpolation without the segment-hint grid: the pre-LUT
+// binary-search implementation, kept verbatim. at() must agree with it bit
+// for bit — the hint grid may only change how the segment is *found*.
+double reference_at(const EfficiencyCurve& curve, double load_frac) {
+  const auto& points = curve.points();
+  if (load_frac <= points.front().load_frac) return points.front().efficiency;
+  if (load_frac >= points.back().load_frac) return points.back().efficiency;
+  const auto upper = std::upper_bound(
+      points.begin(), points.end(), load_frac,
+      [](double l, const EfficiencyCurve::Point& p) { return l < p.load_frac; });
+  const EfficiencyCurve::Point& hi = *upper;
+  const EfficiencyCurve::Point& lo = *std::prev(upper);
+  const double t = (load_frac - lo.load_frac) / (hi.load_frac - lo.load_frac);
+  return lo.efficiency + t * (hi.efficiency - lo.efficiency);
+}
+
+TEST(EfficiencyCurve, SegmentHintGridMatchesBinarySearchBitForBit) {
+  const EfficiencyCurve& curve = pfe600_curve();
+  // Dense sweep across (and beyond) the covered range, plus the exact knot
+  // loads and the points just next to them.
+  for (int i = -50; i <= 1150; ++i) {
+    const double load = static_cast<double>(i) / 1000.0;
+    EXPECT_EQ(curve.at(load), reference_at(curve, load)) << "load=" << load;
+  }
+  for (const EfficiencyCurve::Point& point : curve.points()) {
+    EXPECT_EQ(curve.at(point.load_frac), reference_at(curve, point.load_frac));
+    const double below = std::nextafter(point.load_frac, 0.0);
+    const double above = std::nextafter(point.load_frac, 2.0);
+    EXPECT_EQ(curve.at(below), reference_at(curve, below));
+    EXPECT_EQ(curve.at(above), reference_at(curve, above));
+  }
+  // An offset curve (different knots, same machinery) must agree too.
+  const EfficiencyCurve shifted = curve.offset_by(-0.07);
+  for (int i = 0; i <= 1000; ++i) {
+    const double load = static_cast<double>(i) / 1000.0;
+    EXPECT_EQ(shifted.at(load), reference_at(shifted, load)) << "load=" << load;
+  }
+}
+
+TEST(EfficiencyCurve, TwoPointCurveInterpolates) {
+  const EfficiencyCurve curve(
+      std::vector<EfficiencyCurve::Point>{{0.0, 0.5}, {1.0, 0.9}});
+  for (int i = 0; i <= 100; ++i) {
+    const double load = static_cast<double>(i) / 100.0;
+    EXPECT_EQ(curve.at(load), reference_at(curve, load)) << "load=" << load;
+  }
 }
 
 }  // namespace

@@ -128,6 +128,69 @@ TEST(BenchCompare, PrefixOptionRestrictsTheGate) {
   EXPECT_EQ(result.counters_checked, 1u);
 }
 
+TEST(BenchCompare, FloorCounterFailsOnShrinkOnly) {
+  // samples_reused counts work the skip path *avoided*: losing it is the
+  // regression, growth is the optimisation improving.
+  const auto baseline = make({{"BM_X/1", "obs_trace.samples_reused", 600.0}});
+  CompareOptions options;
+  options.floor_prefix = "obs_trace.samples_reused";
+
+  const auto lost = make({{"BM_X/1", "obs_trace.samples_reused", 399.0}});
+  const CompareResult bad = compare(baseline, lost, options);
+  ASSERT_EQ(bad.findings.size(), 1u);
+  EXPECT_EQ(bad.findings[0].kind, Finding::Kind::kShrank);
+  EXPECT_DOUBLE_EQ(bad.findings[0].baseline, 600.0);
+  EXPECT_DOUBLE_EQ(bad.findings[0].current, 399.0);
+
+  const auto within = make({{"BM_X/1", "obs_trace.samples_reused", 401.0}});
+  EXPECT_TRUE(compare(baseline, within, options).ok());
+  const auto better = make({{"BM_X/1", "obs_trace.samples_reused", 9000.0}});
+  EXPECT_TRUE(compare(baseline, better, options).ok());
+
+  const std::string report = render_report(bad, options);
+  EXPECT_NE(report.find("floor counter shrank"), std::string::npos);
+}
+
+TEST(BenchCompare, FloorCounterDroppingToZeroAlwaysFails) {
+  const auto baseline = make({{"BM_X/1", "obs_trace.samples_reused", 3.0}});
+  const auto gone = make({{"BM_X/1", "obs_trace.samples_reused", 0.0}});
+  CompareOptions options;
+  options.floor_prefix = "obs_trace.samples_reused";
+  const CompareResult result = compare(baseline, gone, options);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].kind, Finding::Kind::kShrank);
+}
+
+TEST(BenchCompare, FloorCounterZeroBaselinePinsNothing) {
+  // Exact-mode benches legitimately report samples_reused == 0; the floor
+  // only arms once a baseline records a positive skip count.
+  const auto baseline = make({{"BM_X/1", "obs_trace.samples_reused", 0.0}});
+  const auto current = make({{"BM_X/1", "obs_trace.samples_reused", 500.0}});
+  CompareOptions options;
+  options.floor_prefix = "obs_trace.samples_reused";
+  EXPECT_TRUE(compare(baseline, current, options).ok());
+}
+
+TEST(BenchCompare, FloorPrefixExemptsOnlyMatchingCounters) {
+  // A non-floor counter growing past threshold still fails alongside a
+  // healthy floor counter; a missing floor counter is still a finding.
+  const auto baseline = make({{"BM_X/1", "obs_trace.samples_reused", 100.0},
+                              {"BM_X/1", "obs_trace.samples", 100.0}});
+  const auto current = make({{"BM_X/1", "obs_trace.samples_reused", 100.0},
+                             {"BM_X/1", "obs_trace.samples", 200.0}});
+  CompareOptions options;
+  options.floor_prefix = "obs_trace.samples_reused";
+  const CompareResult result = compare(baseline, current, options);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].kind, Finding::Kind::kGrew);
+  EXPECT_EQ(result.findings[0].counter, "obs_trace.samples");
+
+  const auto missing = make({{"BM_X/1", "obs_trace.samples", 100.0}});
+  const CompareResult gone = compare(baseline, missing, options);
+  ASSERT_EQ(gone.findings.size(), 1u);
+  EXPECT_EQ(gone.findings[0].kind, Finding::Kind::kMissingCounter);
+}
+
 TEST(BenchCompare, ThresholdMustBePositive) {
   CompareOptions options;
   options.threshold = 0.0;

@@ -95,5 +95,16 @@ TEST(Workload, PacketRateConsistentWithFrameSize) {
   EXPECT_DOUBLE_EQ(w.packet_rate_pps(t), expected);
 }
 
+TEST(Workload, CombinedSampleBitIdenticalToAccessors) {
+  // sample() evaluates the shape once and derives both rates from it; the
+  // sweep goldens rely on that being bitwise what the two accessors return.
+  const DiurnalWorkload w(base_params(), kOrigin, 9);
+  for (SimTime t = kOrigin; t < kOrigin + 2 * kSecondsPerDay; t += 977) {
+    const DiurnalWorkload::Sample s = w.sample(t);
+    EXPECT_EQ(s.rate_bps, w.rate_bps(t));
+    EXPECT_EQ(s.packet_rate_pps, w.packet_rate_pps(t));
+  }
+}
+
 }  // namespace
 }  // namespace joules

@@ -103,6 +103,19 @@ CompareResult compare(const std::vector<CounterSample>& baseline,
       continue;
     }
     finding.current = actual->value;
+    // Floor counters measure *avoided* work (a skip path's hit count), so
+    // only shrinking is a regression: growth means the optimisation got
+    // better, and a zero baseline pins nothing.
+    if (!options.floor_prefix.empty() &&
+        expected.counter.rfind(options.floor_prefix, 0) == 0) {
+      if (expected.value <= 0.0) continue;
+      if (actual->value <= 0.0 ||
+          expected.value / actual->value > options.threshold) {
+        finding.kind = Finding::Kind::kShrank;
+        result.findings.push_back(std::move(finding));
+      }
+      continue;
+    }
     // Counters are non-negative; <= 0 is the "no work recorded" case.
     if (expected.value <= 0.0) {
       if (actual->value > 0.0) {
@@ -134,6 +147,12 @@ std::string render_report(const CompareResult& result,
       case Finding::Kind::kAppeared:
         out += "0 -> " + format_value(finding.current) +
                " (work appeared where the baseline had none)";
+        break;
+      case Finding::Kind::kShrank:
+        out += format_value(finding.baseline) + " -> " +
+               format_value(finding.current) +
+               " (floor counter shrank beyond threshold x" +
+               format_value(options.threshold) + " — skip path lost?)";
         break;
       case Finding::Kind::kMissingBenchmark:
         out += "benchmark missing from the current run";

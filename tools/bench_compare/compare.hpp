@@ -33,12 +33,21 @@ struct CompareOptions {
   double threshold = 1.5;
   // Only counters whose name starts with this participate; "" gates all.
   std::string counter_prefix;
+  // Counters whose name starts with this are *floor* counters: they measure
+  // work the code managed to skip (obs_trace.samples_reused, ...), so for
+  // them the regression direction is inverted — the gate fails when
+  // baseline / current exceeds the threshold (a lost skip path), and growth
+  // is never a finding. "" means no floor counters. Floor counters with a
+  // zero baseline are ignored (nothing pinned); a floor counter that drops
+  // to zero from a positive baseline always fails.
+  std::string floor_prefix;
 };
 
 struct Finding {
   enum class Kind {
     kGrew,              // current / baseline > threshold
     kAppeared,          // baseline 0 (or absent as a value), current > 0
+    kShrank,            // floor counter: baseline / current > threshold
     kMissingBenchmark,  // baseline benchmark absent from the current run
     kMissingCounter,    // benchmark present but the counter vanished
   };

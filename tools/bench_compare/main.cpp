@@ -1,7 +1,8 @@
 // bench_compare — CI gate comparing two google-benchmark JSON files by their
 // deterministic work counters (see compare.hpp for why not wall time).
 //
-//   bench_compare <baseline.json> <current.json> [--threshold X] [--prefix P]
+//   bench_compare <baseline.json> <current.json>
+//       [--threshold X] [--prefix P] [--floor-prefix F]
 //
 // Exit codes: 0 gate passes, 1 regression(s) found, 2 usage or I/O error.
 #include <charconv>
@@ -29,7 +30,7 @@ std::optional<double> parse_double_arg(const char* text) {
 int usage() {
   std::fputs(
       "usage: bench_compare <baseline.json> <current.json>"
-      " [--threshold X] [--prefix P]\n",
+      " [--threshold X] [--prefix P] [--floor-prefix F]\n",
       stderr);
   return 2;
 }
@@ -49,6 +50,8 @@ int main(int argc, char** argv) {
       options.threshold = *parsed;
     } else if (std::strcmp(argv[i], "--prefix") == 0 && i + 1 < argc) {
       options.counter_prefix = argv[++i];
+    } else if (std::strcmp(argv[i], "--floor-prefix") == 0 && i + 1 < argc) {
+      options.floor_prefix = argv[++i];
     } else {
       return usage();
     }
