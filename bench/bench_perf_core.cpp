@@ -18,6 +18,7 @@
 #include "network/dataset.hpp"
 #include "network/simulation.hpp"
 #include "network/trace_engine.hpp"
+#include "network/whatif_engine.hpp"
 #include "obs/registry.hpp"
 #include "sleep/hypnos.hpp"
 #include "stats/regression.hpp"
@@ -207,6 +208,37 @@ BENCHMARK(BM_NetworkTracesScaled)
     ->Args({1, 4, 3600})
     ->Args({4, 4, 3600})
     ->Unit(benchmark::kMillisecond);
+
+// A representative operator-console query stream against the incremental
+// what-if engine: baseline, probe + commit a sleep batch, toggle PSU modes,
+// unplug spares, decommission a PoP. The engine recomputes only the routers
+// each mutation dirtied; obs_whatif.cache_hits is floor-gated by
+// bench_compare (a lost cache path fails CI even though it only adds work),
+// and obs_whatif.routers_recomputed is growth-gated so the invalidation
+// never silently widens back to full recomputes.
+void BM_WhatIfQueries(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  const SimTime begin = scaled_sim(1).topology().options.study_begin;
+  const std::vector<int> batch = {5, 6, 7, 8};
+  obs::Registry registry(workers);
+  for (auto _ : state) {
+    WhatIfOptions options;
+    options.workers = workers;
+    options.registry = &registry;
+    WhatIfEngine engine(NetworkSimulation(build_switch_like_network(), 7),
+                        begin + 10 * kSecondsPerDay, options);
+    engine.baseline_w();
+    engine.probe_sleep_links(batch);
+    engine.sleep_links(batch);
+    engine.set_psu_mode(PsuMode::kHotStandby);
+    engine.set_psu_mode(PsuMode::kActiveActive);
+    engine.unplug_spares();
+    engine.decommission_pop(3);
+    benchmark::DoNotOptimize(engine.answers().back().network_power_w);
+  }
+  export_obs_counters(state, registry);
+}
+BENCHMARK(BM_WhatIfQueries)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace joules

@@ -250,6 +250,32 @@ void NetworkSimulation::add_override(const StateOverride& override_spec) {
   synced_segment_[router] = -1;  // segment numbering changed; force a resync
 }
 
+std::uint64_t NetworkSimulation::config_fingerprint(std::size_t router,
+                                                    SimTime t) const {
+  std::uint64_t hash = 14695981039346656037ull;  // FNV-1a offset basis
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xffu;
+      hash *= 1099511628211ull;  // FNV prime
+    }
+  };
+  mix(static_cast<std::uint64_t>(t));
+  mix(active(router, t) ? 1u : 0u);
+  mix(static_cast<std::uint64_t>(devices_[router].psu_mode()));
+  const std::size_t count = topology_.routers.at(router).interfaces.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    const StateAt at = state_at(router, i, t);
+    mix((static_cast<std::uint64_t>(at.state) << 1) |
+        (at.suppressed ? 1u : 0u));
+  }
+  return hash;
+}
+
+void NetworkSimulation::decommission_at(std::size_t router, SimTime t) {
+  DeployedRouter& deployed = topology_.routers.at(router);
+  deployed.decommissioned_at = std::min(deployed.decommissioned_at, t);
+}
+
 void NetworkSimulation::remove_transceiver_at(int router, int iface, SimTime t) {
   StateOverride removal;
   removal.router = router;

@@ -142,6 +142,21 @@ class NetworkSimulation {
   // (unlike a "down" override, this removes P_trx,in too).
   void remove_transceiver_at(int router, int iface, SimTime t);
 
+  // FNV-1a digest of every configuration input router `r`'s wall power at
+  // `t` depends on: the eval time itself (workloads are pure functions of
+  // it), the active window, the device's PSU mode, and each interface's
+  // effective (state, suppressed) pair with overrides applied. Equal
+  // fingerprints at equal times imply bit-identical `wall_power_w` — the
+  // cache key incremental what-if engines memoize on. Pure query; safe
+  // under any sharding.
+  [[nodiscard]] std::uint64_t config_fingerprint(std::size_t router,
+                                                 SimTime t) const;
+
+  // Decommissions the router from `t` on (keeps an earlier existing
+  // decommission time). Like add_override, must not run concurrently with
+  // queries.
+  void decommission_at(std::size_t router, SimTime t);
+
  private:
   // Piecewise-constant state of one interface over time. Segment i covers
   // [edges[i-1], edges[i]) (segment 0 everything before edges[0], the last

@@ -82,4 +82,20 @@ double Scenario::remove_spare_transceivers() {
   return record("unplug spare transceivers (" + std::to_string(removed) + ")");
 }
 
+double Scenario::decommission_pop(int pop) {
+  if (steps_.empty()) throw std::logic_error("Scenario: call baseline_w first");
+  const NetworkTopology& topology = sim_.topology();
+  if (pop < 0 || static_cast<std::size_t>(pop) >= topology.pops.size()) {
+    throw std::out_of_range("Scenario: pop index out of range");
+  }
+  int removed = 0;
+  for (std::size_t r = 0; r < topology.routers.size(); ++r) {
+    if (topology.routers[r].pop != pop) continue;
+    sim_.decommission_at(r, eval_at_);
+    ++removed;
+  }
+  return record("decommission " + topology.pops[static_cast<std::size_t>(pop)] +
+                " (" + std::to_string(removed) + " routers)");
+}
+
 }  // namespace joules

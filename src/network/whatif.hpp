@@ -46,6 +46,10 @@ class Scenario {
   // pick-up at the next PoP visit" modules).
   double remove_spare_transceivers();
 
+  // Decommissions every router of one point of presence at the evaluation
+  // instant (a consolidation what-if: the PoP's draw drops to zero).
+  double decommission_pop(int pop);
+
   [[nodiscard]] const std::vector<ScenarioStep>& steps() const noexcept {
     return steps_;
   }

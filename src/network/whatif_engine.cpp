@@ -1,0 +1,332 @@
+#include "network/whatif_engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "network/trace_engine.hpp"
+
+namespace joules {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv_mix(std::uint64_t hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xffu;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+// Domain salts keep the route digest's event kinds from aliasing.
+constexpr std::uint64_t kProbeSalt = 0x51;   // feasibility memo key
+constexpr std::uint64_t kCommitSalt = 0x52;  // accepted sleep
+constexpr std::uint64_t kPopSalt = 0x53;     // PoP decommission
+
+}  // namespace
+
+WhatIfEngine::WhatIfEngine(NetworkSimulation sim, SimTime eval_at,
+                           WhatIfOptions options)
+    : sim_(std::move(sim)),
+      eval_at_(eval_at),
+      options_(std::move(options)),
+      pool_(options_.workers) {
+  if (options_.hypnos.max_utilization <= 0.0 ||
+      options_.hypnos.max_utilization > 1.0) {
+    throw std::invalid_argument(
+        "WhatIfEngine: max_utilization outside (0, 1]");
+  }
+  scratch_.resize(pool_.worker_count());
+  const std::size_t routers = sim_.router_count();
+  cache_.resize(routers);
+  dirty_.assign(routers, 0);
+  router_down_.assign(routers, false);
+  dirty_list_.reserve(routers);
+
+  const std::size_t links = sim_.topology().links.size();
+  asleep_.assign(links, false);
+  if (!options_.link_loads_bps.empty()) {
+    if (options_.link_loads_bps.size() != links) {
+      throw std::invalid_argument(
+          "WhatIfEngine: link_loads_bps size mismatch");
+    }
+    loads_ = options_.link_loads_bps;
+  } else {
+    if (options_.load_window_s <= 0 || options_.load_step_s <= 0) {
+      throw std::invalid_argument(
+          "WhatIfEngine: load window and step must be positive");
+    }
+    TraceEngine engine(sim_, pool_);
+    loads_ = engine.average_link_loads_bps(eval_at_ - options_.load_window_s,
+                                           eval_at_, options_.load_step_s);
+  }
+  route_digest_ = kFnvOffset;
+  plan_rebuilds_seen_ = sim_.plan_rebuilds();
+}
+
+void WhatIfEngine::require_baseline() const {
+  if (!has_baseline_) {
+    throw std::logic_error("WhatIfEngine: call baseline_w first");
+  }
+}
+
+void WhatIfEngine::mark_dirty(std::size_t router) {
+  if (dirty_[router] != 0) return;
+  dirty_[router] = 1;
+  dirty_list_.push_back(router);
+}
+
+WhatIfAnswer& WhatIfEngine::record(std::string name) {
+  // The fingerprint pass is serial (it is a cheap pure hash); only the power
+  // model runs on the pool, sharded so no two workers touch the same router.
+  std::sort(dirty_list_.begin(), dirty_list_.end());
+  std::size_t hits = 0;
+  std::vector<std::size_t> misses;
+  for (const std::size_t r : dirty_list_) {
+    const std::uint64_t fingerprint = sim_.config_fingerprint(r, eval_at_);
+    RouterCache& entry = cache_[r];
+    if (entry.valid && fingerprint == entry.fingerprint) {
+      ++hits;  // the mutation did not actually touch this router's inputs
+      continue;
+    }
+    const auto memoized = entry.memo.find(fingerprint);
+    if (memoized != entry.memo.end()) {
+      entry.fingerprint = fingerprint;
+      entry.power_w = memoized->second;
+      entry.valid = true;
+      ++hits;  // a toggled-back configuration re-uses its old evaluation
+      continue;
+    }
+    entry.fingerprint = fingerprint;
+    entry.valid = true;
+    misses.push_back(r);
+  }
+  if (!misses.empty()) {
+    pool_.parallel_for(
+        0, misses.size(),
+        [&](std::size_t begin, std::size_t end, std::size_t slot) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const std::size_t r = misses[i];
+            cache_[r].power_w = sim_.wall_power_w(r, eval_at_, scratch_[slot]);
+          }
+        });
+    for (const std::size_t r : misses) {
+      cache_[r].memo.emplace(cache_[r].fingerprint, cache_[r].power_w);
+    }
+  }
+
+  // Serial ascending fold over every router — the same order TraceEngine's
+  // full recompute uses, so delta answers are bit-identical to it.
+  double total = 0.0;
+  for (const RouterCache& entry : cache_) total += entry.power_w;
+
+  WhatIfAnswer answer;
+  answer.name = std::move(name);
+  answer.network_power_w = total;
+  answer.saved_vs_baseline_w = answers_.empty() ? 0.0 : baseline_w_ - total;
+  answer.routers_recomputed = misses.size();
+  answer.cache_hits = (cache_.size() - dirty_list_.size()) + hits;
+
+  stats_.queries += 1;
+  stats_.routers_recomputed += answer.routers_recomputed;
+  stats_.cache_hits += answer.cache_hits;
+  const std::uint64_t rebuilds = sim_.plan_rebuilds();
+  stats_.plan_rebuilds += rebuilds - plan_rebuilds_seen_;
+  plan_rebuilds_seen_ = rebuilds;
+  if constexpr (obs::kEnabled) {
+    if (options_.registry != nullptr) {
+      options_.registry->add(0, "whatif.queries");
+      options_.registry->add(0, "whatif.routers_recomputed",
+                             answer.routers_recomputed);
+      options_.registry->add(0, "whatif.cache_hits", answer.cache_hits);
+    }
+  }
+
+  for (const std::size_t r : dirty_list_) dirty_[r] = 0;
+  dirty_list_.clear();
+  answers_.push_back(std::move(answer));
+  return answers_.back();
+}
+
+double WhatIfEngine::baseline_w() {
+  if (has_baseline_) {
+    throw std::logic_error("WhatIfEngine: baseline already measured");
+  }
+  has_baseline_ = true;
+  for (std::size_t r = 0; r < cache_.size(); ++r) mark_dirty(r);
+  baseline_w_ = record("baseline").network_power_w;
+  return baseline_w_;
+}
+
+WhatIfAnswer WhatIfEngine::run_sleep_query(std::span<const int> links,
+                                           bool commit) {
+  require_baseline();
+  std::vector<bool> asleep = asleep_;
+  std::vector<double> loads = loads_;
+  std::uint64_t digest = route_digest_;
+  std::vector<int> accepted;
+  std::vector<int> rejected;
+  std::size_t checks = 0;
+  std::size_t memo_hits = 0;
+
+  for (const int raw : links) {
+    if (raw < 0 || static_cast<std::size_t>(raw) >= asleep.size()) {
+      throw std::out_of_range("WhatIfEngine: link index out of range");
+    }
+    const auto link = static_cast<std::size_t>(raw);
+    if (asleep[link]) {
+      rejected.push_back(raw);
+      continue;
+    }
+    ++checks;
+    // The memo key digests the committed routing state plus this query's
+    // accepted prefix — exactly what sleep_feasibility's answer depends on —
+    // so a probe and its matching commit, or adjacent overlapping queries,
+    // share each BFS + ceiling evaluation.
+    const std::uint64_t key =
+        fnv_mix(fnv_mix(digest, kProbeSalt), static_cast<std::uint64_t>(link));
+    SleepFeasibility feasibility;
+    const auto memoized = feasibility_memo_.find(key);
+    if (memoized != feasibility_memo_.end()) {
+      ++memo_hits;
+      feasibility = memoized->second;
+    } else {
+      feasibility = sleep_feasibility(sim_.topology(), asleep, router_down_,
+                                      loads, link,
+                                      options_.hypnos.max_utilization);
+      feasibility_memo_.emplace(key, feasibility);
+    }
+    if (!feasibility.feasible) {
+      rejected.push_back(raw);
+      continue;
+    }
+    asleep[link] = true;
+    for (const int on_path : feasibility.detour) {
+      loads[static_cast<std::size_t>(on_path)] += loads[link];
+    }
+    loads[link] = 0.0;
+    digest =
+        fnv_mix(fnv_mix(digest, kCommitSalt), static_cast<std::uint64_t>(link));
+    accepted.push_back(raw);
+  }
+
+  stats_.feasibility_checks += checks;
+  stats_.feasibility_memo_hits += memo_hits;
+  if constexpr (obs::kEnabled) {
+    if (options_.registry != nullptr) {
+      options_.registry->add(0, "whatif.feasibility_checks", checks);
+      options_.registry->add(0, "whatif.feasibility_memo_hits", memo_hits);
+    }
+  }
+
+  if (commit && !accepted.empty()) {
+    const NetworkTopology& topology = sim_.topology();
+    for (const int raw : accepted) {
+      const InternalLink& link =
+          topology.links.at(static_cast<std::size_t>(raw));
+      for (const auto& [router, iface] :
+           {std::pair{link.router_a, link.iface_a},
+            std::pair{link.router_b, link.iface_b}}) {
+        StateOverride down;
+        down.router = router;
+        down.iface = iface;
+        down.from = std::numeric_limits<SimTime>::min();
+        down.to = std::numeric_limits<SimTime>::max();
+        down.state = InterfaceState::kPlugged;
+        sim_.add_override(down);
+        mark_dirty(static_cast<std::size_t>(router));
+      }
+      sleeping_links_.push_back(raw);
+    }
+    asleep_ = std::move(asleep);
+    loads_ = std::move(loads);
+    route_digest_ = digest;
+  }
+
+  std::string name = std::string(commit ? "sleep" : "probe") + " links (" +
+                     std::to_string(accepted.size()) + "/" +
+                     std::to_string(links.size()) + " feasible)";
+  WhatIfAnswer& recorded = record(std::move(name));
+  recorded.accepted_links = std::move(accepted);
+  recorded.rejected_links = std::move(rejected);
+  return recorded;
+}
+
+WhatIfAnswer WhatIfEngine::sleep_links(std::span<const int> links) {
+  return run_sleep_query(links, /*commit=*/true);
+}
+
+WhatIfAnswer WhatIfEngine::probe_sleep_links(std::span<const int> links) {
+  return run_sleep_query(links, /*commit=*/false);
+}
+
+WhatIfAnswer WhatIfEngine::set_psu_mode(PsuMode mode) {
+  require_baseline();
+  int eligible = 0;
+  for (std::size_t r = 0; r < sim_.router_count(); ++r) {
+    if (sim_.device(r).psus().size() < 2) continue;
+    ++eligible;
+    if (sim_.device(r).psu_mode() == mode) continue;
+    sim_.device(r).set_psu_mode(mode);
+    mark_dirty(r);
+  }
+  const char* label =
+      mode == PsuMode::kHotStandby ? "hot-standby" : "active-active";
+  return record(std::string("psu mode ") + label + " (" +
+                std::to_string(eligible) + " routers)");
+}
+
+WhatIfAnswer WhatIfEngine::unplug_spares() {
+  require_baseline();
+  int removed = 0;
+  const NetworkTopology& topology = sim_.topology();
+  for (std::size_t r = 0; r < topology.routers.size(); ++r) {
+    const auto& interfaces = topology.routers[r].interfaces;
+    bool touched = false;
+    for (std::size_t i = 0; i < interfaces.size(); ++i) {
+      if (!interfaces[i].spare) continue;
+      sim_.remove_transceiver_at(static_cast<int>(r), static_cast<int>(i),
+                                 std::numeric_limits<SimTime>::min());
+      ++removed;
+      touched = true;
+    }
+    if (touched) mark_dirty(r);
+  }
+  return record("unplug spare transceivers (" + std::to_string(removed) + ")");
+}
+
+WhatIfAnswer WhatIfEngine::decommission_pop(int pop) {
+  require_baseline();
+  const NetworkTopology& topology = sim_.topology();
+  if (pop < 0 || static_cast<std::size_t>(pop) >= topology.pops.size()) {
+    throw std::out_of_range("WhatIfEngine: pop index out of range");
+  }
+  int removed = 0;
+  for (std::size_t r = 0; r < topology.routers.size(); ++r) {
+    if (topology.routers[r].pop != pop) continue;
+    if (router_down_[r]) continue;
+    sim_.decommission_at(r, eval_at_);
+    router_down_[r] = true;
+    mark_dirty(r);
+    ++removed;
+  }
+  if (removed > 0) {
+    route_digest_ = fnv_mix(fnv_mix(route_digest_, kPopSalt),
+                            static_cast<std::uint64_t>(pop));
+  }
+  return record("decommission " + topology.pops[static_cast<std::size_t>(pop)] +
+                " (" + std::to_string(removed) + " routers)");
+}
+
+HypnosResult WhatIfEngine::sleep_result() const {
+  HypnosResult result;
+  result.sleeping_links = sleeping_links_;
+  result.candidate_links = asleep_.size();
+  result.final_loads_bps = loads_;
+  return result;
+}
+
+}  // namespace joules

@@ -1,0 +1,171 @@
+// The incremental what-if query engine.
+//
+// `Scenario` answers "what do these measures save together" as a one-shot:
+// every step re-measures the whole fleet. An operator console (or a search
+// over candidate measures) instead asks a long *stream* of queries against
+// the same fleet — sleep these links, swap the PSU mode, unplug the spares,
+// decommission that PoP — where each mutation touches a handful of routers.
+// `WhatIfEngine` keeps the simulation alive across queries and recomputes
+// only what a mutation invalidated:
+//
+//   * Per-router power cache. Every router's last wall-power evaluation is
+//     cached under its configuration fingerprint
+//     (`NetworkSimulation::config_fingerprint` — active window, PSU mode,
+//     override-applied interface states, eval time). A query re-fingerprints
+//     only the routers its mutation marked dirty; an unchanged fingerprint
+//     or a memoized prior fingerprint (toggled mutations) skips the power
+//     model entirely. Clean routers carry their cached sample.
+//   * Feasibility memo. Routing-aware sleep checks are memoized under a
+//     digest of the routing state (committed sleeps + decommissions) and the
+//     candidate link, so a probe followed by a commit — or adjacent queries
+//     over overlapping link sets — pays for each BFS + ceiling check once.
+//
+// Sleeping is *routing-aware* (per Giroire et al.): a link may only sleep if
+// its traffic reroutes onto a surviving shortest path whose links all stay
+// under the utilization ceiling — capacities taken as the min of both
+// endpoint rates — and the engine maintains the post-reroute load matrix
+// (`link_loads_bps()`) so later queries, and `Scenario` steps composed on
+// top, see rerouted traffic rather than the original matrix.
+//
+// Determinism contract: every answer's `network_power_w` is bit-identical
+// to a from-scratch full recomputation (`TraceEngine::network_power_w` on a
+// fresh simulation with the same mutations applied) for any worker count —
+// cached samples are bitwise copies of what a recompute would produce, and
+// the final fold runs serially in ascending router order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "network/simulation.hpp"
+#include "obs/registry.hpp"
+#include "sleep/hypnos.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+
+struct WhatIfOptions {
+  std::size_t workers = 1;  // sizes the recompute pool (1 = inline)
+  HypnosOptions hypnos;     // post-reroute ceiling for sleep queries
+  // whatif.* counters land in shard 0 (queries run on the control thread).
+  obs::Registry* registry = nullptr;
+  // Per-link average loads the routing checks run against. Empty = sweep the
+  // window ending at eval_at with TraceEngine::average_link_loads_bps.
+  std::vector<double> link_loads_bps;
+  SimTime load_window_s = kSecondsPerDay;
+  SimTime load_step_s = kSecondsPerHour;
+};
+
+struct WhatIfAnswer {
+  std::string name;
+  double network_power_w = 0.0;
+  double saved_vs_baseline_w = 0.0;
+  std::size_t routers_recomputed = 0;  // power-model evaluations this query
+  std::size_t cache_hits = 0;          // clean carries + fingerprint memo hits
+  std::vector<int> accepted_links;     // sleep queries: links that can sleep
+  std::vector<int> rejected_links;     // sleep queries: infeasible links
+};
+
+class WhatIfEngine {
+ public:
+  // Takes ownership of a fresh simulation; `eval_at` is the instant every
+  // answer's power reading uses.
+  WhatIfEngine(NetworkSimulation sim, SimTime eval_at,
+               WhatIfOptions options = {});
+
+  // Measures the untouched fleet and seeds the power cache; must be the
+  // first query.
+  double baseline_w();
+
+  // Commits the feasible subset of `links` to sleep (admin-down overrides on
+  // both endpoint interfaces; modules stay plugged) after rerouting each
+  // link's traffic, in the order given. Infeasible links are reported in
+  // `rejected_links` and left untouched.
+  WhatIfAnswer sleep_links(std::span<const int> links);
+
+  // Same feasibility walk without committing anything — the answer carries
+  // the current power. The feasibility results are memoized, so a probe
+  // followed by the matching `sleep_links` re-pays none of the checks.
+  WhatIfAnswer probe_sleep_links(std::span<const int> links);
+
+  // Sets every router with >= 2 PSUs to `mode` (matching
+  // Scenario::apply_hot_standby when `mode` is kHotStandby).
+  WhatIfAnswer set_psu_mode(PsuMode mode);
+
+  // Physically unplugs every spare transceiver.
+  WhatIfAnswer unplug_spares();
+
+  // Decommissions every router of `pop` at the evaluation instant. Their
+  // links become unusable for future reroutes.
+  WhatIfAnswer decommission_pop(int pop);
+
+  // The post-reroute per-link load matrix after all committed sleeps.
+  [[nodiscard]] const std::vector<double>& link_loads_bps() const noexcept {
+    return loads_;
+  }
+  // The committed sleep state as a HypnosResult, so Scenario steps compose
+  // on the rerouted matrix (feed it to Scenario::apply_link_sleeping).
+  [[nodiscard]] HypnosResult sleep_result() const;
+
+  [[nodiscard]] const std::vector<WhatIfAnswer>& answers() const noexcept {
+    return answers_;
+  }
+  [[nodiscard]] NetworkSimulation& sim() noexcept { return sim_; }
+  [[nodiscard]] SimTime eval_at() const noexcept { return eval_at_; }
+
+  struct Stats {
+    std::uint64_t queries = 0;
+    std::uint64_t routers_recomputed = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t feasibility_checks = 0;
+    std::uint64_t feasibility_memo_hits = 0;
+    std::uint64_t plan_rebuilds = 0;  // PowerPlan compiles across all queries
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct RouterCache {
+    std::uint64_t fingerprint = 0;
+    double power_w = 0.0;
+    bool valid = false;  // fingerprint/power_w hold a real evaluation
+    std::map<std::uint64_t, double> memo;  // fingerprint -> power
+  };
+
+  void require_baseline() const;
+  void mark_dirty(std::size_t router);
+  // Re-fingerprints dirty routers, recomputes cache misses on the pool
+  // (sharded by router), folds ascending, and appends the answer.
+  WhatIfAnswer& record(std::string name);
+  WhatIfAnswer run_sleep_query(std::span<const int> links, bool commit);
+
+  NetworkSimulation sim_;
+  SimTime eval_at_ = 0;
+  WhatIfOptions options_;
+  ThreadPool pool_;  // owning the pool makes the engine non-movable
+  std::vector<std::vector<InterfaceLoad>> scratch_;  // one per worker slot
+
+  std::vector<RouterCache> cache_;
+  std::vector<std::uint8_t> dirty_;
+  std::vector<std::size_t> dirty_list_;  // ascending, unique
+
+  std::vector<double> loads_;        // post-reroute per-link loads
+  std::vector<bool> asleep_;         // committed sleeping links
+  std::vector<bool> router_down_;    // decommissioned via queries
+  std::vector<int> sleeping_links_;  // commit order
+  // Digest of the committed routing state (sleeps + decommissions); the
+  // feasibility memo keys extend it per tentative acceptance.
+  std::uint64_t route_digest_ = 0;
+  std::map<std::uint64_t, SleepFeasibility> feasibility_memo_;
+
+  bool has_baseline_ = false;
+  double baseline_w_ = 0.0;
+  std::uint64_t plan_rebuilds_seen_ = 0;
+  Stats stats_;
+  std::vector<WhatIfAnswer> answers_;
+};
+
+}  // namespace joules

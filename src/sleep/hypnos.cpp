@@ -19,11 +19,17 @@ struct Edge {
 using AdjacencyList = std::vector<std::vector<Edge>>;
 
 AdjacencyList build_adjacency(const NetworkTopology& topology,
-                              const std::vector<bool>& asleep) {
+                              const std::vector<bool>& asleep,
+                              const std::vector<bool>& router_down) {
   AdjacencyList adjacency(topology.routers.size());
   for (std::size_t l = 0; l < topology.links.size(); ++l) {
     if (asleep[l]) continue;
     const InternalLink& link = topology.links[l];
+    if (!router_down.empty() &&
+        (router_down[static_cast<std::size_t>(link.router_a)] ||
+         router_down[static_cast<std::size_t>(link.router_b)])) {
+      continue;
+    }
     adjacency[static_cast<std::size_t>(link.router_a)].push_back(
         {static_cast<int>(l), link.router_b});
     adjacency[static_cast<std::size_t>(link.router_b)].push_back(
@@ -65,15 +71,68 @@ std::vector<int> shortest_path(const AdjacencyList& adjacency, int from, int to)
   return {};
 }
 
+}  // namespace
+
 double link_capacity_bps(const NetworkTopology& topology, std::size_t link_id) {
   const InternalLink& link = topology.links[link_id];
-  const DeployedInterface& iface =
+  const DeployedInterface& iface_a =
       topology.routers[static_cast<std::size_t>(link.router_a)]
           .interfaces[static_cast<std::size_t>(link.iface_a)];
-  return line_rate_bps(iface.profile.rate);
+  const DeployedInterface& iface_b =
+      topology.routers[static_cast<std::size_t>(link.router_b)]
+          .interfaces[static_cast<std::size_t>(link.iface_b)];
+  return std::min(line_rate_bps(iface_a.profile.rate),
+                  line_rate_bps(iface_b.profile.rate));
 }
 
-}  // namespace
+std::vector<std::size_t> hypnos_candidate_order(
+    const NetworkTopology& topology, std::span<const double> link_loads_bps) {
+  std::vector<std::size_t> order(topology.links.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const double util_a =
+                         link_loads_bps[a] / link_capacity_bps(topology, a);
+                     const double util_b =
+                         link_loads_bps[b] / link_capacity_bps(topology, b);
+                     if (util_a != util_b) return util_a < util_b;
+                     return a < b;
+                   });
+  return order;
+}
+
+SleepFeasibility sleep_feasibility(const NetworkTopology& topology,
+                                   const std::vector<bool>& asleep,
+                                   const std::vector<bool>& router_down,
+                                   std::span<const double> loads_bps,
+                                   std::size_t link, double max_utilization) {
+  SleepFeasibility out;
+  const InternalLink& spec = topology.links[link];
+  if (!router_down.empty() &&
+      (router_down[static_cast<std::size_t>(spec.router_a)] ||
+       router_down[static_cast<std::size_t>(spec.router_b)])) {
+    return out;  // a dead endpoint has no traffic to reroute and no detour
+  }
+  std::vector<bool> tentative = asleep;
+  tentative[link] = true;
+  const AdjacencyList adjacency =
+      build_adjacency(topology, tentative, router_down);
+  std::vector<int> detour =
+      shortest_path(adjacency, spec.router_a, spec.router_b);
+  if (detour.empty()) return out;
+  for (const int on_path : detour) {
+    const double new_load =
+        loads_bps[static_cast<std::size_t>(on_path)] + loads_bps[link];
+    if (new_load >
+        max_utilization *
+            link_capacity_bps(topology, static_cast<std::size_t>(on_path))) {
+      return out;
+    }
+  }
+  out.feasible = true;
+  out.detour = std::move(detour);
+  return out;
+}
 
 std::vector<double> average_link_loads_bps(const NetworkSimulation& sim,
                                            SimTime begin, SimTime end,
@@ -99,43 +158,20 @@ HypnosResult run_hypnos(const NetworkTopology& topology,
   result.final_loads_bps.assign(link_loads_bps.begin(), link_loads_bps.end());
 
   std::vector<bool> asleep(topology.links.size(), false);
+  const std::vector<bool> no_down;
 
   // Candidate order: ascending utilization (lightest links sleep first).
-  std::vector<std::size_t> order(topology.links.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return link_loads_bps[a] / link_capacity_bps(topology, a) <
-           link_loads_bps[b] / link_capacity_bps(topology, b);
-  });
+  const std::vector<std::size_t> order =
+      hypnos_candidate_order(topology, link_loads_bps);
 
   for (const std::size_t candidate : order) {
     // Tentatively sleep the link and try to reroute its load.
+    SleepFeasibility probe =
+        sleep_feasibility(topology, asleep, no_down, result.final_loads_bps,
+                          candidate, options.max_utilization);
+    if (!probe.feasible) continue;
     asleep[candidate] = true;
-    const AdjacencyList adjacency = build_adjacency(topology, asleep);
-    const InternalLink& link = topology.links[candidate];
-    const std::vector<int> detour =
-        shortest_path(adjacency, link.router_a, link.router_b);
-
-    bool feasible = !detour.empty();
-    if (feasible) {
-      for (const int on_path : detour) {
-        const double new_load =
-            result.final_loads_bps[static_cast<std::size_t>(on_path)] +
-            result.final_loads_bps[candidate];
-        if (new_load > options.max_utilization *
-                           link_capacity_bps(topology,
-                                             static_cast<std::size_t>(on_path))) {
-          feasible = false;
-          break;
-        }
-      }
-    }
-
-    if (!feasible) {
-      asleep[candidate] = false;
-      continue;
-    }
-    for (const int on_path : detour) {
+    for (const int on_path : probe.detour) {
       result.final_loads_bps[static_cast<std::size_t>(on_path)] +=
           result.final_loads_bps[candidate];
     }
@@ -192,8 +228,16 @@ SleepSchedule run_hypnos_schedule(TraceEngine& engine,
   if (window_s <= 0 || end <= begin) {
     throw std::invalid_argument("run_hypnos_schedule: bad window");
   }
+  // Validated here, not just in the TraceEngine it eventually reaches: the
+  // schedule stamps this step into its result, and a non-positive value must
+  // fail at the API the caller actually used.
+  if (sample_step <= 0) {
+    throw std::invalid_argument(
+        "run_hypnos_schedule: sample_step must be positive");
+  }
   SleepSchedule schedule;
   schedule.candidate_links = sim.topology().links.size();
+  schedule.sample_step = sample_step;
   for (SimTime t = begin; t < end; t += window_s) {
     SleepWindow window;
     window.begin = t;

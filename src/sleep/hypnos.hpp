@@ -39,6 +39,37 @@ struct HypnosResult {
 [[nodiscard]] std::vector<double> average_link_loads_bps(
     const NetworkSimulation& sim, SimTime begin, SimTime end, SimTime step);
 
+// Effective capacity of an internal link: the *min* of the two endpoint
+// interfaces' line rates. The generator keeps both sides at the same rate,
+// but the ceiling check must hold on whichever side is slower if they ever
+// disagree (hand-built or future asymmetric topologies).
+[[nodiscard]] double link_capacity_bps(const NetworkTopology& topology,
+                                       std::size_t link_id);
+
+// The greedy pass's candidate order: ascending utilization, with an explicit
+// link-index tie-break. Ties are common (synthesized symmetric links share
+// loads and rates), so the tie-break — not the STL's unstable partitioning —
+// must decide the order for sleeping decisions to be platform-independent.
+[[nodiscard]] std::vector<std::size_t> hypnos_candidate_order(
+    const NetworkTopology& topology, std::span<const double> link_loads_bps);
+
+// One feasibility probe of the greedy loop, exposed so callers that memoize
+// across adjacent queries (WhatIfEngine) share the exact decision procedure.
+struct SleepFeasibility {
+  bool feasible = false;
+  std::vector<int> detour;  // link ids that absorb the rerouted traffic
+};
+
+// Can `link` sleep given the links already asleep and the routers that are
+// unusable (decommissioned)? Feasible iff a detour exists between the link's
+// endpoints through awake links and usable routers, and every detour link
+// stays under `max_utilization` of its capacity after absorbing the slept
+// link's load. `router_down` may be empty (all routers usable).
+[[nodiscard]] SleepFeasibility sleep_feasibility(
+    const NetworkTopology& topology, const std::vector<bool>& asleep,
+    const std::vector<bool>& router_down, std::span<const double> loads_bps,
+    std::size_t link, double max_utilization);
+
 // Runs the greedy sleeping pass. `link_loads_bps` must have one entry per
 // topology link (one-direction averages).
 [[nodiscard]] HypnosResult run_hypnos(const NetworkTopology& topology,
@@ -61,6 +92,9 @@ struct SleepWindow {
 struct SleepSchedule {
   std::vector<SleepWindow> windows;
   std::size_t candidate_links = 0;
+  // Load-averaging resolution the schedule was built at; energy estimates
+  // integrate each window at this step (0 = unknown, midpoint fallback).
+  SimTime sample_step = 0;
 
   // Fraction of link-hours spent asleep across the whole schedule.
   [[nodiscard]] double fraction_link_time_off() const noexcept;

@@ -1,6 +1,7 @@
 #include "sleep/savings.hpp"
 
 #include "device/transceiver.hpp"
+#include "network/trace_engine.hpp"
 
 namespace joules {
 
@@ -65,15 +66,41 @@ SleepSavings estimate_sleep_savings(const NetworkTopology& topology,
 }
 
 
+namespace {
+
+// Mean network power over a window. With a positive sample step this is a
+// left-rule integral at the schedule's own resolution; a zero step keeps the
+// historical single midpoint sample (hand-built schedules).
+double window_mean_power_w(TraceEngine& engine, const SleepWindow& window,
+                           SimTime sample_step) {
+  if (sample_step <= 0) {
+    const SimTime midpoint = window.begin + (window.end - window.begin) / 2;
+    return engine.network_power_w(midpoint);
+  }
+  const NetworkTraces traces =
+      engine.network_traces(window.begin, window.end, sample_step);
+  double sum = 0.0;
+  for (const Sample& sample : traces.total_power_w) sum += sample.value;
+  return traces.total_power_w.empty()
+             ? 0.0
+             : sum / static_cast<double>(traces.total_power_w.size());
+}
+
+}  // namespace
+
 SleepEnergySavings estimate_schedule_energy(const NetworkSimulation& sim,
+                                            const SleepSchedule& schedule) {
+  TraceEngine engine(sim, TraceEngineOptions{.workers = 1});
+  return estimate_schedule_energy(engine, sim, schedule);
+}
+
+SleepEnergySavings estimate_schedule_energy(TraceEngine& engine,
+                                            const NetworkSimulation& sim,
                                             const SleepSchedule& schedule) {
   SleepEnergySavings energy;
   for (const SleepWindow& window : schedule.windows) {
-    const SimTime midpoint = window.begin + (window.end - window.begin) / 2;
-    double network_power = 0.0;
-    for (std::size_t r = 0; r < sim.router_count(); ++r) {
-      network_power += sim.wall_power_w(r, midpoint);
-    }
+    const double network_power =
+        window_mean_power_w(engine, window, schedule.sample_step);
     const SleepSavings savings =
         estimate_sleep_savings(sim.topology(), window.result, network_power);
     const double hours =

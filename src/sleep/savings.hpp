@@ -65,7 +65,21 @@ struct SleepEnergySavings {
   }
 };
 
+// Each window's reference network power is the mean of samples taken at the
+// schedule's own `sample_step` resolution (left-rule integration via
+// TraceEngine), not a single midpoint probe: a midpoint sample near the
+// diurnal peak or trough biases `network_kwh` for long windows. Schedules
+// with `sample_step == 0` (hand-built) keep the historical single midpoint
+// sample per window.
 [[nodiscard]] SleepEnergySavings estimate_schedule_energy(
     const NetworkSimulation& sim, const SleepSchedule& schedule);
+
+// Same estimate with the per-window power sweeps run on `engine`'s worker
+// pool. `engine` must wrap `sim`. Bit-identical to the serial overload for
+// any worker count.
+class TraceEngine;
+[[nodiscard]] SleepEnergySavings estimate_schedule_energy(
+    TraceEngine& engine, const NetworkSimulation& sim,
+    const SleepSchedule& schedule);
 
 }  // namespace joules

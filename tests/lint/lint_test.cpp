@@ -126,6 +126,12 @@ TEST(LintRules, FloatEqualityFixture) {
   EXPECT_EQ(lint_fixture("float_eq_violations.fixture"), expected);
 }
 
+TEST(LintRules, UnstableFloatSortFixture) {
+  const Expected expected = {{8, "unstable-float-sort"},
+                             {10, "unstable-float-sort"}};
+  EXPECT_EQ(lint_fixture("unstable_sort_violations.fixture"), expected);
+}
+
 TEST(LintRules, UnorderedIterationFixture) {
   const Expected expected = {{13, "unordered-iteration"},
                              {16, "unordered-iteration"}};

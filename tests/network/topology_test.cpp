@@ -7,6 +7,7 @@
 
 #include "device/catalog.hpp"
 #include "network/inventory.hpp"
+#include "sleep/hypnos.hpp"
 
 namespace joules {
 namespace {
@@ -134,6 +135,28 @@ TEST(Topology, LifecycleEventsPresent) {
   }
   EXPECT_EQ(commissioned_mid_study, 1);
   EXPECT_EQ(decommissioned_mid_study, 1);
+}
+
+TEST(Topology, LinkEndpointLineRatesAgreeAndSetTheCapacity) {
+  // The generator keeps both sides of every internal link at the same line
+  // rate, and link_capacity_bps must equal that rate from either side (it is
+  // defined as the min of the two endpoint rates — the side that matters if
+  // a hand-built topology ever disagrees).
+  const NetworkTopology& topology = topo();
+  ASSERT_FALSE(topology.links.empty());
+  for (std::size_t l = 0; l < topology.links.size(); ++l) {
+    const InternalLink& link = topology.links[l];
+    const DeployedInterface& a =
+        topology.routers[static_cast<std::size_t>(link.router_a)]
+            .interfaces[static_cast<std::size_t>(link.iface_a)];
+    const DeployedInterface& b =
+        topology.routers[static_cast<std::size_t>(link.router_b)]
+            .interfaces[static_cast<std::size_t>(link.iface_b)];
+    EXPECT_EQ(a.profile.rate, b.profile.rate) << "link " << l;
+    EXPECT_DOUBLE_EQ(link_capacity_bps(topology, l),
+                     line_rate_bps(a.profile.rate))
+        << "link " << l;
+  }
 }
 
 TEST(Inventory, RouterTableHasAllRouters) {

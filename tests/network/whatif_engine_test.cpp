@@ -1,0 +1,263 @@
+// Unit contract of the incremental what-if engine: baseline ordering,
+// routing-aware sleep accept/reject, fingerprint-memo reuse on toggled
+// mutations, parity with the one-shot Scenario, and bit-identity across
+// worker counts. The randomized delta-vs-full-recompute stream lives in
+// tests/properties/whatif_property_test.cpp.
+#include "network/whatif_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "network/whatif.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+SimTime eval_instant() {
+  return TopologyOptions{}.study_begin + 10 * kSecondsPerDay;
+}
+
+NetworkSimulation fresh_sim() {
+  return NetworkSimulation(build_switch_like_network(), 7);
+}
+
+WhatIfEngine make_engine(WhatIfOptions options = {}) {
+  return WhatIfEngine(fresh_sim(), eval_instant(), std::move(options));
+}
+
+// Per-link loads pinned at `fraction` of each link's own capacity.
+std::vector<double> loads_at_fraction(const NetworkTopology& topology,
+                                      double fraction) {
+  std::vector<double> loads(topology.links.size());
+  for (std::size_t l = 0; l < loads.size(); ++l) {
+    loads[l] = fraction * link_capacity_bps(topology, l);
+  }
+  return loads;
+}
+
+TEST(WhatIfEngine, BaselineMustComeFirstAndOnlyOnce) {
+  WhatIfEngine engine = make_engine();
+  const std::vector<int> links = {0};
+  EXPECT_THROW(engine.sleep_links(links), std::logic_error);
+  EXPECT_THROW(engine.set_psu_mode(PsuMode::kHotStandby), std::logic_error);
+  EXPECT_THROW(engine.unplug_spares(), std::logic_error);
+  EXPECT_THROW(engine.decommission_pop(0), std::logic_error);
+  EXPECT_GT(engine.baseline_w(), 18000.0);
+  EXPECT_THROW(engine.baseline_w(), std::logic_error);
+  // The baseline evaluated every router once and hit nothing.
+  ASSERT_EQ(engine.answers().size(), 1u);
+  EXPECT_EQ(engine.answers()[0].routers_recomputed, engine.sim().router_count());
+  EXPECT_EQ(engine.answers()[0].cache_hits, 0u);
+}
+
+TEST(WhatIfEngine, ValidatesInputs) {
+  WhatIfOptions bad_ceiling;
+  bad_ceiling.hypnos.max_utilization = 0.0;
+  EXPECT_THROW(make_engine(std::move(bad_ceiling)), std::invalid_argument);
+
+  WhatIfOptions bad_loads;
+  bad_loads.link_loads_bps = {1.0, 2.0};  // wrong size
+  EXPECT_THROW(make_engine(std::move(bad_loads)), std::invalid_argument);
+
+  WhatIfOptions bad_window;
+  bad_window.load_window_s = 0;
+  EXPECT_THROW(make_engine(std::move(bad_window)), std::invalid_argument);
+
+  WhatIfEngine engine = make_engine();
+  engine.baseline_w();
+  const std::vector<int> out_of_range = {-1};
+  EXPECT_THROW(engine.sleep_links(out_of_range), std::out_of_range);
+  EXPECT_THROW(engine.decommission_pop(-1), std::out_of_range);
+  EXPECT_THROW(engine.decommission_pop(10000), std::out_of_range);
+}
+
+TEST(WhatIfEngine, RoutingAwareSleepRejectsOverCeilingReroutes) {
+  // Every link at 45 % of its own capacity, and the candidate carrying a load
+  // as large as the fattest link in the network: any detour link would absorb
+  // at least +20 % of its capacity and blow through the 50 % ceiling.
+  const NetworkTopology topology = build_switch_like_network();
+  std::vector<double> loads = loads_at_fraction(topology, 0.45);
+  double fattest = 0.0;
+  for (std::size_t l = 0; l < loads.size(); ++l) {
+    fattest = std::max(fattest, link_capacity_bps(topology, l));
+  }
+  loads[0] = 0.2 * fattest;
+  WhatIfOptions options;
+  options.link_loads_bps = loads;
+  WhatIfEngine engine = make_engine(std::move(options));
+  engine.baseline_w();
+
+  const std::vector<int> batch = {0};
+  const WhatIfAnswer answer = engine.sleep_links(batch);
+  EXPECT_TRUE(answer.accepted_links.empty());
+  ASSERT_EQ(answer.rejected_links.size(), 1u);
+  EXPECT_EQ(answer.rejected_links[0], 0);
+  // Nothing committed: loads untouched, no router re-evaluated.
+  EXPECT_DOUBLE_EQ(engine.link_loads_bps()[0], loads[0]);
+  EXPECT_EQ(answer.routers_recomputed, 0u);
+  EXPECT_TRUE(engine.sleep_result().sleeping_links.empty());
+}
+
+TEST(WhatIfEngine, RoutingAwareSleepCommitsFeasibleReroutes) {
+  // A nearly idle candidate on a 45 %-loaded fleet reroutes without breaking
+  // the ceiling on either endpoint's detour.
+  const NetworkTopology topology = build_switch_like_network();
+  std::vector<double> loads = loads_at_fraction(topology, 0.45);
+  loads[0] = 1.0;  // 1 bps: any detour absorbs it without moving utilization
+  const double total_before =
+      std::accumulate(loads.begin(), loads.end(), 0.0);
+  WhatIfOptions options;
+  options.link_loads_bps = loads;
+  WhatIfEngine engine = make_engine(std::move(options));
+  engine.baseline_w();
+
+  const std::vector<int> batch = {0};
+  const WhatIfAnswer answer = engine.sleep_links(batch);
+  ASSERT_EQ(answer.accepted_links.size(), 1u);
+  EXPECT_TRUE(answer.rejected_links.empty());
+  // The slept link's traffic moved onto its detour: zero on the link, total
+  // carried bits conserved or grown (longer paths), never lost.
+  EXPECT_DOUBLE_EQ(engine.link_loads_bps()[0], 0.0);
+  const double total_after =
+      std::accumulate(engine.link_loads_bps().begin(),
+                      engine.link_loads_bps().end(), 0.0);
+  EXPECT_GE(total_after + 1e-9, total_before - loads[0]);
+  // Only the two endpoint routers were re-evaluated.
+  EXPECT_LE(answer.routers_recomputed, 2u);
+  EXPECT_GE(answer.cache_hits, engine.sim().router_count() - 2);
+  // The committed state is visible to Scenario composition.
+  const HypnosResult committed = engine.sleep_result();
+  ASSERT_EQ(committed.sleeping_links.size(), 1u);
+  EXPECT_EQ(committed.sleeping_links[0], 0);
+  EXPECT_EQ(committed.final_loads_bps, engine.link_loads_bps());
+}
+
+TEST(WhatIfEngine, ProbeCommitsNothingAndSeedsTheFeasibilityMemo) {
+  WhatIfEngine engine = make_engine();
+  const double baseline = engine.baseline_w();
+  const std::vector<int> batch = {5, 6, 7};
+
+  const WhatIfAnswer probe = engine.probe_sleep_links(batch);
+  EXPECT_EQ(probe.network_power_w, baseline);  // bitwise: nothing changed
+  EXPECT_EQ(probe.routers_recomputed, 0u);
+  EXPECT_TRUE(engine.sleep_result().sleeping_links.empty());
+  const std::uint64_t checks_after_probe = engine.stats().feasibility_checks;
+  EXPECT_EQ(engine.stats().feasibility_memo_hits, 0u);
+
+  // The matching commit replays the identical accepted prefix, so every
+  // feasibility check is a memo hit.
+  const WhatIfAnswer commit = engine.sleep_links(batch);
+  EXPECT_EQ(commit.accepted_links, probe.accepted_links);
+  EXPECT_EQ(commit.rejected_links, probe.rejected_links);
+  EXPECT_EQ(engine.stats().feasibility_memo_hits,
+            engine.stats().feasibility_checks - checks_after_probe);
+}
+
+TEST(WhatIfEngine, ToggledPsuModeReusesTheFingerprintMemo) {
+  WhatIfEngine engine = make_engine();
+  engine.baseline_w();
+  const std::size_t routers = engine.sim().router_count();
+
+  const WhatIfAnswer standby = engine.set_psu_mode(PsuMode::kHotStandby);
+  EXPECT_GT(standby.routers_recomputed, 0u);
+  EXPECT_GT(standby.saved_vs_baseline_w, 0.0);
+
+  // Toggling back restores a fingerprint every router has already been
+  // evaluated under: zero power-model calls, bitwise-identical power.
+  const WhatIfAnswer back = engine.set_psu_mode(PsuMode::kActiveActive);
+  EXPECT_EQ(back.routers_recomputed, 0u);
+  EXPECT_EQ(back.cache_hits, routers);
+  EXPECT_EQ(back.network_power_w, engine.answers()[0].network_power_w);
+
+  const WhatIfAnswer again = engine.set_psu_mode(PsuMode::kHotStandby);
+  EXPECT_EQ(again.routers_recomputed, 0u);
+  EXPECT_EQ(again.network_power_w, standby.network_power_w);
+}
+
+TEST(WhatIfEngine, MatchesScenarioStepForStepBitwise) {
+  // The delta engine and the one-shot Scenario must land on bitwise-equal
+  // power for the same mutations — Scenario is the trusted full recompute.
+  WhatIfEngine engine = make_engine();
+  engine.baseline_w();
+  const std::vector<int> batch = {5, 6, 7, 8};
+  engine.sleep_links(batch);
+  engine.set_psu_mode(PsuMode::kHotStandby);
+  engine.unplug_spares();
+  engine.decommission_pop(3);
+
+  Scenario scenario(fresh_sim(), eval_instant());
+  std::vector<double> expected;
+  expected.push_back(scenario.baseline_w());
+  expected.push_back(scenario.apply_link_sleeping(engine.sleep_result()));
+  expected.push_back(scenario.apply_hot_standby());
+  expected.push_back(scenario.remove_spare_transceivers());
+  expected.push_back(scenario.decommission_pop(3));
+
+  ASSERT_EQ(engine.answers().size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(engine.answers()[i].network_power_w, expected[i])
+        << engine.answers()[i].name;
+  }
+  // The stream did strictly less power-model work than five full sweeps.
+  EXPECT_LT(engine.stats().routers_recomputed,
+            engine.sim().router_count() * engine.stats().queries);
+  EXPECT_GT(engine.stats().cache_hits, 0u);
+}
+
+TEST(WhatIfEngine, AnswersAreBitIdenticalAcrossWorkerCounts) {
+  std::vector<std::vector<WhatIfAnswer>> runs;
+  for (const std::size_t workers : {1u, 4u, 16u}) {
+    WhatIfOptions options;
+    options.workers = workers;
+    WhatIfEngine engine = make_engine(std::move(options));
+    engine.baseline_w();
+    const std::vector<int> batch = {5, 6, 7, 8};
+    engine.probe_sleep_links(batch);
+    engine.sleep_links(batch);
+    engine.set_psu_mode(PsuMode::kHotStandby);
+    engine.unplug_spares();
+    engine.decommission_pop(2);
+    runs.push_back(engine.answers());
+  }
+  for (std::size_t run = 1; run < runs.size(); ++run) {
+    ASSERT_EQ(runs[run].size(), runs[0].size());
+    for (std::size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_EQ(runs[run][i].network_power_w, runs[0][i].network_power_w)
+          << runs[0][i].name;
+      EXPECT_EQ(runs[run][i].routers_recomputed, runs[0][i].routers_recomputed);
+      EXPECT_EQ(runs[run][i].cache_hits, runs[0][i].cache_hits);
+      EXPECT_EQ(runs[run][i].accepted_links, runs[0][i].accepted_links);
+    }
+  }
+}
+
+TEST(WhatIfEngine, CountersLandInTheRegistry) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "obs compiled out";
+  }
+  obs::Registry registry;
+  WhatIfOptions options;
+  options.registry = &registry;
+  WhatIfEngine engine = make_engine(std::move(options));
+  engine.baseline_w();
+  const std::vector<int> batch = {5, 6};
+  engine.probe_sleep_links(batch);
+  engine.sleep_links(batch);
+
+  EXPECT_EQ(registry.counter("whatif.queries"), engine.stats().queries);
+  EXPECT_EQ(registry.counter("whatif.routers_recomputed"),
+            engine.stats().routers_recomputed);
+  EXPECT_EQ(registry.counter("whatif.cache_hits"), engine.stats().cache_hits);
+  EXPECT_EQ(registry.counter("whatif.feasibility_checks"),
+            engine.stats().feasibility_checks);
+  EXPECT_EQ(registry.counter("whatif.feasibility_memo_hits"),
+            engine.stats().feasibility_memo_hits);
+  EXPECT_GT(engine.stats().feasibility_memo_hits, 0u);
+}
+
+}  // namespace
+}  // namespace joules

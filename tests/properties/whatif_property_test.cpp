@@ -1,0 +1,237 @@
+// Property: every answer the incremental WhatIfEngine produces over a
+// randomized query stream is bit-identical to a from-scratch full recompute
+// (TraceEngine::network_power_w on a fresh simulation with the same committed
+// mutations), for every worker count — and the engine must have actually
+// skipped work while getting there (cache hits > 0, recomputes strictly
+// under routers x queries).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "network/trace_engine.hpp"
+#include "network/whatif_engine.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+constexpr std::uint64_t kTopologySeed = 7;
+
+SimTime eval_instant() {
+  return TopologyOptions{}.study_begin + 10 * kSecondsPerDay;
+}
+
+// The committed state the mirror has to reproduce. Rebuilt from scratch after
+// every query so no engine internals leak into the oracle.
+struct CommittedState {
+  std::vector<int> sleeping_links;
+  PsuMode psu_mode = PsuMode::kActiveActive;
+  bool spares_removed = false;
+  std::set<int> decommissioned_pops;
+};
+
+// Applies `state` to a fresh simulation exactly the way the engine's
+// mutations describe themselves: admin-down overrides on both endpoints of a
+// sleeping link, PSU mode on >= 2-PSU routers, spare removal, decommission.
+NetworkSimulation mirror_sim(const CommittedState& state) {
+  NetworkSimulation sim(build_switch_like_network(), kTopologySeed);
+  const NetworkTopology& topology = sim.topology();
+  for (const int raw : state.sleeping_links) {
+    const InternalLink& link = topology.links.at(static_cast<std::size_t>(raw));
+    for (const auto& [router, iface] :
+         {std::pair{link.router_a, link.iface_a},
+          std::pair{link.router_b, link.iface_b}}) {
+      StateOverride down;
+      down.router = router;
+      down.iface = iface;
+      down.from = std::numeric_limits<SimTime>::min();
+      down.to = std::numeric_limits<SimTime>::max();
+      down.state = InterfaceState::kPlugged;
+      sim.add_override(down);
+    }
+  }
+  if (state.psu_mode != PsuMode::kActiveActive) {
+    for (std::size_t r = 0; r < sim.router_count(); ++r) {
+      if (sim.device(r).psus().size() >= 2) {
+        sim.device(r).set_psu_mode(state.psu_mode);
+      }
+    }
+  }
+  if (state.spares_removed) {
+    for (std::size_t r = 0; r < topology.routers.size(); ++r) {
+      const auto& interfaces = topology.routers[r].interfaces;
+      for (std::size_t i = 0; i < interfaces.size(); ++i) {
+        if (interfaces[i].spare) {
+          sim.remove_transceiver_at(static_cast<int>(r), static_cast<int>(i),
+                                    std::numeric_limits<SimTime>::min());
+        }
+      }
+    }
+  }
+  for (const int pop : state.decommissioned_pops) {
+    for (std::size_t r = 0; r < topology.routers.size(); ++r) {
+      if (topology.routers[r].pop == pop) sim.decommission_at(r, eval_instant());
+    }
+  }
+  return sim;
+}
+
+double full_recompute_w(const CommittedState& state, std::size_t workers) {
+  NetworkSimulation sim = mirror_sim(state);
+  TraceEngineOptions options;
+  options.workers = workers;
+  TraceEngine engine(sim, options);
+  return engine.network_power_w(eval_instant());
+}
+
+// One randomized stream: mutation kinds and operands drawn from `rng`; the
+// same drawn stream is replayed at every worker count.
+struct Query {
+  enum class Kind { kProbe, kSleep, kPsu, kUnplug, kDecommission };
+  Kind kind = Kind::kProbe;
+  std::vector<int> links;
+  PsuMode mode = PsuMode::kActiveActive;
+  int pop = 0;
+};
+
+std::vector<Query> draw_stream(Rng& rng, std::size_t length,
+                               std::size_t link_count, std::size_t pop_count) {
+  std::vector<Query> stream;
+  for (std::size_t i = 0; i < length; ++i) {
+    Query query;
+    switch (rng.uniform_int(0, 4)) {
+      case 0: query.kind = Query::Kind::kProbe; break;
+      case 1: query.kind = Query::Kind::kSleep; break;
+      case 2: query.kind = Query::Kind::kPsu; break;
+      case 3: query.kind = Query::Kind::kUnplug; break;
+      default: query.kind = Query::Kind::kDecommission; break;
+    }
+    if (query.kind == Query::Kind::kProbe || query.kind == Query::Kind::kSleep) {
+      const auto count = static_cast<std::size_t>(rng.uniform_int(1, 4));
+      for (std::size_t l = 0; l < count; ++l) {
+        query.links.push_back(static_cast<int>(
+            rng.uniform_int(0, static_cast<std::int64_t>(link_count) - 1)));
+      }
+    } else if (query.kind == Query::Kind::kPsu) {
+      query.mode = rng.uniform_int(0, 1) == 0 ? PsuMode::kHotStandby
+                                              : PsuMode::kActiveActive;
+    } else if (query.kind == Query::Kind::kDecommission) {
+      query.pop = static_cast<int>(
+          rng.uniform_int(0, static_cast<std::int64_t>(pop_count) - 1));
+    }
+    stream.push_back(std::move(query));
+  }
+  return stream;
+}
+
+void run_stream_and_verify(std::uint64_t stream_seed, std::size_t workers) {
+  NetworkSimulation sim(build_switch_like_network(), kTopologySeed);
+  const std::size_t link_count = sim.topology().links.size();
+  const std::size_t pop_count = sim.topology().pops.size();
+  const std::size_t router_count = sim.router_count();
+  Rng rng(stream_seed);
+  const std::vector<Query> stream =
+      draw_stream(rng, 8, link_count, pop_count);
+
+  WhatIfOptions options;
+  options.workers = workers;
+  WhatIfEngine engine(std::move(sim), eval_instant(), options);
+  CommittedState committed;
+
+  EXPECT_EQ(engine.baseline_w(), full_recompute_w(committed, workers));
+  for (const Query& query : stream) {
+    switch (query.kind) {
+      case Query::Kind::kProbe:
+        engine.probe_sleep_links(query.links);
+        break;
+      case Query::Kind::kSleep: {
+        const WhatIfAnswer answer = engine.sleep_links(query.links);
+        for (const int link : answer.accepted_links) {
+          committed.sleeping_links.push_back(link);
+        }
+        break;
+      }
+      case Query::Kind::kPsu:
+        engine.set_psu_mode(query.mode);
+        committed.psu_mode = query.mode;
+        break;
+      case Query::Kind::kUnplug:
+        engine.unplug_spares();
+        committed.spares_removed = true;
+        break;
+      case Query::Kind::kDecommission:
+        engine.decommission_pop(query.pop);
+        committed.decommissioned_pops.insert(query.pop);
+        break;
+    }
+    // Delta answer vs from-scratch recompute: bitwise equal, every query.
+    EXPECT_EQ(engine.answers().back().network_power_w,
+              full_recompute_w(committed, workers))
+        << "seed " << stream_seed << " workers " << workers << " after '"
+        << engine.answers().back().name << "'";
+  }
+
+  // The stream must have actually exercised the delta machinery.
+  EXPECT_GT(engine.stats().cache_hits, 0u);
+  EXPECT_LT(engine.stats().routers_recomputed,
+            router_count * engine.stats().queries);
+}
+
+class WhatIfProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WhatIfProperty, DeltaAnswersMatchFullRecomputeBitwise) {
+  for (const std::uint64_t seed : {11u, 23u, 37u}) {
+    run_stream_and_verify(seed, GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, WhatIfProperty,
+                         ::testing::Values(1u, 4u, 16u));
+
+// The same stream replayed at different worker counts produces bit-identical
+// answer sequences (not just equal to the oracle — equal to each other,
+// including the skipped-work accounting).
+TEST(WhatIfProperty, StreamsAreBitIdenticalAcrossWorkerCounts) {
+  const std::uint64_t stream_seed = 53;
+  std::vector<std::vector<WhatIfAnswer>> runs;
+  for (const std::size_t workers : {1u, 4u, 16u}) {
+    NetworkSimulation sim(build_switch_like_network(), kTopologySeed);
+    Rng rng(stream_seed);
+    const std::vector<Query> stream = draw_stream(
+        rng, 8, sim.topology().links.size(), sim.topology().pops.size());
+    WhatIfOptions options;
+    options.workers = workers;
+    WhatIfEngine engine(std::move(sim), eval_instant(), options);
+    engine.baseline_w();
+    for (const Query& query : stream) {
+      switch (query.kind) {
+        case Query::Kind::kProbe: engine.probe_sleep_links(query.links); break;
+        case Query::Kind::kSleep: engine.sleep_links(query.links); break;
+        case Query::Kind::kPsu: engine.set_psu_mode(query.mode); break;
+        case Query::Kind::kUnplug: engine.unplug_spares(); break;
+        case Query::Kind::kDecommission:
+          engine.decommission_pop(query.pop);
+          break;
+      }
+    }
+    runs.push_back(engine.answers());
+  }
+  for (std::size_t run = 1; run < runs.size(); ++run) {
+    ASSERT_EQ(runs[run].size(), runs[0].size());
+    for (std::size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_EQ(runs[run][i].network_power_w, runs[0][i].network_power_w)
+          << runs[0][i].name;
+      EXPECT_EQ(runs[run][i].routers_recomputed, runs[0][i].routers_recomputed);
+      EXPECT_EQ(runs[run][i].cache_hits, runs[0][i].cache_hits);
+      EXPECT_EQ(runs[run][i].accepted_links, runs[0][i].accepted_links);
+      EXPECT_EQ(runs[run][i].rejected_links, runs[0][i].rejected_links);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace joules

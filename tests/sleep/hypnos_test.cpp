@@ -95,6 +95,107 @@ TEST(Hypnos, TrafficIsConservedByRerouting) {
   }
 }
 
+TEST(Hypnos, CandidateOrderBreaksUtilizationTiesByLinkIndex) {
+  // Regression: the candidate order used std::sort with a comparator over
+  // float utilizations only. Synthesized symmetric links tie constantly, and
+  // unstable partitioning then leaves the greedy order — and therefore which
+  // links sleep — implementation-defined. Enough tied entries that an
+  // unstable sort would actually permute them (libstdc++ introsort departs
+  // from insertion sort above 16 elements).
+  NetworkTopology topology;
+  topology.pops = {"pop01"};
+  const ProfileKey dac{PortType::kQSFP28, TransceiverKind::kPassiveDAC,
+                       LineRate::kG100};
+  constexpr int kRouters = 48;
+  for (int i = 0; i < kRouters; ++i) {
+    DeployedRouter router;
+    router.name = "pop01-r" + std::to_string(i + 1);
+    router.model = "NCS-55A1-24H";
+    topology.routers.push_back(std::move(router));
+  }
+  for (int a = 0; a < kRouters; ++a) {  // a ring: every link identical
+    const int b = (a + 1) % kRouters;
+    const int link_id = static_cast<int>(topology.links.size());
+    auto add_iface = [&](int router) {
+      DeployedInterface iface;
+      iface.name = "if-" + std::to_string(link_id);
+      iface.profile = dac;
+      iface.transceiver_part = "QSFP28-100G-DAC";
+      iface.link_id = link_id;
+      topology.routers[static_cast<std::size_t>(router)].interfaces.push_back(
+          iface);
+      return static_cast<int>(topology.routers[static_cast<std::size_t>(router)]
+                                  .interfaces.size()) -
+             1;
+    };
+    InternalLink link;
+    link.router_a = a;
+    link.iface_a = add_iface(a);
+    link.router_b = b;
+    link.iface_b = add_iface(b);
+    topology.links.push_back(link);
+  }
+
+  // All-tied utilizations: the order must be exactly ascending link index.
+  const std::vector<double> tied(topology.links.size(), gbps_to_bps(5));
+  const std::vector<std::size_t> order = hypnos_candidate_order(topology, tied);
+  ASSERT_EQ(order.size(), topology.links.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i) << "tied utilizations must keep index order";
+  }
+
+  // Mixed: utilization still dominates; ties fall back to index order.
+  std::vector<double> mixed = tied;
+  mixed[7] = gbps_to_bps(1);
+  mixed[31] = gbps_to_bps(1);
+  const std::vector<std::size_t> sorted = hypnos_candidate_order(topology, mixed);
+  EXPECT_EQ(sorted[0], 7u);
+  EXPECT_EQ(sorted[1], 31u);
+  for (std::size_t i = 3; i < sorted.size(); ++i) {
+    EXPECT_LT(sorted[i - 1], sorted[i]);  // the tied tail stays ascending
+  }
+}
+
+TEST(Hypnos, LinkCapacityIsTheMinOfBothEndpointRates) {
+  // Regression: link_capacity_bps read only iface_a's line rate, so an
+  // asymmetric link (100G on one side, 25G on the other) let the ceiling
+  // check admit reroutes the slow side cannot carry.
+  NetworkTopology topology;
+  topology.pops = {"pop01"};
+  for (int i = 0; i < 2; ++i) {
+    DeployedRouter router;
+    router.name = "pop01-r" + std::to_string(i + 1);
+    router.model = "NCS-55A1-24H";
+    topology.routers.push_back(std::move(router));
+  }
+  auto add_iface = [&](int router, LineRate rate, PortType port) {
+    DeployedInterface iface;
+    iface.name = "if-x";
+    iface.profile = {port, TransceiverKind::kPassiveDAC, rate};
+    iface.link_id = 0;
+    topology.routers[static_cast<std::size_t>(router)].interfaces.push_back(
+        iface);
+    return static_cast<int>(topology.routers[static_cast<std::size_t>(router)]
+                                .interfaces.size()) -
+           1;
+  };
+  InternalLink link;
+  link.router_a = 0;
+  link.iface_a = add_iface(0, LineRate::kG100, PortType::kQSFP28);
+  link.router_b = 1;
+  link.iface_b = add_iface(1, LineRate::kG25, PortType::kSFPPlus);
+  topology.links.push_back(link);
+
+  EXPECT_DOUBLE_EQ(link_capacity_bps(topology, 0),
+                   line_rate_bps(LineRate::kG25));
+
+  // Flipped endpoints give the same answer: the function is side-agnostic.
+  std::swap(topology.links[0].router_a, topology.links[0].router_b);
+  std::swap(topology.links[0].iface_a, topology.links[0].iface_b);
+  EXPECT_DOUBLE_EQ(link_capacity_bps(topology, 0),
+                   line_rate_bps(LineRate::kG25));
+}
+
 TEST(Hypnos, ValidatesInputs) {
   const NetworkTopology topology = ring_topology();
   const std::vector<double> wrong_size(3, 0.0);

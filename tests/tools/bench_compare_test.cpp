@@ -133,7 +133,7 @@ TEST(BenchCompare, FloorCounterFailsOnShrinkOnly) {
   // regression, growth is the optimisation improving.
   const auto baseline = make({{"BM_X/1", "obs_trace.samples_reused", 600.0}});
   CompareOptions options;
-  options.floor_prefix = "obs_trace.samples_reused";
+  options.floor_prefixes = {"obs_trace.samples_reused"};
 
   const auto lost = make({{"BM_X/1", "obs_trace.samples_reused", 399.0}});
   const CompareResult bad = compare(baseline, lost, options);
@@ -155,7 +155,7 @@ TEST(BenchCompare, FloorCounterDroppingToZeroAlwaysFails) {
   const auto baseline = make({{"BM_X/1", "obs_trace.samples_reused", 3.0}});
   const auto gone = make({{"BM_X/1", "obs_trace.samples_reused", 0.0}});
   CompareOptions options;
-  options.floor_prefix = "obs_trace.samples_reused";
+  options.floor_prefixes = {"obs_trace.samples_reused"};
   const CompareResult result = compare(baseline, gone, options);
   ASSERT_EQ(result.findings.size(), 1u);
   EXPECT_EQ(result.findings[0].kind, Finding::Kind::kShrank);
@@ -167,7 +167,7 @@ TEST(BenchCompare, FloorCounterZeroBaselinePinsNothing) {
   const auto baseline = make({{"BM_X/1", "obs_trace.samples_reused", 0.0}});
   const auto current = make({{"BM_X/1", "obs_trace.samples_reused", 500.0}});
   CompareOptions options;
-  options.floor_prefix = "obs_trace.samples_reused";
+  options.floor_prefixes = {"obs_trace.samples_reused"};
   EXPECT_TRUE(compare(baseline, current, options).ok());
 }
 
@@ -179,7 +179,7 @@ TEST(BenchCompare, FloorPrefixExemptsOnlyMatchingCounters) {
   const auto current = make({{"BM_X/1", "obs_trace.samples_reused", 100.0},
                              {"BM_X/1", "obs_trace.samples", 200.0}});
   CompareOptions options;
-  options.floor_prefix = "obs_trace.samples_reused";
+  options.floor_prefixes = {"obs_trace.samples_reused"};
   const CompareResult result = compare(baseline, current, options);
   ASSERT_EQ(result.findings.size(), 1u);
   EXPECT_EQ(result.findings[0].kind, Finding::Kind::kGrew);
@@ -189,6 +189,33 @@ TEST(BenchCompare, FloorPrefixExemptsOnlyMatchingCounters) {
   const CompareResult gone = compare(baseline, missing, options);
   ASSERT_EQ(gone.findings.size(), 1u);
   EXPECT_EQ(gone.findings[0].kind, Finding::Kind::kMissingCounter);
+}
+
+TEST(BenchCompare, MultipleFloorPrefixesEachInvertDirection) {
+  // Two skip-path counters from different subsystems are both floors; a
+  // shrink in either fails, and an unrelated counter still gates on growth.
+  const auto baseline = make({{"BM_X/1", "obs_trace.samples_reused", 100.0},
+                              {"BM_X/1", "obs_whatif.cache_hits", 50.0},
+                              {"BM_X/1", "obs_whatif.routers_recomputed", 10.0}});
+  CompareOptions options;
+  options.floor_prefixes = {"obs_trace.samples_reused",
+                            "obs_whatif.cache_hits"};
+
+  const auto lost_hits = make({{"BM_X/1", "obs_trace.samples_reused", 100.0},
+                               {"BM_X/1", "obs_whatif.cache_hits", 10.0},
+                               {"BM_X/1", "obs_whatif.routers_recomputed", 10.0}});
+  const CompareResult bad = compare(baseline, lost_hits, options);
+  ASSERT_EQ(bad.findings.size(), 1u);
+  EXPECT_EQ(bad.findings[0].kind, Finding::Kind::kShrank);
+  EXPECT_EQ(bad.findings[0].counter, "obs_whatif.cache_hits");
+
+  const auto more_work = make({{"BM_X/1", "obs_trace.samples_reused", 100.0},
+                               {"BM_X/1", "obs_whatif.cache_hits", 50.0},
+                               {"BM_X/1", "obs_whatif.routers_recomputed", 40.0}});
+  const CompareResult grew = compare(baseline, more_work, options);
+  ASSERT_EQ(grew.findings.size(), 1u);
+  EXPECT_EQ(grew.findings[0].kind, Finding::Kind::kGrew);
+  EXPECT_EQ(grew.findings[0].counter, "obs_whatif.routers_recomputed");
 }
 
 TEST(BenchCompare, ThresholdMustBePositive) {

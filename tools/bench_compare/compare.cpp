@@ -106,8 +106,12 @@ CompareResult compare(const std::vector<CounterSample>& baseline,
     // Floor counters measure *avoided* work (a skip path's hit count), so
     // only shrinking is a regression: growth means the optimisation got
     // better, and a zero baseline pins nothing.
-    if (!options.floor_prefix.empty() &&
-        expected.counter.rfind(options.floor_prefix, 0) == 0) {
+    const bool is_floor = std::any_of(
+        options.floor_prefixes.begin(), options.floor_prefixes.end(),
+        [&](const std::string& prefix) {
+          return !prefix.empty() && expected.counter.rfind(prefix, 0) == 0;
+        });
+    if (is_floor) {
       if (expected.value <= 0.0) continue;
       if (actual->value <= 0.0 ||
           expected.value / actual->value > options.threshold) {

@@ -33,14 +33,15 @@ struct CompareOptions {
   double threshold = 1.5;
   // Only counters whose name starts with this participate; "" gates all.
   std::string counter_prefix;
-  // Counters whose name starts with this are *floor* counters: they measure
-  // work the code managed to skip (obs_trace.samples_reused, ...), so for
-  // them the regression direction is inverted — the gate fails when
-  // baseline / current exceeds the threshold (a lost skip path), and growth
-  // is never a finding. "" means no floor counters. Floor counters with a
-  // zero baseline are ignored (nothing pinned); a floor counter that drops
-  // to zero from a positive baseline always fails.
-  std::string floor_prefix;
+  // Counters whose name starts with any of these are *floor* counters: they
+  // measure work the code managed to skip (obs_trace.samples_reused,
+  // obs_whatif.cache_hits, ...), so for them the regression direction is
+  // inverted — the gate fails when baseline / current exceeds the threshold
+  // (a lost skip path), and growth is never a finding. Empty means no floor
+  // counters. Floor counters with a zero baseline are ignored (nothing
+  // pinned); a floor counter that drops to zero from a positive baseline
+  // always fails.
+  std::vector<std::string> floor_prefixes;
 };
 
 struct Finding {

@@ -2,7 +2,10 @@
 // deterministic work counters (see compare.hpp for why not wall time).
 //
 //   bench_compare <baseline.json> <current.json>
-//       [--threshold X] [--prefix P] [--floor-prefix F]
+//       [--threshold X] [--prefix P] [--floor-prefix F]...
+//
+// --floor-prefix is repeatable; a counter matching any floor prefix is gated
+// in the inverted (must-not-shrink) direction.
 //
 // Exit codes: 0 gate passes, 1 regression(s) found, 2 usage or I/O error.
 #include <charconv>
@@ -30,7 +33,7 @@ std::optional<double> parse_double_arg(const char* text) {
 int usage() {
   std::fputs(
       "usage: bench_compare <baseline.json> <current.json>"
-      " [--threshold X] [--prefix P] [--floor-prefix F]\n",
+      " [--threshold X] [--prefix P] [--floor-prefix F]...\n",
       stderr);
   return 2;
 }
@@ -51,7 +54,7 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--prefix") == 0 && i + 1 < argc) {
       options.counter_prefix = argv[++i];
     } else if (std::strcmp(argv[i], "--floor-prefix") == 0 && i + 1 < argc) {
-      options.floor_prefix = argv[++i];
+      options.floor_prefixes.emplace_back(argv[++i]);
     } else {
       return usage();
     }

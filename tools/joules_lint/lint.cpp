@@ -37,6 +37,11 @@ const std::vector<Rule>& rule_table() {
        "== / != against a float literal is exact bit comparison",
        "compare against an epsilon, or suppress with a reason when an "
        "exact-zero sentinel/guard is intended"},
+      {"unstable-float-sort",
+       "std::sort with a comparator over float keys resolves equal keys in "
+       "implementation-defined order (ties differ across platforms/STLs)",
+       "use std::stable_sort with an explicit total-order tie-break (e.g. "
+       "the element index)"},
       {"unordered-iteration",
        "unordered container iteration order is unspecified and varies across "
        "libc++/libstdc++ and runs",
@@ -286,6 +291,23 @@ const std::regex& re_float_eq_lhs() {
   static const std::regex re(std::string(kFloatLit) + R"(\s*(==|!=))");
   return re;
 }
+const std::regex& re_std_sort_call() {
+  static const std::regex re(R"(\bstd\s*::\s*sort\s*\()");
+  return re;
+}
+// A lambda introducer immediately followed by its parameter list — the
+// comparator form; subscripts like parts[0].begin() do not match.
+const std::regex& re_lambda_comparator() {
+  static const std::regex re(R"(\[[^\[\]]*\]\s*\()");
+  return re;
+}
+// Float evidence inside a comparator body: a double/float token, a division
+// (ratios like load/capacity), or a float literal.
+const std::regex& re_float_key_evidence() {
+  static const std::regex re(std::string(R"(\bdouble\b|\bfloat\b|/|)") +
+                             kFloatLit);
+  return re;
+}
 const std::regex& re_unordered_decl() {
   static const std::regex re(
       R"(\bunordered_(map|set)\b.*>\s*&?\s*(\w+)\s*[;={)])");
@@ -398,6 +420,42 @@ std::vector<LineHit> rule_findings(const MaskedSource& masked) {
       hits.push_back({i, "unordered-iteration",
                       "iteration order of unordered containers is "
                       "unspecified; sort keys before use"});
+    }
+  }
+
+  // unstable-float-sort: std::sort with a lambda comparator whose body shows
+  // float evidence (double/float tokens, a ratio, or a float literal). The
+  // call statement may span lines; join from the match until its parens
+  // close (bounded), then look for the comparator past the lambda introducer.
+  for (std::size_t i = 0; i < masked.code.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(masked.code[i], m, re_std_sort_call())) continue;
+    std::string statement =
+        masked.code[i].substr(static_cast<std::size_t>(m.position(0)));
+    int depth = 0;
+    bool closed = false;
+    const auto update_depth = [&](const std::string& text) {
+      for (const char c : text) {
+        if (c == '(') ++depth;
+        if (c == ')' && --depth == 0) return true;
+      }
+      return false;
+    };
+    closed = update_depth(statement);
+    for (std::size_t j = i + 1; !closed && j < masked.code.size() && j < i + 12;
+         ++j) {
+      statement += ' ';
+      statement += masked.code[j];
+      closed = update_depth(masked.code[j]);
+    }
+    std::smatch lambda;
+    if (!std::regex_search(statement, lambda, re_lambda_comparator())) continue;
+    const std::string comparator =
+        statement.substr(static_cast<std::size_t>(lambda.position(0)));
+    if (std::regex_search(comparator, re_float_key_evidence())) {
+      hits.push_back({i, "unstable-float-sort",
+                      "std::sort comparator over float keys; equal-key order "
+                      "is implementation-defined"});
     }
   }
 

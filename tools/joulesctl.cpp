@@ -13,6 +13,7 @@
 //   joulesctl obs <manifest.json>                 pretty-print a run manifest
 //   joulesctl obs <a.json> <b.json>               diff two run manifests
 //   joulesctl lint [repo-root]                    determinism lint with fix hints
+//   joulesctl whatif <script> [seed] [workers]    scripted what-if query batch
 //
 // Exit codes: 0 ok, 1 usage error, 2 runtime failure, 3 campaign completed
 // but produced low-confidence (partial) model terms.
@@ -34,6 +35,7 @@
 #include "obs/registry.hpp"
 #include "network/dataset.hpp"
 #include "network/simulation.hpp"
+#include "network/whatif_engine.hpp"
 #include "util/atomic_file.hpp"
 #include "util/units.hpp"
 #include "zoo/power_zoo.hpp"
@@ -65,7 +67,8 @@ int usage() {
       "  joulesctl zoo-stats <dir>\n"
       "  joulesctl zoo-dossier <dir> <device-model>\n"
       "  joulesctl obs <manifest.json> [other-manifest.json]\n"
-      "  joulesctl lint [repo-root]\n",
+      "  joulesctl lint [repo-root]\n"
+      "  joulesctl whatif <script> [seed] [workers]\n",
       stderr);
   return 1;
 }
@@ -345,6 +348,106 @@ int cmd_lint(const std::string& root) {
   return result.findings.empty() ? 0 : 1;
 }
 
+// Scripted what-if query batches against the incremental engine, on the
+// paper-scale synthetic network. One query per line, '#' starts a comment;
+// the first query must be `baseline`:
+//
+//   baseline
+//   probe 12 13 14          # feasibility walk, commits nothing
+//   sleep 12 13             # reroute + commit the feasible subset
+//   psu hot-standby         # or: psu active-active
+//   unplug-spares
+//   decommission-pop 3
+int cmd_whatif(const std::string& script_path, std::uint64_t seed,
+               std::size_t workers) {
+  const auto text = read_text_file(script_path);
+  if (!text) {
+    std::fprintf(stderr, "cannot open %s\n", script_path.c_str());
+    return 2;
+  }
+  obs::Registry registry;  // outlives the engine, which writes counters
+  WhatIfOptions options;
+  options.workers = workers;
+  options.registry = &registry;
+  NetworkSimulation sim(build_switch_like_network(), seed);
+  const SimTime eval_at =
+      sim.topology().options.study_begin + 10 * kSecondsPerDay;
+  WhatIfEngine engine(std::move(sim), eval_at, options);
+
+  const auto show = [&]() {
+    const WhatIfAnswer& a = engine.answers().back();
+    std::printf("%-46s %10.1f W  saved %8.1f W  recomputed %4zu  hits %4zu\n",
+                a.name.c_str(), a.network_power_w, a.saved_vs_baseline_w,
+                a.routers_recomputed, a.cache_hits);
+  };
+
+  std::istringstream script(*text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(script, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword)) continue;  // blank / comment-only line
+    if (keyword == "baseline") {
+      engine.baseline_w();
+    } else if (keyword == "probe" || keyword == "sleep") {
+      std::vector<int> links;
+      for (int link = 0; tokens >> link;) links.push_back(link);
+      if (keyword == "probe") {
+        engine.probe_sleep_links(links);
+      } else {
+        engine.sleep_links(links);
+      }
+      show();
+      const WhatIfAnswer& a = engine.answers().back();
+      std::printf("    accepted %zu link(s), rejected %zu\n",
+                  a.accepted_links.size(), a.rejected_links.size());
+      continue;
+    } else if (keyword == "psu") {
+      std::string mode;
+      tokens >> mode;
+      if (mode != "hot-standby" && mode != "active-active") {
+        std::fprintf(stderr, "%s:%d: psu mode must be hot-standby or "
+                     "active-active\n", script_path.c_str(), line_no);
+        return 1;
+      }
+      engine.set_psu_mode(mode == "hot-standby" ? PsuMode::kHotStandby
+                                                : PsuMode::kActiveActive);
+    } else if (keyword == "unplug-spares") {
+      engine.unplug_spares();
+    } else if (keyword == "decommission-pop") {
+      int pop = -1;
+      if (!(tokens >> pop)) {
+        std::fprintf(stderr, "%s:%d: decommission-pop needs a pop index\n",
+                     script_path.c_str(), line_no);
+        return 1;
+      }
+      engine.decommission_pop(pop);
+    } else {
+      std::fprintf(stderr, "%s:%d: unknown query '%s'\n", script_path.c_str(),
+                   line_no, keyword.c_str());
+      return 1;
+    }
+    show();
+  }
+
+  const WhatIfEngine::Stats& stats = engine.stats();
+  std::printf(
+      "queries %llu, routers recomputed %llu, cache hits %llu, feasibility "
+      "checks %llu (%llu memoized), plan rebuilds %llu\n",
+      static_cast<unsigned long long>(stats.queries),
+      static_cast<unsigned long long>(stats.routers_recomputed),
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.feasibility_checks),
+      static_cast<unsigned long long>(stats.feasibility_memo_hits),
+      static_cast<unsigned long long>(stats.plan_rebuilds));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -376,6 +479,11 @@ int main(int argc, char** argv) {
       return cmd_obs(argv[2], argc >= 4 ? argv[3] : "");
     }
     if (command == "lint") return cmd_lint(argc >= 3 ? argv[2] : ".");
+    if (command == "whatif" && argc >= 3) {
+      return cmd_whatif(
+          argv[2], argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 7,
+          argc >= 5 ? static_cast<std::size_t>(std::atoi(argv[4])) : 1);
+    }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 2;
