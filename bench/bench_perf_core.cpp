@@ -7,14 +7,18 @@
 // written as JSON to bench_out/perf_core.json for machine comparison.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "autopower/fleet.hpp"
+#include "autopower/server.hpp"
 #include "device/catalog.hpp"
 #include "model/power_model.hpp"
+#include "net/fault.hpp"
 #include "network/dataset.hpp"
 #include "network/simulation.hpp"
 #include "network/trace_engine.hpp"
@@ -239,6 +243,84 @@ void BM_WhatIfQueries(benchmark::State& state) {
   export_obs_counters(state, registry);
 }
 BENCHMARK(BM_WhatIfQueries)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// The fleet soak as a bench: 5000 faulty units against one reactor, with
+// accept-drops, injected read stalls, silent units, and slow readers all
+// active. The exported obs_server.* counters are interleaving-invariant by
+// construction (see tests/autopower/fleet_soak_test.cpp for the maths), so
+// bench_compare pins them exactly: shed growing means admission changed,
+// batches_ingested growing means the idempotence/dedup path leaks work,
+// samples_evicted moving means the retention window drifted.
+// backpressure_stalls is the one scheduling-dependent count, so it is
+// exported clamped to its guaranteed floor (one stall per slow reader) and
+// floor-gated in CI — losing the backpressure path fails, noise cannot.
+void BM_FleetSoak(benchmark::State& state) {
+  constexpr std::size_t kUnits = 5000;
+  constexpr std::size_t kCeiling = 4500;
+  constexpr std::size_t kSilent = 32;
+  constexpr std::size_t kSlow = 8;
+  constexpr std::size_t kDuplicates = 1000;
+  constexpr std::uint64_t kDropAccepts = 16;
+  constexpr std::uint64_t kStalls = 8;
+
+  autopower::Server::ConnectionStats stats;
+  std::size_t units_known = 0;
+  std::size_t acked = 0;
+  for (auto _ : state) {
+    // Fresh fault plan per iteration: accept indices count from zero again.
+    FaultPlan plan;
+    plan.drop_accepts(100, kDropAccepts);
+    for (std::uint64_t i = 0; i < kStalls; ++i) {
+      plan.stall_accept_reads(200 + i, Millis{50});
+    }
+    ScopedFaultPlan scoped(plan);
+
+    autopower::ServerConfig config;
+    config.max_connections = kCeiling;
+    config.handshake_timeout = Millis{500};
+    config.idle_timeout = Millis{60000};
+    config.write_high_water = 2048;
+    config.write_low_water = 512;
+    config.socket_send_buffer = 2048;
+    config.listen_backlog = 1024;
+    config.max_samples_per_channel = 2;  // exercises the retention trims
+    autopower::Server server(config);
+
+    autopower::FleetConfig fleet;
+    fleet.server_port = server.port();
+    fleet.units = kUnits;
+    fleet.uploads_per_unit = 1;
+    fleet.samples_per_upload = 4;
+    fleet.slow_reader_units = kSlow;
+    fleet.silent_units = kSilent;
+    fleet.duplicate_uploads = kDuplicates;
+    fleet.hold_open = true;
+    fleet.overall_timeout = Millis{120000};
+
+    const autopower::FleetReport report = autopower::run_fleet(fleet);
+    server.stop();
+    stats = server.connection_stats();
+    units_known = server.known_units().size();
+    acked = report.acked_batches;
+    benchmark::DoNotOptimize(acked);
+  }
+  // Snapshot of the (identical) final iteration — exact, not averaged.
+  state.counters["obs_server.connections_accepted"] =
+      static_cast<double>(stats.accepted);
+  state.counters["obs_server.connections_shed"] =
+      static_cast<double>(stats.shed);
+  state.counters["obs_server.connections_evicted"] =
+      static_cast<double>(stats.evicted);
+  state.counters["obs_server.batches_ingested"] =
+      static_cast<double>(stats.batches_ingested);
+  state.counters["obs_server.samples_evicted"] =
+      static_cast<double>(stats.samples_evicted);
+  state.counters["obs_server.backpressure_stalls"] = static_cast<double>(
+      std::min<std::uint64_t>(stats.backpressure_stalls, kSlow));
+  state.counters["units_known"] = static_cast<double>(units_known);
+  state.counters["acked_batches"] = static_cast<double>(acked);
+}
+BENCHMARK(BM_FleetSoak)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace joules

@@ -103,6 +103,12 @@ bool Client::ensure_connected() {
     const Message message = decode(*reply);
     const auto* ack = std::get_if<HelloAck>(&message);
     if (ack == nullptr || !ack->accepted) {
+      if (ack != nullptr && ack->retry_after_ms > 0) {
+        // Overload shed: the server asked us to stay away this long. The
+        // next backoff sleep honours it as a floor.
+        retry_after_hint_ = Millis{ack->retry_after_ms};
+        last_retry_after_hint_ = retry_after_hint_;
+      }
       throw std::runtime_error("hello rejected");
     }
     return true;
@@ -186,7 +192,12 @@ Millis Client::backoff_delay(int failure_index) {
   if (policy.jitter > 0.0) {
     ms *= 1.0 + retry_rng_.uniform(-policy.jitter, policy.jitter);
   }
-  return Millis{static_cast<std::int64_t>(std::llround(std::max(0.0, ms)))};
+  Millis delay{static_cast<std::int64_t>(std::llround(std::max(0.0, ms)))};
+  // A server retry-after hint floors the next sleep, then is consumed; the
+  // schedule itself is untouched (hints never shorten a backoff).
+  if (retry_after_hint_ > delay) delay = retry_after_hint_;
+  retry_after_hint_ = Millis{0};
+  return delay;
 }
 
 bool Client::sync() {

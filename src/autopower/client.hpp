@@ -86,6 +86,13 @@ class Client {
     return last_backoff_delays_;
   }
 
+  // Most recent HelloAck retry-after hint received from an overloaded
+  // server (0 = never shed). The next backoff sleep after the hint uses
+  // max(scheduled delay, hint).
+  [[nodiscard]] Millis last_retry_after_hint() const noexcept {
+    return last_retry_after_hint_;
+  }
+
   struct SyncStats {
     std::uint64_t attempts = 0;   // individual connect+flush attempts
     std::uint64_t failures = 0;   // attempts that failed
@@ -138,6 +145,8 @@ class Client {
   TcpStream stream_;
   SimTime last_tick_ = std::numeric_limits<SimTime>::min();
   Rng retry_rng_;
+  Millis retry_after_hint_{0};       // pending floor for the next backoff
+  Millis last_retry_after_hint_{0};  // latched for tests/monitoring
   bool gave_up_ = false;
   std::vector<Millis> last_backoff_delays_;
   SyncStats sync_stats_;

@@ -1,0 +1,395 @@
+#include "autopower/fleet.hpp"
+
+#include <poll.h>
+
+#include <cstdio>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "autopower/protocol.hpp"
+#include "net/framed_conn.hpp"
+#include "net/transport.hpp"
+
+namespace joules::autopower {
+namespace {
+
+enum class Persona : std::uint8_t { kSlowReader, kSilent, kNormal };
+
+enum class UnitPhase : std::uint8_t {
+  kIdle,        // no connection; dials when its redial gate opens
+  kAwaitHello,  // Hello sent, waiting for the ack
+  kUploading,   // one upload in flight, waiting for its ack
+  kFlushFlood,  // slow reader: flushing duplicates, reads off
+  kDrainAcks,   // slow reader: reading the flood's acks
+  kWaitEvict,   // silent: waiting for the server to give up on us
+  kHolding,     // finished; connection held open until Hellos resolve
+  kDone,
+  kShed,
+  kFailed,
+};
+
+constexpr bool is_terminal(UnitPhase phase) {
+  return phase == UnitPhase::kDone || phase == UnitPhase::kShed ||
+         phase == UnitPhase::kFailed;
+}
+
+struct Unit {
+  std::size_t index = 0;
+  Persona persona = Persona::kNormal;
+  UnitPhase phase = UnitPhase::kIdle;
+  std::string id;
+  std::optional<net::FramedConn> conn;
+  std::uint64_t next_sequence = 0;  // resumes here after a redial
+  std::uint64_t acked = 0;          // first-time acks only
+  std::size_t flood_queued = 0;
+  std::size_t flood_acks = 0;
+  int dial_attempts = 0;
+  Deadline redial_at = Deadline::never();
+};
+
+net::FramedConn::Limits driver_limits() {
+  net::FramedConn::Limits limits;
+  limits.write_buffer_bytes = 4u * 1024 * 1024;  // room for a whole flood
+  return limits;
+}
+
+DataUpload make_upload(const Unit& unit, std::uint64_t sequence,
+                       std::size_t samples) {
+  DataUpload upload;
+  upload.unit_id = unit.id;
+  upload.channel = 0;
+  upload.sequence = sequence;
+  upload.samples.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto time = static_cast<SimTime>(sequence * samples + i);
+    upload.samples.push_back(
+        Sample{time, static_cast<double>(unit.index) + 0.25 * static_cast<double>(i)});
+  }
+  return upload;
+}
+
+class FleetDriver {
+ public:
+  FleetDriver(const FleetConfig& config) : config_(config) {
+    if (config.units == 0) {
+      throw std::invalid_argument("run_fleet: units must be positive");
+    }
+    if (config.server_port == 0) {
+      throw std::invalid_argument("run_fleet: server_port required");
+    }
+    if (config.slow_reader_units + config.silent_units > config.units) {
+      throw std::invalid_argument("run_fleet: personas exceed fleet size");
+    }
+    if (config.slow_reader_units > 0 && config.duplicate_uploads == 0) {
+      throw std::invalid_argument("run_fleet: slow readers need duplicates");
+    }
+    net::ensure_fd_capacity(config.units + 128);
+    units_.reserve(config.units);
+    for (std::size_t i = 0; i < config.units; ++i) {
+      Unit unit;
+      unit.index = i;
+      unit.id = fleet_unit_id(i);
+      if (i < config.slow_reader_units) {
+        unit.persona = Persona::kSlowReader;
+      } else if (i < config.slow_reader_units + config.silent_units) {
+        unit.persona = Persona::kSilent;
+      }
+      units_.push_back(std::move(unit));
+    }
+    hellos_expected_ = config.units - config.silent_units;
+    holds_released_ = !config.hold_open;
+  }
+
+  FleetReport run() {
+    const Deadline end = Deadline::after(config_.overall_timeout);
+    while (terminal_ < units_.size()) {
+      if (end.expired()) {
+        report_.timed_out = true;
+        break;
+      }
+      release_holds_if_resolved();
+      const bool dials_pending = dial_burst();
+      poll_and_service(dials_pending);
+      release_holds_if_resolved();
+    }
+    for (Unit& unit : units_) {
+      report_.acked_per_unit[unit.id] = unit.acked;
+      report_.acked_batches += unit.acked;
+      unit.conn.reset();
+    }
+    return std::move(report_);
+  }
+
+ private:
+  void release_holds_if_resolved() {
+    if (holds_released_ || hellos_resolved_ < hellos_expected_) return;
+    holds_released_ = true;
+    for (Unit& unit : units_) {
+      if (unit.phase == UnitPhase::kHolding) finish(unit);
+    }
+  }
+
+  // Starts up to dial_burst connections; true when dialable units remain.
+  bool dial_burst() {
+    std::size_t started = 0;
+    bool pending = false;
+    for (Unit& unit : units_) {
+      if (unit.phase != UnitPhase::kIdle) continue;
+      if (!unit.redial_at.is_never() && !unit.redial_at.expired()) {
+        pending = true;  // a redial backoff is still running
+        continue;
+      }
+      if (started >= config_.dial_burst) return true;
+      started += 1;
+      dial(unit);
+    }
+    return pending;
+  }
+
+  void dial(Unit& unit) {
+    const bool redial = unit.dial_attempts > 0;
+    unit.dial_attempts += 1;
+    try {
+      TcpStream stream = TcpStream::connect_loopback(config_.server_port);
+      unit.conn.emplace(net::Transport::from_stream(std::move(stream)),
+                        driver_limits());
+    } catch (const std::exception&) {
+      if (unit.dial_attempts >= config_.max_dial_attempts) {
+        fail(unit);
+      } else {
+        unit.redial_at = Deadline::after(Millis{10 * unit.dial_attempts});
+      }
+      return;
+    }
+    report_.dialed += 1;
+    if (redial) report_.redials += 1;
+    if (unit.persona == Persona::kSilent) {
+      unit.phase = UnitPhase::kWaitEvict;
+      return;
+    }
+    Hello hello;
+    hello.unit_id = unit.id;
+    if (!unit.conn->queue_frame(encode(Message{hello}))) {
+      lose_connection(unit);
+      return;
+    }
+    unit.phase = UnitPhase::kAwaitHello;
+  }
+
+  [[nodiscard]] bool wants_read(const Unit& unit) const {
+    switch (unit.phase) {
+      case UnitPhase::kAwaitHello:
+      case UnitPhase::kUploading:
+      case UnitPhase::kDrainAcks:
+      case UnitPhase::kWaitEvict:
+      case UnitPhase::kHolding:
+        return true;
+      default:
+        return false;  // kFlushFlood reads nothing until fully flushed
+    }
+  }
+
+  void poll_and_service(bool dials_pending) {
+    pfds_.clear();
+    polled_.clear();
+    for (Unit& unit : units_) {
+      if (!unit.conn || is_terminal(unit.phase)) continue;
+      short events = 0;
+      if (wants_read(unit)) events |= POLLIN;
+      if (unit.conn->wants_write() || unit.conn->close_after_flush()) {
+        events |= POLLOUT;
+      }
+      if (events == 0) continue;
+      pfds_.push_back(pollfd{unit.conn->transport().poll_fd(), events, 0});
+      polled_.push_back(&unit);
+    }
+    if (pfds_.empty()) {
+      if (!dials_pending) return;
+      // Only redial timers to wait on; sleep one short slice via poll.
+      pollfd none{-1, 0, 0};
+      (void)poll_fds(&none, 1, 5);
+      return;
+    }
+    const int timeout_ms = dials_pending ? 0 : 20;
+    const int rc = poll_fds(pfds_.data(), pfds_.size(), timeout_ms);
+    if (rc <= 0) return;
+    for (std::size_t i = 0; i < polled_.size(); ++i) {
+      if (pfds_[i].revents == 0) continue;
+      service(*polled_[i]);
+    }
+  }
+
+  void service(Unit& unit) {
+    if (!unit.conn || is_terminal(unit.phase)) return;
+    if (unit.conn->wants_write() || unit.conn->close_after_flush()) {
+      switch (unit.conn->flush_writes()) {
+        case net::FramedConn::Status::kError:
+        case net::FramedConn::Status::kClosed:
+          lose_connection(unit);
+          return;
+        case net::FramedConn::Status::kOpen:
+          break;
+      }
+    }
+    if (unit.phase == UnitPhase::kFlushFlood && !unit.conn->wants_write()) {
+      unit.phase = UnitPhase::kDrainAcks;  // flood flushed; now read acks
+    }
+    if (!wants_read(unit)) return;
+
+    frames_.clear();
+    const net::FramedConn::Status status = unit.conn->pump_reads(frames_);
+    for (std::vector<std::byte>& payload : frames_) {
+      if (is_terminal(unit.phase) || !unit.conn) break;
+      Message message;
+      try {
+        message = decode(payload);
+      } catch (const std::exception&) {
+        lose_connection(unit);
+        return;
+      }
+      handle(unit, message);
+    }
+    if (!unit.conn || is_terminal(unit.phase)) return;
+    if (status != net::FramedConn::Status::kOpen) lose_connection(unit);
+  }
+
+  void handle(Unit& unit, const Message& message) {
+    if (const auto* ack = std::get_if<HelloAck>(&message)) {
+      if (unit.phase != UnitPhase::kAwaitHello) return;
+      hellos_resolved_ += 1;
+      if (!ack->accepted) {
+        if (ack->retry_after_ms > 0) report_.hints += 1;
+        report_.shed += 1;
+        set_terminal(unit, UnitPhase::kShed);
+        return;
+      }
+      if (unit.persona == Persona::kSlowReader) {
+        start_flood(unit);
+      } else if (config_.uploads_per_unit == 0) {
+        finish(unit);
+      } else {
+        send_next_upload(unit);
+      }
+      return;
+    }
+    if (const auto* ack = std::get_if<UploadAck>(&message)) {
+      if (unit.phase == UnitPhase::kUploading) {
+        if (ack->sequence != unit.next_sequence) return;  // stale re-ack
+        unit.acked += 1;
+        unit.next_sequence += 1;
+        if (unit.next_sequence >= config_.uploads_per_unit) {
+          finish(unit);
+        } else {
+          send_next_upload(unit);
+        }
+      } else if (unit.phase == UnitPhase::kDrainAcks) {
+        if (unit.flood_acks == 0) unit.acked += 1;  // dups re-ack, not re-count
+        unit.flood_acks += 1;
+        if (unit.flood_acks >= unit.flood_queued) finish(unit);
+      }
+      return;
+    }
+    // Commands or anything else: not part of the soak conversation.
+  }
+
+  void send_next_upload(Unit& unit) {
+    const DataUpload upload =
+        make_upload(unit, unit.next_sequence, config_.samples_per_upload);
+    if (!unit.conn->queue_frame(encode(Message{upload}))) {
+      lose_connection(unit);
+      return;
+    }
+    unit.phase = UnitPhase::kUploading;
+  }
+
+  void start_flood(Unit& unit) {
+    // Duplicates of sequence 0 with no samples: compact on the wire, and
+    // idempotent server-side, so the flood sizes the *ack* stream (what
+    // backpressure throttles) without bloating stored state.
+    unit.flood_queued = config_.duplicate_uploads;
+    unit.flood_acks = 0;
+    const std::vector<std::byte> frame = encode(Message{make_upload(unit, 0, 0)});
+    for (std::size_t i = 0; i < unit.flood_queued; ++i) {
+      if (!unit.conn->queue_frame(frame)) {
+        lose_connection(unit);
+        return;
+      }
+    }
+    unit.phase = UnitPhase::kFlushFlood;
+  }
+
+  void finish(Unit& unit) {
+    if (config_.hold_open && !holds_released_) {
+      unit.phase = UnitPhase::kHolding;
+      return;
+    }
+    report_.completed += 1;
+    unit.conn.reset();
+    set_terminal(unit, UnitPhase::kDone);
+  }
+
+  void fail(Unit& unit) {
+    report_.failed += 1;
+    set_terminal(unit, UnitPhase::kFailed);
+  }
+
+  void lose_connection(Unit& unit) {
+    unit.conn.reset();
+    if (unit.phase == UnitPhase::kWaitEvict) {
+      // Silent units exist to be evicted; the server closing them is the
+      // expected outcome, not a failure.
+      report_.evicted += 1;
+      set_terminal(unit, UnitPhase::kDone);
+      return;
+    }
+    if (unit.phase == UnitPhase::kHolding) {
+      // Held connections should outlive the run; a close here means the
+      // server config is fighting the scenario. Surface it.
+      fail(unit);
+      return;
+    }
+    if (unit.dial_attempts >= config_.max_dial_attempts) {
+      fail(unit);
+      return;
+    }
+    // Redial and resume from the last acked sequence — acked batches are
+    // durable server-side, so nothing is re-counted and nothing is lost.
+    unit.phase = UnitPhase::kIdle;
+    unit.flood_queued = 0;
+    unit.flood_acks = 0;
+    unit.redial_at = Deadline::after(Millis{10 * unit.dial_attempts});
+  }
+
+  void set_terminal(Unit& unit, UnitPhase phase) {
+    unit.phase = phase;
+    unit.conn.reset();
+    terminal_ += 1;
+  }
+
+  FleetConfig config_;
+  std::vector<Unit> units_;
+  std::vector<pollfd> pfds_;
+  std::vector<Unit*> polled_;
+  std::vector<std::vector<std::byte>> frames_;
+  FleetReport report_;
+  std::size_t hellos_expected_ = 0;
+  std::size_t hellos_resolved_ = 0;
+  std::size_t terminal_ = 0;
+  bool holds_released_ = false;
+};
+
+}  // namespace
+
+FleetReport run_fleet(const FleetConfig& config) {
+  FleetDriver driver(config);
+  return driver.run();
+}
+
+std::string fleet_unit_id(std::size_t index) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "unit-%04zu", index);
+  return buffer;
+}
+
+}  // namespace joules::autopower

@@ -1,0 +1,78 @@
+// Fleet soak driver: thousands of lightweight autopower units against one
+// collection server, from a single thread.
+//
+// A full autopower::Client per unit (meter, persistence, blocking I/O) would
+// need a thread each — useless for soaking a 5000-unit fleet on a small CI
+// runner. FleetDriver instead mirrors the server's reactor on the client
+// side: one poll() loop, one nonblocking FramedConn per unit, and a tiny
+// per-unit state machine that speaks just enough of the protocol (Hello,
+// DataUpload, acks) to exercise the server's robustness layer.
+//
+// Personas (assigned by unit index, lowest first):
+//   - slow readers: flood duplicate uploads of their first sequence and only
+//     read the acks after the whole flood is flushed — driving the server's
+//     write queue over its high-water mark (backpressure);
+//   - silent units: connect and never say Hello — reaped by the server's
+//     handshake deadline (eviction);
+//   - normal units: Hello, then `uploads_per_unit` acknowledged uploads.
+//
+// With `hold_open`, units that finished keep their connection open until
+// every unit's Hello has been answered; the server's ready count then grows
+// monotonically, so with a ceiling C and H helloing units exactly H - C
+// Hellos are shed — the interleaving-invariant counts the soak tests and
+// bench pin. Units whose connection dies before they finish (fault plans,
+// accept drops, torn frames) redial and resume from their last acked
+// sequence, so an acknowledged batch is never lost.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "net/socket.hpp"
+
+namespace joules::autopower {
+
+struct FleetConfig {
+  std::uint16_t server_port = 0;
+  std::size_t units = 0;
+
+  std::size_t uploads_per_unit = 1;   // acknowledged batches per normal unit
+  std::size_t samples_per_upload = 4;
+
+  std::size_t slow_reader_units = 0;  // personas: indices [0, slow)
+  std::size_t silent_units = 0;       // personas: indices [slow, slow+silent)
+  std::size_t duplicate_uploads = 64;  // flood size per slow reader
+
+  bool hold_open = false;  // hold finished conns until all Hellos resolved
+
+  std::size_t dial_burst = 32;  // new connections started per loop pass
+  int max_dial_attempts = 8;    // redials before a unit counts as failed
+  Millis overall_timeout{60000};
+};
+
+struct FleetReport {
+  std::size_t dialed = 0;       // successful connects (incl. redials)
+  std::size_t redials = 0;      // connects after a lost connection
+  std::size_t completed = 0;    // normal + slow units that finished
+  std::size_t shed = 0;         // units whose Hello was refused for overload
+  std::size_t hints = 0;        // shed acks carrying a retry-after hint > 0
+  std::size_t evicted = 0;      // silent units closed by the server
+  std::size_t failed = 0;       // units that exhausted their redial budget
+  std::uint64_t acked_batches = 0;  // first-time acks across the fleet
+  bool timed_out = false;
+
+  // unit_id -> acknowledged upload count; the zero-lost-acks check compares
+  // this against Server::accepted_batches per unit.
+  std::map<std::string, std::uint64_t> acked_per_unit;
+};
+
+// Runs the whole fleet to completion (or timeout). Blocking; call from a
+// test/bench thread, not from the server's reactor.
+[[nodiscard]] FleetReport run_fleet(const FleetConfig& config);
+
+// The canonical unit id for index i ("unit-0042"); tests use it to query
+// the server about specific personas.
+[[nodiscard]] std::string fleet_unit_id(std::size_t index);
+
+}  // namespace joules::autopower

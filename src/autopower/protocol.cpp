@@ -16,6 +16,7 @@ void encode_body(ByteWriter& writer, const Hello& msg) {
 void encode_body(ByteWriter& writer, const HelloAck& msg) {
   writer.u8(static_cast<std::uint8_t>(MessageType::kHelloAck));
   writer.u8(msg.accepted ? 1 : 0);
+  writer.u32(msg.retry_after_ms);
 }
 
 void encode_body(ByteWriter& writer, const PollCommands& msg) {
@@ -71,6 +72,8 @@ Message decode(std::span<const std::byte> payload) {
     case MessageType::kHelloAck: {
       HelloAck msg;
       msg.accepted = reader.u8() != 0;
+      // Older servers stop after the accepted byte; the hint is optional.
+      if (!reader.exhausted()) msg.retry_after_ms = reader.u32();
       return msg;
     }
     case MessageType::kPollCommands: {

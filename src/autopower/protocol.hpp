@@ -37,6 +37,11 @@ struct Hello {
 
 struct HelloAck {
   bool accepted = true;
+  // When rejected for overload, how long the unit should wait before
+  // redialing (0 = no hint). The client's retry backoff takes the max of
+  // its own schedule and this hint. Decoders tolerate its absence so older
+  // peers' two-byte acks still parse.
+  std::uint32_t retry_after_ms = 0;
 };
 
 struct PollCommands {

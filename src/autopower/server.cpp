@@ -1,34 +1,54 @@
 #include "autopower/server.hpp"
 
+#include <poll.h>
+#include <sys/socket.h>
+
 #include <cstdio>
 #include <utility>
+#include <variant>
 
+#include "net/fault.hpp"
 #include "obs/manifest.hpp"
 #include "obs/registry.hpp"
 
 namespace joules::autopower {
+namespace {
 
-Server::Server(std::uint16_t port) : listener_(port), port_(listener_.port()) {
-  acceptor_ = std::thread([this] { accept_loop(); });
+// Staged writes may hold one full response frame beyond the backpressure
+// high-water mark, so queue_frame never fails between pause decisions.
+net::FramedConn::Limits conn_limits(const ServerConfig& config) {
+  net::FramedConn::Limits limits;
+  limits.write_buffer_bytes = config.write_high_water + kMaxFrameBytes + 4;
+  return limits;
+}
+
+ServerConfig config_for_port(std::uint16_t port) {
+  ServerConfig config;
+  config.port = port;
+  return config;
+}
+
+}  // namespace
+
+Server::Server(std::uint16_t port) : Server(config_for_port(port)) {}
+
+Server::Server(const ServerConfig& config)
+    : config_(config),
+      listener_(config.port, config.listen_backlog),
+      port_(listener_.port()),
+      shed_rng_(config.shed_seed) {
+  reactor_ = std::thread([this] { run(); });
 }
 
 Server::~Server() { stop(); }
 
 void Server::stop() {
-  if (!running_.exchange(false)) return;
-  // Join before closing: accept() polls in 200 ms slices and rechecks
-  // running_, so the acceptor exits on its own. Closing the fd from here
-  // while the acceptor still polls it would be a data race.
-  if (acceptor_.joinable()) acceptor_.join();
-  listener_.close();
-  std::vector<Connection> connections;
-  {
-    const std::lock_guard lock(connections_mutex_);
-    connections.swap(connections_);
-  }
-  for (Connection& connection : connections) {
-    if (connection.thread.joinable()) connection.thread.join();
-  }
+  // The wakeup pipe bounds stop() latency to one poll slice: the reactor
+  // wakes immediately, closes every connection, and exits — it never waits
+  // behind a peer's frame or idle deadline.
+  running_.store(false, std::memory_order_release);
+  wakeup_.notify();
+  if (reactor_.joinable()) reactor_.join();
 }
 
 void Server::enqueue_command(const std::string& unit_id, const Command& command) {
@@ -63,18 +83,27 @@ std::size_t Server::accepted_batches(const std::string& unit_id) const {
   return it == units_.end() ? 0 : it->second.accepted_batches;
 }
 
+void Server::adopt_connection(net::Transport transport) {
+  {
+    const std::lock_guard lock(adopt_mutex_);
+    adopted_.push_back(std::move(transport));
+  }
+  wakeup_.notify();
+}
+
 Server::ConnectionStats Server::connection_stats() const {
   ConnectionStats stats;
   stats.accepted = accepted_count_.load();
   stats.rejected = rejected_count_.load();
   stats.dropped = dropped_count_.load();
   stats.reaped = reaped_count_.load();
-  {
-    const std::lock_guard lock(connections_mutex_);
-    for (const Connection& connection : connections_) {
-      if (!connection.done->load()) stats.active += 1;
-    }
-  }
+  stats.active = active_count_.load();
+  stats.shed = shed_count_.load();
+  stats.evicted = evicted_count_.load();
+  stats.backpressure_stalls = backpressure_stall_count_.load();
+  stats.batches_ingested = batches_ingested_count_.load();
+  stats.ingest_flushes = ingest_flush_count_.load();
+  stats.samples_evicted = samples_evicted_count_.load();
   return stats;
 }
 
@@ -89,6 +118,12 @@ void Server::write_manifest(const std::filesystem::path& path) const {
   registry.add("server.connections_dropped", stats.dropped);
   registry.add("server.threads_reaped", stats.reaped);
   registry.add("server.connections_active", stats.active);
+  registry.add("server.connections_shed", stats.shed);
+  registry.add("server.connections_evicted", stats.evicted);
+  registry.add("server.backpressure_stalls", stats.backpressure_stalls);
+  registry.add("server.batches_ingested", stats.batches_ingested);
+  registry.add("server.ingest_flushes", stats.ingest_flushes);
+  registry.add("server.samples_evicted", stats.samples_evicted);
   {
     const std::lock_guard lock(mutex_);
     std::uint64_t batches = 0;
@@ -112,114 +147,422 @@ void Server::write_manifest(const std::filesystem::path& path) const {
   obs::write_manifest(path, info, registry);
 }
 
-void Server::reap_finished_connections() {
-  const std::lock_guard lock(connections_mutex_);
-  auto it = connections_.begin();
-  while (it != connections_.end()) {
-    if (!it->done->load()) {
-      ++it;
-      continue;
+// --- reactor internals ----------------------------------------------------
+
+void Server::mark_closed(Conn& conn) {
+  if (conn.closing) return;
+  if (conn.phase == Phase::kReady) ready_count_ -= 1;
+  conn.closing = true;
+  conn.framed.transport().close();
+}
+
+void Server::drop_connection(Conn& conn, std::atomic<std::uint64_t>& counter) {
+  if (conn.closing) return;
+  counter.fetch_add(1);
+  mark_closed(conn);
+}
+
+void Server::begin_drain(Conn& conn) {
+  if (conn.closing || conn.phase == Phase::kDraining) return;
+  if (conn.phase == Phase::kReady) ready_count_ -= 1;
+  conn.phase = Phase::kDraining;
+  conn.phase_deadline = Deadline::after(config_.drain_timeout);
+}
+
+bool Server::reads_enabled(const Conn& conn) const {
+  if (conn.closing || conn.phase == Phase::kDraining) return false;
+  if (conn.read_paused) return false;  // backpressure: peer must drain first
+  if (conn.framed.close_after_flush()) return false;
+  if (conn.stalled && !conn.read_resume.expired()) return false;
+  return true;
+}
+
+void Server::update_backpressure(Conn& conn) {
+  if (conn.closing) return;
+  const std::size_t queued = conn.framed.queued_write_bytes();
+  if (!conn.read_paused && queued > config_.write_high_water) {
+    conn.read_paused = true;
+    backpressure_stall_count_.fetch_add(1);
+  } else if (conn.read_paused && queued <= config_.write_low_water) {
+    conn.read_paused = false;
+  }
+}
+
+void Server::adopt_transport(net::Transport transport) {
+  accepted_count_.fetch_add(1);
+  // The accept-side fault plan may drop the connection outright, tag it for
+  // torn server frames, or stall its reads (slow-loris server).
+  const auto fault = fault_hooks::on_accept(port_);
+  if (fault.drop) {
+    dropped_count_.fetch_add(1);
+    transport.close();
+    return;
+  }
+  transport.set_accept_token(fault.token);
+  auto conn = std::make_unique<Conn>(
+      net::FramedConn(std::move(transport), conn_limits(config_)));
+  conn->phase_deadline = Deadline::after(config_.handshake_timeout);
+  if (fault.read_stall.count() > 0) {
+    conn->stalled = true;
+    conn->read_resume = Deadline::after(fault.read_stall);
+  }
+  conns_.push_back(std::move(conn));
+  active_count_.fetch_add(1);
+}
+
+void Server::adopt_pending_connections() {
+  std::vector<net::Transport> adopted;
+  {
+    const std::lock_guard lock(adopt_mutex_);
+    adopted.swap(adopted_);
+  }
+  for (net::Transport& transport : adopted) {
+    adopt_transport(std::move(transport));
+  }
+}
+
+void Server::accept_ready_connections() {
+  while (running_.load(std::memory_order_relaxed)) {
+    std::optional<TcpStream> stream = listener_.try_accept();
+    if (!stream) break;
+    net::Transport transport = net::Transport::from_stream(std::move(*stream));
+    if (config_.socket_send_buffer > 0) {
+      ::setsockopt(transport.poll_fd(), SOL_SOCKET, SO_SNDBUF,
+                   &config_.socket_send_buffer, sizeof config_.socket_send_buffer);
     }
-    it->thread.join();  // instant: the thread already signalled completion
-    it = connections_.erase(it);
-    reaped_count_.fetch_add(1);
+    adopt_transport(std::move(transport));
   }
 }
 
-void Server::accept_loop() {
-  while (running_) {
-    reap_finished_connections();
-    std::optional<TcpStream> stream = listener_.accept(Millis{200});
-    if (!stream) continue;
-    accepted_count_.fetch_add(1);
-    auto done = std::make_shared<std::atomic<bool>>(false);
-    const std::lock_guard lock(connections_mutex_);
-    connections_.push_back(Connection{
-        std::thread([this, done, s = std::move(*stream)]() mutable {
-          serve_connection(std::move(s));
-          done->store(true);
-        }),
-        done});
-  }
-}
+std::size_t Server::ready_connection_count() const { return ready_count_; }
 
-void Server::serve_connection(TcpStream stream) {
-  // Set by a successful Hello; until then the connection may not poll or
-  // upload, and afterwards every message must carry this exact unit_id.
-  std::string unit_id;
-  bool authenticated = false;
-  try {
-    while (running_) {
-      // Poll in short slices so stop() never waits behind an idle client,
-      // then read the whole frame with a generous timeout (polling first
-      // avoids losing sync to a mid-header timeout).
-      if (!stream.wait_readable(Millis{250})) continue;
-      const auto payload = read_frame(stream, Millis{60000});
-      if (!payload) return;  // clean disconnect
-      const Message message = decode(*payload);
+void Server::handle_message(Conn& conn, Message message,
+                            std::vector<PendingUpload>& uploads) {
+  const auto queue_reply = [&](const Message& reply) {
+    if (conn.framed.queue_frame(encode(reply))) return true;
+    // Write budget exhausted with reads already pausing at the high-water
+    // mark: the peer broke the request/response cadence badly enough that
+    // the stream is unrecoverable.
+    drop_connection(conn, dropped_count_);
+    return false;
+  };
 
-      if (const auto* hello = std::get_if<Hello>(&message)) {
-        HelloAck ack;
-        ack.accepted = hello->version == kProtocolVersion;
-        if (ack.accepted) {
-          authenticated = true;
-          unit_id = hello->unit_id;
-          const std::lock_guard lock(mutex_);
-          units_.try_emplace(unit_id);
-        }
-        write_frame(stream, encode(ack));
-        if (!ack.accepted) {
-          rejected_count_.fetch_add(1);
-          return;
-        }
-        continue;
-      }
-
-      if (const auto* poll = std::get_if<PollCommands>(&message)) {
-        if (!authenticated || poll->unit_id != unit_id) {
-          rejected_count_.fetch_add(1);
-          return;  // no phantom unit state for unauthenticated peers
-        }
-        Commands response;
-        {
-          const std::lock_guard lock(mutex_);
-          response.commands.swap(units_[unit_id].pending_commands);
-        }
-        write_frame(stream, encode(response));
-        continue;
-      }
-
-      if (const auto* upload = std::get_if<DataUpload>(&message)) {
-        if (!authenticated || upload->unit_id != unit_id) {
-          rejected_count_.fetch_add(1);
-          return;  // drop data claiming another (or no) identity
-        }
-        {
-          const std::lock_guard lock(mutex_);
-          UnitState& unit = units_[unit_id];
-          ChannelData& channel = unit.channels[upload->channel];
-          if (channel.seen_sequences.insert(upload->sequence).second) {
-            for (const Sample& sample : upload->samples) {
-              channel.samples.insert_or_assign(sample.time, sample.value);
-            }
-            unit.accepted_batches += 1;
-          }
-        }
-        UploadAck ack;
-        ack.sequence = upload->sequence;
-        write_frame(stream, encode(ack));
-        continue;
-      }
-
-      // Server-only message arriving at the server: protocol violation.
-      dropped_count_.fetch_add(1);
+  if (const auto* hello = std::get_if<Hello>(&message)) {
+    HelloAck ack;
+    if (hello->version != kProtocolVersion) {
+      ack.accepted = false;
+      rejected_count_.fetch_add(1);
+      if (queue_reply(ack)) begin_drain(conn);
       return;
     }
-  } catch (const std::exception&) {
-    // Connection-level failure: drop the connection; the client reconnects
-    // and re-uploads (uploads are idempotent).
-    dropped_count_.fetch_add(1);
+    if (conn.phase == Phase::kHandshake &&
+        ready_connection_count() >= config_.max_connections) {
+      // Overload: shed with a seeded retry-after hint instead of serving.
+      ack.accepted = false;
+      ack.retry_after_ms = static_cast<std::uint32_t>(
+          config_.shed_retry_after_base.count() +
+          shed_rng_.uniform_int(0, config_.shed_retry_after_spread.count()));
+      shed_count_.fetch_add(1);
+      if (queue_reply(ack)) begin_drain(conn);
+      return;
+    }
+    if (conn.phase == Phase::kHandshake) {
+      conn.phase = Phase::kReady;
+      ready_count_ += 1;
+    }
+    conn.unit_id = hello->unit_id;
+    conn.phase_deadline = Deadline::after(config_.idle_timeout);
+    {
+      const std::lock_guard lock(mutex_);
+      units_.try_emplace(conn.unit_id);
+    }
+    queue_reply(ack);
+    return;
   }
+
+  if (const auto* poll = std::get_if<PollCommands>(&message)) {
+    if (conn.phase != Phase::kReady || poll->unit_id != conn.unit_id) {
+      // No phantom unit state for unauthenticated peers.
+      drop_connection(conn, rejected_count_);
+      return;
+    }
+    Commands response;
+    {
+      const std::lock_guard lock(mutex_);
+      response.commands.swap(units_[conn.unit_id].pending_commands);
+    }
+    queue_reply(response);
+    return;
+  }
+
+  if (auto* upload = std::get_if<DataUpload>(&message)) {
+    if (conn.phase != Phase::kReady || upload->unit_id != conn.unit_id) {
+      drop_connection(conn, rejected_count_);
+      return;
+    }
+    // Staged for the end-of-tick batch: every upload that arrived this poll
+    // tick is applied under one units_ lock.
+    uploads.push_back(PendingUpload{&conn, std::move(*upload)});
+    return;
+  }
+
+  // Server-only message arriving at the server: protocol violation.
+  drop_connection(conn, dropped_count_);
+}
+
+void Server::service_connection(Conn& conn,
+                                std::vector<PendingUpload>& uploads) {
+  if (conn.closing) return;
+
+  // Flush first: it frees write budget for this tick's replies and lets a
+  // draining connection finish.
+  if (conn.framed.wants_write() || conn.framed.close_after_flush()) {
+    switch (conn.framed.flush_writes()) {
+      case net::FramedConn::Status::kError:
+      case net::FramedConn::Status::kClosed:  // torn prefix fully flushed
+        drop_connection(conn, dropped_count_);
+        return;
+      case net::FramedConn::Status::kOpen:
+        break;
+    }
+    update_backpressure(conn);
+  }
+
+  if (!reads_enabled(conn)) return;
+
+  std::vector<std::vector<std::byte>> frames;
+  const net::FramedConn::Status status = conn.framed.pump_reads(frames);
+  for (std::vector<std::byte>& payload : frames) {
+    if (conn.closing || conn.phase == Phase::kDraining) break;
+    Message message;
+    try {
+      message = decode(payload);
+    } catch (const std::exception&) {
+      drop_connection(conn, dropped_count_);
+      break;
+    }
+    handle_message(conn, std::move(message), uploads);
+  }
+  if (!conn.closing) {
+    if (status == net::FramedConn::Status::kClosed) {
+      // Clean disconnect. Replies queued for frames that arrived in this
+      // same pump still flush first (replay scripts end in EOF; TCP peers
+      // may half-close after their last request).
+      if (conn.framed.wants_write()) {
+        begin_drain(conn);
+      } else {
+        mark_closed(conn);
+      }
+    } else if (status == net::FramedConn::Status::kError) {
+      drop_connection(conn, dropped_count_);
+    }
+  }
+  if (conn.closing) return;
+
+  // Deadline bookkeeping: a started frame must finish within frame_timeout
+  // (armed once per frame, so a one-byte trickle cannot keep resetting it);
+  // completed frames refresh the idle deadline.
+  if (conn.framed.frame_in_progress()) {
+    if (!conn.mid_frame) {
+      conn.mid_frame = true;
+      conn.frame_deadline = Deadline::after(config_.frame_timeout);
+    }
+  } else {
+    conn.mid_frame = false;
+    if (!frames.empty() && conn.phase == Phase::kReady) {
+      conn.phase_deadline = Deadline::after(config_.idle_timeout);
+    }
+  }
+
+  // Opportunistic flush so replies do not wait a full poll cycle.
+  if (conn.framed.wants_write() || conn.framed.close_after_flush()) {
+    switch (conn.framed.flush_writes()) {
+      case net::FramedConn::Status::kError:
+      case net::FramedConn::Status::kClosed:
+        drop_connection(conn, dropped_count_);
+        return;
+      case net::FramedConn::Status::kOpen:
+        break;
+    }
+  }
+  update_backpressure(conn);
+}
+
+void Server::ingest_uploads(std::vector<PendingUpload>& uploads) {
+  if (uploads.empty()) return;
+  {
+    const std::lock_guard lock(mutex_);
+    ingest_flush_count_.fetch_add(1);
+    for (PendingUpload& pending : uploads) {
+      if (pending.conn->closing) continue;
+      batches_ingested_count_.fetch_add(1);
+      UnitState& unit = units_[pending.upload.unit_id];
+      ChannelData& channel = unit.channels[pending.upload.channel];
+      const std::uint64_t sequence = pending.upload.sequence;
+      const bool duplicate = sequence < channel.seen_watermark ||
+                             channel.seen_sequences.contains(sequence);
+      if (duplicate) continue;
+      channel.seen_sequences.insert(sequence);
+      for (const Sample& sample : pending.upload.samples) {
+        channel.samples.insert_or_assign(sample.time, sample.value);
+      }
+      unit.accepted_batches += 1;
+      // Compact the seen set to its window; the watermark keeps everything
+      // below it deduplicated without storing each sequence forever.
+      if (config_.seen_sequence_window > 0) {
+        while (channel.seen_sequences.size() > config_.seen_sequence_window) {
+          const auto oldest = channel.seen_sequences.begin();
+          channel.seen_watermark = *oldest + 1;
+          channel.seen_sequences.erase(oldest);
+        }
+      }
+      if (config_.max_samples_per_channel > 0) {
+        while (channel.samples.size() > config_.max_samples_per_channel) {
+          channel.samples.erase(channel.samples.begin());
+          samples_evicted_count_.fetch_add(1);
+        }
+      }
+    }
+  }
+  // Acks queue outside the lock; a full write budget here means the peer
+  // earned a drop, same as any other reply.
+  for (PendingUpload& pending : uploads) {
+    Conn& conn = *pending.conn;
+    if (conn.closing) continue;
+    UploadAck ack;
+    ack.sequence = pending.upload.sequence;
+    if (!conn.framed.queue_frame(encode(Message{ack}))) {
+      drop_connection(conn, dropped_count_);
+      continue;
+    }
+    if (conn.framed.wants_write() || conn.framed.close_after_flush()) {
+      switch (conn.framed.flush_writes()) {
+        case net::FramedConn::Status::kError:
+        case net::FramedConn::Status::kClosed:
+          drop_connection(conn, dropped_count_);
+          continue;
+        case net::FramedConn::Status::kOpen:
+          break;
+      }
+    }
+    update_backpressure(conn);
+  }
+  uploads.clear();
+}
+
+void Server::enforce_deadlines(Conn& conn) {
+  if (conn.closing) return;
+  if (conn.phase == Phase::kDraining) {
+    if (!conn.framed.wants_write()) {
+      mark_closed(conn);  // drained cleanly; reap without blame
+    } else if (conn.phase_deadline.expired()) {
+      drop_connection(conn, dropped_count_);  // peer never drained the reply
+    }
+    return;
+  }
+  if (conn.mid_frame && conn.frame_deadline.expired()) {
+    drop_connection(conn, evicted_count_);  // torn/slow frame
+    return;
+  }
+  if (conn.phase_deadline.expired()) {
+    drop_connection(conn, evicted_count_);  // handshake or idle deadline
+  }
+}
+
+void Server::run() {
+  std::vector<pollfd> pfds;
+  std::vector<Conn*> pfd_conns;
+  std::vector<PendingUpload> uploads;
+
+  while (running_.load(std::memory_order_acquire)) {
+    adopt_pending_connections();
+
+    pfds.clear();
+    pfd_conns.clear();
+    pfds.push_back(pollfd{wakeup_.poll_fd(), POLLIN, 0});
+    const int listener_fd = listener_.poll_fd();
+    const std::size_t listener_slot = pfds.size();
+    if (listener_fd >= 0) pfds.push_back(pollfd{listener_fd, POLLIN, 0});
+    const std::size_t conn_base = pfds.size();
+
+    int timeout_ms = 200;
+    const auto consider = [&timeout_ms](const Deadline& deadline) {
+      if (deadline.is_never()) return;
+      const auto remaining = deadline.remaining().count();
+      if (remaining < timeout_ms) timeout_ms = static_cast<int>(remaining);
+    };
+    bool always_ready_pending = false;
+    for (const auto& conn_ptr : conns_) {
+      const Conn& conn = *conn_ptr;
+      if (conn.closing) continue;
+      short events = 0;
+      if (reads_enabled(conn)) events |= POLLIN;
+      if (conn.framed.wants_write() || conn.framed.close_after_flush()) {
+        events |= POLLOUT;
+      }
+      if (conn.phase == Phase::kDraining) {
+        consider(conn.phase_deadline);
+      } else {
+        if (conn.mid_frame) consider(conn.frame_deadline);
+        consider(conn.phase_deadline);
+        if (conn.stalled && !conn.read_resume.expired()) {
+          consider(conn.read_resume);
+        }
+      }
+      const int fd = conn.framed.transport().poll_fd();
+      if (fd < 0) {
+        // No pollable fd (replay backend): always ready when it wants I/O.
+        if (events != 0) always_ready_pending = true;
+        continue;
+      }
+      if (events == 0) continue;
+      pfds.push_back(pollfd{fd, events, 0});
+      pfd_conns.push_back(conn_ptr.get());
+    }
+    if (always_ready_pending) timeout_ms = 0;
+    if (timeout_ms < 0) timeout_ms = 0;
+
+    const int rc =
+        poll_fds(pfds.data(), static_cast<unsigned long>(pfds.size()), timeout_ms);
+    if (!running_.load(std::memory_order_acquire)) break;
+    if (rc < 0) continue;  // EINTR: re-evaluate and re-poll
+
+    if (pfds[0].revents != 0) wakeup_.drain();
+    if (listener_fd >= 0 && pfds[listener_slot].revents != 0) {
+      accept_ready_connections();
+    }
+
+    for (std::size_t i = 0; i < pfd_conns.size(); ++i) {
+      if (pfds[conn_base + i].revents == 0) continue;
+      service_connection(*pfd_conns[i], uploads);
+    }
+    for (const auto& conn_ptr : conns_) {
+      if (conn_ptr->framed.transport().poll_fd() < 0) {
+        service_connection(*conn_ptr, uploads);
+      }
+    }
+
+    ingest_uploads(uploads);
+
+    for (const auto& conn_ptr : conns_) enforce_deadlines(*conn_ptr);
+
+    // Reap: connections closed this tick leave the set immediately — no
+    // zombie state waiting for the next accept (the old server's bug).
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if ((*it)->closing) {
+        reaped_count_.fetch_add(1);
+        active_count_.fetch_sub(1);
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // Shutdown: close everything; these closes are part of stop(), not reaps.
+  active_count_.store(0);
+  conns_.clear();
+  listener_.close();
 }
 
 }  // namespace joules::autopower

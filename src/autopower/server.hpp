@@ -1,22 +1,38 @@
 // The Autopower collection server.
 //
-// Accepts unit connections on loopback TCP, answers command polls, and
-// stores uploaded measurements. Uploads are idempotent: batches carry a
-// per-(unit, channel) sequence number, and a batch whose sequence was already
-// accepted is acknowledged again without being stored twice — so a client
-// that lost an ack can safely re-send.
+// Accepts unit connections, answers command polls, and stores uploaded
+// measurements. Uploads are idempotent: batches carry a per-(unit, channel)
+// sequence number, and a batch whose sequence was already accepted is
+// acknowledged again without being stored twice — so a client that lost an
+// ack can safely re-send.
 //
 // Connection hygiene: a connection must complete a Hello handshake before
 // its polls/uploads are honoured, and each message's unit_id must match the
 // one that authenticated — a peer can neither create phantom unit state nor
-// write into another unit's series. Finished connection threads are reaped
-// by the acceptor as it loops, so a reconnect-heavy deployment (the normal
-// case: units redial after every uplink drop) does not accumulate one zombie
-// thread per reconnect until shutdown.
+// write into another unit's series.
 //
-// Thread model: one acceptor thread, one thread per connection; all shared
-// state behind a single mutex (the server handles a handful of units, not
-// thousands).
+// Thread model: ONE reactor thread multiplexes every connection off a
+// single poll() loop (through net::Transport's nonblocking backends and
+// net::FramedConn's incremental frame assembly), so a slow or torn-frame
+// peer can never hold a thread — it holds only its own connection state,
+// bounded by absolute per-connection deadlines. The robustness layer on
+// top:
+//   - admission control: past `max_connections` authenticated units, a
+//     Hello is answered HelloAck{accepted=false} with a seeded retry-after
+//     hint and the connection drains away (shed, not crashed);
+//   - backpressure: a connection whose staged writes pass the high-water
+//     mark stops being read until the peer drains below the low-water mark
+//     (bounded buffers, never unbounded queueing);
+//   - eviction: handshake, idle, mid-frame, and drain deadlines each bound
+//     how long a connection may sit in that state;
+//   - batched ingest: all uploads that arrive in one poll tick are applied
+//     under a single units_ lock, amortizing contention across the fleet;
+//   - retention caps: per-channel sample and seen-sequence windows bound
+//     per-unit memory (server.samples_evicted counts the trims).
+//
+// External threads (stop(), adopt_connection(), enqueue_command()) hand
+// work to the reactor through a wakeup pipe; stop() completes within one
+// poll slice rather than waiting behind any connection's frame timeout.
 #pragma once
 
 #include <atomic>
@@ -31,15 +47,48 @@
 #include <vector>
 
 #include "autopower/protocol.hpp"
+#include "net/framed_conn.hpp"
 #include "net/socket.hpp"
+#include "net/transport.hpp"
+#include "util/rng.hpp"
 #include "util/time_series.hpp"
 
 namespace joules::autopower {
+
+// Reactor tuning. The defaults serve the unit-test scale (a handful of
+// units, no ceiling pressure) with the same observable behavior as the old
+// thread-per-connection server; fleet tests and benches tighten them.
+struct ServerConfig {
+  std::uint16_t port = 0;        // 0 = ephemeral
+  int listen_backlog = 512;      // kernel accept queue for dial bursts
+  std::size_t max_connections = 4096;  // admission ceiling (authenticated)
+
+  Millis handshake_timeout{10000};  // accept -> completed Hello
+  Millis idle_timeout{60000};       // authenticated, between frames
+  Millis frame_timeout{10000};      // a started frame must finish
+  Millis drain_timeout{5000};       // flush-before-close budget
+
+  std::size_t write_high_water = 256 * 1024;  // pause reads above...
+  std::size_t write_low_water = 64 * 1024;    // ...resume below
+
+  std::size_t max_samples_per_channel = 0;  // 0 = unbounded
+  std::size_t seen_sequence_window = 1024;  // compacted via watermark
+
+  // Seed for the shed retry-after hints: hint = base + uniform[0, spread].
+  std::uint64_t shed_seed = 0x4a6f756c6573ull;
+  Millis shed_retry_after_base{250};
+  Millis shed_retry_after_spread{250};
+
+  // When nonzero, SO_SNDBUF requested on accepted sockets. Small values let
+  // tests push the kernel buffer aside and exercise real backpressure.
+  int socket_send_buffer = 0;
+};
 
 class Server {
  public:
   // Binds 127.0.0.1:`port` (0 = ephemeral) and starts serving.
   explicit Server(std::uint16_t port = 0);
+  explicit Server(const ServerConfig& config);
   ~Server();
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -61,13 +110,24 @@ class Server {
   // Number of accepted (non-duplicate) upload batches, for tests/monitoring.
   [[nodiscard]] std::size_t accepted_batches(const std::string& unit_id) const;
 
+  // Hands the server a connection on a non-TCP transport (pipe or replay
+  // backend). The reactor adopts it on its next tick and serves it exactly
+  // like an accepted socket — the transport conformance suite's seam.
+  void adopt_connection(net::Transport transport);
+
   // Connection-lifecycle counters, for tests and monitoring.
   struct ConnectionStats {
-    std::uint64_t accepted = 0;  // connections the acceptor handed to a thread
+    std::uint64_t accepted = 0;  // connections handed to the reactor
     std::uint64_t rejected = 0;  // failed handshakes + unit_id gate violations
     std::uint64_t dropped = 0;   // connections torn down on I/O or protocol errors
-    std::uint64_t reaped = 0;    // finished connection threads joined pre-stop
-    std::uint64_t active = 0;    // connection threads currently running
+    std::uint64_t reaped = 0;    // connections cleaned up pre-stop
+    std::uint64_t active = 0;    // connections currently open
+    std::uint64_t shed = 0;      // Hellos answered accepted=false for overload
+    std::uint64_t evicted = 0;   // closed by deadline (handshake/idle/frame)
+    std::uint64_t backpressure_stalls = 0;  // read-pause transitions
+    std::uint64_t batches_ingested = 0;     // uploads ingested (incl. duplicates)
+    std::uint64_t ingest_flushes = 0;       // units_ lock takes for ingest
+    std::uint64_t samples_evicted = 0;      // retention-cap trims
   };
   [[nodiscard]] ConnectionStats connection_stats() const;
 
@@ -79,19 +139,62 @@ class Server {
   void stop();
 
  private:
-  void accept_loop();
-  void reap_finished_connections();
-  void serve_connection(TcpStream stream);
+  enum class Phase : std::uint8_t {
+    kHandshake,  // accepted, no (valid) Hello yet
+    kReady,      // authenticated; polls/uploads honoured
+    kDraining,   // final writes flushing; reads ignored; closes when empty
+  };
+
+  struct Conn {
+    explicit Conn(net::FramedConn framed_conn)
+        : framed(std::move(framed_conn)) {}
+    net::FramedConn framed;
+    Phase phase = Phase::kHandshake;
+    std::string unit_id;                          // set by a successful Hello
+    Deadline phase_deadline = Deadline::never();  // handshake/idle/drain
+    Deadline frame_deadline = Deadline::never();  // armed while mid-frame
+    Deadline read_resume = Deadline::never();     // injected stall window
+    bool mid_frame = false;
+    bool read_paused = false;  // backpressure: write queue above high water
+    bool stalled = false;      // fault-injected read stall active
+    bool closing = false;      // marked dead this tick; removed at tick end
+  };
+
+  struct PendingUpload {
+    Conn* conn;
+    DataUpload upload;
+  };
+
+  void run();
+  void adopt_pending_connections();
+  void accept_ready_connections();
+  bool reads_enabled(const Conn& conn) const;
+  void service_connection(Conn& conn, std::vector<PendingUpload>& uploads);
+  void handle_message(Conn& conn, Message message,
+                      std::vector<PendingUpload>& uploads);
+  void ingest_uploads(std::vector<PendingUpload>& uploads);
+  void begin_drain(Conn& conn);
+  void mark_closed(Conn& conn);
+  void drop_connection(Conn& conn, std::atomic<std::uint64_t>& counter);
+  void enforce_deadlines(Conn& conn);
+  void update_backpressure(Conn& conn);
+  void adopt_transport(net::Transport transport);
+  [[nodiscard]] std::size_t ready_connection_count() const;
 
   struct ChannelData {
     std::map<SimTime, double> samples;  // keyed by time: dedups re-uploads
     std::set<std::uint64_t> seen_sequences;
+    // Sequences below this are treated as seen; raised when the seen set is
+    // compacted to the configured window.
+    std::uint64_t seen_watermark = 0;
   };
   struct UnitState {
     std::map<int, ChannelData> channels;
     std::vector<Command> pending_commands;
     std::size_t accepted_batches = 0;
   };
+
+  ServerConfig config_;
 
   mutable std::mutex mutex_;
   std::map<std::string, UnitState> units_;
@@ -100,18 +203,27 @@ class Server {
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{true};
 
-  struct Connection {
-    std::thread thread;
-    std::shared_ptr<std::atomic<bool>> done;
-  };
-  std::thread acceptor_;
-  std::vector<Connection> connections_;  // guarded by connections_mutex_
-  mutable std::mutex connections_mutex_;
+  WakeupPipe wakeup_;
+  std::thread reactor_;
+  std::vector<std::unique_ptr<Conn>> conns_;  // reactor thread only
+  std::size_t ready_count_ = 0;               // kReady conns; reactor only
+
+  std::mutex adopt_mutex_;
+  std::vector<net::Transport> adopted_;  // handed over via adopt_connection
+
+  Rng shed_rng_;  // reactor thread only
 
   std::atomic<std::uint64_t> accepted_count_{0};
   std::atomic<std::uint64_t> rejected_count_{0};
   std::atomic<std::uint64_t> dropped_count_{0};
   std::atomic<std::uint64_t> reaped_count_{0};
+  std::atomic<std::uint64_t> active_count_{0};
+  std::atomic<std::uint64_t> shed_count_{0};
+  std::atomic<std::uint64_t> evicted_count_{0};
+  std::atomic<std::uint64_t> backpressure_stall_count_{0};
+  std::atomic<std::uint64_t> batches_ingested_count_{0};
+  std::atomic<std::uint64_t> ingest_flush_count_{0};
+  std::atomic<std::uint64_t> samples_evicted_count_{0};
 };
 
 }  // namespace joules::autopower

@@ -18,6 +18,10 @@ struct FaultPlanAccess {
   static const auto& connect_faults(const FaultPlan& p) { return p.connect_faults_; }
   static const auto& send_faults(const FaultPlan& p) { return p.send_faults_; }
   static const auto& recv_faults(const FaultPlan& p) { return p.recv_faults_; }
+  static const auto& accept_faults(const FaultPlan& p) { return p.accept_faults_; }
+  static const auto& server_send_faults(const FaultPlan& p) {
+    return p.server_send_faults_;
+  }
   static std::uint16_t port(const FaultPlan& p) { return p.port_; }
   static std::uint64_t seed(const FaultPlan& p) { return p.seed_; }
   static std::size_t send_chunk_cap(const FaultPlan& p) { return p.send_chunk_cap_; }
@@ -39,6 +43,8 @@ struct ActivePlan {
   std::uint64_t next_connect = 0;  // zero-based operation counters
   std::uint64_t next_send_frame = 0;
   std::uint64_t next_recv_frame = 0;
+  std::uint64_t next_accept = 0;
+  std::uint64_t next_server_send_frame = 0;
 };
 
 // One installed plan at a time, guarded by g_mutex; g_active is the fast
@@ -95,6 +101,27 @@ FaultPlan& FaultPlan::drop_recv_randomly(double probability) {
     throw std::invalid_argument("FaultPlan: probability outside [0, 1]");
   }
   recv_drop_probability_ = probability;
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_accept(std::uint64_t index) {
+  accept_faults_[index].drop = true;
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_accepts(std::uint64_t first, std::uint64_t count) {
+  for (std::uint64_t i = 0; i < count; ++i) drop_accept(first + i);
+  return *this;
+}
+
+FaultPlan& FaultPlan::stall_accept_reads(std::uint64_t index, Millis stall) {
+  accept_faults_[index].read_stall = stall;
+  return *this;
+}
+
+FaultPlan& FaultPlan::tear_server_send_frame(std::uint64_t frame,
+                                             std::size_t after_bytes) {
+  server_send_faults_[frame] = SendFault{true, after_bytes};
   return *this;
 }
 
@@ -190,6 +217,40 @@ RecvFrameFault on_recv_frame(std::uint64_t token) {
   }
   if (delay.count() > 0) std::this_thread::sleep_for(delay);
   return fault;
+}
+
+AcceptFault on_accept(std::uint16_t port) {
+  if (!g_active.load(std::memory_order_acquire)) return {};
+  const std::lock_guard lock(g_mutex);
+  if (g_plan == nullptr) return {};
+  const FaultPlan& plan = g_plan->plan;
+  if (Access::port(plan) != 0 && Access::port(plan) != port) return {};
+  g_plan->stats.accepts += 1;
+  const std::uint64_t index = g_plan->next_accept++;
+  AcceptFault fault;
+  fault.token = index + 1;  // nonzero: the accepted conn is tracked
+  const auto& faults = Access::accept_faults(plan);
+  const auto it = faults.find(index);
+  if (it != faults.end()) {
+    fault.drop = it->second.drop;
+    fault.read_stall = it->second.read_stall;
+    if (fault.drop) g_plan->stats.accepts_dropped += 1;
+    if (fault.read_stall.count() > 0) g_plan->stats.read_stalls_injected += 1;
+  }
+  return fault;
+}
+
+SendFrameFault on_server_send_frame(std::uint64_t token) {
+  if (token == 0 || !g_active.load(std::memory_order_acquire)) return {};
+  const std::lock_guard lock(g_mutex);
+  if (g_plan == nullptr) return {};
+  g_plan->stats.server_send_frames += 1;
+  const std::uint64_t index = g_plan->next_server_send_frame++;
+  const auto& faults = Access::server_send_faults(g_plan->plan);
+  const auto it = faults.find(index);
+  if (it == faults.end()) return {};
+  g_plan->stats.server_frames_torn += 1;
+  return SendFrameFault{true, it->second.after_bytes};
 }
 
 }  // namespace fault_hooks

@@ -7,15 +7,20 @@
 // schedule of faults; installing it (via `ScopedFaultPlan`, test-scoped)
 // makes every `TcpStream::connect_loopback` consult the plan, and tags the
 // streams it produces so the frame layer (net/framing.hpp) can inject
-// send/recv faults on them. Faults only ever apply to *dialing* (client-side)
-// streams: server-side accepted streams are untouched, which is exactly the
-// asymmetry of the paper's deployment (units behind NAT dial out; the
-// collection server just answers).
+// send/recv faults on them. The connect/send/recv faults apply to *dialing*
+// (client-side) streams — the asymmetry of the paper's deployment (units
+// behind NAT dial out). The accept-side faults (`drop_accept`,
+// `tear_server_send_frame`, `stall_accept_reads`) are the server half: the
+// reactor consults `on_accept` for each accepted connection and
+// `on_server_send_frame` for each frame it queues, so tests can script the
+// collection server misbehaving too (dropped accepts, torn server frames,
+// stalled reads).
 //
 // Scripted faults are keyed by a zero-based operation index counted across
-// the plan's lifetime (connect attempts, sent frames, received frames each
-// have their own counter). Probabilistic faults draw from a seeded Rng, so a
-// given (plan, seed) replays the identical fault sequence every run.
+// the plan's lifetime (connect attempts, sent frames, received frames,
+// accepts, and server-sent frames each have their own counter).
+// Probabilistic faults draw from a seeded Rng, so a given (plan, seed)
+// replays the identical fault sequence every run.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +39,11 @@ struct FaultStats {
   std::uint64_t recv_frames = 0;       // frame reads started on tracked streams
   std::uint64_t drops_injected = 0;    // connections killed mid-operation
   std::uint64_t delays_injected = 0;
+  std::uint64_t accepts = 0;               // tracked server-side accepts
+  std::uint64_t accepts_dropped = 0;       // closed at accept time
+  std::uint64_t server_send_frames = 0;    // frames queued on tracked accepts
+  std::uint64_t server_frames_torn = 0;
+  std::uint64_t read_stalls_injected = 0;  // accept-side stalled-read windows
 };
 
 class FaultPlan {
@@ -71,6 +81,21 @@ class FaultPlan {
   // Drops each tracked frame read with the given probability (seeded).
   FaultPlan& drop_recv_randomly(double probability);
 
+  // --- Accept-side (server) faults ------------------------------------
+  // Closes the given zero-based accepted connection immediately after
+  // accept(2) — the dialing peer sees the connection open, then die.
+  FaultPlan& drop_accept(std::uint64_t index);
+  FaultPlan& drop_accepts(std::uint64_t first, std::uint64_t count);
+  // The given accepted connection's reads stall for `stall` after accept:
+  // the server leaves every byte it sends unread until the window passes
+  // (a slow-loris server; the peer's frames sit in kernel buffers).
+  FaultPlan& stall_accept_reads(std::uint64_t index, Millis stall);
+  // Tears the given zero-based *server-sent* frame: only `after_bytes` of
+  // the encoded frame reach the wire, then the connection closes — the
+  // dialing client sees a torn server frame (e.g. a half-written ack).
+  FaultPlan& tear_server_send_frame(std::uint64_t frame,
+                                    std::size_t after_bytes = 0);
+
  private:
   friend struct FaultPlanAccess;  // fault.cpp's window into the schedule
 
@@ -87,11 +112,18 @@ class FaultPlan {
     Millis delay{0};
   };
 
+  struct AcceptFault {
+    bool drop = false;
+    Millis read_stall{0};
+  };
+
   std::uint64_t seed_ = 0;
   std::uint16_t port_ = 0;  // 0 = match any
   std::map<std::uint64_t, ConnectFault> connect_faults_;
   std::map<std::uint64_t, SendFault> send_faults_;
   std::map<std::uint64_t, RecvFault> recv_faults_;
+  std::map<std::uint64_t, AcceptFault> accept_faults_;
+  std::map<std::uint64_t, SendFault> server_send_faults_;
   std::size_t send_chunk_cap_ = 0;  // 0 = uncapped
   double recv_drop_probability_ = 0.0;
 };
@@ -134,6 +166,21 @@ struct RecvFrameFault {
 // Consulted by read_frame before the header read; sleeps internally when the
 // plan scripts added latency.
 [[nodiscard]] RecvFrameFault on_recv_frame(std::uint64_t token);
+
+struct AcceptFault {
+  bool drop = false;          // close the connection right after accept
+  std::uint64_t token = 0;    // nonzero when the accepted conn is tracked
+  Millis read_stall{0};       // leave the conn's reads unserviced this long
+};
+// Consulted by the reactor for every accepted connection (port = the
+// listener's port, used with match_port). Never sleeps: the stall is the
+// reactor's to schedule (it keeps serving other connections meanwhile).
+[[nodiscard]] AcceptFault on_accept(std::uint16_t port);
+
+// Consulted when the server queues a frame on a tracked accepted connection
+// (token from on_accept). drop = tear: only after_bytes reach the wire,
+// then the connection closes.
+[[nodiscard]] SendFrameFault on_server_send_frame(std::uint64_t token);
 
 }  // namespace fault_hooks
 

@@ -1,0 +1,136 @@
+#include "net/framed_conn.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <system_error>
+
+#include "net/fault.hpp"
+
+namespace joules::net {
+namespace {
+
+std::uint32_t read_be32(const std::byte* data) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value = (value << 8) | static_cast<std::uint32_t>(data[i]);
+  }
+  return value;
+}
+
+void append_be32(std::vector<std::byte>& buffer, std::uint32_t value) {
+  for (int i = 3; i >= 0; --i) {
+    buffer.push_back(static_cast<std::byte>((value >> (8 * i)) & 0xff));
+  }
+}
+
+}  // namespace
+
+FramedConn::FramedConn(Transport transport)
+    : FramedConn(std::move(transport), Limits()) {}
+
+FramedConn::FramedConn(Transport transport, Limits limits)
+    : transport_(std::move(transport)), limits_(limits) {}
+
+FramedConn::Status FramedConn::pump_reads(
+    std::vector<std::vector<std::byte>>& frames) {
+  std::byte chunk[4096];
+  std::size_t pumped = 0;
+  while (pumped < limits_.pump_budget_bytes) {
+    TransportIo io;
+    try {
+      io = transport_.read(chunk);
+    } catch (const std::system_error&) {
+      return Status::kError;
+    }
+    if (io.bytes > 0) {
+      pumped += io.bytes;
+      inbuf_.insert(inbuf_.end(), chunk, chunk + io.bytes);
+      // Parse every complete frame now buffered.
+      std::size_t pos = 0;
+      while (inbuf_.size() - pos >= 4) {
+        const std::uint32_t length = read_be32(inbuf_.data() + pos);
+        if (length > limits_.max_frame_bytes) {
+          return Status::kError;  // protocol error: oversized frame
+        }
+        if (inbuf_.size() - pos - 4 < length) break;  // frame incomplete
+        const auto fault =
+            joules::fault_hooks::on_recv_frame(transport_.dial_token());
+        if (fault.drop) {
+          transport_.close();  // injected: frame lost in transit
+          return Status::kError;
+        }
+        frames.emplace_back(inbuf_.begin() + static_cast<long>(pos) + 4,
+                            inbuf_.begin() + static_cast<long>(pos) + 4 +
+                                static_cast<long>(length));
+        pos += 4 + length;
+      }
+      if (pos > 0) inbuf_.erase(inbuf_.begin(), inbuf_.begin() + static_cast<long>(pos));
+      continue;
+    }
+    if (io.eof) {
+      // Clean only at a frame boundary; EOF mid-frame is a torn peer.
+      return inbuf_.empty() ? Status::kClosed : Status::kError;
+    }
+    break;  // would block: nothing more to read this tick
+  }
+  return Status::kOpen;
+}
+
+bool FramedConn::queue_frame(std::span<const std::byte> payload) {
+  if (payload.size() > limits_.max_frame_bytes) {
+    throw std::invalid_argument("FramedConn::queue_frame: payload too large");
+  }
+  if (close_after_flush_) return true;  // dying anyway; drop silently
+  auto fault = joules::fault_hooks::on_send_frame(transport_.dial_token());
+  if (!fault.drop) {
+    fault = joules::fault_hooks::on_server_send_frame(transport_.accept_token());
+  }
+  if (fault.drop) {
+    // Torn frame: stage only the scripted prefix, then latch the close. The
+    // peer sees `after_bytes` of the frame and then EOF.
+    std::vector<std::byte> frame;
+    append_be32(frame, static_cast<std::uint32_t>(payload.size()));
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    const std::size_t keep = std::min(fault.after_bytes, frame.size());
+    outbuf_.insert(outbuf_.end(), frame.begin(),
+                   frame.begin() + static_cast<long>(keep));
+    close_after_flush_ = true;
+    return true;
+  }
+  if (queued_write_bytes() + 4 + payload.size() > limits_.write_buffer_bytes) {
+    return false;  // write budget exhausted: caller backpressures or drops
+  }
+  append_be32(outbuf_, static_cast<std::uint32_t>(payload.size()));
+  outbuf_.insert(outbuf_.end(), payload.begin(), payload.end());
+  return true;
+}
+
+FramedConn::Status FramedConn::flush_writes() {
+  while (write_pos_ < outbuf_.size()) {
+    TransportIo io;
+    try {
+      io = transport_.write(std::span(outbuf_).subspan(write_pos_));
+    } catch (const std::system_error&) {
+      return Status::kError;
+    }
+    write_pos_ += io.bytes;
+    if (io.would_block) break;
+    if (io.bytes == 0) break;  // backend made no progress; try next tick
+  }
+  if (write_pos_ == outbuf_.size()) {
+    outbuf_.clear();
+    write_pos_ = 0;
+    if (close_after_flush_) {
+      transport_.close();
+      return Status::kClosed;
+    }
+  } else if (write_pos_ > 64 * 1024) {
+    // Compact occasionally so a long-lived stalled buffer does not pin the
+    // already-flushed prefix.
+    outbuf_.erase(outbuf_.begin(), outbuf_.begin() + static_cast<long>(write_pos_));
+    write_pos_ = 0;
+  }
+  return Status::kOpen;
+}
+
+}  // namespace joules::net

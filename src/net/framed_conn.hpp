@@ -1,0 +1,93 @@
+// Nonblocking length-prefixed framing over a net::Transport.
+//
+// The blocking frame functions in net/framing.hpp park the calling thread
+// until a whole frame arrives — fine for a client, fatal for a reactor
+// serving thousands of connections. FramedConn keeps the same wire format
+// (4-byte big-endian length + payload, kMaxFrameBytes cap) but assembles
+// frames incrementally from whatever bytes the transport has, and stages
+// outbound frames in a *bounded* write buffer the reactor flushes as the
+// peer drains. Both buffers are capped: a peer that sends garbage lengths
+// or never reads its responses hits an error / a full write budget instead
+// of growing server memory without bound.
+//
+// Fault injection mirrors net/framing.hpp: queue_frame consults the
+// client-side on_send_frame hook (dial-tracked transports) and the
+// accept-side on_server_send_frame hook (accept-tracked transports); a
+// scripted drop queues only the torn prefix and latches close_after_flush.
+// pump_reads consults on_recv_frame per *delivered* frame, so scripted and
+// probabilistic recv drops hit reactor-served connections the same way they
+// hit blocking read_frame callers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/framing.hpp"
+#include "net/transport.hpp"
+
+namespace joules::net {
+
+class FramedConn {
+ public:
+  struct Limits {
+    std::size_t max_frame_bytes = kMaxFrameBytes;
+    // Total staged outbound bytes; queue_frame refuses beyond this.
+    std::size_t write_buffer_bytes = kMaxFrameBytes + 64 * 1024;
+    // Per-pump inbound budget, so one firehose connection cannot starve the
+    // rest of the reactor's tick.
+    std::size_t pump_budget_bytes = 64 * 1024;
+  };
+
+  enum class Status : std::uint8_t {
+    kOpen,    // more I/O possible
+    kClosed,  // clean EOF at a frame boundary / torn prefix fully flushed
+    kError,   // I/O error, protocol error, or injected drop
+  };
+
+  explicit FramedConn(Transport transport);
+  FramedConn(Transport transport, Limits limits);
+
+  // Drains readable bytes (up to the pump budget), appending each complete
+  // payload to `frames`. Never blocks.
+  [[nodiscard]] Status pump_reads(std::vector<std::vector<std::byte>>& frames);
+
+  // Stages one frame for writing. False when the write budget would be
+  // exceeded — the caller sheds or drops instead of buffering unboundedly.
+  // Throws std::invalid_argument on oversized payloads.
+  [[nodiscard]] bool queue_frame(std::span<const std::byte> payload);
+
+  // Writes staged bytes until the transport would block. kClosed once a
+  // torn-frame prefix has fully flushed (the connection must die now).
+  [[nodiscard]] Status flush_writes();
+
+  [[nodiscard]] bool wants_write() const noexcept {
+    return write_pos_ < outbuf_.size();
+  }
+  [[nodiscard]] std::size_t queued_write_bytes() const noexcept {
+    return outbuf_.size() - write_pos_;
+  }
+  // True while a partial inbound frame sits in the buffer — the hook for
+  // torn-frame deadlines (a peer must finish what it started).
+  [[nodiscard]] bool frame_in_progress() const noexcept {
+    return !inbuf_.empty();
+  }
+  // Latched by an injected torn server/client frame: flush, then close.
+  [[nodiscard]] bool close_after_flush() const noexcept {
+    return close_after_flush_;
+  }
+
+  [[nodiscard]] Transport& transport() noexcept { return transport_; }
+  [[nodiscard]] const Transport& transport() const noexcept {
+    return transport_;
+  }
+
+ private:
+  Transport transport_;
+  Limits limits_;
+  std::vector<std::byte> inbuf_;   // unparsed inbound bytes
+  std::vector<std::byte> outbuf_;  // staged outbound bytes
+  std::size_t write_pos_ = 0;      // flushed prefix of outbuf_
+  bool close_after_flush_ = false;
+};
+
+}  // namespace joules::net

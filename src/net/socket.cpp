@@ -225,7 +225,7 @@ void TcpStream::shutdown_write() noexcept {
   if (fd_.valid()) ::shutdown(fd_.get(), SHUT_WR);
 }
 
-TcpListener::TcpListener(std::uint16_t port) {
+TcpListener::TcpListener(std::uint16_t port, int backlog) {
   fd_.reset(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd_.valid()) throw_errno("socket");
   const int one = 1;
@@ -235,7 +235,10 @@ TcpListener::TcpListener(std::uint16_t port) {
   if (::bind(fd_.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
     throw_errno("bind");
   }
-  if (::listen(fd_.get(), 16) < 0) throw_errno("listen");
+  if (::listen(fd_.get(), backlog) < 0) throw_errno("listen");
+  // Nonblocking so reactor loops can drain the accept queue with
+  // try_accept() until EAGAIN; the timed accept() polls first anyway.
+  set_nonblocking(fd_.get(), true);
 
   socklen_t len = sizeof addr;
   if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
@@ -247,17 +250,49 @@ TcpListener::TcpListener(std::uint16_t port) {
 std::optional<TcpStream> TcpListener::accept(Millis timeout) {
   if (!fd_.valid()) return std::nullopt;
   if (!wait_ready(fd_.get(), POLLIN, Deadline::after(timeout))) return std::nullopt;
+  return try_accept();
+}
+
+std::optional<TcpStream> TcpListener::try_accept() {
+  if (!fd_.valid()) return std::nullopt;
   const int client = ::accept(fd_.get(), nullptr, nullptr);
   if (client < 0) {
     if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
         errno == EBADF || errno == EINVAL) {
-      return std::nullopt;  // racing close() or spurious wakeup
+      return std::nullopt;  // nothing queued, racing close(), or spurious wakeup
     }
     throw_errno("accept");
   }
   const int one = 1;
   ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   return TcpStream(FdOwner(client));
+}
+
+WakeupPipe::WakeupPipe() {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) < 0) throw_errno("pipe");
+  read_end_.reset(fds[0]);
+  write_end_.reset(fds[1]);
+  set_nonblocking(read_end_.get(), true);
+  set_nonblocking(write_end_.get(), true);
+}
+
+void WakeupPipe::notify() noexcept {
+  if (!write_end_.valid()) return;
+  const char byte = 1;
+  // EAGAIN means the pipe already holds a pending wakeup — good enough.
+  [[maybe_unused]] const ssize_t n = ::write(write_end_.get(), &byte, 1);
+}
+
+void WakeupPipe::drain() noexcept {
+  if (!read_end_.valid()) return;
+  char sink[64];
+  while (::read(read_end_.get(), sink, sizeof sink) > 0) {
+  }
+}
+
+int poll_fds(pollfd* fds, unsigned long nfds, int timeout_ms) {
+  return g_poll_fn.load(std::memory_order_relaxed)(fds, nfds, timeout_ms);
 }
 
 }  // namespace joules

@@ -105,6 +105,10 @@ class TcpStream {
   void shutdown_write() noexcept;
   void close() noexcept { fd_.reset(); }
 
+  // Releases ownership of the underlying fd (the stream becomes invalid).
+  // For handing the socket to a net::Transport; discarding the fd leaks it.
+  [[nodiscard]] int release_fd() noexcept { return fd_.release(); }
+
   // Nonzero when the stream is tracked by an installed net::FaultPlan
   // (see net/fault.hpp). Internal plumbing for the fault-injection layer;
   // application code never needs it.
@@ -116,14 +120,23 @@ class TcpStream {
 };
 
 // A listening socket on 127.0.0.1. Pass port 0 for an ephemeral port.
+// `backlog` sizes the kernel accept queue — a fleet of units dialing in a
+// burst needs more than the old hardcoded 16.
 class TcpListener {
  public:
-  explicit TcpListener(std::uint16_t port = 0);
+  explicit TcpListener(std::uint16_t port = 0, int backlog = 256);
 
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
   // Accepts one connection; nullopt on timeout.
   [[nodiscard]] std::optional<TcpStream> accept(Millis timeout = Millis{1000});
+
+  // Nonblocking accept for reactor loops: nullopt when no connection is
+  // queued right now (poll poll_fd() for POLLIN first).
+  [[nodiscard]] std::optional<TcpStream> try_accept();
+
+  // The fd a reactor polls for accept readiness; -1 when closed.
+  [[nodiscard]] int poll_fd() const noexcept { return fd_.get(); }
 
   // Closing while another thread is blocked in accept() is a data race;
   // have the accepting thread exit its poll slice first, then close.
@@ -134,6 +147,29 @@ class TcpListener {
   FdOwner fd_;
   std::uint16_t port_ = 0;
 };
+
+// A self-pipe for waking a poll loop from another thread: stop() and
+// adopt_connection() write a byte, the reactor's poll returns within one
+// slice instead of its full timeout. notify() is cheap and idempotent
+// (the pipe is nonblocking; a full pipe already guarantees a wakeup).
+class WakeupPipe {
+ public:
+  WakeupPipe();
+
+  [[nodiscard]] int poll_fd() const noexcept { return read_end_.get(); }
+  void notify() noexcept;
+  // Consumes pending wakeup bytes; call when poll reports the fd readable.
+  void drain() noexcept;
+
+ private:
+  FdOwner read_end_;
+  FdOwner write_end_;
+};
+
+// Dispatches to poll(2) through the same seam as the socket layer's internal
+// waits (net_testing::set_poll_fn), so reactor loops stay steerable from
+// poll-hook tests. Retries nothing: EINTR surfaces as rc < 0.
+int poll_fds(pollfd* fds, unsigned long nfds, int timeout_ms);
 
 namespace net_testing {
 // Test-only seam: replaces the poll(2) entry point the socket layer uses, so

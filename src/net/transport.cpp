@@ -1,0 +1,277 @@
+#include "net/transport.hpp"
+
+#include <fcntl.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <stdexcept>
+#include <system_error>
+
+#include "net/fault.hpp"
+
+namespace joules::net {
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) throw_errno("fcntl(F_SETFL)");
+}
+
+// --- fd-backed transports (loopback TCP and the AF_UNIX socketpair) -------
+
+struct FdState {
+  FdOwner fd;
+};
+
+TransportIo fd_read(void* state, std::span<std::byte> out) {
+  auto* fd_state = static_cast<FdState*>(state);
+  TransportIo io;
+  if (!fd_state->fd.valid() || out.empty()) return io;
+  while (true) {
+    const ssize_t n = ::recv(fd_state->fd.get(), out.data(), out.size(), 0);
+    if (n > 0) {
+      io.bytes = static_cast<std::size_t>(n);
+      return io;
+    }
+    if (n == 0) {
+      io.eof = true;
+      return io;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      io.would_block = true;
+      return io;
+    }
+    throw_errno("transport recv");
+  }
+}
+
+TransportIo fd_write(void* state, std::span<const std::byte> data) {
+  auto* fd_state = static_cast<FdState*>(state);
+  TransportIo io;
+  if (!fd_state->fd.valid() || data.empty()) return io;
+  while (true) {
+    const ssize_t n =
+        ::send(fd_state->fd.get(), data.data(), data.size(), MSG_NOSIGNAL);
+    if (n >= 0) {
+      io.bytes = static_cast<std::size_t>(n);
+      return io;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      io.would_block = true;
+      return io;
+    }
+    throw_errno("transport send");
+  }
+}
+
+int fd_poll_fd(const void* state) {
+  return static_cast<const FdState*>(state)->fd.get();
+}
+
+void fd_close(void* state) noexcept { static_cast<FdState*>(state)->fd.reset(); }
+
+void fd_destroy(void* state) noexcept { delete static_cast<FdState*>(state); }
+
+constexpr TransportOps kTcpOps{"tcp",     &fd_read,  &fd_write,
+                               &fd_poll_fd, &fd_close, &fd_destroy};
+constexpr TransportOps kPipeOps{"pipe",    &fd_read,  &fd_write,
+                                &fd_poll_fd, &fd_close, &fd_destroy};
+
+// --- recorded-replay transport --------------------------------------------
+
+struct ReplayState {
+  ReplayScript script;
+  std::shared_ptr<ReplayCapture> capture;
+  std::size_t chunk = 0;   // next chunk to deliver
+  std::size_t offset = 0;  // consumed bytes of that chunk
+  bool closed = false;
+};
+
+TransportIo replay_read(void* state, std::span<std::byte> out) {
+  auto* replay = static_cast<ReplayState*>(state);
+  TransportIo io;
+  if (replay->closed) {
+    io.eof = true;
+    return io;
+  }
+  while (replay->chunk < replay->script.chunks.size() &&
+         replay->offset == replay->script.chunks[replay->chunk].size()) {
+    replay->chunk += 1;
+    replay->offset = 0;
+  }
+  if (replay->chunk >= replay->script.chunks.size()) {
+    io.eof = true;  // script exhausted: the recorded peer hung up
+    return io;
+  }
+  const std::vector<std::byte>& chunk = replay->script.chunks[replay->chunk];
+  const std::size_t n = std::min(out.size(), chunk.size() - replay->offset);
+  std::copy_n(chunk.begin() + static_cast<long>(replay->offset), n, out.begin());
+  replay->offset += n;
+  io.bytes = n;
+  return io;
+}
+
+TransportIo replay_write(void* state, std::span<const std::byte> data) {
+  auto* replay = static_cast<ReplayState*>(state);
+  TransportIo io;
+  if (replay->closed) {
+    throw std::system_error(EPIPE, std::generic_category(),
+                            "replay transport closed");
+  }
+  replay->capture->append(data);
+  io.bytes = data.size();
+  return io;
+}
+
+int replay_poll_fd(const void* /*state*/) { return -1; }
+
+void replay_close(void* state) noexcept {
+  auto* replay = static_cast<ReplayState*>(state);
+  if (!replay->closed) {
+    replay->closed = true;
+    replay->capture->mark_closed();
+  }
+}
+
+void replay_destroy(void* state) noexcept {
+  replay_close(state);
+  delete static_cast<ReplayState*>(state);
+}
+
+constexpr TransportOps kReplayOps{"replay",        &replay_read,
+                                  &replay_write,   &replay_poll_fd,
+                                  &replay_close,   &replay_destroy};
+
+}  // namespace
+
+std::vector<std::byte> ReplayCapture::bytes() const {
+  const std::lock_guard lock(mutex_);
+  return bytes_;
+}
+
+bool ReplayCapture::closed() const {
+  const std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+void ReplayCapture::append(std::span<const std::byte> data) {
+  const std::lock_guard lock(mutex_);
+  bytes_.insert(bytes_.end(), data.begin(), data.end());
+}
+
+void ReplayCapture::mark_closed() {
+  const std::lock_guard lock(mutex_);
+  closed_ = true;
+}
+
+Transport::~Transport() {
+  if (ops_ != nullptr) ops_->destroy(state_);
+}
+
+Transport::Transport(Transport&& other) noexcept
+    : ops_(other.ops_),
+      state_(other.state_),
+      dial_token_(other.dial_token_),
+      accept_token_(other.accept_token_) {
+  other.ops_ = nullptr;
+  other.state_ = nullptr;
+}
+
+Transport& Transport::operator=(Transport&& other) noexcept {
+  if (this != &other) {
+    if (ops_ != nullptr) ops_->destroy(state_);
+    ops_ = other.ops_;
+    state_ = other.state_;
+    dial_token_ = other.dial_token_;
+    accept_token_ = other.accept_token_;
+    other.ops_ = nullptr;
+    other.state_ = nullptr;
+  }
+  return *this;
+}
+
+const char* Transport::backend_name() const noexcept {
+  return ops_ != nullptr ? ops_->name : "invalid";
+}
+
+TransportIo Transport::read(std::span<std::byte> out) {
+  if (ops_ == nullptr) throw std::logic_error("Transport::read: invalid");
+  return ops_->read(state_, out);
+}
+
+TransportIo Transport::write(std::span<const std::byte> data) {
+  if (ops_ == nullptr) throw std::logic_error("Transport::write: invalid");
+  std::span<const std::byte> slice = data;
+  if (dial_token_ != 0) {
+    const std::size_t cap = joules::fault_hooks::send_chunk_cap(dial_token_);
+    if (cap != 0 && slice.size() > cap) slice = slice.first(cap);
+  }
+  return ops_->write(state_, slice);
+}
+
+int Transport::poll_fd() const {
+  return ops_ != nullptr ? ops_->poll_fd(state_) : -1;
+}
+
+void Transport::close() noexcept {
+  if (ops_ != nullptr) ops_->close(state_);
+}
+
+Transport Transport::from_stream(TcpStream stream) {
+  if (!stream.valid()) {
+    throw std::invalid_argument("Transport::from_stream: invalid stream");
+  }
+  const std::uint64_t token = stream.fault_token();
+  auto* state = new FdState{FdOwner(stream.release_fd())};
+  set_nonblocking(state->fd.get());
+  Transport transport(&kTcpOps, state);
+  transport.dial_token_ = token;
+  return transport;
+}
+
+std::pair<Transport, Transport> Transport::pipe_pair() {
+  int fds[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) < 0) throw_errno("socketpair");
+  auto* a = new FdState{FdOwner(fds[0])};
+  auto* b = new FdState{FdOwner(fds[1])};
+  set_nonblocking(a->fd.get());
+  set_nonblocking(b->fd.get());
+  return {Transport(&kPipeOps, a), Transport(&kPipeOps, b)};
+}
+
+Transport Transport::replay(ReplayScript script,
+                            std::shared_ptr<ReplayCapture> capture) {
+  if (capture == nullptr) {
+    throw std::invalid_argument("Transport::replay: capture required");
+  }
+  auto* state = new ReplayState{std::move(script), std::move(capture), 0, 0, false};
+  return Transport(&kReplayOps, state);
+}
+
+bool ensure_fd_capacity(std::size_t want) noexcept {
+  rlimit limit{};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return false;
+  if (limit.rlim_cur != RLIM_INFINITY && limit.rlim_cur >= want) return true;
+  if (limit.rlim_cur == RLIM_INFINITY) return true;
+  if (limit.rlim_max != RLIM_INFINITY &&
+      limit.rlim_max < static_cast<rlim_t>(want)) {
+    return false;
+  }
+  limit.rlim_cur = static_cast<rlim_t>(want);
+  if (limit.rlim_max != RLIM_INFINITY && limit.rlim_cur > limit.rlim_max) {
+    limit.rlim_cur = limit.rlim_max;
+  }
+  return ::setrlimit(RLIMIT_NOFILE, &limit) == 0;
+}
+
+}  // namespace joules::net

@@ -1,0 +1,137 @@
+// Abstract byte transports behind a C-style ops vtable (net::TransportOps).
+//
+// The autopower reactor talks to connections through this seam instead of
+// calling TcpStream directly — the same shape as libgphoto2's port
+// operations table: one protocol implementation, interchangeable backends.
+// Three backends ship:
+//   - loopback TCP  (from_stream): a connected socket, switched nonblocking;
+//   - in-process pipe (pipe_pair): an AF_UNIX socketpair, both ends wrapped,
+//     so protocol tests need no listener, no ports, no dial race;
+//   - recorded replay (replay): reads come from a scripted byte sequence,
+//     writes land in a shared capture — deterministic protocol traces with
+//     no kernel I/O at all (poll_fd() is -1: always ready).
+//
+// All backends are nonblocking: read/write never park the caller. A reactor
+// multiplexes many transports off one poll() loop via poll_fd(); a backend
+// without a pollable fd reports -1 and the reactor treats it as always
+// ready.
+//
+// Fault injection: a transport carries up to two net::FaultPlan tokens. The
+// dial token (inherited from TcpStream::fault_token) applies the plan's
+// client-side faults (send-chunk caps; the frame layer in framed_conn.hpp
+// consults the frame hooks). The accept token is issued by
+// fault_hooks::on_accept for server-side accepted connections so the plan
+// can tear server frames and stall server reads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace joules::net {
+
+// Result of one nonblocking read/write. At most one of `would_block` and
+// `eof` is set; `bytes` may be nonzero alongside neither (short transfer).
+struct TransportIo {
+  std::size_t bytes = 0;
+  bool would_block = false;
+  bool eof = false;  // read side: peer finished cleanly
+};
+
+// The backend vtable. `state` is the backend's opaque handle; `destroy`
+// frees it (after an implicit close). Hard I/O errors throw
+// std::system_error out of read/write — the reactor treats that as a dead
+// connection.
+struct TransportOps {
+  const char* name;
+  TransportIo (*read)(void* state, std::span<std::byte> out);
+  TransportIo (*write)(void* state, std::span<const std::byte> data);
+  int (*poll_fd)(const void* state);  // -1 = no fd; always ready
+  void (*close)(void* state) noexcept;
+  void (*destroy)(void* state) noexcept;
+};
+
+// What a replay transport feeds the reader: byte chunks delivered in order
+// (each read drains at most one chunk boundary's worth), then EOF.
+struct ReplayScript {
+  std::vector<std::vector<std::byte>> chunks;
+};
+
+// Where a replay transport's writes land. Shared (mutex-guarded) so the test
+// thread can inspect while the reactor writes.
+class ReplayCapture {
+ public:
+  [[nodiscard]] std::vector<std::byte> bytes() const;
+  [[nodiscard]] bool closed() const;
+
+  void append(std::span<const std::byte> data);
+  void mark_closed();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::byte> bytes_;
+  bool closed_ = false;
+};
+
+// Move-only owner of (ops, state). Default-constructed transports are
+// invalid; I/O on them is a programming error.
+class Transport {
+ public:
+  Transport() = default;
+  Transport(const TransportOps* ops, void* state) noexcept
+      : ops_(ops), state_(state) {}
+  ~Transport();
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+  Transport(Transport&& other) noexcept;
+  Transport& operator=(Transport&& other) noexcept;
+
+  [[nodiscard]] bool valid() const noexcept { return ops_ != nullptr; }
+  [[nodiscard]] const char* backend_name() const noexcept;
+
+  // Nonblocking. Applies the plan's send-chunk cap for dial-tracked
+  // transports before handing the slice to the backend.
+  [[nodiscard]] TransportIo read(std::span<std::byte> out);
+  [[nodiscard]] TransportIo write(std::span<const std::byte> data);
+
+  [[nodiscard]] int poll_fd() const;
+  void close() noexcept;
+
+  // Fault-plan plumbing (see net/fault.hpp); 0 = untracked.
+  [[nodiscard]] std::uint64_t dial_token() const noexcept { return dial_token_; }
+  [[nodiscard]] std::uint64_t accept_token() const noexcept {
+    return accept_token_;
+  }
+  void set_accept_token(std::uint64_t token) noexcept { accept_token_ = token; }
+
+  // Wraps a connected TCP stream (switched to nonblocking); inherits the
+  // stream's fault token as the dial token.
+  [[nodiscard]] static Transport from_stream(TcpStream stream);
+
+  // A connected in-process pair: what one end writes the other reads.
+  [[nodiscard]] static std::pair<Transport, Transport> pipe_pair();
+
+  // A transport whose reads replay `script` and whose writes append to
+  // `capture` (required — a replay without a capture records nothing).
+  [[nodiscard]] static Transport replay(ReplayScript script,
+                                        std::shared_ptr<ReplayCapture> capture);
+
+ private:
+  const TransportOps* ops_ = nullptr;
+  void* state_ = nullptr;
+  std::uint64_t dial_token_ = 0;
+  std::uint64_t accept_token_ = 0;
+};
+
+// Raises RLIMIT_NOFILE's soft limit toward the hard limit until at least
+// `want` descriptors fit (no-op when they already do). Returns false when
+// the hard limit is below `want` — fleet tests scale down or skip then.
+[[nodiscard]] bool ensure_fd_capacity(std::size_t want) noexcept;
+
+}  // namespace joules::net

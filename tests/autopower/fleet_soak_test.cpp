@@ -1,0 +1,183 @@
+// Fleet soak: hundreds-to-thousands of faulty units against one reactor.
+//
+// The scenarios are built so the headline server counters are
+// interleaving-invariant — exact across reruns at a fixed seed:
+//   - silent units never Hello, so the admission ceiling maths ignores
+//     them: shed = (helloing units) - ceiling, exactly, because finished
+//     units hold their slot (hold_open) until every Hello is answered;
+//   - silent units are evicted by the handshake deadline: evicted is
+//     exactly the silent count;
+//   - accept-drop faults hit pre-Hello, so each costs exactly one redial
+//     and nothing else: accepted = units + dropped accepts;
+//   - duplicate floods are idempotent: batches_ingested = normal uploads
+//     + flood sizes, accepted batches count each sequence once.
+//
+// The smoke scenario (256 units) runs everywhere including sanitizer jobs
+// (ctest -L fleet); the full 5000-unit soak carries its own label
+// (fleet_soak) and a long timeout.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "autopower/fleet.hpp"
+#include "autopower/server.hpp"
+#include "net/fault.hpp"
+
+namespace joules::autopower {
+namespace {
+
+struct Scenario {
+  std::size_t units = 0;
+  std::size_t ceiling = 0;
+  std::size_t silent = 0;
+  std::size_t slow = 0;
+  std::size_t duplicates = 0;
+  std::size_t uploads_per_unit = 1;
+  std::uint64_t drop_accept_first = 0;
+  std::uint64_t drop_accepts = 0;
+  std::uint64_t stall_first = 0;
+  std::uint64_t stalls = 0;
+};
+
+struct SoakResult {
+  FleetReport fleet;
+  Server::ConnectionStats stats;
+  std::size_t units_known = 0;
+  std::string digest;  // canonical text of everything that must be exact
+  bool acks_lost = false;
+};
+
+// Runs one fleet scenario against a fresh server and collapses everything
+// deterministic into a digest string (compared across reruns).
+SoakResult run_scenario(const Scenario& s) {
+  FaultPlan plan;
+  if (s.drop_accepts > 0) plan.drop_accepts(s.drop_accept_first, s.drop_accepts);
+  for (std::uint64_t i = 0; i < s.stalls; ++i) {
+    plan.stall_accept_reads(s.stall_first + i, Millis{50});
+  }
+  ScopedFaultPlan scoped(plan);
+
+  ServerConfig config;
+  config.max_connections = s.ceiling;
+  config.handshake_timeout = Millis{500};   // silent units leave quickly
+  config.idle_timeout = Millis{60000};      // held conns are idle, not dead
+  config.write_high_water = 2048;           // slow readers trip backpressure
+  config.write_low_water = 512;
+  config.socket_send_buffer = 2048;
+  config.listen_backlog = 1024;
+  Server server(config);
+
+  FleetConfig fleet;
+  fleet.server_port = server.port();
+  fleet.units = s.units;
+  fleet.uploads_per_unit = s.uploads_per_unit;
+  fleet.slow_reader_units = s.slow;
+  fleet.silent_units = s.silent;
+  fleet.duplicate_uploads = s.duplicates;
+  fleet.hold_open = true;
+  fleet.overall_timeout = Millis{120000};
+
+  SoakResult result;
+  result.fleet = run_fleet(fleet);
+  server.stop();
+  result.stats = server.connection_stats();
+  result.units_known = server.known_units().size();
+
+  // Zero lost acknowledged batches: every ack the fleet counted must be a
+  // batch the server durably accepted — per unit, exactly.
+  for (const auto& [unit_id, acked] : result.fleet.acked_per_unit) {
+    if (server.accepted_batches(unit_id) != acked) result.acks_lost = true;
+  }
+  // The digest holds only interleaving-invariant quantities (which specific
+  // units get shed may differ run to run; how many never does).
+  std::ostringstream digest;
+  digest << "shed=" << result.stats.shed << " evicted=" << result.stats.evicted
+         << " accepted=" << result.stats.accepted
+         << " ingested=" << result.stats.batches_ingested
+         << " samples_evicted=" << result.stats.samples_evicted
+         << " units=" << result.units_known
+         << " acked=" << result.fleet.acked_batches;
+  result.digest = std::move(digest).str();
+  return result;
+}
+
+void check_invariants(const Scenario& s, const SoakResult& r) {
+  EXPECT_FALSE(r.fleet.timed_out);
+  EXPECT_EQ(r.fleet.failed, 0u);
+  EXPECT_FALSE(r.acks_lost) << "an acknowledged batch was lost";
+
+  const std::size_t helloing = s.units - s.silent;
+  const std::size_t shed = helloing > s.ceiling ? helloing - s.ceiling : 0;
+  EXPECT_EQ(r.fleet.shed, shed);
+  EXPECT_EQ(r.stats.shed, shed);
+  EXPECT_EQ(r.fleet.hints, shed);  // every shed ack carried a retry hint
+  EXPECT_EQ(r.stats.evicted, s.silent);
+  EXPECT_EQ(r.fleet.evicted, s.silent);
+  EXPECT_EQ(r.fleet.completed, helloing - shed);
+  // Every accept-drop fault costs exactly one redial.
+  EXPECT_EQ(r.fleet.redials, s.drop_accepts);
+  EXPECT_EQ(r.stats.accepted, s.units + s.drop_accepts);
+  // Normal units upload uploads_per_unit batches; slow readers flood
+  // duplicates of one batch. Shed units never upload.
+  const std::size_t normal_done = helloing - shed - s.slow;
+  EXPECT_EQ(r.stats.batches_ingested,
+            normal_done * s.uploads_per_unit + s.slow * s.duplicates);
+  if (s.slow > 0) {
+    EXPECT_GE(r.stats.backpressure_stalls, s.slow);
+  }
+  EXPECT_EQ(r.fleet.acked_batches,
+            normal_done * s.uploads_per_unit + s.slow);
+}
+
+Scenario smoke_scenario() {
+  Scenario s;
+  s.units = 256;
+  s.ceiling = 200;
+  s.silent = 8;
+  s.slow = 4;
+  s.duplicates = 800;
+  s.uploads_per_unit = 2;
+  s.drop_accept_first = 20;  // hits normal units mid-dial, pre-Hello
+  s.drop_accepts = 4;
+  s.stall_first = 40;
+  s.stalls = 3;
+  return s;
+}
+
+TEST(FleetSmoke, FaultyFleetCompletesWithExactCounters) {
+  const Scenario s = smoke_scenario();
+  const SoakResult r = run_scenario(s);
+  check_invariants(s, r);
+}
+
+TEST(FleetSmoke, CountersAreDeterministicAcrossReruns) {
+  const Scenario s = smoke_scenario();
+  const SoakResult first = run_scenario(s);
+  const SoakResult second = run_scenario(s);
+  check_invariants(s, first);
+  check_invariants(s, second);
+  EXPECT_EQ(first.digest, second.digest);
+}
+
+TEST(FleetSoak, FiveThousandFaultyUnits) {
+  Scenario s;
+  s.units = 5000;
+  s.ceiling = 4500;
+  s.silent = 32;
+  s.slow = 8;
+  s.duplicates = 1000;
+  s.uploads_per_unit = 1;
+  s.drop_accept_first = 100;
+  s.drop_accepts = 16;
+  s.stall_first = 200;
+  s.stalls = 8;
+  const SoakResult r = run_scenario(s);
+  check_invariants(s, r);
+  // The acceptance bar, spelled out: 5000 concurrent units with fault plans
+  // active, zero lost acknowledged batches, shed > 0 under the ceiling.
+  EXPECT_GT(r.stats.shed, 0u);
+  EXPECT_FALSE(r.acks_lost);
+}
+
+}  // namespace
+}  // namespace joules::autopower

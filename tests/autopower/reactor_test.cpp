@@ -1,0 +1,304 @@
+// The reactor server's robustness layer: stale-connection reaping, bounded
+// stop() latency, retention caps, seen-sequence windows, backpressure,
+// overload shedding with retry-after hints, and deadline eviction.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+#include "autopower/client.hpp"
+#include "autopower/fleet.hpp"
+#include "autopower/protocol.hpp"
+#include "autopower/server.hpp"
+#include "meter/power_meter.hpp"
+#include "net/framing.hpp"
+
+namespace joules::autopower {
+namespace {
+
+constexpr SimTime kStart = 1725753600;
+
+bool eventually(const std::function<bool()>& predicate) {
+  for (int i = 0; i < 400; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(Millis{10});
+  }
+  return predicate();
+}
+
+// Completes a Hello handshake on a raw stream.
+void say_hello(TcpStream& stream, const std::string& unit_id) {
+  Hello hello;
+  hello.unit_id = unit_id;
+  write_frame(stream, encode(Message{hello}));
+  const auto reply = read_frame(stream, Millis{2000});
+  ASSERT_TRUE(reply.has_value());
+  const Message message = decode(*reply);
+  const auto* ack = std::get_if<HelloAck>(&message);
+  ASSERT_NE(ack, nullptr);
+  ASSERT_TRUE(ack->accepted);
+}
+
+void upload_batch(TcpStream& stream, const std::string& unit_id,
+                  std::uint64_t sequence, std::vector<Sample> samples) {
+  DataUpload upload;
+  upload.unit_id = unit_id;
+  upload.channel = 0;
+  upload.sequence = sequence;
+  upload.samples = std::move(samples);
+  write_frame(stream, encode(Message{upload}));
+  const auto reply = read_frame(stream, Millis{2000});
+  ASSERT_TRUE(reply.has_value());
+  const Message message = decode(*reply);
+  const auto* ack = std::get_if<UploadAck>(&message);
+  ASSERT_NE(ack, nullptr);
+  ASSERT_EQ(ack->sequence, sequence);
+}
+
+// Satellite 1: a closed connection leaves the reactor's set on the next poll
+// tick — no waiting for a later accept to trigger collection (the old
+// thread-per-connection server only reaped when a new connection arrived).
+TEST(Reactor, ClosedConnectionIsReapedWithoutNewTraffic) {
+  Server server;
+  {
+    TcpStream raw = TcpStream::connect_loopback(server.port());
+    say_hello(raw, "fleeting");
+  }  // closed here
+  // No further connections: the reap must happen on its own.
+  EXPECT_TRUE(eventually([&] {
+    const auto stats = server.connection_stats();
+    return stats.reaped >= 1 && stats.active == 0;
+  }));
+  server.stop();
+}
+
+// Satellite 2: stop() returns within a bounded time even while a peer is
+// mid-frame — the wakeup pipe breaks the poll, the reactor never sits in a
+// blocking read. The old server's worker could hold stop() for the full
+// 60-second frame timeout.
+TEST(Reactor, StopIsBoundedWithPartialFrameOutstanding) {
+  Server server;
+  TcpStream raw = TcpStream::connect_loopback(server.port());
+  say_hello(raw, "torn-unit");
+  // Two bytes of a length prefix and then silence: the connection is
+  // mid-frame from the server's point of view.
+  const std::byte partial[2] = {std::byte{0}, std::byte{0}};
+  raw.send_all(partial);
+  std::this_thread::sleep_for(Millis{50});
+
+  // joules-lint: allow(wall-clock) — this test measures real stop() latency
+  const auto before = std::chrono::steady_clock::now();
+  server.stop();
+  const auto elapsed = std::chrono::duration_cast<Millis>(
+      // joules-lint: allow(wall-clock) — end of the real-latency measurement
+      std::chrono::steady_clock::now() - before);
+  EXPECT_LT(elapsed.count(), 2000) << "stop() must not wait on a torn peer";
+}
+
+// Satellite 3a: per-channel retention cap — oldest samples are trimmed, the
+// eviction counter says how many, and the newest survive.
+TEST(Reactor, RetentionCapEvictsOldestSamples) {
+  ServerConfig config;
+  config.max_samples_per_channel = 8;
+  Server server(config);
+  TcpStream raw = TcpStream::connect_loopback(server.port());
+  say_hello(raw, "capped");
+  for (std::uint64_t seq = 0; seq < 3; ++seq) {
+    std::vector<Sample> samples;
+    for (int i = 0; i < 4; ++i) {
+      samples.push_back(Sample{kStart + static_cast<SimTime>(seq * 4 + i),
+                               static_cast<double>(seq * 4 + i)});
+    }
+    upload_batch(raw, "capped", seq, std::move(samples));
+  }
+  const TimeSeries series = server.measurements("capped", 0);
+  EXPECT_EQ(series.size(), 8u);  // 12 uploaded, 4 trimmed
+  EXPECT_EQ(series.front().time, kStart + 4);  // oldest four gone
+  EXPECT_EQ(series.back().time, kStart + 11);
+  EXPECT_EQ(server.connection_stats().samples_evicted, 4u);
+  EXPECT_EQ(server.accepted_batches("capped"), 3u);
+  server.stop();
+}
+
+// Satellite 3b: the seen-sequence window compacts to a watermark and still
+// deduplicates re-sends of long-gone sequences.
+TEST(Reactor, SeenSequenceWindowStillDedupsBelowWatermark) {
+  ServerConfig config;
+  config.seen_sequence_window = 4;
+  Server server(config);
+  TcpStream raw = TcpStream::connect_loopback(server.port());
+  say_hello(raw, "windowed");
+  for (std::uint64_t seq = 0; seq < 10; ++seq) {
+    upload_batch(raw, "windowed", seq,
+                 {Sample{kStart + static_cast<SimTime>(seq), 1.0}});
+  }
+  EXPECT_EQ(server.accepted_batches("windowed"), 10u);
+  // Sequence 2 fell out of the window long ago; the watermark still knows
+  // it was accepted. Re-sending it is acked but not double-stored.
+  upload_batch(raw, "windowed", 2, {Sample{kStart + 2, 999.0}});
+  EXPECT_EQ(server.accepted_batches("windowed"), 10u);
+  EXPECT_EQ(server.measurements("windowed", 0).size(), 10u);
+  EXPECT_DOUBLE_EQ(server.measurements("windowed", 0).value_at(kStart + 2).value_or(-1.0),
+                   1.0);
+  const auto stats = server.connection_stats();
+  EXPECT_EQ(stats.batches_ingested, 11u);  // duplicates are still ingested
+  server.stop();
+}
+
+// Tentpole: a peer that floods requests without reading responses trips the
+// write high-water mark; the server pauses reading it (backpressure) instead
+// of buffering without bound, then finishes the conversation once the peer
+// drains. The slow-reader fleet persona drives exactly this.
+TEST(Reactor, SlowReaderTripsBackpressureAndStillCompletes) {
+  ServerConfig config;
+  config.write_high_water = 1024;
+  config.write_low_water = 256;
+  config.socket_send_buffer = 2048;  // keep the kernel from masking the test
+  Server server(config);
+
+  FleetConfig fleet;
+  fleet.server_port = server.port();
+  fleet.units = 1;
+  fleet.slow_reader_units = 1;
+  fleet.duplicate_uploads = 2000;  // ~26 KB of acks >> high water + sndbuf
+  const FleetReport report = run_fleet(fleet);
+
+  EXPECT_FALSE(report.timed_out);
+  EXPECT_EQ(report.completed, 1u);
+  EXPECT_EQ(report.failed, 0u);
+  const auto stats = server.connection_stats();
+  EXPECT_GE(stats.backpressure_stalls, 1u);
+  EXPECT_EQ(stats.batches_ingested, 2000u);     // every duplicate ingested
+  EXPECT_EQ(server.accepted_batches(fleet_unit_id(0)), 1u);  // stored once
+  server.stop();
+}
+
+// Tentpole: past the connection ceiling, Hellos are answered
+// HelloAck{accepted=false} with a seeded retry-after hint — shed, not
+// dropped, and the hint lands in the documented range.
+TEST(Reactor, OverloadShedsWithRetryAfterHint) {
+  ServerConfig config;
+  config.max_connections = 2;
+  config.shed_retry_after_base = Millis{250};
+  config.shed_retry_after_spread = Millis{250};
+  Server server(config);
+
+  FleetConfig fleet;
+  fleet.server_port = server.port();
+  fleet.units = 4;
+  fleet.hold_open = true;  // winners hold their slot until all Hellos resolve
+  const FleetReport report = run_fleet(fleet);
+
+  EXPECT_FALSE(report.timed_out);
+  EXPECT_EQ(report.shed, 2u);
+  EXPECT_EQ(report.hints, 2u);  // every shed ack carried a hint
+  EXPECT_EQ(report.completed, 2u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(server.connection_stats().shed, 2u);
+  server.stop();
+}
+
+// The real client honours the hint: a shed unit's next backoff sleep is
+// floored at the server's retry-after, even when its own schedule says less.
+TEST(Reactor, ClientBackoffHonoursRetryAfterHint) {
+  ServerConfig config;
+  config.max_connections = 0;  // shed everything: ceiling of zero
+  config.shed_retry_after_base = Millis{40};
+  config.shed_retry_after_spread = Millis{0};  // exact hint for the assert
+  Server server(config);
+
+  Client::Options options;
+  options.unit_id = "shed-unit";
+  options.server_port = server.port();
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff = Millis{2};  // schedule alone would sleep 2ms
+  options.retry.jitter = 0.0;
+  Client client(options, PowerMeter(PowerMeterSpec{}, 1),
+                [](int, SimTime) { return 0.0; });
+  EXPECT_FALSE(client.sync());
+  EXPECT_EQ(client.last_retry_after_hint(), Millis{40});
+  ASSERT_EQ(client.last_backoff_delays().size(), 1u);
+  EXPECT_EQ(client.last_backoff_delays()[0], Millis{40});  // hint floored it
+  server.stop();
+}
+
+// Tentpole: deadline eviction. A connection that never completes its
+// handshake is closed at handshake_timeout; an authenticated one that goes
+// quiet is closed at idle_timeout; a torn frame is closed at frame_timeout.
+TEST(Reactor, DeadlinesEvictSilentAndTornConnections) {
+  ServerConfig config;
+  config.handshake_timeout = Millis{100};
+  config.idle_timeout = Millis{200};
+  config.frame_timeout = Millis{100};
+  Server server(config);
+
+  TcpStream never_hello = TcpStream::connect_loopback(server.port());
+  TcpStream goes_quiet = TcpStream::connect_loopback(server.port());
+  say_hello(goes_quiet, "quiet");
+  TcpStream torn = TcpStream::connect_loopback(server.port());
+  say_hello(torn, "torn");
+  const std::byte partial[3] = {std::byte{0}, std::byte{0}, std::byte{0}};
+  torn.send_all(partial);  // starts a frame, never finishes it
+
+  EXPECT_TRUE(eventually([&] {
+    return server.connection_stats().evicted >= 3;
+  }));
+  const auto stats = server.connection_stats();
+  EXPECT_EQ(stats.evicted, 3u);
+  EXPECT_EQ(stats.active, 0u);
+  // The evicted peers see EOF, not a hang.
+  std::byte sink[1];
+  EXPECT_FALSE(never_hello.recv_exact(sink, Millis{500}));
+  server.stop();
+}
+
+// Counter names in the manifest stay stable and include the new robustness
+// counters alongside the originals.
+TEST(Reactor, ManifestCarriesRobustnessCounters) {
+  Server server;
+  const auto path =
+      std::filesystem::temp_directory_path() / "joules_reactor_manifest.json";
+  server.write_manifest(path);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string manifest = buffer.str();
+  for (const char* name :
+       {"server.connections_accepted", "server.connections_rejected",
+        "server.connections_dropped", "server.threads_reaped",
+        "server.connections_active", "server.connections_shed",
+        "server.connections_evicted", "server.backpressure_stalls",
+        "server.batches_ingested", "server.ingest_flushes",
+        "server.samples_evicted", "server.units_known",
+        "server.batches_accepted", "server.samples_stored"}) {
+    EXPECT_NE(manifest.find(name), std::string::npos) << name;
+  }
+  std::filesystem::remove(path);
+  server.stop();
+}
+
+// Batched ingest amortizes the units_ lock: many uploads arriving together
+// take fewer lock acquisitions than uploads. (A single blocking client
+// round-trips, so this needs the fleet's pipelined flood.)
+TEST(Reactor, BatchedIngestTakesFewerLocksThanUploads) {
+  Server server;
+  FleetConfig fleet;
+  fleet.server_port = server.port();
+  fleet.units = 1;
+  fleet.slow_reader_units = 1;
+  fleet.duplicate_uploads = 500;
+  const FleetReport report = run_fleet(fleet);
+  EXPECT_EQ(report.failed, 0u);
+  const auto stats = server.connection_stats();
+  EXPECT_EQ(stats.batches_ingested, 500u);
+  EXPECT_GE(stats.ingest_flushes, 1u);
+  EXPECT_LT(stats.ingest_flushes, stats.batches_ingested)
+      << "pipelined uploads should share lock takes";
+  server.stop();
+}
+
+}  // namespace
+}  // namespace joules::autopower

@@ -1,0 +1,262 @@
+// Transport ops-table conformance: every backend (loopback TCP, in-process
+// pipe, recorded replay) must present identical read/write/EOF/would-block
+// semantics to FramedConn and the reactor — and the FaultPlan hooks must
+// fire the same way regardless of which backend carries the bytes. The
+// strongest check adopts each backend into a live autopower::Server and
+// drives the same handshake through it.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "autopower/protocol.hpp"
+#include "autopower/server.hpp"
+#include "net/fault.hpp"
+#include "net/framed_conn.hpp"
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+
+namespace joules::net {
+namespace {
+
+using autopower::decode;
+using autopower::encode;
+using autopower::Hello;
+using autopower::HelloAck;
+using autopower::Message;
+
+std::vector<std::byte> framed(const std::vector<std::byte>& payload) {
+  std::vector<std::byte> out;
+  const auto size = static_cast<std::uint32_t>(payload.size());
+  for (int i = 3; i >= 0; --i) {
+    out.push_back(static_cast<std::byte>((size >> (8 * i)) & 0xff));
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+bool eventually(const std::function<bool()>& predicate) {
+  for (int i = 0; i < 400; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(Millis{10});
+  }
+  return predicate();
+}
+
+// A connected transport pair for the TCP backend.
+std::pair<Transport, Transport> tcp_pair() {
+  TcpListener listener;
+  TcpStream dialer = TcpStream::connect_loopback(listener.port());
+  auto accepted = listener.accept(Millis{2000});
+  EXPECT_TRUE(accepted.has_value());
+  return {Transport::from_stream(std::move(dialer)),
+          Transport::from_stream(std::move(*accepted))};
+}
+
+struct BackendPair {
+  const char* name;
+  Transport a;
+  Transport b;
+};
+
+std::vector<BackendPair> stream_backends() {
+  std::vector<BackendPair> backends;
+  {
+    auto [a, b] = tcp_pair();
+    backends.push_back(BackendPair{"tcp", std::move(a), std::move(b)});
+  }
+  {
+    auto [a, b] = Transport::pipe_pair();
+    backends.push_back(BackendPair{"pipe", std::move(a), std::move(b)});
+  }
+  return backends;
+}
+
+TEST(TransportConformance, RoundTripAndWouldBlockAcrossStreamBackends) {
+  for (BackendPair& pair : stream_backends()) {
+    SCOPED_TRACE(pair.name);
+    // Nothing written yet: read must report would_block, never block.
+    std::byte buffer[64];
+    TransportIo io = pair.b.read(buffer);
+    EXPECT_TRUE(io.would_block);
+    EXPECT_EQ(io.bytes, 0u);
+    EXPECT_FALSE(io.eof);
+
+    const char message[] = "joules";
+    io = pair.a.write(std::as_bytes(std::span(message, sizeof message)));
+    EXPECT_EQ(io.bytes, sizeof message);
+
+    EXPECT_TRUE(eventually([&] {
+      const TransportIo got = pair.b.read(buffer);
+      return got.bytes == sizeof message &&
+             std::memcmp(buffer, message, sizeof message) == 0;
+    }));
+
+    // Peer close surfaces as EOF, not an error.
+    pair.a.close();
+    EXPECT_TRUE(eventually([&] { return pair.b.read(buffer).eof; }));
+  }
+}
+
+TEST(TransportConformance, PollFdContractPerBackend) {
+  for (BackendPair& pair : stream_backends()) {
+    SCOPED_TRACE(pair.name);
+    EXPECT_GE(pair.a.poll_fd(), 0);
+    EXPECT_GE(pair.b.poll_fd(), 0);
+  }
+  Transport replay =
+      Transport::replay(ReplayScript{}, std::make_shared<ReplayCapture>());
+  EXPECT_EQ(replay.poll_fd(), -1);  // always-ready backend
+}
+
+TEST(TransportConformance, ReplayBackendPlaysScriptThenEof) {
+  ReplayScript script;
+  script.chunks.push_back({std::byte{1}, std::byte{2}});
+  script.chunks.push_back({std::byte{3}});
+  auto capture = std::make_shared<ReplayCapture>();
+  Transport transport = Transport::replay(script, capture);
+  EXPECT_EQ(std::string(transport.backend_name()), "replay");
+
+  std::byte buffer[8];
+  TransportIo io = transport.read(buffer);
+  EXPECT_EQ(io.bytes, 2u);
+  io = transport.read(buffer);
+  EXPECT_EQ(io.bytes, 1u);
+  EXPECT_EQ(buffer[0], std::byte{3});
+  io = transport.read(buffer);
+  EXPECT_TRUE(io.eof);  // script exhausted
+
+  const char reply[] = "ok";
+  io = transport.write(std::as_bytes(std::span(reply, 2)));
+  EXPECT_EQ(io.bytes, 2u);
+  EXPECT_EQ(capture->bytes().size(), 2u);
+
+  transport.close();
+  EXPECT_TRUE(capture->closed());
+  EXPECT_THROW((void)transport.write(std::as_bytes(std::span(reply, 2))),
+               std::system_error);
+}
+
+// The same handshake served identically over every backend: each transport
+// is adopted by a live server, says Hello, and gets back an accepted ack.
+TEST(TransportConformance, ServerServesHandshakeOverEveryBackend) {
+  autopower::Server server;
+
+  // TCP: the normal dial path.
+  {
+    TcpStream raw = TcpStream::connect_loopback(server.port());
+    Transport client = Transport::from_stream(std::move(raw));
+    FramedConn conn(std::move(client));
+    Hello hello;
+    hello.unit_id = "tcp-unit";
+    ASSERT_TRUE(conn.queue_frame(encode(Message{hello})));
+    while (conn.wants_write()) ASSERT_EQ(conn.flush_writes(), FramedConn::Status::kOpen);
+    std::vector<std::vector<std::byte>> frames;
+    ASSERT_TRUE(eventually([&] {
+      return conn.pump_reads(frames) != FramedConn::Status::kOpen || !frames.empty();
+    }));
+    ASSERT_EQ(frames.size(), 1u);
+    const Message message = decode(frames[0]);
+    const auto* ack = std::get_if<HelloAck>(&message);
+    ASSERT_NE(ack, nullptr);
+    EXPECT_TRUE(ack->accepted);
+  }
+
+  // Pipe: adopted via adopt_connection.
+  {
+    auto [client_side, server_side] = Transport::pipe_pair();
+    server.adopt_connection(std::move(server_side));
+    FramedConn conn(std::move(client_side));
+    Hello hello;
+    hello.unit_id = "pipe-unit";
+    ASSERT_TRUE(conn.queue_frame(encode(Message{hello})));
+    while (conn.wants_write()) ASSERT_EQ(conn.flush_writes(), FramedConn::Status::kOpen);
+    std::vector<std::vector<std::byte>> frames;
+    ASSERT_TRUE(eventually([&] {
+      (void)conn.pump_reads(frames);
+      return !frames.empty();
+    }));
+    const Message message = decode(frames[0]);
+    const auto* ack = std::get_if<HelloAck>(&message);
+    ASSERT_NE(ack, nullptr);
+    EXPECT_TRUE(ack->accepted);
+  }
+
+  // Replay: a recorded Hello plays into the server; the ack lands in the
+  // capture. The reactor treats script exhaustion as a clean disconnect.
+  {
+    Hello hello;
+    hello.unit_id = "replay-unit";
+    ReplayScript script;
+    script.chunks.push_back(framed(encode(Message{hello})));
+    auto capture = std::make_shared<ReplayCapture>();
+    server.adopt_connection(Transport::replay(script, capture));
+    ASSERT_TRUE(eventually([&] { return capture->bytes().size() > 4; }));
+    const std::vector<std::byte> bytes = capture->bytes();
+    const Message message =
+        decode(std::span(bytes).subspan(4));  // strip the length prefix
+    const auto* ack = std::get_if<HelloAck>(&message);
+    ASSERT_NE(ack, nullptr);
+    EXPECT_TRUE(ack->accepted);
+  }
+
+  EXPECT_TRUE(eventually([&] { return server.known_units().size() == 3; }));
+  server.stop();
+}
+
+// Accept-side fault plans fire identically for accepted sockets and adopted
+// transports: a torn server frame reaches the client as a prefix + EOF on
+// both the TCP and pipe backends.
+TEST(TransportConformance, TornServerFrameAcrossBackends) {
+  for (int backend = 0; backend < 2; ++backend) {
+    SCOPED_TRACE(backend == 0 ? "tcp" : "pipe");
+    ScopedFaultPlan plan(
+        FaultPlan().tear_server_send_frame(0, 2));  // 2 bytes, then close
+    autopower::Server server;
+    FramedConn conn = [&] {
+      if (backend == 0) {
+        TcpStream raw = TcpStream::connect_loopback(server.port());
+        return FramedConn(Transport::from_stream(std::move(raw)));
+      }
+      auto [client_side, server_side] = Transport::pipe_pair();
+      server.adopt_connection(std::move(server_side));
+      return FramedConn(std::move(client_side));
+    }();
+    Hello hello;
+    hello.unit_id = "torn";
+    ASSERT_TRUE(conn.queue_frame(encode(Message{hello})));
+    while (conn.wants_write()) ASSERT_EQ(conn.flush_writes(), FramedConn::Status::kOpen);
+    // The ack is torn after 2 bytes: the client sees a partial frame and
+    // then EOF — an error, never a parsed frame.
+    std::vector<std::vector<std::byte>> frames;
+    FramedConn::Status status = FramedConn::Status::kOpen;
+    ASSERT_TRUE(eventually([&] {
+      status = conn.pump_reads(frames);
+      return status != FramedConn::Status::kOpen;
+    }));
+    EXPECT_EQ(status, FramedConn::Status::kError);
+    EXPECT_TRUE(frames.empty());
+    EXPECT_EQ(plan.stats().server_frames_torn, 1u);
+    server.stop();
+  }
+}
+
+// Client-side send-chunk caps apply to the dialing transport's writes, so a
+// fault plan forces the multi-chunk partial-write path through Transport
+// just as it does through the blocking socket layer.
+TEST(TransportConformance, SendChunkCapAppliesToDialedTransport) {
+  ScopedFaultPlan plan(FaultPlan().cap_send_chunk(3));
+  TcpListener listener;
+  TcpStream dialer = TcpStream::connect_loopback(listener.port());
+  auto accepted = listener.accept(Millis{2000});
+  ASSERT_TRUE(accepted.has_value());
+  Transport client = Transport::from_stream(std::move(dialer));
+
+  const char message[] = "0123456789";
+  const TransportIo io =
+      client.write(std::as_bytes(std::span(message, sizeof message)));
+  EXPECT_EQ(io.bytes, 3u);  // capped: one chunk per write call
+}
+
+}  // namespace
+}  // namespace joules::net
