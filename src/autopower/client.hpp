@@ -74,7 +74,7 @@ class Client {
   // between attempts. Returns true if everything flushed; false (after the
   // capped schedule is exhausted) leaves the buffer intact for a later call
   // (store-and-forward) and latches the give-up state.
-  bool sync();
+  [[nodiscard]] bool sync();
 
   // True after a sync() exhausted its whole retry schedule; cleared by the
   // next successful sync.

@@ -10,6 +10,7 @@
 #include "autopower/protocol.hpp"
 #include "net/framed_conn.hpp"
 #include "net/transport.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace joules::autopower {
 namespace {
@@ -190,11 +191,23 @@ class FleetDriver {
     }
   }
 
-  void poll_and_service(bool dials_pending) {
+  JOULES_REACTOR_CONTEXT void poll_and_service(bool dials_pending) {
     pfds_.clear();
     polled_.clear();
+    // Injected recv-delay stalls (FramedConn::read_stalled) hold a parsed
+    // frame without the fd ever signaling again; their release is driven by
+    // the stall deadline, so they count as pending work, never as idle.
+    bool stall_expired = false;
+    bool stall_waiting = false;
     for (Unit& unit : units_) {
       if (!unit.conn || is_terminal(unit.phase)) continue;
+      if (unit.conn->read_stalled()) {
+        if (unit.conn->read_stall_deadline().expired()) {
+          stall_expired = true;
+        } else {
+          stall_waiting = true;
+        }
+      }
       short events = 0;
       if (wants_read(unit)) events |= POLLIN;
       if (unit.conn->wants_write() || unit.conn->close_after_flush()) {
@@ -205,22 +218,36 @@ class FleetDriver {
       polled_.push_back(&unit);
     }
     if (pfds_.empty()) {
-      if (!dials_pending) return;
-      // Only redial timers to wait on; sleep one short slice via poll.
-      pollfd none{-1, 0, 0};
-      (void)poll_fds(&none, 1, 5);
-      return;
+      if (!stall_expired) {
+        if (!dials_pending && !stall_waiting) return;
+        // Only timers (redial backoff / stall release) to wait on; sleep one
+        // short slice via poll.
+        pollfd none{-1, 0, 0};
+        (void)poll_fds(&none, 1, 5);
+        return;
+      }
+    } else {
+      const int timeout_ms = (dials_pending || stall_expired) ? 0 : 20;
+      const int rc = poll_fds(pfds_.data(), pfds_.size(), timeout_ms);
+      if (rc > 0) {
+        for (std::size_t i = 0; i < polled_.size(); ++i) {
+          if (pfds_[i].revents == 0) continue;
+          service(*polled_[i]);
+        }
+      }
     }
-    const int timeout_ms = dials_pending ? 0 : 20;
-    const int rc = poll_fds(pfds_.data(), pfds_.size(), timeout_ms);
-    if (rc <= 0) return;
-    for (std::size_t i = 0; i < polled_.size(); ++i) {
-      if (pfds_[i].revents == 0) continue;
-      service(*polled_[i]);
+    if (stall_expired) {
+      for (Unit& unit : units_) {
+        if (!unit.conn || is_terminal(unit.phase)) continue;
+        if (unit.conn->read_stalled() &&
+            unit.conn->read_stall_deadline().expired()) {
+          service(unit);
+        }
+      }
     }
   }
 
-  void service(Unit& unit) {
+  JOULES_REACTOR_CONTEXT void service(Unit& unit) {
     if (!unit.conn || is_terminal(unit.phase)) return;
     if (unit.conn->wants_write() || unit.conn->close_after_flush()) {
       switch (unit.conn->flush_writes()) {

@@ -37,6 +37,7 @@ Server::Server(const ServerConfig& config)
       listener_(config.port, config.listen_backlog),
       port_(listener_.port()),
       shed_rng_(config.shed_seed) {
+  const MutexLock lock(join_mutex_);
   reactor_ = std::thread([this] { run(); });
 }
 
@@ -48,16 +49,20 @@ void Server::stop() {
   // behind a peer's frame or idle deadline.
   running_.store(false, std::memory_order_release);
   wakeup_.notify();
+  // Serialized: an explicit stop() racing the destructor (or another stop)
+  // must not reach joinable()/join() concurrently — std::thread::join is not
+  // safe to race, and the annotation audit flagged exactly that here.
+  const MutexLock lock(join_mutex_);
   if (reactor_.joinable()) reactor_.join();
 }
 
 void Server::enqueue_command(const std::string& unit_id, const Command& command) {
-  const std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   units_[unit_id].pending_commands.push_back(command);
 }
 
 std::vector<std::string> Server::known_units() const {
-  const std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(units_.size());
   for (const auto& [unit_id, state] : units_) out.push_back(unit_id);
@@ -65,7 +70,7 @@ std::vector<std::string> Server::known_units() const {
 }
 
 TimeSeries Server::measurements(const std::string& unit_id, int channel) const {
-  const std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   TimeSeries out;
   const auto unit_it = units_.find(unit_id);
   if (unit_it == units_.end()) return out;
@@ -78,14 +83,14 @@ TimeSeries Server::measurements(const std::string& unit_id, int channel) const {
 }
 
 std::size_t Server::accepted_batches(const std::string& unit_id) const {
-  const std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = units_.find(unit_id);
   return it == units_.end() ? 0 : it->second.accepted_batches;
 }
 
 void Server::adopt_connection(net::Transport transport) {
   {
-    const std::lock_guard lock(adopt_mutex_);
+    const MutexLock lock(adopt_mutex_);
     adopted_.push_back(std::move(transport));
   }
   wakeup_.notify();
@@ -125,7 +130,7 @@ void Server::write_manifest(const std::filesystem::path& path) const {
   registry.add("server.ingest_flushes", stats.ingest_flushes);
   registry.add("server.samples_evicted", stats.samples_evicted);
   {
-    const std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     std::uint64_t batches = 0;
     std::uint64_t samples = 0;
     for (const auto& [unit_id, unit] : units_) {
@@ -213,7 +218,7 @@ void Server::adopt_transport(net::Transport transport) {
 void Server::adopt_pending_connections() {
   std::vector<net::Transport> adopted;
   {
-    const std::lock_guard lock(adopt_mutex_);
+    const MutexLock lock(adopt_mutex_);
     adopted.swap(adopted_);
   }
   for (net::Transport& transport : adopted) {
@@ -273,7 +278,7 @@ void Server::handle_message(Conn& conn, Message message,
     conn.unit_id = hello->unit_id;
     conn.phase_deadline = Deadline::after(config_.idle_timeout);
     {
-      const std::lock_guard lock(mutex_);
+      const MutexLock lock(mutex_);
       units_.try_emplace(conn.unit_id);
     }
     queue_reply(ack);
@@ -288,7 +293,7 @@ void Server::handle_message(Conn& conn, Message message,
     }
     Commands response;
     {
-      const std::lock_guard lock(mutex_);
+      const MutexLock lock(mutex_);
       response.commands.swap(units_[conn.unit_id].pending_commands);
     }
     queue_reply(response);
@@ -391,7 +396,7 @@ void Server::service_connection(Conn& conn,
 void Server::ingest_uploads(std::vector<PendingUpload>& uploads) {
   if (uploads.empty()) return;
   {
-    const std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     ingest_flush_count_.fetch_add(1);
     for (PendingUpload& pending : uploads) {
       if (pending.conn->closing) continue;
@@ -509,6 +514,16 @@ void Server::run() {
           consider(conn.read_resume);
         }
       }
+      // An injected recv-delay stall holds a parsed frame in the conn's
+      // buffer; the fd may never signal again, so the release is driven by
+      // the stall deadline, not by poll().
+      if (conn.framed.read_stalled()) {
+        if (conn.framed.read_stall_deadline().expired()) {
+          always_ready_pending = true;
+        } else {
+          consider(conn.framed.read_stall_deadline());
+        }
+      }
       const int fd = conn.framed.transport().poll_fd();
       if (fd < 0) {
         // No pollable fd (replay backend): always ready when it wants I/O.
@@ -538,6 +553,10 @@ void Server::run() {
     }
     for (const auto& conn_ptr : conns_) {
       if (conn_ptr->framed.transport().poll_fd() < 0) {
+        service_connection(*conn_ptr, uploads);
+      } else if (!conn_ptr->closing && conn_ptr->framed.read_stalled() &&
+                 conn_ptr->framed.read_stall_deadline().expired()) {
+        // Release expired read stalls even when the fd stayed quiet.
         service_connection(*conn_ptr, uploads);
       }
     }

@@ -40,7 +40,6 @@
 #include <filesystem>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -51,6 +50,7 @@
 #include "net/socket.hpp"
 #include "net/transport.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/time_series.hpp"
 
 namespace joules::autopower {
@@ -97,23 +97,28 @@ class Server {
 
   // Queues a command for a unit; delivered on its next poll. (Trusted local
   // admin API: may name a unit that has not connected yet.)
-  void enqueue_command(const std::string& unit_id, const Command& command);
+  void enqueue_command(const std::string& unit_id, const Command& command)
+      JOULES_EXCLUDES(mutex_);
 
   // Units that have said Hello at least once (plus any pre-registered via
   // enqueue_command).
-  [[nodiscard]] std::vector<std::string> known_units() const;
+  [[nodiscard]] std::vector<std::string> known_units() const
+      JOULES_EXCLUDES(mutex_);
 
   // All stored measurements for a unit's channel, time-ordered.
   [[nodiscard]] TimeSeries measurements(const std::string& unit_id,
-                                        int channel) const;
+                                        int channel) const
+      JOULES_EXCLUDES(mutex_);
 
   // Number of accepted (non-duplicate) upload batches, for tests/monitoring.
-  [[nodiscard]] std::size_t accepted_batches(const std::string& unit_id) const;
+  [[nodiscard]] std::size_t accepted_batches(const std::string& unit_id) const
+      JOULES_EXCLUDES(mutex_);
 
   // Hands the server a connection on a non-TCP transport (pipe or replay
   // backend). The reactor adopts it on its next tick and serves it exactly
   // like an accepted socket — the transport conformance suite's seam.
-  void adopt_connection(net::Transport transport);
+  void adopt_connection(net::Transport transport)
+      JOULES_EXCLUDES(adopt_mutex_);
 
   // Connection-lifecycle counters, for tests and monitoring.
   struct ConnectionStats {
@@ -134,9 +139,13 @@ class Server {
   // Writes a run manifest (obs) with the connection-lifecycle counters and
   // per-unit batch totals — the server's audit trail. Atomic write; safe to
   // call while serving (counters are a consistent-enough snapshot).
-  void write_manifest(const std::filesystem::path& path) const;
+  void write_manifest(const std::filesystem::path& path) const
+      JOULES_EXCLUDES(mutex_);
 
-  void stop();
+  // Idempotent and safe to race: the destructor and an explicit stop() (or
+  // two explicit stops) may run concurrently; join_mutex_ serializes the
+  // reactor join.
+  void stop() JOULES_EXCLUDES(join_mutex_);
 
  private:
   enum class Phase : std::uint8_t {
@@ -165,14 +174,16 @@ class Server {
     DataUpload upload;
   };
 
-  void run();
-  void adopt_pending_connections();
+  JOULES_REACTOR_CONTEXT void run();
+  void adopt_pending_connections() JOULES_EXCLUDES(adopt_mutex_);
   void accept_ready_connections();
   bool reads_enabled(const Conn& conn) const;
   void service_connection(Conn& conn, std::vector<PendingUpload>& uploads);
   void handle_message(Conn& conn, Message message,
-                      std::vector<PendingUpload>& uploads);
-  void ingest_uploads(std::vector<PendingUpload>& uploads);
+                      std::vector<PendingUpload>& uploads)
+      JOULES_EXCLUDES(mutex_);
+  void ingest_uploads(std::vector<PendingUpload>& uploads)
+      JOULES_EXCLUDES(mutex_);
   void begin_drain(Conn& conn);
   void mark_closed(Conn& conn);
   void drop_connection(Conn& conn, std::atomic<std::uint64_t>& counter);
@@ -196,20 +207,23 @@ class Server {
 
   ServerConfig config_;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, UnitState> units_;
+  mutable Mutex mutex_;
+  std::map<std::string, UnitState> units_ JOULES_GUARDED_BY(mutex_);
 
   TcpListener listener_;
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{true};
 
   WakeupPipe wakeup_;
-  std::thread reactor_;
+  Mutex join_mutex_;  // serializes reactor_ joins (stop vs. destructor)
+  std::thread reactor_ JOULES_GUARDED_BY(join_mutex_);
   std::vector<std::unique_ptr<Conn>> conns_;  // reactor thread only
   std::size_t ready_count_ = 0;               // kReady conns; reactor only
 
-  std::mutex adopt_mutex_;
-  std::vector<net::Transport> adopted_;  // handed over via adopt_connection
+  // Never nested with mutex_ today; the declared order (adopt first) is the
+  // one the lock-order lint enforces if that ever changes.
+  Mutex adopt_mutex_ JOULES_ACQUIRED_BEFORE(mutex_);
+  std::vector<net::Transport> adopted_ JOULES_GUARDED_BY(adopt_mutex_);
 
   Rng shed_rng_;  // reactor thread only
 

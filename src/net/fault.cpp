@@ -3,12 +3,12 @@
 #include <atomic>
 #include <cerrno>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <system_error>
 #include <thread>
 
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace joules {
 
@@ -49,9 +49,9 @@ struct ActivePlan {
 
 // One installed plan at a time, guarded by g_mutex; g_active is the fast
 // path so uninstrumented runs pay one relaxed load per hook.
-std::mutex g_mutex;
+Mutex g_mutex;
 std::atomic<bool> g_active{false};
-std::unique_ptr<ActivePlan> g_plan;
+std::unique_ptr<ActivePlan> g_plan JOULES_GUARDED_BY(g_mutex);
 
 }  // namespace
 
@@ -126,7 +126,7 @@ FaultPlan& FaultPlan::tear_server_send_frame(std::uint64_t frame,
 }
 
 ScopedFaultPlan::ScopedFaultPlan(FaultPlan plan) {
-  const std::lock_guard lock(g_mutex);
+  const MutexLock lock(g_mutex);
   if (g_plan != nullptr) {
     throw std::logic_error("ScopedFaultPlan: a plan is already installed");
   }
@@ -136,13 +136,13 @@ ScopedFaultPlan::ScopedFaultPlan(FaultPlan plan) {
 }
 
 ScopedFaultPlan::~ScopedFaultPlan() {
-  const std::lock_guard lock(g_mutex);
+  const MutexLock lock(g_mutex);
   g_active.store(false, std::memory_order_release);
   g_plan.reset();
 }
 
 FaultStats ScopedFaultPlan::stats() const {
-  const std::lock_guard lock(g_mutex);
+  const MutexLock lock(g_mutex);
   return g_plan != nullptr ? g_plan->stats : FaultStats{};
 }
 
@@ -152,7 +152,7 @@ std::uint64_t on_connect(std::uint16_t port) {
   if (!g_active.load(std::memory_order_acquire)) return 0;
   Millis delay{0};
   {
-    const std::lock_guard lock(g_mutex);
+    const MutexLock lock(g_mutex);
     if (g_plan == nullptr) return 0;
     const FaultPlan& plan = g_plan->plan;
     if (Access::port(plan) != 0 && Access::port(plan) != port) return 0;
@@ -176,13 +176,13 @@ std::uint64_t on_connect(std::uint16_t port) {
 
 std::size_t send_chunk_cap(std::uint64_t token) noexcept {
   if (token == 0 || !g_active.load(std::memory_order_acquire)) return 0;
-  const std::lock_guard lock(g_mutex);
+  const MutexLock lock(g_mutex);
   return g_plan != nullptr ? Access::send_chunk_cap(g_plan->plan) : 0;
 }
 
 SendFrameFault on_send_frame(std::uint64_t token) {
   if (token == 0 || !g_active.load(std::memory_order_acquire)) return {};
-  const std::lock_guard lock(g_mutex);
+  const MutexLock lock(g_mutex);
   if (g_plan == nullptr) return {};
   g_plan->stats.send_frames += 1;
   const std::uint64_t index = g_plan->next_send_frame++;
@@ -194,34 +194,36 @@ SendFrameFault on_send_frame(std::uint64_t token) {
 }
 
 RecvFrameFault on_recv_frame(std::uint64_t token) {
+  // Never sleeps: this hook is called from the nonblocking FramedConn pump,
+  // which runs inside single-threaded reactor loops. A scripted delay is
+  // returned to the caller — blocking readers (framing.cpp's read_frame)
+  // sleep it off themselves; the pump latches a read stall and keeps its
+  // poll loop live. Sleeping here once parked a whole fleet driver for the
+  // injected delay (see tests/net/framed_stall_test.cpp).
   if (token == 0 || !g_active.load(std::memory_order_acquire)) return {};
-  Millis delay{0};
   RecvFrameFault fault;
-  {
-    const std::lock_guard lock(g_mutex);
-    if (g_plan == nullptr) return {};
-    g_plan->stats.recv_frames += 1;
-    const std::uint64_t index = g_plan->next_recv_frame++;
-    const auto& faults = Access::recv_faults(g_plan->plan);
-    const auto it = faults.find(index);
-    if (it != faults.end()) {
-      fault.drop = it->second.drop;
-      delay = it->second.delay;
-    }
-    if (!fault.drop && Access::recv_drop_probability(g_plan->plan) > 0.0 &&
-        g_plan->rng.chance(Access::recv_drop_probability(g_plan->plan))) {
-      fault.drop = true;
-    }
-    if (fault.drop) g_plan->stats.drops_injected += 1;
-    if (delay.count() > 0) g_plan->stats.delays_injected += 1;
+  const MutexLock lock(g_mutex);
+  if (g_plan == nullptr) return {};
+  g_plan->stats.recv_frames += 1;
+  const std::uint64_t index = g_plan->next_recv_frame++;
+  const auto& faults = Access::recv_faults(g_plan->plan);
+  const auto it = faults.find(index);
+  if (it != faults.end()) {
+    fault.drop = it->second.drop;
+    fault.delay = it->second.delay;
   }
-  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  if (!fault.drop && Access::recv_drop_probability(g_plan->plan) > 0.0 &&
+      g_plan->rng.chance(Access::recv_drop_probability(g_plan->plan))) {
+    fault.drop = true;
+  }
+  if (fault.drop) g_plan->stats.drops_injected += 1;
+  if (fault.delay.count() > 0) g_plan->stats.delays_injected += 1;
   return fault;
 }
 
 AcceptFault on_accept(std::uint16_t port) {
   if (!g_active.load(std::memory_order_acquire)) return {};
-  const std::lock_guard lock(g_mutex);
+  const MutexLock lock(g_mutex);
   if (g_plan == nullptr) return {};
   const FaultPlan& plan = g_plan->plan;
   if (Access::port(plan) != 0 && Access::port(plan) != port) return {};
@@ -242,7 +244,7 @@ AcceptFault on_accept(std::uint16_t port) {
 
 SendFrameFault on_server_send_frame(std::uint64_t token) {
   if (token == 0 || !g_active.load(std::memory_order_acquire)) return {};
-  const std::lock_guard lock(g_mutex);
+  const MutexLock lock(g_mutex);
   if (g_plan == nullptr) return {};
   g_plan->stats.server_send_frames += 1;
   const std::uint64_t index = g_plan->next_server_send_frame++;

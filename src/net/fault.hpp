@@ -162,9 +162,11 @@ struct SendFrameFault {
 
 struct RecvFrameFault {
   bool drop = false;
+  Millis delay{0};  // scripted added latency before the frame is delivered
 };
-// Consulted by read_frame before the header read; sleeps internally when the
-// plan scripts added latency.
+// Consulted by read_frame / the FramedConn pump per received frame. Never
+// sleeps: the caller applies `delay` (blocking readers sleep, the
+// nonblocking pump latches a read stall so reactor loops stay live).
 [[nodiscard]] RecvFrameFault on_recv_frame(std::uint64_t token);
 
 struct AcceptFault {

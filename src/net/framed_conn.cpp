@@ -31,8 +31,59 @@ FramedConn::FramedConn(Transport transport)
 FramedConn::FramedConn(Transport transport, Limits limits)
     : transport_(std::move(transport)), limits_(limits) {}
 
+// Parses every complete frame sitting in inbuf_, consulting the recv-frame
+// fault hook per frame. A scripted delay latches the stall state (the frame
+// is held back, parsing pauses so delivery order survives) instead of
+// sleeping — this runs on reactor ticks.
+FramedConn::Status FramedConn::parse_buffered(
+    std::vector<std::vector<std::byte>>& frames) {
+  std::size_t pos = 0;
+  while (!read_stalled_ && inbuf_.size() - pos >= 4) {
+    const std::uint32_t length = read_be32(inbuf_.data() + pos);
+    if (length > limits_.max_frame_bytes) {
+      return Status::kError;  // protocol error: oversized frame
+    }
+    if (inbuf_.size() - pos - 4 < length) break;  // frame incomplete
+    const auto fault =
+        joules::fault_hooks::on_recv_frame(transport_.dial_token());
+    if (fault.drop) {
+      transport_.close();  // injected: frame lost in transit
+      return Status::kError;
+    }
+    if (fault.delay.count() > 0) {
+      read_stalled_ = true;
+      read_stall_until_ = Deadline::after(fault.delay);
+      stalled_frame_.assign(inbuf_.begin() + static_cast<long>(pos) + 4,
+                            inbuf_.begin() + static_cast<long>(pos) + 4 +
+                                static_cast<long>(length));
+      pos += 4 + length;
+      break;
+    }
+    frames.emplace_back(inbuf_.begin() + static_cast<long>(pos) + 4,
+                        inbuf_.begin() + static_cast<long>(pos) + 4 +
+                            static_cast<long>(length));
+    pos += 4 + length;
+  }
+  if (pos > 0) {
+    inbuf_.erase(inbuf_.begin(), inbuf_.begin() + static_cast<long>(pos));
+  }
+  return Status::kOpen;
+}
+
 FramedConn::Status FramedConn::pump_reads(
     std::vector<std::vector<std::byte>>& frames) {
+  if (read_stalled_) {
+    if (!read_stall_until_.expired()) return Status::kOpen;  // still held
+    read_stalled_ = false;
+    read_stall_until_ = Deadline::never();
+    frames.push_back(std::move(stalled_frame_));
+    stalled_frame_ = {};
+    // Frames buffered behind the stalled one deliver now, in order (and may
+    // latch the next stall).
+    const Status parsed = parse_buffered(frames);
+    if (parsed != Status::kOpen) return parsed;
+    if (read_stalled_) return Status::kOpen;
+  }
   std::byte chunk[4096];
   std::size_t pumped = 0;
   while (pumped < limits_.pump_budget_bytes) {
@@ -45,30 +96,15 @@ FramedConn::Status FramedConn::pump_reads(
     if (io.bytes > 0) {
       pumped += io.bytes;
       inbuf_.insert(inbuf_.end(), chunk, chunk + io.bytes);
-      // Parse every complete frame now buffered.
-      std::size_t pos = 0;
-      while (inbuf_.size() - pos >= 4) {
-        const std::uint32_t length = read_be32(inbuf_.data() + pos);
-        if (length > limits_.max_frame_bytes) {
-          return Status::kError;  // protocol error: oversized frame
-        }
-        if (inbuf_.size() - pos - 4 < length) break;  // frame incomplete
-        const auto fault =
-            joules::fault_hooks::on_recv_frame(transport_.dial_token());
-        if (fault.drop) {
-          transport_.close();  // injected: frame lost in transit
-          return Status::kError;
-        }
-        frames.emplace_back(inbuf_.begin() + static_cast<long>(pos) + 4,
-                            inbuf_.begin() + static_cast<long>(pos) + 4 +
-                                static_cast<long>(length));
-        pos += 4 + length;
-      }
-      if (pos > 0) inbuf_.erase(inbuf_.begin(), inbuf_.begin() + static_cast<long>(pos));
+      const Status parsed = parse_buffered(frames);
+      if (parsed != Status::kOpen) return parsed;
+      if (read_stalled_) return Status::kOpen;  // resume after the deadline
       continue;
     }
     if (io.eof) {
-      // Clean only at a frame boundary; EOF mid-frame is a torn peer.
+      // Clean only at a frame boundary; EOF mid-frame is a torn peer. (A
+      // latched stall never reaches here: the pump returns the moment it
+      // latches, so a buffered EOF surfaces on the pump after delivery.)
       return inbuf_.empty() ? Status::kClosed : Status::kError;
     }
     break;  // would block: nothing more to read this tick

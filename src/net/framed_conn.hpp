@@ -16,7 +16,10 @@
 // scripted drop queues only the torn prefix and latches close_after_flush.
 // pump_reads consults on_recv_frame per *delivered* frame, so scripted and
 // probabilistic recv drops hit reactor-served connections the same way they
-// hit blocking read_frame callers.
+// hit blocking read_frame callers. A scripted recv *delay* never sleeps the
+// pump (that would park the whole reactor): it latches a read stall — the
+// delayed frame is withheld until the stall deadline passes, then delivered
+// by the next pump (see read_stalled() below).
 #pragma once
 
 #include <cstddef>
@@ -24,6 +27,7 @@
 
 #include "net/framing.hpp"
 #include "net/transport.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace joules::net {
 
@@ -49,16 +53,18 @@ class FramedConn {
 
   // Drains readable bytes (up to the pump budget), appending each complete
   // payload to `frames`. Never blocks.
-  [[nodiscard]] Status pump_reads(std::vector<std::vector<std::byte>>& frames);
+  JOULES_REACTOR_CONTEXT [[nodiscard]] Status pump_reads(
+      std::vector<std::vector<std::byte>>& frames);
 
   // Stages one frame for writing. False when the write budget would be
   // exceeded — the caller sheds or drops instead of buffering unboundedly.
   // Throws std::invalid_argument on oversized payloads.
-  [[nodiscard]] bool queue_frame(std::span<const std::byte> payload);
+  JOULES_REACTOR_CONTEXT [[nodiscard]] bool queue_frame(
+      std::span<const std::byte> payload);
 
   // Writes staged bytes until the transport would block. kClosed once a
   // torn-frame prefix has fully flushed (the connection must die now).
-  [[nodiscard]] Status flush_writes();
+  JOULES_REACTOR_CONTEXT [[nodiscard]] Status flush_writes();
 
   [[nodiscard]] bool wants_write() const noexcept {
     return write_pos_ < outbuf_.size();
@@ -76,18 +82,34 @@ class FramedConn {
     return close_after_flush_;
   }
 
+  // True while an injected recv delay is withholding a parsed frame. The
+  // bytes are already buffered, so the fd may stay quiet: a reactor must
+  // pump this connection again once read_stall_deadline() expires, not wait
+  // for poll() to flag it readable.
+  [[nodiscard]] bool read_stalled() const noexcept { return read_stalled_; }
+  [[nodiscard]] const Deadline& read_stall_deadline() const noexcept {
+    return read_stall_until_;
+  }
+
   [[nodiscard]] Transport& transport() noexcept { return transport_; }
   [[nodiscard]] const Transport& transport() const noexcept {
     return transport_;
   }
 
  private:
+  [[nodiscard]] Status parse_buffered(
+      std::vector<std::vector<std::byte>>& frames);
+
   Transport transport_;
   Limits limits_;
   std::vector<std::byte> inbuf_;   // unparsed inbound bytes
   std::vector<std::byte> outbuf_;  // staged outbound bytes
   std::size_t write_pos_ = 0;      // flushed prefix of outbuf_
   bool close_after_flush_ = false;
+  // Injected recv-delay stall: the withheld frame and when to release it.
+  bool read_stalled_ = false;
+  Deadline read_stall_until_ = Deadline::never();
+  std::vector<std::byte> stalled_frame_;
 };
 
 }  // namespace joules::net

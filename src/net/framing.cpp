@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 #include <system_error>
+#include <thread>
 
 #include "net/fault.hpp"
 
@@ -60,6 +61,9 @@ void write_frame(TcpStream& stream, std::span<const std::byte> payload,
 std::optional<std::vector<std::byte>> read_frame(TcpStream& stream,
                                                  Deadline deadline) {
   const auto fault = fault_hooks::on_recv_frame(stream.fault_token());
+  // Blocking path: scripted latency is slept off right here. (The
+  // nonblocking FramedConn pump instead latches a read stall.)
+  if (fault.delay.count() > 0) std::this_thread::sleep_for(fault.delay);
   if (fault.drop) {
     // The frame (e.g. an ack the peer already committed) is lost in transit:
     // the connection dies before a single byte of it is read.

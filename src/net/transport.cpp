@@ -155,22 +155,22 @@ constexpr TransportOps kReplayOps{"replay",        &replay_read,
 }  // namespace
 
 std::vector<std::byte> ReplayCapture::bytes() const {
-  const std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   return bytes_;
 }
 
 bool ReplayCapture::closed() const {
-  const std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   return closed_;
 }
 
 void ReplayCapture::append(std::span<const std::byte> data) {
-  const std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   bytes_.insert(bytes_.end(), data.begin(), data.end());
 }
 
 void ReplayCapture::mark_closed() {
-  const std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   closed_ = true;
 }
 

@@ -27,12 +27,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "net/socket.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace joules::net {
 
@@ -67,16 +67,16 @@ struct ReplayScript {
 // thread can inspect while the reactor writes.
 class ReplayCapture {
  public:
-  [[nodiscard]] std::vector<std::byte> bytes() const;
-  [[nodiscard]] bool closed() const;
+  [[nodiscard]] std::vector<std::byte> bytes() const JOULES_EXCLUDES(mutex_);
+  [[nodiscard]] bool closed() const JOULES_EXCLUDES(mutex_);
 
-  void append(std::span<const std::byte> data);
-  void mark_closed();
+  void append(std::span<const std::byte> data) JOULES_EXCLUDES(mutex_);
+  void mark_closed() JOULES_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<std::byte> bytes_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  std::vector<std::byte> bytes_ JOULES_GUARDED_BY(mutex_);
+  bool closed_ JOULES_GUARDED_BY(mutex_) = false;
 };
 
 // Move-only owner of (ops, state). Default-constructed transports are

@@ -47,7 +47,10 @@ struct CampaignOptions {
   // Campaign is constructed, the campaign resumes from it.
   std::filesystem::path checkpoint_path;
   // Observability (optional, inert with JOULES_OBS=OFF). A campaign is
-  // single-threaded, so all counters land in shard 0: campaign.* counters
+  // single-threaded by design — it owns no mutexes, so the thread-safety
+  // annotation audit (util/thread_annotations.hpp) has nothing to mark
+  // here; the Registry it points at carries its own locking contract.
+  // All counters land in shard 0: campaign.* counters
   // mirror CampaignStats, the campaign.window_samples histogram tracks
   // accepted samples per window, and each experiment runs under a
   // campaign.<kind> span. With `manifest_path` set, every completed

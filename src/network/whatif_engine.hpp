@@ -90,7 +90,7 @@ class WhatIfEngine {
   // Same feasibility walk without committing anything — the answer carries
   // the current power. The feasibility results are memoized, so a probe
   // followed by the matching `sleep_links` re-pays none of the checks.
-  WhatIfAnswer probe_sleep_links(std::span<const int> links);
+  [[nodiscard]] WhatIfAnswer probe_sleep_links(std::span<const int> links);
 
   // Sets every router with >= 2 PSUs to `mode` (matching
   // Scenario::apply_hot_standby when `mode` is kHotStandby).

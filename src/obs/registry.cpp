@@ -55,7 +55,7 @@ void Registry::define_histogram(std::string_view name,
           "obs::Registry: histogram bounds must be strictly increasing");
     }
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (histogram_bounds_.find(name) != histogram_bounds_.end()) {
     throw std::invalid_argument("obs::Registry: histogram already defined: " +
                                 std::string(name));
@@ -64,7 +64,7 @@ void Registry::define_histogram(std::string_view name,
 }
 
 std::vector<double> Registry::bounds_for(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = histogram_bounds_.find(name);
   if (it != histogram_bounds_.end()) return it->second;
   return histogram_bounds_.emplace(std::string(name), default_bounds())
@@ -92,7 +92,7 @@ void Registry::observe(std::size_t shard, std::string_view name, double value) {
 
 std::size_t Registry::open_span(std::string_view id) {
   const std::uint64_t start = stopwatch_->now_ns();
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   SpanRecord record;
   record.id = std::string(id);
   record.depth = open_stack_.size();
@@ -105,7 +105,7 @@ std::size_t Registry::open_span(std::string_view id) {
 
 void Registry::close_span(std::size_t index) {
   const std::uint64_t end = stopwatch_->now_ns();
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (index >= span_records_.size()) {
     throw std::out_of_range("obs::Registry: bad span index");
   }
@@ -175,12 +175,12 @@ std::vector<HistogramValue> Registry::histograms() const {
 }
 
 std::vector<SpanRecord> Registry::spans() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return span_records_;
 }
 
 std::vector<PhaseTotal> Registry::phase_totals() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::vector<PhaseTotal> out;  // first-seen order: the run's phase sequence
   for (const SpanRecord& record : span_records_) {
     if (record.depth != 0) continue;

@@ -25,12 +25,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/stopwatch.hpp"
+#include "util/thread_annotations.hpp"
 
 // CMake defines JOULES_OBS_ENABLED=0 when configured with -DJOULES_OBS=OFF;
 // default to enabled for non-CMake consumers of the header.
@@ -97,15 +97,18 @@ class Registry {
   // shard buckets identically; an undefined name observed on the fly uses
   // the default decade bounds {1, 10, ..., 1e9}. Redefining an existing
   // histogram throws std::invalid_argument (shards may already hold counts).
-  void define_histogram(std::string_view name, std::vector<double> upper_bounds);
-  void observe(std::size_t shard, std::string_view name, double value);
+  void define_histogram(std::string_view name, std::vector<double> upper_bounds)
+      JOULES_EXCLUDES(mutex_);
+  void observe(std::size_t shard, std::string_view name, double value)
+      JOULES_EXCLUDES(mutex_);
   void observe(std::string_view name, double value) { observe(0, name, value); }
 
   // --- Spans -------------------------------------------------------------
   // Used through the RAII `Span` below; exposed for tests. Span open/close
   // is mutex-guarded (phase granularity, never per-sample).
-  [[nodiscard]] std::size_t open_span(std::string_view id);
-  void close_span(std::size_t index);
+  [[nodiscard]] std::size_t open_span(std::string_view id)
+      JOULES_EXCLUDES(mutex_);
+  void close_span(std::size_t index) JOULES_EXCLUDES(mutex_);
 
   // --- Merged views -------------------------------------------------------
   // Deterministic: counters/histograms in sorted name order with values
@@ -115,8 +118,9 @@ class Registry {
   [[nodiscard]] std::vector<CounterValue> counters() const;
   [[nodiscard]] std::uint64_t counter(std::string_view name) const;
   [[nodiscard]] std::vector<HistogramValue> histograms() const;
-  [[nodiscard]] std::vector<SpanRecord> spans() const;
-  [[nodiscard]] std::vector<PhaseTotal> phase_totals() const;
+  [[nodiscard]] std::vector<SpanRecord> spans() const JOULES_EXCLUDES(mutex_);
+  [[nodiscard]] std::vector<PhaseTotal> phase_totals() const
+      JOULES_EXCLUDES(mutex_);
 
  private:
   struct Shard {
@@ -124,18 +128,20 @@ class Registry {
     std::map<std::string, HistogramValue, std::less<>> histograms;
   };
 
-  [[nodiscard]] std::vector<double> bounds_for(std::string_view name);
+  [[nodiscard]] std::vector<double> bounds_for(std::string_view name)
+      JOULES_EXCLUDES(mutex_);
 
   Stopwatch* stopwatch_;
   std::vector<Shard> shards_;
   // Bucket definitions, shared by all shards and only touched under mutex_.
   // Each shard copies the bounds into its own HistogramValue on the first
   // observation of a name, so steady-state observes stay lock-free.
-  std::map<std::string, std::vector<double>, std::less<>> histogram_bounds_;
+  std::map<std::string, std::vector<double>, std::less<>> histogram_bounds_
+      JOULES_GUARDED_BY(mutex_);
 
-  mutable std::mutex mutex_;  // guards histogram_bounds_ + span state
-  std::vector<SpanRecord> span_records_;
-  std::vector<std::size_t> open_stack_;
+  mutable Mutex mutex_;  // guards histogram_bounds_ + span state
+  std::vector<SpanRecord> span_records_ JOULES_GUARDED_BY(mutex_);
+  std::vector<std::size_t> open_stack_ JOULES_GUARDED_BY(mutex_);
 };
 
 // RAII span: opens on construction, closes (and records its duration) on

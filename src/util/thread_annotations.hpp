@@ -1,0 +1,103 @@
+// Clang Thread Safety Analysis annotations, plus the annotated mutex types
+// the rest of the tree locks with.
+//
+// Under clang the JOULES_* macros expand to the thread-safety attributes and
+// `-Wthread-safety -Werror=thread-safety` (CI's clang job, or a local
+// -DJOULES_THREAD_SAFETY=ON clang build) turns every locking contract in the
+// tree into a compile error when violated: a JOULES_GUARDED_BY field touched
+// without its mutex, a JOULES_REQUIRES function called unlocked, a
+// JOULES_EXCLUDES function called with the lock held. Under gcc (the default
+// local toolchain) every macro expands to nothing, so the annotations cost
+// nothing and cannot change codegen.
+//
+// The annotations are also *data*: joules_lint's project-wide lock-order
+// rule parses the textual JOULES_ACQUIRED_BEFORE / JOULES_ACQUIRED_AFTER
+// form into a lock-acquisition graph and fails the build on cycles, so the
+// deadlock-freedom argument is checked even in gcc-only environments.
+//
+// Conventions:
+//   * Guard state with `Mutex` (below), never a raw std::mutex — only the
+//     annotated type participates in the analysis.
+//   * Lock through the scoped `MutexLock`; no manual lock()/unlock() pairs
+//     outside condition-variable re-lock seams.
+//   * Condition waits use std::condition_variable_any waiting on the Mutex
+//     itself with a predicate-free `while (!cond) cv.wait(mu_);` loop —
+//     wait-predicates are lambdas, which clang analyzes as separate
+//     (lock-free) functions and would flag for touching guarded fields.
+//   * JOULES_NO_THREAD_SAFETY_ANALYSIS is reserved for annotated seam shims;
+//     the tree itself must compile clean without it (CI asserts this).
+#pragma once
+
+#include <mutex>
+
+// SWIG and other non-compiler parsers choke on __attribute__; match the
+// guard clang's own documentation recommends.
+#if defined(__clang__) && !defined(SWIG)
+#define JOULES_TS_ATTRIBUTE(x) __attribute__((x))
+#else
+#define JOULES_TS_ATTRIBUTE(x)  // not clang: annotations compile to nothing
+#endif
+
+#define JOULES_CAPABILITY(x) JOULES_TS_ATTRIBUTE(capability(x))
+#define JOULES_SCOPED_CAPABILITY JOULES_TS_ATTRIBUTE(scoped_lockable)
+#define JOULES_GUARDED_BY(x) JOULES_TS_ATTRIBUTE(guarded_by(x))
+#define JOULES_PT_GUARDED_BY(x) JOULES_TS_ATTRIBUTE(pt_guarded_by(x))
+#define JOULES_REQUIRES(...) \
+  JOULES_TS_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define JOULES_EXCLUDES(...) JOULES_TS_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+#define JOULES_ACQUIRE(...) JOULES_TS_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define JOULES_RELEASE(...) JOULES_TS_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define JOULES_TRY_ACQUIRE(...) \
+  JOULES_TS_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#define JOULES_ACQUIRED_BEFORE(...) \
+  JOULES_TS_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define JOULES_ACQUIRED_AFTER(...) \
+  JOULES_TS_ATTRIBUTE(acquired_after(__VA_ARGS__))
+#define JOULES_RETURN_CAPABILITY(x) JOULES_TS_ATTRIBUTE(lock_returned(x))
+#define JOULES_NO_THREAD_SAFETY_ANALYSIS \
+  JOULES_TS_ATTRIBUTE(no_thread_safety_analysis)
+
+// Purely a marker, on every compiler: tags a function as running on a
+// reactor tick / nonblocking pump path. joules_lint's reactor-blocking-call
+// rule roots its call-graph reachability scan at these and fails the build
+// when a blocking primitive (sleep_for, send_all, recv_exact, raw ::poll,
+// ...) becomes reachable. Place it on the same line as the function name.
+#define JOULES_REACTOR_CONTEXT
+
+namespace joules {
+
+// std::mutex with the capability annotation the analysis needs. BasicLockable
+// (lock/unlock), so std::condition_variable_any can wait on it directly.
+class JOULES_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() JOULES_ACQUIRE() { mu_.lock(); }
+  void unlock() JOULES_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() JOULES_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+// Scoped lock over Mutex — the annotated stand-in for std::lock_guard. The
+// analysis tracks the capability from construction to end of scope.
+class JOULES_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) JOULES_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() JOULES_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace joules

@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -40,7 +40,7 @@ void ThreadPool::run_chunk(std::size_t begin, std::size_t end, std::size_t slot,
   try {
     fn(begin, end, slot);
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     if (!first_error_) first_error_ = std::current_exception();
   }
 }
@@ -52,8 +52,8 @@ void ThreadPool::worker_loop(std::size_t slot) {
     std::size_t end = 0;
     const ChunkFn* fn = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      const MutexLock lock(mu_);
+      while (!stop_ && generation_ == seen) work_cv_.wait(mu_);
       if (stop_) return;
       seen = generation_;
       begin = job_begin_;
@@ -63,7 +63,7 @@ void ThreadPool::worker_loop(std::size_t slot) {
     const Range range = chunk_range(begin, end, slot, slots_);
     run_chunk(range.begin, range.end, slot, *fn);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      const MutexLock lock(mu_);
       --pending_;
     }
     done_cv_.notify_one();
@@ -75,7 +75,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   if (end <= begin) return;
   if (slots_ > 1) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      const MutexLock lock(mu_);
       job_begin_ = begin;
       job_end_ = end;
       job_fn_ = &fn;
@@ -85,15 +85,15 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     }
     work_cv_.notify_all();
   } else {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     first_error_ = nullptr;
   }
   const Range mine = chunk_range(begin, end, 0, slots_);
   run_chunk(mine.begin, mine.end, 0, fn);
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    const MutexLock lock(mu_);
+    while (pending_ != 0) done_cv_.wait(mu_);
     error = first_error_;
     first_error_ = nullptr;
     job_fn_ = nullptr;

@@ -19,11 +19,13 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace joules {
 
@@ -42,7 +44,8 @@ class ThreadPool {
   // until every chunk finished; rethrows the first exception a chunk threw.
   // Not re-entrant: fn must not call parallel_for on the same pool.
   using ChunkFn = std::function<void(std::size_t, std::size_t, std::size_t)>;
-  void parallel_for(std::size_t begin, std::size_t end, const ChunkFn& fn);
+  void parallel_for(std::size_t begin, std::size_t end, const ChunkFn& fn)
+      JOULES_EXCLUDES(mu_);
 
   // The contiguous chunk of [begin, end) assigned to `slot` out of `slots`
   // (pure; exposed for tests and for callers sizing per-chunk storage).
@@ -55,23 +58,25 @@ class ThreadPool {
                                          std::size_t slots) noexcept;
 
  private:
-  void worker_loop(std::size_t slot);
+  void worker_loop(std::size_t slot) JOULES_EXCLUDES(mu_);
   void run_chunk(std::size_t begin, std::size_t end, std::size_t slot,
-                 const ChunkFn& fn) noexcept;
+                 const ChunkFn& fn) noexcept JOULES_EXCLUDES(mu_);
 
   std::size_t slots_ = 1;
   std::vector<std::thread> threads_;  // slots 1..slots_-1; slot 0 is the caller
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::uint64_t generation_ = 0;
-  std::size_t job_begin_ = 0;
-  std::size_t job_end_ = 0;
-  const ChunkFn* job_fn_ = nullptr;
-  std::size_t pending_ = 0;
-  std::exception_ptr first_error_;
-  bool stop_ = false;
+  Mutex mu_;
+  // condition_variable_any waits on the annotated Mutex directly; see
+  // thread_annotations.hpp for why the waits are predicate-free loops.
+  std::condition_variable_any work_cv_;
+  std::condition_variable_any done_cv_;
+  std::uint64_t generation_ JOULES_GUARDED_BY(mu_) = 0;
+  std::size_t job_begin_ JOULES_GUARDED_BY(mu_) = 0;
+  std::size_t job_end_ JOULES_GUARDED_BY(mu_) = 0;
+  const ChunkFn* job_fn_ JOULES_GUARDED_BY(mu_) = nullptr;
+  std::size_t pending_ JOULES_GUARDED_BY(mu_) = 0;
+  std::exception_ptr first_error_ JOULES_GUARDED_BY(mu_);
+  bool stop_ JOULES_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace joules

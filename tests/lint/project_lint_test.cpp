@@ -1,0 +1,231 @@
+// Tests for the joules_lint cross-TU project pass (layer-dag,
+// reactor-blocking-call, lock-order). Banned constructs referenced here live
+// in .fixture files, which the HEAD scan skips by extension; the pass itself
+// is fed FileSource lists directly, so every fixture pins the repo-relative
+// path it pretends to live at.
+#include "joules_lint/project.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "joules_lint/lint.hpp"
+#include "util/atomic_file.hpp"
+
+namespace {
+
+using joules::lint::Config;
+using joules::lint::FileSource;
+using joules::lint::Finding;
+using joules::lint::lint_project;
+using joules::lint::load_tree;
+
+std::string load_fixture(const std::string& name) {
+  const std::filesystem::path path =
+      std::filesystem::path(JOULES_LINT_FIXTURE_DIR) / name;
+  const auto contents = joules::read_text_file(path);
+  EXPECT_TRUE(contents.has_value()) << "missing fixture " << path;
+  return contents.value_or("");
+}
+
+// (line, rule) pairs in report order, for compact fixture assertions.
+std::vector<std::pair<std::size_t, std::string>> hits(
+    const std::vector<Finding>& findings) {
+  std::vector<std::pair<std::size_t, std::string>> out;
+  out.reserve(findings.size());
+  for (const Finding& finding : findings) {
+    out.emplace_back(finding.line, finding.rule);
+  }
+  return out;
+}
+
+using Expected = std::vector<std::pair<std::size_t, std::string>>;
+
+// ---------------------------------------------------------------------------
+// layer-dag
+
+TEST(LayerDag, BackEdgesAndForeignTreesAreFindings) {
+  const std::vector<FileSource> files = {
+      {"src/util/bad_layering.hpp",
+       load_fixture("layer_dag_violations.fixture")}};
+  const auto findings = lint_project(files, {});
+  const Expected expected = {{4, "layer-dag"},
+                             {5, "layer-dag"},
+                             {6, "layer-dag"},
+                             {7, "layer-dag"}};
+  EXPECT_EQ(hits(findings), expected);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_NE(findings[0].message.find("autopower"), std::string::npos);
+}
+
+TEST(LayerDag, PragmasSuppressEveryForm) {
+  const std::vector<FileSource> files = {
+      {"src/util/bad_layering.hpp",
+       load_fixture("layer_dag_suppressed.fixture")}};
+  EXPECT_TRUE(lint_project(files, {}).empty());
+}
+
+TEST(LayerDag, SameLayerAndDownwardIncludesAreClean) {
+  const std::vector<FileSource> files = {
+      {"src/autopower/fine.hpp",
+       "#pragma once\n"
+       "#include \"net/socket.hpp\"\n"
+       "#include \"autopower/protocol.hpp\"\n"
+       "#include \"util/units.hpp\"\n"}};
+  EXPECT_TRUE(lint_project(files, {}).empty());
+}
+
+TEST(LayerDag, AllowlistCoversAFile) {
+  Config config;
+  config.allowlist = joules::lint::parse_allowlist(
+      "src/util/bad_layering.hpp layer-dag staged refactor, tracked issue\n");
+  const std::vector<FileSource> files = {
+      {"src/util/bad_layering.hpp",
+       load_fixture("layer_dag_violations.fixture")}};
+  EXPECT_TRUE(lint_project(files, config).empty());
+}
+
+// ---------------------------------------------------------------------------
+// reactor-blocking-call
+
+TEST(ReactorBlocking, ReachableSleepAndRawPollAreFindings) {
+  const std::vector<FileSource> files = {
+      {"src/net/bad_reactor.cpp", load_fixture("reactor_blocking.fixture")}};
+  const auto findings = lint_project(files, {});
+  const Expected expected = {{15, "reactor-blocking-call"},
+                             {18, "reactor-blocking-call"}};
+  ASSERT_EQ(hits(findings), expected);
+  // The finding names the reachability chain, not just the line.
+  EXPECT_NE(findings[0].message.find("BadReactor::tick"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("BadReactor::settle"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("sleep_for"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("::poll"), std::string::npos);
+}
+
+TEST(ReactorBlocking, PragmaSuppressesTheBlockingLine) {
+  const std::vector<FileSource> files = {
+      {"src/net/quiet_reactor.cpp",
+       load_fixture("reactor_blocking_suppressed.fixture")}};
+  EXPECT_TRUE(lint_project(files, {}).empty());
+}
+
+TEST(ReactorBlocking, UnreachableBlockingCallIsNotAFinding) {
+  // The same sleep with no JOULES_REACTOR_CONTEXT root anywhere: blocking
+  // code outside reactor paths is legal (clients, tests, blocking helpers).
+  const std::vector<FileSource> files = {
+      {"src/net/blocking_client.cpp",
+       "namespace joules::net {\n"
+       "void settle() {\n"
+       "  std::this_thread::sleep_for(std::chrono::milliseconds(5));\n"
+       "}\n"
+       "}  // namespace joules::net\n"}};
+  EXPECT_TRUE(lint_project(files, {}).empty());
+}
+
+// The acceptance check for the walk itself: grafting a blocking body onto a
+// method of the real autopower server must produce a finding, proving the
+// rule resolves real roots (Server::run is JOULES_REACTOR_CONTEXT) through
+// real call chains — not just fixture-shaped ones.
+TEST(ReactorBlocking, RealServerRootsReachInjectedBlockingCode) {
+  const std::filesystem::path root = JOULES_REPO_ROOT;
+  std::vector<FileSource> files = load_tree(root, {"src"});
+  files.push_back({"src/autopower/zz_injected.cpp",
+                   "namespace joules::autopower {\n"
+                   "void Server::handle_message() {\n"
+                   "  ::usleep(5);\n"
+                   "}\n"
+                   "}  // namespace joules::autopower\n"});
+  const auto findings = lint_project(files, {});
+  bool found = false;
+  for (const Finding& finding : findings) {
+    if (finding.file == "src/autopower/zz_injected.cpp" &&
+        finding.rule == "reactor-blocking-call") {
+      found = true;
+      EXPECT_NE(finding.message.find("Server::run"), std::string::npos)
+          << finding.message;
+    }
+  }
+  EXPECT_TRUE(found)
+      << "the reachability walk never reached Server::handle_message";
+}
+
+// ---------------------------------------------------------------------------
+// lock-order
+
+TEST(LockOrder, CycleThroughBeforeAndAfterIsAFinding) {
+  const std::vector<FileSource> files = {
+      {"src/autopower/bad_locks.hpp",
+       load_fixture("lock_order_violations.fixture")}};
+  const auto findings = lint_project(files, {});
+  const Expected expected = {{7, "lock-order"}};
+  ASSERT_EQ(hits(findings), expected);
+  EXPECT_NE(findings[0].message.find("BadLocks::a_ -> BadLocks::b_"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+TEST(LockOrder, PragmaOnTheAnchorLineSuppresses) {
+  const std::vector<FileSource> files = {
+      {"src/autopower/quiet_locks.hpp",
+       load_fixture("lock_order_suppressed.fixture")}};
+  EXPECT_TRUE(lint_project(files, {}).empty());
+}
+
+TEST(LockOrder, AcyclicAnnotationsAreClean) {
+  const std::vector<FileSource> files = {
+      {"src/autopower/fine_locks.hpp",
+       "#pragma once\n"
+       "#include \"util/thread_annotations.hpp\"\n"
+       "namespace joules {\n"
+       "class FineLocks {\n"
+       " private:\n"
+       "  Mutex a_ JOULES_ACQUIRED_BEFORE(b_);\n"
+       "  Mutex b_ JOULES_ACQUIRED_BEFORE(c_);\n"
+       "  Mutex c_;\n"
+       "};\n"
+       "}  // namespace joules\n"}};
+  EXPECT_TRUE(lint_project(files, {}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// The DOT dump and the parallel scan are deterministic.
+
+TEST(LayerGraph, DotRenderIsDeterministicAndShaped) {
+  const std::filesystem::path root = JOULES_REPO_ROOT;
+  const std::vector<FileSource> files = load_tree(root, {"src"});
+  const std::string first = joules::lint::render_layer_graph_dot(files);
+  const std::string second = joules::lint::render_layer_graph_dot(files);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("digraph joules_layers"), std::string::npos);
+  EXPECT_NE(first.find("rank=same"), std::string::npos);
+  EXPECT_NE(first.find("\"net\" -> \"util\";"), std::string::npos);
+  // Layer ordering in the rank rows: util's row precedes autopower's.
+  EXPECT_LT(first.find("\"util\""), first.find("\"autopower\""));
+}
+
+TEST(LintTree, JobCountDoesNotChangeTheOutput) {
+  const std::filesystem::path root = JOULES_REPO_ROOT;
+  const auto allow_text =
+      joules::read_text_file(root / "tools/joules_lint/allowlist.txt");
+  ASSERT_TRUE(allow_text.has_value());
+  Config config;
+  config.allowlist = joules::lint::parse_allowlist(*allow_text);
+  const auto serial =
+      joules::lint::lint_tree(root, {"src", "tools"}, config, 1);
+  const auto parallel =
+      joules::lint::lint_tree(root, {"src", "tools"}, config, 4);
+  EXPECT_EQ(serial.files_scanned, parallel.files_scanned);
+  ASSERT_EQ(serial.findings.size(), parallel.findings.size());
+  for (std::size_t i = 0; i < serial.findings.size(); ++i) {
+    EXPECT_EQ(serial.findings[i].file, parallel.findings[i].file);
+    EXPECT_EQ(serial.findings[i].line, parallel.findings[i].line);
+    EXPECT_EQ(serial.findings[i].rule, parallel.findings[i].rule);
+    EXPECT_EQ(serial.findings[i].message, parallel.findings[i].message);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// Regression: a scripted recv-frame delay must never block the nonblocking
+// pump path. fault_hooks::on_recv_frame used to sleep the injected delay
+// inline; FramedConn::pump_reads calls that hook per delivered frame from
+// inside single-threaded reactor loops (the autopower server tick, the
+// fleet driver's poll loop), so one delayed frame parked *every* connection
+// the loop serves for the full delay. The fix returns the delay to the
+// caller: blocking read_frame sleeps it off, the pump latches a read stall
+// (read_stalled() / read_stall_deadline()) and delivers the frame on the
+// first pump after the deadline.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "net/fault.hpp"
+#include "net/framed_conn.hpp"
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+
+namespace joules {
+namespace {
+
+using net::FramedConn;
+using net::Transport;
+
+std::vector<std::byte> payload_of(const char* text) {
+  std::vector<std::byte> out;
+  for (const char* p = text; *p != '\0'; ++p) out.push_back(std::byte(*p));
+  return out;
+}
+
+using Clock = std::chrono::steady_clock;
+
+TEST(FramedStall, InjectedRecvDelayDoesNotBlockThePump) {
+  constexpr Millis kDelay{250};
+  // Pre-fix failure threshold: the pump that parses the delayed frame slept
+  // the full 250 ms inline. Post-fix it latches the stall and returns
+  // immediately; 150 ms leaves slack for a loaded CI host.
+  constexpr Millis kBlockingBudget{150};
+
+  TcpListener listener(0);
+
+  FaultPlan plan;
+  plan.delay_recv_frame(0, kDelay);
+  ScopedFaultPlan scoped(plan);
+
+  // connect_loopback consults on_connect and tags the stream with a nonzero
+  // dial token, so the pump's recv-frame hook sees the scripted delay.
+  TcpStream client = TcpStream::connect_loopback(listener.port());
+  auto accepted = listener.accept(Millis{2000});
+  ASSERT_TRUE(accepted.has_value());
+  TcpStream server = std::move(*accepted);
+
+  const std::vector<std::byte> payload = payload_of("delayed-frame");
+  write_frame(server, payload, Millis{2000});
+
+  FramedConn conn(Transport::from_stream(std::move(client)));
+  std::vector<std::vector<std::byte>> frames;
+
+  // Pump until the frame's bytes have arrived and been parsed. Pre-fix this
+  // loop exits with the frame delivered after an inline 250 ms sleep;
+  // post-fix it exits almost immediately with the stall latched.
+  const auto pump_start = Clock::now();
+  while (!conn.read_stalled() && frames.empty()) {
+    ASSERT_EQ(conn.pump_reads(frames), FramedConn::Status::kOpen);
+    ASSERT_LT(Clock::now() - pump_start, std::chrono::seconds(5));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto first_pump_elapsed = Clock::now() - pump_start;
+
+  EXPECT_TRUE(conn.read_stalled())
+      << "delayed frame was delivered by a blocking pump";
+  EXPECT_TRUE(frames.empty());
+  EXPECT_LT(first_pump_elapsed,
+            std::chrono::milliseconds(kBlockingBudget.count()))
+      << "pump_reads blocked on the injected recv delay";
+  EXPECT_FALSE(conn.read_stall_deadline().is_never());
+
+  // The frame must still arrive — after the stall deadline, in order.
+  while (frames.empty()) {
+    ASSERT_EQ(conn.pump_reads(frames), FramedConn::Status::kOpen);
+    ASSERT_LT(Clock::now() - pump_start, std::chrono::seconds(5));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto delivered_elapsed = Clock::now() - pump_start;
+  EXPECT_GE(delivered_elapsed + std::chrono::milliseconds(10),
+            std::chrono::milliseconds(kDelay.count()));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], payload);
+  EXPECT_FALSE(conn.read_stalled());
+  EXPECT_EQ(scoped.stats().delays_injected, 1u);
+
+  // Frames queued behind the stall deliver afterwards, in order.
+  const std::vector<std::byte> second = payload_of("second-frame");
+  write_frame(server, second, Millis{2000});
+  frames.clear();
+  while (frames.empty()) {
+    ASSERT_EQ(conn.pump_reads(frames), FramedConn::Status::kOpen);
+    ASSERT_LT(Clock::now() - pump_start, std::chrono::seconds(10));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], second);
+}
+
+TEST(FramedStall, EofBehindAStallStillDeliversTheFrame) {
+  constexpr Millis kDelay{60};
+
+  TcpListener listener(0);
+  FaultPlan plan;
+  plan.delay_recv_frame(0, kDelay);
+  ScopedFaultPlan scoped(plan);
+
+  TcpStream client = TcpStream::connect_loopback(listener.port());
+  auto accepted = listener.accept(Millis{2000});
+  ASSERT_TRUE(accepted.has_value());
+  TcpStream server = std::move(*accepted);
+
+  const std::vector<std::byte> payload = payload_of("last-words");
+  write_frame(server, payload, Millis{2000});
+  server.close();  // EOF right behind the delayed frame
+
+  FramedConn conn(Transport::from_stream(std::move(client)));
+  std::vector<std::vector<std::byte>> frames;
+
+  const auto start = Clock::now();
+  FramedConn::Status status = FramedConn::Status::kOpen;
+  while (frames.empty() && status == FramedConn::Status::kOpen) {
+    status = conn.pump_reads(frames);
+    ASSERT_LT(Clock::now() - start, std::chrono::seconds(5));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], payload);
+
+  // With the withheld frame delivered, the buffered EOF surfaces cleanly —
+  // either in the delivering pump itself or on the one after.
+  frames.clear();
+  if (status == FramedConn::Status::kOpen) status = conn.pump_reads(frames);
+  EXPECT_EQ(status, FramedConn::Status::kClosed);
+  EXPECT_TRUE(frames.empty());
+}
+
+}  // namespace
+}  // namespace joules

@@ -7,8 +7,10 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "joules_lint/project.hpp"
 #include "util/atomic_file.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace joules::lint {
 namespace {
@@ -52,6 +54,24 @@ const std::vector<Rule>& rule_table() {
        "checkpoint round trips",
        "format with snprintf %.17g / format_number, parse with "
        "std::from_chars; never touch the global locale"},
+      {"layer-dag",
+       "a src/ include pointing up the layer DAG (util -> stats/obs -> "
+       "datasheet/device/psu/meter/model -> traffic/telemetry/network/sleep "
+       "-> zoo/netpowerbench/net -> autopower), or pulling tests/ or tool "
+       "headers into src/, creates a cyclic or inverted layer dependency",
+       "move the shared type down a layer or invert the dependency behind a "
+       "seam interface; tests/ and tools/ code never leaks into src/"},
+      {"reactor-blocking-call",
+       "a blocking call (sleeps, blocking socket I/O) reachable from a "
+       "JOULES_REACTOR_CONTEXT function parks every connection the "
+       "single-threaded poll loop serves",
+       "return a deadline or latch a stall for the reactor to schedule; the "
+       "only sanctioned blocking point is the poll_fds seam"},
+      {"lock-order",
+       "the JOULES_ACQUIRED_BEFORE/AFTER annotations describe a cyclic lock "
+       "acquisition order; two threads honouring different orders deadlock",
+       "pick one global acquisition order and fix the annotations (and the "
+       "call sites the compiler then flags) to match"},
       {"bad-suppression",
        "a suppression pragma must name a known rule and carry a reason",
        "write the pragma as: allow(<rule>) followed by a dash and a reason"},
@@ -475,6 +495,8 @@ std::vector<LineHit> rule_findings(const MaskedSource& masked) {
   return hits;
 }
 
+}  // namespace
+
 bool allowlisted(const Config& config, std::string_view file,
                  std::string_view rule) {
   for (const AllowlistEntry& entry : config.allowlist) {
@@ -488,7 +510,20 @@ bool allowlisted(const Config& config, std::string_view file,
   return false;
 }
 
-}  // namespace
+std::vector<std::vector<std::string>> collect_suppressions(
+    const MaskedSource& masked) {
+  std::vector<std::vector<std::string>> allowed(masked.comments.size() + 1);
+  for (std::size_t i = 0; i < masked.comments.size(); ++i) {
+    if (masked.comments[i].empty()) continue;
+    const auto pragma = parse_pragma(masked.comments[i]);
+    if (!pragma || pragma->malformed) continue;
+    const bool standalone = trim(masked.code[i]).empty();
+    const std::size_t target = standalone ? i + 1 : i;
+    allowed[target].insert(allowed[target].end(), pragma->rules.begin(),
+                           pragma->rules.end());
+  }
+  return allowed;
+}
 
 const std::vector<Rule>& rules() { return rule_table(); }
 
@@ -540,22 +575,17 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view source,
   // A pragma sharing its line with code suppresses that line; a pragma on a
   // standalone comment line suppresses the line below it.
   std::vector<Finding> findings;
-  std::vector<std::vector<std::string>> allowed(masked.comments.size() + 1);
   for (std::size_t i = 0; i < masked.comments.size(); ++i) {
     if (masked.comments[i].empty()) continue;
     const auto pragma = parse_pragma(masked.comments[i]);
-    if (!pragma) continue;
-    if (pragma->malformed) {
+    if (pragma && pragma->malformed) {
       findings.push_back({std::string(path), i + 1, "bad-suppression",
                           pragma->error,
                           i < raw_lines.size() ? trim(raw_lines[i]) : ""});
-      continue;
     }
-    const bool standalone = trim(masked.code[i]).empty();
-    const std::size_t target = standalone ? i + 1 : i;
-    allowed[target].insert(allowed[target].end(), pragma->rules.begin(),
-                           pragma->rules.end());
   }
+  const std::vector<std::vector<std::string>> allowed =
+      collect_suppressions(masked);
 
   for (const LineHit& hit : rule_findings(masked)) {
     const std::size_t i = hit.line_index;
@@ -579,40 +609,43 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view source,
 
 ScanResult lint_tree(const std::filesystem::path& root,
                      const std::vector<std::string>& subdirs,
-                     const Config& config) {
-  namespace fs = std::filesystem;
-  static const std::vector<std::string> kExtensions = {".cpp", ".hpp", ".cc",
-                                                       ".h", ".cxx"};
-  std::vector<fs::path> files;
-  for (const std::string& subdir : subdirs) {
-    const fs::path dir = root / subdir;
-    if (!fs::exists(dir)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-      if (!entry.is_regular_file()) continue;
-      const std::string ext = entry.path().extension().string();
-      if (std::find(kExtensions.begin(), kExtensions.end(), ext) ==
-          kExtensions.end()) {
-        continue;
-      }
-      files.push_back(entry.path());
-    }
-  }
-  std::sort(files.begin(), files.end());
+                     const Config& config, std::size_t jobs) {
+  const std::vector<FileSource> files = load_tree(root, subdirs);
 
   ScanResult result;
-  for (const fs::path& file : files) {
-    const auto contents = read_text_file(file);
-    if (!contents) {
-      throw std::runtime_error("joules_lint: cannot read " + file.string());
+  result.files_scanned = files.size();
+
+  // Per-file rules fan out over the pool; findings land in per-file slots
+  // and merge in file order, so the job count never changes the output.
+  std::vector<std::vector<Finding>> slots(files.size());
+  const auto lint_range = [&](std::size_t begin, std::size_t end,
+                              std::size_t /*slot*/) {
+    for (std::size_t i = begin; i < end; ++i) {
+      slots[i] = lint_source(files[i].path, files[i].source, config);
     }
-    ++result.files_scanned;
-    const std::string rel =
-        fs::relative(file, root).generic_string();
-    auto findings = lint_source(rel, *contents, config);
-    result.findings.insert(result.findings.end(),
-                           std::make_move_iterator(findings.begin()),
-                           std::make_move_iterator(findings.end()));
+  };
+  if (jobs == 1 || files.empty()) {
+    lint_range(0, files.size(), 0);
+  } else {
+    ThreadPool pool(jobs);
+    pool.parallel_for(0, files.size(), lint_range);
   }
+  for (std::vector<Finding>& slot : slots) {
+    result.findings.insert(result.findings.end(),
+                           std::make_move_iterator(slot.begin()),
+                           std::make_move_iterator(slot.end()));
+  }
+
+  // Cross-TU pass over the whole set, then one final deterministic order.
+  std::vector<Finding> project = lint_project(files, config);
+  result.findings.insert(result.findings.end(),
+                         std::make_move_iterator(project.begin()),
+                         std::make_move_iterator(project.end()));
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
   return result;
 }
 

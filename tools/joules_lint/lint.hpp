@@ -18,6 +18,16 @@
 //                        std::to_string / stod / stof / strtod / atof inside
 //                        serialization code (locale-dependent decimal point)
 //
+// Three further rule families need the whole tree at once (include edges,
+// call graphs, lock annotations span files); they live in the project pass
+// (joules_lint/project.hpp) and run automatically from lint_tree:
+//
+//   layer-dag              src/ include edges must point down the layer DAG
+//   reactor-blocking-call  no blocking call reachable from a function marked
+//                          JOULES_REACTOR_CONTEXT
+//   lock-order             JOULES_ACQUIRED_BEFORE/AFTER annotations must not
+//                          form a cycle
+//
 // Matching runs on comment- and string-stripped source, so documentation and
 // format strings never trip a rule. Two suppression channels exist, and both
 // must carry a written reason:
@@ -86,11 +96,16 @@ struct ScanResult {
 };
 
 // Scans `subdirs` under `root` (default: src bench tools tests) for
-// .cpp/.hpp/.cc/.h/.cxx files. File order is sorted, so output is
-// deterministic regardless of directory enumeration order.
+// .cpp/.hpp/.cc/.h/.cxx files, running per-file rules on each and the
+// cross-TU project pass over the whole set. File order is sorted, so output
+// is deterministic regardless of directory enumeration order — including
+// with `jobs` > 1, which fans the per-file rules out over a ThreadPool but
+// merges findings in file order (0 picks one job per hardware thread).
 [[nodiscard]] ScanResult lint_tree(const std::filesystem::path& root,
                                    const std::vector<std::string>& subdirs,
-                                   const Config& config);
+                                   const Config& config,
+                                   std::size_t jobs = 1);
+
 
 // Human-readable report; with `fix_hints`, appends the per-rule remediation
 // notes for every rule that fired.
@@ -105,5 +120,17 @@ struct MaskedSource {
   std::vector<std::string> comments;
 };
 [[nodiscard]] MaskedSource mask_source(std::string_view source);
+
+// Shared between lint_source and the project pass: the per-line suppression
+// sets parsed from "joules-lint: allow(...)" pragmas, indexed by 0-based
+// line (a standalone-comment pragma targets the line below it). Malformed
+// pragmas are ignored here — lint_source owns reporting them, exactly once.
+[[nodiscard]] std::vector<std::vector<std::string>> collect_suppressions(
+    const MaskedSource& masked);
+
+// True when `file` is covered for `rule` by an allowlist entry (exact file
+// match or directory-prefix match).
+[[nodiscard]] bool allowlisted(const Config& config, std::string_view file,
+                               std::string_view rule);
 
 }  // namespace joules::lint

@@ -1,19 +1,25 @@
-// joules_lint — CLI front end to the determinism lint (see lint.hpp).
+// joules_lint — CLI front end to the determinism lint (see lint.hpp) and
+// the cross-TU project pass (see project.hpp).
 //
 //   joules_lint [--root DIR] [--allowlist FILE] [--fix-hints]
-//               [--report FILE] [subdir...]
+//               [--report FILE] [--graph FILE] [--jobs N] [subdir...]
 //
 // Scans src/ bench/ tools/ tests/ under --root (default: the current
 // directory) unless explicit subdirs are given. Exit codes: 0 clean,
 // 1 findings, 2 usage or I/O error — so `ctest -L lint` and CI can gate on
 // it directly. --report writes the same report to a file (uploaded as a CI
-// artifact); --fix-hints appends per-rule remediation notes.
+// artifact); --graph writes the layer DAG with observed include edges as
+// Graphviz DOT (byte-identical across runs of the same tree); --jobs fans
+// the per-file rules out over N threads (0 = one per hardware thread)
+// without changing the output; --fix-hints appends per-rule remediation
+// notes.
 #include <cstdio>
 #include <exception>
 #include <string>
 #include <vector>
 
 #include "joules_lint/lint.hpp"
+#include "joules_lint/project.hpp"
 #include "util/atomic_file.hpp"
 
 namespace {
@@ -21,7 +27,8 @@ namespace {
 int usage() {
   std::fputs(
       "usage: joules_lint [--root DIR] [--allowlist FILE] [--fix-hints]\n"
-      "                   [--report FILE] [subdir...]\n",
+      "                   [--report FILE] [--graph FILE] [--jobs N]\n"
+      "                   [subdir...]\n",
       stderr);
   return 2;
 }
@@ -32,6 +39,8 @@ int main(int argc, char** argv) {
   std::string root = ".";
   std::string allowlist_path;
   std::string report_path;
+  std::string graph_path;
+  std::size_t jobs = 1;
   bool fix_hints = false;
   std::vector<std::string> subdirs;
 
@@ -43,6 +52,14 @@ int main(int argc, char** argv) {
       allowlist_path = argv[++i];
     } else if (arg == "--report" && i + 1 < argc) {
       report_path = argv[++i];
+    } else if (arg == "--graph" && i + 1 < argc) {
+      graph_path = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      try {
+        jobs = std::stoul(argv[++i]);
+      } catch (const std::exception&) {
+        return usage();
+      }
     } else if (arg == "--fix-hints") {
       fix_hints = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -62,11 +79,16 @@ int main(int argc, char** argv) {
       config.allowlist = joules::lint::parse_allowlist(*text);
     }
     const joules::lint::ScanResult result =
-        joules::lint::lint_tree(root, subdirs, config);
+        joules::lint::lint_tree(root, subdirs, config, jobs);
     const std::string report = joules::lint::render_report(result, fix_hints);
     std::fputs(report.c_str(), stdout);
     if (!report_path.empty()) {
       joules::write_file_atomic(report_path, report);
+    }
+    if (!graph_path.empty()) {
+      const std::string dot = joules::lint::render_layer_graph_dot(
+          joules::lint::load_tree(root, subdirs));
+      joules::write_file_atomic(graph_path, dot);
     }
     return result.findings.empty() ? 0 : 1;
   } catch (const std::exception& error) {

@@ -1,0 +1,818 @@
+#include "joules_lint/project.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <optional>
+#include <regex>
+#include <set>
+#include <stdexcept>
+#include <string_view>
+#include <tuple>
+#include <utility>
+
+#include "util/atomic_file.hpp"
+#include "util/strings.hpp"
+
+namespace joules::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The layer DAG. Rank increases toward the application layer; a src/ file
+// may include its own layer or any layer below it. Adding a directory to
+// src/ means adding it here (the lint fails loudly on includes it cannot
+// rank only when they cross a known boundary, so a missing entry shows up
+// as silence in the --graph dump, not a spurious failure).
+
+const std::map<std::string, int>& layer_ranks() {
+  static const std::map<std::string, int> kRanks = {
+      {"util", 1},
+      {"stats", 2},
+      {"obs", 2},
+      {"datasheet", 3},
+      {"device", 3},
+      {"psu", 3},
+      {"meter", 3},
+      {"model", 3},
+      {"traffic", 4},
+      {"telemetry", 4},
+      {"network", 4},
+      {"sleep", 4},
+      {"zoo", 5},
+      {"netpowerbench", 5},
+      {"net", 5},
+      {"autopower", 6},
+  };
+  return kRanks;
+}
+
+// Directories whose headers must never be included from src/: test code and
+// the tools that *check* the library cannot become its dependencies.
+bool is_foreign_tree(std::string_view top) {
+  return top == "tests" || top == "tools" || top == "joules_lint" ||
+         top == "bench_compare";
+}
+
+// ---------------------------------------------------------------------------
+// Small text helpers (the lint is textual by design; see the file header of
+// project.hpp for the accuracy contract).
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool contains_word(std::string_view haystack, std::string_view word) {
+  std::size_t pos = 0;
+  while ((pos = haystack.find(word, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(haystack[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= haystack.size() || !is_ident_char(haystack[end]);
+    if (left_ok && right_ok) return true;
+    ++pos;
+  }
+  return false;
+}
+
+std::string last_identifier(std::string_view text) {
+  std::size_t end = text.size();
+  while (end > 0 && !is_ident_char(text[end - 1])) --end;
+  std::size_t begin = end;
+  while (begin > 0 && is_ident_char(text[begin - 1])) --begin;
+  return std::string(text.substr(begin, end - begin));
+}
+
+bool is_cpp_keyword(std::string_view word) {
+  static const std::set<std::string_view> kWords = {
+      "if",     "for",           "while",    "switch",  "catch",
+      "return", "do",            "else",     "new",     "delete",
+      "throw",  "sizeof",        "alignof",  "decltype", "defined",
+      "assert", "static_assert", "alignas",  "noexcept"};
+  return kWords.count(word) > 0;
+}
+
+// "net" for "src/net/...", empty for anything that is not a src/ subtree.
+std::string src_top(std::string_view path) {
+  if (!starts_with(path, "src/")) return {};
+  const std::string_view rest = path.substr(4);
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return {};
+  return std::string(rest.substr(0, slash));
+}
+
+// ---------------------------------------------------------------------------
+// Per-file preparation shared by all three rule families.
+
+struct Prepared {
+  MaskedSource masked;
+  std::vector<std::string> raw_lines;
+  std::vector<std::vector<std::string>> allowed;  // pragma suppressions
+  std::string top;                                // src/ layer directory
+};
+
+// ---------------------------------------------------------------------------
+// Declaration/definition scanner. Walks masked code with a brace-scope
+// stack, classifying each `{` as a class, a function body, or "other"
+// (namespace, initializer, control flow inside file-scope lambdas). Function
+// bodies are captured line by line for the reactor reachability walk;
+// declaration heads ending in `;` are harvested for reactor markers and
+// lock-order annotations.
+
+struct FuncDef {
+  std::string qualifier;  // enclosing class, or the A of an `A::b` definition
+  std::string name;
+  std::size_t file_index = 0;
+  std::size_t line = 0;  // 1-based line the head started on
+  bool reactor_root = false;
+  std::vector<std::pair<std::size_t, std::string>> body;  // (1-based, masked)
+};
+
+struct ReactorDecl {
+  std::string qualifier;
+  std::string name;
+};
+
+struct LockEdge {
+  std::string from;  // Class::member that must be acquired first
+  std::string to;
+  std::size_t file_index = 0;
+  std::size_t line = 0;
+};
+
+const std::regex& re_lock_annotation() {
+  static const std::regex re(
+      R"(JOULES_ACQUIRED_(BEFORE|AFTER)\s*\(\s*([A-Za-z_]\w*)\s*\))");
+  return re;
+}
+
+// `class JOULES_CAPABILITY("mutex") Mutex` / `struct Limits` → the class
+// name; nullopt for enums and heads with no class/struct keyword. Attribute
+// macros and the base clause are skipped.
+std::optional<std::string> classify_class(const std::string& head) {
+  if (contains_word(head, "enum")) return std::nullopt;
+  if (!contains_word(head, "class") && !contains_word(head, "struct")) {
+    return std::nullopt;
+  }
+  std::string h = head;
+  int depth = 0;
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const char c = h[i];
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == ':' && depth == 0) {
+      if (i + 1 < h.size() && h[i + 1] == ':') {
+        ++i;  // scope operator, not a base clause
+        continue;
+      }
+      h = h.substr(0, i);
+      break;
+    }
+  }
+  static const std::set<std::string_view> kSkip = {
+      "class", "struct", "final", "template", "typename", "export",
+      "public", "private", "protected"};
+  std::string name;
+  std::size_t i = 0;
+  while (i < h.size()) {
+    if (!is_ident_char(h[i])) {
+      ++i;
+      continue;
+    }
+    const std::size_t begin = i;
+    while (i < h.size() && is_ident_char(h[i])) ++i;
+    const std::string word = h.substr(begin, i - begin);
+    if (kSkip.count(word) > 0 || starts_with(word, "JOULES_")) continue;
+    name = word;
+  }
+  if (name.empty()) return std::nullopt;
+  return name;
+}
+
+struct FuncHead {
+  std::string qualifier;
+  std::string name;
+};
+
+// The identifier (possibly `A::b`) owning the first top-level parameter list
+// in a declaration/definition head. Rejects initializers (a bare `=` at
+// paren depth zero) and control-flow keywords, so `if (...) {` inside a
+// file-scope lambda never becomes a function.
+std::optional<FuncHead> classify_function(const std::string& head) {
+  int depth = 0;
+  std::size_t open = std::string::npos;
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    const char c = head[i];
+    if (c == '=' && depth == 0) {
+      const char prev = i > 0 ? head[i - 1] : '\0';
+      const char next = i + 1 < head.size() ? head[i + 1] : '\0';
+      if (prev != '=' && prev != '<' && prev != '>' && prev != '!' &&
+          next != '=') {
+        return std::nullopt;
+      }
+    }
+    if (c == '(') {
+      if (depth == 0 && open == std::string::npos) open = i;
+      ++depth;
+    } else if (c == ')') {
+      --depth;
+    }
+  }
+  if (open == std::string::npos) return std::nullopt;
+  std::size_t end = open;
+  while (end > 0 &&
+         std::isspace(static_cast<unsigned char>(head[end - 1])) != 0) {
+    --end;
+  }
+  std::size_t begin = end;
+  while (begin > 0 && (is_ident_char(head[begin - 1]) || head[begin - 1] == ':')) {
+    --begin;
+  }
+  std::string token = head.substr(begin, end - begin);
+  while (starts_with(token, ":")) token = token.substr(1);
+  if (token.empty()) return std::nullopt;
+  FuncHead out;
+  const std::size_t sep = token.rfind("::");
+  if (sep == std::string::npos) {
+    out.name = token;
+  } else {
+    out.qualifier = token.substr(0, sep);
+    out.name = token.substr(sep + 2);
+  }
+  if (out.name.empty() || is_cpp_keyword(out.name) ||
+      std::isdigit(static_cast<unsigned char>(out.name[0])) != 0) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+void scan_file(std::size_t file_index, const Prepared& prep,
+               std::vector<FuncDef>& defs, std::vector<ReactorDecl>& decls,
+               std::vector<LockEdge>& lock_edges) {
+  const std::vector<std::string>& code = prep.masked.code;
+  std::vector<std::optional<std::string>> scopes;  // class name, or other
+  std::string head;
+  std::size_t head_line = 1;
+  bool head_has_content = false;
+  int paren_depth = 0;
+  int func_depth = 0;
+  FuncDef current;
+  bool recorded = false;  // current line already appended to current.body
+
+  const auto innermost_class = [&]() -> std::string {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->has_value()) return **it;
+    }
+    return {};
+  };
+  const auto clear_head = [&] {
+    head.clear();
+    head_has_content = false;
+  };
+  const auto note_head_char = [&](char c, std::size_t li) {
+    if (!head_has_content && std::isspace(static_cast<unsigned char>(c)) == 0) {
+      head_has_content = true;
+      head_line = li + 1;
+    }
+    head += c;
+  };
+
+  // A declaration head ended in ';' without a body: reactor markers live on
+  // declarations (the definition may sit in another TU), and lock-order
+  // annotations are member declarations.
+  const auto harvest_decl = [&] {
+    if (!head_has_content) return;
+    if (contains_word(head, "JOULES_REACTOR_CONTEXT")) {
+      if (const auto fn = classify_function(head)) {
+        decls.push_back(
+            {fn->qualifier.empty() ? innermost_class() : fn->qualifier,
+             fn->name});
+      }
+    }
+    auto it = std::sregex_iterator(head.begin(), head.end(),
+                                   re_lock_annotation());
+    const auto end = std::sregex_iterator();
+    if (it == end) return;
+    const std::string member = last_identifier(
+        head.substr(0, static_cast<std::size_t>(it->position(0))));
+    if (member.empty()) return;
+    const std::string cls = innermost_class();
+    const auto qualify = [&](const std::string& name) {
+      return cls.empty() ? name : cls + "::" + name;
+    };
+    for (; it != end; ++it) {
+      const std::smatch& m = *it;
+      // acquired_before(x) on member m: m precedes x. acquired_after(x): x
+      // precedes m. Edges always point from the earlier lock to the later.
+      if (m[1].str() == "BEFORE") {
+        lock_edges.push_back(
+            {qualify(member), qualify(m[2].str()), file_index, head_line});
+      } else {
+        lock_edges.push_back(
+            {qualify(m[2].str()), qualify(member), file_index, head_line});
+      }
+    }
+  };
+
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    const std::string& line = code[li];
+    const std::string trimmed = trim(line);
+    if (!trimmed.empty() && trimmed[0] == '#') continue;  // preprocessor
+    recorded = false;
+    if (func_depth > 0) {
+      current.body.emplace_back(li + 1, line);
+      recorded = true;
+    }
+    for (std::size_t ci = 0; ci < line.size(); ++ci) {
+      const char c = line[ci];
+      if (func_depth > 0) {
+        if (c == '{') {
+          ++func_depth;
+        } else if (c == '}' && --func_depth == 0) {
+          defs.push_back(std::move(current));
+          current = FuncDef{};
+          recorded = false;
+        }
+        continue;
+      }
+      switch (c) {
+        case '(':
+          ++paren_depth;
+          note_head_char(c, li);
+          break;
+        case ')':
+          if (paren_depth > 0) --paren_depth;
+          note_head_char(c, li);
+          break;
+        case ';':
+          if (paren_depth == 0) {
+            harvest_decl();
+            clear_head();
+          } else {
+            note_head_char(c, li);
+          }
+          break;
+        case '{': {
+          if (paren_depth > 0) {
+            // Braced init inside a parameter list; not a scope of interest.
+            scopes.push_back(std::nullopt);
+            break;
+          }
+          if (const auto cls = classify_class(head)) {
+            scopes.push_back(*cls);
+            clear_head();
+            break;
+          }
+          if (head_has_content && !contains_word(head, "namespace")) {
+            if (const auto fn = classify_function(head)) {
+              current.qualifier =
+                  fn->qualifier.empty() ? innermost_class() : fn->qualifier;
+              current.name = fn->name;
+              current.file_index = file_index;
+              current.line = head_line;
+              current.reactor_root =
+                  contains_word(head, "JOULES_REACTOR_CONTEXT");
+              func_depth = 1;
+              if (!recorded) {
+                current.body.emplace_back(li + 1, line);
+                recorded = true;
+              }
+              clear_head();
+              break;
+            }
+          }
+          scopes.push_back(std::nullopt);
+          clear_head();
+          break;
+        }
+        case '}':
+          if (!scopes.empty()) scopes.pop_back();
+          clear_head();
+          break;
+        default:
+          note_head_char(c, li);
+          // An access specifier is not part of the following declaration's
+          // head (it would skew the head's start line, which anchors
+          // lock-order findings).
+          if (c == ':') {
+            const std::string t = trim(head);
+            if (t == "public:" || t == "private:" || t == "protected:") {
+              clear_head();
+            }
+          }
+          break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// reactor-blocking-call: reachability from JOULES_REACTOR_CONTEXT roots.
+
+// Calls that park the calling thread. `accept` is deliberately absent:
+// TcpListener::try_accept wraps ::accept nonblockingly, and the blocking
+// overload is caught through wait_readable / ::poll instead.
+constexpr std::string_view kBlockingTokens[] = {
+    "sleep_for",     "sleep_until", "usleep",           "nanosleep",
+    "send_all",      "recv_exact",  "wait_readable",    "connect_loopback",
+    "read_frame",    "write_frame"};
+
+// The sanctioned blocking seam: reactors block *only* inside poll_fds (the
+// ::poll wrapper with the wakeup pipe). The walk neither flags it nor
+// descends into it.
+constexpr std::string_view kBlockingSeams[] = {"poll_fds"};
+
+const std::regex& re_raw_poll() {
+  static const std::regex re(R"(::\s*poll\s*\()");
+  return re;
+}
+
+const std::regex& re_call() {
+  static const std::regex re(
+      R"((?:([A-Za-z_]\w*)\s*::\s*)?([A-Za-z_]\w*)\s*\()");
+  return re;
+}
+
+bool is_blocking_token(std::string_view name) {
+  return std::find(std::begin(kBlockingTokens), std::end(kBlockingTokens),
+                   name) != std::end(kBlockingTokens);
+}
+
+bool is_blocking_seam(std::string_view name) {
+  return std::find(std::begin(kBlockingSeams), std::end(kBlockingSeams),
+                   name) != std::end(kBlockingSeams);
+}
+
+struct CallGraph {
+  std::vector<FuncDef> defs;
+  std::map<std::pair<std::string, std::string>, std::vector<std::size_t>>
+      by_qual_name;
+  std::map<std::pair<std::size_t, std::string>, std::vector<std::size_t>>
+      by_file_name;
+  std::map<std::string, std::vector<std::size_t>> by_name;
+};
+
+void index_graph(CallGraph& graph) {
+  for (std::size_t i = 0; i < graph.defs.size(); ++i) {
+    const FuncDef& def = graph.defs[i];
+    graph.by_qual_name[{def.qualifier, def.name}].push_back(i);
+    graph.by_file_name[{def.file_index, def.name}].push_back(i);
+    graph.by_name[def.name].push_back(i);
+  }
+}
+
+// Same class → same file → unique project-wide; ambiguous names resolve to
+// nothing (the walk skips rather than guesses).
+std::vector<std::size_t> resolve_call(const CallGraph& graph,
+                                      const std::string& caller_qualifier,
+                                      std::size_t caller_file,
+                                      const std::string& explicit_qualifier,
+                                      const std::string& name) {
+  if (!explicit_qualifier.empty()) {
+    const auto it = graph.by_qual_name.find({explicit_qualifier, name});
+    if (it != graph.by_qual_name.end()) return it->second;
+  }
+  if (!caller_qualifier.empty()) {
+    const auto it = graph.by_qual_name.find({caller_qualifier, name});
+    if (it != graph.by_qual_name.end()) return it->second;
+  }
+  const auto fit = graph.by_file_name.find({caller_file, name});
+  if (fit != graph.by_file_name.end()) return fit->second;
+  const auto nit = graph.by_name.find(name);
+  if (nit != graph.by_name.end() && nit->second.size() == 1) {
+    return nit->second;
+  }
+  return {};
+}
+
+std::string display_name(const FuncDef& def) {
+  return def.qualifier.empty() ? def.name : def.qualifier + "::" + def.name;
+}
+
+template <typename Emit>
+void check_reactor(const std::vector<FileSource>& files,
+                   const CallGraph& graph,
+                   const std::vector<ReactorDecl>& decls, const Emit& emit) {
+  std::set<std::size_t> roots;
+  for (std::size_t i = 0; i < graph.defs.size(); ++i) {
+    if (graph.defs[i].reactor_root) roots.insert(i);
+  }
+  for (const ReactorDecl& decl : decls) {
+    const auto it = graph.by_qual_name.find({decl.qualifier, decl.name});
+    if (it != graph.by_qual_name.end()) {
+      roots.insert(it->second.begin(), it->second.end());
+      continue;
+    }
+    const auto nit = graph.by_name.find(decl.name);
+    if (nit != graph.by_name.end() && nit->second.size() == 1) {
+      roots.insert(nit->second.begin(), nit->second.end());
+    }
+  }
+
+  // BFS in a deterministic order: roots sorted by (file path, line).
+  std::vector<std::size_t> queue(roots.begin(), roots.end());
+  std::sort(queue.begin(), queue.end(), [&](std::size_t a, std::size_t b) {
+    return std::tie(files[graph.defs[a].file_index].path, graph.defs[a].line) <
+           std::tie(files[graph.defs[b].file_index].path, graph.defs[b].line);
+  });
+  std::map<std::size_t, std::string> chain;
+  for (const std::size_t root : queue) chain[root] = display_name(graph.defs[root]);
+  std::set<std::size_t> visited(queue.begin(), queue.end());
+
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const std::size_t idx = queue[qi];
+    const FuncDef& def = graph.defs[idx];
+    const std::string& path = chain[idx];
+    for (const auto& [line_no, text] : def.body) {
+      for (const std::string_view token : kBlockingTokens) {
+        if (contains_word(text, token)) {
+          emit(def.file_index, line_no, "reactor-blocking-call",
+               "blocking call `" + std::string(token) +
+                   "` reachable from a reactor context via " + path);
+        }
+      }
+      if (std::regex_search(text, re_raw_poll()) &&
+          !contains_word(text, "poll_fds")) {
+        emit(def.file_index, line_no, "reactor-blocking-call",
+             "raw ::poll reachable from a reactor context via " + path +
+                 "; block only inside the poll_fds seam");
+      }
+      const auto end = std::sregex_iterator();
+      for (auto it = std::sregex_iterator(text.begin(), text.end(), re_call());
+           it != end; ++it) {
+        const std::string explicit_qual = (*it)[1].str();
+        const std::string name = (*it)[2].str();
+        if (is_cpp_keyword(name) || is_blocking_token(name) ||
+            is_blocking_seam(name)) {
+          continue;
+        }
+        for (const std::size_t target : resolve_call(
+                 graph, def.qualifier, def.file_index, explicit_qual, name)) {
+          if (visited.insert(target).second) {
+            chain[target] = path + " -> " + display_name(graph.defs[target]);
+            queue.push_back(target);
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// lock-order: cycle detection over the ACQUIRED_BEFORE/AFTER edge set.
+
+template <typename Emit>
+void check_lock_order(const std::vector<LockEdge>& edges, const Emit& emit) {
+  std::map<std::string, std::vector<std::size_t>> adjacency;
+  std::map<std::pair<std::string, std::string>, std::size_t> first_edge;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    adjacency[edges[i].from].push_back(i);
+    first_edge.emplace(std::make_pair(edges[i].from, edges[i].to), i);
+  }
+  for (auto& [node, out] : adjacency) {
+    std::sort(out.begin(), out.end(), [&](std::size_t a, std::size_t b) {
+      return edges[a].to < edges[b].to;
+    });
+  }
+
+  std::map<std::string, int> color;  // 0 unvisited, 1 on stack, 2 done
+  std::vector<std::string> stack;
+  std::set<std::string> reported;
+
+  const auto report_cycle = [&](std::vector<std::string> cycle) {
+    // Canonical rotation (smallest node first) so one cycle reports once no
+    // matter where the DFS entered it.
+    const auto min_it = std::min_element(cycle.begin(), cycle.end());
+    std::rotate(cycle.begin(), min_it, cycle.end());
+    std::string key;
+    for (const std::string& node : cycle) key += node + ";";
+    if (!reported.insert(key).second) return;
+
+    std::string text;
+    std::pair<std::string, std::string> best_edge;
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      const std::string& from = cycle[i];
+      const std::string& to = cycle[(i + 1) % cycle.size()];
+      if (i == 0 || std::make_pair(from, to) < best_edge) {
+        best_edge = {from, to};
+      }
+      text += from + " -> ";
+    }
+    text += cycle.front();
+    const auto anchor = first_edge.find(best_edge);
+    if (anchor == first_edge.end()) return;
+    const LockEdge& edge = edges[anchor->second];
+    emit(edge.file_index, edge.line, "lock-order",
+         "lock acquisition order cycle: " + text +
+             " (JOULES_ACQUIRED_BEFORE/AFTER annotations disagree on a "
+             "global order)");
+  };
+
+  const std::function<void(const std::string&)> dfs =
+      [&](const std::string& node) {
+        color[node] = 1;
+        stack.push_back(node);
+        const auto it = adjacency.find(node);
+        if (it != adjacency.end()) {
+          for (const std::size_t edge_index : it->second) {
+            const std::string& to = edges[edge_index].to;
+            const int state = color[to];
+            if (state == 1) {
+              const auto at = std::find(stack.begin(), stack.end(), to);
+              report_cycle(std::vector<std::string>(at, stack.end()));
+            } else if (state == 0) {
+              dfs(to);
+            }
+          }
+        }
+        color[node] = 2;
+        stack.pop_back();
+      };
+  for (const auto& [node, out] : adjacency) {
+    if (color[node] == 0) dfs(node);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// layer-dag: include edges against the rank table.
+
+const std::regex& re_include() {
+  static const std::regex re(R"(^\s*#\s*include\s*"([^"]+)\")");
+  return re;
+}
+
+template <typename Emit>
+void check_layer_dag(const std::vector<Prepared>& prepared, const Emit& emit) {
+  for (std::size_t i = 0; i < prepared.size(); ++i) {
+    const Prepared& prep = prepared[i];
+    if (prep.top.empty()) continue;  // only src/<layer>/ files are ranked
+    const auto file_rank = layer_ranks().find(prep.top);
+    for (std::size_t li = 0; li < prep.raw_lines.size(); ++li) {
+      std::smatch m;
+      if (!std::regex_search(prep.raw_lines[li], m, re_include())) continue;
+      const std::string include = m[1].str();
+      const std::size_t slash = include.find('/');
+      if (slash == std::string::npos) continue;  // same-directory include
+      const std::string include_top = include.substr(0, slash);
+      if (is_foreign_tree(include_top)) {
+        emit(i, li + 1, "layer-dag",
+             "src/" + prep.top + " includes \"" + include +
+                 "\": tests/ and tool headers must not leak into src/");
+        continue;
+      }
+      const auto include_rank = layer_ranks().find(include_top);
+      if (file_rank == layer_ranks().end() ||
+          include_rank == layer_ranks().end()) {
+        continue;
+      }
+      if (include_rank->second > file_rank->second) {
+        emit(i, li + 1, "layer-dag",
+             "src/" + prep.top + " (layer " +
+                 std::to_string(file_rank->second) + ") must not include " +
+                 include_top + "/ (layer " +
+                 std::to_string(include_rank->second) +
+                 "): the edge points up the DAG");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+std::vector<FileSource> load_tree(const std::filesystem::path& root,
+                                  const std::vector<std::string>& subdirs) {
+  namespace fs = std::filesystem;
+  static const std::vector<std::string> kExtensions = {".cpp", ".hpp", ".cc",
+                                                       ".h", ".cxx"};
+  std::vector<fs::path> paths;
+  for (const std::string& subdir : subdirs) {
+    const fs::path dir = root / subdir;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (std::find(kExtensions.begin(), kExtensions.end(), ext) ==
+          kExtensions.end()) {
+        continue;
+      }
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<FileSource> files;
+  files.reserve(paths.size());
+  for (const fs::path& path : paths) {
+    const auto contents = read_text_file(path);
+    if (!contents) {
+      throw std::runtime_error("joules_lint: cannot read " + path.string());
+    }
+    files.push_back(
+        {fs::relative(path, root).generic_string(), std::move(*contents)});
+  }
+  return files;
+}
+
+std::vector<Finding> lint_project(const std::vector<FileSource>& files,
+                                  const Config& config) {
+  std::vector<Prepared> prepared(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    prepared[i].masked = mask_source(files[i].source);
+    prepared[i].raw_lines = split_lines(files[i].source);
+    prepared[i].allowed = collect_suppressions(prepared[i].masked);
+    prepared[i].top = src_top(files[i].path);
+  }
+
+  std::vector<Finding> findings;
+  const auto emit = [&](std::size_t file_index, std::size_t line,
+                        const char* rule, std::string message) {
+    const Prepared& prep = prepared[file_index];
+    const std::size_t index = line - 1;
+    if (index < prep.allowed.size()) {
+      const auto& allowed = prep.allowed[index];
+      if (std::find(allowed.begin(), allowed.end(), rule) != allowed.end()) {
+        return;
+      }
+    }
+    if (allowlisted(config, files[file_index].path, rule)) return;
+    findings.push_back(
+        {files[file_index].path, line, rule, std::move(message),
+         index < prep.raw_lines.size() ? trim(prep.raw_lines[index]) : ""});
+  };
+
+  check_layer_dag(prepared, emit);
+
+  // The call graph and lock contracts are library properties: only src/ is
+  // scanned, so a test helper cannot shadow a library function by name.
+  CallGraph graph;
+  std::vector<ReactorDecl> decls;
+  std::vector<LockEdge> lock_edges;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (!starts_with(files[i].path, "src/")) continue;
+    scan_file(i, prepared[i], graph.defs, decls, lock_edges);
+  }
+  index_graph(graph);
+  check_reactor(files, graph, decls, emit);
+  check_lock_order(lock_edges, emit);
+
+  // Multiple roots can reach the same blocking line; keep one finding per
+  // (file, line, rule), picking the lexicographically first message.
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return std::tie(a.file, a.line, a.rule) ==
+                                      std::tie(b.file, b.line, b.rule);
+                             }),
+                 findings.end());
+  return findings;
+}
+
+std::string render_layer_graph_dot(const std::vector<FileSource>& files) {
+  std::set<std::string> nodes;
+  std::set<std::pair<std::string, std::string>> edges;
+  for (const FileSource& file : files) {
+    const std::string top = src_top(file.path);
+    if (top.empty() || layer_ranks().count(top) == 0) continue;
+    nodes.insert(top);
+    for (const std::string& raw : split_lines(file.source)) {
+      std::smatch m;
+      if (!std::regex_search(raw, m, re_include())) continue;
+      const std::string include = m[1].str();
+      const std::size_t slash = include.find('/');
+      if (slash == std::string::npos) continue;
+      const std::string include_top = include.substr(0, slash);
+      if (layer_ranks().count(include_top) == 0 || include_top == top) {
+        continue;
+      }
+      nodes.insert(include_top);
+      edges.emplace(top, include_top);
+    }
+  }
+
+  std::string out = "digraph joules_layers {\n  rankdir=BT;\n"
+                    "  node [shape=box];\n";
+  int max_rank = 0;
+  for (const auto& [dir, rank] : layer_ranks()) max_rank = std::max(max_rank, rank);
+  for (int rank = 1; rank <= max_rank; ++rank) {
+    std::string row;
+    for (const std::string& node : nodes) {  // std::set: sorted
+      const auto it = layer_ranks().find(node);
+      if (it != layer_ranks().end() && it->second == rank) {
+        row += " \"" + node + "\";";
+      }
+    }
+    if (!row.empty()) out += "  { rank=same;" + row + " }\n";
+  }
+  for (const auto& [from, to] : edges) {
+    out += "  \"" + from + "\" -> \"" + to + "\";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace joules::lint

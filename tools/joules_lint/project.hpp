@@ -1,0 +1,70 @@
+// joules_lint project pass — cross-TU architecture and concurrency rules.
+//
+// The per-file rules in lint.hpp catch nondeterminism one translation unit
+// can exhibit on its own. Three properties of this codebase only break
+// *between* files, so they get a whole-tree pass:
+//
+//   layer-dag              src/ is a layered DAG:
+//                            util → stats/obs → datasheet/device/psu/meter/
+//                            model → traffic/telemetry/network/sleep →
+//                            zoo/netpowerbench/net → autopower.
+//                          Same-layer includes are fine; an #include pointing
+//                          up the DAG is a back edge, and src/ pulling tests/
+//                          or tool headers (joules_lint/, bench_compare/) is
+//                          a leak in either direction.
+//   reactor-blocking-call  functions marked JOULES_REACTOR_CONTEXT (see
+//                          util/thread_annotations.hpp) run on
+//                          single-threaded poll loops; a blocking call —
+//                          sleeps, blocking socket I/O — reachable from one
+//                          parks every connection that loop serves. The only
+//                          sanctioned blocking point is the poll_fds seam,
+//                          which the reachability walk does not descend into.
+//   lock-order             JOULES_ACQUIRED_BEFORE/AFTER annotations form a
+//                          lock acquisition graph; a cycle means two call
+//                          paths can take the same locks in opposite orders
+//                          and deadlock.
+//
+// The pass is textual, like the per-file rules: it runs on comment- and
+// string-stripped source, builds an approximate per-class call graph, and
+// resolves calls by name with a same-class → same-file → unique-project-wide
+// preference — an ambiguous name is skipped, never guessed, so the rule errs
+// toward silence rather than false positives. All three families share
+// lint.hpp's suppression channels: a per-line pragma on the reported line, or
+// an allowlist entry for the reported file.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "joules_lint/lint.hpp"
+
+namespace joules::lint {
+
+// One lintable file, read into memory. `path` is repo-relative with forward
+// slashes — the project rules key layer membership off it.
+struct FileSource {
+  std::string path;
+  std::string source;
+};
+
+// Reads every .cpp/.hpp/.cc/.h/.cxx file under root/subdirs, sorted by
+// path (the same set lint_tree scans). Throws on an unreadable file.
+[[nodiscard]] std::vector<FileSource> load_tree(
+    const std::filesystem::path& root, const std::vector<std::string>& subdirs);
+
+// Runs the three cross-TU rule families over the file set. Findings are
+// sorted by (file, line, rule) and already filtered through pragma and
+// allowlist suppressions; malformed pragmas are NOT re-reported here
+// (lint_source owns those findings).
+[[nodiscard]] std::vector<Finding> lint_project(
+    const std::vector<FileSource>& files, const Config& config);
+
+// Renders the layer DAG as Graphviz DOT: one rank row per layer, one node
+// per src/ top-level directory observed in `files`, one edge per observed
+// include dependency between directories. Output is fully sorted, so two
+// renders of the same tree are byte-identical (CI diffs the artifact).
+[[nodiscard]] std::string render_layer_graph_dot(
+    const std::vector<FileSource>& files);
+
+}  // namespace joules::lint
