@@ -12,6 +12,7 @@
 #include <filesystem>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "autopower/fleet.hpp"
@@ -20,6 +21,7 @@
 #include "model/power_model.hpp"
 #include "net/fault.hpp"
 #include "network/dataset.hpp"
+#include "network/federated.hpp"
 #include "network/simulation.hpp"
 #include "network/trace_engine.hpp"
 #include "network/whatif_engine.hpp"
@@ -211,6 +213,67 @@ BENCHMARK(BM_NetworkTracesScaled)
     ->Args({8, 4, 0})
     ->Args({1, 4, 3600})
     ->Args({4, 4, 3600})
+    ->Unit(benchmark::kMillisecond);
+
+// Builds (once per shape, cached for the process) a federated multi-domain
+// network. Args pick {domains, routers_per_pop}; pops_per_domain is fixed at
+// 10, so router count = domains * 10 * routers_per_pop.
+const NetworkSimulation& federated_sim(int domains, int routers_per_pop) {
+  static std::map<std::pair<int, int>, NetworkSimulation> sims;
+  const auto key = std::make_pair(domains, routers_per_pop);
+  const auto it = sims.find(key);
+  if (it != sims.end()) return it->second;
+  FederatedTopologyOptions options;
+  options.seed = 77;  // same pin as tests/network/scale_smoke_test.cpp
+  options.domains = domains;
+  options.pops_per_domain = 10;
+  options.routers_per_pop = routers_per_pop;
+  return sims
+      .emplace(std::piecewise_construct, std::forward_as_tuple(key),
+               std::forward_as_tuple(build_federated_network(options).network,
+                                     7))
+      .first->second;
+}
+
+// The federated scale axis: months of hourly samples over multi-domain
+// topologies, streamed through the trace store's bounded block buffers.
+// Args are {domains, routers_per_pop, months}. Two counters carry the
+// scale-tier CI gate: obs_trace.blocks_streamed is floor-gated (the sweep
+// must actually stream — a store bypass that materializes everything would
+// report one giant block) and obs_trace.peak_resident_samples is
+// ceiling-gated via bench_compare --max-prefix (peak resident sample memory
+// is a function of the block budget, so *any* growth over the committed
+// baseline means the bounded-memory contract broke).
+void BM_NetworkTracesFederated(benchmark::State& state) {
+  const int domains = static_cast<int>(state.range(0));
+  const int routers_per_pop = static_cast<int>(state.range(1));
+  const auto months = static_cast<SimTime>(state.range(2));
+  const NetworkSimulation& sim = federated_sim(domains, routers_per_pop);
+  const SimTime begin = sim.topology().options.study_begin;
+  const SimTime end = begin + months * 30 * kSecondsPerDay;
+  constexpr std::size_t kWorkers = 4;
+  obs::Registry registry(kWorkers);
+  TraceEngineOptions options;
+  options.workers = kWorkers;
+  options.registry = &registry;
+  TraceEngine engine(sim, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.stream_traces(begin, end, kSecondsPerHour, {})
+            .total_power_w.size());
+  }
+  state.counters["routers"] = benchmark::Counter(
+      static_cast<double>(sim.router_count()),
+      benchmark::Counter::kIsIterationInvariant);
+  state.counters["interfaces"] = benchmark::Counter(
+      static_cast<double>(sim.topology().interface_count()),
+      benchmark::Counter::kIsIterationInvariant);
+  export_obs_counters(state, registry);
+}
+BENCHMARK(BM_NetworkTracesFederated)
+    ->Args({2, 6, 1})    // 120 routers — perf-smoke row
+    ->Args({4, 12, 1})   // 480 routers — perf-smoke row
+    ->Args({8, 63, 1})   // 5040 routers — the scale-smoke CI row
     ->Unit(benchmark::kMillisecond);
 
 // A representative operator-console query stream against the incremental

@@ -1,0 +1,602 @@
+#include "network/federated.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "device/catalog.hpp"
+#include "device/transceiver.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+constexpr std::size_t kPortTypes = static_cast<std::size_t>(PortType::kRJ45) + 1;
+constexpr std::size_t kRates = static_cast<std::size_t>(LineRate::kG400) + 1;
+
+enum class Tier : std::uint8_t { kAccess, kAggregation, kCore };
+
+// The per-tier hardware zoo every domain samples from — the deployed models
+// of Table 1. Each domain draws its own vendor-bias weights over these, so
+// federations mix hardware the way real multi-ISP fleets do.
+constexpr std::array<const char*, 3> kAccessZoo = {
+    "ASR-920-24SZ-M", "N540X-8Z16G-SYS-A", "ASR-9001"};
+constexpr std::array<const char*, 3> kAggZoo = {
+    "N540-24Z8Q2C-M", "NCS-55A1-24Q6H-SS", "NCS-55A1-48Q6H"};
+constexpr std::array<const char*, 4> kCoreZoo = {
+    "NCS-55A1-24H", "Nexus9336-FX2", "8201-32FH", "8201-24H8FH"};
+
+constexpr std::array<TransceiverKind, 4> kOpticPreference = {
+    TransceiverKind::kLR4, TransceiverKind::kLR, TransceiverKind::kFR4,
+    TransceiverKind::kSR4};
+
+// Per-model planning data, computed once per distinct model instead of per
+// link — at 10k routers the generator plans tens of thousands of links, so
+// the per-call profile scan of the switch-like generator would dominate.
+struct ModelInfo {
+  RouterSpec spec;
+  std::array<int, kPortTypes> port_budget{};
+  // Preference-ordered candidate profiles per (rate, prefer_dac): the first
+  // candidate whose port type still has budget wins — same scoring as the
+  // switch-like generator's find_profile_for.
+  std::array<std::array<std::vector<ProfileKey>, 2>, kRates> candidates;
+};
+
+int profile_score(const ProfileKey& key, bool prefer_dac) {
+  int score = 0;
+  const bool is_dac = key.transceiver == TransceiverKind::kPassiveDAC;
+  if (prefer_dac == is_dac) score += 10;
+  for (std::size_t i = 0; i < kOpticPreference.size(); ++i) {
+    if (key.transceiver == kOpticPreference[i]) {
+      score += static_cast<int>(kOpticPreference.size() - i);
+    }
+  }
+  return score;
+}
+
+ModelInfo make_model_info(const std::string& model) {
+  ModelInfo info;
+  info.spec = find_router_spec(model).value();
+  for (const PortGroup& group : info.spec.ports) {
+    info.port_budget[static_cast<std::size_t>(group.type)] +=
+        static_cast<int>(group.count);
+  }
+  const std::vector<InterfaceProfile> profiles = info.spec.truth.profiles();
+  for (std::size_t rate = 0; rate < kRates; ++rate) {
+    for (int dac = 0; dac < 2; ++dac) {
+      std::vector<ProfileKey>& out = info.candidates[rate][dac];
+      for (const InterfaceProfile& profile : profiles) {
+        if (static_cast<std::size_t>(profile.key.rate) == rate) {
+          out.push_back(profile.key);
+        }
+      }
+      std::stable_sort(out.begin(), out.end(),
+                       [dac](const ProfileKey& a, const ProfileKey& b) {
+                         return profile_score(a, dac != 0) >
+                                profile_score(b, dac != 0);
+                       });
+    }
+  }
+  return info;
+}
+
+std::string part_number_for(const ProfileKey& key) {
+  if (const auto module =
+          find_transceiver(key.port, key.transceiver, key.rate)) {
+    return module->part_number;
+  }
+  return std::string(to_string(key.port)) + "-" +
+         std::string(to_string(key.rate)) + "-" +
+         std::string(to_string(key.transceiver));
+}
+
+WorkloadParams workload_for(const ProfileKey& key, double median_frac,
+                            Rng& rng) {
+  WorkloadParams params;
+  const double line = line_rate_bps(key.rate);
+  params.mean_rate_bps =
+      std::min(0.6 * line, rng.log_normal(median_frac * line, 0.7));
+  params.diurnal_amplitude = rng.uniform(0.25, 0.45);
+  params.weekend_factor = rng.uniform(0.75, 0.9);
+  params.jitter_frac = rng.uniform(0.03, 0.08);
+  params.mean_frame_bytes = rng.uniform(600, 1000);
+  params.annual_growth = rng.uniform(0.1, 0.3);
+  params.peak_hour_utc = static_cast<int>(rng.uniform_int(12, 16));
+  return params;
+}
+
+// Weighted pick over a small candidate set (cumulative scan; weights > 0).
+std::size_t weighted_pick(const std::vector<double>& weights, Rng& rng) {
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  const double roll = rng.uniform(0.0, total);
+  double cursor = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    cursor += weights[i];
+    if (roll < cursor) return i;
+  }
+  return weights.size() - 1;
+}
+
+void check_fraction(double value, const char* name) {
+  if (!(value >= 0.0 && value <= 1.0)) {
+    throw std::invalid_argument(
+        std::string("FederatedTopologyOptions: ") + name +
+        " must lie in [0, 1]");
+  }
+}
+
+}  // namespace
+
+void FederatedTopologyOptions::validate() const {
+  if (domains < 1) {
+    throw std::invalid_argument(
+        "FederatedTopologyOptions: domains must be >= 1");
+  }
+  if (pops_per_domain < 1) {
+    throw std::invalid_argument(
+        "FederatedTopologyOptions: pops_per_domain must be >= 1");
+  }
+  if (routers_per_pop < 1) {
+    throw std::invalid_argument(
+        "FederatedTopologyOptions: routers_per_pop must be >= 1");
+  }
+  if (mean_core_degree < 0.0 ||
+      mean_core_degree > static_cast<double>(router_count())) {
+    throw std::invalid_argument(
+        "FederatedTopologyOptions: mean_core_degree must lie in "
+        "[0, router_count()]");
+  }
+  if (access_uplinks < 1 || access_uplinks > router_count()) {
+    throw std::invalid_argument(
+        "FederatedTopologyOptions: access_uplinks must lie in "
+        "[1, router_count()]");
+  }
+  check_fraction(external_iface_frac, "external_iface_frac");
+  if (external_iface_frac >= 1.0) {
+    throw std::invalid_argument(
+        "FederatedTopologyOptions: external_iface_frac must be < 1");
+  }
+  check_fraction(interdomain_link_frac, "interdomain_link_frac");
+  check_fraction(spare_transceiver_frac, "spare_transceiver_frac");
+  check_fraction(external_load_median_frac, "external_load_median_frac");
+  check_fraction(lifecycle_event_frac, "lifecycle_event_frac");
+  if (study_end <= study_begin) {
+    throw std::invalid_argument(
+        "FederatedTopologyOptions: study window is empty");
+  }
+}
+
+FederatedTopologyGenerator::FederatedTopologyGenerator(
+    FederatedTopologyOptions options)
+    : options_(options) {
+  options_.validate();
+}
+
+FederatedTopology FederatedTopologyGenerator::build() const {
+  const FederatedTopologyOptions& opt = options_;
+  opt.validate();
+  Rng rng(opt.seed);
+
+  FederatedTopology fed;
+  NetworkTopology& topology = fed.network;
+  // The embedded TopologyOptions carry the fields downstream consumers read
+  // (seed, study window, PoP count); the switch-like tier counts stay zero —
+  // FederatedTopologyOptions::router_count() is the federation's truth.
+  topology.options.seed = opt.seed;
+  topology.options.pop_count = opt.domains * opt.pops_per_domain;
+  topology.options.study_begin = opt.study_begin;
+  topology.options.study_end = opt.study_end;
+  topology.options.access_asr920 = 0;
+  topology.options.access_n540x = 0;
+  topology.options.access_asr9001 = 0;
+  topology.options.agg_n540 = 0;
+  topology.options.agg_ncs24q6h = 0;
+  topology.options.agg_ncs48q6h = 0;
+  topology.options.core_ncs24h = 0;
+  topology.options.core_nexus9336 = 0;
+  topology.options.core_8201_32fh = 0;
+  topology.options.core_8201_24h8fh = 0;
+  topology.options.spare_transceiver_frac = opt.spare_transceiver_frac;
+  topology.options.external_load_median_frac = opt.external_load_median_frac;
+
+  // ===== Stage 1: topology — domains, PoPs, routers =======================
+  // Per-PoP tier mix: at least one core router per PoP, ~1/4 aggregation,
+  // the rest access.
+  const int rpp = opt.routers_per_pop;
+  const int core_per_pop = std::max(1, rpp / 8);
+  const int agg_per_pop = std::clamp(rpp / 4, 0, rpp - core_per_pop);
+
+  std::vector<ModelInfo> models;      // distinct models, in first-use order
+  std::vector<std::string> model_names;
+  std::vector<int> model_of_router;   // router -> models index
+  std::vector<Tier> tiers;            // router -> tier
+  auto intern_model = [&](const std::string& name) {
+    for (std::size_t i = 0; i < model_names.size(); ++i) {
+      if (model_names[i] == name) return static_cast<int>(i);
+    }
+    model_names.push_back(name);
+    models.push_back(make_model_info(name));
+    return static_cast<int>(models.size()) - 1;
+  };
+
+  constexpr std::array<double, 6> kPsuCaps = {250, 400, 750, 1100, 2000, 2700};
+  for (int d = 0; d < opt.domains; ++d) {
+    char domain_name[16];
+    std::snprintf(domain_name, sizeof domain_name, "d%02d", d + 1);
+    FederatedDomain domain;
+    domain.name = domain_name;
+    domain.first_pop = static_cast<int>(topology.pops.size());
+    domain.pop_count = opt.pops_per_domain;
+    domain.first_router = static_cast<int>(topology.routers.size());
+    domain.router_count = opt.pops_per_domain * rpp;
+
+    // The domain's hardware zoo: base weights per catalog model plus a
+    // boosted "house flagship" per tier, all drawn from a domain-forked
+    // stream so adding a domain never perturbs the others' purchases.
+    Rng zoo_rng = rng.fork(domain.name);
+    auto domain_weights = [&zoo_rng](std::size_t count) {
+      std::vector<double> weights(count);
+      for (double& w : weights) w = zoo_rng.uniform(0.2, 1.0);
+      weights[static_cast<std::size_t>(zoo_rng.uniform_int(
+          0, static_cast<std::int64_t>(count) - 1))] *= 2.5;
+      return weights;
+    };
+    const std::vector<double> access_weights = domain_weights(kAccessZoo.size());
+    const std::vector<double> agg_weights = domain_weights(kAggZoo.size());
+    const std::vector<double> core_weights = domain_weights(kCoreZoo.size());
+
+    for (int p = 0; p < opt.pops_per_domain; ++p) {
+      char pop_name[32];
+      std::snprintf(pop_name, sizeof pop_name, "%s-pop%02d", domain_name,
+                    p + 1);
+      const int pop_index = static_cast<int>(topology.pops.size());
+      topology.pops.emplace_back(pop_name);
+      for (int k = 0; k < rpp; ++k) {
+        const Tier tier = k < core_per_pop ? Tier::kCore
+                          : k < core_per_pop + agg_per_pop
+                              ? Tier::kAggregation
+                              : Tier::kAccess;
+        std::string model;
+        switch (tier) {
+          case Tier::kCore:
+            model = kCoreZoo[weighted_pick(core_weights, zoo_rng)];
+            break;
+          case Tier::kAggregation:
+            model = kAggZoo[weighted_pick(agg_weights, zoo_rng)];
+            break;
+          case Tier::kAccess:
+            model = kAccessZoo[weighted_pick(access_weights, zoo_rng)];
+            break;
+        }
+        DeployedRouter router;
+        router.model = model;
+        router.pop = pop_index;
+        char name[48];
+        std::snprintf(name, sizeof name, "%s-r%d", pop_name, k + 1);
+        router.name = name;
+        router.commissioned_at = opt.study_begin -
+                                 2 * 365 * kSecondsPerDay +
+                                 rng.uniform_int(0, 300) * kSecondsPerDay;
+        const int model_id = intern_model(model);
+        if (rng.chance(0.35)) {
+          const RouterSpec& spec = models[static_cast<std::size_t>(model_id)].spec;
+          for (std::size_t c = 0; c + 1 < kPsuCaps.size(); ++c) {
+            if (kPsuCaps[c] == spec.psu_capacity_w) {
+              router.psu_capacity_override_w = kPsuCaps[c + 1];
+              break;
+            }
+          }
+        }
+        topology.routers.push_back(std::move(router));
+        model_of_router.push_back(model_id);
+        tiers.push_back(tier);
+        fed.domain_of_router.push_back(d);
+      }
+    }
+    fed.domains.push_back(std::move(domain));
+  }
+  const int n = static_cast<int>(topology.routers.size());
+
+  // Port ledger, flat per PortType (the switch-like generator's map ledger
+  // would cost a lookup per candidate at 10k-router scale).
+  std::vector<std::array<int, kPortTypes>> ports_used(
+      static_cast<std::size_t>(n), std::array<int, kPortTypes>{});
+  auto free_ports = [&](int router, PortType type) {
+    const ModelInfo& info =
+        models[static_cast<std::size_t>(model_of_router[static_cast<std::size_t>(router)])];
+    return info.port_budget[static_cast<std::size_t>(type)] -
+           ports_used[static_cast<std::size_t>(router)]
+                     [static_cast<std::size_t>(type)];
+  };
+  auto pick_profile = [&](int router, LineRate rate,
+                          bool prefer_dac) -> const ProfileKey* {
+    const ModelInfo& info =
+        models[static_cast<std::size_t>(model_of_router[static_cast<std::size_t>(router)])];
+    for (const ProfileKey& key :
+         info.candidates[static_cast<std::size_t>(rate)][prefer_dac ? 1 : 0]) {
+      if (free_ports(router, key.port) > 0) return &key;
+    }
+    return nullptr;
+  };
+
+  // ===== Stage 2: topology — links ========================================
+  constexpr std::array<LineRate, 6> kLinkRates = {
+      LineRate::kG400, LineRate::kG100, LineRate::kG50,
+      LineRate::kG25,  LineRate::kG10,  LineRate::kG1};
+  auto add_link = [&](int router_a, int router_b) -> bool {
+    if (router_a == router_b) return false;
+    const bool same_pop =
+        topology.routers[static_cast<std::size_t>(router_a)].pop ==
+        topology.routers[static_cast<std::size_t>(router_b)].pop;
+    const ProfileKey* profile_a = nullptr;
+    const ProfileKey* profile_b = nullptr;
+    for (const LineRate rate : kLinkRates) {
+      profile_a = pick_profile(router_a, rate, same_pop);
+      if (profile_a == nullptr) continue;
+      profile_b = pick_profile(router_b, rate, same_pop);
+      if (profile_b != nullptr) break;
+    }
+    if (profile_a == nullptr || profile_b == nullptr) return false;
+
+    // Traffic-matrix coupling: both ends share one workload stream.
+    const std::uint64_t shared_seed = rng.next();
+    Rng workload_rng = Rng(shared_seed).fork("link-load");
+    const WorkloadParams workload = workload_for(
+        *profile_a, 1.5 * opt.external_load_median_frac, workload_rng);
+
+    const int link_id = static_cast<int>(topology.links.size());
+    auto make_iface = [&](int router, const ProfileKey& profile) {
+      DeployedRouter& owner =
+          topology.routers[static_cast<std::size_t>(router)];
+      DeployedInterface iface;
+      iface.name = std::string(to_string(profile.port)) + "-" +
+                   std::to_string(owner.interfaces.size());
+      iface.profile = profile;
+      iface.transceiver_part = part_number_for(profile);
+      iface.external = false;
+      iface.link_id = link_id;
+      iface.workload = workload;
+      iface.workload_seed = shared_seed;
+      ports_used[static_cast<std::size_t>(router)]
+                [static_cast<std::size_t>(profile.port)] += 1;
+      owner.interfaces.push_back(std::move(iface));
+      return static_cast<int>(owner.interfaces.size()) - 1;
+    };
+
+    InternalLink link;
+    link.router_a = router_a;
+    link.iface_a = make_iface(router_a, *profile_a);
+    link.router_b = router_b;
+    link.iface_b = make_iface(router_b, *profile_b);
+    topology.links.push_back(link);
+    return true;
+  };
+
+  // Intra-domain backbone: a core ring per domain (ordered by PoP, so the
+  // ring visits every PoP) plus preferential-attachment chords toward the
+  // mean-degree target — the rich-get-richer sampling that gives backbone
+  // graphs their heavy-tailed degree distribution.
+  std::vector<std::vector<int>> domain_cores(
+      static_cast<std::size_t>(opt.domains));
+  std::vector<std::vector<int>> pop_aggs(topology.pops.size());
+  std::vector<std::vector<int>> pop_cores(topology.pops.size());
+  for (int r = 0; r < n; ++r) {
+    const std::size_t pop =
+        static_cast<std::size_t>(topology.routers[static_cast<std::size_t>(r)].pop);
+    switch (tiers[static_cast<std::size_t>(r)]) {
+      case Tier::kCore:
+        domain_cores[static_cast<std::size_t>(
+                         fed.domain_of_router[static_cast<std::size_t>(r)])]
+            .push_back(r);
+        pop_cores[pop].push_back(r);
+        break;
+      case Tier::kAggregation:
+        pop_aggs[pop].push_back(r);
+        break;
+      case Tier::kAccess:
+        break;
+    }
+  }
+  for (int d = 0; d < opt.domains; ++d) {
+    const std::vector<int>& cores = domain_cores[static_cast<std::size_t>(d)];
+    if (cores.size() >= 2) {
+      for (std::size_t i = 0; i < cores.size(); ++i) {
+        add_link(cores[i], cores[(i + 1) % cores.size()]);
+      }
+    }
+    // One bag entry per incident backbone link end: sampling endpoints from
+    // the bag is degree-proportional (preferential attachment).
+    std::vector<int> bag(cores.begin(), cores.end());
+    bag.insert(bag.end(), cores.begin(), cores.end());
+    const auto chords = static_cast<int>(
+        static_cast<double>(cores.size()) *
+        std::max(0.0, opt.mean_core_degree - 2.0) / 2.0);
+    for (int c = 0; c < chords && !bag.empty(); ++c) {
+      const int a = bag[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(bag.size()) - 1))];
+      const int b = bag[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(bag.size()) - 1))];
+      if (add_link(a, b)) {
+        bag.push_back(a);
+        bag.push_back(b);
+      }
+    }
+  }
+
+  // Aggregation dual-homes into the PoP core (second home in the next PoP of
+  // the same domain); access dual-homes into aggregation with the same
+  // fallback scan. The scan is bounded by the domain's PoP list, so every
+  // router attaches as long as any port budget in the domain remains.
+  auto uplink_targets = [&](int router, bool want_agg) {
+    std::vector<int> targets;
+    const int d = fed.domain_of_router[static_cast<std::size_t>(router)];
+    const FederatedDomain& domain = fed.domains[static_cast<std::size_t>(d)];
+    const int local_pop = topology.routers[static_cast<std::size_t>(router)].pop;
+    for (int offset = 0; offset < domain.pop_count; ++offset) {
+      const std::size_t pop = static_cast<std::size_t>(
+          domain.first_pop +
+          (local_pop - domain.first_pop + offset) % domain.pop_count);
+      const std::vector<int>& primary = want_agg ? pop_aggs[pop] : pop_cores[pop];
+      targets.insert(targets.end(), primary.begin(), primary.end());
+      const std::vector<int>& secondary = want_agg ? pop_cores[pop] : pop_aggs[pop];
+      targets.insert(targets.end(), secondary.begin(), secondary.end());
+    }
+    return targets;
+  };
+  for (int r = 0; r < n; ++r) {
+    const Tier tier = tiers[static_cast<std::size_t>(r)];
+    if (tier == Tier::kCore) continue;
+    const int wanted =
+        tier == Tier::kAggregation ? 2 : opt.access_uplinks;
+    const std::vector<int> targets =
+        uplink_targets(r, /*want_agg=*/tier == Tier::kAccess);
+    int attached = 0;
+    for (std::size_t i = 0; i < targets.size() && attached < wanted; ++i) {
+      if (add_link(r, targets[i])) ++attached;
+    }
+  }
+
+  // Inter-domain peering: a domain-level ring keeps the federation connected;
+  // extra peerings follow interdomain_link_frac.
+  const std::size_t intra_links = topology.links.size();
+  auto random_core = [&](int d) -> int {
+    const std::vector<int>& cores = domain_cores[static_cast<std::size_t>(d)];
+    if (cores.empty()) return -1;
+    return cores[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(cores.size()) - 1))];
+  };
+  if (opt.domains > 1) {
+    for (int d = 0; d < opt.domains; ++d) {
+      if (opt.domains == 2 && d == 1) break;  // avoid a doubled 2-domain ring
+      const int a = random_core(d);
+      const int b = random_core((d + 1) % opt.domains);
+      if (a >= 0 && b >= 0) add_link(a, b);
+    }
+    const auto extra = static_cast<int>(
+        opt.interdomain_link_frac * static_cast<double>(intra_links));
+    for (int e = 0; e < extra; ++e) {
+      const int da = static_cast<int>(rng.uniform_int(0, opt.domains - 1));
+      const int db = static_cast<int>(rng.uniform_int(0, opt.domains - 1));
+      if (da == db) continue;
+      const int a = random_core(da);
+      const int b = random_core(db);
+      if (a >= 0 && b >= 0) add_link(a, b);
+    }
+  }
+  for (const InternalLink& link : topology.links) {
+    if (fed.domain_of_router[static_cast<std::size_t>(link.router_a)] !=
+        fed.domain_of_router[static_cast<std::size_t>(link.router_b)]) {
+      ++fed.interdomain_links;
+    }
+  }
+
+  // ===== Stage 3: traffic matrix — external interfaces + spares ===========
+  // Customer/peer/transit ports until external_iface_frac of all non-spare
+  // interfaces face outward: E / (L + E) = frac  =>  E = L * frac/(1-frac),
+  // allocated per router proportionally to tier weight (access-heavy, like
+  // the Switch dataset) with stochastic rounding.
+  const std::size_t link_ifaces = topology.interface_count();
+  const double external_target = static_cast<double>(link_ifaces) *
+                                 opt.external_iface_frac /
+                                 (1.0 - opt.external_iface_frac);
+  std::vector<double> external_weight(static_cast<std::size_t>(n), 0.0);
+  double weight_total = 0.0;
+  for (int r = 0; r < n; ++r) {
+    double w = 0.0;
+    switch (tiers[static_cast<std::size_t>(r)]) {
+      case Tier::kAccess: w = 4.0; break;
+      case Tier::kAggregation: w = 3.0; break;
+      case Tier::kCore: w = 2.5; break;
+    }
+    w *= rng.uniform(0.75, 1.25);
+    external_weight[static_cast<std::size_t>(r)] = w;
+    weight_total += w;
+  }
+  constexpr std::array<LineRate, 5> kExternalRates = {
+      LineRate::kG100, LineRate::kG400, LineRate::kG25, LineRate::kG10,
+      LineRate::kG1};
+  for (int r = 0; r < n; ++r) {
+    const double exact = external_target *
+                         external_weight[static_cast<std::size_t>(r)] /
+                         weight_total;
+    auto wanted = static_cast<int>(exact);
+    if (rng.chance(exact - static_cast<double>(wanted))) ++wanted;
+    DeployedRouter& router = topology.routers[static_cast<std::size_t>(r)];
+    for (int k = 0; k < wanted; ++k) {
+      const ProfileKey* profile = nullptr;
+      for (const LineRate rate : kExternalRates) {
+        profile = pick_profile(r, rate, /*prefer_dac=*/false);
+        if (profile != nullptr) break;
+      }
+      if (profile == nullptr) break;
+      DeployedInterface iface;
+      iface.name = std::string(to_string(profile->port)) + "-" +
+                   std::to_string(router.interfaces.size());
+      iface.profile = *profile;
+      iface.transceiver_part = part_number_for(*profile);
+      iface.external = true;
+      iface.workload_seed = rng.next();
+      Rng workload_rng = Rng(iface.workload_seed).fork("ext-load");
+      iface.workload =
+          workload_for(*profile, opt.external_load_median_frac, workload_rng);
+      ports_used[static_cast<std::size_t>(r)]
+                [static_cast<std::size_t>(profile->port)] += 1;
+      router.interfaces.push_back(std::move(iface));
+    }
+  }
+
+  const auto spares =
+      static_cast<int>(opt.spare_transceiver_frac *
+                       static_cast<double>(topology.interface_count()));
+  for (int s = 0; s < spares; ++s) {
+    const int r = static_cast<int>(rng.uniform_int(0, n - 1));
+    DeployedRouter& router = topology.routers[static_cast<std::size_t>(r)];
+    const ProfileKey* profile = nullptr;
+    for (const LineRate rate :
+         {LineRate::kG100, LineRate::kG10, LineRate::kG1}) {
+      profile = pick_profile(r, rate, /*prefer_dac=*/false);
+      if (profile != nullptr) break;
+    }
+    if (profile == nullptr) continue;
+    DeployedInterface iface;
+    iface.name = std::string(to_string(profile->port)) + "-spare-" +
+                 std::to_string(router.interfaces.size());
+    iface.profile = *profile;
+    iface.transceiver_part = part_number_for(*profile);
+    iface.external = false;
+    iface.spare = true;
+    iface.workload_seed = rng.next();
+    ports_used[static_cast<std::size_t>(r)]
+              [static_cast<std::size_t>(profile->port)] += 1;
+    router.interfaces.push_back(std::move(iface));
+  }
+
+  // ===== Stage 4: link state — lifecycle events ===========================
+  // A sprinkle of mid-study commissions and decommissions (the Fig. 1 power
+  // steps, scaled to fleet size); never the federation's only core ring
+  // nodes, so peering stays meaningful through the study.
+  for (int r = 0; r < n; ++r) {
+    if (tiers[static_cast<std::size_t>(r)] == Tier::kCore) continue;
+    if (rng.chance(opt.lifecycle_event_frac / 2.0)) {
+      topology.routers[static_cast<std::size_t>(r)].decommissioned_at =
+          opt.study_begin + rng.uniform_int(14, 120) * kSecondsPerDay;
+    } else if (rng.chance(opt.lifecycle_event_frac / 2.0)) {
+      topology.routers[static_cast<std::size_t>(r)].commissioned_at =
+          opt.study_begin + rng.uniform_int(14, 120) * kSecondsPerDay;
+    }
+  }
+
+  return fed;
+}
+
+FederatedTopology build_federated_network(
+    const FederatedTopologyOptions& options) {
+  return FederatedTopologyGenerator(options).build();
+}
+
+}  // namespace joules

@@ -1,0 +1,112 @@
+// The federated multi-domain topology generator — ROADMAP item 1's ~100×
+// scale layer.
+//
+// Where `build_switch_like_network` regenerates the paper's single 107-router
+// Tier-2 ISP, this generator produces a *federation*: N independent ISP
+// domains of M PoPs each, wired like real backbones —
+//   - per-PoP tier mix (1-2 core, a few aggregation, the rest access);
+//   - an intra-domain core ring per ISP plus preferential-attachment chords,
+//     giving the core a realistic heavy-tailed degree distribution;
+//   - aggregation dual-homed into the PoP core, access dual-homed into
+//     aggregation;
+//   - inter-domain peering links between core routers (a domain-level ring
+//     for connectivity plus a configurable extra-peering fraction);
+//   - per-domain hardware zoo sampling: each ISP buys from the same catalog
+//     but with its own vendor bias, so no two domains deploy the same mix;
+//   - customer/peer/transit interfaces and spare transceivers per router,
+//     matching the paper's external-share and spares observations.
+//
+// The output is an ordinary `NetworkTopology`, so `NetworkSimulation`,
+// `TraceEngine`, Hypnos, and the what-if engine all run on it unchanged —
+// plus a domain index for federation-aware studies.
+//
+// Structure follows MPINET's separation of concerns: the *topology* stage
+// builds the graph, the *traffic-matrix* stage assigns workloads to the
+// finished interface list, and the *link-state* stage layers lifecycle
+// events on top — each stage deterministic in (options, seed), so a given
+// seed is bit-identical run to run at any scale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "network/topology.hpp"
+
+namespace joules {
+
+struct FederatedTopologyOptions {
+  std::uint64_t seed = 2025;
+  int domains = 4;           // federated ISPs
+  int pops_per_domain = 10;  // PoPs per ISP
+  int routers_per_pop = 8;   // routers per PoP (exact, so counts are pinned)
+
+  // Graph shaping. The core ring contributes degree 2; chords (sampled with
+  // preferential attachment) raise the mean toward this target.
+  double mean_core_degree = 3.0;
+  int access_uplinks = 2;  // uplinks per access router
+  // Target share of customer/peer/transit interfaces among all non-spare
+  // interfaces (the paper's Switch dataset sits at 51 %).
+  double external_iface_frac = 0.45;
+  // Inter-domain peering links as a fraction of intra-domain links, beyond
+  // the domain ring that guarantees federation connectivity.
+  double interdomain_link_frac = 0.03;
+  double spare_transceiver_frac = 0.02;
+  double external_load_median_frac = 0.035;  // of line rate
+  // Mid-study commission/decommission events per router (lifecycle stage).
+  double lifecycle_event_frac = 0.005;
+
+  SimTime study_begin = make_time(2024, 9, 1);
+  SimTime study_end = make_time(2025, 6, 30);
+
+  [[nodiscard]] int router_count() const noexcept {
+    return domains * pops_per_domain * routers_per_pop;
+  }
+
+  // Rejects degenerate generator inputs (no domains/PoPs/routers, a degree
+  // or uplink target exceeding the router count, fractions outside [0, 1],
+  // an empty study window) with std::invalid_argument. build() calls this
+  // first.
+  void validate() const;
+};
+
+struct FederatedDomain {
+  std::string name;     // "d03"
+  int first_pop = 0;    // index into NetworkTopology::pops
+  int pop_count = 0;
+  int first_router = 0;  // index into NetworkTopology::routers
+  int router_count = 0;
+};
+
+struct FederatedTopology {
+  NetworkTopology network;  // feed straight into NetworkSimulation
+  std::vector<FederatedDomain> domains;
+  std::vector<int> domain_of_router;  // router index -> domain index
+  std::size_t interdomain_links = 0;  // links whose endpoints differ in domain
+
+  [[nodiscard]] std::size_t router_count() const noexcept {
+    return network.routers.size();
+  }
+};
+
+class FederatedTopologyGenerator {
+ public:
+  explicit FederatedTopologyGenerator(FederatedTopologyOptions options = {});
+
+  [[nodiscard]] const FederatedTopologyOptions& options() const noexcept {
+    return options_;
+  }
+
+  // Deterministic in the options (including the seed): equal options produce
+  // bit-identical topologies, at any scale.
+  [[nodiscard]] FederatedTopology build() const;
+
+ private:
+  FederatedTopologyOptions options_;
+};
+
+// Convenience wrapper matching build_switch_like_network's shape.
+[[nodiscard]] FederatedTopology build_federated_network(
+    const FederatedTopologyOptions& options = {});
+
+}  // namespace joules

@@ -139,6 +139,37 @@ std::optional<LinkEndpoints> plan_link(const RouterSpec& spec_a, int router_a,
 
 }  // namespace
 
+void TopologyOptions::validate() const {
+  if (pop_count < 1) {
+    throw std::invalid_argument("TopologyOptions: pop_count must be >= 1");
+  }
+  for (const int count :
+       {access_asr920, access_n540x, access_asr9001, agg_n540, agg_ncs24q6h,
+        agg_ncs48q6h, core_ncs24h, core_nexus9336, core_8201_32fh,
+        core_8201_24h8fh}) {
+    if (count < 0) {
+      throw std::invalid_argument(
+          "TopologyOptions: tier counts must be >= 0");
+    }
+  }
+  if (router_count() < 1) {
+    throw std::invalid_argument(
+        "TopologyOptions: router_count() must be >= 1");
+  }
+  if (!(spare_transceiver_frac >= 0.0 && spare_transceiver_frac <= 1.0)) {
+    throw std::invalid_argument(
+        "TopologyOptions: spare_transceiver_frac must lie in [0, 1]");
+  }
+  if (!(external_load_median_frac >= 0.0 &&
+        external_load_median_frac <= 1.0)) {
+    throw std::invalid_argument(
+        "TopologyOptions: external_load_median_frac must lie in [0, 1]");
+  }
+  if (study_end <= study_begin) {
+    throw std::invalid_argument("TopologyOptions: study window is empty");
+  }
+}
+
 std::size_t NetworkTopology::interface_count() const noexcept {
   std::size_t total = 0;
   for (const DeployedRouter& router : routers) total += router.interfaces.size();
@@ -156,6 +187,7 @@ std::size_t NetworkTopology::external_interface_count() const noexcept {
 }
 
 NetworkTopology build_switch_like_network(const TopologyOptions& options) {
+  options.validate();
   Rng rng(options.seed);
   NetworkTopology topology;
   topology.options = options;

@@ -49,6 +49,12 @@ struct TopologyOptions {
            agg_ncs24q6h + agg_ncs48q6h + core_ncs24h + core_nexus9336 +
            core_8201_32fh + core_8201_24h8fh;
   }
+
+  // Rejects degenerate inputs with std::invalid_argument: no PoPs (the router
+  // placement divides by pop_count), negative tier counts, an empty fleet,
+  // fractions outside [0, 1], or an empty study window.
+  // build_switch_like_network() calls this first.
+  void validate() const;
 };
 
 struct DeployedInterface {

@@ -69,19 +69,26 @@ void TraceEngine::init() {
 
 NetworkTraces TraceEngine::network_traces(SimTime begin, SimTime end,
                                           SimTime step) {
+  return stream_traces(begin, end, step, {});
+}
+
+NetworkTraces TraceEngine::stream_traces(SimTime begin, SimTime end,
+                                         SimTime step,
+                                         const TraceStore::BlockSink& sink) {
   NetworkTraces traces;
   {
     // Scoped so the phase span has closed (duration recorded) before the
     // manifest snapshot below reads the registry.
     const obs::Span sweep_span(options_.registry, "trace.network_traces");
-    traces = network_traces_impl(begin, end, step);
+    traces = stream_traces_impl(begin, end, step, sink);
   }
   write_sweep_manifest(begin, end, step);
   return traces;
 }
 
-NetworkTraces TraceEngine::network_traces_impl(SimTime begin, SimTime end,
-                                               SimTime step) {
+NetworkTraces TraceEngine::stream_traces_impl(SimTime begin, SimTime end,
+                                              SimTime step,
+                                              const TraceStore::BlockSink& sink) {
   NetworkTraces traces;
 
   // Capacity: each internal link counted once, externals once.
@@ -107,20 +114,24 @@ NetworkTraces TraceEngine::network_traces_impl(SimTime begin, SimTime end,
     }
   }
 
-  // Workers fill per-(router|interface, timestep) slots for a block of
-  // timesteps; the reduction then folds each timestep serially in the flat
-  // order of the original loops, which keeps results bit-identical for any
-  // worker count (floating-point addition is not associative, so the fold
-  // order is part of the output contract). Layout is timestep-major
-  // (power[j * routers + r], contrib[j * iface_total_ + flat_iface]): a
-  // router-step's interface writes and the reduction's per-timestep reads
-  // are then both contiguous, where the router-major layout strided every
-  // one of them by the block length.
-  const std::size_t row_bytes = sizeof(double) * (iface_total_ + routers);
-  const std::size_t block = std::clamp<std::size_t>(
-      row_bytes > 0 ? options_.max_block_bytes / row_bytes : n, 1, n);
-  std::vector<double> power(routers * block, 0.0);
-  std::vector<double> contrib(iface_total_ * block, 0.0);
+  // Workers fill per-(router|interface, timestep) slots of the columnar
+  // store's block buffers; TraceStore::commit_block then folds each timestep
+  // serially in the flat order of the original loops, which keeps results
+  // bit-identical for any worker count (floating-point addition is not
+  // associative, so the fold order is part of the output contract). Layout
+  // is timestep-major (power[j * routers + r], contrib[j * iface_total_ +
+  // flat_iface]): a router-step's interface writes and the reduction's
+  // per-timestep reads are then both contiguous, where the router-major
+  // layout strided every one of them by the block length. The store owns
+  // exactly one block's buffers and recycles them, so resident sample
+  // memory is bounded by max_block_bytes however long the sweep runs.
+  TraceStore::Options store_options;
+  store_options.max_block_bytes = options_.max_block_bytes;
+  store_options.registry = options_.registry;
+  TraceStore store(routers, iface_total_, store_options);
+  store.begin_sweep(begin, step, n);
+  std::span<double> power;
+  std::span<double> contrib;
 
   // Incremental mode: fresh carries per sweep (buckets are begin-relative,
   // so a stale carry from an earlier window would alias).
@@ -210,24 +221,19 @@ NetworkTraces TraceEngine::network_traces_impl(SimTime begin, SimTime end,
     if (options_.registry != nullptr) rebuilds_before = sim_.plan_rebuilds();
   }
 
-  for (block_begin = 0; block_begin < n; block_begin += m) {
-    m = std::min(block, n - block_begin);
+  while ((m = store.open_block()) > 0) {
+    power = store.power_column();
+    contrib = store.traffic_column();
     const obs::Span block_span(options_.registry, "trace.block");
     pool_->parallel_for(0, routers, fill);
-    for (std::size_t j = 0; j < m; ++j) {
-      const SimTime t = begin + static_cast<SimTime>(block_begin + j) * step;
-      const double* power_row = power.data() + j * routers;
-      double power_sum = 0.0;
-      for (std::size_t r = 0; r < routers; ++r) {
-        power_sum += power_row[r];
-      }
-      const double* contrib_row = contrib.data() + j * iface_total_;
-      double traffic = 0.0;
-      for (std::size_t g = 0; g < iface_total_; ++g) {
-        traffic += contrib_row[g];
-      }
-      traces.total_power_w.push(t, power_sum);
-      traces.total_traffic_bps.push(t, traffic);
+    // commit_block folds the totals (serial flat order), streams the SoA
+    // columns to the sink, and recycles the buffers for the next window.
+    const TraceBlockView& committed = store.commit_block(sink);
+    for (std::size_t j = 0; j < committed.timesteps; ++j) {
+      traces.total_power_w.push(committed.time_of(j),
+                                committed.total_power_w[j]);
+      traces.total_traffic_bps.push(committed.time_of(j),
+                                    committed.total_traffic_bps[j]);
     }
     if constexpr (obs::kEnabled) {
       if (options_.registry != nullptr) {
@@ -235,7 +241,9 @@ NetworkTraces TraceEngine::network_traces_impl(SimTime begin, SimTime end,
         options_.registry->add("trace.timesteps", m);
       }
     }
+    block_begin += m;
   }
+  store.end_sweep();
   if constexpr (obs::kEnabled) {
     if (options_.registry != nullptr) {
       // How many device power plans this sweep forced to (re)compile —

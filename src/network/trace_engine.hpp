@@ -23,6 +23,7 @@
 
 #include "network/dataset.hpp"
 #include "network/simulation.hpp"
+#include "network/trace_store.hpp"
 #include "obs/registry.hpp"
 #include "util/thread_pool.hpp"
 
@@ -77,6 +78,20 @@ class TraceEngine {
   [[nodiscard]] NetworkTraces network_traces(SimTime begin, SimTime end,
                                              SimTime step);
 
+  // The streaming sweep: identical aggregate result (bit for bit) to
+  // network_traces, but each completed time-block is additionally handed to
+  // `sink` as immutable SoA columns (per-router power, per-interface traffic
+  // contributions, per-row totals) before its buffers are recycled. This is
+  // the bounded-memory path for full-resolution exports at federated scale:
+  // peak resident sample memory is a function of
+  // TraceEngineOptions::max_block_bytes, never of the sweep length, and the
+  // store's trace.blocks_streamed / trace.peak_resident_samples counters
+  // record exactly that for the scale-tier CI gate. The sink runs on the
+  // sweep thread between blocks; block spans die when it returns.
+  [[nodiscard]] NetworkTraces stream_traces(SimTime begin, SimTime end,
+                                            SimTime step,
+                                            const TraceStore::BlockSink& sink);
+
   // Total wall power over all routers at `t` (the what-if scenario probe).
   [[nodiscard]] double network_power_w(SimTime t);
 
@@ -100,8 +115,9 @@ class TraceEngine {
   std::vector<InterfaceLoad>& scratch(std::size_t slot) { return scratch_[slot]; }
 
   void init();
-  [[nodiscard]] NetworkTraces network_traces_impl(SimTime begin, SimTime end,
-                                                  SimTime step);
+  [[nodiscard]] NetworkTraces stream_traces_impl(
+      SimTime begin, SimTime end, SimTime step,
+      const TraceStore::BlockSink& sink);
   void write_sweep_manifest(SimTime begin, SimTime end, SimTime step) const;
 
   const NetworkSimulation& sim_;

@@ -1,0 +1,142 @@
+// The columnar (struct-of-arrays) streaming trace store.
+//
+// A months-long sweep over a federated 10k-router network produces far more
+// per-router/per-interface samples than fit in memory: 10 months at 1-hour
+// steps over 10k routers is ~73M power samples plus an order of magnitude
+// more interface-traffic samples. `TraceStore` is the seam that keeps such
+// sweeps *streaming*: it owns one block's worth of SoA column buffers
+// (per-router power, per-interface traffic contributions, per-timestep
+// totals), workers fill the columns for a window of timesteps, and
+// `commit_block` folds the totals serially, hands the block to an optional
+// consumer, and recycles the buffers for the next window. Peak resident
+// sample memory is therefore a function of the *block size*, never of the
+// sweep length — the property the scale-tier CI gate pins via the
+// `trace.peak_resident_samples` ceiling counter and the
+// `trace.blocks_streamed` floor counter.
+//
+// Determinism: the store never reorders anything. Column layout is
+// timestep-major (power[j * routers + r], traffic[j * interfaces + g]), and
+// the per-timestep reduction folds routers then interfaces in ascending flat
+// order — the exact fold order of the historical serial sweep, which keeps
+// results bit-identical for any worker count and any block size (floating-
+// point addition is not associative, so the fold order is part of the
+// output contract).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "util/sim_clock.hpp"
+
+namespace joules {
+
+// One committed time-block, exposed to consumers as immutable SoA columns.
+// Spans are valid only inside the sink callback — the store recycles the
+// underlying buffers for the next block.
+struct TraceBlockView {
+  SimTime begin = 0;               // time of row 0
+  SimTime step = 0;                // row spacing (seconds)
+  std::size_t first_timestep = 0;  // global index of row 0 within the sweep
+  std::size_t timesteps = 0;       // rows in this block
+  std::size_t routers = 0;
+  std::size_t interfaces = 0;  // flat interface count across all routers
+
+  // router_power_w[j * routers + r]: wall power of router r at row j.
+  std::span<const double> router_power_w;
+  // interface_traffic_bps[j * interfaces + g]: carried-traffic contribution
+  // of flat interface g at row j (externals / 2, internal link ends / 4 —
+  // each link counted once network-wide).
+  std::span<const double> interface_traffic_bps;
+  // Serial per-row folds (the aggregate NetworkTraces samples).
+  std::span<const double> total_power_w;
+  std::span<const double> total_traffic_bps;
+
+  [[nodiscard]] SimTime time_of(std::size_t row) const noexcept {
+    return begin + static_cast<SimTime>(row) * step;
+  }
+};
+
+struct TraceStoreOptions {
+  // Upper bound on the resident column buffers (bytes). The store derives
+  // its block length from this; it only affects memory/locality, never
+  // results.
+  std::size_t max_block_bytes = 8u << 20;
+  // Optional work counters (inert with JOULES_OBS=OFF): end_sweep() adds
+  // trace.blocks_streamed and trace.peak_resident_samples to shard 0.
+  obs::Registry* registry = nullptr;
+};
+
+class TraceStore {
+ public:
+  // Invoked once per committed block, in time order, on the sweep thread.
+  using BlockSink = std::function<void(const TraceBlockView&)>;
+
+  using Options = TraceStoreOptions;
+
+  TraceStore(std::size_t routers, std::size_t interfaces, Options options = {});
+
+  // Sizes the column buffers for a sweep of `total_timesteps` rows starting
+  // at `begin` spaced `step` apart. Buffers hold min(block_timesteps,
+  // total_timesteps) rows — resident memory is bounded by max_block_bytes
+  // regardless of the sweep length.
+  void begin_sweep(SimTime begin, SimTime step, std::size_t total_timesteps);
+
+  // Rows per full block for the current sweep.
+  [[nodiscard]] std::size_t block_timesteps() const noexcept { return block_; }
+
+  // Opens the next block and returns its row count (0 = sweep exhausted).
+  // The mutable columns below cover exactly that many rows.
+  [[nodiscard]] std::size_t open_block();
+
+  // Mutable columns of the open block, for workers to fill. Writes must
+  // follow the per-router sharding contract: row j of router r (and of r's
+  // interfaces) is written by exactly one worker.
+  [[nodiscard]] std::span<double> power_column() noexcept;
+  [[nodiscard]] std::span<double> traffic_column() noexcept;
+
+  // Folds the open block's totals serially (ascending flat order), invokes
+  // `sink` (if any), and recycles the buffers. The returned view stays
+  // valid until the next open_block/begin_sweep.
+  const TraceBlockView& commit_block(const BlockSink& sink = {});
+
+  // Flushes trace.blocks_streamed / trace.peak_resident_samples into the
+  // registry (shard 0 — call after workers have joined).
+  void end_sweep();
+
+  // Blocks committed since begin_sweep.
+  [[nodiscard]] std::uint64_t blocks_streamed() const noexcept {
+    return blocks_streamed_;
+  }
+  // High-water mark of resident double-precision samples across the sweep's
+  // column buffers. Bounded by block_timesteps() * (routers + interfaces +
+  // 2); in particular *not* a function of the sweep length.
+  [[nodiscard]] std::size_t peak_resident_samples() const noexcept {
+    return peak_resident_samples_;
+  }
+
+ private:
+  std::size_t routers_ = 0;
+  std::size_t interfaces_ = 0;
+  Options options_;
+
+  SimTime begin_ = 0;
+  SimTime step_ = 0;
+  std::size_t total_timesteps_ = 0;
+  std::size_t next_timestep_ = 0;
+  std::size_t block_ = 0;       // rows per full block
+  std::size_t open_rows_ = 0;   // rows in the currently open block (0 = none)
+
+  std::vector<double> power_;    // block_ * routers_
+  std::vector<double> traffic_;  // block_ * interfaces_
+  std::vector<double> total_power_;
+  std::vector<double> total_traffic_;
+
+  TraceBlockView view_;
+  std::uint64_t blocks_streamed_ = 0;
+  std::size_t peak_resident_samples_ = 0;
+};
+
+}  // namespace joules

@@ -89,6 +89,33 @@ TEST(LayerDag, AllowlistCoversAFile) {
   EXPECT_TRUE(lint_project(files, config).empty());
 }
 
+// The scale-tier headers (the federated generator and the streaming trace
+// store) sit in the network layer: their real device/model/util includes are
+// downward and clean, and a model-layer file reaching *up* into them is a
+// finding. Loads the actual tree so a future include added to either header
+// re-runs through the DAG here, not just in the whole-repo smoke.
+TEST(LayerDag, FederatedAndTraceStoreHeadersRankAsNetworkLayer) {
+  const std::filesystem::path root = JOULES_REPO_ROOT;
+  std::vector<FileSource> files = load_tree(root, {"src/network"});
+  bool saw_federated = false;
+  bool saw_trace_store = false;
+  for (const FileSource& file : files) {
+    saw_federated |= file.path == "src/network/federated.hpp";
+    saw_trace_store |= file.path == "src/network/trace_store.hpp";
+  }
+  EXPECT_TRUE(saw_federated) << "src/network/federated.hpp left the tree?";
+  EXPECT_TRUE(saw_trace_store) << "src/network/trace_store.hpp left the tree?";
+  EXPECT_TRUE(lint_project(files, {}).empty());
+
+  files.push_back({"src/model/zz_upward.hpp",
+                   "#pragma once\n"
+                   "#include \"network/federated.hpp\"\n"
+                   "#include \"network/trace_store.hpp\"\n"});
+  const auto findings = lint_project(files, {});
+  const Expected expected = {{2, "layer-dag"}, {3, "layer-dag"}};
+  EXPECT_EQ(hits(findings), expected);
+}
+
 // ---------------------------------------------------------------------------
 // reactor-blocking-call
 

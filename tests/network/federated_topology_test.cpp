@@ -1,0 +1,267 @@
+#include "network/federated.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "device/catalog.hpp"
+#include "network/simulation.hpp"
+#include "network/trace_engine.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+FederatedTopologyOptions small_options() {
+  FederatedTopologyOptions options;
+  options.seed = 11;
+  options.domains = 3;
+  options.pops_per_domain = 4;
+  options.routers_per_pop = 8;
+  return options;
+}
+
+// Union-find over routers, joined by internal links.
+struct UnionFind {
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  int find(int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      x = parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(
+              parent[static_cast<std::size_t>(x)])];
+    }
+    return x;
+  }
+  void join(int a, int b) { parent[static_cast<std::size_t>(find(a))] = find(b); }
+  std::vector<int> parent;
+};
+
+TEST(FederatedTopology, DeterministicForAGivenSeed) {
+  const FederatedTopology a = build_federated_network(small_options());
+  const FederatedTopology b = build_federated_network(small_options());
+  ASSERT_EQ(a.network.routers.size(), b.network.routers.size());
+  ASSERT_EQ(a.network.links.size(), b.network.links.size());
+  EXPECT_EQ(a.interdomain_links, b.interdomain_links);
+  EXPECT_EQ(a.domain_of_router, b.domain_of_router);
+  for (std::size_t r = 0; r < a.network.routers.size(); ++r) {
+    const DeployedRouter& ra = a.network.routers[r];
+    const DeployedRouter& rb = b.network.routers[r];
+    EXPECT_EQ(ra.name, rb.name);
+    EXPECT_EQ(ra.model, rb.model);
+    EXPECT_EQ(ra.commissioned_at, rb.commissioned_at);
+    EXPECT_EQ(ra.decommissioned_at, rb.decommissioned_at);
+    EXPECT_EQ(ra.psu_capacity_override_w, rb.psu_capacity_override_w);
+    ASSERT_EQ(ra.interfaces.size(), rb.interfaces.size()) << ra.name;
+    for (std::size_t i = 0; i < ra.interfaces.size(); ++i) {
+      EXPECT_EQ(ra.interfaces[i].workload_seed, rb.interfaces[i].workload_seed);
+      EXPECT_EQ(ra.interfaces[i].transceiver_part,
+                rb.interfaces[i].transceiver_part);
+      EXPECT_EQ(ra.interfaces[i].workload.mean_rate_bps,
+                rb.interfaces[i].workload.mean_rate_bps);
+    }
+  }
+
+  FederatedTopologyOptions reseeded = small_options();
+  reseeded.seed = 12;
+  const FederatedTopology c = build_federated_network(reseeded);
+  bool differs = c.network.links.size() != a.network.links.size();
+  for (std::size_t r = 0; !differs && r < a.network.routers.size(); ++r) {
+    differs = a.network.routers[r].model != c.network.routers[r].model ||
+              a.network.routers[r].interfaces.size() !=
+                  c.network.routers[r].interfaces.size();
+  }
+  EXPECT_TRUE(differs) << "seed must matter";
+}
+
+TEST(FederatedTopology, ShapeMatchesTheOptions) {
+  const FederatedTopologyOptions options = small_options();
+  const FederatedTopology fed = build_federated_network(options);
+  EXPECT_EQ(fed.router_count(),
+            static_cast<std::size_t>(options.router_count()));
+  ASSERT_EQ(fed.domains.size(), static_cast<std::size_t>(options.domains));
+  EXPECT_EQ(fed.network.pops.size(),
+            static_cast<std::size_t>(options.domains * options.pops_per_domain));
+  EXPECT_EQ(fed.network.options.seed, options.seed);
+  EXPECT_EQ(fed.network.options.study_begin, options.study_begin);
+  EXPECT_EQ(fed.network.options.study_end, options.study_end);
+
+  for (int d = 0; d < options.domains; ++d) {
+    const FederatedDomain& domain = fed.domains[static_cast<std::size_t>(d)];
+    EXPECT_EQ(domain.pop_count, options.pops_per_domain);
+    EXPECT_EQ(domain.router_count,
+              options.pops_per_domain * options.routers_per_pop);
+    EXPECT_EQ(domain.first_router, d * domain.router_count);
+    for (int r = domain.first_router;
+         r < domain.first_router + domain.router_count; ++r) {
+      EXPECT_EQ(fed.domain_of_router[static_cast<std::size_t>(r)], d);
+      const int pop = fed.network.routers[static_cast<std::size_t>(r)].pop;
+      EXPECT_GE(pop, domain.first_pop);
+      EXPECT_LT(pop, domain.first_pop + domain.pop_count);
+    }
+  }
+  // Router names carry the domain-pop lineage ("d02-pop03-r1").
+  EXPECT_EQ(fed.network.routers[0].name.rfind("d01-pop01-r", 0), 0u);
+}
+
+TEST(FederatedTopology, FederationIsConnectedAndPeeredAcrossDomains) {
+  const FederatedTopology fed = build_federated_network(small_options());
+  UnionFind uf(fed.router_count());
+  for (const InternalLink& link : fed.network.links) {
+    uf.join(link.router_a, link.router_b);
+  }
+  const int root = uf.find(0);
+  for (int r = 0; r < static_cast<int>(fed.router_count()); ++r) {
+    EXPECT_EQ(uf.find(r), root) << "router " << r << " disconnected";
+  }
+
+  // Inter-domain peering exists (at least the domain ring) and the recorded
+  // count matches the links whose endpoints live in different domains.
+  EXPECT_GE(fed.interdomain_links, static_cast<std::size_t>(3));
+  std::size_t recount = 0;
+  for (const InternalLink& link : fed.network.links) {
+    if (fed.domain_of_router[static_cast<std::size_t>(link.router_a)] !=
+        fed.domain_of_router[static_cast<std::size_t>(link.router_b)]) {
+      ++recount;
+    }
+  }
+  EXPECT_EQ(recount, fed.interdomain_links);
+}
+
+TEST(FederatedTopology, ExternalShareLandsNearTheTarget) {
+  const FederatedTopology fed = build_federated_network(small_options());
+  const double external =
+      static_cast<double>(fed.network.external_interface_count());
+  std::size_t spares = 0;
+  for (const DeployedRouter& router : fed.network.routers) {
+    for (const DeployedInterface& iface : router.interfaces) {
+      spares += iface.spare ? 1 : 0;
+    }
+  }
+  const double non_spare =
+      static_cast<double>(fed.network.interface_count() - spares);
+  EXPECT_NEAR(external / non_spare, 0.45, 0.08);
+  EXPECT_GT(spares, 0u);
+}
+
+TEST(FederatedTopology, PortBudgetsAreNeverExceeded) {
+  const FederatedTopology fed = build_federated_network(small_options());
+  for (const DeployedRouter& router : fed.network.routers) {
+    const RouterSpec spec = find_router_spec(router.model).value();
+    std::map<PortType, int> budget;
+    for (const PortGroup& group : spec.ports) {
+      budget[group.type] += static_cast<int>(group.count);
+    }
+    std::map<PortType, int> used;
+    for (const DeployedInterface& iface : router.interfaces) {
+      used[iface.profile.port] += 1;
+    }
+    for (const auto& [type, count] : used) {
+      EXPECT_LE(count, budget[type])
+          << router.name << " " << to_string(type);
+    }
+  }
+}
+
+TEST(FederatedTopology, HardwareZooDiffersAcrossDomains) {
+  // Per-domain vendor bias: with 3 domains of 32 routers each, at least two
+  // domains should end up with different model mixes.
+  const FederatedTopology fed = build_federated_network(small_options());
+  std::vector<std::map<std::string, int>> mixes(fed.domains.size());
+  for (std::size_t r = 0; r < fed.router_count(); ++r) {
+    mixes[static_cast<std::size_t>(fed.domain_of_router[r])]
+         [fed.network.routers[r].model] += 1;
+  }
+  bool any_difference = false;
+  for (std::size_t d = 1; d < mixes.size(); ++d) {
+    if (mixes[d] != mixes[0]) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FederatedTopology, ValidateRejectsDegenerateOptions) {
+  auto expect_invalid = [](auto mutate) {
+    FederatedTopologyOptions options = small_options();
+    mutate(options);
+    EXPECT_THROW(build_federated_network(options), std::invalid_argument);
+    EXPECT_THROW(FederatedTopologyGenerator{options}, std::invalid_argument);
+  };
+  expect_invalid([](auto& o) { o.domains = 0; });
+  expect_invalid([](auto& o) { o.pops_per_domain = 0; });
+  expect_invalid([](auto& o) { o.routers_per_pop = 0; });
+  expect_invalid([](auto& o) { o.mean_core_degree = -1.0; });
+  expect_invalid([](auto& o) {
+    o.mean_core_degree = static_cast<double>(o.router_count()) + 1.0;
+  });
+  expect_invalid([](auto& o) { o.access_uplinks = 0; });
+  expect_invalid([](auto& o) { o.access_uplinks = o.router_count() + 1; });
+  expect_invalid([](auto& o) { o.external_iface_frac = -0.1; });
+  expect_invalid([](auto& o) { o.external_iface_frac = 1.0; });
+  expect_invalid([](auto& o) { o.interdomain_link_frac = 1.5; });
+  expect_invalid([](auto& o) { o.spare_transceiver_frac = -0.5; });
+  expect_invalid([](auto& o) { o.lifecycle_event_frac = 2.0; });
+  expect_invalid([](auto& o) { o.study_end = o.study_begin; });
+}
+
+TEST(FederatedTopology, SwitchLikeOptionsValidationCatchesZeroPops) {
+  // Before TopologyOptions::validate() existed, pop_count = 0 hit `% 0` in
+  // router placement — undefined behaviour instead of a diagnosis.
+  TopologyOptions options;
+  options.pop_count = 0;
+  EXPECT_THROW(build_switch_like_network(options), std::invalid_argument);
+
+  options = {};
+  options.access_asr920 = -1;
+  EXPECT_THROW(build_switch_like_network(options), std::invalid_argument);
+
+  options = {};
+  options.access_asr920 = 0;
+  options.access_n540x = 0;
+  options.access_asr9001 = 0;
+  options.agg_n540 = 0;
+  options.agg_ncs24q6h = 0;
+  options.agg_ncs48q6h = 0;
+  options.core_ncs24h = 0;
+  options.core_nexus9336 = 0;
+  options.core_8201_32fh = 0;
+  options.core_8201_24h8fh = 0;
+  EXPECT_THROW(build_switch_like_network(options), std::invalid_argument);
+
+  options = {};
+  options.spare_transceiver_frac = 1.5;
+  EXPECT_THROW(build_switch_like_network(options), std::invalid_argument);
+
+  options = {};
+  options.study_end = options.study_begin;
+  EXPECT_THROW(build_switch_like_network(options), std::invalid_argument);
+}
+
+TEST(FederatedTopology, RunsUnchangedThroughSimulationAndEngine) {
+  FederatedTopologyOptions options = small_options();
+  options.domains = 2;
+  options.pops_per_domain = 3;
+  const FederatedTopology fed = build_federated_network(options);
+  const NetworkSimulation sim(fed.network, 7);
+  const SimTime begin = options.study_begin;
+  const SimTime end = begin + kSecondsPerDay;
+
+  TraceEngine serial(sim, TraceEngineOptions{.workers = 1});
+  TraceEngine parallel(sim, TraceEngineOptions{.workers = 8});
+  const NetworkTraces a = serial.network_traces(begin, end, kSecondsPerHour);
+  const NetworkTraces b = parallel.network_traces(begin, end, kSecondsPerHour);
+  ASSERT_EQ(a.total_power_w.size(), 24u);
+  ASSERT_EQ(a.total_power_w.size(), b.total_power_w.size());
+  for (std::size_t i = 0; i < a.total_power_w.size(); ++i) {
+    EXPECT_EQ(a.total_power_w[i].value, b.total_power_w[i].value) << i;
+    EXPECT_EQ(a.total_traffic_bps[i].value, b.total_traffic_bps[i].value) << i;
+  }
+  EXPECT_GT(a.total_power_w[0].value, 0.0);
+  EXPECT_GT(a.capacity_bps, 0.0);
+}
+
+}  // namespace
+}  // namespace joules

@@ -1,0 +1,218 @@
+// The scale-tier smoke: a pinned 5k-router federated sweep, streaming
+// through bounded memory. Runs under `ctest -L scale` (the scale-smoke CI
+// job) and stays fast enough for the default suite: the sweep window is
+// short — the properties under test (bounded peak memory, bit-identity
+// across worker counts and block sizes) do not depend on sweep length,
+// which is exactly the point of the streaming store.
+//
+// The DISABLED_ acceptance test at the bottom is the 10-month × 10k-router
+// sweep from EXPERIMENTS.md ("Scaling the simulation"); run it manually:
+//   ./test_scale_smoke --gtest_also_run_disabled_tests \
+//       --gtest_filter='*TenMonthTenKRouter*'
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "network/federated.hpp"
+#include "network/simulation.hpp"
+#include "network/trace_engine.hpp"
+#include "obs/registry.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+// Pinned: the scale-smoke CI job gates trace.blocks_streamed /
+// trace.peak_resident_samples against a committed baseline, so the federation
+// (and therefore the counters) must be reproducible to the bit.
+FederatedTopologyOptions scale_options() {
+  FederatedTopologyOptions options;
+  options.seed = 77;
+  options.domains = 8;
+  options.pops_per_domain = 10;
+  options.routers_per_pop = 63;  // 8 * 10 * 63 = 5040 routers
+  return options;
+}
+
+struct SweepResult {
+  std::vector<double> power;
+  std::vector<double> traffic;
+  std::uint64_t blocks_streamed = 0;
+  std::uint64_t peak_resident_samples = 0;
+};
+
+SweepResult run_sweep(const NetworkSimulation& sim, std::size_t workers,
+                      std::size_t max_block_bytes, SimTime begin, SimTime end,
+                      SimTime step) {
+  obs::Registry registry(workers);
+  TraceEngineOptions options;
+  options.workers = workers;
+  options.max_block_bytes = max_block_bytes;
+  options.registry = &registry;
+  TraceEngine engine(sim, options);
+  SweepResult result;
+  const NetworkTraces traces = engine.stream_traces(begin, end, step, {});
+  result.power.reserve(traces.total_power_w.size());
+  for (std::size_t i = 0; i < traces.total_power_w.size(); ++i) {
+    result.power.push_back(traces.total_power_w[i].value);
+    result.traffic.push_back(traces.total_traffic_bps[i].value);
+  }
+  if constexpr (obs::kEnabled) {
+    result.blocks_streamed = registry.counter("trace.blocks_streamed");
+    result.peak_resident_samples =
+        registry.counter("trace.peak_resident_samples");
+  }
+  return result;
+}
+
+class ScaleSmoke : public ::testing::Test {
+ protected:
+  static const FederatedTopology& fed() {
+    static const FederatedTopology topology =
+        build_federated_network(scale_options());
+    return topology;
+  }
+  static const NetworkSimulation& sim() {
+    static const NetworkSimulation simulation(fed().network, 7);
+    return simulation;
+  }
+};
+
+TEST_F(ScaleSmoke, FiveKFederationHasThePinnedShape) {
+  EXPECT_EQ(fed().router_count(), 5040u);
+  EXPECT_EQ(fed().domains.size(), 8u);
+  EXPECT_GT(fed().interdomain_links, 0u);
+
+  // Connected across all eight domains (union-find over internal links).
+  std::vector<int> parent(fed().router_count());
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      x = parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+    }
+    return x;
+  };
+  for (const InternalLink& link : fed().network.links) {
+    parent[static_cast<std::size_t>(find(link.router_a))] = find(link.router_b);
+  }
+  const int root = find(0);
+  for (int r = 0; r < static_cast<int>(fed().router_count()); ++r) {
+    ASSERT_EQ(find(r), root) << "router " << r << " disconnected";
+  }
+}
+
+TEST_F(ScaleSmoke, StreamingSweepIsMemoryBoundedAndBitIdentical) {
+  const SimTime begin = scale_options().study_begin;
+  const SimTime end = begin + 2 * kSecondsPerDay;
+  const std::size_t routers = sim().router_count();
+  const std::size_t interfaces = sim().topology().interface_count();
+  const std::size_t total_steps = 48;  // 2 days hourly
+
+  constexpr std::size_t kBlockBytes = 8u << 20;
+  const std::size_t row_bytes = sizeof(double) * (routers + interfaces);
+  const std::size_t block_rows =
+      std::clamp<std::size_t>(kBlockBytes / row_bytes, 1, total_steps);
+  const std::size_t expected_blocks =
+      (total_steps + block_rows - 1) / block_rows;
+  ASSERT_GT(expected_blocks, 1u)
+      << "smoke must exercise more than one block to pin streaming";
+
+  const SweepResult reference =
+      run_sweep(sim(), 1, kBlockBytes, begin, end, kSecondsPerHour);
+  ASSERT_EQ(reference.power.size(), total_steps);
+
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(reference.blocks_streamed, expected_blocks);
+    // Peak resident samples is the block formula — a function of
+    // max_block_bytes, NOT of the sweep length or the dataset size.
+    EXPECT_EQ(reference.peak_resident_samples,
+              block_rows * (routers + interfaces + 2));
+    EXPECT_LT(reference.peak_resident_samples,
+              total_steps * (routers + interfaces));
+  }
+
+  for (const std::size_t workers : {4u, 16u}) {
+    const SweepResult run =
+        run_sweep(sim(), workers, kBlockBytes, begin, end, kSecondsPerHour);
+    ASSERT_EQ(run.power.size(), reference.power.size());
+    for (std::size_t i = 0; i < reference.power.size(); ++i) {
+      ASSERT_EQ(run.power[i], reference.power[i])
+          << "workers=" << workers << " i=" << i;
+      ASSERT_EQ(run.traffic[i], reference.traffic[i])
+          << "workers=" << workers << " i=" << i;
+    }
+    if constexpr (obs::kEnabled) {
+      EXPECT_EQ(run.blocks_streamed, reference.blocks_streamed);
+      EXPECT_EQ(run.peak_resident_samples, reference.peak_resident_samples);
+    }
+  }
+
+  // A quarter-size block budget: more blocks, smaller peak, same bits.
+  const SweepResult tight =
+      run_sweep(sim(), 8, kBlockBytes / 4, begin, end, kSecondsPerHour);
+  ASSERT_EQ(tight.power.size(), reference.power.size());
+  for (std::size_t i = 0; i < reference.power.size(); ++i) {
+    ASSERT_EQ(tight.power[i], reference.power[i]) << i;
+  }
+  if constexpr (obs::kEnabled) {
+    EXPECT_GT(tight.blocks_streamed, reference.blocks_streamed);
+    EXPECT_LT(tight.peak_resident_samples, reference.peak_resident_samples);
+  }
+}
+
+// The acceptance sweep behind EXPERIMENTS.md "Scaling the simulation": ten
+// months of hourly samples over a 10k-router federation, streamed through the
+// default 8 MiB block budget, bit-identical across 1/4/16 workers. Disabled
+// by default (minutes of runtime); the 5k smoke above pins the same
+// properties on every PR.
+TEST(ScaleAcceptance, DISABLED_TenMonthTenKRouterSweep) {
+  FederatedTopologyOptions options;
+  options.seed = 77;
+  options.domains = 10;
+  options.pops_per_domain = 10;
+  options.routers_per_pop = 100;  // 10'000 routers
+  const FederatedTopology fed = build_federated_network(options);
+  ASSERT_EQ(fed.router_count(), 10'000u);
+  const NetworkSimulation sim(fed.network, 7);
+
+  const SimTime begin = options.study_begin;
+  const SimTime end = begin + 10 * 30 * kSecondsPerDay;  // ~10 months
+  const std::size_t total_steps =
+      static_cast<std::size_t>((end - begin) / kSecondsPerHour);
+
+  const SweepResult reference =
+      run_sweep(sim, 16, 8u << 20, begin, end, kSecondsPerHour);
+  ASSERT_EQ(reference.power.size(), total_steps);
+  const std::size_t routers = sim.router_count();
+  const std::size_t interfaces = sim.topology().interface_count();
+  if constexpr (obs::kEnabled) {
+    std::printf("routers=%zu interfaces=%zu steps=%zu blocks_streamed=%llu "
+                "peak_resident_samples=%llu dataset_samples=%zu\n",
+                routers, interfaces, total_steps,
+                static_cast<unsigned long long>(reference.blocks_streamed),
+                static_cast<unsigned long long>(reference.peak_resident_samples),
+                total_steps * (routers + interfaces));
+    // Bounded by the block budget, not the ~550M-sample dataset.
+    EXPECT_LT(reference.peak_resident_samples,
+              2u * ((8u << 20) / sizeof(double)));
+  }
+
+  for (const std::size_t workers : {1u, 4u}) {
+    const SweepResult run =
+        run_sweep(sim, workers, 8u << 20, begin, end, kSecondsPerHour);
+    ASSERT_EQ(run.power.size(), reference.power.size());
+    for (std::size_t i = 0; i < reference.power.size(); ++i) {
+      ASSERT_EQ(run.power[i], reference.power[i])
+          << "workers=" << workers << " i=" << i;
+      ASSERT_EQ(run.traffic[i], reference.traffic[i])
+          << "workers=" << workers << " i=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace joules

@@ -1,0 +1,240 @@
+#include "network/trace_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "network/dataset.hpp"
+#include "network/trace_engine.hpp"
+#include "obs/registry.hpp"
+#include "util/units.hpp"
+
+namespace joules {
+namespace {
+
+// Fill the open block with an arithmetic ramp so the expected serial fold is
+// computable by hand: power[j * routers + r] = base + j * routers + r.
+void fill_ramp(TraceStore& store, std::size_t rows, std::size_t routers,
+               std::size_t interfaces, double base) {
+  const std::span<double> power = store.power_column();
+  const std::span<double> traffic = store.traffic_column();
+  for (std::size_t j = 0; j < rows; ++j) {
+    for (std::size_t r = 0; r < routers; ++r) {
+      power[j * routers + r] = base + static_cast<double>(j * routers + r);
+    }
+    for (std::size_t g = 0; g < interfaces; ++g) {
+      traffic[j * interfaces + g] =
+          2.0 * (base + static_cast<double>(j * interfaces + g));
+    }
+  }
+}
+
+TEST(TraceStore, BlockLengthFollowsTheByteBudget) {
+  // row = (interfaces + routers) doubles; 4 routers + 12 interfaces = 128 B.
+  TraceStore::Options options;
+  options.max_block_bytes = 1024;
+  TraceStore store(4, 12, options);
+  store.begin_sweep(0, 60, 100);
+  EXPECT_EQ(store.block_timesteps(), 8u);  // 1024 / 128
+
+  // The block never exceeds the sweep, and never drops below one row.
+  store.begin_sweep(0, 60, 5);
+  EXPECT_EQ(store.block_timesteps(), 5u);
+  TraceStore::Options tiny;
+  tiny.max_block_bytes = 1;
+  TraceStore one(4, 12, tiny);
+  one.begin_sweep(0, 60, 100);
+  EXPECT_EQ(one.block_timesteps(), 1u);
+}
+
+TEST(TraceStore, RejectsDegenerateInputs) {
+  TraceStore::Options zero;
+  zero.max_block_bytes = 0;
+  EXPECT_THROW(TraceStore(4, 12, zero), std::invalid_argument);
+  TraceStore store(4, 12, {});
+  EXPECT_THROW(store.begin_sweep(0, 0, 10), std::invalid_argument);
+  EXPECT_THROW(store.begin_sweep(0, -60, 10), std::invalid_argument);
+}
+
+TEST(TraceStore, OpeningOverAnUncommittedBlockThrows) {
+  TraceStore store(2, 4, {});
+  store.begin_sweep(0, 60, 10);
+  ASSERT_GT(store.open_block(), 0u);
+  EXPECT_THROW((void)store.open_block(), std::logic_error);
+}
+
+TEST(TraceStore, CommitFoldsSeriallyAndStreamsBlocksInTimeOrder) {
+  constexpr std::size_t kRouters = 3;
+  constexpr std::size_t kIfaces = 5;
+  constexpr std::size_t kTotal = 7;
+  TraceStore::Options options;
+  options.max_block_bytes = 3 * sizeof(double) * (kRouters + kIfaces);
+  TraceStore store(kRouters, kIfaces, options);
+  store.begin_sweep(1000, 60, kTotal);
+  ASSERT_EQ(store.block_timesteps(), 3u);
+
+  std::vector<std::size_t> sink_first_timesteps;
+  std::vector<std::size_t> sink_rows;
+  std::vector<double> streamed_power_totals;
+  const TraceStore::BlockSink sink = [&](const TraceBlockView& view) {
+    EXPECT_EQ(view.routers, kRouters);
+    EXPECT_EQ(view.interfaces, kIfaces);
+    EXPECT_EQ(view.step, 60);
+    EXPECT_EQ(view.begin,
+              1000 + static_cast<SimTime>(view.first_timestep) * 60);
+    EXPECT_EQ(view.time_of(1), view.begin + 60);
+    sink_first_timesteps.push_back(view.first_timestep);
+    sink_rows.push_back(view.timesteps);
+    for (std::size_t j = 0; j < view.timesteps; ++j) {
+      streamed_power_totals.push_back(view.total_power_w[j]);
+    }
+  };
+
+  std::size_t rows = 0;
+  std::size_t global_row = 0;
+  while ((rows = store.open_block()) > 0) {
+    fill_ramp(store, rows, kRouters, kIfaces,
+              static_cast<double>(global_row));
+    const TraceBlockView& view = store.commit_block(sink);
+    EXPECT_EQ(view.timesteps, rows);
+    global_row += rows;
+  }
+  store.end_sweep();
+
+  EXPECT_EQ(sink_first_timesteps, (std::vector<std::size_t>{0, 3, 6}));
+  EXPECT_EQ(sink_rows, (std::vector<std::size_t>{3, 3, 1}));
+  EXPECT_EQ(store.blocks_streamed(), 3u);
+
+  // Serial ascending fold of the ramp: row j's power total is
+  // sum_r (base + j * R + r) over r in [0, R).
+  ASSERT_EQ(streamed_power_totals.size(), kTotal);
+  std::size_t row = 0;
+  for (std::size_t b = 0; b < sink_rows.size(); ++b) {
+    const double base = static_cast<double>(sink_first_timesteps[b]);
+    for (std::size_t j = 0; j < sink_rows[b]; ++j, ++row) {
+      double expected = 0.0;
+      for (std::size_t r = 0; r < kRouters; ++r) {
+        expected += base + static_cast<double>(j * kRouters + r);
+      }
+      EXPECT_EQ(streamed_power_totals[row], expected) << "row " << row;
+    }
+  }
+}
+
+TEST(TraceStore, PeakResidentSamplesIsBoundedByBlockNotSweep) {
+  constexpr std::size_t kRouters = 4;
+  constexpr std::size_t kIfaces = 12;
+  TraceStore::Options options;
+  options.max_block_bytes = 4 * sizeof(double) * (kRouters + kIfaces);
+  auto run_sweep = [&](std::size_t total) {
+    TraceStore store(kRouters, kIfaces, options);
+    store.begin_sweep(0, 60, total);
+    std::size_t rows = 0;
+    while ((rows = store.open_block()) > 0) {
+      (void)store.commit_block();
+    }
+    store.end_sweep();
+    return store.peak_resident_samples();
+  };
+  const std::size_t short_peak = run_sweep(16);
+  const std::size_t long_peak = run_sweep(16'000);
+  EXPECT_EQ(short_peak, long_peak);
+  // Exactly the block buffers: (routers + interfaces + 2 totals) per row.
+  EXPECT_EQ(long_peak, 4u * (kRouters + kIfaces + 2));
+}
+
+TEST(TraceStore, EndSweepExportsTheGateCounters) {
+  obs::Registry registry(1);
+  TraceStore::Options options;
+  options.max_block_bytes = 2 * sizeof(double) * (2 + 4);
+  options.registry = &registry;
+  TraceStore store(2, 4, options);
+  store.begin_sweep(0, 60, 5);
+  std::size_t rows = 0;
+  while ((rows = store.open_block()) > 0) (void)store.commit_block();
+  store.end_sweep();
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(registry.counter("trace.blocks_streamed"), 3u);  // 2 + 2 + 1
+    EXPECT_EQ(registry.counter("trace.peak_resident_samples"),
+              store.peak_resident_samples());
+  }
+}
+
+// --- Engine-level streaming contract -------------------------------------
+
+class StreamingEngineTest : public ::testing::Test {
+ protected:
+  static const NetworkSimulation& sim() {
+    static NetworkSimulation simulation(build_switch_like_network(), 7);
+    return simulation;
+  }
+  static SimTime begin() { return sim().topology().options.study_begin; }
+  static SimTime end() { return begin() + 2 * kSecondsPerDay; }
+};
+
+TEST_F(StreamingEngineTest, StreamTracesMatchesNetworkTracesBitForBit) {
+  TraceEngine engine(sim(), TraceEngineOptions{.workers = 4});
+  const NetworkTraces plain = engine.network_traces(begin(), end(), kSecondsPerHour);
+  std::size_t sink_blocks = 0;
+  const NetworkTraces streamed = engine.stream_traces(
+      begin(), end(), kSecondsPerHour,
+      [&](const TraceBlockView&) { ++sink_blocks; });
+  EXPECT_GT(sink_blocks, 0u);
+  EXPECT_EQ(streamed.capacity_bps, plain.capacity_bps);
+  ASSERT_EQ(streamed.total_power_w.size(), plain.total_power_w.size());
+  for (std::size_t i = 0; i < plain.total_power_w.size(); ++i) {
+    EXPECT_EQ(streamed.total_power_w[i].time, plain.total_power_w[i].time);
+    EXPECT_EQ(streamed.total_power_w[i].value, plain.total_power_w[i].value);
+    EXPECT_EQ(streamed.total_traffic_bps[i].value,
+              plain.total_traffic_bps[i].value);
+  }
+}
+
+TEST_F(StreamingEngineTest, SinkBlocksReassembleTheFullSeries) {
+  // A tiny block budget forces many blocks; concatenating the sink's
+  // per-block totals must reproduce the aggregate series exactly, and each
+  // view's per-router column must sum (ascending) to the row total.
+  TraceEngineOptions options{.workers = 2, .max_block_bytes = 1};
+  TraceEngine engine(sim(), options);
+  std::vector<SimTime> times;
+  std::vector<double> power;
+  const NetworkTraces streamed = engine.stream_traces(
+      begin(), end(), kSecondsPerHour, [&](const TraceBlockView& view) {
+        for (std::size_t j = 0; j < view.timesteps; ++j) {
+          times.push_back(view.time_of(j));
+          power.push_back(view.total_power_w[j]);
+          double fold = 0.0;
+          for (std::size_t r = 0; r < view.routers; ++r) {
+            fold += view.router_power_w[j * view.routers + r];
+          }
+          EXPECT_EQ(fold, view.total_power_w[j]);
+        }
+      });
+  ASSERT_EQ(times.size(), streamed.total_power_w.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_EQ(times[i], streamed.total_power_w[i].time);
+    EXPECT_EQ(power[i], streamed.total_power_w[i].value);
+  }
+}
+
+TEST_F(StreamingEngineTest, StreamingCountersReachTheRegistry) {
+  obs::Registry registry(4);
+  TraceEngineOptions options{.workers = 4};
+  options.max_block_bytes = 1;  // one timestep per block
+  options.registry = &registry;
+  TraceEngine engine(sim(), options);
+  (void)engine.stream_traces(begin(), end(), kSecondsPerHour, {});
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(registry.counter("trace.blocks_streamed"), 48u);
+    const std::uint64_t peak = registry.counter("trace.peak_resident_samples");
+    EXPECT_GT(peak, 0u);
+    // One-row blocks: routers + interfaces + 2 totals resident at peak.
+    EXPECT_LT(peak, 2u * (sim().router_count() +
+                          sim().topology().interface_count() + 2));
+  }
+}
+
+}  // namespace
+}  // namespace joules

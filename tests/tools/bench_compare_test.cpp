@@ -218,6 +218,76 @@ TEST(BenchCompare, MultipleFloorPrefixesEachInvertDirection) {
   EXPECT_EQ(grew.findings[0].counter, "obs_whatif.routers_recomputed");
 }
 
+TEST(BenchCompare, MaxCounterFailsOnAnyGrowth) {
+  // peak_resident_samples pins a memory bound: exceeding the baseline by a
+  // single sample is a broken contract — no threshold slack.
+  const auto baseline =
+      make({{"BM_X/1", "obs_trace.peak_resident_samples", 1000.0}});
+  CompareOptions options;
+  options.max_prefixes = {"obs_trace.peak_resident_samples"};
+
+  const auto grew =
+      make({{"BM_X/1", "obs_trace.peak_resident_samples", 1001.0}});
+  const CompareResult bad = compare(baseline, grew, options);
+  ASSERT_EQ(bad.findings.size(), 1u);
+  EXPECT_EQ(bad.findings[0].kind, Finding::Kind::kExceeded);
+  EXPECT_DOUBLE_EQ(bad.findings[0].baseline, 1000.0);
+  EXPECT_DOUBLE_EQ(bad.findings[0].current, 1001.0);
+
+  const auto equal =
+      make({{"BM_X/1", "obs_trace.peak_resident_samples", 1000.0}});
+  EXPECT_TRUE(compare(baseline, equal, options).ok());
+  // Shrinking a ceiling is progress, never a finding.
+  const auto smaller =
+      make({{"BM_X/1", "obs_trace.peak_resident_samples", 10.0}});
+  EXPECT_TRUE(compare(baseline, smaller, options).ok());
+
+  const std::string report = render_report(bad, options);
+  EXPECT_NE(report.find("ceiling counter exceeded"), std::string::npos);
+}
+
+TEST(BenchCompare, MaxCounterIgnoresThresholdSlack) {
+  // Growth far below the x1.5 work threshold still fails a ceiling counter.
+  const auto baseline = make({{"BM_X/1", "obs_mem.peak", 100.0}});
+  const auto current = make({{"BM_X/1", "obs_mem.peak", 101.0}});
+  CompareOptions options;
+  options.threshold = 10.0;
+  options.max_prefixes = {"obs_mem."};
+  const CompareResult result = compare(baseline, current, options);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].kind, Finding::Kind::kExceeded);
+}
+
+TEST(BenchCompare, MaxPrefixGatesOnlyMatchingCounters) {
+  // An unrelated counter keeps the ordinary growth gate (within threshold
+  // passes), a missing ceiling counter is still a finding, and a counter
+  // matching both a max and a floor prefix is treated as a ceiling.
+  const auto baseline =
+      make({{"BM_X/1", "obs_trace.peak_resident_samples", 100.0},
+            {"BM_X/1", "obs_trace.samples", 100.0}});
+  CompareOptions options;
+  options.max_prefixes = {"obs_trace.peak_resident_samples"};
+
+  const auto ordinary_growth =
+      make({{"BM_X/1", "obs_trace.peak_resident_samples", 100.0},
+            {"BM_X/1", "obs_trace.samples", 140.0}});
+  EXPECT_TRUE(compare(baseline, ordinary_growth, options).ok());
+
+  const auto missing = make({{"BM_X/1", "obs_trace.samples", 100.0}});
+  const CompareResult gone = compare(baseline, missing, options);
+  ASSERT_EQ(gone.findings.size(), 1u);
+  EXPECT_EQ(gone.findings[0].kind, Finding::Kind::kMissingCounter);
+
+  CompareOptions both = options;
+  both.floor_prefixes = {"obs_trace.peak_resident_samples"};
+  const auto grew =
+      make({{"BM_X/1", "obs_trace.peak_resident_samples", 150.0},
+            {"BM_X/1", "obs_trace.samples", 100.0}});
+  const CompareResult ceiling_wins = compare(baseline, grew, both);
+  ASSERT_EQ(ceiling_wins.findings.size(), 1u);
+  EXPECT_EQ(ceiling_wins.findings[0].kind, Finding::Kind::kExceeded);
+}
+
 TEST(BenchCompare, ThresholdMustBePositive) {
   CompareOptions options;
   options.threshold = 0.0;

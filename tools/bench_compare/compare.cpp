@@ -103,6 +103,21 @@ CompareResult compare(const std::vector<CounterSample>& baseline,
       continue;
     }
     finding.current = actual->value;
+    // Ceiling counters pin a resource bound: any growth over the committed
+    // baseline is a broken contract, with no threshold slack (the counters
+    // are deterministic, so exact comparison is meaningful).
+    const bool is_max = std::any_of(
+        options.max_prefixes.begin(), options.max_prefixes.end(),
+        [&](const std::string& prefix) {
+          return !prefix.empty() && expected.counter.rfind(prefix, 0) == 0;
+        });
+    if (is_max) {
+      if (actual->value > expected.value) {
+        finding.kind = Finding::Kind::kExceeded;
+        result.findings.push_back(std::move(finding));
+      }
+      continue;
+    }
     // Floor counters measure *avoided* work (a skip path's hit count), so
     // only shrinking is a regression: growth means the optimisation got
     // better, and a zero baseline pins nothing.
@@ -157,6 +172,12 @@ std::string render_report(const CompareResult& result,
                format_value(finding.current) +
                " (floor counter shrank beyond threshold x" +
                format_value(options.threshold) + " — skip path lost?)";
+        break;
+      case Finding::Kind::kExceeded:
+        out += format_value(finding.baseline) + " -> " +
+               format_value(finding.current) +
+               " (ceiling counter exceeded its baseline — resource bound "
+               "broken)";
         break;
       case Finding::Kind::kMissingBenchmark:
         out += "benchmark missing from the current run";

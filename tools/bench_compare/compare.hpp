@@ -42,6 +42,14 @@ struct CompareOptions {
   // pinned); a floor counter that drops to zero from a positive baseline
   // always fails.
   std::vector<std::string> floor_prefixes;
+  // Counters whose name starts with any of these are *ceiling* counters:
+  // they pin a resource bound (obs_trace.peak_resident_samples, ...), so the
+  // gate fails the moment current exceeds baseline — no threshold slack,
+  // because the counters are deterministic and a bounded-memory contract
+  // that "only" doubled is still broken. Shrinking is never a finding
+  // (commit the smaller baseline to ratchet down). A counter matching both a
+  // max and a floor prefix is treated as a ceiling.
+  std::vector<std::string> max_prefixes;
 };
 
 struct Finding {
@@ -49,6 +57,7 @@ struct Finding {
     kGrew,              // current / baseline > threshold
     kAppeared,          // baseline 0 (or absent as a value), current > 0
     kShrank,            // floor counter: baseline / current > threshold
+    kExceeded,          // ceiling counter: current > baseline
     kMissingBenchmark,  // baseline benchmark absent from the current run
     kMissingCounter,    // benchmark present but the counter vanished
   };

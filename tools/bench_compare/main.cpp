@@ -2,10 +2,13 @@
 // deterministic work counters (see compare.hpp for why not wall time).
 //
 //   bench_compare <baseline.json> <current.json>
-//       [--threshold X] [--prefix P] [--floor-prefix F]...
+//       [--threshold X] [--prefix P] [--floor-prefix F]... [--max-prefix M]...
 //
 // --floor-prefix is repeatable; a counter matching any floor prefix is gated
-// in the inverted (must-not-shrink) direction.
+// in the inverted (must-not-shrink) direction. --max-prefix is repeatable
+// too; a counter matching any max prefix is a ceiling — the gate fails the
+// moment it exceeds its baseline, with no threshold slack (the
+// bounded-memory contract behind the scale-tier CI job).
 //
 // Exit codes: 0 gate passes, 1 regression(s) found, 2 usage or I/O error.
 #include <charconv>
@@ -33,7 +36,8 @@ std::optional<double> parse_double_arg(const char* text) {
 int usage() {
   std::fputs(
       "usage: bench_compare <baseline.json> <current.json>"
-      " [--threshold X] [--prefix P] [--floor-prefix F]...\n",
+      " [--threshold X] [--prefix P] [--floor-prefix F]..."
+      " [--max-prefix M]...\n",
       stderr);
   return 2;
 }
@@ -55,6 +59,8 @@ int main(int argc, char** argv) {
       options.counter_prefix = argv[++i];
     } else if (std::strcmp(argv[i], "--floor-prefix") == 0 && i + 1 < argc) {
       options.floor_prefixes.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-prefix") == 0 && i + 1 < argc) {
+      options.max_prefixes.emplace_back(argv[++i]);
     } else {
       return usage();
     }
